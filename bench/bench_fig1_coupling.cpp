@@ -1,0 +1,133 @@
+// Reproduces Fig. 1 / §2 of the paper: the coupling mechanism on a single
+// victim/aggressor pair.
+//
+//  (a) Delay model comparison across the Cc/C ratio: grounded-unchanged,
+//      grounded-doubled (the classical approach), and the paper's active
+//      divider model, cross-checked against the worst simulated delay over
+//      all aggressor alignments.
+//  (b) Aggressor ramp-time sweep: "simulations show that maximum delay is
+//      achieved when the aggressor voltage has a short ramp time. We get
+//      worst-case delay for an instantaneous voltage drop."
+//  (c) Aggressor alignment sweep: the worst alignment strikes around the
+//      victim's threshold crossing, which is what the model assumes.
+#include <iomanip>
+#include <iostream>
+
+#include "core/validation.hpp"
+#include "delaycalc/arc_delay.hpp"
+#include "sim/measure.hpp"
+#include "sim/transient.hpp"
+
+using namespace xtalk;
+
+namespace {
+
+const device::Technology& tech() { return device::Technology::half_micron(); }
+const device::DeviceTableSet& tables() {
+  return device::DeviceTableSet::half_micron();
+}
+const netlist::Cell& inv() {
+  return netlist::CellLibrary::half_micron().get("INV_X1");
+}
+
+/// Model-side delay (input 50% to output 50%) for one load configuration.
+double model_delay(const delaycalc::OutputLoad& load) {
+  delaycalc::ArcDelayCalculator calc(tables());
+  const util::Pwl in =
+      util::Pwl::ramp(0.0, tech().vdd - tech().model_vth, 0.2e-9, 0.0);
+  const auto rs = calc.compute(inv(), 0, false, in, load);
+  const double in50 = in.time_at_value(tech().vdd / 2.0, false);
+  return rs[0].waveform.time_at_value(tech().vdd / 2.0, true) - in50;
+}
+
+/// Simulated delay for one aggressor start time (rising victim).
+double sim_delay(double cc, double cg, double aggressor_start,
+                 double aggressor_slew) {
+  core::GateFixtureSpec spec;
+  spec.cell = &inv();
+  spec.input_rising = false;  // output rises
+  spec.input_slew = 0.2e-9;
+  spec.load_cap = cg;
+  spec.coupling_cap = cc;
+  spec.aggressor_start = aggressor_start;
+  spec.aggressor_slew = aggressor_slew;
+  core::GateFixture fx = core::build_gate_fixture(tech(), spec);
+  sim::TransientOptions topt;
+  topt.tstop = spec.time_offset + 5e-9;
+  topt.dt = 1e-12;
+  const auto tr = sim::simulate(fx.circuit, tables(), topt);
+  const double t_in =
+      sim::first_crossing(tr.waveform(fx.input), tech().vdd / 2.0, false);
+  const double t_out =
+      sim::last_crossing(tr.waveform(fx.output), tech().vdd / 2.0, true);
+  return t_out - t_in;
+}
+
+/// Worst simulated delay over a sweep of aggressor alignments.
+double sim_worst_delay(double cc, double cg, double aggressor_slew,
+                       double* best_start = nullptr) {
+  double worst = 0.0;
+  for (double start = 0.3e-9; start <= 1.6e-9; start += 0.05e-9) {
+    const double d = sim_delay(cc, cg, start, aggressor_slew);
+    if (d > worst) {
+      worst = d;
+      if (best_start) *best_start = start;
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 1 / §2: coupling delay mechanism (INV_X1 victim, "
+               "0.5 um) ===\n\n";
+  std::cout << std::fixed << std::setprecision(1);
+
+  std::cout << "(a) delay [ps] vs coupling ratio; C_total = 40 fF\n";
+  std::cout << std::left << std::setw(10) << "Cc/Ctot" << std::right
+            << std::setw(12) << "grounded" << std::setw(12) << "doubled"
+            << std::setw(12) << "model" << std::setw(14) << "sim-worst"
+            << "\n";
+  for (const double ratio : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    const double ctot = 40e-15;
+    const double cc = ratio * ctot;
+    const double cg = ctot - cc;
+    const double grounded = model_delay({cg + cc, 0.0});
+    const double doubled = model_delay({cg + 2.0 * cc, 0.0});
+    const double active = model_delay({cg, cc});
+    const double sim = sim_worst_delay(cc, cg, 0.02e-9);
+    std::cout << std::left << std::setw(10) << ratio << std::right
+              << std::setw(12) << grounded * 1e12 << std::setw(12)
+              << doubled * 1e12 << std::setw(12) << active * 1e12
+              << std::setw(14) << sim * 1e12 << "\n";
+  }
+
+  std::cout << "\n(b) simulated worst delay [ps] vs aggressor ramp time "
+               "(Cc=12fF, Cg=28fF)\n";
+  std::cout << std::left << std::setw(14) << "ramp[ps]" << std::right
+            << std::setw(12) << "delay" << "\n";
+  for (const double slew : {0.4e-9, 0.2e-9, 0.1e-9, 0.05e-9, 0.02e-9}) {
+    std::cout << std::left << std::setw(14) << slew * 1e12 << std::right
+              << std::setw(12) << sim_worst_delay(12e-15, 28e-15, slew) * 1e12
+              << "\n";
+  }
+  std::cout << "model (instantaneous drop): "
+            << model_delay({28e-15, 12e-15}) * 1e12 << " ps\n";
+
+  std::cout << "\n(c) simulated delay [ps] vs aggressor alignment "
+               "(Cc=12fF, Cg=28fF, ramp 20ps)\n";
+  std::cout << std::left << std::setw(14) << "start[ns]" << std::right
+            << std::setw(12) << "delay" << "\n";
+  for (double start = 0.4e-9; start <= 1.2e-9; start += 0.1e-9) {
+    std::cout << std::left << std::setw(14) << std::setprecision(2)
+              << start * 1e9 << std::right << std::setw(12)
+              << std::setprecision(1) << sim_delay(12e-15, 28e-15, start, 0.02e-9) * 1e12
+              << "\n";
+  }
+
+  std::cout << "\nexpected shape: grounded < doubled < model; sim-worst "
+               "approaches the model as the ramp shortens; alignment peak "
+               "near the victim threshold crossing.\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Google-benchmark microkernels for the inner loops that dominate STA
+// runtime: device-table lookups, Newton waveform integration, coupled
+// waveform integration, full arc evaluation, and one MNA transient step
+// set. Useful for tracking performance regressions of the engine.
+#include <benchmark/benchmark.h>
+
+#include "core/transistor_netlist.hpp"
+#include "delaycalc/arc_delay.hpp"
+#include "sim/transient.hpp"
+
+using namespace xtalk;
+
+namespace {
+
+const device::Technology& tech() { return device::Technology::half_micron(); }
+const device::DeviceTableSet& tables() {
+  return device::DeviceTableSet::half_micron();
+}
+
+void BM_DeviceTableLookup(benchmark::State& state) {
+  const device::DeviceTable& t = tables().nmos();
+  double vg = 1.0, vd = 2.0;
+  for (auto _ : state) {
+    vg += 1e-6;
+    vd -= 1e-6;
+    benchmark::DoNotOptimize(t.channel_current(2e-6, vg, vd, 0.0));
+  }
+}
+BENCHMARK(BM_DeviceTableLookup);
+
+void BM_DeviceTableDerivs(benchmark::State& state) {
+  const device::DeviceTable& t = tables().nmos();
+  double vg = 1.0;
+  for (auto _ : state) {
+    vg += 1e-6;
+    benchmark::DoNotOptimize(t.channel_current_derivs(2e-6, vg, 1.5, 0.0));
+  }
+}
+BENCHMARK(BM_DeviceTableDerivs);
+
+void BM_StageWaveform(benchmark::State& state) {
+  const util::Pwl vin =
+      util::Pwl::ramp(0.0, tech().vdd - tech().model_vth, 0.2e-9, 0.0);
+  delaycalc::StageDrive d;
+  d.wn_eq = 2e-6;
+  d.wp_eq = 4e-6;
+  d.vin = &vin;
+  d.output_rising = true;
+  const delaycalc::OutputLoad load{
+      static_cast<double>(state.range(0)) * 1e-15, 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        delaycalc::solve_stage_waveform(tables(), d, load));
+  }
+}
+BENCHMARK(BM_StageWaveform)->Arg(10)->Arg(40)->Arg(160);
+
+void BM_StageWaveformCoupled(benchmark::State& state) {
+  const util::Pwl vin =
+      util::Pwl::ramp(0.0, tech().vdd - tech().model_vth, 0.2e-9, 0.0);
+  delaycalc::StageDrive d;
+  d.wn_eq = 2e-6;
+  d.wp_eq = 4e-6;
+  d.vin = &vin;
+  d.output_rising = true;
+  const delaycalc::OutputLoad load{30e-15, 15e-15};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        delaycalc::solve_stage_waveform(tables(), d, load));
+  }
+}
+BENCHMARK(BM_StageWaveformCoupled);
+
+void BM_ArcCompute(benchmark::State& state) {
+  delaycalc::ArcDelayCalculator calc(tables());
+  const netlist::Cell& cell =
+      netlist::CellLibrary::half_micron().get("NAND2_X1");
+  const util::Pwl in =
+      util::Pwl::ramp(0.0, tech().model_vth, 0.2e-9, tech().vdd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        calc.compute(cell, 0, true, in, {30e-15, 10e-15}));
+  }
+}
+BENCHMARK(BM_ArcCompute);
+
+void BM_TransientInverterChain(benchmark::State& state) {
+  sim::Circuit ckt;
+  core::TransistorNetlistBuilder b(ckt, tech());
+  const sim::NodeId in = ckt.add_node("in");
+  ckt.add_vsource(in, util::Pwl::ramp(0.1e-9, 0.0, 0.3e-9, tech().vdd));
+  sim::NodeId node = in;
+  for (int i = 0; i < state.range(0); ++i) {
+    std::vector<std::optional<sim::NodeId>> pins(2);
+    pins[0] = node;
+    node = b.expand_cell(netlist::CellLibrary::half_micron().get("INV_X1"),
+                         "i" + std::to_string(i), pins)
+               .output;
+    ckt.add_capacitor(node, ckt.ground(), 10e-15);
+  }
+  sim::TransientOptions opt;
+  opt.tstop = 2e-9;
+  opt.dt = 2e-12;
+  opt.record_every = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(ckt, tables(), opt));
+  }
+}
+BENCHMARK(BM_TransientInverterChain)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

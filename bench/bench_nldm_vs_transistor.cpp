@@ -1,0 +1,80 @@
+// Ablation beyond the paper's tables: the classical flow (characterized
+// NLDM tables + grounded/doubled coupling caps) against the paper's
+// transistor-level crosstalk-aware analysis, on one ISCAS89-scale circuit.
+//
+// The paper's argument in §2/§3 is exactly this comparison: the classical
+// model is fast but cannot express the active nature of coupling, so its
+// "doubled" number is not a safe bound; the transistor-level engine with
+// the divider model is the reference.
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/crosstalk_sta.hpp"
+#include "delaycalc/nldm.hpp"
+
+using namespace xtalk;
+
+int main() {
+  double scale = 1.0;
+  if (const char* env = std::getenv("XTALK_BENCH_SCALE")) {
+    scale = std::strtod(env, nullptr);
+  }
+  const auto cells = static_cast<std::size_t>(std::max(64.0, 8000.0 * scale));
+
+  std::cout << "=== ablation: classical NLDM flow vs transistor-level "
+               "crosstalk STA (" << cells << " cells) ===\n\n";
+  // Characterization cost (once per library, like building a .lib).
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t arcs = delaycalc::NldmLibrary::half_micron().total_arcs();
+  const double char_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  std::cout << "NLDM characterization: " << arcs << " arcs in " << std::fixed
+            << std::setprecision(2) << char_s << " s (one-time)\n\n";
+
+  const core::Design design =
+      core::Design::generate(netlist::scaled_spec("nldm", 777, cells, 20));
+
+  std::cout << std::left << std::setw(34) << "configuration" << std::right
+            << std::setw(12) << "delay[ns]" << std::setw(12) << "time[s]"
+            << "\n";
+  struct Config {
+    const char* label;
+    sta::DelayModel model;
+    sta::AnalysisMode mode;
+  };
+  for (const Config& c : {
+           Config{"NLDM, coupling ignored", sta::DelayModel::kNldm,
+                  sta::AnalysisMode::kBestCase},
+           Config{"NLDM, static doubled (classical)", sta::DelayModel::kNldm,
+                  sta::AnalysisMode::kStaticDoubled},
+           Config{"transistor, coupling ignored",
+                  sta::DelayModel::kTransistorLevel,
+                  sta::AnalysisMode::kBestCase},
+           Config{"transistor, static doubled",
+                  sta::DelayModel::kTransistorLevel,
+                  sta::AnalysisMode::kStaticDoubled},
+           Config{"transistor, iterative (paper)",
+                  sta::DelayModel::kTransistorLevel,
+                  sta::AnalysisMode::kIterative},
+           Config{"transistor, permanent worst case",
+                  sta::DelayModel::kTransistorLevel,
+                  sta::AnalysisMode::kWorstCase},
+       }) {
+    sta::StaOptions opt;
+    opt.delay_model = c.model;
+    opt.mode = c.mode;
+    const sta::StaResult r = design.run(opt);
+    std::cout << std::left << std::setw(34) << c.label << std::right
+              << std::setprecision(3) << std::setw(12)
+              << r.longest_path_delay * 1e9 << std::setw(12)
+              << std::setprecision(2) << r.runtime_seconds << "\n";
+  }
+  std::cout << "\nexpected shape: NLDM tracks the transistor engine within a "
+               "few percent at a fraction of the runtime, but its doubled-cap "
+               "number falls below the transistor-level iterative bound — the "
+               "classical flow is not a safe crosstalk bound (paper §6).\n";
+  return 0;
+}

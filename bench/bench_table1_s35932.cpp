@@ -1,0 +1,9 @@
+// Reproduces Table 1 of the paper: longest-path delay and runtime of the
+// five analysis modes on the s35932-scale circuit (17900 cells), plus the
+// longest-path simulation row.
+#include "table_common.hpp"
+
+int main() {
+  xtalk::bench::run_table_benchmark("Table 1", xtalk::netlist::s35932_like());
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Reproduces Table 2 of the paper: the s38417-scale circuit (23922 cells).
+#include "table_common.hpp"
+
+int main() {
+  xtalk::bench::run_table_benchmark("Table 2", xtalk::netlist::s38417_like());
+  return 0;
+}

@@ -1,0 +1,7 @@
+// Reproduces Table 3 of the paper: the s38584-scale circuit (20812 cells).
+#include "table_common.hpp"
+
+int main() {
+  xtalk::bench::run_table_benchmark("Table 3", xtalk::netlist::s38584_like());
+  return 0;
+}

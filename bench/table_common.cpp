@@ -1,0 +1,89 @@
+#include "table_common.hpp"
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/validation.hpp"
+#include "sta/path.hpp"
+#include "sta/report.hpp"
+
+namespace xtalk::bench {
+
+double run_table_benchmark(const char* table_name,
+                           const netlist::GeneratorSpec& base_spec,
+                           const TableOptions& options) {
+  netlist::GeneratorSpec spec = base_spec;
+  double scale = options.scale;
+  if (const char* env = std::getenv("XTALK_BENCH_SCALE")) {
+    scale = std::strtod(env, nullptr);
+  }
+  if (scale != 1.0) {
+    spec.num_cells = std::max<std::size_t>(
+        64, static_cast<std::size_t>(static_cast<double>(spec.num_cells) * scale));
+    spec.num_ffs = std::max<std::size_t>(
+        4, static_cast<std::size_t>(static_cast<double>(spec.num_ffs) * scale));
+    spec.num_pos = std::max<std::size_t>(
+        4, static_cast<std::size_t>(static_cast<double>(spec.num_pos) * scale));
+  }
+
+  std::cout << "=== " << table_name << ": " << spec.name << " (" << spec.num_cells
+            << " cells, seed " << spec.seed << ") ===\n";
+  const core::Design design = core::Design::generate(spec);
+  const core::DesignStats st = design.stats();
+  std::cout << "cells " << st.cells << " (" << st.flip_flops << " FF), nets "
+            << st.nets << ", transistors " << st.transistors << "\n"
+            << "wire " << std::fixed << std::setprecision(2)
+            << st.total_wire_length * 1e3 << " mm, coupling pairs "
+            << st.coupling_pairs << ", Cc total " << st.total_coupling_cap * 1e12
+            << " pF, Cg total " << st.total_wire_cap * 1e12 << " pF\n\n";
+
+  std::vector<sta::TableRow> rows;
+  sta::StaResult worst_result;
+  sta::StaResult iter_result;
+  for (const sta::AnalysisMode mode :
+       {sta::AnalysisMode::kBestCase, sta::AnalysisMode::kStaticDoubled,
+        sta::AnalysisMode::kWorstCase, sta::AnalysisMode::kOneStep,
+        sta::AnalysisMode::kIterative}) {
+    sta::StaResult r = design.run(mode);
+    rows.push_back(sta::row_from_result(mode, r));
+    if (mode == sta::AnalysisMode::kWorstCase) worst_result = std::move(r);
+    else if (mode == sta::AnalysisMode::kIterative) iter_result = std::move(r);
+  }
+  std::cout << sta::format_mode_table("longest path of the synchronous circuit",
+                                      rows);
+
+  const double best = rows[0].delay_seconds;
+  const double worst = rows[2].delay_seconds;
+  const double iter = rows[4].delay_seconds;
+  std::cout << "\ncoupling impact (worst - best): " << std::setprecision(3)
+            << (worst - best) * 1e9 << " ns\n"
+            << "bound tightening (worst - iterative): "
+            << (worst - iter) * 1e9 << " ns\n";
+
+  if (options.run_validation) {
+    std::cout << "\nsimulation of the longest path (lumped extracted RC, "
+                 "iteratively aligned PWL aggressors):\n";
+    core::ValidationOptions vopt;
+    vopt.policy = core::AggressorPolicy::kAll;
+    vopt.aggressor_slew = 0.05e-9;  // near-instantaneous, like the model
+    const core::ValidationResult vw =
+        core::validate_critical_path(design, worst_result, vopt);
+    std::cout << "  worst-case path:  sim " << vw.sim_delay * 1e9
+              << " ns vs STA " << vw.sta_delay * 1e9 << " ns  ("
+              << vw.path_gates << " gates, " << vw.devices << " devices, "
+              << vw.aggressors << " aggressors)\n";
+
+    core::ValidationOptions vi = vopt;
+    vi.policy = core::AggressorPolicy::kFromTiming;
+    const core::ValidationResult vr =
+        core::validate_critical_path(design, iter_result, vi);
+    std::cout << "  iterative path:   sim " << vr.sim_delay * 1e9
+              << " ns vs STA " << vr.sta_delay * 1e9 << " ns  ("
+              << vr.aggressors << " active aggressors)\n";
+  }
+  std::cout << std::endl;
+  return iter;
+}
+
+}  // namespace xtalk::bench

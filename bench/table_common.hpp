@@ -1,0 +1,26 @@
+// Shared driver for the paper's Tables 1-3: run the five analysis modes on
+// one circuit, print the table in the paper's layout, and validate the
+// longest path against the transistor-level simulator with worst-case
+// aligned aggressors (paper §6).
+#pragma once
+
+#include "core/crosstalk_sta.hpp"
+#include "netlist/circuit_generator.hpp"
+
+namespace xtalk::bench {
+
+struct TableOptions {
+  /// Scale factor on the circuit size (1.0 = the paper's cell count). The
+  /// XTALK_BENCH_SCALE environment variable overrides it (useful for quick
+  /// smoke runs: XTALK_BENCH_SCALE=0.1).
+  double scale = 1.0;
+  bool run_validation = true;
+};
+
+/// Runs the full table experiment and prints it to stdout. Returns the
+/// iterative-mode longest path delay [s] (for cross-checks).
+double run_table_benchmark(const char* table_name,
+                           const netlist::GeneratorSpec& spec,
+                           const TableOptions& options = {});
+
+}  // namespace xtalk::bench

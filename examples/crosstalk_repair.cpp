@@ -1,0 +1,87 @@
+// Crosstalk avoidance loop (the theme of the paper's ref [1], "Analysis,
+// Reduction and Avoidance of Crosstalk on VLSI Chips"): analyze, rank the
+// endpoints by coupling-induced delay, isolate the worst victims' wiring
+// onto spaced tracks, re-extract and re-analyze.
+//
+// Usage: crosstalk_repair [num_cells] [victims_per_round] [rounds]
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <set>
+
+#include "core/crosstalk_sta.hpp"
+#include "sta/path.hpp"
+#include "sta/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace xtalk;
+  const std::size_t cells = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 2000;
+  const std::size_t per_round =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+  const int rounds = argc > 3 ? std::atoi(argv[3]) : 4;
+
+  core::Design design =
+      core::Design::generate(netlist::scaled_spec("repair", 99, cells, 16));
+  std::cout << "repairing a " << design.stats().cells << "-cell design, "
+            << design.stats().coupling_pairs << " coupling pairs\n\n";
+
+  // Step 1 — reduction: permute channel tracks so that aggressors move
+  // away from timing-critical wires (weighted by endpoint criticality).
+  {
+    const sta::StaResult seed = design.run(sta::AnalysisMode::kOneStep);
+    std::vector<double> weights(design.netlist().num_nets(), 1.0);
+    for (netlist::NetId n = 0; n < design.netlist().num_nets(); ++n) {
+      const auto& t = seed.timing[n];
+      const double arr = std::max(t.rise.valid ? t.rise.arrival : 0.0,
+                                  t.fall.valid ? t.fall.arrival : 0.0);
+      const double crit = std::min(arr / seed.longest_path_delay, 1.0);
+      weights[n] = 1.0 + 9.0 * crit * crit * crit * crit;
+    }
+    const layout::TrackOptimizerStats ts = design.optimize_tracks(weights);
+    std::cout << "track permutation: weighted coupling cost "
+              << std::fixed << std::setprecision(1)
+              << ts.cost_before * 1e6 << " -> " << ts.cost_after * 1e6
+              << " (x1e-6, " << ts.swaps << " swaps)\n\n";
+  }
+
+  // Step 2 — avoidance: isolate the ranked victims round by round.
+  std::cout << std::left << std::setw(8) << "round" << std::right
+            << std::setw(14) << "iterative[ns]" << std::setw(12)
+            << "best[ns]" << std::setw(16) << "xtalk cost[ns]" << std::setw(12)
+            << "isolated" << "\n";
+
+  std::set<netlist::NetId> isolated;
+  for (int round = 0; round <= rounds; ++round) {
+    const sta::StaResult best = design.run(sta::AnalysisMode::kBestCase);
+    const sta::StaResult iter = design.run(sta::AnalysisMode::kIterative);
+    std::cout << std::left << std::setw(8) << round << std::right << std::fixed
+              << std::setprecision(3) << std::setw(14)
+              << iter.longest_path_delay * 1e9 << std::setw(12)
+              << best.longest_path_delay * 1e9 << std::setw(16)
+              << (iter.longest_path_delay - best.longest_path_delay) * 1e9
+              << std::setw(12) << isolated.size() << "\n";
+    if (round == rounds) break;
+
+    // Victims: nets on the critical path whose events saw active coupling,
+    // plus the most impacted endpoints.
+    std::vector<netlist::NetId> victims;
+    for (const sta::PathStep& s : sta::extract_critical_path(iter)) {
+      if (s.coupled && !isolated.count(s.net)) victims.push_back(s.net);
+    }
+    for (const sta::CouplingImpact& ci : sta::coupling_impact(iter, best)) {
+      if (victims.size() >= per_round) break;
+      if (!isolated.count(ci.net) && ci.delta > 0.0) victims.push_back(ci.net);
+    }
+    if (victims.size() > per_round) victims.resize(per_round);
+    if (victims.empty()) {
+      std::cout << "nothing left to repair\n";
+      break;
+    }
+    design.isolate_nets(victims);
+    isolated.insert(victims.begin(), victims.end());
+  }
+  std::cout << "\nisolating the ranked victims removes their coupling and "
+               "shrinks the iterative bound toward the coupling-free best "
+               "case.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "core/transistor_netlist.hpp"
+
+#include <cassert>
+
+namespace xtalk::core {
+
+TransistorNetlistBuilder::TransistorNetlistBuilder(
+    sim::Circuit& circuit, const device::Technology& tech)
+    : circuit_(&circuit), tech_(&tech) {}
+
+sim::NodeId TransistorNetlistBuilder::vdd() {
+  if (vdd_ == 0) {
+    vdd_ = circuit_->add_node("vdd");
+    circuit_->add_vsource(vdd_, util::Pwl::constant(tech_->vdd));
+  }
+  return vdd_;
+}
+
+void TransistorNetlistBuilder::tie(sim::NodeId node, bool high) {
+  circuit_->add_vsource(node, util::Pwl::constant(high ? tech_->vdd : 0.0));
+}
+
+void TransistorNetlistBuilder::add_device(device::MosType type, double width,
+                                          sim::NodeId gate, sim::NodeId drain,
+                                          sim::NodeId source) {
+  circuit_->add_mosfet(type, width, gate, drain, source);
+  circuit_->add_capacitor(gate, circuit_->ground(), tech_->gate_cap(width));
+  circuit_->add_capacitor(drain, circuit_->ground(),
+                          tech_->junction_cap(width));
+  circuit_->add_capacitor(source, circuit_->ground(),
+                          tech_->junction_cap(width));
+  ++devices_added_;
+}
+
+void TransistorNetlistBuilder::expand_network(
+    const netlist::SpNode& node, sim::NodeId top, sim::NodeId bottom,
+    bool pullup, double width, const std::vector<sim::NodeId>& input_nodes,
+    const std::string& prefix) {
+  using Kind = netlist::SpNode::Kind;
+  // In the dual (pull-up) walk, series and parallel swap roles.
+  Kind kind = node.kind;
+  if (pullup && kind == Kind::kSeries) kind = Kind::kParallel;
+  else if (pullup && kind == Kind::kParallel) kind = Kind::kSeries;
+
+  switch (kind) {
+    case Kind::kDevice: {
+      const device::MosType type =
+          pullup ? device::MosType::kPmos : device::MosType::kNmos;
+      add_device(type, width, input_nodes[node.input], top, bottom);
+      return;
+    }
+    case Kind::kSeries: {
+      sim::NodeId upper = top;
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        const bool last = i + 1 == node.children.size();
+        const sim::NodeId lower =
+            last ? bottom
+                 : circuit_->add_node(prefix + "_m" +
+                                      std::to_string(node_counter_++));
+        expand_network(node.children[i], upper, lower, pullup, width,
+                       input_nodes, prefix);
+        upper = lower;
+      }
+      return;
+    }
+    case Kind::kParallel: {
+      for (const netlist::SpNode& c : node.children) {
+        expand_network(c, top, bottom, pullup, width, input_nodes, prefix);
+      }
+      return;
+    }
+  }
+}
+
+TransistorNetlistBuilder::Instance TransistorNetlistBuilder::expand_cell(
+    const netlist::Cell& cell, const std::string& prefix,
+    const std::vector<std::optional<sim::NodeId>>& pins) {
+  assert(pins.size() == cell.pins().size());
+  Instance inst;
+  inst.pin_nodes.resize(pins.size());
+  for (std::size_t p = 0; p < pins.size(); ++p) {
+    inst.pin_nodes[p] =
+        pins[p] ? *pins[p]
+                : circuit_->add_node(prefix + "_" + cell.pins()[p].name);
+  }
+  inst.output = inst.pin_nodes[cell.output_pin()];
+
+  // Stage output nodes: internal except the last (the output pin).
+  const auto& stages = cell.stages();
+  std::vector<sim::NodeId> stage_out(stages.size());
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    stage_out[s] = s + 1 == stages.size()
+                       ? inst.output
+                       : circuit_->add_node(prefix + "_s" + std::to_string(s));
+  }
+
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const netlist::Stage& stage = stages[s];
+    std::vector<sim::NodeId> input_nodes(stage.inputs.size());
+    for (std::size_t i = 0; i < stage.inputs.size(); ++i) {
+      const netlist::StageInput& in = stage.inputs[i];
+      input_nodes[i] = in.source == netlist::StageInput::Source::kCellPin
+                           ? inst.pin_nodes[in.index]
+                           : stage_out[in.index];
+    }
+    const std::string sp = prefix + "_s" + std::to_string(s);
+    expand_network(stage.pulldown, stage_out[s], circuit_->ground(),
+                   /*pullup=*/false, stage.wn, input_nodes, sp + "n");
+    expand_network(stage.pulldown, vdd(), stage_out[s],
+                   /*pullup=*/true, stage.wp, input_nodes, sp + "p");
+  }
+  return inst;
+}
+
+}  // namespace xtalk::core

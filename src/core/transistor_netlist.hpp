@@ -1,0 +1,61 @@
+// Expansion of library cells into full transistor-level simulation
+// circuits. Used by the longest-path validation (paper §6) and by the
+// delay-calculator accuracy experiments: the simulator sees every
+// transistor of every stage, with explicit gate and junction
+// capacitances — no equivalent-inverter collapsing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/cell_library.hpp"
+#include "sim/circuit.hpp"
+
+namespace xtalk::core {
+
+class TransistorNetlistBuilder {
+ public:
+  TransistorNetlistBuilder(sim::Circuit& circuit,
+                           const device::Technology& tech);
+
+  sim::Circuit& circuit() { return *circuit_; }
+  /// The VDD rail node (created with its source on first use).
+  sim::NodeId vdd();
+
+  /// Drive a node with a constant logic level.
+  void tie(sim::NodeId node, bool high);
+
+  struct Instance {
+    std::vector<sim::NodeId> pin_nodes;  ///< parallel to cell.pins()
+    sim::NodeId output;                  ///< convenience: the output pin node
+  };
+
+  /// Instantiate `cell` with the given pin connections. Unset pins get
+  /// fresh nodes named <prefix>_<pin>. Internal stage nodes are created as
+  /// needed; every device contributes its gate capacitance (gate node to
+  /// ground) and junction capacitances (drain/source to ground).
+  Instance expand_cell(const netlist::Cell& cell, const std::string& prefix,
+                       const std::vector<std::optional<sim::NodeId>>& pins);
+
+  std::size_t devices_added() const { return devices_added_; }
+
+ private:
+  /// Expand a series/parallel network between `top` and `bottom`.
+  /// `pullup` walks the dual (series<->parallel swapped) with PMOS devices.
+  void expand_network(const netlist::SpNode& node, sim::NodeId top,
+                      sim::NodeId bottom, bool pullup, double width,
+                      const std::vector<sim::NodeId>& input_nodes,
+                      const std::string& prefix);
+
+  void add_device(device::MosType type, double width, sim::NodeId gate,
+                  sim::NodeId drain, sim::NodeId source);
+
+  sim::Circuit* circuit_;
+  const device::Technology* tech_;
+  sim::NodeId vdd_ = 0;  ///< 0 = not created yet (ground is 0, never vdd)
+  std::size_t devices_added_ = 0;
+  std::size_t node_counter_ = 0;
+};
+
+}  // namespace xtalk::core

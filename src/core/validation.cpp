@@ -1,0 +1,352 @@
+#include "core/validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "delaycalc/stage.hpp"
+#include "extract/elmore.hpp"
+#include "sim/measure.hpp"
+#include "sim/spice_export.hpp"
+
+namespace xtalk::core {
+
+namespace {
+
+/// Sensitized static values for the side pins of a cell when `active_pin`
+/// switches (same rule the delay calculator uses). -1 = the active pin.
+/// For non-unate cells the side values depend on which stage path realizes
+/// the transition, so the path is selected by inversion parity: odd when
+/// the output moves opposite to the input.
+std::vector<int> side_pin_values(const netlist::Cell& cell,
+                                 std::size_t active_pin, bool odd_parity) {
+  std::vector<int> values(cell.pins().size(), 0);
+  values[active_pin] = -1;
+  const auto paths = delaycalc::enumerate_paths(cell, active_pin);
+  if (paths.empty()) return values;
+  const delaycalc::StagePath* chosen = &paths.front();
+  for (const delaycalc::StagePath& p : paths) {
+    if ((p.inversions() % 2 == 1) == odd_parity) {
+      chosen = &p;
+      break;
+    }
+  }
+  for (const auto& hop : chosen->hops) {
+    const netlist::Stage& stage = cell.stages()[hop.stage];
+    const auto states = delaycalc::sensitize(stage, hop.input);
+    for (std::size_t i = 0; i < stage.inputs.size(); ++i) {
+      const netlist::StageInput& in = stage.inputs[i];
+      if (in.source != netlist::StageInput::Source::kCellPin) continue;
+      if (in.index == active_pin) continue;
+      if (states[i] == delaycalc::InputState::kSwitching) continue;
+      values[in.index] = states[i] == delaycalc::InputState::kHigh ? 1 : 0;
+    }
+  }
+  return values;
+}
+
+/// Full-swing ramp whose model-threshold crossing lands at `t_ref`.
+util::Pwl stimulus_ramp(const device::Technology& tech, double t_ref,
+                        double slew, bool rising) {
+  const double rate = tech.vdd / slew;
+  const double t_start = t_ref - tech.model_vth / rate;
+  return rising ? util::Pwl::ramp(t_start, 0.0, t_start + slew, tech.vdd)
+                : util::Pwl::ramp(t_start, tech.vdd, t_start + slew, 0.0);
+}
+
+struct Aggressor {
+  std::size_t path_index;  ///< which path net it attacks
+  double cap;
+  double start;  ///< ramp start time (sim time)
+};
+
+struct BuiltCircuit {
+  sim::Circuit circuit;
+  std::vector<sim::NodeId> victim_node;  ///< per path step, 0 for source
+  sim::NodeId measure_node = 0;
+  std::size_t devices = 0;
+};
+
+}  // namespace
+
+GateFixture build_gate_fixture(const device::Technology& tech,
+                               const GateFixtureSpec& spec) {
+  GateFixture fx;
+  TransistorNetlistBuilder b(fx.circuit, tech);
+  const netlist::Cell& cell = *spec.cell;
+
+  fx.t_ref = spec.time_offset;
+  fx.input = fx.circuit.add_node("in");
+  fx.circuit.add_vsource(
+      fx.input, stimulus_ramp(tech, fx.t_ref, spec.input_slew,
+                              spec.input_rising));
+
+  std::vector<std::optional<sim::NodeId>> pins(cell.pins().size());
+  pins[spec.input_pin] = fx.input;
+  auto inst = b.expand_cell(cell, "dut", pins);
+  fx.output = inst.output;
+
+  const std::vector<int> values =
+      side_pin_values(cell, spec.input_pin, /*odd_parity=*/true);
+  for (std::size_t p = 0; p < cell.pins().size(); ++p) {
+    if (p == spec.input_pin || p == cell.output_pin()) continue;
+    b.tie(inst.pin_nodes[p], values[p] == 1);
+  }
+
+  fx.circuit.add_capacitor(fx.output, fx.circuit.ground(), spec.load_cap);
+  if (spec.coupling_cap > 0.0) {
+    fx.aggressor = fx.circuit.add_node("aggressor");
+    // The victim direction is the cell-output direction; the aggressor
+    // switches opposite. For the simple (single-path, inverting) cells
+    // used in fixtures the output direction is !input_rising.
+    const bool victim_rising = !spec.input_rising;
+    fx.circuit.add_vsource(
+        fx.aggressor,
+        victim_rising
+            ? util::Pwl::ramp(spec.aggressor_start, tech.vdd,
+                              spec.aggressor_start + spec.aggressor_slew, 0.0)
+            : util::Pwl::ramp(spec.aggressor_start, 0.0,
+                              spec.aggressor_start + spec.aggressor_slew,
+                              tech.vdd));
+    fx.circuit.add_capacitor(fx.output, fx.aggressor, spec.coupling_cap);
+  }
+  return fx;
+}
+
+namespace {
+
+BuiltCircuit build_path_circuit(const Design& design,
+                                const std::vector<sta::PathStep>& path,
+                                const std::vector<Aggressor>& aggressors,
+                                const ValidationOptions& opt) {
+  const netlist::Netlist& nl = design.netlist();
+  const extract::Parasitics& para = design.parasitics();
+  const device::Technology& tech = design.tech();
+
+  BuiltCircuit built;
+  sim::Circuit& ckt = built.circuit;
+  TransistorNetlistBuilder b(ckt, tech);
+  built.victim_node.assign(path.size(), 0);
+
+  // Source: the primary input driving the path.
+  std::vector<sim::NodeId> driver_node(path.size());
+  driver_node[0] = ckt.add_node(nl.net(path[0].net).name);
+  ckt.add_vsource(driver_node[0],
+                  stimulus_ramp(tech, opt.time_offset, opt.input_slew,
+                                path[0].rising));
+
+  // Which aggressor attacks which path net (by index).
+  std::vector<std::vector<const Aggressor*>> per_step(path.size());
+  for (const Aggressor& a : aggressors) per_step[a.path_index].push_back(&a);
+
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const netlist::GateId gid = path[i].driver;
+    const netlist::Gate& gate = nl.gate(gid);
+    const netlist::Cell& cell = *gate.cell;
+    const netlist::NetId prev_net = path[i - 1].net;
+
+    // The timed pin of this gate fed by the previous path net.
+    std::uint32_t active_pin = 0;
+    bool found = false;
+    for (std::uint32_t p = 0; p < gate.pin_nets.size(); ++p) {
+      if (gate.pin_nets[p] == prev_net && netlist::is_timed_input(cell, p)) {
+        active_pin = p;
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw std::runtime_error("path step has no timed connection");
+
+    // Wire RC of the previous net's connection to this gate (pi model).
+    sim::NodeId sink_node = driver_node[i - 1];
+    const extract::NetParasitics& pp = para.net(prev_net);
+    double conn_cap = 0.0;
+    for (const extract::SinkWire& w : pp.sink_wires) {
+      if (w.sink == netlist::PinRef{gid, active_pin}) {
+        conn_cap = w.capacitance;
+        if (w.resistance > 0.0) {
+          sink_node = ckt.add_node(nl.net(prev_net).name + "_snk");
+          ckt.add_resistor(driver_node[i - 1], sink_node, w.resistance);
+          ckt.add_capacitor(driver_node[i - 1], ckt.ground(),
+                            w.capacitance / 2.0);
+          ckt.add_capacitor(sink_node, ckt.ground(), w.capacitance / 2.0);
+        }
+        break;
+      }
+    }
+    // Remaining load of the previous net: the rest of its wire cap plus the
+    // input caps of the sinks we do not instantiate.
+    const double active_sink_cap = cell.pins()[active_pin].cap;
+    const double extra =
+        std::max(0.0, pp.wire_cap - conn_cap) +
+        std::max(0.0, nl.net_pin_cap(prev_net) - active_sink_cap);
+    ckt.add_capacitor(driver_node[i - 1], ckt.ground(), extra);
+
+    // Instantiate the gate at transistor level.
+    std::vector<std::optional<sim::NodeId>> pins(cell.pins().size());
+    pins[active_pin] = sink_node;
+    auto inst = b.expand_cell(cell, "p" + std::to_string(i), pins);
+    const bool odd_parity = path[i - 1].rising != path[i].rising;
+    const std::vector<int> values =
+        side_pin_values(cell, active_pin, odd_parity);
+    for (std::size_t p = 0; p < cell.pins().size(); ++p) {
+      if (p == active_pin || p == cell.output_pin()) continue;
+      b.tie(inst.pin_nodes[p], values[p] == 1);
+    }
+    driver_node[i] = inst.output;
+    built.victim_node[i] = inst.output;
+
+    // Coupling capacitances on this net: active ones get an aggressor
+    // source, the rest are grounded with unchanged value.
+    double passive_cc = 0.0;
+    for (const extract::NeighborCap& nb : para.net(path[i].net).couplings) {
+      passive_cc += nb.cap;  // corrected below for active ones
+    }
+    for (const Aggressor* a : per_step[i]) {
+      passive_cc -= a->cap;
+      const sim::NodeId ag =
+          ckt.add_node("ag" + std::to_string(i) + "_" +
+                       std::to_string(per_step[i].size()));
+      const bool victim_rising = path[i].rising;
+      ckt.add_vsource(
+          ag, victim_rising
+                  ? util::Pwl::ramp(a->start, tech.vdd,
+                                    a->start + opt.aggressor_slew, 0.0)
+                  : util::Pwl::ramp(a->start, 0.0,
+                                    a->start + opt.aggressor_slew, tech.vdd));
+      ckt.add_capacitor(inst.output, ag, a->cap);
+    }
+    if (passive_cc > 0.0) {
+      ckt.add_capacitor(inst.output, ckt.ground(), passive_cc);
+    }
+  }
+
+  // Endpoint: model the worst (max-Elmore) sequential sink like the STA
+  // endpoint arrival does; fall back to the driver node for primary
+  // outputs.
+  const netlist::NetId ep_net = path.back().net;
+  built.measure_node = driver_node.back();
+  const extract::NetParasitics& epp = para.net(ep_net);
+  const extract::SinkWire* worst_sink = nullptr;
+  double worst_elmore = 0.0;
+  for (const extract::SinkWire& w : epp.sink_wires) {
+    const netlist::Cell& c = *nl.gate(w.sink.gate).cell;
+    if (!c.is_sequential() ||
+        c.pins()[w.sink.pin].dir != netlist::PinDir::kInput) {
+      continue;
+    }
+    const double el =
+        extract::elmore_sink_delay(w, c.pins()[w.sink.pin].cap);
+    if (el >= worst_elmore) {
+      worst_elmore = el;
+      worst_sink = &w;
+    }
+  }
+  double ep_conn_cap = 0.0;
+  if (worst_sink != nullptr && worst_sink->resistance > 0.0) {
+    const sim::NodeId d = ckt.add_node("endpoint_d");
+    ckt.add_resistor(driver_node.back(), d, worst_sink->resistance);
+    ckt.add_capacitor(driver_node.back(), ckt.ground(),
+                      worst_sink->capacitance / 2.0);
+    ckt.add_capacitor(d, ckt.ground(), worst_sink->capacitance / 2.0);
+    const netlist::Cell& c = *nl.gate(worst_sink->sink.gate).cell;
+    ckt.add_capacitor(d, ckt.ground(), c.pins()[worst_sink->sink.pin].cap);
+    built.measure_node = d;
+    ep_conn_cap = worst_sink->capacitance;
+  }
+  // Remaining endpoint net load.
+  const double ep_sink_cap =
+      worst_sink != nullptr
+          ? nl.gate(worst_sink->sink.gate)
+                .cell->pins()[worst_sink->sink.pin]
+                .cap
+          : 0.0;
+  const double ep_extra =
+      std::max(0.0, epp.wire_cap - ep_conn_cap) +
+      std::max(0.0, nl.net_pin_cap(ep_net) - ep_sink_cap);
+  ckt.add_capacitor(driver_node.back(), ckt.ground(), ep_extra);
+
+  built.devices = b.devices_added();
+  return built;
+}
+
+}  // namespace
+
+ValidationResult validate_critical_path(const Design& design,
+                                        const sta::StaResult& result,
+                                        const ValidationOptions& opt) {
+  const std::vector<sta::PathStep> path = sta::extract_critical_path(result);
+  if (path.size() < 2 || path.front().driver != netlist::kNoGate) {
+    throw std::runtime_error("critical path does not start at a primary input");
+  }
+  const device::Technology& tech = design.tech();
+  const extract::Parasitics& para = design.parasitics();
+
+  // Select aggressors per path net.
+  std::vector<Aggressor> aggressors;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const netlist::NetId net = path[i].net;
+    const bool rising = path[i].rising;
+    const sta::NetEvent& ev = result.timing[net].event(rising);
+    for (const extract::NeighborCap& nb : para.net(net).couplings) {
+      bool active = false;
+      switch (opt.policy) {
+        case AggressorPolicy::kNone:
+          break;
+        case AggressorPolicy::kAll:
+          active = true;
+          break;
+        case AggressorPolicy::kFromTiming:
+          active = result.timing[nb.neighbor].quiet_time(!rising) >
+                   ev.start_time;
+          break;
+      }
+      if (!active) continue;
+      Aggressor a;
+      a.path_index = i;
+      a.cap = nb.cap;
+      a.start = ev.start_time + opt.time_offset - opt.aggressor_slew / 2.0;
+      aggressors.push_back(a);
+    }
+  }
+
+  const double sta_delay = result.critical.arrival;
+  sim::TransientOptions topt;
+  topt.dt = opt.dt;
+  topt.tstop = opt.time_offset + sta_delay * 1.5 + 3e-9;
+  topt.record_every = 2;
+
+  BuiltCircuit built;
+  sim::TransientResult tr(0);
+  for (int iter = 0; iter <= opt.align_iterations; ++iter) {
+    built = build_path_circuit(design, path, aggressors, opt);
+    tr = sim::simulate(built.circuit, design.tables(), topt);
+    if (iter == opt.align_iterations || aggressors.empty()) break;
+    // Re-aim every aggressor at the victim's measured threshold crossing.
+    for (Aggressor& a : aggressors) {
+      const util::Pwl w = tr.waveform(built.victim_node[a.path_index]);
+      const bool rising = path[a.path_index].rising;
+      const double vth = rising ? tech.model_vth : tech.vdd - tech.model_vth;
+      const double t_cross = sim::last_crossing(w, vth, rising);
+      if (std::isfinite(t_cross)) {
+        a.start = t_cross - opt.aggressor_slew / 2.0;
+      }
+    }
+  }
+
+  ValidationResult vr;
+  const bool ep_rising = path.back().rising;
+  const double t_out = sim::last_crossing(tr.waveform(built.measure_node),
+                                          tech.vdd / 2.0, ep_rising);
+  vr.sim_delay = t_out - opt.time_offset;
+  vr.sta_delay = sta_delay;
+  vr.path_gates = path.size() - 1;
+  vr.devices = built.devices;
+  vr.aggressors = aggressors.size();
+  vr.sim_nodes = built.circuit.num_nodes();
+  vr.spice_deck = sim::export_spice(built.circuit, tech, topt,
+                                    "xtalk-sta critical path validation");
+  return vr;
+}
+
+}  // namespace xtalk::core

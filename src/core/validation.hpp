@@ -1,0 +1,79 @@
+// Longest-path validation against the transistor-level transient simulator
+// (paper §6): the critical path reported by the STA is rebuilt as a full
+// transistor netlist with its extracted lumped wire RC and coupling caps;
+// active aggressors are piecewise-linear sources whose switching instants
+// are iteratively adjusted to hit the victim around its threshold crossing
+// ("for the [simulation] runs piecewise linear sources had to be
+// iteratively adjusted to obtain worst-case path delays at every coupling
+// capacitance"); the measured path delay is compared with the STA bound.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/crosstalk_sta.hpp"
+#include "core/transistor_netlist.hpp"
+#include "sim/transient.hpp"
+#include "sta/path.hpp"
+
+namespace xtalk::core {
+
+/// Which coupling caps on the path become switching aggressors.
+enum class AggressorPolicy {
+  kNone,        ///< all coupling caps passive grounded (best-case check)
+  kAll,         ///< every coupling cap gets a worst-aligned aggressor
+  kFromTiming,  ///< only neighbours the STA run says can switch opposite
+                ///< during the victim transition (one-step rule)
+};
+
+struct ValidationOptions {
+  AggressorPolicy policy = AggressorPolicy::kFromTiming;
+  double aggressor_slew = 0.1e-9;  ///< aggressor ramp 0->VDD [s]
+  double input_slew = 0.2e-9;      ///< must match the STA stimulus
+  int align_iterations = 3;
+  double time_offset = 0.5e-9;     ///< sim-time shift of the STA t=0
+  double dt = 2e-12;               ///< transient step [s]
+};
+
+struct ValidationResult {
+  double sim_delay = 0.0;  ///< measured launch-to-endpoint delay [s]
+  double sta_delay = 0.0;  ///< the STA arrival for the same endpoint [s]
+  std::size_t path_gates = 0;
+  std::size_t devices = 0;
+  std::size_t aggressors = 0;
+  std::size_t sim_nodes = 0;
+  std::string spice_deck;  ///< ngspice export of the final aligned circuit
+};
+
+/// Rebuild and simulate the critical path of `result`.
+ValidationResult validate_critical_path(const Design& design,
+                                        const sta::StaResult& result,
+                                        const ValidationOptions& options = {});
+
+/// Single-gate fixture for delay-calculator accuracy experiments: one cell
+/// driven by a ramp on `input_pin` into a grounded load, optionally with an
+/// active coupling cap to an aggressor source.
+struct GateFixture {
+  sim::Circuit circuit;
+  sim::NodeId input = 0;
+  sim::NodeId output = 0;
+  sim::NodeId aggressor = 0;  ///< 0 if none
+  double t_ref = 0.0;  ///< input model-threshold crossing time in sim time
+};
+
+struct GateFixtureSpec {
+  const netlist::Cell* cell = nullptr;
+  std::size_t input_pin = 0;
+  bool input_rising = true;
+  double input_slew = 0.2e-9;
+  double load_cap = 20e-15;       ///< grounded load [F]
+  double coupling_cap = 0.0;      ///< to the aggressor source [F]
+  double aggressor_start = 0.0;   ///< aggressor ramp start (sim time) [s]
+  double aggressor_slew = 0.1e-9;
+  double time_offset = 0.5e-9;
+};
+
+GateFixture build_gate_fixture(const device::Technology& tech,
+                               const GateFixtureSpec& spec);
+
+}  // namespace xtalk::core

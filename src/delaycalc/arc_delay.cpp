@@ -1,0 +1,62 @@
+#include "delaycalc/arc_delay.hpp"
+
+namespace xtalk::delaycalc {
+
+std::vector<ArcResult> ArcDelayCalculator::compute(
+    const netlist::Cell& cell, std::size_t input_pin, bool input_rising,
+    const util::Pwl& input_waveform, const OutputLoad& load,
+    const IntegrationOptions& options) const {
+  const device::Technology& tech = tables_->tech();
+  std::vector<ArcResult> results;
+
+  for (const StagePath& path : enumerate_paths(cell, input_pin)) {
+    util::Pwl wave = input_waveform;
+    bool dir = input_rising;
+    WaveformResult wr;
+    for (std::size_t hop_idx = 0; hop_idx < path.hops.size(); ++hop_idx) {
+      const StagePath::Hop& hop = path.hops[hop_idx];
+      const netlist::Stage& stage = cell.stages()[hop.stage];
+      const bool last = hop_idx + 1 == path.hops.size();
+
+      const std::vector<InputState> states = sensitize(stage, hop.input);
+      const CollapsedStage col = collapse_dc(stage, states, *tables_);
+
+      StageDrive drive;
+      drive.wn_eq = col.wn_eq;
+      drive.wp_eq = col.wp_eq;
+      drive.vin = &wave;
+      drive.output_rising = !dir;  // complementary stages invert
+
+      OutputLoad stage_load;
+      if (last) {
+        stage_load = load;
+        // The driver's own drain junctions load the output too.
+        stage_load.c_passive += cell.output_parasitic_cap();
+      } else {
+        stage_load.c_passive = stage_output_cap(cell, hop.stage, tech);
+        stage_load.c_active = 0.0;
+      }
+      // Internal stack nodes between the switching device and the output
+      // swing with it — in the driving network (charged behind the
+      // switching device) and in the opposing network (still connected to
+      // the output through its ON side devices). The scalar collapse
+      // cannot see them, so lump their junction cap onto the output.
+      stage_load.c_passive +=
+          swinging_internal_cap(stage, hop.input, drive.output_rising, tech) +
+          swinging_internal_cap(stage, hop.input, !drive.output_rising, tech);
+
+      wr = solve_stage_waveform(*tables_, drive, stage_load, options);
+      wave = wr.waveform;
+      dir = !dir;
+    }
+    ArcResult r;
+    r.output_rising = dir;
+    r.waveform = std::move(wave);
+    r.settle_time = wr.settle_time;
+    r.coupled = wr.coupled;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace xtalk::delaycalc

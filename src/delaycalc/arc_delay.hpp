@@ -1,0 +1,46 @@
+// Cell timing-arc evaluation: input-pin waveform in, output waveform out.
+//
+// Chains the cell's stages along every pin-to-output stage path (one for
+// simple cells, several for XOR-class cells), collapsing and integrating
+// each stage. Internal stage outputs carry their topological node
+// capacitance and never couple; the paper's coupling model applies to the
+// final output stage, whose load is supplied by the caller.
+#pragma once
+
+#include <vector>
+
+#include "delaycalc/stage.hpp"
+#include "delaycalc/waveform_calc.hpp"
+#include "netlist/cell_library.hpp"
+
+namespace xtalk::delaycalc {
+
+struct ArcResult {
+  bool output_rising = true;
+  util::Pwl waveform;        ///< at the cell output, absolute time
+  double settle_time = 0.0;  ///< when the output stopped moving
+  bool coupled = false;      ///< the active coupling event fired
+};
+
+class ArcDelayCalculator {
+ public:
+  explicit ArcDelayCalculator(const device::DeviceTableSet& tables)
+      : tables_(&tables) {}
+
+  const device::DeviceTableSet& tables() const { return *tables_; }
+
+  /// Evaluate the arc from `input_pin` (switching with `input_rising` and
+  /// waveform `input_waveform`) to the cell output, driving `load`.
+  /// Returns one result per stage path (mixed output directions possible
+  /// for non-unate cells).
+  std::vector<ArcResult> compute(const netlist::Cell& cell,
+                                 std::size_t input_pin, bool input_rising,
+                                 const util::Pwl& input_waveform,
+                                 const OutputLoad& load,
+                                 const IntegrationOptions& options = {}) const;
+
+ private:
+  const device::DeviceTableSet* tables_;
+};
+
+}  // namespace xtalk::delaycalc

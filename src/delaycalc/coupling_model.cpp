@@ -1,0 +1,34 @@
+#include "delaycalc/coupling_model.hpp"
+
+#include <algorithm>
+
+namespace xtalk::delaycalc {
+
+double divider_step(double vdd, double c_active, double c_other) {
+  if (c_active <= 0.0) return 0.0;
+  return vdd * c_active / (c_active + c_other);
+}
+
+CouplingEvent make_coupling_event(double vdd, double model_vth,
+                                  double c_active, double c_other, bool rising,
+                                  double v_final) {
+  CouplingEvent ev;
+  ev.delta_v = divider_step(vdd, c_active, c_other);
+  if (ev.delta_v <= 0.0) return ev;
+  if (rising) {
+    ev.trigger_voltage = model_vth + ev.delta_v;
+    if (ev.trigger_voltage >= v_final) {
+      ev.trigger_voltage = v_final;
+      ev.clamped = true;
+    }
+  } else {
+    ev.trigger_voltage = (vdd - model_vth) - ev.delta_v;
+    if (ev.trigger_voltage <= v_final) {
+      ev.trigger_voltage = v_final;
+      ev.clamped = true;
+    }
+  }
+  return ev;
+}
+
+}  // namespace xtalk::delaycalc

@@ -1,0 +1,41 @@
+// The paper's worst-case coupling delay model (§2).
+//
+// Three phases for a rising victim transition:
+//   1. aggressor quiet: the coupling capacitance Ca is passive (grounded);
+//   2. when the victim voltage reaches
+//          V_trig = Vth + Ca*VDD / (Ca + C_other)
+//      the aggressor drops by VDD instantaneously; the capacitive divider
+//      pulls the victim down by dV = Ca*VDD/(Ca + C_other), i.e. exactly
+//      back to Vth;
+//   3. the coupling capacitance is passive again.
+// The propagated waveform is the post-drop waveform starting at Vth — the
+// pre-drop glitch is discarded, keeping waveforms monotone. Only aggressor
+// *activity* matters, never its waveform, which is what makes the model
+// usable in static timing analysis.
+//
+// Falling victims are the mirror image (aggressor rises, victim is pushed
+// back up to VDD - Vth).
+#pragma once
+
+namespace xtalk::delaycalc {
+
+/// Parameters of one coupled-output situation.
+struct CouplingEvent {
+  double trigger_voltage = 0.0;  ///< victim voltage that fires the drop
+  double delta_v = 0.0;          ///< divider step magnitude [V]
+  bool clamped = false;          ///< trigger beyond the victim's final value
+};
+
+/// Size of the capacitive-divider step for active coupling cap `c_active`
+/// against every other capacitance `c_other` on the victim.
+double divider_step(double vdd, double c_active, double c_other);
+
+/// Compute the coupling event for a victim transition. `rising` refers to
+/// the victim. `v_final` is the victim's settled voltage (vdd or 0 for a
+/// full swing); if the trigger lies beyond it the event is clamped to fire
+/// at the end of the transition (still an upper bound, see DESIGN.md §6).
+CouplingEvent make_coupling_event(double vdd, double model_vth,
+                                  double c_active, double c_other,
+                                  bool rising, double v_final);
+
+}  // namespace xtalk::delaycalc

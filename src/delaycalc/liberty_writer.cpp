@@ -1,0 +1,173 @@
+#include "delaycalc/liberty_writer.hpp"
+
+#include <sstream>
+
+namespace xtalk::delaycalc {
+
+namespace {
+
+std::string function_string(const netlist::Cell& cell) {
+  using netlist::CellFunc;
+  const auto& pins = cell.pins();
+  auto input_names = [&]() {
+    std::vector<std::string> names;
+    for (const netlist::PinInfo& p : pins) {
+      if (p.dir == netlist::PinDir::kInput) names.push_back(p.name);
+    }
+    return names;
+  };
+  auto join = [](const std::vector<std::string>& v, const char* sep) {
+    std::string out;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      out += (i ? sep : "") + v[i];
+    }
+    return out;
+  };
+  const auto ins = input_names();
+  switch (cell.func()) {
+    case CellFunc::kInv: return "!" + ins[0];
+    case CellFunc::kBuf: return ins[0];
+    case CellFunc::kNand: return "!(" + join(ins, "*") + ")";
+    case CellFunc::kAnd: return "(" + join(ins, "*") + ")";
+    case CellFunc::kNor: return "!(" + join(ins, "+") + ")";
+    case CellFunc::kOr: return "(" + join(ins, "+") + ")";
+    case CellFunc::kXor: return "(" + ins[0] + "^" + ins[1] + ")";
+    case CellFunc::kXnor: return "!(" + ins[0] + "^" + ins[1] + ")";
+    case CellFunc::kAoi21: return "!((A*B)+C)";
+    case CellFunc::kOai21: return "!((A+B)*C)";
+    case CellFunc::kDff: return "IQ";
+  }
+  return "";
+}
+
+/// Grid coordinates of the characterization (index_1 = slew in ns,
+/// index_2 = load in fF).
+struct Grid {
+  std::vector<double> slews_ns;
+  std::vector<double> loads_ff;
+};
+
+Grid make_grid(const NldmOptions& opt) {
+  Grid g;
+  for (std::size_t i = 0; i < opt.slew_points; ++i) {
+    g.slews_ns.push_back((opt.slew_min +
+                          (opt.slew_max - opt.slew_min) *
+                              static_cast<double>(i) /
+                              static_cast<double>(opt.slew_points - 1)) *
+                         1e9);
+  }
+  for (std::size_t i = 0; i < opt.load_points; ++i) {
+    g.loads_ff.push_back((opt.load_min +
+                          (opt.load_max - opt.load_min) *
+                              static_cast<double>(i) /
+                              static_cast<double>(opt.load_points - 1)) *
+                         1e15);
+  }
+  return g;
+}
+
+void emit_index(std::ostringstream& os, const char* name,
+                const std::vector<double>& values, const char* indent) {
+  os << indent << name << " (\"";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    os << (i ? ", " : "") << values[i];
+  }
+  os << "\");\n";
+}
+
+void emit_table(std::ostringstream& os, const char* group,
+                const util::Table2D& table, const Grid& grid,
+                double value_scale) {
+  os << "        " << group << " (delay_template) {\n";
+  emit_index(os, "index_1", grid.slews_ns, "          ");
+  emit_index(os, "index_2", grid.loads_ff, "          ");
+  os << "          values (";
+  for (std::size_t si = 0; si < grid.slews_ns.size(); ++si) {
+    os << (si ? ", \\\n                  " : "") << "\"";
+    for (std::size_t li = 0; li < grid.loads_ff.size(); ++li) {
+      const double v = table.lookup(grid.slews_ns[si] * 1e-9,
+                                    grid.loads_ff[li] * 1e-15) *
+                       value_scale;
+      os << (li ? ", " : "") << v;
+    }
+    os << "\"";
+  }
+  os << ");\n        }\n";
+}
+
+}  // namespace
+
+std::string write_liberty(const NldmLibrary& nldm,
+                          const netlist::CellLibrary& cells,
+                          const std::string& library_name) {
+  const Grid grid = make_grid(nldm.options());
+  std::ostringstream os;
+  os.precision(6);
+  os << "library (" << library_name << ") {\n";
+  os << "  delay_model : table_lookup;\n";
+  os << "  time_unit : \"1ns\";\n";
+  os << "  voltage_unit : \"1V\";\n";
+  os << "  current_unit : \"1mA\";\n";
+  os << "  capacitive_load_unit (1, ff);\n";
+  os << "  nom_voltage : " << cells.tech().vdd << ";\n";
+  os << "  lu_table_template (delay_template) {\n";
+  os << "    variable_1 : input_net_transition;\n";
+  os << "    variable_2 : total_output_net_capacitance;\n";
+  emit_index(os, "index_1", grid.slews_ns, "    ");
+  emit_index(os, "index_2", grid.loads_ff, "    ");
+  os << "  }\n\n";
+
+  for (const netlist::Cell* cell : cells.all_cells()) {
+    os << "  cell (" << cell->name() << ") {\n";
+    if (cell->is_sequential()) {
+      os << "    ff (IQ, IQN) {\n";
+      os << "      clocked_on : \"CK\";\n";
+      os << "      next_state : \"D\";\n";
+      os << "    }\n";
+    }
+    for (std::size_t p = 0; p < cell->pins().size(); ++p) {
+      const netlist::PinInfo& pin = cell->pins()[p];
+      os << "    pin (" << pin.name << ") {\n";
+      if (p == cell->output_pin()) {
+        os << "      direction : output;\n";
+        os << "      function : \"" << function_string(*cell) << "\";\n";
+        // Timing arcs grouped by related pin and transition.
+        for (const NldmArc* arc : nldm.cell_arcs(*cell)) {
+          const netlist::PinInfo& rel = cell->pins()[arc->input_pin];
+          const bool unate_neg = arc->output_rising != arc->input_rising;
+          os << "      timing () {\n";
+          os << "        related_pin : \"" << rel.name << "\";\n";
+          os << "        timing_sense : "
+             << (cell->func() == netlist::CellFunc::kXor ||
+                         cell->func() == netlist::CellFunc::kXnor
+                     ? "non_unate"
+                     : (unate_neg ? "negative_unate" : "positive_unate"))
+             << ";\n";
+          if (cell->is_sequential()) {
+            os << "        timing_type : rising_edge;\n";
+          }
+          emit_table(os,
+                     arc->output_rising ? "cell_rise" : "cell_fall",
+                     arc->delay, grid, 1e9);
+          emit_table(os,
+                     arc->output_rising ? "rise_transition"
+                                        : "fall_transition",
+                     arc->output_slew, grid, 1e9);
+          os << "      }\n";
+        }
+      } else {
+        os << "      direction : input;\n";
+        os << "      capacitance : " << pin.cap * 1e15 << ";\n";
+        if (pin.dir == netlist::PinDir::kClock) {
+          os << "      clock : true;\n";
+        }
+      }
+      os << "    }\n";
+    }
+    os << "  }\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace xtalk::delaycalc

@@ -1,0 +1,21 @@
+// Liberty (.lib) export of the characterized NLDM library, so the cell
+// library and its tables can be consumed by external synthesis / STA tools
+// (a characterization flow's standard artifact). Emits the common NLDM
+// subset: library header with units, one lu_table_template, per-cell pin
+// capacitances, logic functions, and cell_rise/cell_fall +
+// rise_transition/fall_transition tables per timing arc; DFFs get an ff
+// group and a CK->Q timing arc.
+#pragma once
+
+#include <string>
+
+#include "delaycalc/nldm.hpp"
+
+namespace xtalk::delaycalc {
+
+/// Serialize `nldm` (characterized from `cells`) as Liberty text.
+std::string write_liberty(const NldmLibrary& nldm,
+                          const netlist::CellLibrary& cells,
+                          const std::string& library_name = "xtalk_half_micron");
+
+}  // namespace xtalk::delaycalc

@@ -1,0 +1,200 @@
+#include "delaycalc/nldm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xtalk::delaycalc {
+
+namespace {
+
+/// Characterization stimulus: full-swing ramp of duration `slew`, clipped
+/// to start at the model threshold at t = 0 (the library's waveform
+/// convention).
+util::Pwl stimulus(const device::Technology& tech, double slew, bool rising) {
+  const double rate = tech.vdd / slew;
+  if (rising) {
+    return util::Pwl::ramp(0.0, tech.model_vth,
+                           (tech.vdd - tech.model_vth) / rate, tech.vdd);
+  }
+  return util::Pwl::ramp(0.0, tech.vdd - tech.model_vth,
+                         (tech.vdd - tech.model_vth) / rate, 0.0);
+}
+
+/// Threshold-to-threshold transition time of a clipped monotone waveform.
+/// Clipped waveforms start exactly at the first threshold, where
+/// time_at_value reports -inf ("already there"); clamp both crossings to
+/// the sampled range.
+double threshold_slew(const util::Pwl& w, const device::Technology& tech,
+                      bool rising) {
+  const double first = rising ? tech.model_vth : tech.vdd - tech.model_vth;
+  const double second = rising ? tech.vdd - tech.model_vth : tech.model_vth;
+  double t_first = w.time_at_value(first, rising);
+  if (!std::isfinite(t_first)) t_first = w.front().t;
+  double t_second = w.time_at_value(second, rising);
+  if (!std::isfinite(t_second)) t_second = w.back().t;
+  return std::max(t_second - t_first, 0.0);
+}
+
+}  // namespace
+
+NldmLibrary NldmLibrary::characterize(const netlist::CellLibrary& cells,
+                                      const device::DeviceTableSet& tables,
+                                      const NldmOptions& opt) {
+  const device::Technology& tech = tables.tech();
+  ArcDelayCalculator golden(tables);
+  NldmLibrary lib;
+  lib.options_ = opt;
+
+  for (const netlist::Cell* cell : cells.all_cells()) {
+    for (std::size_t pin = 0; pin < cell->pins().size(); ++pin) {
+      if (pin == cell->output_pin()) continue;
+      if (enumerate_paths(*cell, pin).empty()) continue;
+      for (const bool in_rising : {true, false}) {
+        // Discover the reachable output directions with one probe run.
+        const util::Pwl probe = stimulus(tech, 0.1e-9, in_rising);
+        const auto probe_results =
+            golden.compute(*cell, pin, in_rising, probe, {20e-15, 0.0});
+        std::vector<bool> dirs;
+        for (const ArcResult& r : probe_results) {
+          if (std::find(dirs.begin(), dirs.end(), r.output_rising) ==
+              dirs.end()) {
+            dirs.push_back(r.output_rising);
+          }
+        }
+        for (const bool out_rising : dirs) {
+          auto arc = std::make_unique<NldmArc>();
+          arc->input_pin = pin;
+          arc->input_rising = in_rising;
+          arc->output_rising = out_rising;
+          // One golden run per grid point; the two tables sample the same
+          // runs, so memoize them.
+          struct Point {
+            double delay, slew;
+          };
+          std::vector<Point> grid(opt.slew_points * opt.load_points);
+          for (std::size_t si = 0; si < opt.slew_points; ++si) {
+            const double s =
+                opt.slew_min + (opt.slew_max - opt.slew_min) *
+                                   static_cast<double>(si) /
+                                   static_cast<double>(opt.slew_points - 1);
+            const util::Pwl in = stimulus(tech, s, in_rising);
+            const double in50 = in.time_at_value(tech.vdd / 2.0, in_rising);
+            for (std::size_t li = 0; li < opt.load_points; ++li) {
+              const double l =
+                  opt.load_min + (opt.load_max - opt.load_min) *
+                                     static_cast<double>(li) /
+                                     static_cast<double>(opt.load_points - 1);
+              double worst_delay = 0.0;
+              double worst_slew = 0.0;
+              for (const ArcResult& r :
+                   golden.compute(*cell, pin, in_rising, in, {l, 0.0})) {
+                if (r.output_rising != out_rising) continue;
+                const double d =
+                    r.waveform.time_at_value(tech.vdd / 2.0, out_rising) -
+                    in50;
+                if (d > worst_delay) {
+                  worst_delay = d;
+                  worst_slew = threshold_slew(r.waveform, tech, out_rising);
+                }
+              }
+              grid[si * opt.load_points + li] = {worst_delay, worst_slew};
+            }
+          }
+          auto sample = [&](bool want_delay) {
+            return [&grid, &opt, want_delay](double s, double l) {
+              // Exact grid reconstruction: the Table2D constructor calls us
+              // back at exactly the uniform sample coordinates.
+              const double fs = (s - opt.slew_min) /
+                                (opt.slew_max - opt.slew_min) *
+                                static_cast<double>(opt.slew_points - 1);
+              const double fl = (l - opt.load_min) /
+                                (opt.load_max - opt.load_min) *
+                                static_cast<double>(opt.load_points - 1);
+              const auto si = static_cast<std::size_t>(std::lround(fs));
+              const auto li = static_cast<std::size_t>(std::lround(fl));
+              const Point& p = grid[si * opt.load_points + li];
+              return want_delay ? p.delay : p.slew;
+            };
+          };
+          arc->delay =
+              util::Table2D(opt.slew_min, opt.slew_max, opt.slew_points,
+                            opt.load_min, opt.load_max, opt.load_points,
+                            sample(true));
+          arc->output_slew =
+              util::Table2D(opt.slew_min, opt.slew_max, opt.slew_points,
+                            opt.load_min, opt.load_max, opt.load_points,
+                            sample(false));
+          lib.index_[{cell, pin, in_rising}].push_back(arc.get());
+          lib.by_cell_[cell].push_back(arc.get());
+          lib.storage_.push_back(std::move(arc));
+        }
+      }
+    }
+  }
+  return lib;
+}
+
+const std::vector<const NldmArc*>& NldmLibrary::arcs(
+    const netlist::Cell& cell, std::size_t pin, bool input_rising) const {
+  const auto it = index_.find({&cell, pin, input_rising});
+  return it == index_.end() ? empty_ : it->second;
+}
+
+std::vector<const NldmArc*> NldmLibrary::cell_arcs(
+    const netlist::Cell& cell) const {
+  const auto it = by_cell_.find(&cell);
+  return it == by_cell_.end() ? std::vector<const NldmArc*>{} : it->second;
+}
+
+const NldmLibrary& NldmLibrary::half_micron() {
+  static const NldmLibrary lib =
+      characterize(netlist::CellLibrary::half_micron(),
+                   device::DeviceTableSet::half_micron());
+  return lib;
+}
+
+std::vector<ArcResult> NldmDelayCalculator::compute(
+    const netlist::Cell& cell, std::size_t input_pin, bool input_rising,
+    const util::Pwl& input_waveform, const OutputLoad& load) const {
+  const device::Technology& tech = *tech_;
+  // Classical coupling treatment: active caps are grounded doubled.
+  const double load_cap = load.c_passive + 2.0 * load.c_active;
+
+  // Equivalent full-swing slew of the input waveform.
+  const double thr_slew = threshold_slew(input_waveform, tech, input_rising);
+  const double full_slew =
+      thr_slew * tech.vdd / std::max(tech.vdd - 2.0 * tech.model_vth, 1e-3);
+  const double in50 =
+      input_waveform.time_at_value(tech.vdd / 2.0, input_rising);
+
+  std::vector<ArcResult> out;
+  for (const NldmArc* arc : library_->arcs(cell, input_pin, input_rising)) {
+    const double delay = arc->delay.lookup(full_slew, load_cap);
+    const double oslew = arc->output_slew.lookup(full_slew, load_cap);
+    const bool rising = arc->output_rising;
+    // Saturated-ramp reconstruction: 50% at in50+delay, threshold-to-
+    // threshold time oslew, extended to the rail with the same slope.
+    const double dv_thr = tech.vdd - 2.0 * tech.model_vth;
+    const double slope = dv_thr / std::max(oslew, 1e-15);
+    const double t50 = in50 + delay;
+    const double t_thr = t50 - (tech.vdd / 2.0 - tech.model_vth) / slope;
+    const double t_rail = t_thr + (tech.vdd - tech.model_vth) / slope;
+    ArcResult r;
+    r.output_rising = rising;
+    r.waveform = rising ? util::Pwl::ramp(t_thr, tech.model_vth, t_rail,
+                                          tech.vdd)
+                        : util::Pwl::ramp(t_thr, tech.vdd - tech.model_vth,
+                                          t_rail, 0.0);
+    r.settle_time = t_rail;
+    r.coupled = false;
+    out.push_back(std::move(r));
+  }
+  if (out.empty()) {
+    throw std::runtime_error("no characterized NLDM arc for cell " +
+                             cell.name());
+  }
+  return out;
+}
+
+}  // namespace xtalk::delaycalc

@@ -1,0 +1,105 @@
+// Non-Linear Delay Model (NLDM) characterization and lookup — the
+// *classical* gate-level delay calculation the paper contrasts its
+// transistor-level engine with (§2/§3, "various delay models for classical
+// delay calculation (see e.g. [4]) have been published").
+//
+// Each timing arc is characterized once by running the transistor-level
+// engine over an (input slew x output load) grid; analysis then reduces to
+// two bilinear table lookups (delay and output slew) per arc and a
+// saturated-ramp output waveform. Crosstalk can only enter through the
+// load value (grounded or doubled coupling caps) — exactly the limitation
+// the paper's active model removes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "delaycalc/arc_delay.hpp"
+#include "netlist/cell_library.hpp"
+#include "util/table.hpp"
+
+namespace xtalk::delaycalc {
+
+struct NldmOptions {
+  // Uniform characterization grid (bilinear interpolation between points,
+  // clamped outside — like a .lib table).
+  double slew_min = 0.02e-9;  ///< full-swing input ramp time [s]
+  double slew_max = 1.6e-9;
+  double load_min = 1e-15;    ///< external load [F]
+  double load_max = 500e-15;  ///< heavily coupled fanout nets get this big
+  std::size_t slew_points = 11;
+  std::size_t load_points = 11;
+};
+
+/// One characterized timing arc: 50%-to-50% delay and threshold-to-
+/// threshold output transition time over (input slew, load).
+struct NldmArc {
+  std::size_t input_pin = 0;
+  bool input_rising = true;
+  bool output_rising = true;
+  util::Table2D delay;        ///< [s] over (slew [s], load [F])
+  util::Table2D output_slew;  ///< [s] over (slew [s], load [F])
+};
+
+/// Characterized tables for every arc of every cell in a library.
+class NldmLibrary {
+ public:
+  /// Run the characterization (uses the transistor-level engine as the
+  /// golden reference, like a .lib characterization flow would use SPICE).
+  static NldmLibrary characterize(const netlist::CellLibrary& cells,
+                                  const device::DeviceTableSet& tables,
+                                  const NldmOptions& options = {});
+
+  /// Arcs of one (cell, pin, input direction); one entry per output
+  /// direction reachable through the cell's stage paths.
+  const std::vector<const NldmArc*>& arcs(const netlist::Cell& cell,
+                                          std::size_t pin,
+                                          bool input_rising) const;
+
+  std::size_t total_arcs() const { return storage_.size(); }
+
+  /// The grid this library was characterized on.
+  const NldmOptions& options() const { return options_; }
+
+  /// All arcs of one cell (any pin/direction), in characterization order.
+  std::vector<const NldmArc*> cell_arcs(const netlist::Cell& cell) const;
+
+  /// Shared characterization of the default library (built on first use).
+  static const NldmLibrary& half_micron();
+
+ private:
+  struct Key {
+    const netlist::Cell* cell;
+    std::size_t pin;
+    bool input_rising;
+    auto operator<=>(const Key&) const = default;
+  };
+  NldmOptions options_;
+  std::vector<std::unique_ptr<NldmArc>> storage_;
+  std::map<Key, std::vector<const NldmArc*>> index_;
+  std::map<const netlist::Cell*, std::vector<const NldmArc*>> by_cell_;
+  std::vector<const NldmArc*> empty_;
+};
+
+/// Drop-in alternative to ArcDelayCalculator using table lookups. The
+/// active coupling load is folded in as *doubled grounded* capacitance —
+/// the classical treatment (paper mode 2); the model cannot represent the
+/// divider event.
+class NldmDelayCalculator {
+ public:
+  NldmDelayCalculator(const NldmLibrary& library,
+                      const device::Technology& tech)
+      : library_(&library), tech_(&tech) {}
+
+  std::vector<ArcResult> compute(const netlist::Cell& cell,
+                                 std::size_t input_pin, bool input_rising,
+                                 const util::Pwl& input_waveform,
+                                 const OutputLoad& load) const;
+
+ private:
+  const NldmLibrary* library_;
+  const device::Technology* tech_;
+};
+
+}  // namespace xtalk::delaycalc

@@ -1,0 +1,325 @@
+#include "delaycalc/stage.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace xtalk::delaycalc {
+
+namespace {
+
+using netlist::SpNode;
+
+/// Force every leaf in `node` to conduct (true) or cut (false) in the NMOS
+/// view. kSwitching entries are left untouched.
+void force_subtree(const SpNode& node, bool conduct,
+                   std::vector<InputState>& states) {
+  if (node.kind == SpNode::Kind::kDevice) {
+    if (states[node.input] != InputState::kSwitching) {
+      states[node.input] = conduct ? InputState::kHigh : InputState::kLow;
+    }
+    return;
+  }
+  for (const SpNode& c : node.children) force_subtree(c, conduct, states);
+}
+
+/// Recursive sensitization. Returns true if the subtree contains the
+/// active device.
+bool sensitize_rec(const SpNode& node, std::size_t active,
+                   std::vector<InputState>& states) {
+  if (node.kind == SpNode::Kind::kDevice) return node.input == active;
+  // Find which children contain the active device.
+  std::vector<bool> has(node.children.size());
+  bool any = false;
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    has[i] = sensitize_rec(node.children[i], active, states);
+    any = any || has[i];
+  }
+  if (!any) return false;
+  const bool series = node.kind == SpNode::Kind::kSeries;
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    if (has[i]) continue;
+    // Series neighbours must conduct; parallel neighbours must be off.
+    force_subtree(node.children[i], series, states);
+  }
+  return true;
+}
+
+/// Equivalent width of a conducting network. Returns 0 for a cut branch.
+/// The switching device contributes its width like a conducting device
+/// (its gate is the dynamic input). `dual=false` evaluates the NMOS
+/// pull-down tree as given; `dual=true` evaluates the PMOS pull-up network
+/// (series and parallel swap roles, PMOS conducts at logic low). `table`
+/// (optional) applies the DC-matched stack correction to series chains:
+/// harmonic(W) * k * stack_factor(k).
+double collapse_width(const SpNode& node, double device_width,
+                      const std::vector<InputState>& states, bool dual,
+                      const device::DeviceTable* table) {
+  SpNode::Kind kind = node.kind;
+  if (dual && kind == SpNode::Kind::kSeries) {
+    kind = SpNode::Kind::kParallel;
+  } else if (dual && kind == SpNode::Kind::kParallel) {
+    kind = SpNode::Kind::kSeries;
+  }
+  switch (kind) {
+    case SpNode::Kind::kDevice: {
+      const InputState s = states[node.input];
+      if (s == InputState::kSwitching) return device_width;
+      const bool on =
+          dual ? (s == InputState::kLow) : (s == InputState::kHigh);
+      return on ? device_width : 0.0;
+    }
+    case SpNode::Kind::kSeries: {
+      double inv_sum = 0.0;
+      for (const SpNode& c : node.children) {
+        const double w = collapse_width(c, device_width, states, dual, table);
+        if (w <= 0.0) return 0.0;
+        inv_sum += 1.0 / w;
+      }
+      if (inv_sum <= 0.0) return 0.0;
+      const double harmonic = 1.0 / inv_sum;
+      if (table == nullptr) return harmonic;
+      const std::size_t k = node.children.size();
+      return harmonic * static_cast<double>(k) * table->stack_factor(k);
+    }
+    case SpNode::Kind::kParallel: {
+      double sum = 0.0;
+      for (const SpNode& c : node.children) {
+        sum += collapse_width(c, device_width, states, dual, table);
+      }
+      return sum;
+    }
+  }
+  return 0.0;
+}
+
+/// Does the NMOS network conduct under fully static states?
+bool conducts_static(const SpNode& node, const std::vector<InputState>& states) {
+  switch (node.kind) {
+    case SpNode::Kind::kDevice:
+      return states[node.input] != InputState::kLow;
+    case SpNode::Kind::kSeries:
+      for (const SpNode& c : node.children) {
+        if (!conducts_static(c, states)) return false;
+      }
+      return true;
+    case SpNode::Kind::kParallel:
+      for (const SpNode& c : node.children) {
+        if (conducts_static(c, states)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<InputState> sensitize(const netlist::Stage& stage,
+                                  std::size_t active_input) {
+  assert(active_input < stage.inputs.size());
+  std::vector<InputState> states(stage.inputs.size(), InputState::kLow);
+  states[active_input] = InputState::kSwitching;
+  sensitize_rec(stage.pulldown, active_input, states);
+  return states;
+}
+
+CollapsedStage collapse(const netlist::Stage& stage,
+                        const std::vector<InputState>& states) {
+  // Pull-down: the NMOS tree as given. Pull-up: the PMOS dual — series and
+  // parallel swap roles and PMOS devices conduct at logic low.
+  CollapsedStage c;
+  c.wn_eq = collapse_width(stage.pulldown, stage.wn, states, /*dual=*/false,
+                           nullptr);
+  c.wp_eq = collapse_width(stage.pulldown, stage.wp, states, /*dual=*/true,
+                           nullptr);
+  return c;
+}
+
+CollapsedStage collapse_dc(const netlist::Stage& stage,
+                           const std::vector<InputState>& states,
+                           const device::DeviceTableSet& tables) {
+  CollapsedStage c;
+  c.wn_eq = collapse_width(stage.pulldown, stage.wn, states, /*dual=*/false,
+                           &tables.nmos());
+  c.wp_eq = collapse_width(stage.pulldown, stage.wp, states, /*dual=*/true,
+                           &tables.pmos());
+  return c;
+}
+
+bool static_output(const netlist::Stage& stage,
+                   const std::vector<InputState>& states) {
+  return !conducts_static(stage.pulldown, states);
+}
+
+double stage_output_cap(const netlist::Cell& cell, std::size_t stage_index,
+                        const device::Technology& tech) {
+  const netlist::Stage& s = cell.stages()[stage_index];
+
+  // Drain junctions adjacent to the stage output on both networks.
+  struct Adj {
+    static std::size_t count(const SpNode& node, bool dual) {
+      switch (node.kind) {
+        case SpNode::Kind::kDevice:
+          return 1;
+        case SpNode::Kind::kSeries:
+          if (!dual) {
+            return node.children.empty() ? 0 : count(node.children.front(), dual);
+          } else {
+            std::size_t n = 0;
+            for (const SpNode& c : node.children) n += count(c, dual);
+            return n;
+          }
+        case SpNode::Kind::kParallel:
+          if (!dual) {
+            std::size_t n = 0;
+            for (const SpNode& c : node.children) n += count(c, dual);
+            return n;
+          } else {
+            return node.children.empty() ? 0 : count(node.children.front(), dual);
+          }
+      }
+      return 0;
+    }
+  };
+  double cap =
+      static_cast<double>(Adj::count(s.pulldown, false)) * tech.junction_cap(s.wn) +
+      static_cast<double>(Adj::count(s.pulldown, true)) * tech.junction_cap(s.wp);
+
+  // Gate loads of downstream stages fed by this stage output.
+  for (const netlist::Stage& consumer : cell.stages()) {
+    for (std::size_t i = 0; i < consumer.inputs.size(); ++i) {
+      const netlist::StageInput& in = consumer.inputs[i];
+      if (in.source != netlist::StageInput::Source::kStage ||
+          in.index != stage_index) {
+        continue;
+      }
+      // Count how many devices this input controls.
+      struct Count {
+        static std::size_t leaves(const SpNode& node, std::size_t input) {
+          if (node.kind == SpNode::Kind::kDevice) {
+            return node.input == input ? 1 : 0;
+          }
+          std::size_t n = 0;
+          for (const SpNode& c : node.children) n += leaves(c, input);
+          return n;
+        }
+      };
+      const auto mult = static_cast<double>(Count::leaves(consumer.pulldown, i));
+      cap += mult * tech.miller_gate_factor *
+             (tech.gate_cap(consumer.wn) + tech.gate_cap(consumer.wp));
+    }
+  }
+  return cap;
+}
+
+namespace {
+
+/// Count the devices in output-side siblings of every series ancestor of
+/// the active device, in effective-kind space (dual swaps series/parallel).
+/// In the transistor expansion, series children run first-to-last from the
+/// "top" terminal: the output for the pull-down network, the VDD rail for
+/// the pull-up network — so "output side" means preceding children when
+/// dual=false and following children when dual=true.
+/// Returns true if the subtree contains the active device; accumulates the
+/// device count into `between`.
+bool devices_between_output_and_active(const SpNode& node, std::size_t active,
+                                       bool dual, std::size_t& between) {
+  SpNode::Kind kind = node.kind;
+  if (dual && kind == SpNode::Kind::kSeries) {
+    kind = SpNode::Kind::kParallel;
+  } else if (dual && kind == SpNode::Kind::kParallel) {
+    kind = SpNode::Kind::kSeries;
+  }
+  switch (kind) {
+    case SpNode::Kind::kDevice:
+      return node.input == active;
+    case SpNode::Kind::kParallel: {
+      bool found = false;
+      for (const SpNode& c : node.children) {
+        found = devices_between_output_and_active(c, active, dual, between) ||
+                found;
+      }
+      return found;
+    }
+    case SpNode::Kind::kSeries: {
+      // Locate the child containing the active device.
+      std::ptrdiff_t active_idx = -1;
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        std::size_t dummy = 0;
+        if (devices_between_output_and_active(node.children[i], active, dual,
+                                              dummy)) {
+          active_idx = static_cast<std::ptrdiff_t>(i);
+          between += dummy;
+          break;
+        }
+      }
+      if (active_idx < 0) return false;
+      for (std::size_t i = 0; i < node.children.size(); ++i) {
+        const bool output_side =
+            dual ? static_cast<std::ptrdiff_t>(i) > active_idx
+                 : static_cast<std::ptrdiff_t>(i) < active_idx;
+        if (output_side) between += node.children[i].device_count();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+double swinging_internal_cap(const netlist::Stage& stage,
+                             std::size_t active_input, bool pullup_driving,
+                             const device::Technology& tech) {
+  std::size_t between = 0;
+  if (!devices_between_output_and_active(stage.pulldown, active_input,
+                                         pullup_driving, between)) {
+    return 0.0;
+  }
+  const double w = pullup_driving ? stage.wp : stage.wn;
+  // Each intervening device hangs ~two junctions on swinging nodes.
+  return 2.0 * tech.junction_cap(w) * static_cast<double>(between);
+}
+
+std::vector<StagePath> enumerate_paths(const netlist::Cell& cell,
+                                       std::size_t pin) {
+  std::vector<StagePath> result;
+  const auto& stages = cell.stages();
+  const std::size_t last = stages.size() - 1;
+
+  // DFS forward from every stage input fed directly by `pin`.
+  struct Walker {
+    const std::vector<netlist::Stage>& stages;
+    std::size_t last;
+    std::vector<StagePath>& result;
+
+    void walk(std::size_t stage_idx, std::size_t input_idx, StagePath path) {
+      path.hops.push_back({stage_idx, input_idx});
+      if (stage_idx == last) {
+        result.push_back(std::move(path));
+        return;
+      }
+      // Find consumers of this stage's output.
+      for (std::size_t s = stage_idx + 1; s < stages.size(); ++s) {
+        for (std::size_t i = 0; i < stages[s].inputs.size(); ++i) {
+          const netlist::StageInput& in = stages[s].inputs[i];
+          if (in.source == netlist::StageInput::Source::kStage &&
+              in.index == stage_idx) {
+            walk(s, i, path);
+          }
+        }
+      }
+    }
+  };
+  Walker walker{stages, last, result};
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    for (std::size_t i = 0; i < stages[s].inputs.size(); ++i) {
+      const netlist::StageInput& in = stages[s].inputs[i];
+      if (in.source == netlist::StageInput::Source::kCellPin && in.index == pin) {
+        walker.walk(s, i, StagePath{});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace xtalk::delaycalc

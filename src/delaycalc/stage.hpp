@@ -1,0 +1,106 @@
+// Stage analysis: sensitization and series/parallel collapsing.
+//
+// For a timing arc the switching stage is reduced to one equivalent
+// pull-up and one equivalent pull-down transistor whose gates follow the
+// input waveform (classic equivalent-inverter reduction): series devices
+// combine as 1/W = sum(1/Wi), parallel conducting devices add widths, and
+// side inputs take the worst-case sensitizing values (series neighbours
+// conducting, parallel neighbours off). Folding statically-on series
+// devices in as input-driven underestimates their early conductance, which
+// errs toward longer delays — acceptable in the paper's worst-case sense.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "device/device_table.hpp"
+#include "netlist/cell_library.hpp"
+
+namespace xtalk::delaycalc {
+
+/// Logic value of a stage input during an arc evaluation.
+enum class InputState : std::uint8_t {
+  kLow,       ///< static 0
+  kHigh,      ///< static 1
+  kSwitching, ///< follows the input waveform
+};
+
+/// The collapsed electrical view of one switching stage.
+struct CollapsedStage {
+  /// Equivalent NMOS width of the pull-down network [m] (0 = cut off).
+  double wn_eq = 0.0;
+  /// Equivalent PMOS width of the pull-up network [m] (0 = cut off).
+  double wp_eq = 0.0;
+};
+
+/// Compute sensitizing values for every input of `stage` when
+/// `active_input` switches: series neighbours of the active path conduct,
+/// parallel neighbours are cut off. Inputs in subtrees unrelated to the
+/// active device (cannot happen in well-formed stages) default to kLow.
+/// Returns the per-input states with `active_input` set to kSwitching.
+std::vector<InputState> sensitize(const netlist::Stage& stage,
+                                  std::size_t active_input);
+
+/// Collapse the stage's two networks under the given input states. The
+/// switching device contributes its width as an input-driven device; static
+/// devices contribute width when conducting (NMOS at kHigh, PMOS at kLow)
+/// and cut the branch otherwise. Series combination uses the purely
+/// resistive 1/W = sum(1/Wi) rule.
+CollapsedStage collapse(const netlist::Stage& stage,
+                        const std::vector<InputState>& states);
+
+/// Like collapse(), but series chains are corrected with the DC-matched
+/// stack factor from the device tables (see DeviceTable::stack_factor):
+/// a chain of k conducting devices collapses to
+/// harmonic(W) * k * stack_factor(k), which tracks transistor-level
+/// simulation far better than the resistive rule during the
+/// saturation-limited part of the transition. This is what the arc delay
+/// calculator uses.
+CollapsedStage collapse_dc(const netlist::Stage& stage,
+                           const std::vector<InputState>& states,
+                           const device::DeviceTableSet& tables);
+
+/// Logic value of the stage output under static input values
+/// (kSwitching treated as kHigh for NMOS conduction — callers should pass
+/// fully static states). True = logic 1.
+bool static_output(const netlist::Stage& stage,
+                   const std::vector<InputState>& states);
+
+/// Capacitance on the internal output node of stage `stage_index` of
+/// `cell`: its own drain junctions plus the gate capacitance of every
+/// following stage input it drives [F].
+double stage_output_cap(const netlist::Cell& cell, std::size_t stage_index,
+                        const device::Technology& tech);
+
+/// Junction capacitance of the internal stack nodes that actually swing
+/// with the output during this arc: nodes between the switching device and
+/// the output of the *driving* network. Nodes on the rail side of the
+/// switching device are pre-set at the rail through the conducting side
+/// devices, and the opposing network's internal nodes are isolated by its
+/// off devices — neither loads the transition. Lumped onto the stage
+/// output [F]. `pullup_driving` selects the network (true for a rising
+/// output).
+double swinging_internal_cap(const netlist::Stage& stage,
+                             std::size_t active_input, bool pullup_driving,
+                             const device::Technology& tech);
+
+/// One input-to-output path through a cell's stage graph.
+struct StagePath {
+  /// (stage index, input index within that stage) along the path.
+  struct Hop {
+    std::size_t stage;
+    std::size_t input;
+  };
+  std::vector<Hop> hops;
+  /// Number of inverting stages along the path (all our stages invert, so
+  /// this equals hops.size()).
+  std::size_t inversions() const { return hops.size(); }
+};
+
+/// Enumerate every stage path from cell input pin `pin` to the cell output
+/// (multiple for XOR-class cells, exactly one otherwise).
+std::vector<StagePath> enumerate_paths(const netlist::Cell& cell,
+                                       std::size_t pin);
+
+}  // namespace xtalk::delaycalc

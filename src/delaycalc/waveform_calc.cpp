@@ -1,0 +1,194 @@
+#include "delaycalc/waveform_calc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace xtalk::delaycalc {
+
+namespace {
+
+/// Earliest time >= t_min at which the waveform is at or past level `v` in
+/// the given direction (at-or-above for rising, at-or-below for falling).
+/// Handles waveforms that restart exactly at `v` (the post-drop state of
+/// the coupling model). Returns +inf if the level is never reached.
+double first_reach_after(const util::Pwl& w, double v, bool rising,
+                         double t_min) {
+  auto satisfied = [&](double value) {
+    return rising ? value >= v - 1e-12 : value <= v + 1e-12;
+  };
+  const auto& pts = w.points();
+  util::PwlPoint prev = pts.front();
+  if (prev.t >= t_min && satisfied(prev.v)) return prev.t;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const util::PwlPoint& p = pts[i];
+    if (p.t < t_min) {
+      prev = p;
+      continue;
+    }
+    const double seg_start = std::max(prev.t, t_min);
+    const double va = prev.v + (p.v - prev.v) *
+                                   (p.t > prev.t
+                                        ? (seg_start - prev.t) / (p.t - prev.t)
+                                        : 0.0);
+    if (satisfied(va)) return seg_start;
+    if (satisfied(p.v)) {
+      const double dv = p.v - va;
+      if (std::abs(dv) < 1e-300) return p.t;
+      return seg_start + (v - va) / dv * (p.t - seg_start);
+    }
+    prev = p;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+WaveformResult solve_stage_waveform(const device::DeviceTableSet& tables,
+                                    const StageDrive& drive,
+                                    const OutputLoad& load,
+                                    const IntegrationOptions& opt) {
+  const device::Technology& tech = tables.tech();
+  const double vdd = tech.vdd;
+  const double vth = tech.model_vth;
+  const bool rising = drive.output_rising;
+  const util::Pwl& vin = *drive.vin;
+
+  const double c_total = load.c_passive + load.c_active;
+  if (c_total <= 0.0) {
+    throw std::runtime_error("stage output has no load capacitance");
+  }
+  if ((rising && drive.wp_eq <= 0.0) || (!rising && drive.wn_eq <= 0.0)) {
+    throw std::runtime_error("stage drive network is cut off");
+  }
+
+  const CouplingEvent ev = make_coupling_event(
+      vdd, vth, load.c_active, load.c_passive, rising,
+      rising ? vdd - 2.0 * opt.settle_band : 2.0 * opt.settle_band);
+
+  // Backward-Euler implicit step solved by Newton on the table model.
+  auto advance = [&](double t_next, double h, double v_prev) {
+    const double vg = vin.value_at(t_next);
+    double v = v_prev;
+    for (int it = 0; it < opt.max_newton; ++it) {
+      double i_net = 0.0;
+      double di_dv = 0.0;
+      if (drive.wp_eq > 0.0) {
+        const device::CurrentDerivs d = tables.pmos().channel_current_derivs(
+            drive.wp_eq, vg, vdd, v);  // current VDD -> out
+        i_net += d.i;
+        di_dv += d.d_vb;
+      }
+      if (drive.wn_eq > 0.0) {
+        const device::CurrentDerivs d = tables.nmos().channel_current_derivs(
+            drive.wn_eq, vg, v, 0.0);  // current out -> GND
+        i_net -= d.i;
+        di_dv -= d.d_va;
+      }
+      const double g = c_total * (v - v_prev) / h - i_net;
+      const double gp = c_total / h - di_dv;
+      double dv = -g / gp;
+      dv = std::clamp(dv, -0.5, 0.5);
+      v = std::clamp(v + dv, -0.5, vdd + 0.5);
+      if (std::abs(dv) < opt.newton_tol) break;
+    }
+    return v;
+  };
+
+  WaveformResult result;
+  util::Pwl raw;
+  double v = rising ? 0.0 : vdd;
+  double t = vin.front().t;
+  raw.append(t, v);
+  double h = 1e-12;
+  bool fired = load.c_active <= 0.0;
+  const double t_in_end = vin.back().t;
+
+  auto settled = [&](double voltage) {
+    return rising ? voltage >= vdd - opt.settle_band
+                  : voltage <= opt.settle_band;
+  };
+
+  std::size_t steps = 0;
+  for (;; ++steps) {
+    if (steps > opt.max_steps) {
+      throw std::runtime_error("waveform integration did not settle");
+    }
+    const double t_next = t + h;
+    const double v_next = advance(t_next, h, v);
+
+    if (!fired && !ev.clamped) {
+      const bool crossed = rising
+                               ? (v < ev.trigger_voltage &&
+                                  v_next >= ev.trigger_voltage)
+                               : (v > ev.trigger_voltage &&
+                                  v_next <= ev.trigger_voltage);
+      if (crossed) {
+        const double frac = (ev.trigger_voltage - v) / (v_next - v);
+        double t_cross = t + frac * h;
+        t_cross = std::max(t_cross, raw.back().t + 1e-16);
+        raw.append(t_cross, ev.trigger_voltage);
+        v = rising ? ev.trigger_voltage - ev.delta_v
+                   : ev.trigger_voltage + ev.delta_v;
+        t = t_cross + 1e-15;
+        raw.append(t, v);
+        fired = true;
+        result.coupled = true;
+        result.drop_time = t_cross;
+        h = std::max(h / 4.0, opt.h_min);
+        continue;
+      }
+    }
+
+    const double dv = std::abs(v_next - v);
+    t = t_next;
+    v = v_next;
+    raw.append(t, v);
+    h = std::clamp(h * std::clamp(opt.v_step_target / std::max(dv, 1e-6),
+                                  0.5, 2.0),
+                   opt.h_min, opt.h_max);
+
+    if (t >= t_in_end && settled(v)) {
+      if (!fired) {
+        // Clamped event: the trigger lies beyond the final voltage, so the
+        // worst case is a kick at the very end of the transition, followed
+        // by a recovery (still an upper bound — DESIGN.md §6).
+        v += rising ? -ev.delta_v : ev.delta_v;
+        v = std::clamp(v, 0.0, vdd);
+        t += 1e-15;
+        raw.append(t, v);
+        fired = true;
+        result.coupled = true;
+        result.drop_time = t;
+        h = 1e-12;
+        continue;
+      }
+      break;
+    }
+  }
+  result.settle_time = t;
+
+  // Clip: the propagated waveform starts at the model threshold, taken at
+  // or after the coupling drop (paper: "the waveforms start with the value
+  // of Vth"; the pre-drop glitch is discarded).
+  const double threshold = rising ? vth : vdd - vth;
+  const double t_min = result.coupled ? result.drop_time : -1e300;
+  double t_start = first_reach_after(raw, threshold, rising, t_min);
+  if (!std::isfinite(t_start)) {
+    throw std::runtime_error("output waveform never crossed the threshold");
+  }
+  util::Pwl out;
+  out.append(t_start, threshold);
+  double last_v = threshold;
+  for (const util::PwlPoint& p : raw.points()) {
+    if (p.t <= t_start) continue;
+    // Enforce monotonicity (tiny numerical wiggles only).
+    const double vv = rising ? std::max(p.v, last_v) : std::min(p.v, last_v);
+    out.append(p.t, vv);
+    last_v = vv;
+  }
+  result.waveform = std::move(out);
+  return result;
+}
+
+}  // namespace xtalk::delaycalc

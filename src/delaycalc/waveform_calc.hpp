@@ -1,0 +1,60 @@
+// Transistor-level waveform computation for one switching stage (paper §3).
+//
+// The collapsed stage (one equivalent pull-up, one equivalent pull-down
+// device, gates following the input waveform) drives its output load; the
+// scalar output ODE
+//
+//   C_total * dVout/dt = I_pullup(Vin(t), Vout) - I_pulldown(Vin(t), Vout)
+//
+// is integrated with Backward Euler, each implicit step solved by Newton
+// iteration on the tabulated device currents. Crosstalk enters through the
+// three-phase coupling model of coupling_model.hpp: the active coupling
+// capacitance is passive (part of C_total) except for one instantaneous
+// divider step when the victim crosses the trigger voltage. Returned
+// waveforms are clipped to start at the model threshold and are monotone.
+#pragma once
+
+#include "delaycalc/coupling_model.hpp"
+#include "device/device_table.hpp"
+#include "util/pwl.hpp"
+
+namespace xtalk::delaycalc {
+
+/// The collapsed electrical drive of a switching stage.
+struct StageDrive {
+  double wn_eq = 0.0;       ///< equivalent pull-down width [m] (0 = absent)
+  double wp_eq = 0.0;       ///< equivalent pull-up width [m]
+  const util::Pwl* vin = nullptr;  ///< input gate waveform, absolute time
+  bool output_rising = true;
+};
+
+/// Capacitive load on the stage output.
+struct OutputLoad {
+  double c_passive = 0.0;  ///< grounded cap incl. passively-modeled coupling [F]
+  double c_active = 0.0;   ///< coupling modeled actively (paper model) [F]
+};
+
+struct WaveformResult {
+  util::Pwl waveform;       ///< monotone, starts at the model threshold
+  double settle_time = 0.0; ///< time the output finished moving (quiet from here)
+  bool coupled = false;     ///< an active coupling event fired
+  double drop_time = 0.0;   ///< when it fired (if coupled)
+};
+
+struct IntegrationOptions {
+  double v_step_target = 0.033; ///< aimed-for voltage change per step [V]
+  double h_min = 0.2e-12;       ///< [s]
+  double h_max = 100e-12;       ///< [s]
+  double settle_band = 1e-3;    ///< rail proximity counting as settled [V]
+  double newton_tol = 1e-6;     ///< [V]
+  int max_newton = 30;
+  std::size_t max_steps = 500000;
+};
+
+/// Integrate one stage output transition.
+WaveformResult solve_stage_waveform(const device::DeviceTableSet& tables,
+                                    const StageDrive& drive,
+                                    const OutputLoad& load,
+                                    const IntegrationOptions& options = {});
+
+}  // namespace xtalk::delaycalc

@@ -1,0 +1,41 @@
+#include "device/mosfet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xtalk::device {
+
+double smoothed_overdrive(const Technology& tech, MosType type, double vgs) {
+  const double vth = type == MosType::kNmos ? tech.vth_n : tech.vth_p;
+  const double s = tech.subthreshold_s;
+  const double x = (vgs - vth) / s;
+  // softplus with overflow guard: s * ln(1 + e^x)
+  if (x > 40.0) return vgs - vth;
+  if (x < -40.0) return s * std::exp(x);
+  return s * std::log1p(std::exp(x));
+}
+
+double saturation_voltage(const Technology& tech, MosType type, double vgs) {
+  const double vth = type == MosType::kNmos ? tech.vth_n : tech.vth_p;
+  const double vd0 = type == MosType::kNmos ? tech.vd0_n : tech.vd0_p;
+  const double vov = smoothed_overdrive(tech, type, vgs);
+  const double full = tech.vdd - vth;  // overdrive at vgs = vdd
+  const double ratio = std::max(vov / full, 1e-9);
+  return std::max(vd0 * std::pow(ratio, tech.alpha / 2.0), 1e-3);
+}
+
+double unit_current(const Technology& tech, MosType type, double vgs,
+                    double vds) {
+  if (vds <= 0.0) return 0.0;
+  const double beta = type == MosType::kNmos ? tech.beta_n : tech.beta_p;
+  const double vov = smoothed_overdrive(tech, type, vgs);
+  const double idsat = beta * std::pow(vov, tech.alpha);
+  const double vdsat = saturation_voltage(tech, type, vgs);
+  if (vds >= vdsat) {
+    return idsat * (1.0 + tech.lambda * (vds - vdsat));
+  }
+  const double u = vds / vdsat;
+  return idsat * (2.0 - u) * u;
+}
+
+}  // namespace xtalk::device

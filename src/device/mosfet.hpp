@@ -1,0 +1,34 @@
+// Analytic MOSFET DC model (Sakurai-Newton alpha-power law).
+//
+// This is the *reference* model; the delay calculator and the transient
+// simulator never evaluate it directly during integration — they use the
+// tabulated form (device_table.hpp), exactly as the paper describes ("the DC
+// behavior of the transistors is modeled by tables", §3). Keeping the
+// analytic model separate lets tests verify the tables against it.
+#pragma once
+
+#include "device/technology.hpp"
+
+namespace xtalk::device {
+
+enum class MosType { kNmos, kPmos };
+
+/// Unit-width (1 m) drain-source current of a device in its "native"
+/// orientation: vgs, vds >= 0 measured from the source, current flowing
+/// drain -> source. Scales linearly with width.
+///
+/// Regions:
+///  - smoothed subthreshold/overdrive via softplus (keeps Newton stable),
+///  - linear region   id = idsat * (2 - vds/vdsat) * (vds/vdsat),
+///  - saturation      id = idsat * (1 + lambda * (vds - vdsat)).
+double unit_current(const Technology& tech, MosType type, double vgs,
+                    double vds);
+
+/// Saturation drain voltage for the given gate overdrive (used by tests).
+double saturation_voltage(const Technology& tech, MosType type, double vgs);
+
+/// Smoothed gate overdrive: softplus(vgs - vth) with the technology's
+/// smoothing parameter. Exposed for tests.
+double smoothed_overdrive(const Technology& tech, MosType type, double vgs);
+
+}  // namespace xtalk::device

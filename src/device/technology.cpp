@@ -1,0 +1,35 @@
+#include "device/technology.hpp"
+
+namespace xtalk::device {
+
+const Technology& Technology::half_micron() {
+  static const Technology tech{};  // defaults are the 0.5 um values
+  return tech;
+}
+
+const Technology& Technology::half_micron_corner(ProcessCorner corner) {
+  static const Technology slow = [] {
+    Technology t;  // typical defaults
+    t.beta_n *= 0.75;
+    t.beta_p *= 0.75;
+    t.vth_n += 0.06;
+    t.vth_p += 0.06;
+    return t;
+  }();
+  static const Technology fast = [] {
+    Technology t;
+    t.beta_n *= 1.25;
+    t.beta_p *= 1.25;
+    t.vth_n -= 0.06;
+    t.vth_p -= 0.06;
+    return t;
+  }();
+  switch (corner) {
+    case ProcessCorner::kSlow: return slow;
+    case ProcessCorner::kFast: return fast;
+    case ProcessCorner::kTypical: break;
+  }
+  return half_micron();
+}
+
+}  // namespace xtalk::device

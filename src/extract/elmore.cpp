@@ -1,0 +1,29 @@
+#include "extract/elmore.hpp"
+
+#include <algorithm>
+
+namespace xtalk::extract {
+
+double elmore_sink_delay(const SinkWire& wire, double sink_pin_cap) {
+  const double wire_part = wire.wire_elmore >= 0.0
+                               ? wire.wire_elmore
+                               : wire.resistance * 0.5 * wire.capacitance;
+  return wire_part + wire.resistance * sink_pin_cap;
+}
+
+double elmore_distributed_line(double r_total, double c_total, double c_load) {
+  return r_total * (0.5 * c_total + c_load);
+}
+
+double max_sink_elmore(const netlist::Netlist& nl, const Parasitics& para,
+                       netlist::NetId net) {
+  double worst = 0.0;
+  for (const SinkWire& w : para.net(net).sink_wires) {
+    const double pin_cap =
+        nl.gate(w.sink.gate).cell->pins()[w.sink.pin].cap;
+    worst = std::max(worst, elmore_sink_delay(w, pin_cap));
+  }
+  return worst;
+}
+
+}  // namespace xtalk::extract

@@ -1,0 +1,29 @@
+// Elmore wire-delay model (paper §2: "Wire delays are modeled by the widely
+// used Elmore model. This model is known to overestimate the delay for long
+// wires. In the worst-case sense this is acceptable.").
+//
+// The coupling model lumps all capacitance at the driver output; each sink
+// then sees an additional Elmore delay through its connection resistance.
+#pragma once
+
+#include "extract/parasitics.hpp"
+
+namespace xtalk::extract {
+
+/// Elmore delay of one driver->sink connection: the precomputed RC-tree
+/// wire Elmore (rc_tree.hpp) plus path-resistance * pin load; falls back
+/// to the lumped pi model R * (C_wire/2 + C_pin) when no tree value is
+/// present.
+double elmore_sink_delay(const SinkWire& wire, double sink_pin_cap);
+
+/// Elmore delay of a uniformly distributed RC line of total resistance R
+/// and capacitance C into a load C_load: R*C/2 + R*C_load. Reference for
+/// tests.
+double elmore_distributed_line(double r_total, double c_total, double c_load);
+
+/// Largest Elmore sink delay on a net (the value reported as "wire delay"
+/// of that net in the experiments).
+double max_sink_elmore(const netlist::Netlist& netlist, const Parasitics& para,
+                       netlist::NetId net);
+
+}  // namespace xtalk::extract

@@ -1,0 +1,28 @@
+// Rule-based parasitic extraction over the routed design.
+//
+// Grounded capacitance and resistance are per-length rules; coupling
+// capacitance is per unit of *parallel run length* between segments on
+// adjacent tracks of the same channel (the dominant deep-submicron
+// mechanism the paper targets). Couplings between the same net pair are
+// accumulated into one lumped capacitor, matching the paper's lumped model.
+#pragma once
+
+#include "device/technology.hpp"
+#include "extract/parasitics.hpp"
+#include "layout/router.hpp"
+#include "netlist/netlist.hpp"
+
+namespace xtalk::extract {
+
+struct ExtractionOptions {
+  /// Couplings smaller than this are dropped (noise floor) [F].
+  double min_coupling_cap = 0.1e-15;
+};
+
+/// Extract parasitics for every routed net.
+Parasitics extract(const netlist::Netlist& netlist,
+                   const layout::RoutedDesign& routing,
+                   const device::Technology& tech,
+                   const ExtractionOptions& options = {});
+
+}  // namespace xtalk::extract

@@ -1,0 +1,24 @@
+#include "extract/parasitics.hpp"
+
+namespace xtalk::extract {
+
+void Parasitics::add_coupling(netlist::NetId a, netlist::NetId b, double cap,
+                              double overlap) {
+  pairs_.push_back({a, b, cap, overlap});
+  nets_[a].couplings.push_back({b, cap});
+  nets_[b].couplings.push_back({a, cap});
+}
+
+double Parasitics::total_wire_cap() const {
+  double c = 0.0;
+  for (const NetParasitics& n : nets_) c += n.wire_cap;
+  return c;
+}
+
+double Parasitics::total_coupling_cap() const {
+  double c = 0.0;
+  for (const CouplingCap& p : pairs_) c += p.cap;
+  return c;
+}
+
+}  // namespace xtalk::extract

@@ -1,0 +1,79 @@
+// Extracted parasitics database.
+//
+// Exactly the information the paper's flow consumes: per net a lumped
+// grounded wire capacitance and wire resistance, and a list of coupling
+// capacitances to adjacent nets (paper §2: the coupling model "is
+// restricted to lumped capacitances", wire delay is handled by Elmore).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace xtalk::extract {
+
+/// One lumped coupling capacitor between two nets.
+struct CouplingCap {
+  netlist::NetId net_a = netlist::kNoNet;
+  netlist::NetId net_b = netlist::kNoNet;
+  double cap = 0.0;            ///< [F]
+  double overlap_length = 0.0; ///< parallel run length that produced it [m]
+};
+
+/// A coupling as seen from one side (victim side view).
+struct NeighborCap {
+  netlist::NetId neighbor = netlist::kNoNet;
+  double cap = 0.0;  ///< [F]
+};
+
+/// Per driver->sink connection wire RC for Elmore delay.
+struct SinkWire {
+  netlist::PinRef sink;
+  double resistance = 0.0;  ///< driver->sink path resistance [Ohm]
+  double capacitance = 0.0; ///< [F] wire cap of this connection
+  /// Wire-only Elmore delay of this sink on the net's RC tree [s]
+  /// (rc_tree.hpp); the receiver pin load adds resistance * pin_cap on
+  /// top. Negative = not computed, fall back to the lumped-pi formula
+  /// resistance * capacitance / 2.
+  double wire_elmore = -1.0;
+};
+
+struct NetParasitics {
+  double wire_cap = 0.0;        ///< total grounded wire cap [F]
+  double wire_length = 0.0;     ///< [m]
+  std::vector<NeighborCap> couplings;
+  std::vector<SinkWire> sink_wires;
+
+  /// Sum of all coupling caps on this net [F].
+  double total_coupling_cap() const {
+    double c = 0.0;
+    for (const NeighborCap& n : couplings) c += n.cap;
+    return c;
+  }
+};
+
+class Parasitics {
+ public:
+  explicit Parasitics(std::size_t num_nets) : nets_(num_nets) {}
+
+  const NetParasitics& net(netlist::NetId id) const { return nets_[id]; }
+  NetParasitics& net(netlist::NetId id) { return nets_[id]; }
+  std::size_t num_nets() const { return nets_.size(); }
+
+  const std::vector<CouplingCap>& coupling_pairs() const { return pairs_; }
+
+  /// Register a coupling capacitor (adds the symmetric view to both nets).
+  void add_coupling(netlist::NetId a, netlist::NetId b, double cap,
+                    double overlap);
+
+  /// Aggregate statistics used in reports.
+  double total_wire_cap() const;
+  double total_coupling_cap() const;
+
+ private:
+  std::vector<NetParasitics> nets_;
+  std::vector<CouplingCap> pairs_;
+};
+
+}  // namespace xtalk::extract

@@ -1,0 +1,111 @@
+#include "extract/rc_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xtalk::extract {
+
+namespace {
+
+/// Append a wire piece of `length` from `from` to a fresh node; the
+/// piece's cap splits evenly onto its two end nodes.
+std::size_t add_piece(RcTree& tree, std::size_t from, double length,
+                      const device::Technology& tech) {
+  const double res = length * tech.wire_r;
+  const double cap = length * tech.wire_c_ground;
+  RcTreeNode node;
+  node.parent = static_cast<std::ptrdiff_t>(from);
+  node.res_to_parent = res;
+  node.cap = cap / 2.0;
+  tree.nodes[from].cap += cap / 2.0;
+  tree.nodes.push_back(node);
+  return tree.nodes.size() - 1;
+}
+
+}  // namespace
+
+RcTree build_rc_tree(const netlist::Netlist& nl,
+                     const layout::Placement& placement,
+                     const device::Technology& tech, netlist::NetId net_id) {
+  RcTree tree;
+  const netlist::Net& net = nl.net(net_id);
+  if (net.sinks.empty()) return tree;
+
+  const layout::GatePlace drv = placement.net_driver_position(nl, net_id);
+  tree.nodes.push_back(RcTreeNode{});  // root at the driver
+
+  // Sink geometry, keyed by original sink order.
+  struct Tap {
+    std::size_t sink_index;
+    double x, y;
+  };
+  std::vector<Tap> taps;
+  taps.reserve(net.sinks.size());
+  for (std::size_t k = 0; k < net.sinks.size(); ++k) {
+    const layout::GatePlace& s = placement.gate(net.sinks[k].gate);
+    taps.push_back({k, s.x, s.y});
+  }
+
+  tree.sinks.resize(net.sinks.size());
+
+  // Build each trunk side outward from the driver, sharing trunk nodes.
+  auto build_side = [&](bool right) {
+    std::vector<Tap> side;
+    for (const Tap& t : taps) {
+      if ((t.x >= drv.x) == right && (right || t.x < drv.x)) side.push_back(t);
+    }
+    std::sort(side.begin(), side.end(), [&](const Tap& a, const Tap& b) {
+      return std::abs(a.x - drv.x) < std::abs(b.x - drv.x);
+    });
+    std::size_t trunk_node = 0;  // root
+    double trunk_x = drv.x;
+    for (const Tap& t : side) {
+      const double run = std::abs(t.x - trunk_x);
+      if (run > 0.0) {
+        trunk_node = add_piece(tree, trunk_node, run, tech);
+        trunk_x = t.x;
+      }
+      // Vertical drop to the sink (zero-length drop attaches at the tap).
+      std::size_t attach = trunk_node;
+      const double drop = std::abs(t.y - drv.y);
+      if (drop > 0.0) attach = add_piece(tree, trunk_node, drop, tech);
+      tree.sinks[t.sink_index] = {attach, net.sinks[t.sink_index]};
+    }
+  };
+  build_side(/*right=*/true);
+  build_side(/*right=*/false);
+  return tree;
+}
+
+std::vector<double> elmore_delays(const RcTree& tree,
+                                  const std::vector<double>& sink_pin_caps) {
+  std::vector<double> out(tree.sinks.size(), 0.0);
+  if (tree.nodes.empty()) return out;
+
+  // Total cap per node, including attached sink pins.
+  std::vector<double> cap(tree.nodes.size());
+  for (std::size_t i = 0; i < tree.nodes.size(); ++i) cap[i] = tree.nodes[i].cap;
+  for (std::size_t k = 0; k < tree.sinks.size(); ++k) {
+    cap[tree.sinks[k].node] +=
+        k < sink_pin_caps.size() ? sink_pin_caps[k] : 0.0;
+  }
+
+  // Subtree capacitance: nodes are created parent-before-child, so a
+  // reverse scan accumulates children into parents.
+  std::vector<double> subtree = cap;
+  for (std::size_t i = tree.nodes.size(); i-- > 1;) {
+    subtree[static_cast<std::size_t>(tree.nodes[i].parent)] += subtree[i];
+  }
+  // Root-to-node delay: forward scan (parents precede children).
+  std::vector<double> delay(tree.nodes.size(), 0.0);
+  for (std::size_t i = 1; i < tree.nodes.size(); ++i) {
+    delay[i] = delay[static_cast<std::size_t>(tree.nodes[i].parent)] +
+               tree.nodes[i].res_to_parent * subtree[i];
+  }
+  for (std::size_t k = 0; k < tree.sinks.size(); ++k) {
+    out[k] = delay[tree.sinks[k].node];
+  }
+  return out;
+}
+
+}  // namespace xtalk::extract

@@ -1,0 +1,59 @@
+// Per-net RC trees and tree Elmore delays.
+//
+// The router gives every net a trunk along its driver row with one tap and
+// vertical drop per sink. Modeling that as independent lumped connections
+// double-counts the shared trunk; this module rebuilds the actual tree
+// (driver node, trunk nodes at the taps, one branch node per sink), splits
+// each wire piece's capacitance onto its end nodes, and computes the exact
+// Elmore delay per sink:
+//
+//   T_sink = sum over edges e on the root->sink path of R_e * C_down(e)
+//
+// (the paper's wire-delay model, §2: "Wire delays are modeled by the
+// widely used Elmore model").
+#pragma once
+
+#include <vector>
+
+#include "device/technology.hpp"
+#include "layout/placement.hpp"
+#include "netlist/netlist.hpp"
+
+namespace xtalk::extract {
+
+struct RcTreeNode {
+  std::ptrdiff_t parent = -1;    ///< node index; -1 for the root
+  double res_to_parent = 0.0;    ///< [Ohm]
+  double cap = 0.0;              ///< grounded wire cap at this node [F]
+};
+
+struct RcTreeSink {
+  std::size_t node = 0;          ///< tree node the sink pin attaches to
+  netlist::PinRef pin;
+};
+
+struct RcTree {
+  std::vector<RcTreeNode> nodes;  ///< node 0 is the driver (root)
+  std::vector<RcTreeSink> sinks;  ///< one per net sink, in net sink order
+
+  double total_cap() const {
+    double c = 0.0;
+    for (const RcTreeNode& n : nodes) c += n.cap;
+    return c;
+  }
+};
+
+/// Build the RC tree of one net from the placement geometry (trunk on the
+/// driver row, taps at each sink's x, vertical drops), using the
+/// technology's per-length wire rules. Returns an empty tree for sink-less
+/// nets.
+RcTree build_rc_tree(const netlist::Netlist& netlist,
+                     const layout::Placement& placement,
+                     const device::Technology& tech, netlist::NetId net);
+
+/// Elmore delay from the root to every sink [s]. `sink_pin_caps` (parallel
+/// to tree.sinks) adds the receiver pin loads at their attachment nodes.
+std::vector<double> elmore_delays(const RcTree& tree,
+                                  const std::vector<double>& sink_pin_caps);
+
+}  // namespace xtalk::extract

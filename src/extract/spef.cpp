@@ -1,0 +1,229 @@
+#include "extract/spef.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace xtalk::extract {
+
+namespace {
+
+/// Pin name of a sink for the *CONN section: "<gate>:<PIN>".
+std::string pin_name(const netlist::Netlist& nl, const netlist::PinRef& p) {
+  const netlist::Gate& g = nl.gate(p.gate);
+  return g.name + ":" + g.cell->pins()[p.pin].name;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw std::runtime_error("SPEF parse error, line " + std::to_string(line) +
+                           ": " + msg);
+}
+
+}  // namespace
+
+std::string write_spef(const netlist::Netlist& nl, const Parasitics& para,
+                       const SpefOptions& opt) {
+  std::ostringstream os;
+  os.precision(12);
+  os << "*SPEF \"IEEE 1481-1998\"\n";
+  os << "*DESIGN \"" << opt.design_name << "\"\n";
+  os << "*VENDOR \"xtalk-sta\"\n";
+  os << "*PROGRAM \"xtalk-sta\"\n";
+  os << "*VERSION \"1.0\"\n";
+  os << "*DESIGN_FLOW \"EXTRACTED\"\n";
+  os << "*DIVIDER /\n*DELIMITER :\n*BUS_DELIMITER [ ]\n";
+  os << "*T_UNIT 1 NS\n*C_UNIT 1 FF\n*R_UNIT 1 OHM\n*L_UNIT 1 HENRY\n\n";
+
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    const NetParasitics& p = para.net(n);
+    // Header total = wire cap (conserved exactly by the CAP section below)
+    // plus the couplings.
+    double total = p.wire_cap;
+    for (const NeighborCap& nb : p.couplings) total += nb.cap;
+    os << "*D_NET " << nl.net(n).name << " " << total / opt.cap_unit << "\n";
+
+    os << "*CONN\n";
+    const netlist::Net& net = nl.net(n);
+    if (net.driver.gate != netlist::kNoGate) {
+      os << "*I " << pin_name(nl, net.driver) << " O\n";
+    } else {
+      os << "*P " << net.name << " I\n";
+    }
+    for (const netlist::PinRef& s : net.sinks) {
+      os << "*I " << pin_name(nl, s) << " I\n";
+    }
+
+    os << "*CAP\n";
+    std::size_t index = 1;
+    // Grounded cap: remainder at the driver node, per-connection cap at
+    // each sink node. Per-connection caps of a multi-fanout star can sum
+    // past the merged wire cap (shared trunk); scale them down so the
+    // file conserves the net's total grounded capacitance exactly.
+    double sink_caps = 0.0;
+    for (const SinkWire& w : p.sink_wires) sink_caps += w.capacitance;
+    const double scale =
+        sink_caps > p.wire_cap && sink_caps > 0.0 ? p.wire_cap / sink_caps
+                                                  : 1.0;
+    const double driver_cap = std::max(0.0, p.wire_cap - sink_caps * scale);
+    if (driver_cap > 0.0) {
+      os << index++ << " " << net.name << ":0 " << driver_cap / opt.cap_unit
+         << "\n";
+    }
+    for (std::size_t k = 0; k < p.sink_wires.size(); ++k) {
+      const double c = p.sink_wires[k].capacitance * scale;
+      if (c <= 0.0) continue;
+      os << index++ << " " << net.name << ":" << k + 1 << " "
+         << c / opt.cap_unit << "\n";
+    }
+    // Coupling capacitors, emitted once from the lower-id side.
+    for (const NeighborCap& nb : p.couplings) {
+      if (nb.neighbor < n) continue;
+      os << index++ << " " << net.name << ":0 " << nl.net(nb.neighbor).name
+         << ":0 " << nb.cap / opt.cap_unit << "\n";
+    }
+
+    if (!p.sink_wires.empty()) {
+      os << "*RES\n";
+      index = 1;
+      for (std::size_t k = 0; k < p.sink_wires.size(); ++k) {
+        os << index++ << " " << net.name << ":0 " << net.name << ":" << k + 1
+           << " " << p.sink_wires[k].resistance / opt.res_unit << "\n";
+      }
+    }
+    os << "*END\n\n";
+  }
+  return os.str();
+}
+
+Parasitics read_spef(std::string_view text, const netlist::Netlist& nl) {
+  Parasitics para(nl.num_nets());
+  SpefOptions units;  // defaults; overwritten by *C_UNIT / *R_UNIT
+
+  enum class Section { kNone, kConn, kCap, kRes };
+  Section section = Section::kNone;
+  netlist::NetId current = netlist::kNoNet;
+
+  // Split "net:index" into net id and node index.
+  auto parse_node = [&](const std::string& token,
+                        std::size_t line) -> std::pair<netlist::NetId, int> {
+    const std::size_t colon = token.rfind(':');
+    if (colon == std::string::npos) {
+      const netlist::NetId id = nl.find_net(token);
+      if (id == netlist::kNoNet) fail(line, "unknown net '" + token + "'");
+      return {id, 0};
+    }
+    const std::string name = token.substr(0, colon);
+    const netlist::NetId id = nl.find_net(name);
+    if (id == netlist::kNoNet) fail(line, "unknown net '" + name + "'");
+    return {id, std::stoi(token.substr(colon + 1))};
+  };
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string line(text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos));
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    // Trim + skip comments.
+    const std::size_t comment = line.find("//");
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    std::istringstream ss(line);
+    std::string tok;
+    if (!(ss >> tok)) continue;
+
+    if (tok == "*C_UNIT") {
+      double mult;
+      std::string unit;
+      ss >> mult >> unit;
+      if (unit == "FF") units.cap_unit = mult * 1e-15;
+      else if (unit == "PF") units.cap_unit = mult * 1e-12;
+      else fail(line_no, "unsupported C_UNIT " + unit);
+      continue;
+    }
+    if (tok == "*R_UNIT") {
+      double mult;
+      std::string unit;
+      ss >> mult >> unit;
+      if (unit == "OHM") units.res_unit = mult;
+      else if (unit == "KOHM") units.res_unit = mult * 1e3;
+      else fail(line_no, "unsupported R_UNIT " + unit);
+      continue;
+    }
+    if (tok == "*D_NET") {
+      std::string name;
+      ss >> name;
+      current = nl.find_net(name);
+      if (current == netlist::kNoNet) {
+        fail(line_no, "unknown net '" + name + "'");
+      }
+      para.net(current).sink_wires.clear();
+      for (const netlist::PinRef& s : nl.net(current).sinks) {
+        SinkWire w;
+        w.sink = s;
+        para.net(current).sink_wires.push_back(w);
+      }
+      section = Section::kNone;
+      continue;
+    }
+    if (tok == "*CONN") { section = Section::kConn; continue; }
+    if (tok == "*CAP") { section = Section::kCap; continue; }
+    if (tok == "*RES") { section = Section::kRes; continue; }
+    if (tok == "*END") { current = netlist::kNoNet; section = Section::kNone; continue; }
+    if (tok[0] == '*') continue;  // header / CONN entries
+
+    if (current == netlist::kNoNet) continue;
+    if (section == Section::kCap) {
+      // "<idx> node [node2] value"
+      std::vector<std::string> fields;
+      std::string f;
+      while (ss >> f) fields.push_back(f);
+      if (fields.size() == 2) {
+        const auto [id, node] = parse_node(fields[0], line_no);
+        if (id != current) fail(line_no, "grounded cap on foreign net");
+        const double cap = std::stod(fields[1]) * units.cap_unit;
+        para.net(current).wire_cap += cap;
+        if (node > 0) {
+          auto& wires = para.net(current).sink_wires;
+          if (static_cast<std::size_t>(node) <= wires.size()) {
+            wires[static_cast<std::size_t>(node) - 1].capacitance += cap;
+          }
+        }
+      } else if (fields.size() == 3) {
+        const auto [a, na] = parse_node(fields[0], line_no);
+        const auto [b, nb] = parse_node(fields[1], line_no);
+        (void)na;
+        (void)nb;
+        const double cap = std::stod(fields[2]) * units.cap_unit;
+        para.add_coupling(a, b, cap, 0.0);
+      } else {
+        fail(line_no, "malformed CAP entry");
+      }
+      continue;
+    }
+    if (section == Section::kRes) {
+      std::vector<std::string> fields;
+      std::string f;
+      while (ss >> f) fields.push_back(f);
+      if (fields.size() != 3) fail(line_no, "malformed RES entry");
+      const auto [a, na] = parse_node(fields[0], line_no);
+      const auto [b, node] = parse_node(fields[1], line_no);
+      (void)na;
+      if (a != current || b != current) {
+        fail(line_no, "resistance on foreign net");
+      }
+      const double res = std::stod(fields[2]) * units.res_unit;
+      auto& wires = para.net(current).sink_wires;
+      if (node <= 0 || static_cast<std::size_t>(node) > wires.size()) {
+        fail(line_no, "RES node index out of range");
+      }
+      wires[static_cast<std::size_t>(node) - 1].resistance = res;
+      continue;
+    }
+  }
+  return para;
+}
+
+}  // namespace xtalk::extract

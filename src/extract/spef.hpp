@@ -1,0 +1,38 @@
+// SPEF (IEEE 1481 Standard Parasitic Exchange Format) writer and reader
+// for the subset our parasitics database carries: one lumped grounded
+// capacitance per net, lumped coupling capacitors between net pairs, and
+// one resistance per driver->sink connection.
+//
+// This is the interchange surface a downstream user needs to feed the
+// analyzer from a real extractor (or to push our extraction into another
+// tool). The reader accepts what the writer emits plus whitespace/comment
+// variations; it is not a full SPEF grammar.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "extract/parasitics.hpp"
+#include "netlist/netlist.hpp"
+
+namespace xtalk::extract {
+
+struct SpefOptions {
+  std::string design_name = "xtalk_sta_design";
+  /// Unit scales used in the file (values are divided by these on write
+  /// and multiplied on read).
+  double cap_unit = 1e-15;  ///< FF
+  double res_unit = 1.0;    ///< OHM
+};
+
+/// Serialize the parasitics of `netlist` as SPEF text.
+std::string write_spef(const netlist::Netlist& netlist,
+                       const Parasitics& parasitics,
+                       const SpefOptions& options = {});
+
+/// Parse SPEF text against a netlist (net names must resolve). Throws
+/// std::runtime_error with a line number on malformed input or unknown
+/// net/pin names.
+Parasitics read_spef(std::string_view text, const netlist::Netlist& netlist);
+
+}  // namespace xtalk::extract

@@ -1,0 +1,84 @@
+#include "layout/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xtalk::layout {
+
+std::uint32_t Placement::cell_sites(const netlist::Gate& gate) {
+  // Roughly two transistors per site plus boundary overhead.
+  const std::size_t t = gate.cell->transistor_count();
+  return static_cast<std::uint32_t>(std::max<std::size_t>(2, (t + 1) / 2 + 1));
+}
+
+Placement::Placement(const netlist::Netlist& nl,
+                     const netlist::LevelizedDag& dag,
+                     const PlacementOptions& options)
+    : options_(options) {
+  places_.resize(nl.num_gates());
+
+  // Total occupied sites and derived chip dimensions.
+  double total_sites = 0.0;
+  for (netlist::GateId g = 0; g < nl.num_gates(); ++g) {
+    total_sites += cell_sites(nl.gate(g));
+  }
+  total_sites /= (1.0 - options.whitespace);
+  // width * height = area; height = rows * row_height; width = sites * pitch.
+  // aspect = height / width.
+  const double area =
+      total_sites * options.site_pitch * options.row_height;
+  chip_width_ = std::sqrt(area / options.aspect);
+  const double sites_per_row =
+      std::max(16.0, std::floor(chip_width_ / options.site_pitch));
+  chip_width_ = sites_per_row * options.site_pitch;
+  num_rows_ = static_cast<std::uint32_t>(std::max(
+      1.0, std::ceil(total_sites / sites_per_row)));
+  chip_height_ = num_rows_ * options.row_height;
+
+  // Snake-fill rows in topological order: consecutive gates on a path land
+  // in the same neighbourhood.
+  std::uint32_t row = 0;
+  double cursor = 0.0;  // sites used in the current row
+  bool left_to_right = true;
+  const double gap = options.whitespace / (1.0 - options.whitespace);
+  for (const netlist::GateId g : dag.topo_order) {
+    const double w = static_cast<double>(cell_sites(nl.gate(g)));
+    const double w_eff = w * (1.0 + gap);
+    if (cursor + w_eff > sites_per_row && cursor > 0.0) {
+      cursor = 0.0;
+      row = std::min(row + 1, num_rows_ - 1);
+      left_to_right = !left_to_right;
+    }
+    const double x_sites =
+        left_to_right ? cursor : sites_per_row - cursor - w;
+    places_[g].x = x_sites * options.site_pitch;
+    places_[g].y = static_cast<double>(row) * options.row_height;
+    places_[g].row = row;
+    cursor += w_eff;
+  }
+
+  // Primary input pads along the left edge, evenly spread.
+  pi_pad_index_.assign(nl.num_nets(), -1);
+  const auto& pis = nl.primary_inputs();
+  pi_pads_.resize(pis.size());
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    GatePlace p;
+    p.x = 0.0;
+    p.y = chip_height_ * (static_cast<double>(i) + 0.5) /
+          static_cast<double>(pis.size());
+    p.row = static_cast<std::uint32_t>(p.y / options.row_height);
+    pi_pads_[i] = p;
+    pi_pad_index_[pis[i]] = static_cast<std::int32_t>(i);
+  }
+}
+
+GatePlace Placement::net_driver_position(const netlist::Netlist& nl,
+                                         netlist::NetId id) const {
+  const netlist::Net& net = nl.net(id);
+  if (net.driver.gate != netlist::kNoGate) return places_[net.driver.gate];
+  const std::int32_t pad = pi_pad_index_[id];
+  if (pad >= 0) return pi_pads_[static_cast<std::size_t>(pad)];
+  return {};
+}
+
+}  // namespace xtalk::layout

@@ -1,0 +1,62 @@
+// Row-based placement.
+//
+// The paper's circuits are "routed in a 0.5 um process technology with two
+// metal layers"; we reproduce the physical substrate with a standard-cell
+// row placement: gates are placed in topological order, snaking through
+// rows, which gives the path locality a timing-driven placer would produce
+// (cf. paper ref [5]) and realistic wire-length / adjacency statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+
+namespace xtalk::layout {
+
+struct PlacementOptions {
+  double site_pitch = 2.0e-6;   ///< placement site width [m]
+  double row_height = 12.0e-6;  ///< standard-cell row height [m]
+  double whitespace = 0.15;     ///< fraction of empty sites per row
+  double aspect = 1.0;          ///< target height/width ratio
+};
+
+/// Location of one gate: origin of its cell outline.
+struct GatePlace {
+  double x = 0.0;  ///< [m]
+  double y = 0.0;  ///< [m]
+  std::uint32_t row = 0;
+};
+
+class Placement {
+ public:
+  Placement(const netlist::Netlist& netlist, const netlist::LevelizedDag& dag,
+            const PlacementOptions& options = {});
+
+  const GatePlace& gate(netlist::GateId id) const { return places_[id]; }
+  /// Driver location of a net: its driving gate's place, or the primary
+  /// input pad position on the left chip edge.
+  GatePlace net_driver_position(const netlist::Netlist& nl,
+                                netlist::NetId id) const;
+
+  double chip_width() const { return chip_width_; }
+  double chip_height() const { return chip_height_; }
+  std::uint32_t num_rows() const { return num_rows_; }
+  const PlacementOptions& options() const { return options_; }
+
+  /// Cell width in sites used for a gate (proportional to its transistor
+  /// count). Exposed for tests.
+  static std::uint32_t cell_sites(const netlist::Gate& gate);
+
+ private:
+  PlacementOptions options_;
+  std::vector<GatePlace> places_;
+  std::vector<GatePlace> pi_pads_;  ///< indexed by position in primary_inputs()
+  std::vector<std::int32_t> pi_pad_index_;  ///< net id -> pad index or -1
+  double chip_width_ = 0.0;
+  double chip_height_ = 0.0;
+  std::uint32_t num_rows_ = 0;
+};
+
+}  // namespace xtalk::layout

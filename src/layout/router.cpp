@@ -1,0 +1,140 @@
+#include "layout/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace xtalk::layout {
+
+namespace {
+
+struct PendingSegment {
+  netlist::NetId net;
+  double lo, hi;
+};
+
+/// Merge overlapping/touching spans of the same net within one channel so a
+/// multi-fanout star doesn't route the same trunk repeatedly.
+void merge_same_net(std::vector<PendingSegment>& segs) {
+  std::sort(segs.begin(), segs.end(), [](const auto& a, const auto& b) {
+    if (a.net != b.net) return a.net < b.net;
+    return a.lo < b.lo;
+  });
+  std::vector<PendingSegment> out;
+  for (const PendingSegment& s : segs) {
+    if (!out.empty() && out.back().net == s.net && s.lo <= out.back().hi) {
+      out.back().hi = std::max(out.back().hi, s.hi);
+    } else {
+      out.push_back(s);
+    }
+  }
+  segs = std::move(out);
+}
+
+}  // namespace
+
+RoutedDesign::RoutedDesign(const netlist::Netlist& nl,
+                           const Placement& placement,
+                           const RouterOptions& options)
+    : options_(options), placement_(&placement) {
+  nets_.resize(nl.num_nets());
+
+  const std::uint32_t n_rows = placement.num_rows();
+  const std::uint32_t n_cols = static_cast<std::uint32_t>(
+      std::floor(placement.chip_width() / options.channel_width)) + 1;
+
+  std::vector<std::vector<PendingSegment>> h_channels(n_rows);
+  std::vector<std::vector<PendingSegment>> v_channels(n_cols);
+
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    const netlist::Net& net = nl.net(n);
+    if (net.sinks.empty()) continue;
+    const GatePlace drv = placement.net_driver_position(nl, n);
+    for (const netlist::PinRef& sref : net.sinks) {
+      const GatePlace& snk = placement.gate(sref.gate);
+      const double h_len = std::abs(snk.x - drv.x);
+      const double v_len = std::abs(snk.y - drv.y);
+      if (h_len > 0.0) {
+        h_channels[std::min(drv.row, n_rows - 1)].push_back(
+            {n, std::min(drv.x, snk.x), std::max(drv.x, snk.x)});
+      }
+      if (v_len > 0.0) {
+        const auto col = static_cast<std::uint32_t>(
+            std::min<double>(n_cols - 1, snk.x / options.channel_width));
+        v_channels[col].push_back(
+            {n, std::min(drv.y, snk.y), std::max(drv.y, snk.y)});
+      }
+      nets_[n].sinks.push_back({sref, h_len + v_len});
+    }
+  }
+
+  // Greedy interval partitioning onto tracks, per channel.
+  auto assign = [this](std::vector<PendingSegment>& pending,
+                       std::uint32_t channel, bool horizontal) {
+    merge_same_net(pending);
+    std::sort(pending.begin(), pending.end(),
+              [](const auto& a, const auto& b) { return a.lo < b.lo; });
+    std::vector<double> track_end;  // end coordinate per occupied track
+    for (const PendingSegment& p : pending) {
+      std::uint32_t track = 0;
+      bool placed = false;
+      for (std::uint32_t t = 0; t < track_end.size(); ++t) {
+        if (track_end[t] <= p.lo) {
+          track = t;
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        track = static_cast<std::uint32_t>(track_end.size());
+        track_end.push_back(0.0);
+      }
+      track_end[track] = p.hi;
+      RouteSegment seg;
+      seg.net = p.net;
+      seg.horizontal = horizontal;
+      seg.channel = channel;
+      seg.track = track;
+      seg.lo = p.lo;
+      seg.hi = p.hi;
+      const auto idx = static_cast<std::uint32_t>(segments_.size());
+      segments_.push_back(seg);
+      nets_[p.net].segments.push_back(idx);
+      nets_[p.net].total_length += seg.length();
+    }
+  };
+
+  for (std::uint32_t r = 0; r < n_rows; ++r) assign(h_channels[r], r, true);
+  for (std::uint32_t c = 0; c < n_cols; ++c) assign(v_channels[c], c, false);
+}
+
+void RoutedDesign::isolate_nets(const std::vector<netlist::NetId>& nets) {
+  std::vector<char> chosen;
+  for (const netlist::NetId n : nets) {
+    if (n >= chosen.size()) chosen.resize(n + 1, 0);
+    chosen[n] = 1;
+  }
+  // Current top track per (direction, channel).
+  std::map<std::pair<bool, std::uint32_t>, std::uint32_t> top;
+  for (const RouteSegment& s : segments_) {
+    auto& t = top[{s.horizontal, s.channel}];
+    t = std::max(t, s.track);
+  }
+  // Next free isolated track per channel (advance by 2: spacer + slot).
+  std::map<std::pair<bool, std::uint32_t>, std::uint32_t> next;
+  for (RouteSegment& s : segments_) {
+    if (s.net >= chosen.size() || !chosen[s.net]) continue;
+    const auto key = std::make_pair(s.horizontal, s.channel);
+    auto [it, inserted] = next.try_emplace(key, top[key] + 2);
+    s.track = it->second;
+    it->second += 2;
+  }
+}
+
+double RoutedDesign::total_wire_length() const {
+  double total = 0.0;
+  for (const RoutedNet& n : nets_) total += n.total_length;
+  return total;
+}
+
+}  // namespace xtalk::layout

@@ -1,0 +1,79 @@
+// Two-layer channel router.
+//
+// Metal 1 runs horizontally in the channel of the driver's row, metal 2
+// vertically in column channels. Every driver->sink connection is an
+// L-shaped route (horizontal trunk + vertical drop). Within a channel,
+// segments are packed onto tracks by greedy interval partitioning, so
+// unrelated nets end up on adjacent tracks with long parallel runs — the
+// aggressor/victim situation of the paper's Fig. 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/placement.hpp"
+#include "netlist/netlist.hpp"
+
+namespace xtalk::layout {
+
+struct RouterOptions {
+  double track_pitch = 2.0e-6;   ///< routing pitch on both layers [m]
+  double channel_width = 32.0e-6;///< width of a vertical column channel [m]
+};
+
+/// One straight routed wire piece on a track.
+struct RouteSegment {
+  netlist::NetId net = netlist::kNoNet;
+  bool horizontal = true;
+  std::uint32_t channel = 0;  ///< row index (horizontal) or column channel
+  std::uint32_t track = 0;    ///< track within the channel
+  double lo = 0.0;            ///< span start along the segment direction [m]
+  double hi = 0.0;            ///< span end [m]
+
+  double length() const { return hi - lo; }
+};
+
+/// Per driver->sink connection: the wire lengths making up its L-route,
+/// used for Elmore wire-delay calculation.
+struct SinkRoute {
+  netlist::PinRef sink;
+  double wire_length = 0.0;  ///< total route length driver->this sink [m]
+};
+
+struct RoutedNet {
+  std::vector<std::uint32_t> segments;  ///< indices into RoutedDesign::segments
+  std::vector<SinkRoute> sinks;
+  double total_length = 0.0;
+};
+
+class RoutedDesign {
+ public:
+  RoutedDesign(const netlist::Netlist& netlist, const Placement& placement,
+               const RouterOptions& options = {});
+
+  const std::vector<RouteSegment>& segments() const { return segments_; }
+  /// Mutable access for layout optimizers (track permutation); callers
+  /// must preserve per-track interval disjointness and re-extract.
+  std::vector<RouteSegment>& mutable_segments() { return segments_; }
+  const RoutedNet& net(netlist::NetId id) const { return nets_[id]; }
+  std::size_t num_nets() const { return nets_.size(); }
+  const RouterOptions& options() const { return options_; }
+  const Placement& placement() const { return *placement_; }
+
+  /// Total routed wire length over the whole design [m].
+  double total_wire_length() const;
+
+  /// Crosstalk avoidance: move every segment of the given nets onto fresh
+  /// isolated tracks of their channels (beyond the current maximum, with a
+  /// spacer track in between), so they no longer neighbour anything —
+  /// including each other. Geometry-only; re-extract afterwards.
+  void isolate_nets(const std::vector<netlist::NetId>& nets);
+
+ private:
+  RouterOptions options_;
+  const Placement* placement_;
+  std::vector<RouteSegment> segments_;
+  std::vector<RoutedNet> nets_;
+};
+
+}  // namespace xtalk::layout

@@ -1,0 +1,126 @@
+#include "layout/track_optimizer.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace xtalk::layout {
+
+namespace {
+
+struct Ref {
+  double lo, hi;
+  double weight;
+};
+
+/// Weighted overlap cost between two tracks (segments disjoint and sorted
+/// by lo within each track).
+double pair_cost(const std::vector<Ref>& a, const std::vector<Ref>& b) {
+  double cost = 0.0;
+  std::size_t start = 0;
+  for (const Ref& ra : a) {
+    while (start < b.size() && b[start].hi <= ra.lo) ++start;
+    for (std::size_t j = start; j < b.size(); ++j) {
+      const Ref& rb = b[j];
+      if (rb.lo >= ra.hi) break;
+      cost += (std::min(ra.hi, rb.hi) - std::max(ra.lo, rb.lo)) * ra.weight *
+              rb.weight;
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+TrackOptimizerStats optimize_tracks(RoutedDesign& routing,
+                                    const std::vector<double>& net_weight,
+                                    const TrackOptimizerOptions& opt) {
+  auto weight = [&net_weight](netlist::NetId n) {
+    return n < net_weight.size() ? net_weight[n] : 1.0;
+  };
+
+  // Group segment indices by channel and track.
+  std::map<std::pair<bool, std::uint32_t>,
+           std::map<std::uint32_t, std::vector<std::size_t>>>
+      channels;
+  auto& segs = routing.mutable_segments();
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    channels[{segs[i].horizontal, segs[i].channel}][segs[i].track].push_back(i);
+  }
+
+  TrackOptimizerStats stats;
+  for (auto& [key, track_map] : channels) {
+    (void)key;
+    if (track_map.size() < 2) continue;
+    // Dense track list (tracks may be sparse after isolation).
+    std::vector<std::uint32_t> track_ids;
+    std::vector<std::vector<std::size_t>> tracks;
+    std::vector<std::vector<Ref>> refs;
+    for (auto& [tid, members] : track_map) {
+      std::sort(members.begin(), members.end(),
+                [&segs](std::size_t x, std::size_t y) {
+                  return segs[x].lo < segs[y].lo;
+                });
+      std::vector<Ref> r;
+      r.reserve(members.size());
+      for (const std::size_t si : members) {
+        r.push_back({segs[si].lo, segs[si].hi, weight(segs[si].net)});
+      }
+      track_ids.push_back(tid);
+      tracks.push_back(members);
+      refs.push_back(std::move(r));
+    }
+    const std::size_t n = tracks.size();
+    auto cost_between = [&](std::ptrdiff_t a, std::ptrdiff_t b) {
+      if (a < 0 || b < 0 || a >= static_cast<std::ptrdiff_t>(n) ||
+          b >= static_cast<std::ptrdiff_t>(n)) {
+        return 0.0;
+      }
+      // Physically adjacent only if the track ids differ by 1.
+      if (track_ids[static_cast<std::size_t>(b)] -
+              track_ids[static_cast<std::size_t>(a)] !=
+          1) {
+        return 0.0;
+      }
+      return pair_cost(refs[static_cast<std::size_t>(a)],
+                       refs[static_cast<std::size_t>(b)]);
+    };
+    for (std::ptrdiff_t t = 0; t + 1 < static_cast<std::ptrdiff_t>(n); ++t) {
+      stats.cost_before += cost_between(t, t + 1);
+    }
+
+    for (int pass = 0; pass < opt.passes; ++pass) {
+      bool improved = false;
+      for (std::ptrdiff_t t = 0; t + 1 < static_cast<std::ptrdiff_t>(n); ++t) {
+        const double current = cost_between(t - 1, t) + cost_between(t + 1, t + 2);
+        // After swapping the *contents* of slots t and t+1.
+        std::swap(refs[static_cast<std::size_t>(t)],
+                  refs[static_cast<std::size_t>(t + 1)]);
+        const double swapped = cost_between(t - 1, t) + cost_between(t + 1, t + 2);
+        if (swapped < current - 1e-18) {
+          std::swap(tracks[static_cast<std::size_t>(t)],
+                    tracks[static_cast<std::size_t>(t + 1)]);
+          ++stats.swaps;
+          improved = true;
+        } else {
+          std::swap(refs[static_cast<std::size_t>(t)],
+                    refs[static_cast<std::size_t>(t + 1)]);  // undo
+        }
+      }
+      if (!improved) break;
+    }
+
+    // Commit the permutation back to the segments.
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      for (const std::size_t si : tracks[slot]) {
+        segs[si].track = track_ids[slot];
+      }
+      stats.cost_after += slot + 1 < n
+                              ? cost_between(static_cast<std::ptrdiff_t>(slot),
+                                             static_cast<std::ptrdiff_t>(slot) + 1)
+                              : 0.0;
+    }
+  }
+  return stats;
+}
+
+}  // namespace xtalk::layout

@@ -1,0 +1,298 @@
+#include "netlist/bench_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace xtalk::netlist {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
+  throw std::runtime_error("bench parse error, line " +
+                           std::to_string(line_no) + ": " + msg);
+}
+
+struct ParsedGate {
+  std::string output;
+  std::string func;
+  std::vector<std::string> args;
+  std::size_t line_no = 0;
+};
+
+CellFunc func_from_name(const std::string& f, std::size_t line_no) {
+  if (f == "NOT" || f == "INV") return CellFunc::kInv;
+  if (f == "BUF" || f == "BUFF") return CellFunc::kBuf;
+  if (f == "AND") return CellFunc::kAnd;
+  if (f == "NAND") return CellFunc::kNand;
+  if (f == "OR") return CellFunc::kOr;
+  if (f == "NOR") return CellFunc::kNor;
+  if (f == "XOR") return CellFunc::kXor;
+  if (f == "XNOR") return CellFunc::kXnor;
+  if (f == "DFF") return CellFunc::kDff;
+  fail(line_no, "unknown function '" + f + "'");
+}
+
+/// Largest direct fanin the library supports per function.
+std::size_t max_fanin(CellFunc func) {
+  switch (func) {
+    case CellFunc::kNand:
+    case CellFunc::kNor:
+      return 4;
+    case CellFunc::kAnd:
+    case CellFunc::kOr:
+      return 3;
+    default:
+      return 2;
+  }
+}
+
+/// Decompose a wide AND/OR/NAND/NOR into a balanced tree of narrower
+/// gates, creating intermediate nets named <out>$t<n>. Returns the list of
+/// (cell, output net name, input net names) gates to instantiate, in
+/// topological order.
+struct TreeGate {
+  CellFunc func;
+  std::string output;
+  std::vector<std::string> inputs;
+};
+
+void decompose(CellFunc func, const std::string& output,
+               std::vector<std::string> inputs, std::vector<TreeGate>& out) {
+  const std::size_t width = max_fanin(func);
+  if (inputs.size() <= width) {
+    out.push_back({func, output, std::move(inputs)});
+    return;
+  }
+  // Reduce with the *non-inverting* base function, inverting only at the
+  // root for NAND/NOR: NAND(a..z) == NOT(AND(a..z)).
+  const bool inverting = func == CellFunc::kNand || func == CellFunc::kNor;
+  const CellFunc base = (func == CellFunc::kNand || func == CellFunc::kAnd)
+                            ? CellFunc::kAnd
+                            : CellFunc::kOr;
+  const std::size_t base_width = max_fanin(base);
+  std::size_t counter = 0;
+  std::vector<std::string> level = std::move(inputs);
+  while (level.size() > base_width) {
+    std::vector<std::string> next;
+    for (std::size_t i = 0; i < level.size(); i += base_width) {
+      const std::size_t n = std::min(base_width, level.size() - i);
+      if (n == 1) {
+        next.push_back(level[i]);
+        continue;
+      }
+      std::string mid = output + "$t" + std::to_string(counter++);
+      out.push_back({base,
+                     mid,
+                     {level.begin() + static_cast<std::ptrdiff_t>(i),
+                      level.begin() + static_cast<std::ptrdiff_t>(i + n)}});
+      next.push_back(std::move(mid));
+    }
+    level = std::move(next);
+  }
+  out.push_back({inverting ? (base == CellFunc::kAnd ? CellFunc::kNand
+                                                     : CellFunc::kNor)
+                           : base,
+                 output, std::move(level)});
+}
+
+}  // namespace
+
+Netlist parse_bench(std::string_view text, const CellLibrary& library) {
+  Netlist nl(library);
+
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<ParsedGate> gates;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl_pos = text.find('\n', pos);
+    std::string line =
+        trim(text.substr(pos, nl_pos == std::string_view::npos ? text.size() - pos
+                                                               : nl_pos - pos));
+    pos = nl_pos == std::string_view::npos ? text.size() + 1 : nl_pos + 1;
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const std::size_t open = line.find('(');
+      const std::size_t close = line.rfind(')');
+      if (open == std::string::npos || close == std::string::npos ||
+          close < open) {
+        fail(line_no, "expected INPUT(...) or OUTPUT(...): '" + line + "'");
+      }
+      const std::string kw = upper(trim(line.substr(0, open)));
+      const std::string arg = trim(line.substr(open + 1, close - open - 1));
+      if (arg.empty()) fail(line_no, "empty port name");
+      if (kw == "INPUT") {
+        inputs.push_back(arg);
+      } else if (kw == "OUTPUT") {
+        outputs.push_back(arg);
+      } else {
+        fail(line_no, "unknown directive '" + kw + "'");
+      }
+      continue;
+    }
+
+    ParsedGate g;
+    g.line_no = line_no;
+    g.output = trim(line.substr(0, eq));
+    if (g.output.empty()) fail(line_no, "empty gate output name");
+    const std::string rhs = trim(line.substr(eq + 1));
+    const std::size_t open = rhs.find('(');
+    const std::size_t close = rhs.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+      fail(line_no, "expected FUNC(args): '" + rhs + "'");
+    }
+    g.func = upper(trim(rhs.substr(0, open)));
+    std::stringstream args(rhs.substr(open + 1, close - open - 1));
+    std::string a;
+    while (std::getline(args, a, ',')) {
+      a = trim(a);
+      if (a.empty()) fail(line_no, "empty argument");
+      g.args.push_back(a);
+    }
+    if (g.args.empty()) fail(line_no, "gate with no inputs");
+    gates.push_back(std::move(g));
+  }
+
+  // Create the implicit clock net first if any DFF is present, so it gets a
+  // stable id.
+  const bool has_ff = std::any_of(gates.begin(), gates.end(),
+                                  [](const ParsedGate& g) {
+                                    return upper(g.func) == "DFF";
+                                  });
+  if (has_ff) {
+    const NetId clk = nl.add_net("CLK", NetKind::kClock);
+    nl.mark_primary_input(clk);
+    nl.set_clock_net(clk);
+  }
+
+  for (const std::string& in : inputs) {
+    nl.mark_primary_input(nl.add_net(in));
+  }
+
+  std::size_t ff_index = 0;
+  for (const ParsedGate& g : gates) {
+    const CellFunc func = func_from_name(g.func, g.line_no);
+    if (func == CellFunc::kDff) {
+      if (g.args.size() != 1) fail(g.line_no, "DFF takes exactly one input");
+      const Cell& cell = library.by_func(CellFunc::kDff, 1);
+      const NetId d = nl.add_net(g.args[0]);
+      const NetId q = nl.add_net(g.output);
+      nl.add_gate("ff" + std::to_string(ff_index++) + "_" + g.output, cell,
+                  {d, nl.clock_net(), q});
+      continue;
+    }
+    if ((func == CellFunc::kInv || func == CellFunc::kBuf) &&
+        g.args.size() != 1) {
+      fail(g.line_no, g.func + " takes exactly one input");
+    }
+    if ((func == CellFunc::kXor || func == CellFunc::kXnor) &&
+        g.args.size() != 2) {
+      fail(g.line_no, g.func + " takes exactly two inputs");
+    }
+    if (g.args.size() == 1 && func != CellFunc::kInv && func != CellFunc::kBuf) {
+      // Single-input AND/OR/NAND/NOR degenerate to BUF/NOT.
+      const CellFunc unary = (func == CellFunc::kNand || func == CellFunc::kNor)
+                                 ? CellFunc::kInv
+                                 : CellFunc::kBuf;
+      const Cell& cell = library.by_func(unary, 1);
+      nl.add_gate(g.output, cell, {nl.add_net(g.args[0]), nl.add_net(g.output)});
+      continue;
+    }
+    std::vector<TreeGate> tree;
+    decompose(func, g.output, g.args, tree);
+    for (TreeGate& tg : tree) {
+      const Cell& cell = library.by_func(tg.func, tg.inputs.size());
+      std::vector<NetId> pins;
+      pins.reserve(tg.inputs.size() + 1);
+      for (const std::string& in : tg.inputs) pins.push_back(nl.add_net(in));
+      pins.push_back(nl.add_net(tg.output));
+      nl.add_gate(tg.output, cell, std::move(pins));
+    }
+  }
+
+  for (const std::string& out : outputs) {
+    const NetId id = nl.find_net(out);
+    if (id == kNoNet) {
+      throw std::runtime_error("OUTPUT(" + out + ") is never driven");
+    }
+    nl.mark_primary_output(id);
+  }
+
+  nl.validate();
+  return nl;
+}
+
+Netlist parse_bench_file(const std::string& path, const CellLibrary& library) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_bench(ss.str(), library);
+}
+
+std::string write_bench(const Netlist& nl) {
+  std::ostringstream os;
+  os << "# written by xtalk-sta\n";
+  for (const NetId id : nl.primary_inputs()) {
+    if (id == nl.clock_net()) continue;  // implicit in the format
+    os << "INPUT(" << nl.net(id).name << ")\n";
+  }
+  for (const NetId id : nl.primary_outputs()) {
+    os << "OUTPUT(" << nl.net(id).name << ")\n";
+  }
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    const Cell& cell = *gate.cell;
+    std::string func;
+    switch (cell.func()) {
+      case CellFunc::kInv: func = "NOT"; break;
+      case CellFunc::kBuf: func = "BUF"; break;
+      case CellFunc::kNand: func = "NAND"; break;
+      case CellFunc::kNor: func = "NOR"; break;
+      case CellFunc::kAnd: func = "AND"; break;
+      case CellFunc::kOr: func = "OR"; break;
+      case CellFunc::kXor: func = "XOR"; break;
+      case CellFunc::kXnor: func = "XNOR"; break;
+      case CellFunc::kAoi21: func = "AOI21"; break;
+      case CellFunc::kOai21: func = "OAI21"; break;
+      case CellFunc::kDff: func = "DFF"; break;
+    }
+    os << nl.net(gate.pin_nets[cell.output_pin()]).name << " = " << func << "(";
+    bool first = true;
+    for (std::uint32_t p = 0; p < gate.pin_nets.size(); ++p) {
+      const PinDir dir = cell.pins()[p].dir;
+      if (dir == PinDir::kOutput) continue;
+      if (dir == PinDir::kClock) continue;  // implicit clock
+      if (!first) os << ", ";
+      first = false;
+      os << nl.net(gate.pin_nets[p]).name;
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace xtalk::netlist

@@ -1,0 +1,37 @@
+// ISCAS89 ".bench" netlist format reader/writer.
+//
+// The paper's experiments run on ISCAS89 sequential benchmarks; this parser
+// accepts the standard format:
+//
+//   # comment
+//   INPUT(G0)
+//   OUTPUT(G17)
+//   G10 = NAND(G0, G1)
+//   G5  = DFF(G10)
+//
+// Supported functions: NOT, BUF/BUFF, AND, NAND, OR, NOR, XOR, XNOR, DFF.
+// Gates wider than the library's 4-input maximum are decomposed into
+// balanced trees of narrower gates (new nets get a "$t<n>" suffix).
+// DFF clock pins are wired to a single implicit clock net named "CLK".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace xtalk::netlist {
+
+/// Parse a .bench netlist. Throws std::runtime_error with a line-numbered
+/// message on malformed input.
+Netlist parse_bench(std::string_view text, const CellLibrary& library);
+
+/// Read and parse a .bench file from disk.
+Netlist parse_bench_file(const std::string& path, const CellLibrary& library);
+
+/// Serialize a netlist back to .bench text. Multi-stage library cells keep
+/// their bench-level function name (AND2_X1 -> AND); clock-tree buffer
+/// gates (on clock nets) are emitted as BUF lines.
+std::string write_bench(const Netlist& netlist);
+
+}  // namespace xtalk::netlist

@@ -1,0 +1,428 @@
+#include "netlist/cell_library.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace xtalk::netlist {
+
+namespace {
+
+/// Number of devices directly adjacent to the network's output-side
+/// terminal: a series chain exposes only its first device, a parallel
+/// combination exposes every branch.
+std::size_t adjacent_devices(const SpNode& node) {
+  switch (node.kind) {
+    case SpNode::Kind::kDevice:
+      return 1;
+    case SpNode::Kind::kSeries:
+      return node.children.empty() ? 0 : adjacent_devices(node.children.front());
+    case SpNode::Kind::kParallel: {
+      std::size_t n = 0;
+      for (const SpNode& c : node.children) n += adjacent_devices(c);
+      return n;
+    }
+  }
+  return 0;
+}
+
+/// Adjacency count for the dual network (pull-up side): series and parallel
+/// swap roles.
+std::size_t adjacent_devices_dual(const SpNode& node) {
+  switch (node.kind) {
+    case SpNode::Kind::kDevice:
+      return 1;
+    case SpNode::Kind::kSeries: {  // dual of series is parallel
+      std::size_t n = 0;
+      for (const SpNode& c : node.children) n += adjacent_devices_dual(c);
+      return n;
+    }
+    case SpNode::Kind::kParallel:  // dual of parallel is series
+      return node.children.empty() ? 0
+                                   : adjacent_devices_dual(node.children.front());
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::size_t SpNode::device_count() const {
+  if (kind == Kind::kDevice) return 1;
+  std::size_t n = 0;
+  for (const SpNode& c : children) n += c.device_count();
+  return n;
+}
+
+std::size_t SpNode::stack_height() const {
+  switch (kind) {
+    case Kind::kDevice:
+      return 1;
+    case Kind::kSeries: {
+      std::size_t n = 0;
+      for (const SpNode& c : children) n += c.stack_height();
+      return n;
+    }
+    case Kind::kParallel: {
+      std::size_t n = 0;
+      for (const SpNode& c : children)
+        n = std::max(n, c.stack_height());
+      return n;
+    }
+  }
+  return 0;
+}
+
+Cell::Cell(std::string name, CellFunc func, std::vector<PinInfo> pins,
+           std::vector<Stage> stages, bool sequential)
+    : name_(std::move(name)),
+      func_(func),
+      pins_(std::move(pins)),
+      stages_(std::move(stages)),
+      sequential_(sequential) {
+  [[maybe_unused]] bool have_output = false;
+  bool have_clock = false;
+  for (std::size_t i = 0; i < pins_.size(); ++i) {
+    switch (pins_[i].dir) {
+      case PinDir::kInput:
+        ++num_inputs_;
+        break;
+      case PinDir::kOutput:
+        assert(!have_output && "cells have exactly one output");
+        output_pin_ = i;
+        have_output = true;
+        break;
+      case PinDir::kClock:
+        clock_pin_ = i;
+        have_clock = true;
+        break;
+    }
+  }
+  assert(have_output);
+  assert(sequential_ == have_clock);
+  (void)have_clock;
+}
+
+std::size_t Cell::pin_index(const std::string& pin_name) const {
+  for (std::size_t i = 0; i < pins_.size(); ++i) {
+    if (pins_[i].name == pin_name) return i;
+  }
+  throw std::out_of_range("cell " + name_ + " has no pin " + pin_name);
+}
+
+std::size_t Cell::transistor_count() const {
+  std::size_t n = 0;
+  for (const Stage& s : stages_) n += 2 * s.pulldown.device_count();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Library construction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr double kUm = 1e-6;
+// Base X1 device widths: PMOS roughly compensates the mobility ratio.
+constexpr double kWn = 2.0 * kUm;
+constexpr double kWp = 4.0 * kUm;
+
+/// Builder for one cell: collects stages, then computes pin caps and the
+/// output parasitic from the transistor topology.
+class CellBuilder {
+ public:
+  CellBuilder(const device::Technology& tech, std::string name, CellFunc func)
+      : tech_(tech), name_(std::move(name)), func_(func) {}
+
+  CellBuilder& input(std::string pin_name) {
+    pins_.push_back({std::move(pin_name), PinDir::kInput, 0.0});
+    return *this;
+  }
+  CellBuilder& clock(std::string pin_name) {
+    pins_.push_back({std::move(pin_name), PinDir::kClock, 0.0});
+    sequential_ = true;
+    return *this;
+  }
+  CellBuilder& output(std::string pin_name) {
+    pins_.push_back({std::move(pin_name), PinDir::kOutput, 0.0});
+    return *this;
+  }
+
+  CellBuilder& stage(std::vector<StageInput> inputs, SpNode pulldown,
+                     double wn, double wp) {
+    Stage s;
+    s.inputs = std::move(inputs);
+    s.pulldown = std::move(pulldown);
+    s.wn = wn;
+    s.wp = wp;
+    stages_.push_back(std::move(s));
+    return *this;
+  }
+
+  /// Convenience: single-input inverting stage.
+  CellBuilder& inv_stage(StageInput in, double wn, double wp) {
+    return stage({in}, SpNode::device(0), wn, wp);
+  }
+
+  Cell build() {
+    // Pin capacitance: every stage-input device pair (one NMOS + one PMOS)
+    // whose stage input references the pin contributes its gate caps.
+    for (const Stage& s : stages_) {
+      std::vector<std::size_t> multiplicity(s.inputs.size(), 0);
+      count_leaves(s.pulldown, multiplicity);
+      for (std::size_t ii = 0; ii < s.inputs.size(); ++ii) {
+        const StageInput& si = s.inputs[ii];
+        if (si.source != StageInput::Source::kCellPin) continue;
+        const double cap = static_cast<double>(multiplicity[ii]) *
+                           (tech_.gate_cap(s.wn) + tech_.gate_cap(s.wp));
+        pins_[si.index].cap += cap;
+      }
+    }
+    Cell cell(name_, func_, pins_, stages_, sequential_);
+    // Output parasitic: drain junctions of the last stage adjacent to the
+    // output node on both networks.
+    const Stage& last = stages_.back();
+    const double cout =
+        static_cast<double>(adjacent_devices(last.pulldown)) *
+            tech_.junction_cap(last.wn) +
+        static_cast<double>(adjacent_devices_dual(last.pulldown)) *
+            tech_.junction_cap(last.wp);
+    // Cell is immutable; rebuild with the cap via the private setter pattern:
+    // simplest is a friend-free approach: store in a mutable-by-construction
+    // copy. We re-create the cell with the cap patched through a small
+    // subclass-free trick: assign to the member via a setter method.
+    cell.set_output_parasitic_cap(cout);
+    return cell;
+  }
+
+ private:
+  static void count_leaves(const SpNode& node,
+                           std::vector<std::size_t>& multiplicity) {
+    if (node.kind == SpNode::Kind::kDevice) {
+      assert(node.input < multiplicity.size());
+      ++multiplicity[node.input];
+      return;
+    }
+    for (const SpNode& c : node.children) count_leaves(c, multiplicity);
+  }
+
+  const device::Technology& tech_;
+  std::string name_;
+  CellFunc func_;
+  std::vector<PinInfo> pins_;
+  std::vector<Stage> stages_;
+  bool sequential_ = false;
+};
+
+}  // namespace
+
+void CellLibrary::add(Cell cell) {
+  auto name = cell.name();
+  cells_.emplace(std::move(name), std::make_unique<Cell>(std::move(cell)));
+}
+
+void CellLibrary::build() {
+  const device::Technology& t = *tech_;
+  const std::vector<std::string> pin_names = {"A", "B", "C", "D"};
+
+  // Inverters and buffers in three strengths.
+  for (const auto& [suffix, mult] :
+       std::vector<std::pair<std::string, double>>{
+           {"X1", 1.0}, {"X2", 2.0}, {"X4", 4.0}}) {
+    add(CellBuilder(t, "INV_" + suffix, CellFunc::kInv)
+            .input("A")
+            .output("Y")
+            .inv_stage(StageInput::pin(0), kWn * mult, kWp * mult)
+            .build());
+    add(CellBuilder(t, "BUF_" + suffix, CellFunc::kBuf)
+            .input("A")
+            .output("Y")
+            .inv_stage(StageInput::pin(0), kWn, kWp)
+            .inv_stage(StageInput::stage(0), kWn * mult, kWp * mult)
+            .build());
+  }
+  // Large clock buffers.
+  for (const auto& [suffix, mult] :
+       std::vector<std::pair<std::string, double>>{{"X8", 8.0}, {"X16", 16.0}}) {
+    add(CellBuilder(t, "CLKBUF_" + suffix, CellFunc::kBuf)
+            .input("A")
+            .output("Y")
+            .inv_stage(StageInput::pin(0), kWn * mult / 2.0, kWp * mult / 2.0)
+            .inv_stage(StageInput::stage(0), kWn * mult, kWp * mult)
+            .build());
+  }
+
+  // NAND2..4 (series NMOS upsized by the stack height) and NOR2..4 (dual).
+  for (std::size_t n = 2; n <= 4; ++n) {
+    const double wn_nand = kWn * static_cast<double>(n);
+    const double wp_nor = kWp * static_cast<double>(n);
+    for (const auto& [suffix, mult] :
+         std::vector<std::pair<std::string, double>>{{"X1", 1.0}, {"X2", 2.0}}) {
+      if (n > 2 && suffix == "X2") continue;  // only 2-input in X2
+      std::vector<StageInput> ins;
+      std::vector<SpNode> devs;
+      CellBuilder nand(t, "NAND" + std::to_string(n) + "_" + suffix,
+                       CellFunc::kNand);
+      CellBuilder nor(t, "NOR" + std::to_string(n) + "_" + suffix,
+                      CellFunc::kNor);
+      for (std::size_t i = 0; i < n; ++i) {
+        nand.input(pin_names[i]);
+        nor.input(pin_names[i]);
+        ins.push_back(StageInput::pin(i));
+        devs.push_back(SpNode::device(i));
+      }
+      nand.output("Y").stage(ins, SpNode::series(devs), wn_nand * mult,
+                             kWp * mult);
+      nor.output("Y").stage(ins, SpNode::parallel(devs), kWn * mult,
+                            wp_nor * mult);
+      add(nand.build());
+      add(nor.build());
+    }
+  }
+
+  // AND / OR: NAND/NOR first stage plus an output inverter.
+  for (std::size_t n = 2; n <= 3; ++n) {
+    std::vector<StageInput> ins;
+    std::vector<SpNode> devs;
+    CellBuilder andc(t, "AND" + std::to_string(n) + "_X1", CellFunc::kAnd);
+    CellBuilder orc(t, "OR" + std::to_string(n) + "_X1", CellFunc::kOr);
+    for (std::size_t i = 0; i < n; ++i) {
+      andc.input(pin_names[i]);
+      orc.input(pin_names[i]);
+      ins.push_back(StageInput::pin(i));
+      devs.push_back(SpNode::device(i));
+    }
+    andc.output("Y")
+        .stage(ins, SpNode::series(devs), kWn * static_cast<double>(n), kWp)
+        .inv_stage(StageInput::stage(0), kWn, kWp);
+    orc.output("Y")
+        .stage(ins, SpNode::parallel(devs), kWn, kWp * static_cast<double>(n))
+        .inv_stage(StageInput::stage(0), kWn, kWp);
+    add(andc.build());
+    add(orc.build());
+  }
+
+  // XOR2: Y = !(A*B + A'*B'); XNOR2: Y = !(A*B' + A'*B). Two input
+  // inverters feed a 2-high AOI stage.
+  {
+    CellBuilder x(t, "XOR2_X1", CellFunc::kXor);
+    x.input("A").input("B").output("Y");
+    x.inv_stage(StageInput::pin(0), kWn, kWp);   // stage 0: A'
+    x.inv_stage(StageInput::pin(1), kWn, kWp);   // stage 1: B'
+    // stage inputs: 0=A, 1=B, 2=A', 3=B'
+    x.stage({StageInput::pin(0), StageInput::pin(1), StageInput::stage(0),
+             StageInput::stage(1)},
+            SpNode::parallel({
+                SpNode::series({SpNode::device(0), SpNode::device(1)}),
+                SpNode::series({SpNode::device(2), SpNode::device(3)}),
+            }),
+            2.0 * kWn, 2.0 * kWp);
+    add(x.build());
+
+    CellBuilder xn(t, "XNOR2_X1", CellFunc::kXnor);
+    xn.input("A").input("B").output("Y");
+    xn.inv_stage(StageInput::pin(0), kWn, kWp);
+    xn.inv_stage(StageInput::pin(1), kWn, kWp);
+    xn.stage({StageInput::pin(0), StageInput::pin(1), StageInput::stage(0),
+              StageInput::stage(1)},
+             SpNode::parallel({
+                 SpNode::series({SpNode::device(0), SpNode::device(3)}),
+                 SpNode::series({SpNode::device(2), SpNode::device(1)}),
+             }),
+             2.0 * kWn, 2.0 * kWp);
+    add(xn.build());
+  }
+
+  // AOI21: Y = !(A*B + C); OAI21: Y = !((A+B)*C).
+  {
+    CellBuilder aoi(t, "AOI21_X1", CellFunc::kAoi21);
+    aoi.input("A").input("B").input("C").output("Y");
+    aoi.stage({StageInput::pin(0), StageInput::pin(1), StageInput::pin(2)},
+              SpNode::parallel({
+                  SpNode::series({SpNode::device(0), SpNode::device(1)}),
+                  SpNode::device(2),
+              }),
+              2.0 * kWn, 2.0 * kWp);
+    add(aoi.build());
+
+    CellBuilder oai(t, "OAI21_X1", CellFunc::kOai21);
+    oai.input("A").input("B").input("C").output("Y");
+    oai.stage({StageInput::pin(0), StageInput::pin(1), StageInput::pin(2)},
+              SpNode::series({
+                  SpNode::parallel({SpNode::device(0), SpNode::device(1)}),
+                  SpNode::device(2),
+              }),
+              2.0 * kWn, 2.0 * kWp);
+    add(oai.build());
+  }
+
+  // DFF: timing model is the CK -> Q arc through two inverting stages
+  // (clock inverter + output driver), the customary lumped master/slave
+  // simplification; D only contributes pin capacitance and terminates
+  // combinational paths.
+  {
+    CellBuilder ff(t, "DFF_X1", CellFunc::kDff);
+    ff.input("D").clock("CK").output("Q");
+    ff.inv_stage(StageInput::pin(1), kWn, kWp);
+    ff.inv_stage(StageInput::stage(0), 1.5 * kWn, 1.5 * kWp);
+    Cell cell = ff.build();
+    // The D pin drives an input transmission gate + inverter internally.
+    cell.add_pin_cap(cell.pin_index("D"), t.gate_cap(kWn) + t.gate_cap(kWp));
+    add(std::move(cell));
+  }
+}
+
+CellLibrary::CellLibrary(const device::Technology& tech) : tech_(&tech) {
+  build();
+}
+
+const Cell* CellLibrary::find(const std::string& name) const {
+  auto it = cells_.find(name);
+  return it == cells_.end() ? nullptr : it->second.get();
+}
+
+const Cell& CellLibrary::get(const std::string& name) const {
+  const Cell* c = find(name);
+  if (!c) throw std::out_of_range("no cell named " + name);
+  return *c;
+}
+
+const Cell& CellLibrary::by_func(CellFunc func, std::size_t fanin) const {
+  switch (func) {
+    case CellFunc::kInv:
+      return get("INV_X1");
+    case CellFunc::kBuf:
+      return get("BUF_X1");
+    case CellFunc::kNand:
+      return get("NAND" + std::to_string(fanin) + "_X1");
+    case CellFunc::kNor:
+      return get("NOR" + std::to_string(fanin) + "_X1");
+    case CellFunc::kAnd:
+      return get("AND" + std::to_string(fanin) + "_X1");
+    case CellFunc::kOr:
+      return get("OR" + std::to_string(fanin) + "_X1");
+    case CellFunc::kXor:
+      return get("XOR2_X1");
+    case CellFunc::kXnor:
+      return get("XNOR2_X1");
+    case CellFunc::kAoi21:
+      return get("AOI21_X1");
+    case CellFunc::kOai21:
+      return get("OAI21_X1");
+    case CellFunc::kDff:
+      return get("DFF_X1");
+  }
+  throw std::out_of_range("unsupported cell function");
+}
+
+std::vector<const Cell*> CellLibrary::all_cells() const {
+  std::vector<const Cell*> out;
+  out.reserve(cells_.size());
+  for (const auto& [name, cell] : cells_) out.push_back(cell.get());
+  return out;
+}
+
+const CellLibrary& CellLibrary::half_micron() {
+  static const CellLibrary lib(device::Technology::half_micron());
+  return lib;
+}
+
+}  // namespace xtalk::netlist

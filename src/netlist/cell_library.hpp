@@ -1,0 +1,179 @@
+// Standard-cell library with transistor-level topology.
+//
+// The paper's delay calculation is transistor-level (§3), so every cell
+// carries its CMOS structure, not just a delay table. A cell is a chain of
+// complementary *stages*; each stage is described by its NMOS pull-down
+// network as a series/parallel tree, the PMOS pull-up network being the
+// exact dual. Multi-stage cells (BUF, AND, OR, XOR, DFF) keep gate-level
+// cell counts identical to the benchmark netlists while remaining fully
+// transistor-level underneath.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/technology.hpp"
+
+namespace xtalk::netlist {
+
+/// A node of a series/parallel transistor network. Leaves are devices
+/// controlled by a stage input; internal nodes combine children in series
+/// or parallel. The pull-up network is derived as the dual (series <->
+/// parallel) with PMOS widths.
+struct SpNode {
+  enum class Kind { kDevice, kSeries, kParallel };
+
+  Kind kind = Kind::kDevice;
+  std::size_t input = 0;          ///< stage-input index (leaves only)
+  std::vector<SpNode> children;   ///< internal nodes only
+
+  static SpNode device(std::size_t input) {
+    SpNode n;
+    n.kind = Kind::kDevice;
+    n.input = input;
+    return n;
+  }
+  static SpNode series(std::vector<SpNode> kids) {
+    SpNode n;
+    n.kind = Kind::kSeries;
+    n.children = std::move(kids);
+    return n;
+  }
+  static SpNode parallel(std::vector<SpNode> kids) {
+    SpNode n;
+    n.kind = Kind::kParallel;
+    n.children = std::move(kids);
+    return n;
+  }
+
+  /// Number of device leaves in the tree.
+  std::size_t device_count() const;
+  /// Depth of the longest series chain through the tree (stack height).
+  std::size_t stack_height() const;
+};
+
+/// Where a stage input comes from: a cell input pin or a previous stage's
+/// output.
+struct StageInput {
+  enum class Source { kCellPin, kStage };
+  Source source = Source::kCellPin;
+  std::size_t index = 0;  ///< pin index or stage index
+
+  static StageInput pin(std::size_t i) { return {Source::kCellPin, i}; }
+  static StageInput stage(std::size_t i) { return {Source::kStage, i}; }
+};
+
+/// One complementary CMOS stage. Logically the output is the complement of
+/// the pull-down condition: out = !f(inputs), with f given by `pulldown`.
+struct Stage {
+  std::vector<StageInput> inputs;  ///< stage input list
+  SpNode pulldown;                 ///< NMOS network over input indices
+  double wn = 0.0;                 ///< NMOS device width [m]
+  double wp = 0.0;                 ///< PMOS device width [m]
+};
+
+/// Pin direction.
+enum class PinDir { kInput, kOutput, kClock };
+
+struct PinInfo {
+  std::string name;
+  PinDir dir = PinDir::kInput;
+  double cap = 0.0;  ///< input pin capacitance [F] (0 for outputs)
+};
+
+/// Functional class, used by the parser / generator and for logic value
+/// bookkeeping.
+enum class CellFunc {
+  kInv,
+  kBuf,
+  kNand,
+  kNor,
+  kAnd,
+  kOr,
+  kXor,
+  kXnor,
+  kAoi21,
+  kOai21,
+  kDff,
+};
+
+/// An immutable library cell.
+class Cell {
+ public:
+  Cell(std::string name, CellFunc func, std::vector<PinInfo> pins,
+       std::vector<Stage> stages, bool sequential);
+
+  const std::string& name() const { return name_; }
+  CellFunc func() const { return func_; }
+  bool is_sequential() const { return sequential_; }
+
+  const std::vector<PinInfo>& pins() const { return pins_; }
+  const std::vector<Stage>& stages() const { return stages_; }
+
+  std::size_t num_inputs() const { return num_inputs_; }
+  /// Index of the (single) output pin.
+  std::size_t output_pin() const { return output_pin_; }
+  /// Index of the clock pin; only valid for sequential cells.
+  std::size_t clock_pin() const { return clock_pin_; }
+  /// Pin index by name; throws std::out_of_range if absent.
+  std::size_t pin_index(const std::string& pin_name) const;
+
+  /// Capacitance contributed by the cell's own devices on the output net
+  /// (drain junctions of the last stage) [F].
+  double output_parasitic_cap() const { return output_cap_; }
+
+  /// Total transistor count over all stages.
+  std::size_t transistor_count() const;
+
+  // Library-construction hooks (capacitances are derived from the stage
+  // topology after the pin list is fixed). Not for use outside
+  // CellLibrary::build().
+  void set_output_parasitic_cap(double cap) { output_cap_ = cap; }
+  void add_pin_cap(std::size_t pin, double cap) { pins_[pin].cap += cap; }
+
+ private:
+  std::string name_;
+  CellFunc func_;
+  std::vector<PinInfo> pins_;
+  std::vector<Stage> stages_;
+  bool sequential_ = false;
+  std::size_t num_inputs_ = 0;
+  std::size_t output_pin_ = 0;
+  std::size_t clock_pin_ = 0;
+  double output_cap_ = 0.0;
+};
+
+/// The cell library for one technology. Cells are owned by the library and
+/// referenced by pointer from netlists; the library must outlive them.
+class CellLibrary {
+ public:
+  explicit CellLibrary(const device::Technology& tech);
+
+  const device::Technology& tech() const { return *tech_; }
+
+  /// Lookup by cell name (e.g. "NAND2_X1"); nullptr if absent.
+  const Cell* find(const std::string& name) const;
+  /// Lookup by cell name; throws std::out_of_range if absent.
+  const Cell& get(const std::string& name) const;
+
+  /// Pick a cell by function and fanin for the parser/generator
+  /// (strength X1). Throws std::out_of_range for unsupported combinations.
+  const Cell& by_func(CellFunc func, std::size_t fanin) const;
+
+  std::vector<const Cell*> all_cells() const;
+
+  /// The default library for the 0.5 um technology (built on first use).
+  static const CellLibrary& half_micron();
+
+ private:
+  void add(Cell cell);
+  void build();
+
+  const device::Technology* tech_;
+  std::map<std::string, std::unique_ptr<Cell>> cells_;
+};
+
+}  // namespace xtalk::netlist

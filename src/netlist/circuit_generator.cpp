@@ -1,0 +1,241 @@
+#include "netlist/circuit_generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace xtalk::netlist {
+
+namespace {
+
+struct MixEntry {
+  CellFunc func;
+  std::size_t fanin;
+  double weight;
+};
+
+/// Cell mix loosely matching ISCAS89 gate statistics (NAND/NOR dominated,
+/// a tail of wider and complex gates).
+const std::vector<MixEntry>& cell_mix() {
+  static const std::vector<MixEntry> mix = {
+      {CellFunc::kNand, 2, 0.28}, {CellFunc::kNor, 2, 0.15},
+      {CellFunc::kInv, 1, 0.16},  {CellFunc::kNand, 3, 0.08},
+      {CellFunc::kNor, 3, 0.05},  {CellFunc::kAnd, 2, 0.07},
+      {CellFunc::kOr, 2, 0.06},   {CellFunc::kBuf, 1, 0.04},
+      {CellFunc::kNand, 4, 0.03}, {CellFunc::kNor, 4, 0.02},
+      {CellFunc::kXor, 2, 0.02},  {CellFunc::kAoi21, 3, 0.02},
+      {CellFunc::kOai21, 3, 0.02},
+  };
+  return mix;
+}
+
+const MixEntry& pick_cell(util::Rng& rng) {
+  const auto& mix = cell_mix();
+  double total = 0.0;
+  for (const MixEntry& m : mix) total += m.weight;
+  double r = rng.next_double() * total;
+  for (const MixEntry& m : mix) {
+    r -= m.weight;
+    if (r <= 0.0) return m;
+  }
+  return mix.back();
+}
+
+}  // namespace
+
+Netlist generate_circuit(const GeneratorSpec& spec, const CellLibrary& lib) {
+  assert(spec.num_cells > spec.num_ffs);
+  assert(spec.depth >= 1);
+  util::Rng rng(spec.seed);
+  Netlist nl(lib);
+
+  // Clock first so the tree builder finds it.
+  const NetId clk = nl.add_net("CLK", NetKind::kClock);
+  nl.mark_primary_input(clk);
+  nl.set_clock_net(clk);
+
+  // Level 0 sources: primary inputs and flip-flop outputs.
+  std::vector<std::vector<NetId>> nets_by_level(spec.depth + 1);
+  for (std::size_t i = 0; i < spec.num_pis; ++i) {
+    const NetId n = nl.add_net("pi" + std::to_string(i));
+    nl.mark_primary_input(n);
+    nets_by_level[0].push_back(n);
+  }
+  std::vector<NetId> ffq;
+  ffq.reserve(spec.num_ffs);
+  for (std::size_t i = 0; i < spec.num_ffs; ++i) {
+    const NetId q = nl.add_net("ffq" + std::to_string(i));
+    ffq.push_back(q);
+    nets_by_level[0].push_back(q);
+  }
+
+  std::vector<std::size_t> fanout(nl.num_nets(), 0);
+  auto grow_fanout = [&fanout](NetId id) {
+    if (id >= fanout.size()) fanout.resize(id + 1, 0);
+    ++fanout[id];
+  };
+
+  // Pick a fanin net for a gate at `level`, preferring the previous level
+  // and lightly-loaded nets.
+  auto pick_input = [&](std::size_t level,
+                        const std::vector<NetId>& already) -> NetId {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      std::size_t src_level;
+      if (rng.next_bool(spec.locality) || level == 1) {
+        src_level = level - 1;
+      } else {
+        src_level = static_cast<std::size_t>(
+            rng.next_below(static_cast<std::uint64_t>(level - 1)));
+      }
+      const auto& pool = nets_by_level[src_level];
+      if (pool.empty()) continue;
+      const NetId cand = pool[rng.next_below(pool.size())];
+      if (std::find(already.begin(), already.end(), cand) != already.end())
+        continue;
+      if (fanout[cand] >= spec.max_fanout && !rng.next_bool(0.05)) continue;
+      return cand;
+    }
+    // Fall back to any previous-level net, duplicates allowed only across
+    // different attempts exhausting the pool.
+    const auto& pool = nets_by_level[level - 1];
+    return pool[rng.next_below(pool.size())];
+  };
+
+  // Distribute combinational gates over the levels.
+  const std::size_t n_comb = spec.num_cells - spec.num_ffs;
+  std::vector<std::size_t> gates_per_level(spec.depth, n_comb / spec.depth);
+  for (std::size_t i = 0; i < n_comb % spec.depth; ++i) ++gates_per_level[i];
+  for (std::size_t l = 0; l < spec.depth; ++l) {
+    if (gates_per_level[l] == 0) gates_per_level[l] = 1;
+  }
+
+  std::size_t gate_counter = 0;
+  for (std::size_t level = 1; level <= spec.depth; ++level) {
+    for (std::size_t k = 0; k < gates_per_level[level - 1]; ++k) {
+      const MixEntry& mix = pick_cell(rng);
+      const Cell& cell = lib.by_func(mix.func, mix.fanin);
+      std::vector<NetId> ins;
+      ins.reserve(mix.fanin);
+      for (std::size_t p = 0; p < mix.fanin; ++p) {
+        const NetId in = pick_input(level, ins);
+        ins.push_back(in);
+        grow_fanout(in);
+      }
+      const NetId out = nl.add_net("n" + std::to_string(gate_counter));
+      std::vector<NetId> pins = ins;
+      pins.push_back(out);
+      nl.add_gate("g" + std::to_string(gate_counter), cell, std::move(pins));
+      ++gate_counter;
+      nets_by_level[level].push_back(out);
+      if (out >= fanout.size()) fanout.resize(out + 1, 0);
+    }
+  }
+
+  // Collect dangling nets (no sinks yet), deepest first, to feed D pins and
+  // primary outputs.
+  std::vector<NetId> dangling;
+  for (std::size_t level = spec.depth; level >= 1; --level) {
+    for (const NetId n : nets_by_level[level]) {
+      if (fanout[n] == 0) dangling.push_back(n);
+    }
+  }
+
+  std::size_t dangling_pos = 0;
+  auto next_sink_net = [&](NetId avoid) -> NetId {
+    while (dangling_pos < dangling.size()) {
+      const NetId n = dangling[dangling_pos++];
+      if (n != avoid) return n;
+    }
+    // Out of dangling nets: pick a random deep net.
+    for (int attempt = 0;; ++attempt) {
+      const std::size_t level =
+          spec.depth - rng.next_below(std::max<std::size_t>(spec.depth / 3, 1));
+      const auto& pool = nets_by_level[level];
+      if (pool.empty()) continue;
+      const NetId n = pool[rng.next_below(pool.size())];
+      if (n != avoid || attempt > 16) return n;
+    }
+  };
+
+  // Flip-flops: D from deep / dangling logic, Q created earlier.
+  const Cell& ff_cell = lib.by_func(CellFunc::kDff, 1);
+  for (std::size_t i = 0; i < spec.num_ffs; ++i) {
+    const NetId d = next_sink_net(/*avoid=*/ffq[i]);
+    grow_fanout(d);
+    nl.add_gate("ff" + std::to_string(i), ff_cell, {d, clk, ffq[i]});
+  }
+
+  // Primary outputs.
+  std::vector<char> is_po(nl.num_nets(), 0);
+  for (std::size_t i = 0; i < spec.num_pos; ++i) {
+    const NetId n = next_sink_net(kNoNet);
+    if (is_po[n]) continue;
+    is_po[n] = 1;
+    nl.mark_primary_output(n);
+    grow_fanout(n);
+  }
+  // Whatever is still dangling — including flip-flop outputs no gate picked
+  // up — becomes an additional primary output so that every net is
+  // observable.
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    if (nl.net(n).is_primary_input || is_po[n]) continue;
+    if (!nl.net(n).sinks.empty()) continue;
+    is_po[n] = 1;
+    nl.mark_primary_output(n);
+  }
+
+  nl.validate();
+  return nl;
+}
+
+GeneratorSpec s35932_like() {
+  GeneratorSpec s;
+  s.name = "s35932_like";
+  s.seed = 35932;
+  s.num_cells = 17900;
+  s.num_ffs = 1728;
+  s.num_pis = 35;
+  s.num_pos = 320;
+  s.depth = 14;
+  return s;
+}
+
+GeneratorSpec s38417_like() {
+  GeneratorSpec s;
+  s.name = "s38417_like";
+  s.seed = 38417;
+  s.num_cells = 23922;
+  s.num_ffs = 1636;
+  s.num_pis = 28;
+  s.num_pos = 106;
+  s.depth = 33;
+  return s;
+}
+
+GeneratorSpec s38584_like() {
+  GeneratorSpec s;
+  s.name = "s38584_like";
+  s.seed = 38584;
+  s.num_cells = 20812;
+  s.num_ffs = 1426;
+  s.num_pis = 38;
+  s.num_pos = 304;
+  s.depth = 25;
+  return s;
+}
+
+GeneratorSpec scaled_spec(std::string name, std::uint64_t seed,
+                          std::size_t cells, std::size_t depth) {
+  GeneratorSpec s;
+  s.name = std::move(name);
+  s.seed = seed;
+  s.num_cells = cells;
+  s.num_ffs = std::max<std::size_t>(cells / 12, 2);
+  s.num_pis = std::max<std::size_t>(cells / 100, 4);
+  s.num_pos = std::max<std::size_t>(cells / 80, 4);
+  s.depth = depth;
+  return s;
+}
+
+}  // namespace xtalk::netlist

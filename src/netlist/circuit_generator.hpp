@@ -1,0 +1,45 @@
+// Deterministic synthetic sequential circuit generator.
+//
+// The paper's tables run on ISCAS89 s35932 / s38417 / s38584 routed in a
+// 0.5 um process. The original netlists are not redistributable, so the
+// presets below reproduce their published cell and flip-flop counts and a
+// plausible logic depth / fanout distribution; all structure is a pure
+// function of the seed (see DESIGN.md §3 for the substitution rationale).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace xtalk::netlist {
+
+struct GeneratorSpec {
+  std::string name = "synth";
+  std::uint64_t seed = 1;
+  std::size_t num_cells = 1000;  ///< total gates including flip-flops
+  std::size_t num_ffs = 100;
+  std::size_t num_pis = 16;
+  std::size_t num_pos = 16;
+  std::size_t depth = 20;        ///< combinational logic levels
+  double locality = 0.75;        ///< probability a fanin comes from the
+                                 ///< immediately preceding level
+  std::size_t max_fanout = 10;   ///< soft fanout cap during selection
+};
+
+/// Generate a connected, acyclic-between-FFs sequential circuit matching
+/// the spec. The result validates and levelizes cleanly.
+Netlist generate_circuit(const GeneratorSpec& spec, const CellLibrary& library);
+
+/// Presets reproducing the paper's three circuits (cell counts from the
+/// table captions: 17900 / 23922 / 20812 cells).
+GeneratorSpec s35932_like();
+GeneratorSpec s38417_like();
+GeneratorSpec s38584_like();
+
+/// Scaled-down variant (about `cells` cells) for tests and runtime sweeps,
+/// same statistics otherwise.
+GeneratorSpec scaled_spec(std::string name, std::uint64_t seed,
+                          std::size_t cells, std::size_t depth);
+
+}  // namespace xtalk::netlist

@@ -1,0 +1,50 @@
+#include "netlist/clock_tree.hpp"
+
+#include <algorithm>
+
+namespace xtalk::netlist {
+
+ClockTreeStats build_clock_tree(Netlist& nl, const ClockTreeOptions& opt) {
+  ClockTreeStats stats;
+  const NetId clk = nl.clock_net();
+  if (clk == kNoNet) return stats;
+
+  // Current clock sinks (flip-flop CK pins). Copy: we mutate the net.
+  std::vector<PinRef> sinks = nl.net(clk).sinks;
+  if (sinks.empty()) return stats;
+
+  const Cell& leaf_cell = nl.library().get(opt.leaf_cell);
+  const Cell& trunk_cell = nl.library().get(opt.trunk_cell);
+
+  std::size_t counter = 0;
+  // Bottom-up: group sinks under leaf buffers, then buffer groups under
+  // trunk buffers, until one driver group remains that the clock root can
+  // drive directly.
+  bool leaf_level = true;
+  while (sinks.size() > opt.max_fanout) {
+    std::vector<PinRef> next;
+    for (std::size_t i = 0; i < sinks.size(); i += opt.max_fanout) {
+      const std::size_t n = std::min(opt.max_fanout, sinks.size() - i);
+      const Cell& cell = leaf_level ? leaf_cell : trunk_cell;
+      const std::string base = "cts" + std::to_string(counter++);
+      const NetId out = nl.add_net(base + "_net", NetKind::kClock);
+      const GateId buf = nl.add_gate(base, cell, {clk, out});
+      // Temporarily wired input to clk; its true parent is assigned when
+      // the next level groups it. Reconnect the grouped sinks to `out`.
+      for (std::size_t k = 0; k < n; ++k) {
+        nl.reconnect_pin(sinks[i + k].gate, sinks[i + k].pin, out);
+      }
+      next.push_back({buf, 0});  // pin 0 = buffer input A
+      ++stats.num_buffers;
+    }
+    sinks = std::move(next);
+    ++stats.num_levels;
+    leaf_level = false;
+  }
+  // The surviving group stays on the root clock net; buffers created above
+  // were provisionally attached to `clk` already, and the grouping loop
+  // re-parents all but the last level, so nothing further to do.
+  return stats;
+}
+
+}  // namespace xtalk::netlist

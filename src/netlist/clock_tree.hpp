@@ -1,0 +1,33 @@
+// Clock buffer tree synthesis.
+//
+// The paper's experiment setup: "The gates are sized and there is a clock
+// buffer tree added." We restructure the flat clock net into a balanced
+// buffer tree with a bounded fanout per buffer; the tree's nets are routed
+// and extracted like any signal wire, so clock wires both receive an
+// insertion delay and act as crosstalk aggressors.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace xtalk::netlist {
+
+struct ClockTreeOptions {
+  std::size_t max_fanout = 16;       ///< sinks per buffer
+  std::string leaf_cell = "CLKBUF_X8";
+  std::string trunk_cell = "CLKBUF_X16";
+};
+
+struct ClockTreeStats {
+  std::size_t num_buffers = 0;
+  std::size_t num_levels = 0;
+};
+
+/// Build the tree in place. All flip-flop CK pins currently attached to
+/// netlist.clock_net() are re-parented onto leaf buffers. No-op (zero
+/// stats) if the design has no clock or no flip-flops.
+ClockTreeStats build_clock_tree(Netlist& netlist,
+                                const ClockTreeOptions& options = {});
+
+}  // namespace xtalk::netlist

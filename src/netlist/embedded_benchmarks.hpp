@@ -1,0 +1,21 @@
+// Small public benchmark circuits embedded as .bench text, used by tests
+// and examples. The big ISCAS89 circuits of the paper's tables are not
+// redistributable; those are matched by the synthetic generator
+// (circuit_generator.hpp) instead — see DESIGN.md §3.
+#pragma once
+
+#include <string_view>
+
+namespace xtalk::netlist {
+
+/// ISCAS89 s27: 4 inputs, 1 output, 3 flip-flops, 10 gates.
+std::string_view s27_bench();
+
+/// ISCAS85 c17: 5 inputs, 2 outputs, 6 NAND gates (combinational).
+std::string_view c17_bench();
+
+/// A tiny hand-made sequential circuit with an obvious critical path and a
+/// long parallel bus, built to exhibit strong coupling; used by examples.
+std::string_view coupled_bus_bench();
+
+}  // namespace xtalk::netlist

@@ -1,0 +1,86 @@
+#include "netlist/levelize.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace xtalk::netlist {
+
+bool is_timed_input(const Cell& cell, std::uint32_t pin) {
+  const PinDir dir = cell.pins()[pin].dir;
+  if (dir == PinDir::kOutput) return false;
+  if (cell.is_sequential()) return dir == PinDir::kClock;
+  return true;
+}
+
+LevelizedDag levelize(const Netlist& nl) {
+  LevelizedDag dag;
+  const std::size_t ng = nl.num_gates();
+  dag.gate_level.assign(ng, 0);
+  dag.net_level.assign(nl.num_nets(), 0);
+
+  // In-degree over timed fanins driven by gates (primary-input fanins don't
+  // count: they are available at time 0).
+  std::vector<std::uint32_t> pending(ng, 0);
+  for (GateId g = 0; g < ng; ++g) {
+    const Gate& gate = nl.gate(g);
+    for (std::uint32_t p = 0; p < gate.pin_nets.size(); ++p) {
+      if (!is_timed_input(*gate.cell, p)) continue;
+      const Net& net = nl.net(gate.pin_nets[p]);
+      if (net.driver.gate != kNoGate) ++pending[g];
+    }
+  }
+
+  std::vector<GateId> queue;
+  for (GateId g = 0; g < ng; ++g) {
+    if (pending[g] == 0) queue.push_back(g);
+  }
+
+  dag.topo_order.reserve(ng);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const GateId g = queue[head];
+    dag.topo_order.push_back(g);
+    const Gate& gate = nl.gate(g);
+    // Level = 1 + max level of timed gate-driven fanins.
+    std::uint32_t level = 0;
+    for (std::uint32_t p = 0; p < gate.pin_nets.size(); ++p) {
+      if (!is_timed_input(*gate.cell, p)) continue;
+      const Net& net = nl.net(gate.pin_nets[p]);
+      if (net.driver.gate == kNoGate) continue;
+      level = std::max(level, dag.gate_level[net.driver.gate] + 1);
+    }
+    dag.gate_level[g] = level;
+    dag.num_levels = std::max(dag.num_levels, level + 1);
+    const NetId out = gate.pin_nets[gate.cell->output_pin()];
+    dag.net_level[out] = level + 1;
+    // Release sinks whose timed fanin this output is.
+    for (const PinRef& s : nl.net(out).sinks) {
+      if (!is_timed_input(*nl.gate(s.gate).cell, s.pin)) continue;
+      if (--pending[s.gate] == 0) queue.push_back(s.gate);
+    }
+  }
+
+  if (dag.topo_order.size() != ng) {
+    throw std::runtime_error("combinational cycle detected (" +
+                             std::to_string(ng - dag.topo_order.size()) +
+                             " gates unreachable)");
+  }
+
+  // Endpoints: nets feeding DFF D pins or primary outputs.
+  std::vector<char> is_endpoint(nl.num_nets(), 0);
+  for (GateId g = 0; g < ng; ++g) {
+    const Gate& gate = nl.gate(g);
+    if (!gate.cell->is_sequential()) continue;
+    for (std::uint32_t p = 0; p < gate.pin_nets.size(); ++p) {
+      if (gate.cell->pins()[p].dir == PinDir::kInput) {
+        is_endpoint[gate.pin_nets[p]] = 1;
+      }
+    }
+  }
+  for (const NetId po : nl.primary_outputs()) is_endpoint[po] = 1;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    if (is_endpoint[n]) dag.endpoint_nets.push_back(n);
+  }
+  return dag;
+}
+
+}  // namespace xtalk::netlist

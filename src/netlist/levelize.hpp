@@ -1,0 +1,41 @@
+// Timing-DAG extraction and topological ordering (paper §4: "the circuit is
+// translated into a directed acyclic graph ... The task is to find the
+// longest path through the graph which is usually done by a
+// breadth-first-search").
+//
+// Flip-flops break the cycle at their D pin: a DFF participates in the DAG
+// only through its CK -> Q arc, so launch times through the clock tree fall
+// out of the same traversal. Timing endpoints are DFF D pins and primary
+// outputs.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace xtalk::netlist {
+
+/// True if `pin` of `gate`'s cell starts a timing arc to the output
+/// (all input pins of combinational cells; only CK for flip-flops).
+bool is_timed_input(const Cell& cell, std::uint32_t pin);
+
+/// The levelized timing DAG over gates.
+struct LevelizedDag {
+  /// Gates in topological order (every timed fanin precedes the gate).
+  std::vector<GateId> topo_order;
+  /// Logic level per gate (0 = fed only by primary inputs / launch points).
+  std::vector<std::uint32_t> gate_level;
+  /// Logic level per net (driver's level + 1; 0 for primary inputs).
+  std::vector<std::uint32_t> net_level;
+  /// Nets that are timing endpoints (connected to a DFF D pin or a primary
+  /// output), deduplicated.
+  std::vector<NetId> endpoint_nets;
+  /// Maximum gate level + 1.
+  std::uint32_t num_levels = 0;
+};
+
+/// Build the DAG. Throws std::runtime_error if a combinational cycle
+/// exists (cycles through DFFs are fine).
+LevelizedDag levelize(const Netlist& netlist);
+
+}  // namespace xtalk::netlist

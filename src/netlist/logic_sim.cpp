@@ -1,0 +1,112 @@
+#include "netlist/logic_sim.hpp"
+
+#include <stdexcept>
+
+namespace xtalk::netlist {
+
+std::uint8_t evaluate_cell(const Cell& cell,
+                           const std::vector<std::uint8_t>& inputs) {
+  auto all = [&](bool want) {
+    for (const std::uint8_t v : inputs) {
+      if ((v != 0) != want) return false;
+    }
+    return true;
+  };
+  auto any = [&](bool want) {
+    for (const std::uint8_t v : inputs) {
+      if ((v != 0) == want) return true;
+    }
+    return false;
+  };
+  switch (cell.func()) {
+    case CellFunc::kInv:
+      return inputs[0] ? 0 : 1;
+    case CellFunc::kBuf:
+      return inputs[0] ? 1 : 0;
+    case CellFunc::kNand:
+      return all(true) ? 0 : 1;
+    case CellFunc::kAnd:
+      return all(true) ? 1 : 0;
+    case CellFunc::kNor:
+      return any(true) ? 0 : 1;
+    case CellFunc::kOr:
+      return any(true) ? 1 : 0;
+    case CellFunc::kXor:
+      return (inputs[0] != 0) != (inputs[1] != 0) ? 1 : 0;
+    case CellFunc::kXnor:
+      return (inputs[0] != 0) == (inputs[1] != 0) ? 1 : 0;
+    case CellFunc::kAoi21:
+      return ((inputs[0] && inputs[1]) || inputs[2]) ? 0 : 1;
+    case CellFunc::kOai21:
+      return ((inputs[0] || inputs[1]) && inputs[2]) ? 0 : 1;
+    case CellFunc::kDff:
+      throw std::logic_error("DFF has no combinational function");
+  }
+  return 0;
+}
+
+LogicSimulator::LogicSimulator(const Netlist& nl)
+    : netlist_(&nl), dag_(levelize(nl)), flops_(nl.sequential_gates()) {
+  flop_index_.assign(nl.num_gates(), -1);
+  for (std::size_t i = 0; i < flops_.size(); ++i) {
+    flop_index_[flops_[i]] = static_cast<std::int32_t>(i);
+  }
+}
+
+std::vector<std::uint8_t> LogicSimulator::evaluate(
+    const std::vector<std::uint8_t>& pi_values,
+    const std::vector<std::uint8_t>& ff_state) const {
+  const Netlist& nl = *netlist_;
+  if (pi_values.size() != nl.primary_inputs().size()) {
+    throw std::invalid_argument("pi_values size mismatch");
+  }
+  if (ff_state.size() != flops_.size()) {
+    throw std::invalid_argument("ff_state size mismatch");
+  }
+  std::vector<std::uint8_t> value(nl.num_nets(), 0);
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    value[nl.primary_inputs()[i]] = pi_values[i] ? 1 : 0;
+  }
+  std::vector<std::uint8_t> inputs;
+  for (const GateId g : dag_.topo_order) {
+    const Gate& gate = nl.gate(g);
+    const Cell& cell = *gate.cell;
+    const NetId out = gate.pin_nets[cell.output_pin()];
+    if (cell.is_sequential()) {
+      value[out] = ff_state[static_cast<std::size_t>(flop_index_[g])];
+      continue;
+    }
+    inputs.clear();
+    for (std::uint32_t p = 0; p < gate.pin_nets.size(); ++p) {
+      if (cell.pins()[p].dir == PinDir::kInput) {
+        inputs.push_back(value[gate.pin_nets[p]]);
+      }
+    }
+    value[out] = evaluate_cell(cell, inputs);
+  }
+  return value;
+}
+
+std::vector<std::uint8_t> LogicSimulator::step(
+    const std::vector<std::uint8_t>& pi_values,
+    std::vector<std::uint8_t>& ff_state) const {
+  const std::vector<std::uint8_t> value = evaluate(pi_values, ff_state);
+  const Netlist& nl = *netlist_;
+  for (std::size_t i = 0; i < flops_.size(); ++i) {
+    const Gate& ff = nl.gate(flops_[i]);
+    ff_state[i] = value[ff.pin_nets[ff.cell->pin_index("D")]];
+  }
+  return value;
+}
+
+std::vector<std::uint8_t> LogicSimulator::outputs(
+    const std::vector<std::uint8_t>& net_values) const {
+  std::vector<std::uint8_t> out;
+  out.reserve(netlist_->primary_outputs().size());
+  for (const NetId n : netlist_->primary_outputs()) {
+    out.push_back(net_values[n]);
+  }
+  return out;
+}
+
+}  // namespace xtalk::netlist

@@ -1,0 +1,145 @@
+#include "netlist/netlist.hpp"
+
+#include <stdexcept>
+
+namespace xtalk::netlist {
+
+NetId Netlist::add_net(const std::string& name, NetKind kind) {
+  auto it = net_by_name_.find(name);
+  if (it != net_by_name_.end()) return it->second;
+  const NetId id = static_cast<NetId>(nets_.size());
+  Net n;
+  n.name = name;
+  n.kind = kind;
+  nets_.push_back(std::move(n));
+  net_by_name_.emplace(name, id);
+  return id;
+}
+
+GateId Netlist::add_gate(const std::string& name, const Cell& cell,
+                         std::vector<NetId> pin_nets) {
+  if (pin_nets.size() != cell.pins().size()) {
+    throw std::runtime_error("gate " + name + ": pin count mismatch for cell " +
+                             cell.name());
+  }
+  const GateId id = static_cast<GateId>(gates_.size());
+  Gate g;
+  g.name = name;
+  g.cell = &cell;
+  g.pin_nets = std::move(pin_nets);
+  gates_.push_back(std::move(g));
+  const Gate& stored = gates_.back();
+  for (std::uint32_t p = 0; p < stored.pin_nets.size(); ++p) {
+    const NetId nid = stored.pin_nets[p];
+    if (nid == kNoNet) continue;
+    if (cell.pins()[p].dir == PinDir::kOutput) {
+      if (nets_[nid].driver.gate != kNoGate || nets_[nid].is_primary_input) {
+        throw std::runtime_error("net " + nets_[nid].name +
+                                 " has multiple drivers");
+      }
+      nets_[nid].driver = {id, p};
+    } else {
+      nets_[nid].sinks.push_back({id, p});
+    }
+  }
+  return id;
+}
+
+void Netlist::mark_primary_input(NetId id) {
+  Net& n = nets_[id];
+  if (n.driver.gate != kNoGate) {
+    throw std::runtime_error("primary input " + n.name + " already driven");
+  }
+  if (!n.is_primary_input) {
+    n.is_primary_input = true;
+    primary_inputs_.push_back(id);
+  }
+}
+
+void Netlist::mark_primary_output(NetId id) { primary_outputs_.push_back(id); }
+
+void Netlist::set_clock_net(NetId id) {
+  clock_net_ = id;
+  nets_[id].kind = NetKind::kClock;
+}
+
+void Netlist::reconnect_pin(GateId gid, std::uint32_t pin, NetId new_net) {
+  Gate& g = gates_[gid];
+  const NetId old_net = g.pin_nets[pin];
+  const PinDir dir = g.cell->pins()[pin].dir;
+  if (old_net != kNoNet) {
+    Net& old_n = nets_[old_net];
+    if (dir == PinDir::kOutput) {
+      old_n.driver = {};
+    } else {
+      auto& sinks = old_n.sinks;
+      std::erase(sinks, PinRef{gid, pin});
+    }
+  }
+  g.pin_nets[pin] = new_net;
+  Net& n = nets_[new_net];
+  if (dir == PinDir::kOutput) {
+    if (n.driver.gate != kNoGate || n.is_primary_input) {
+      throw std::runtime_error("net " + n.name + " has multiple drivers");
+    }
+    n.driver = {gid, pin};
+  } else {
+    n.sinks.push_back({gid, pin});
+  }
+}
+
+NetId Netlist::find_net(const std::string& name) const {
+  auto it = net_by_name_.find(name);
+  return it == net_by_name_.end() ? kNoNet : it->second;
+}
+
+std::vector<GateId> Netlist::sequential_gates() const {
+  std::vector<GateId> out;
+  for (GateId g = 0; g < gates_.size(); ++g) {
+    if (gates_[g].cell->is_sequential()) out.push_back(g);
+  }
+  return out;
+}
+
+double Netlist::net_pin_cap(NetId id) const {
+  double cap = 0.0;
+  for (const PinRef& s : nets_[id].sinks) {
+    cap += gates_[s.gate].cell->pins()[s.pin].cap;
+  }
+  return cap;
+}
+
+std::size_t Netlist::transistor_count() const {
+  std::size_t n = 0;
+  for (const Gate& g : gates_) n += g.cell->transistor_count();
+  return n;
+}
+
+void Netlist::validate() const {
+  for (NetId i = 0; i < nets_.size(); ++i) {
+    const Net& n = nets_[i];
+    if (!n.is_primary_input && n.driver.gate == kNoGate) {
+      throw std::runtime_error("net " + n.name + " has no driver");
+    }
+    for (const PinRef& s : n.sinks) {
+      if (s.gate >= gates_.size()) {
+        throw std::runtime_error("net " + n.name + " sink gate out of range");
+      }
+      const Gate& g = gates_[s.gate];
+      if (g.pin_nets[s.pin] != i) {
+        throw std::runtime_error("net " + n.name + " sink back-pointer broken");
+      }
+    }
+  }
+  for (GateId gi = 0; gi < gates_.size(); ++gi) {
+    const Gate& g = gates_[gi];
+    for (std::uint32_t p = 0; p < g.pin_nets.size(); ++p) {
+      if (g.pin_nets[p] == kNoNet) {
+        throw std::runtime_error("gate " + g.name + " pin " +
+                                 g.cell->pins()[p].name + " unconnected");
+      }
+    }
+  }
+}
+
+}  // namespace xtalk::netlist

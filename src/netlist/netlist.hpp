@@ -1,0 +1,113 @@
+// Gate-level netlist.
+//
+// Nets and gates are stored in flat vectors and addressed by dense integer
+// ids, which every downstream stage (placement, extraction, STA) uses as
+// array indices. Cells are borrowed from a CellLibrary that must outlive
+// the netlist.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/cell_library.hpp"
+
+namespace xtalk::netlist {
+
+using NetId = std::uint32_t;
+using GateId = std::uint32_t;
+inline constexpr NetId kNoNet = 0xffffffffu;
+inline constexpr GateId kNoGate = 0xffffffffu;
+
+/// A (gate, pin) endpoint of a net.
+struct PinRef {
+  GateId gate = kNoGate;
+  std::uint32_t pin = 0;
+
+  bool operator==(const PinRef&) const = default;
+};
+
+/// What a net is used for; the router and the STA treat clock nets
+/// specially (the clock tree is an aggressor like any other wire, but not a
+/// data path).
+enum class NetKind { kSignal, kClock };
+
+struct Net {
+  std::string name;
+  NetKind kind = NetKind::kSignal;
+  /// Driving pin; invalid gate id if driven by a primary input.
+  PinRef driver;
+  /// Sink pins (gate inputs). Primary-output connections are tracked in
+  /// Netlist::primary_outputs().
+  std::vector<PinRef> sinks;
+  bool is_primary_input = false;
+};
+
+struct Gate {
+  std::string name;
+  const Cell* cell = nullptr;
+  /// Net connected to each cell pin, parallel to cell->pins().
+  std::vector<NetId> pin_nets;
+};
+
+/// A flat gate-level netlist with named primary inputs/outputs and an
+/// optional clock net.
+class Netlist {
+ public:
+  explicit Netlist(const CellLibrary& library) : library_(&library) {}
+
+  const CellLibrary& library() const { return *library_; }
+
+  // --- construction -----------------------------------------------------
+  /// Create (or fetch) a net by name.
+  NetId add_net(const std::string& name, NetKind kind = NetKind::kSignal);
+  /// Create a gate instance; pin_nets must match the cell's pin count.
+  GateId add_gate(const std::string& name, const Cell& cell,
+                  std::vector<NetId> pin_nets);
+  void mark_primary_input(NetId net);
+  void mark_primary_output(NetId net);
+  void set_clock_net(NetId net);
+  /// Move a gate pin to a different net, updating sink/driver lists on both
+  /// nets (used by clock-tree construction).
+  void reconnect_pin(GateId gate, std::uint32_t pin, NetId new_net);
+
+  // --- access -------------------------------------------------------------
+  std::size_t num_nets() const { return nets_.size(); }
+  std::size_t num_gates() const { return gates_.size(); }
+  const Net& net(NetId id) const { return nets_[id]; }
+  Net& net(NetId id) { return nets_[id]; }
+  const Gate& gate(GateId id) const { return gates_[id]; }
+  Gate& gate(GateId id) { return gates_[id]; }
+  NetId find_net(const std::string& name) const;
+
+  const std::vector<NetId>& primary_inputs() const { return primary_inputs_; }
+  const std::vector<NetId>& primary_outputs() const { return primary_outputs_; }
+  NetId clock_net() const { return clock_net_; }
+
+  /// All sequential (flip-flop) gates.
+  std::vector<GateId> sequential_gates() const;
+
+  /// Sum of input-pin capacitance attached to a net [F] (cell pins only, no
+  /// wire capacitance).
+  double net_pin_cap(NetId id) const;
+
+  /// Total transistor count of the design.
+  std::size_t transistor_count() const;
+
+  /// Consistency check: every net has a driver (or is a primary input),
+  /// every gate pin is connected, pin directions match net roles. Throws
+  /// std::runtime_error with a description on violation.
+  void validate() const;
+
+ private:
+  const CellLibrary* library_;
+  std::vector<Net> nets_;
+  std::vector<Gate> gates_;
+  std::unordered_map<std::string, NetId> net_by_name_;
+  std::vector<NetId> primary_inputs_;
+  std::vector<NetId> primary_outputs_;
+  NetId clock_net_ = kNoNet;
+};
+
+}  // namespace xtalk::netlist

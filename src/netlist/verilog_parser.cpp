@@ -1,0 +1,262 @@
+#include "netlist/verilog_parser.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace xtalk::netlist {
+
+namespace {
+
+struct Token {
+  std::string text;
+  std::size_t line;
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw std::runtime_error("verilog parse error, line " +
+                           std::to_string(line) + ": " + msg);
+}
+
+/// Tokenizer: identifiers, and single-character punctuation ( ) , ; .
+std::vector<Token> tokenize(std::string_view text) {
+  std::vector<Token> out;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) fail(line, "unterminated block comment");
+      i += 2;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '\\') {
+      std::size_t j = i;
+      if (c == '\\') {  // escaped identifier, ends at whitespace
+        ++j;
+        while (j < n && !std::isspace(static_cast<unsigned char>(text[j]))) {
+          ++j;
+        }
+        out.push_back({std::string(text.substr(i + 1, j - i - 1)), line});
+      } else {
+        while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                         text[j] == '_' || text[j] == '$')) {
+          ++j;
+        }
+        out.push_back({std::string(text.substr(i, j - i)), line});
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                       text[j] == '_')) {
+        ++j;
+      }
+      out.push_back({std::string(text.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ',' || c == ';' || c == '.') {
+      out.push_back({std::string(1, c), line});
+      ++i;
+      continue;
+    }
+    fail(line, std::string("unexpected character '") + c + "'");
+  }
+  return out;
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const CellLibrary& library)
+      : tokens_(std::move(tokens)), nl_(library) {}
+
+  Netlist run() {
+    expect("module");
+    next();  // module name
+    if (peek() == "(") {
+      // Port list: names only (re-declared as input/output below).
+      next();
+      while (peek() != ")") next();
+      next();
+    }
+    expect(";");
+
+    while (peek() != "endmodule") {
+      if (pos_ >= tokens_.size()) fail(last_line(), "missing endmodule");
+      const std::string kw = peek();
+      if (kw == "input" || kw == "output" || kw == "wire") {
+        next();
+        declaration(kw);
+      } else {
+        instance();
+      }
+    }
+    finalize_clock();
+    nl_.validate();
+    return std::move(nl_);
+  }
+
+ private:
+  const std::string& peek() const {
+    static const std::string empty;
+    return pos_ < tokens_.size() ? tokens_[pos_].text : empty;
+  }
+  std::size_t last_line() const {
+    return tokens_.empty() ? 0 : tokens_.back().line;
+  }
+  std::size_t line() const {
+    return pos_ < tokens_.size() ? tokens_[pos_].line : last_line();
+  }
+  std::string next() {
+    if (pos_ >= tokens_.size()) fail(last_line(), "unexpected end of input");
+    return tokens_[pos_++].text;
+  }
+  void expect(const std::string& want) {
+    const std::size_t at = line();
+    const std::string got = next();
+    if (got != want) fail(at, "expected '" + want + "', got '" + got + "'");
+  }
+
+  void declaration(const std::string& kind) {
+    for (;;) {
+      const std::size_t at = line();
+      const std::string name = next();
+      const NetId id = nl_.add_net(name);
+      if (kind == "input") {
+        nl_.mark_primary_input(id);
+      } else if (kind == "output") {
+        outputs_.push_back(id);
+      }
+      const std::string sep = next();
+      if (sep == ";") break;
+      if (sep != ",") fail(at, "expected ',' or ';' in declaration");
+    }
+  }
+
+  void instance() {
+    const std::size_t at = line();
+    const std::string cell_name = next();
+    const Cell* cell = nl_.library().find(cell_name);
+    if (cell == nullptr) fail(at, "unknown cell '" + cell_name + "'");
+    const std::string inst_name = next();
+    expect("(");
+    std::vector<NetId> pins(cell->pins().size(), kNoNet);
+    for (;;) {
+      expect(".");
+      const std::size_t pin_at = line();
+      const std::string pin_name = next();
+      std::size_t pin_index = 0;
+      try {
+        pin_index = cell->pin_index(pin_name);
+      } catch (const std::out_of_range&) {
+        fail(pin_at, "cell " + cell_name + " has no pin '" + pin_name + "'");
+      }
+      expect("(");
+      const std::string net_name = next();
+      expect(")");
+      pins[pin_index] = nl_.add_net(net_name);
+      const std::string sep = next();
+      if (sep == ")") break;
+      if (sep != ",") fail(pin_at, "expected ',' or ')' in connection list");
+    }
+    expect(";");
+    for (std::size_t p = 0; p < pins.size(); ++p) {
+      if (pins[p] == kNoNet) {
+        fail(at, "instance " + inst_name + " leaves pin " +
+                     cell->pins()[p].name + " unconnected");
+      }
+    }
+    nl_.add_gate(inst_name, *cell, std::move(pins));
+  }
+
+  /// The net feeding DFF CK pins becomes the clock.
+  void finalize_clock() {
+    for (const NetId out : outputs_) nl_.mark_primary_output(out);
+    for (GateId g = 0; g < nl_.num_gates(); ++g) {
+      const Gate& gate = nl_.gate(g);
+      if (!gate.cell->is_sequential()) continue;
+      const NetId ck = gate.pin_nets[gate.cell->clock_pin()];
+      if (nl_.clock_net() == kNoNet) {
+        nl_.set_clock_net(ck);
+      } else if (nl_.clock_net() != ck) {
+        nl_.net(ck).kind = NetKind::kClock;
+      }
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Netlist nl_;
+  std::vector<NetId> outputs_;
+};
+
+}  // namespace
+
+Netlist parse_verilog(std::string_view text, const CellLibrary& library) {
+  return Parser(tokenize(text), library).run();
+}
+
+std::string write_verilog(const Netlist& nl, const std::string& module_name) {
+  std::ostringstream os;
+  os << "module " << module_name << " (";
+  bool first = true;
+  for (const NetId id : nl.primary_inputs()) {
+    os << (first ? "" : ", ") << nl.net(id).name;
+    first = false;
+  }
+  for (const NetId id : nl.primary_outputs()) {
+    os << (first ? "" : ", ") << nl.net(id).name;
+    first = false;
+  }
+  os << ");\n";
+  for (const NetId id : nl.primary_inputs()) {
+    os << "  input " << nl.net(id).name << ";\n";
+  }
+  for (const NetId id : nl.primary_outputs()) {
+    os << "  output " << nl.net(id).name << ";\n";
+  }
+  // Internal wires: everything that is neither an input nor an output.
+  std::vector<char> is_port(nl.num_nets(), 0);
+  for (const NetId id : nl.primary_inputs()) is_port[id] = 1;
+  for (const NetId id : nl.primary_outputs()) is_port[id] = 1;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    if (!is_port[n]) os << "  wire " << nl.net(n).name << ";\n";
+  }
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    os << "  " << gate.cell->name() << " " << gate.name << " (";
+    for (std::uint32_t p = 0; p < gate.pin_nets.size(); ++p) {
+      os << (p ? ", " : "") << "." << gate.cell->pins()[p].name << "("
+         << nl.net(gate.pin_nets[p]).name << ")";
+    }
+    os << ");\n";
+  }
+  os << "endmodule\n";
+  return os.str();
+}
+
+}  // namespace xtalk::netlist

@@ -1,0 +1,37 @@
+// Structural (gate-level) Verilog reader/writer.
+//
+// The ISCAS89 circuits — and most real designs this analyzer would
+// consume — also circulate as gate-level Verilog. Supported subset: one
+// module, `input`/`output`/`wire` declarations (comma lists, no buses),
+// and cell instantiations with named connections:
+//
+//   module top (a, b, y);
+//     input a, b;
+//     output y;
+//     wire w1;
+//     NAND2_X1 u1 (.A(a), .B(b), .Y(w1));
+//     DFF_X1   r1 (.D(w1), .CK(clk), .Q(y));
+//   endmodule
+//
+// Cell names resolve against the CellLibrary. `// ...` and `/* ... */`
+// comments are stripped. A net named "clk"/"CLK" connected to a DFF CK pin
+// becomes the clock net.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/netlist.hpp"
+
+namespace xtalk::netlist {
+
+/// Parse structural Verilog. Throws std::runtime_error with a line number
+/// on malformed input, unknown cells or unknown pins.
+Netlist parse_verilog(std::string_view text, const CellLibrary& library);
+
+/// Serialize a netlist as structural Verilog (inverse of parse_verilog up
+/// to formatting).
+std::string write_verilog(const Netlist& netlist,
+                          const std::string& module_name = "top");
+
+}  // namespace xtalk::netlist

@@ -1,0 +1,39 @@
+#include "sim/circuit.hpp"
+
+#include <cassert>
+
+namespace xtalk::sim {
+
+Circuit::Circuit() { node_names_.push_back("0"); }
+
+NodeId Circuit::add_node(std::string name) {
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(std::move(name));
+  return id;
+}
+
+void Circuit::add_resistor(NodeId a, NodeId b, double r) {
+  assert(r > 0.0);
+  resistors_.push_back({a, b, r});
+}
+
+void Circuit::add_capacitor(NodeId a, NodeId b, double c) {
+  assert(c >= 0.0);
+  if (c > 0.0) capacitors_.push_back({a, b, c});
+}
+
+void Circuit::add_mosfet(device::MosType type, double width, NodeId gate,
+                         NodeId drain, NodeId source) {
+  assert(width > 0.0);
+  mosfets_.push_back({type, width, gate, drain, source});
+}
+
+void Circuit::add_vsource(NodeId node, util::Pwl v) {
+  vsources_.push_back({node, std::move(v)});
+}
+
+void Circuit::set_initial(NodeId node, double v) {
+  initials_.push_back({node, v});
+}
+
+}  // namespace xtalk::sim

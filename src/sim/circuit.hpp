@@ -1,0 +1,79 @@
+// Simulation-level circuit: nodes plus R / C / MOSFET / PWL-source
+// elements. This is the input to the transient engine that plays the role
+// of SPICE in the paper's validation ("The simulations of the longest paths
+// were done with lumped resistances and capacitances extracted from the
+// layout"). Transistors are full devices (no stage collapsing) using the
+// same tabulated DC model as the delay calculator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "device/mosfet.hpp"
+#include "util/pwl.hpp"
+
+namespace xtalk::sim {
+
+using NodeId = std::uint32_t;
+
+struct Resistor {
+  NodeId a, b;
+  double r;  ///< [Ohm]
+};
+
+struct Capacitor {
+  NodeId a, b;
+  double c;  ///< [F]
+};
+
+struct Mosfet {
+  device::MosType type;
+  double width;  ///< [m]
+  NodeId gate, drain, source;
+};
+
+/// Ideal voltage source to ground: the node's voltage is forced to v(t).
+struct VSource {
+  NodeId node;
+  util::Pwl v;
+};
+
+class Circuit {
+ public:
+  Circuit();
+
+  /// Node 0 is ground.
+  NodeId ground() const { return 0; }
+  NodeId add_node(std::string name);
+  std::size_t num_nodes() const { return node_names_.size(); }
+  const std::string& node_name(NodeId n) const { return node_names_[n]; }
+
+  void add_resistor(NodeId a, NodeId b, double r);
+  void add_capacitor(NodeId a, NodeId b, double c);
+  void add_mosfet(device::MosType type, double width, NodeId gate,
+                  NodeId drain, NodeId source);
+  void add_vsource(NodeId node, util::Pwl v);
+
+  /// Optional initial condition for the transient (otherwise the DC
+  /// operating point at t=0 is used).
+  void set_initial(NodeId node, double v);
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<Mosfet>& mosfets() const { return mosfets_; }
+  const std::vector<VSource>& vsources() const { return vsources_; }
+  const std::vector<std::pair<NodeId, double>>& initials() const {
+    return initials_;
+  }
+
+ private:
+  std::vector<std::string> node_names_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<Mosfet> mosfets_;
+  std::vector<VSource> vsources_;
+  std::vector<std::pair<NodeId, double>> initials_;
+};
+
+}  // namespace xtalk::sim

@@ -1,0 +1,54 @@
+#include "sim/measure.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace xtalk::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Crossing time within segment (p0, p1), or NaN if not crossed.
+double segment_crossing(const util::PwlPoint& p0, const util::PwlPoint& p1,
+                        double v, bool rising) {
+  const bool crosses = rising ? (p0.v < v && p1.v >= v) : (p0.v > v && p1.v <= v);
+  if (!crosses) return std::numeric_limits<double>::quiet_NaN();
+  const double dv = p1.v - p0.v;
+  if (std::abs(dv) < 1e-300) return p1.t;
+  return p0.t + (v - p0.v) / dv * (p1.t - p0.t);
+}
+
+}  // namespace
+
+double first_crossing(const util::Pwl& w, double v, bool rising) {
+  const auto& pts = w.points();
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double t = segment_crossing(pts[i - 1], pts[i], v, rising);
+    if (!std::isnan(t)) return t;
+  }
+  return kInf;
+}
+
+double last_crossing(const util::Pwl& w, double v, bool rising) {
+  const auto& pts = w.points();
+  double result = kInf;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double t = segment_crossing(pts[i - 1], pts[i], v, rising);
+    if (!std::isnan(t)) result = t;
+  }
+  return result;
+}
+
+double measure_delay(const util::Pwl& input, double v_in, bool in_rising,
+                     const util::Pwl& output, double v_out, bool out_rising) {
+  const double t_in = first_crossing(input, v_in, in_rising);
+  const double t_out = last_crossing(output, v_out, out_rising);
+  return t_out - t_in;
+}
+
+double measure_slew(const util::Pwl& w, double v_from, double v_to,
+                    bool rising) {
+  return last_crossing(w, v_to, rising) - last_crossing(w, v_from, rising);
+}
+
+}  // namespace xtalk::sim

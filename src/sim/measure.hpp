@@ -1,0 +1,28 @@
+// Waveform measurements on (possibly non-monotone) simulated waveforms.
+// Coupling produces glitches, so delay measurements must use the *last*
+// crossing of the measurement threshold.
+#pragma once
+
+#include "util/pwl.hpp"
+
+namespace xtalk::sim {
+
+/// First time the waveform crosses `v` in the given direction, scanning all
+/// segments (works for non-monotone waveforms). Returns +inf if never.
+double first_crossing(const util::Pwl& w, double v, bool rising);
+
+/// Last time the waveform crosses `v` in the given direction. Returns +inf
+/// if never crossed.
+double last_crossing(const util::Pwl& w, double v, bool rising);
+
+/// 50%-to-50% delay between an input event and the resulting output event.
+/// Uses the *last* output crossing, so coupling glitches around the
+/// threshold are counted into the delay (worst-case reading).
+double measure_delay(const util::Pwl& input, double v_in, bool in_rising,
+                     const util::Pwl& output, double v_out, bool out_rising);
+
+/// Transition (slew) time between two voltage levels, using last crossings.
+double measure_slew(const util::Pwl& w, double v_from, double v_to,
+                    bool rising);
+
+}  // namespace xtalk::sim

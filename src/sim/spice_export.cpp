@@ -1,0 +1,77 @@
+#include "sim/spice_export.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace xtalk::sim {
+
+namespace {
+
+/// Sanitize a node name for SPICE (ground is "0").
+std::string node(const Circuit& ckt, NodeId n) {
+  if (n == ckt.ground()) return "0";
+  std::string s = ckt.node_name(n);
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return "n" + std::to_string(n) + "_" + s;
+}
+
+/// LEVEL=1 transconductance matched to the alpha-power drive at full
+/// overdrive: KP = 2 * Idsat_per_width * L / (vdd - vth)^2.
+double level1_kp(const device::Technology& tech, device::MosType type) {
+  const double beta = type == device::MosType::kNmos ? tech.beta_n : tech.beta_p;
+  const double vth = type == device::MosType::kNmos ? tech.vth_n : tech.vth_p;
+  const double vov = tech.vdd - vth;
+  const double idsat_per_w = beta * std::pow(vov, tech.alpha);
+  return 2.0 * idsat_per_w * tech.l_min / (vov * vov);
+}
+
+}  // namespace
+
+std::string export_spice(const Circuit& ckt, const device::Technology& tech,
+                         const TransientOptions& opt,
+                         const std::string& title) {
+  std::ostringstream os;
+  os << "* " << title << "\n";
+  os << ".model nmos_xt nmos (level=1 vto=" << tech.vth_n
+     << " kp=" << level1_kp(tech, device::MosType::kNmos)
+     << " lambda=" << tech.lambda << ")\n";
+  os << ".model pmos_xt pmos (level=1 vto=" << -tech.vth_p
+     << " kp=" << level1_kp(tech, device::MosType::kPmos)
+     << " lambda=" << tech.lambda << ")\n";
+
+  std::size_t idx = 0;
+  for (const Resistor& r : ckt.resistors()) {
+    os << "R" << idx++ << " " << node(ckt, r.a) << " " << node(ckt, r.b) << " "
+       << r.r << "\n";
+  }
+  idx = 0;
+  for (const Capacitor& c : ckt.capacitors()) {
+    os << "C" << idx++ << " " << node(ckt, c.a) << " " << node(ckt, c.b) << " "
+       << c.c << "\n";
+  }
+  idx = 0;
+  for (const Mosfet& m : ckt.mosfets()) {
+    // Bulk tied to source rail (ground for NMOS, the source node for PMOS
+    // stacks would be inaccurate; use source as bulk for simplicity).
+    const char* model =
+        m.type == device::MosType::kNmos ? "nmos_xt" : "pmos_xt";
+    os << "M" << idx++ << " " << node(ckt, m.drain) << " " << node(ckt, m.gate)
+       << " " << node(ckt, m.source) << " " << node(ckt, m.source) << " "
+       << model << " w=" << m.width << " l=" << tech.l_min << "\n";
+  }
+  idx = 0;
+  for (const VSource& s : ckt.vsources()) {
+    os << "V" << idx++ << " " << node(ckt, s.node) << " 0 pwl(";
+    for (const util::PwlPoint& p : s.v.points()) {
+      os << p.t << " " << p.v << " ";
+    }
+    os << ")\n";
+  }
+  os << ".tran " << opt.dt << " " << opt.tstop << "\n";
+  os << ".end\n";
+  return os.str();
+}
+
+}  // namespace xtalk::sim

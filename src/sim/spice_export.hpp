@@ -1,0 +1,25 @@
+// ngspice deck export.
+//
+// Emits the simulation circuit as a SPICE netlist with LEVEL=1 MOS models
+// matched to the alpha-power parameters at full gate overdrive, so the
+// validation circuits can be cross-checked with an external simulator
+// (ngspice). The built-in transient engine remains the primary comparator;
+// this is an interoperability artifact.
+#pragma once
+
+#include <string>
+
+#include "device/technology.hpp"
+#include "sim/circuit.hpp"
+#include "sim/transient.hpp"
+
+namespace xtalk::sim {
+
+/// Serialize the circuit as an ngspice-compatible deck. `title` becomes the
+/// first line; the transient statement uses options.dt / options.tstop.
+std::string export_spice(const Circuit& circuit,
+                         const device::Technology& tech,
+                         const TransientOptions& options,
+                         const std::string& title = "xtalk-sta validation");
+
+}  // namespace xtalk::sim

@@ -1,0 +1,66 @@
+#include "sim/vcd.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace xtalk::sim {
+
+namespace {
+
+/// Compact VCD identifier codes: printable ASCII 33..126, little-endian.
+std::string id_code(std::size_t index) {
+  std::string code;
+  do {
+    code.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return code;
+}
+
+}  // namespace
+
+std::string write_vcd(const TransientResult& result, const Circuit& circuit,
+                      const VcdOptions& opt) {
+  std::vector<NodeId> nodes = opt.nodes;
+  if (nodes.empty()) {
+    for (NodeId n = 1; n < circuit.num_nodes(); ++n) nodes.push_back(n);
+  }
+
+  std::ostringstream os;
+  os.precision(8);
+  os << "$comment xtalk-sta transient dump $end\n";
+  os << "$timescale " << static_cast<long long>(opt.timescale * 1e15)
+     << " fs $end\n";
+  os << "$scope module sim $end\n";
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    std::string name = circuit.node_name(nodes[i]);
+    for (char& c : name) {
+      if (std::isspace(static_cast<unsigned char>(c))) c = '_';
+    }
+    os << "$var real 64 " << id_code(i) << " " << name << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+
+  std::vector<double> last(nodes.size(),
+                           std::numeric_limits<double>::quiet_NaN());
+  for (std::size_t step = 0; step < result.num_steps(); ++step) {
+    const auto tick = static_cast<long long>(
+        std::llround(result.times()[step] / opt.timescale));
+    bool stamped = false;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const double v = result.voltage(step, nodes[i]);
+      if (!std::isnan(last[i]) && std::abs(v - last[i]) <= opt.value_epsilon) {
+        continue;
+      }
+      if (!stamped) {
+        os << "#" << tick << "\n";
+        stamped = true;
+      }
+      os << "r" << v << " " << id_code(i) << "\n";
+      last[i] = v;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace xtalk::sim

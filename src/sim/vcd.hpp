@@ -1,0 +1,26 @@
+// VCD (Value Change Dump) export of transient results, using real-valued
+// variables, so simulated analog waveforms can be inspected in GTKWave or
+// any VCD viewer alongside the STA predictions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/circuit.hpp"
+#include "sim/transient.hpp"
+
+namespace xtalk::sim {
+
+struct VcdOptions {
+  double timescale = 1e-12;  ///< one VCD tick [s]
+  /// Only emit a change when the value moved by more than this [V].
+  double value_epsilon = 1e-4;
+  /// Nodes to dump; empty = every node except ground.
+  std::vector<NodeId> nodes;
+};
+
+/// Serialize the result as VCD text.
+std::string write_vcd(const TransientResult& result, const Circuit& circuit,
+                      const VcdOptions& options = {});
+
+}  // namespace xtalk::sim

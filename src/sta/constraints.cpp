@@ -1,0 +1,108 @@
+#include "sta/constraints.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace xtalk::sta {
+
+namespace {
+
+/// Capture-clock arrival bounds per endpoint net: the CK arrivals of the
+/// flip-flops the net feeds. Returns (min over early bounds, max over
+/// worst-case arrivals); (0, 0) for unclocked endpoints (primary outputs).
+struct CaptureClock {
+  double earliest = 0.0;
+  double latest = 0.0;
+  bool clocked = false;
+};
+
+CaptureClock capture_clock(netlist::NetId endpoint, const StaResult& result,
+                           const EarlyTimes* early,
+                           const DesignView& design) {
+  CaptureClock cc;
+  cc.earliest = std::numeric_limits<double>::infinity();
+  cc.latest = 0.0;
+  const netlist::Netlist& nl = *design.netlist;
+  for (const netlist::PinRef& s : nl.net(endpoint).sinks) {
+    const netlist::Cell& cell = *nl.gate(s.gate).cell;
+    if (!cell.is_sequential() ||
+        cell.pins()[s.pin].dir != netlist::PinDir::kInput) {
+      continue;
+    }
+    const netlist::NetId ck =
+        nl.gate(s.gate).pin_nets[cell.clock_pin()];
+    cc.clocked = true;
+    const NetEvent& worst = result.timing[ck].rise;
+    if (worst.valid) cc.latest = std::max(cc.latest, worst.arrival);
+    cc.earliest = std::min(
+        cc.earliest, early != nullptr ? early->start(ck, true) : 0.0);
+  }
+  if (!cc.clocked) {
+    cc.earliest = 0.0;
+    cc.latest = 0.0;
+  }
+  return cc;
+}
+
+void finalize(SlackReport& report) {
+  std::sort(report.endpoints.begin(), report.endpoints.end(),
+            [](const EndpointSlack& a, const EndpointSlack& b) {
+              return a.slack < b.slack;
+            });
+  report.wns = report.endpoints.empty()
+                   ? 0.0
+                   : report.endpoints.front().slack;
+  report.tns = 0.0;
+  report.violations = 0;
+  for (const EndpointSlack& e : report.endpoints) {
+    if (e.slack < 0.0) {
+      report.tns += e.slack;
+      ++report.violations;
+    }
+  }
+}
+
+}  // namespace
+
+SlackReport check_setup(const StaResult& result, const DesignView& design,
+                        const ConstraintOptions& opt) {
+  // Earliest capture clock from a min-arrival pass (sound bound).
+  const EarlyTimes early = compute_early_activity(design);
+  SlackReport report;
+  for (const EndpointArrival& ep : result.endpoints) {
+    const CaptureClock cc = capture_clock(ep.net, result, &early, design);
+    EndpointSlack s;
+    s.net = ep.net;
+    s.rising = ep.rising;
+    s.arrival = ep.arrival;
+    s.clocked = cc.clocked;
+    s.required = opt.clock_period +
+                 (cc.clocked ? cc.earliest : 0.0) - opt.setup_margin;
+    s.slack = s.required - s.arrival;
+    report.endpoints.push_back(s);
+  }
+  finalize(report);
+  return report;
+}
+
+SlackReport check_hold(const StaResult& result, const EarlyTimes& early,
+                       const DesignView& design,
+                       const ConstraintOptions& opt) {
+  SlackReport report;
+  for (const EndpointArrival& ep : result.endpoints) {
+    const CaptureClock cc = capture_clock(ep.net, result, nullptr, design);
+    if (!cc.clocked) continue;  // hold applies to register captures only
+    EndpointSlack s;
+    s.net = ep.net;
+    s.rising = ep.rising;
+    s.arrival = early.start(ep.net, ep.rising);
+    s.clocked = true;
+    s.required = cc.latest + opt.hold_margin;
+    s.slack = s.arrival - s.required;
+    report.endpoints.push_back(s);
+  }
+  finalize(report);
+  return report;
+}
+
+}  // namespace xtalk::sta

@@ -1,0 +1,54 @@
+// Clock-constraint checking on top of the analysis results: setup slack
+// from the (upper bound) arrival analysis and hold slack from the
+// (lower bound) earliest-activity analysis. This turns the longest-path
+// numbers of the paper's tables into the pass/fail question a user
+// actually asks ("does the design make the cycle time, with crosstalk?").
+//
+// Conservative edge selection throughout:
+//  * setup: data as late as possible (worst-case arrival incl. coupling)
+//    vs. capture clock as early as possible (min-arrival bound through the
+//    clock tree) plus one period;
+//  * hold: data as early as possible (min-arrival bound) vs. capture clock
+//    as late as possible (worst-case clock arrival).
+#pragma once
+
+#include <vector>
+
+#include "sta/early.hpp"
+#include "sta/engine.hpp"
+
+namespace xtalk::sta {
+
+struct ConstraintOptions {
+  double clock_period = 10e-9;  ///< [s]
+  double setup_margin = 0.0;    ///< library setup time allowance [s]
+  double hold_margin = 0.0;     ///< library hold time allowance [s]
+};
+
+struct EndpointSlack {
+  netlist::NetId net = netlist::kNoNet;
+  bool rising = true;
+  double arrival = 0.0;   ///< data arrival used for the check [s]
+  double required = 0.0;  ///< required time [s]
+  double slack = 0.0;     ///< required - arrival (setup) / arrival - required (hold)
+  bool clocked = false;   ///< endpoint captures into a flip-flop
+};
+
+struct SlackReport {
+  std::vector<EndpointSlack> endpoints;  ///< sorted, most critical first
+  double wns = 0.0;                      ///< worst negative slack (<= 0) or min slack
+  double tns = 0.0;                      ///< total negative slack (<= 0)
+  std::size_t violations = 0;
+};
+
+/// Setup (max-delay) check of a finished analysis run.
+SlackReport check_setup(const StaResult& result, const DesignView& design,
+                        const ConstraintOptions& options);
+
+/// Hold (min-delay) check; `early` must come from compute_early_activity
+/// on the same design.
+SlackReport check_hold(const StaResult& result, const EarlyTimes& early,
+                       const DesignView& design,
+                       const ConstraintOptions& options);
+
+}  // namespace xtalk::sta

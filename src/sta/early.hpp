@@ -1,0 +1,41 @@
+// Earliest-activity (min-arrival) analysis.
+//
+// The paper's one-step rule keeps an aggressor active whenever its *latest*
+// opposite activity can fall after the victim's earliest activity. The
+// natural refinement from the follow-up literature is the full timing
+// window: an aggressor whose *earliest* possible activity lies after the
+// victim has completely settled cannot couple either. That needs a lower
+// bound on every net's earliest activity, computed here by min-propagation:
+//
+//   early(out) = min over arcs ( early(in) + arc_min_delay )
+//
+// with arc_min_delay a lower bound on the arc's threshold-to-threshold
+// delay: sharpest input ramp, no coupling capacitance in the load (a
+// same-direction neighbour can cancel its own coupling charge), and an
+// aiding-divider allowance subtracted (an opposite... same-direction
+// aggressor kick of dV can advance the crossing by up to dV / slope).
+#pragma once
+
+#include <vector>
+
+#include "sta/engine.hpp"
+
+namespace xtalk::sta {
+
+/// Lower bound on the earliest model-threshold crossing per net and
+/// direction [s]. +inf where a direction is unreachable.
+struct EarlyTimes {
+  std::vector<double> rise;
+  std::vector<double> fall;
+
+  double start(netlist::NetId net, bool rising) const {
+    return rising ? rise[net] : fall[net];
+  }
+};
+
+/// Run the min-propagation pass. EarlyOptions is declared in engine.hpp
+/// (it is part of StaOptions).
+EarlyTimes compute_early_activity(const DesignView& design,
+                                  const EarlyOptions& options = {});
+
+}  // namespace xtalk::sta

@@ -1,0 +1,396 @@
+#include "sta/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "extract/elmore.hpp"
+#include "sta/early.hpp"
+
+namespace xtalk::sta {
+
+namespace {
+
+/// Primary-input stimulus: a full-swing ramp with the configured slew,
+/// clipped to start at the model threshold at t = 0 like every propagated
+/// waveform.
+NetEvent primary_input_event(const device::Technology& tech, double slew,
+                             bool rising) {
+  NetEvent e;
+  e.valid = true;
+  const double vth = tech.model_vth;
+  const double rate = tech.vdd / slew;  // full ramp 0 -> VDD in `slew`
+  if (rising) {
+    const double t_full = (tech.vdd - vth) / rate;
+    e.waveform = util::Pwl::ramp(0.0, vth, t_full, tech.vdd);
+    e.arrival = (tech.vdd / 2.0 - vth) / rate;
+    e.settle_time = t_full;
+  } else {
+    const double t_full = (tech.vdd - vth) / rate;
+    e.waveform = util::Pwl::ramp(0.0, tech.vdd - vth, t_full, 0.0);
+    e.arrival = (tech.vdd / 2.0 - vth) / rate;
+    e.settle_time = t_full;
+  }
+  e.start_time = 0.0;
+  return e;
+}
+
+double arrival_of(const delaycalc::ArcResult& r, double vdd) {
+  return r.waveform.time_at_value(vdd / 2.0, r.output_rising);
+}
+
+}  // namespace
+
+StaEngine::StaEngine(const DesignView& design, const StaOptions& options)
+    : design_(design), options_(options), calculator_(*design.tables) {
+  if (options_.delay_model == DelayModel::kNldm) {
+    // The shared characterization is built against the default technology.
+    nldm_ = std::make_unique<delaycalc::NldmDelayCalculator>(
+        delaycalc::NldmLibrary::half_micron(), design.tables->tech());
+  }
+}
+
+std::vector<delaycalc::ArcResult> StaEngine::compute_arc(
+    const netlist::Cell& cell, std::uint32_t pin, bool in_rising,
+    const util::Pwl& input_waveform, const delaycalc::OutputLoad& load) {
+  ++waveform_calcs_;
+  if (nldm_ != nullptr) {
+    return nldm_->compute(cell, pin, in_rising, input_waveform, load);
+  }
+  return calculator_.compute(cell, pin, in_rising, input_waveform, load,
+                             options_.integration);
+}
+
+double StaEngine::base_load(netlist::NetId net) const {
+  // Receiving pin caps get the Miller factor of the timing model; the wire
+  // cap is physical.
+  return design_.parasitics->net(net).wire_cap +
+         design_.tables->tech().miller_gate_factor *
+             design_.netlist->net_pin_cap(net);
+}
+
+double StaEngine::sink_elmore(netlist::NetId net,
+                              const netlist::PinRef& sink) const {
+  for (const extract::SinkWire& w : design_.parasitics->net(net).sink_wires) {
+    if (w.sink == sink) {
+      const double pin_cap =
+          design_.netlist->gate(sink.gate).cell->pins()[sink.pin].cap;
+      return extract::elmore_sink_delay(w, pin_cap);
+    }
+  }
+  return 0.0;
+}
+
+delaycalc::OutputLoad StaEngine::classify_coupling(
+    netlist::NetId victim, bool victim_rising, double t_bcs,
+    const PassConfig& config, const std::vector<NetTiming>& timing,
+    double base_cap, double victim_settle_upper) const {
+  delaycalc::OutputLoad load;
+  double grounded = 0.0;
+  double active = 0.0;
+  const bool neighbor_dir = !victim_rising;  // opposite transition couples
+  for (const extract::NeighborCap& nb :
+       design_.parasitics->net(victim).couplings) {
+    // Timing-window extension: an aggressor that cannot even *start* its
+    // opposite transition before the victim has settled under the
+    // unrefined worst case is harmless.
+    if (!early_rise_.empty()) {
+      const double earliest =
+          neighbor_dir ? early_rise_[nb.neighbor] : early_fall_[nb.neighbor];
+      if (earliest >= victim_settle_upper) {
+        grounded += nb.cap;
+        continue;
+      }
+    }
+    double t_a;
+    if (timing[nb.neighbor].calculated) {
+      t_a = timing[nb.neighbor].quiet_time(neighbor_dir);
+    } else if (config.previous != nullptr) {
+      t_a = config.previous->quiet(nb.neighbor, neighbor_dir);
+    } else {
+      // §5.1: "line i is not calculated" -> worst-case assumption: coupling.
+      active += nb.cap;
+      continue;
+    }
+    if (t_a > t_bcs) {
+      active += nb.cap;
+    } else {
+      grounded += nb.cap;  // grounded with unchanged value
+    }
+  }
+  load.c_passive = base_cap + grounded;
+  load.c_active = active;
+  return load;
+}
+
+void StaEngine::process_gate(netlist::GateId gate_id, const PassConfig& config,
+                             std::vector<NetTiming>& timing) {
+  const netlist::Netlist& nl = *design_.netlist;
+  const netlist::Gate& gate = nl.gate(gate_id);
+  const netlist::Cell& cell = *gate.cell;
+  const netlist::NetId out = gate.pin_nets[cell.output_pin()];
+  const double vdd = design_.tables->tech().vdd;
+
+  const double base = base_load(out);
+  const double cc_sum = design_.parasitics->net(out).total_coupling_cap();
+
+  auto merge = [&](const delaycalc::ArcResult& r, const EventOrigin& origin) {
+    NetEvent& e = timing[out].event(r.output_rising);
+    const double arrival = arrival_of(r, vdd);
+    if (!e.valid || arrival > e.arrival) {
+      e.waveform = r.waveform;
+      e.arrival = arrival;
+      e.start_time = r.waveform.front().t;
+      e.origin = origin;
+      e.coupled = r.coupled;
+    }
+    e.settle_time = std::max(e.valid ? e.settle_time : r.settle_time,
+                             r.settle_time);
+    e.valid = true;
+  };
+
+  for (std::uint32_t p = 0; p < gate.pin_nets.size(); ++p) {
+    if (!netlist::is_timed_input(cell, p)) continue;
+    const netlist::NetId in_net = gate.pin_nets[p];
+    for (const bool in_rising : {true, false}) {
+      const NetEvent& in_ev = timing[in_net].event(in_rising);
+      if (!in_ev.valid) continue;
+      const double elmore = sink_elmore(in_net, {gate_id, p});
+      const util::Pwl in_wave = elmore > 0.0 ? in_ev.waveform.shifted(elmore)
+                                             : in_ev.waveform;
+      const EventOrigin origin{gate_id, in_net, in_rising};
+
+      switch (options_.mode) {
+        case AnalysisMode::kBestCase:
+        case AnalysisMode::kStaticDoubled:
+        case AnalysisMode::kWorstCase: {
+          delaycalc::OutputLoad load;
+          if (options_.mode == AnalysisMode::kBestCase) {
+            load = {base + cc_sum, 0.0};
+          } else if (options_.mode == AnalysisMode::kStaticDoubled) {
+            load = {base + 2.0 * cc_sum, 0.0};
+          } else {
+            load = {base, cc_sum};
+          }
+          for (const delaycalc::ArcResult& r :
+               compute_arc(cell, p, in_rising, in_wave, load)) {
+            merge(r, origin);
+          }
+          break;
+        }
+        case AnalysisMode::kOneStep:
+        case AnalysisMode::kIterative: {
+          // Best-case run: all adjacent wires quiet, caps grounded
+          // unchanged. Its Vth crossing is the earliest possible victim
+          // activity (lower time bound of the current waveform, §5.1).
+          const auto bcs =
+              compute_arc(cell, p, in_rising, in_wave, {base + cc_sum, 0.0});
+          for (const bool out_rising : {true, false}) {
+            double t_bcs = std::numeric_limits<double>::infinity();
+            bool present = false;
+            for (const delaycalc::ArcResult& r : bcs) {
+              if (r.output_rising != out_rising) continue;
+              present = true;
+              t_bcs = std::min(t_bcs, r.waveform.front().t);
+            }
+            if (!present) continue;
+            const double inf = std::numeric_limits<double>::infinity();
+            delaycalc::OutputLoad load = classify_coupling(
+                out, out_rising, t_bcs, config, timing, base, inf);
+            if (load.c_active <= 0.0) {
+              // No neighbour can couple: the best-case run *is* the
+              // worst-case run (loads identical); skip the second calc.
+              for (const delaycalc::ArcResult& r : bcs) {
+                if (r.output_rising == out_rising) merge(r, origin);
+              }
+              continue;
+            }
+            auto wcs = compute_arc(cell, p, in_rising, in_wave, load);
+            if (options_.timing_windows) {
+              // Refine: drop aggressors that cannot start before the
+              // victim settles under the unrefined worst case (the settle
+              // bound shrinks monotonically, so this stays conservative).
+              double settle_upper = 0.0;
+              for (const delaycalc::ArcResult& r : wcs) {
+                if (r.output_rising == out_rising) {
+                  settle_upper = std::max(settle_upper, r.settle_time);
+                }
+              }
+              const delaycalc::OutputLoad refined = classify_coupling(
+                  out, out_rising, t_bcs, config, timing, base, settle_upper);
+              if (refined.c_active < load.c_active - 1e-18) {
+                wcs = compute_arc(cell, p, in_rising, in_wave, refined);
+              }
+            }
+            for (const delaycalc::ArcResult& r : wcs) {
+              if (r.output_rising == out_rising) merge(r, origin);
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+  timing[out].calculated = true;
+}
+
+double StaEngine::run_pass(const PassConfig& config,
+                           std::vector<NetTiming>& timing,
+                           std::vector<EndpointArrival>& endpoints,
+                           EndpointArrival& critical) {
+  const netlist::Netlist& nl = *design_.netlist;
+  const device::Technology& tech = design_.tables->tech();
+
+  timing.assign(nl.num_nets(), NetTiming{});
+  for (const netlist::NetId pi : nl.primary_inputs()) {
+    timing[pi].rise = primary_input_event(tech, options_.input_slew, true);
+    timing[pi].fall = primary_input_event(tech, options_.input_slew, false);
+    timing[pi].calculated = true;
+  }
+
+  for (const netlist::GateId g : design_.dag->topo_order) {
+    if (config.active_gates != nullptr && !(*config.active_gates)[g]) {
+      // Esperance: keep the previous pass's (conservative) result.
+      const netlist::Gate& gate = nl.gate(g);
+      const netlist::NetId out = gate.pin_nets[gate.cell->output_pin()];
+      timing[out] = (*config.previous_timing)[out];
+      timing[out].calculated = true;
+      continue;
+    }
+    process_gate(g, config, timing);
+  }
+
+  // Endpoint arrivals: D-pin sinks add their Elmore shift, primary outputs
+  // read the net arrival directly.
+  endpoints.clear();
+  critical = {};
+  double worst = -std::numeric_limits<double>::infinity();
+  for (const netlist::NetId ep : design_.dag->endpoint_nets) {
+    double extra = 0.0;
+    for (const netlist::PinRef& s : nl.net(ep).sinks) {
+      const netlist::Cell& c = *nl.gate(s.gate).cell;
+      if (c.is_sequential() && c.pins()[s.pin].dir == netlist::PinDir::kInput) {
+        extra = std::max(extra, sink_elmore(ep, s));
+      }
+    }
+    for (const bool rising : {true, false}) {
+      const NetEvent& e = timing[ep].event(rising);
+      if (!e.valid) continue;
+      EndpointArrival a{ep, rising, e.arrival + extra};
+      endpoints.push_back(a);
+      if (a.arrival > worst) {
+        worst = a.arrival;
+        critical = a;
+      }
+    }
+  }
+  return worst;
+}
+
+QuietTimes StaEngine::collect_quiet(const std::vector<NetTiming>& timing) const {
+  QuietTimes q(timing.size());
+  for (std::size_t n = 0; n < timing.size(); ++n) {
+    q.rise[n] = timing[n].quiet_time(true);
+    q.fall[n] = timing[n].quiet_time(false);
+  }
+  return q;
+}
+
+std::vector<char> StaEngine::esperance_gates(
+    const std::vector<NetTiming>& timing,
+    const std::vector<EndpointArrival>& eps, double delay) const {
+  std::vector<char> active(design_.netlist->num_gates(), 0);
+  // Walk the origin chains of every endpoint within the window.
+  for (const EndpointArrival& ep : eps) {
+    if (ep.arrival < delay - options_.esperance_window) continue;
+    netlist::NetId net = ep.net;
+    bool rising = ep.rising;
+    while (net != netlist::kNoNet) {
+      const NetEvent& e = timing[net].event(rising);
+      if (!e.valid || e.origin.gate == netlist::kNoGate) break;
+      if (active[e.origin.gate]) break;  // chain already collected
+      active[e.origin.gate] = 1;
+      net = e.origin.from_net;
+      rising = e.origin.from_rising;
+    }
+  }
+  return active;
+}
+
+StaResult StaEngine::run() {
+  const auto t0 = std::chrono::steady_clock::now();
+  StaResult result;
+  waveform_calcs_ = 0;
+
+  if (options_.timing_windows) {
+    const EarlyTimes early = compute_early_activity(design_, options_.early);
+    early_rise_ = early.rise;
+    early_fall_ = early.fall;
+  } else {
+    early_rise_.clear();
+    early_fall_.clear();
+  }
+
+  std::vector<NetTiming> timing;
+  std::vector<EndpointArrival> endpoints;
+  EndpointArrival critical;
+
+  if (options_.mode != AnalysisMode::kIterative) {
+    result.longest_path_delay = run_pass({}, timing, endpoints, critical);
+    result.passes = 1;
+  } else {
+    // §5.2: delay := default (first one-step pass, unknown neighbours are
+    // assumed coupling); then refine with stored quiescent times while the
+    // delay improves.
+    double delay = run_pass({}, timing, endpoints, critical);
+    result.passes = 1;
+    QuietTimes quiet = collect_quiet(timing);
+
+    std::vector<NetTiming> best_timing = timing;
+    std::vector<EndpointArrival> best_eps = endpoints;
+    EndpointArrival best_crit = critical;
+    double best = delay;
+
+    while (result.passes < options_.max_passes) {
+      PassConfig cfg;
+      cfg.previous = &quiet;
+      std::vector<char> active;
+      if (options_.esperance) {
+        active = esperance_gates(best_timing, best_eps, best);
+        cfg.active_gates = &active;
+        cfg.previous_timing = &best_timing;
+      }
+      const double delay_old = best;
+      delay = run_pass(cfg, timing, endpoints, critical);
+      ++result.passes;
+      if (delay < best) {
+        best = delay;
+        best_timing = timing;
+        best_eps = endpoints;
+        best_crit = critical;
+        quiet = collect_quiet(timing);
+      }
+      if (!(delay < delay_old - options_.convergence_eps)) break;
+    }
+    result.longest_path_delay = best;
+    timing = std::move(best_timing);
+    endpoints = std::move(best_eps);
+    critical = best_crit;
+  }
+
+  result.critical = critical;
+  result.endpoints = std::move(endpoints);
+  result.timing = std::move(timing);
+  result.waveform_calculations = waveform_calcs_;
+  result.runtime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+StaResult run_sta(const DesignView& design, const StaOptions& options) {
+  StaEngine engine(design, options);
+  return engine.run();
+}
+
+}  // namespace xtalk::sta

@@ -1,0 +1,171 @@
+// The crosstalk-aware STA engine (paper §4-5).
+//
+// One pass is a breadth-first (levelized topological) traversal of the
+// gate DAG, propagating one worst-case waveform per net and direction. For
+// the crosstalk-aware modes every arc is evaluated twice (§5.1): first a
+// best-case run with all neighbours quiet, whose Vth crossing t_bcs is the
+// earliest possible victim activity; then each adjacent wire whose
+// opposite-direction quiet time exceeds t_bcs — or which is not calculated
+// yet — keeps an active coupling cap, the rest are grounded with unchanged
+// value, and the worst-case waveform is computed and inserted into the
+// victim's event queue. Complexity stays linear in the graph size.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "delaycalc/arc_delay.hpp"
+#include "delaycalc/nldm.hpp"
+#include "extract/parasitics.hpp"
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/modes.hpp"
+#include "sta/timing_graph.hpp"
+
+namespace xtalk::sta {
+
+/// Options of the earliest-activity (min-arrival) analysis backing the
+/// timing-window extension (sta/early.hpp).
+struct EarlyOptions {
+  double sharp_slew = 20e-12;  ///< input ramp for the min-delay bound [s]
+  /// Subtract the full aiding-divider allowance from every arc's minimum
+  /// delay (a same-direction aggressor kick can advance the threshold
+  /// crossing). Keeping it guarantees a sound lower bound but weakens the
+  /// windows considerably; industrial analyzers typically drop it.
+  bool aiding_coupling_assist = true;
+};
+
+/// Which gate delay engine the analysis uses.
+enum class DelayModel {
+  /// The paper's transistor-level table/Newton waveform engine, including
+  /// the active coupling model.
+  kTransistorLevel,
+  /// Classical characterized-table (NLDM) lookups; crosstalk can only be
+  /// represented as grounded (active caps folded in doubled). Provided as
+  /// the baseline the paper argues against — much faster, but modes
+  /// kWorstCase/kOneStep/kIterative degenerate toward kStaticDoubled.
+  kNldm,
+};
+
+struct StaOptions {
+  AnalysisMode mode = AnalysisMode::kOneStep;
+  DelayModel delay_model = DelayModel::kTransistorLevel;
+  double input_slew = 0.2e-9;  ///< primary-input ramp 0->VDD [s]
+  delaycalc::IntegrationOptions integration;
+  /// Iterative mode: stop when the longest-path delay improves by less
+  /// than this [s], or after max_passes.
+  double convergence_eps = 0.1e-12;
+  int max_passes = 10;
+  /// Esperance speed-up (§5.2 / Benkoski): from pass 2 on, recalculate
+  /// only gates on paths within `esperance_window` of the longest path;
+  /// other nets keep their previous (conservative) timing.
+  bool esperance = false;
+  double esperance_window = 1.0e-9;
+  /// Timing-window extension (beyond the paper): additionally ground
+  /// aggressors whose *earliest* possible opposite activity (min-arrival
+  /// analysis, sta/early.hpp) starts only after the victim has completely
+  /// settled under the unrefined worst case. Costs one min-propagation
+  /// pass plus occasional arc re-evaluations; tightens the bound further.
+  bool timing_windows = false;
+  EarlyOptions early;
+};
+
+struct EndpointArrival {
+  netlist::NetId net = netlist::kNoNet;
+  bool rising = true;
+  double arrival = 0.0;  ///< including the endpoint sink's Elmore delay
+};
+
+struct StaResult {
+  double longest_path_delay = 0.0;
+  EndpointArrival critical;                ///< the worst endpoint
+  std::vector<EndpointArrival> endpoints;  ///< all endpoints, both directions
+  std::vector<NetTiming> timing;           ///< final per-net state
+  int passes = 0;                          ///< full BFS passes executed
+  std::size_t waveform_calculations = 0;
+  double runtime_seconds = 0.0;
+};
+
+/// All inputs of an analysis run (netlist + DAG + extracted parasitics +
+/// device tables). Borrowed; must outlive the engine.
+struct DesignView {
+  const netlist::Netlist* netlist = nullptr;
+  const netlist::LevelizedDag* dag = nullptr;
+  const extract::Parasitics* parasitics = nullptr;
+  const device::DeviceTableSet* tables = nullptr;
+};
+
+class StaEngine {
+ public:
+  StaEngine(const DesignView& design, const StaOptions& options);
+
+  /// Run the configured analysis (single pass for the three baseline modes
+  /// and one-step; the convergence loop for iterative).
+  StaResult run();
+
+ private:
+  struct PassConfig {
+    /// Quiet times from the previous pass; null on the first pass (then
+    /// uncalculated neighbours are assumed coupling, §5.1).
+    const QuietTimes* previous = nullptr;
+    /// Esperance restriction; null = recalculate everything.
+    const std::vector<char>* active_gates = nullptr;
+    /// Timing from the previous pass (for gates skipped by Esperance).
+    const std::vector<NetTiming>* previous_timing = nullptr;
+  };
+
+  /// One full BFS pass; fills `timing` and returns the longest-path delay.
+  double run_pass(const PassConfig& config, std::vector<NetTiming>& timing,
+                  std::vector<EndpointArrival>& endpoints,
+                  EndpointArrival& critical);
+
+  /// Evaluate every arc of `gate` and merge results into the output net's
+  /// events.
+  void process_gate(netlist::GateId gate, const PassConfig& config,
+                    std::vector<NetTiming>& timing);
+
+  /// Decide the coupling load split for one victim arc evaluation.
+  /// `victim_settle_upper` enables the timing-window refinement: an
+  /// aggressor whose earliest opposite activity starts at or after it is
+  /// grounded (pass +inf to disable).
+  delaycalc::OutputLoad classify_coupling(netlist::NetId victim,
+                                          bool victim_rising, double t_bcs,
+                                          const PassConfig& config,
+                                          const std::vector<NetTiming>& timing,
+                                          double base_cap,
+                                          double victim_settle_upper) const;
+
+  /// Grounded lumped cap on a net before coupling treatment: wire cap plus
+  /// sink pin caps.
+  double base_load(netlist::NetId net) const;
+
+  /// Elmore shift for a specific sink of a net.
+  double sink_elmore(netlist::NetId net, const netlist::PinRef& sink) const;
+
+  /// Collect per-net quiet times from a finished pass.
+  QuietTimes collect_quiet(const std::vector<NetTiming>& timing) const;
+
+  /// Gates on paths within the Esperance window of the critical endpoint.
+  std::vector<char> esperance_gates(const std::vector<NetTiming>& timing,
+                                    const std::vector<EndpointArrival>& eps,
+                                    double delay) const;
+
+  /// Dispatch to the configured delay engine.
+  std::vector<delaycalc::ArcResult> compute_arc(
+      const netlist::Cell& cell, std::uint32_t pin, bool in_rising,
+      const util::Pwl& input_waveform, const delaycalc::OutputLoad& load);
+
+  DesignView design_;
+  StaOptions options_;
+  delaycalc::ArcDelayCalculator calculator_;
+  std::unique_ptr<delaycalc::NldmDelayCalculator> nldm_;
+  std::size_t waveform_calcs_ = 0;
+  /// Per-net earliest activity (only when options_.timing_windows is set).
+  std::vector<double> early_rise_;
+  std::vector<double> early_fall_;
+};
+
+/// Convenience wrapper: run one mode on a design.
+StaResult run_sta(const DesignView& design, const StaOptions& options);
+
+}  // namespace xtalk::sta

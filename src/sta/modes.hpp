@@ -1,0 +1,36 @@
+// The five analysis modes compared in the paper's experimental section
+// (§6): three baselines and the two proposed algorithms.
+#pragma once
+
+namespace xtalk::sta {
+
+enum class AnalysisMode {
+  /// 1. All coupling capacitances grounded with unchanged value — coupling
+  ///    ignored entirely (comparison baseline).
+  kBestCase,
+  /// 2. All coupling capacitances grounded with doubled value — the
+  ///    classical passive treatment of crosstalk.
+  kStaticDoubled,
+  /// 3. Every coupling capacitance couples according to the paper's active
+  ///    model at all times (permanent worst-case coupling).
+  kWorstCase,
+  /// 4. One-step algorithm (§5.1): per-arc best-case prefilter deciding
+  ///    which neighbours can still switch opposite; linear complexity.
+  kOneStep,
+  /// 5. Iterative algorithm (§5.2): repeat the one-step STA with stored
+  ///    quiescent times until the longest-path delay stops improving.
+  kIterative,
+};
+
+inline const char* mode_name(AnalysisMode m) {
+  switch (m) {
+    case AnalysisMode::kBestCase: return "Best case";
+    case AnalysisMode::kStaticDoubled: return "Static doubled";
+    case AnalysisMode::kWorstCase: return "Worst case";
+    case AnalysisMode::kOneStep: return "One step";
+    case AnalysisMode::kIterative: return "Iterative";
+  }
+  return "?";
+}
+
+}  // namespace xtalk::sta

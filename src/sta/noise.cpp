@@ -1,0 +1,110 @@
+#include "sta/noise.hpp"
+
+#include <algorithm>
+
+#include "delaycalc/coupling_model.hpp"
+
+namespace xtalk::sta {
+
+namespace {
+
+/// Grounded capacitance of a victim net as the noise divider sees it.
+double ground_cap(const DesignView& design, netlist::NetId net) {
+  return design.parasitics->net(net).wire_cap +
+         design.netlist->net_pin_cap(net);
+}
+
+}  // namespace
+
+std::vector<NoiseViolation> analyze_noise(const DesignView& design,
+                                          const StaResult* timing,
+                                          const NoiseOptions& options) {
+  const device::Technology& tech = design.tables->tech();
+  const double threshold =
+      options.margin * std::min(tech.vth_n, tech.vth_p);
+
+  std::vector<NoiseViolation> out;
+  for (netlist::NetId n = 0; n < design.netlist->num_nets(); ++n) {
+    const extract::NetParasitics& p = design.parasitics->net(n);
+    if (p.couplings.empty()) continue;
+
+    double c_active = 0.0;
+    std::size_t count = 0;
+    if (options.use_timing && timing != nullptr) {
+      // Sum only aggressors whose activity windows can mutually overlap:
+      // conservatively, any pair whose [start, settle] intervals intersect.
+      // With a single pass we approximate by taking the max over "alignment
+      // instants" = each aggressor's window, summing every aggressor whose
+      // window contains it.
+      struct Window {
+        double start, end, cap;
+      };
+      std::vector<Window> windows;
+      for (const extract::NeighborCap& nb : p.couplings) {
+        const NetTiming& t = timing->timing[nb.neighbor];
+        for (const bool rising : {true, false}) {
+          const NetEvent& e = t.event(rising);
+          if (!e.valid) continue;
+          windows.push_back({e.start_time, e.settle_time, nb.cap});
+        }
+      }
+      for (const Window& at : windows) {
+        double sum = 0.0;
+        std::size_t k = 0;
+        for (const Window& w : windows) {
+          if (w.start <= at.end && at.start <= w.end) {
+            sum += w.cap;
+            ++k;
+          }
+        }
+        // Each neighbour appears once per direction; halve the double
+        // counting conservatively by taking the max, not the sum of dirs.
+        if (sum > c_active) {
+          c_active = sum;
+          count = k;
+        }
+      }
+      // Both directions of the same neighbour were counted; cap at the
+      // physical total.
+      const double cc_total = p.total_coupling_cap();
+      if (c_active > cc_total) c_active = cc_total;
+    } else {
+      for (const extract::NeighborCap& nb : p.couplings) {
+        c_active += nb.cap;
+        ++count;
+      }
+    }
+
+    const double cg = ground_cap(design, n);
+    const double glitch = delaycalc::divider_step(tech.vdd, c_active, cg);
+    if (glitch < threshold) continue;
+    NoiseViolation v;
+    v.victim = n;
+    v.glitch = glitch;
+    v.threshold = threshold;
+    v.c_active = c_active;
+    v.c_ground = cg;
+    v.aggressors = count;
+    out.push_back(v);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NoiseViolation& a, const NoiseViolation& b) {
+              return a.glitch > b.glitch;
+            });
+  return out;
+}
+
+double worst_glitch(const DesignView& design) {
+  const device::Technology& tech = design.tables->tech();
+  double worst = 0.0;
+  for (netlist::NetId n = 0; n < design.netlist->num_nets(); ++n) {
+    const extract::NetParasitics& p = design.parasitics->net(n);
+    if (p.couplings.empty()) continue;
+    worst = std::max(worst,
+                     delaycalc::divider_step(tech.vdd, p.total_coupling_cap(),
+                                             ground_cap(design, n)));
+  }
+  return worst;
+}
+
+}  // namespace xtalk::sta

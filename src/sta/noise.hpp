@@ -1,0 +1,50 @@
+// Crosstalk noise (glitch) analysis — the *functional* side of coupling
+// the paper sets aside ("Apart from the functional impact [1][2], e.g. the
+// generation of glitches..."). A quiet victim hit by switching aggressors
+// receives a capacitive-divider glitch of
+//
+//   dV = VDD * Cc_active / (Cc_active + C_ground)
+//
+// which can propagate as a spurious logic event if it approaches the
+// transistor threshold. This module ranks victims by worst-case glitch.
+//
+// Aggressor selection mirrors the delay analysis: with timing information,
+// only aggressors whose switching windows can overlap pairwise are summed
+// (conservatively, all of them by default).
+#pragma once
+
+#include <vector>
+
+#include "sta/engine.hpp"
+
+namespace xtalk::sta {
+
+struct NoiseOptions {
+  /// Glitches above margin * transistor threshold are reported.
+  double margin = 0.5;
+  /// Use per-net quiet times from a timing result to drop aggressors that
+  /// can never switch while any other aggressor does (timed mode); false =
+  /// assume all aggressors can align (static mode).
+  bool use_timing = false;
+};
+
+struct NoiseViolation {
+  netlist::NetId victim = netlist::kNoNet;
+  double glitch = 0.0;      ///< worst divider glitch [V]
+  double threshold = 0.0;   ///< failing threshold used [V]
+  double c_active = 0.0;    ///< aggressor coupling summed [F]
+  double c_ground = 0.0;    ///< victim grounded cap [F]
+  std::size_t aggressors = 0;
+};
+
+/// Static (or timing-filtered) noise scan. `timing` may be null when
+/// options.use_timing is false. Violations are sorted by glitch, largest
+/// first.
+std::vector<NoiseViolation> analyze_noise(const DesignView& design,
+                                          const StaResult* timing,
+                                          const NoiseOptions& options = {});
+
+/// Worst glitch over all nets (0 if the design has no coupling).
+double worst_glitch(const DesignView& design);
+
+}  // namespace xtalk::sta

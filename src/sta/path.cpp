@@ -1,0 +1,53 @@
+#include "sta/path.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace xtalk::sta {
+
+std::vector<PathStep> extract_path(const StaResult& result,
+                                   const EndpointArrival& endpoint) {
+  std::vector<PathStep> path;
+  netlist::NetId net = endpoint.net;
+  bool rising = endpoint.rising;
+  while (net != netlist::kNoNet) {
+    const NetEvent& e = result.timing[net].event(rising);
+    if (!e.valid) break;
+    PathStep step;
+    step.net = net;
+    step.rising = rising;
+    step.arrival = e.arrival;
+    step.driver = e.origin.gate;
+    step.coupled = e.coupled;
+    path.push_back(step);
+    if (e.origin.gate == netlist::kNoGate) break;
+    net = e.origin.from_net;
+    rising = e.origin.from_rising;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<PathStep> extract_critical_path(const StaResult& result) {
+  return extract_path(result, result.critical);
+}
+
+std::string format_path(const std::vector<PathStep>& path,
+                        const netlist::Netlist& nl) {
+  std::ostringstream os;
+  for (const PathStep& s : path) {
+    os << "  " << nl.net(s.net).name << " (" << (s.rising ? "r" : "f") << ") "
+       << s.arrival * 1e9 << " ns";
+    if (s.driver != netlist::kNoGate) {
+      os << "  <- " << nl.gate(s.driver).name << " ["
+         << nl.gate(s.driver).cell->name() << "]";
+    } else {
+      os << "  (primary input)";
+    }
+    if (s.coupled) os << "  *coupled*";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace xtalk::sta

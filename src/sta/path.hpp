@@ -1,0 +1,37 @@
+// Critical-path extraction via the event origin chain.
+//
+// The longest path typically starts at the clock root, runs through the
+// clock buffer tree into a flip-flop's CK->Q arc and then through
+// combinational logic to an endpoint — exactly the path the paper's
+// validation simulates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sta/engine.hpp"
+
+namespace xtalk::sta {
+
+struct PathStep {
+  netlist::NetId net = netlist::kNoNet;
+  bool rising = true;
+  double arrival = 0.0;  ///< 50% crossing on this net
+  /// Gate driving this net on the path; kNoGate for the source (a primary
+  /// input).
+  netlist::GateId driver = netlist::kNoGate;
+  bool coupled = false;  ///< this event saw active coupling
+};
+
+/// Walk origins back from `endpoint` and return the path source-first.
+std::vector<PathStep> extract_path(const StaResult& result,
+                                   const EndpointArrival& endpoint);
+
+/// The critical (longest) path of the run, source-first.
+std::vector<PathStep> extract_critical_path(const StaResult& result);
+
+/// Human-readable path listing.
+std::string format_path(const std::vector<PathStep>& path,
+                        const netlist::Netlist& netlist);
+
+}  // namespace xtalk::sta

@@ -1,0 +1,77 @@
+#include "sta/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace xtalk::sta {
+
+std::string format_mode_table(const std::string& title,
+                              const std::vector<TableRow>& rows) {
+  std::ostringstream os;
+  os << title << "\n";
+  os << std::left << std::setw(18) << "mode" << std::right << std::setw(12)
+     << "delay[ns]" << std::setw(13) << "runtime[s]" << std::setw(9)
+     << "passes" << "\n";
+  for (const TableRow& r : rows) {
+    os << std::left << std::setw(18) << r.label << std::right << std::fixed
+       << std::setprecision(3) << std::setw(12) << r.delay_seconds * 1e9
+       << std::setw(13) << std::setprecision(2) << r.runtime_seconds
+       << std::setw(9) << r.passes << "\n";
+  }
+  return os.str();
+}
+
+TableRow row_from_result(AnalysisMode mode, const StaResult& result) {
+  TableRow r;
+  r.label = mode_name(mode);
+  r.delay_seconds = result.longest_path_delay;
+  r.runtime_seconds = result.runtime_seconds;
+  r.passes = result.passes;
+  return r;
+}
+
+ClockSkewReport compute_clock_skew(const StaResult& result,
+                                   const netlist::Netlist& nl) {
+  ClockSkewReport rep;
+  rep.min_insertion = std::numeric_limits<double>::infinity();
+  rep.max_insertion = -std::numeric_limits<double>::infinity();
+  for (const netlist::GateId g : nl.sequential_gates()) {
+    const netlist::Gate& ff = nl.gate(g);
+    const netlist::NetId ck = ff.pin_nets[ff.cell->clock_pin()];
+    const NetEvent& e = result.timing[ck].rise;
+    if (!e.valid) continue;
+    rep.min_insertion = std::min(rep.min_insertion, e.arrival);
+    rep.max_insertion = std::max(rep.max_insertion, e.arrival);
+    ++rep.flip_flops;
+  }
+  if (rep.flip_flops == 0) return ClockSkewReport{};
+  rep.skew = rep.max_insertion - rep.min_insertion;
+  return rep;
+}
+
+std::vector<CouplingImpact> coupling_impact(const StaResult& with_coupling,
+                                            const StaResult& without_coupling) {
+  std::vector<CouplingImpact> out;
+  // Endpoint lists come from the same DAG in the same order.
+  const std::size_t n = std::min(with_coupling.endpoints.size(),
+                                 without_coupling.endpoints.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const EndpointArrival& a = with_coupling.endpoints[i];
+    const EndpointArrival& b = without_coupling.endpoints[i];
+    CouplingImpact ci;
+    ci.net = a.net;
+    ci.rising = a.rising;
+    ci.delta = a.arrival - b.arrival;
+    out.push_back(ci);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CouplingImpact& x, const CouplingImpact& y) {
+              return x.delta > y.delta;
+            });
+  return out;
+}
+
+}  // namespace xtalk::sta

@@ -1,0 +1,50 @@
+// Report formatting in the paper's table layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sta/engine.hpp"
+
+namespace xtalk::sta {
+
+struct TableRow {
+  std::string label;
+  double delay_seconds = 0.0;
+  double runtime_seconds = 0.0;
+  int passes = 0;
+};
+
+/// Paper-style table:
+///   mode            delay [ns]   runtime [s]
+std::string format_mode_table(const std::string& title,
+                              const std::vector<TableRow>& rows);
+
+TableRow row_from_result(AnalysisMode mode, const StaResult& result);
+
+/// Clock-tree quality figures derived from a finished analysis: arrival of
+/// the (rising) clock at every flip-flop CK pin.
+struct ClockSkewReport {
+  double min_insertion = 0.0;  ///< earliest FF clock arrival [s]
+  double max_insertion = 0.0;  ///< latest FF clock arrival [s]
+  double skew = 0.0;           ///< max - min [s]
+  std::size_t flip_flops = 0;
+};
+
+/// Compute clock skew over all flip-flops. Zero-initialized report if the
+/// design has no clocked elements.
+ClockSkewReport compute_clock_skew(const StaResult& result,
+                                   const netlist::Netlist& netlist);
+
+/// Per-victim coupling impact: the arrival difference between two runs
+/// (typically worst-case minus best-case) at each endpoint, sorted largest
+/// first. The crosstalk-driven "net sorting" view of the results.
+struct CouplingImpact {
+  netlist::NetId net = netlist::kNoNet;
+  bool rising = true;
+  double delta = 0.0;  ///< arrival(with) - arrival(without) [s]
+};
+std::vector<CouplingImpact> coupling_impact(const StaResult& with_coupling,
+                                            const StaResult& without_coupling);
+
+}  // namespace xtalk::sta

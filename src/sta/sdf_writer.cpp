@@ -1,0 +1,106 @@
+#include "sta/sdf_writer.hpp"
+
+#include <sstream>
+
+#include "extract/elmore.hpp"
+
+namespace xtalk::sta {
+
+namespace {
+
+std::string triple(double seconds, double unit) {
+  std::ostringstream os;
+  os.precision(6);
+  const double v = seconds / unit;
+  os << "(" << v << ":" << v << ":" << v << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::string write_sdf(const DesignView& design,
+                      const delaycalc::NldmLibrary& nldm,
+                      const SdfOptions& opt) {
+  const netlist::Netlist& nl = *design.netlist;
+  const device::Technology& tech = design.tables->tech();
+
+  std::ostringstream os;
+  os << "(DELAYFILE\n";
+  os << "  (SDFVERSION \"3.0\")\n";
+  os << "  (DESIGN \"" << opt.design_name << "\")\n";
+  os << "  (VENDOR \"xtalk-sta\")\n";
+  os << "  (PROGRAM \"xtalk-sta\")\n";
+  os << "  (VERSION \"1.0\")\n";
+  os << "  (DIVIDER /)\n";
+  os << "  (TIMESCALE 1ns)\n";
+
+  // Interconnect delays: one entry per driver->sink connection.
+  os << "  (CELL (CELLTYPE \"" << opt.design_name << "\") (INSTANCE)\n";
+  os << "    (DELAY (ABSOLUTE\n";
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    const netlist::Net& net = nl.net(n);
+    std::string source;
+    if (net.driver.gate != netlist::kNoGate) {
+      const netlist::Gate& g = nl.gate(net.driver.gate);
+      source = g.name + "/" + g.cell->pins()[net.driver.pin].name;
+    } else {
+      source = net.name;
+    }
+    for (const extract::SinkWire& w : design.parasitics->net(n).sink_wires) {
+      const netlist::Gate& s = nl.gate(w.sink.gate);
+      const double pin_cap = s.cell->pins()[w.sink.pin].cap;
+      const double d = extract::elmore_sink_delay(w, pin_cap);
+      os << "      (INTERCONNECT " << source << " " << s.name << "/"
+         << s.cell->pins()[w.sink.pin].name << " " << triple(d, opt.time_unit)
+         << " " << triple(d, opt.time_unit) << ")\n";
+    }
+  }
+  os << "    ))\n";
+  os << "  )\n";
+
+  // Per-instance IOPATH delays at the instance's actual extracted load.
+  for (netlist::GateId g = 0; g < nl.num_gates(); ++g) {
+    const netlist::Gate& gate = nl.gate(g);
+    const netlist::Cell& cell = *gate.cell;
+    const netlist::NetId out = gate.pin_nets[cell.output_pin()];
+    const double load = design.parasitics->net(out).wire_cap +
+                        tech.miller_gate_factor * nl.net_pin_cap(out) +
+                        design.parasitics->net(out).total_coupling_cap();
+
+    os << "  (CELL (CELLTYPE \"" << cell.name() << "\") (INSTANCE "
+       << gate.name << ")\n";
+    os << "    (DELAY (ABSOLUTE\n";
+    for (std::uint32_t p = 0; p < cell.pins().size(); ++p) {
+      if (!netlist::is_timed_input(cell, p)) continue;
+      // Worst rise / fall delay over the input directions.
+      double rise = 0.0, fall = 0.0;
+      for (const bool in_rising : {true, false}) {
+        for (const delaycalc::NldmArc* arc : nldm.arcs(cell, p, in_rising)) {
+          const double d = arc->delay.lookup(opt.nominal_slew, load);
+          if (arc->output_rising) {
+            rise = std::max(rise, d);
+          } else {
+            fall = std::max(fall, d);
+          }
+        }
+      }
+      const char* pin_name = cell.pins()[p].name.c_str();
+      const char* out_name = cell.pins()[cell.output_pin()].name.c_str();
+      if (cell.is_sequential()) {
+        os << "      (IOPATH (posedge " << pin_name << ") " << out_name << " "
+           << triple(rise, opt.time_unit) << " " << triple(fall, opt.time_unit)
+           << ")\n";
+      } else {
+        os << "      (IOPATH " << pin_name << " " << out_name << " "
+           << triple(rise, opt.time_unit) << " " << triple(fall, opt.time_unit)
+           << ")\n";
+      }
+    }
+    os << "    ))\n";
+    os << "  )\n";
+  }
+  os << ")\n";
+  return os.str();
+}
+
+}  // namespace xtalk::sta

@@ -1,0 +1,71 @@
+// Timing state over the netlist (paper §4): one worst-case waveform per net
+// and transition direction, plus the quiescent times the crosstalk-aware
+// algorithms compare against (§5: "STA provides an upper time bound for the
+// last event on each line. In other words, after this time the line is
+// quiet to the end of the clock cycle").
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/pwl.hpp"
+
+namespace xtalk::sta {
+
+/// Back-pointer for critical-path extraction.
+struct EventOrigin {
+  netlist::GateId gate = netlist::kNoGate;  ///< driving gate of this event
+  netlist::NetId from_net = netlist::kNoNet;///< input net the worst arc came from
+  bool from_rising = true;                  ///< its transition direction
+};
+
+/// Worst-case event of one direction on one net.
+struct NetEvent {
+  bool valid = false;
+  util::Pwl waveform;   ///< worst-case (latest) waveform, clipped at Vth
+  double arrival = -std::numeric_limits<double>::infinity();  ///< 50% crossing
+  double start_time = 0.0;   ///< Vth crossing (first possible activity)
+  double settle_time = 0.0;  ///< quiet for this direction from here on
+  bool coupled = false;      ///< worst arc saw an active coupling event
+  EventOrigin origin;
+};
+
+struct NetTiming {
+  NetEvent rise;
+  NetEvent fall;
+  /// Driver gate has been processed in the current pass.
+  bool calculated = false;
+
+  const NetEvent& event(bool rising) const { return rising ? rise : fall; }
+  NetEvent& event(bool rising) { return rising ? rise : fall; }
+
+  /// Latest time this net can still be moving in the given direction
+  /// (paper t_a). -inf if the net never transitions that way.
+  double quiet_time(bool rising) const {
+    const NetEvent& e = event(rising);
+    return e.valid ? e.settle_time : -std::numeric_limits<double>::infinity();
+  }
+  /// Latest activity over both directions.
+  double quiet_time_any() const {
+    return std::max(quiet_time(true), quiet_time(false));
+  }
+};
+
+/// Per-net quiescent times stored between iterative passes (§5.2: "After
+/// the first call (and any following call, too) the quiescent times are
+/// stored").
+struct QuietTimes {
+  std::vector<double> rise;  ///< per net: latest rising activity
+  std::vector<double> fall;  ///< per net: latest falling activity
+
+  explicit QuietTimes(std::size_t num_nets = 0)
+      : rise(num_nets, std::numeric_limits<double>::infinity()),
+        fall(num_nets, std::numeric_limits<double>::infinity()) {}
+
+  double quiet(netlist::NetId net, bool rising) const {
+    return rising ? rise[net] : fall[net];
+  }
+};
+
+}  // namespace xtalk::sta

@@ -1,0 +1,68 @@
+#include "util/linear_solver.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace xtalk::util {
+
+bool LuSolver::factorize(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  n_ = a.rows();
+  lu_ = a;
+  perm_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k.
+    std::size_t pivot = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double m = std::abs(lu_(r, k));
+      if (m > best) {
+        best = m;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) return false;  // singular
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n_; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(perm_[k], perm_[pivot]);
+    }
+    const double inv = 1.0 / lu_(k, k);
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double factor = lu_(r, k) * inv;
+      lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n_; ++c) {
+        lu_(r, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<double> LuSolver::solve(const std::vector<double>& b) const {
+  assert(b.size() == n_);
+  std::vector<double> x(n_);
+  // Apply permutation and forward substitution (L has unit diagonal).
+  for (std::size_t i = 0; i < n_; ++i) {
+    double s = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  // Back substitution.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) s -= lu_(ii, j) * x[j];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> solve_dense(const Matrix& a, const std::vector<double>& b) {
+  LuSolver solver;
+  if (!solver.factorize(a)) return {};
+  return solver.solve(b);
+}
+
+}  // namespace xtalk::util

@@ -1,0 +1,59 @@
+// Dense linear algebra for the MNA transient simulator.
+//
+// Validation circuits (a critical path plus its aggressors) have a few
+// hundred nodes, so a dense LU with partial pivoting is simple and fast
+// enough. The matrix type is row-major and owns its storage.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace xtalk::util {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  void set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting, reusable across solves with the
+/// same sparsity-free dense structure.
+class LuSolver {
+ public:
+  /// Factorize a (copied) square matrix. Returns false if singular to
+  /// working precision.
+  bool factorize(const Matrix& a);
+
+  /// Solve A x = b using the stored factorization. b.size() == n.
+  /// Returns the solution vector.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  std::size_t size() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+};
+
+/// One-shot convenience: solve A x = b. Returns empty vector if singular.
+std::vector<double> solve_dense(const Matrix& a, const std::vector<double>& b);
+
+}  // namespace xtalk::util

@@ -1,0 +1,144 @@
+#include "util/pwl.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace xtalk::util {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Pwl::Pwl(std::vector<PwlPoint> points) : points_(std::move(points)) {
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    assert(points_[i].t > points_[i - 1].t && "PWL times must increase");
+  }
+}
+
+Pwl Pwl::constant(double value) {
+  Pwl w;
+  w.points_.push_back({0.0, value});
+  return w;
+}
+
+Pwl Pwl::ramp(double t0, double v0, double t1, double v1) {
+  assert(t1 > t0);
+  Pwl w;
+  w.points_.push_back({t0, v0});
+  w.points_.push_back({t1, v1});
+  return w;
+}
+
+Pwl Pwl::step(double t, double v0, double v1, double rise) {
+  assert(rise > 0.0);
+  return ramp(t, v0, t + rise, v1);
+}
+
+void Pwl::append(double t, double v) {
+  if (!points_.empty()) {
+    assert(t > points_.back().t && "PWL times must increase");
+    // Merge collinear middle points: if the previous two points and the new
+    // one lie on one line, drop the middle one.
+    if (points_.size() >= 2) {
+      const PwlPoint& a = points_[points_.size() - 2];
+      const PwlPoint& b = points_.back();
+      const double slope_ab = (b.v - a.v) / (b.t - a.t);
+      const double predicted = b.v + slope_ab * (t - b.t);
+      if (std::abs(predicted - v) <= 1e-12 * std::max(1.0, std::abs(v))) {
+        points_.back() = {t, v};
+        return;
+      }
+    }
+  }
+  points_.push_back({t, v});
+}
+
+double Pwl::value_at(double t) const {
+  assert(!points_.empty());
+  if (t <= points_.front().t) return points_.front().v;
+  if (t >= points_.back().t) return points_.back().v;
+  // Binary search for the segment containing t.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double time, const PwlPoint& p) { return time < p.t; });
+  const PwlPoint& hi = *it;
+  const PwlPoint& lo = *(it - 1);
+  const double alpha = (t - lo.t) / (hi.t - lo.t);
+  return lo.v + alpha * (hi.v - lo.v);
+}
+
+double Pwl::time_at_value(double v, bool rising) const {
+  assert(!points_.empty());
+  const double sign = rising ? 1.0 : -1.0;
+  if (sign * (points_.front().v - v) >= 0.0) return -kInf;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const PwlPoint& lo = points_[i - 1];
+    const PwlPoint& hi = points_[i];
+    if (sign * (hi.v - v) >= 0.0) {
+      const double dv = hi.v - lo.v;
+      if (std::abs(dv) < 1e-300) return hi.t;
+      const double alpha = (v - lo.v) / dv;
+      return lo.t + alpha * (hi.t - lo.t);
+    }
+  }
+  return kInf;
+}
+
+bool Pwl::is_monotone(bool rising, double tol) const {
+  const double sign = rising ? 1.0 : -1.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (sign * (points_[i].v - points_[i - 1].v) < -tol) return false;
+  }
+  return true;
+}
+
+Pwl Pwl::shifted(double dt) const {
+  Pwl w;
+  w.points_.reserve(points_.size());
+  for (const PwlPoint& p : points_) w.points_.push_back({p.t + dt, p.v});
+  return w;
+}
+
+Pwl Pwl::clipped_from_value(double v, bool rising) const {
+  const double t_cross = time_at_value(v, rising);
+  Pwl w;
+  if (t_cross == kInf) {
+    // Never reaches v: degenerate constant at the final value.
+    w.points_.push_back({points_.back().t, points_.back().v});
+    return w;
+  }
+  if (t_cross == -kInf) return *this;  // already starts past v
+  w.points_.push_back({t_cross, v});
+  for (const PwlPoint& p : points_) {
+    if (p.t > t_cross) w.append(p.t, p.v);
+  }
+  return w;
+}
+
+double Pwl::min_value() const {
+  double m = kInf;
+  for (const PwlPoint& p : points_) m = std::min(m, p.v);
+  return m;
+}
+
+double Pwl::max_value() const {
+  double m = -kInf;
+  for (const PwlPoint& p : points_) m = std::max(m, p.v);
+  return m;
+}
+
+std::string Pwl::to_string() const {
+  std::ostringstream os;
+  os << "pwl[";
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    if (i) os << ", ";
+    os << "(" << points_[i].t << ", " << points_[i].v << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace xtalk::util

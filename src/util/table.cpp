@@ -1,0 +1,104 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace xtalk::util {
+
+Table1D::Table1D(double x0, double x1, std::size_t n,
+                 const std::function<double(double)>& f)
+    : x0_(x0), x1_(x1) {
+  assert(n >= 2 && x1 > x0);
+  values_.resize(n);
+  const double dx = (x1 - x0) / static_cast<double>(n - 1);
+  inv_dx_ = 1.0 / dx;
+  for (std::size_t i = 0; i < n; ++i) {
+    values_[i] = f(x0 + dx * static_cast<double>(i));
+  }
+}
+
+double Table1D::lookup(double x) const {
+  assert(!values_.empty());
+  const double u = std::clamp((x - x0_) * inv_dx_, 0.0,
+                              static_cast<double>(values_.size() - 1));
+  const auto i = static_cast<std::size_t>(
+      std::min(u, static_cast<double>(values_.size() - 2)));
+  const double fx = u - static_cast<double>(i);
+  return values_[i] * (1.0 - fx) + values_[i + 1] * fx;
+}
+
+double Table1D::derivative(double x) const {
+  assert(values_.size() >= 2);
+  const double u = std::clamp((x - x0_) * inv_dx_, 0.0,
+                              static_cast<double>(values_.size() - 1));
+  const auto i = static_cast<std::size_t>(
+      std::min(u, static_cast<double>(values_.size() - 2)));
+  return (values_[i + 1] - values_[i]) * inv_dx_;
+}
+
+Table2D::Table2D(double x0, double x1, std::size_t nx, double y0, double y1,
+                 std::size_t ny, const std::function<double(double, double)>& f)
+    : x0_(x0), x1_(x1), y0_(y0), y1_(y1), nx_(nx), ny_(ny) {
+  assert(nx >= 2 && ny >= 2 && x1 > x0 && y1 > y0);
+  values_.resize(nx * ny);
+  const double dx = (x1 - x0) / static_cast<double>(nx - 1);
+  const double dy = (y1 - y0) / static_cast<double>(ny - 1);
+  inv_dx_ = 1.0 / dx;
+  inv_dy_ = 1.0 / dy;
+  for (std::size_t i = 0; i < nx; ++i) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      values_[i * ny + j] =
+          f(x0 + dx * static_cast<double>(i), y0 + dy * static_cast<double>(j));
+    }
+  }
+}
+
+void Table2D::locate_x(double x, std::size_t& i, double& fx) const {
+  const double u =
+      std::clamp((x - x0_) * inv_dx_, 0.0, static_cast<double>(nx_ - 1));
+  i = static_cast<std::size_t>(std::min(u, static_cast<double>(nx_ - 2)));
+  fx = u - static_cast<double>(i);
+}
+
+void Table2D::locate_y(double y, std::size_t& j, double& fy) const {
+  const double u =
+      std::clamp((y - y0_) * inv_dy_, 0.0, static_cast<double>(ny_ - 1));
+  j = static_cast<std::size_t>(std::min(u, static_cast<double>(ny_ - 2)));
+  fy = u - static_cast<double>(j);
+}
+
+double Table2D::lookup(double x, double y) const {
+  assert(nx_ >= 2 && ny_ >= 2);
+  std::size_t i, j;
+  double fx, fy;
+  locate_x(x, i, fx);
+  locate_y(y, j, fy);
+  const double v00 = at(i, j), v01 = at(i, j + 1);
+  const double v10 = at(i + 1, j), v11 = at(i + 1, j + 1);
+  const double a = v00 * (1.0 - fy) + v01 * fy;
+  const double b = v10 * (1.0 - fy) + v11 * fy;
+  return a * (1.0 - fx) + b * fx;
+}
+
+double Table2D::d_dx(double x, double y) const {
+  std::size_t i, j;
+  double fx, fy;
+  locate_x(x, i, fx);
+  locate_y(y, j, fy);
+  const double a = at(i + 1, j) - at(i, j);
+  const double b = at(i + 1, j + 1) - at(i, j + 1);
+  return (a * (1.0 - fy) + b * fy) * inv_dx_;
+}
+
+double Table2D::d_dy(double x, double y) const {
+  std::size_t i, j;
+  double fx, fy;
+  locate_x(x, i, fx);
+  locate_y(y, j, fy);
+  const double a = at(i, j + 1) - at(i, j);
+  const double b = at(i + 1, j + 1) - at(i + 1, j);
+  return (a * (1.0 - fx) + b * fx) * inv_dy_;
+}
+
+}  // namespace xtalk::util

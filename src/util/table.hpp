@@ -1,0 +1,69 @@
+// Uniform-grid interpolation tables.
+//
+// The delay calculator follows the paper (§3, after TETA): transistor DC
+// behaviour is sampled into tables once per technology and looked up with
+// bilinear interpolation during waveform integration. The fine
+// discretisation keeps Newton iteration well behaved ("Due to the fine
+// discretization of the tables we do not get convergence problems").
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace xtalk::util {
+
+/// 1-D table on a uniform grid with linear interpolation and clamped
+/// extrapolation.
+class Table1D {
+ public:
+  Table1D() = default;
+  /// Sample f on [x0, x1] with n points (n >= 2).
+  Table1D(double x0, double x1, std::size_t n,
+          const std::function<double(double)>& f);
+
+  double lookup(double x) const;
+  /// Derivative of the interpolant (piecewise constant).
+  double derivative(double x) const;
+
+  double x0() const { return x0_; }
+  double x1() const { return x1_; }
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  double x0_ = 0.0;
+  double x1_ = 1.0;
+  double inv_dx_ = 1.0;
+  std::vector<double> values_;
+};
+
+/// 2-D table on a uniform grid with bilinear interpolation and clamped
+/// extrapolation. Axis order: lookup(x, y) with x the slow axis.
+class Table2D {
+ public:
+  Table2D() = default;
+  /// Sample f on [x0,x1] x [y0,y1] with nx * ny points (each >= 2).
+  Table2D(double x0, double x1, std::size_t nx, double y0, double y1,
+          std::size_t ny, const std::function<double(double, double)>& f);
+
+  double lookup(double x, double y) const;
+  /// Partial derivatives of the bilinear interpolant.
+  double d_dx(double x, double y) const;
+  double d_dy(double x, double y) const;
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+
+ private:
+  double at(std::size_t i, std::size_t j) const { return values_[i * ny_ + j]; }
+  /// Clamp x into the grid and return (index, fraction).
+  void locate_x(double x, std::size_t& i, double& fx) const;
+  void locate_y(double y, std::size_t& j, double& fy) const;
+
+  double x0_ = 0.0, x1_ = 1.0, y0_ = 0.0, y1_ = 1.0;
+  double inv_dx_ = 1.0, inv_dy_ = 1.0;
+  std::size_t nx_ = 0, ny_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace xtalk::util

@@ -1,0 +1,39 @@
+// Physical unit helpers. The whole library works in SI units internally
+// (seconds, volts, amps, farads, ohms, meters); these constants make call
+// sites readable and reports convert at the edge.
+#pragma once
+
+namespace xtalk::util {
+
+// Time
+inline constexpr double kSecond = 1.0;
+inline constexpr double kMilliSecond = 1e-3;
+inline constexpr double kMicroSecond = 1e-6;
+inline constexpr double kNanoSecond = 1e-9;
+inline constexpr double kPicoSecond = 1e-12;
+
+// Capacitance
+inline constexpr double kFarad = 1.0;
+inline constexpr double kPicoFarad = 1e-12;
+inline constexpr double kFemtoFarad = 1e-15;
+
+// Resistance
+inline constexpr double kOhm = 1.0;
+inline constexpr double kKiloOhm = 1e3;
+
+// Length
+inline constexpr double kMeter = 1.0;
+inline constexpr double kMicron = 1e-6;
+inline constexpr double kNanoMeter = 1e-9;
+
+// Current
+inline constexpr double kAmp = 1.0;
+inline constexpr double kMilliAmp = 1e-3;
+inline constexpr double kMicroAmp = 1e-6;
+
+/// Convert seconds to nanoseconds for reporting.
+inline constexpr double to_ns(double seconds) { return seconds / kNanoSecond; }
+/// Convert farads to femtofarads for reporting.
+inline constexpr double to_ff(double farads) { return farads / kFemtoFarad; }
+
+}  // namespace xtalk::util

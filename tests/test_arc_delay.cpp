@@ -1,0 +1,111 @@
+#include "delaycalc/arc_delay.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xtalk::delaycalc {
+namespace {
+
+const device::DeviceTableSet& tables() {
+  return device::DeviceTableSet::half_micron();
+}
+const device::Technology& tech() { return device::Technology::half_micron(); }
+const netlist::CellLibrary& lib() {
+  return netlist::CellLibrary::half_micron();
+}
+
+util::Pwl input(bool rising, double slew = 0.2e-9) {
+  return rising ? util::Pwl::ramp(0.0, tech().model_vth, slew, tech().vdd)
+                : util::Pwl::ramp(0.0, tech().vdd - tech().model_vth, slew, 0.0);
+}
+
+double arrival(const ArcResult& r) {
+  return r.waveform.time_at_value(tech().vdd / 2.0, r.output_rising);
+}
+
+TEST(ArcDelay, InverterInverts) {
+  ArcDelayCalculator calc(tables());
+  const util::Pwl in = input(true);
+  const auto rs = calc.compute(lib().get("INV_X1"), 0, true, in, {20e-15, 0.0});
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_FALSE(rs[0].output_rising);
+  EXPECT_GT(arrival(rs[0]), 0.0);
+}
+
+TEST(ArcDelay, BufferPreservesDirection) {
+  ArcDelayCalculator calc(tables());
+  const util::Pwl in = input(false);
+  const auto rs = calc.compute(lib().get("BUF_X1"), 0, false, in, {20e-15, 0.0});
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_FALSE(rs[0].output_rising);
+}
+
+TEST(ArcDelay, NandStackSlowerThanEqualWidthInverter) {
+  ArcDelayCalculator calc(tables());
+  const util::Pwl in = input(true);
+  const OutputLoad load{30e-15, 0.0};
+  // NAND2_X1 uses 2x-width NMOS devices in its stack; the fair reference
+  // is INV_X2 (same device width, no stack). The series stack must cost
+  // delay on the falling output despite the DC stack-factor correction.
+  const auto inv = calc.compute(lib().get("INV_X2"), 0, true, in, load);
+  const auto nand = calc.compute(lib().get("NAND2_X1"), 0, true, in, load);
+  EXPECT_GT(arrival(nand[0]), arrival(inv[0]));
+}
+
+TEST(ArcDelay, XorReturnsBothParities) {
+  ArcDelayCalculator calc(tables());
+  const util::Pwl in = input(true);
+  const auto rs = calc.compute(lib().get("XOR2_X1"), 0, true, in, {20e-15, 0.0});
+  ASSERT_EQ(rs.size(), 2u);
+  EXPECT_NE(rs[0].output_rising, rs[1].output_rising);
+}
+
+TEST(ArcDelay, DffClockToQ) {
+  ArcDelayCalculator calc(tables());
+  const netlist::Cell& ff = lib().get("DFF_X1");
+  const util::Pwl in = input(true, 0.1e-9);
+  const auto rs =
+      calc.compute(ff, ff.clock_pin(), true, in, {15e-15, 0.0});
+  ASSERT_EQ(rs.size(), 1u);
+  EXPECT_TRUE(rs[0].output_rising);  // two inverting stages
+  EXPECT_GT(arrival(rs[0]), 0.02e-9);
+  // D pin has no arcs.
+  EXPECT_TRUE(calc.compute(ff, ff.pin_index("D"), true, in, {15e-15, 0.0})
+                  .empty());
+}
+
+TEST(ArcDelay, StrongerCellIsFaster) {
+  ArcDelayCalculator calc(tables());
+  const util::Pwl in = input(true);
+  const OutputLoad load{60e-15, 0.0};
+  const auto x1 = calc.compute(lib().get("INV_X1"), 0, true, in, load);
+  const auto x4 = calc.compute(lib().get("INV_X4"), 0, true, in, load);
+  EXPECT_LT(arrival(x4[0]), arrival(x1[0]));
+}
+
+TEST(ArcDelay, CouplingExtendsEveryCellsDelay) {
+  ArcDelayCalculator calc(tables());
+  const util::Pwl in = input(false);  // rising output (worst for coupling)
+  for (const char* name : {"INV_X1", "NAND2_X1", "NOR2_X1", "AND2_X1"}) {
+    const auto quiet =
+        calc.compute(lib().get(name), 0, false, in, {40e-15, 0.0});
+    const auto coupled =
+        calc.compute(lib().get(name), 0, false, in, {30e-15, 10e-15});
+    double worst_quiet = 0.0, worst_coupled = 0.0;
+    for (const auto& r : quiet) worst_quiet = std::max(worst_quiet, arrival(r));
+    for (const auto& r : coupled)
+      worst_coupled = std::max(worst_coupled, arrival(r));
+    EXPECT_GT(worst_coupled, worst_quiet) << name;
+  }
+}
+
+TEST(ArcDelay, LaterInputLaterOutput) {
+  ArcDelayCalculator calc(tables());
+  const util::Pwl early = input(true);
+  const util::Pwl late = early.shifted(1e-9);
+  const auto r0 = calc.compute(lib().get("INV_X1"), 0, true, early, {20e-15, 0.0});
+  const auto r1 = calc.compute(lib().get("INV_X1"), 0, true, late, {20e-15, 0.0});
+  EXPECT_NEAR(arrival(r1[0]) - arrival(r0[0]), 1e-9, 1e-12);
+}
+
+}  // namespace
+}  // namespace xtalk::delaycalc

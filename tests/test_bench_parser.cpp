@@ -1,0 +1,127 @@
+#include "netlist/bench_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/embedded_benchmarks.hpp"
+
+namespace xtalk::netlist {
+namespace {
+
+const CellLibrary& lib() { return CellLibrary::half_micron(); }
+
+TEST(BenchParser, ParsesS27) {
+  const Netlist nl = parse_bench(s27_bench(), lib());
+  // 4 data inputs + implicit clock.
+  EXPECT_EQ(nl.primary_inputs().size(), 5u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+  EXPECT_EQ(nl.sequential_gates().size(), 3u);
+  EXPECT_EQ(nl.num_gates(), 13u);
+  EXPECT_NE(nl.clock_net(), kNoNet);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(BenchParser, ParsesC17Combinational) {
+  const Netlist nl = parse_bench(c17_bench(), lib());
+  EXPECT_EQ(nl.primary_inputs().size(), 5u);  // no implicit clock
+  EXPECT_EQ(nl.primary_outputs().size(), 2u);
+  EXPECT_EQ(nl.num_gates(), 6u);
+  EXPECT_EQ(nl.clock_net(), kNoNet);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    EXPECT_EQ(nl.gate(g).cell->func(), CellFunc::kNand);
+  }
+}
+
+TEST(BenchParser, HandlesCommentsAndBlankLines) {
+  const Netlist nl = parse_bench(
+      "# header\n\nINPUT(a)\n  # indented comment\nOUTPUT(y)\ny = NOT(a)\n",
+      lib());
+  EXPECT_EQ(nl.num_gates(), 1u);
+}
+
+TEST(BenchParser, CaseInsensitiveFunctions) {
+  const Netlist nl =
+      parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = nand(a, b)\n", lib());
+  EXPECT_EQ(nl.gate(0).cell->func(), CellFunc::kNand);
+}
+
+TEST(BenchParser, DecomposesWideGates) {
+  std::string text = "OUTPUT(y)\n";
+  std::string args;
+  for (int i = 0; i < 9; ++i) {
+    text += "INPUT(i" + std::to_string(i) + ")\n";
+    args += (i ? ", i" : "i") + std::to_string(i);
+  }
+  text += "y = NAND(" + args + ")\n";
+  const Netlist nl = parse_bench(text, lib());
+  EXPECT_GT(nl.num_gates(), 1u);
+  EXPECT_NO_THROW(nl.validate());
+  // The output net must exist and be driven.
+  const NetId y = nl.find_net("y");
+  ASSERT_NE(y, kNoNet);
+  EXPECT_NE(nl.net(y).driver.gate, kNoGate);
+  // Root of a wide NAND tree stays inverting.
+  EXPECT_EQ(nl.gate(nl.net(y).driver.gate).cell->func(), CellFunc::kNand);
+}
+
+TEST(BenchParser, SingleInputAndBecomesBuffer) {
+  const Netlist nl = parse_bench("INPUT(a)\nOUTPUT(y)\ny = AND(a)\n", lib());
+  EXPECT_EQ(nl.gate(0).cell->func(), CellFunc::kBuf);
+}
+
+TEST(BenchParser, ErrorsCarryLineNumbers) {
+  try {
+    parse_bench("INPUT(a)\ny = FROB(a)\n", lib());
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(BenchParser, RejectsUndrivenOutput) {
+  EXPECT_THROW(parse_bench("INPUT(a)\nOUTPUT(zz)\ny = NOT(a)\n", lib()),
+               std::runtime_error);
+}
+
+TEST(BenchParser, RejectsMalformedGate) {
+  EXPECT_THROW(parse_bench("INPUT(a)\ny = NOT a\n", lib()),
+               std::runtime_error);
+  EXPECT_THROW(parse_bench("INPUT(a)\ny = NOT()\n", lib()),
+               std::runtime_error);
+  EXPECT_THROW(parse_bench("FOO(a)\n", lib()), std::runtime_error);
+}
+
+TEST(BenchParser, RoundTripPreservesStructure) {
+  const Netlist first = parse_bench(s27_bench(), lib());
+  const std::string text = write_bench(first);
+  const Netlist second = parse_bench(text, lib());
+  EXPECT_EQ(first.num_gates(), second.num_gates());
+  EXPECT_EQ(first.num_nets(), second.num_nets());
+  EXPECT_EQ(first.primary_inputs().size(), second.primary_inputs().size());
+  EXPECT_EQ(first.primary_outputs().size(), second.primary_outputs().size());
+  EXPECT_EQ(first.sequential_gates().size(), second.sequential_gates().size());
+  // Same cells drive the same net names.
+  for (NetId n = 0; n < first.num_nets(); ++n) {
+    const NetId m = second.find_net(first.net(n).name);
+    ASSERT_NE(m, kNoNet) << first.net(n).name;
+    const auto& d1 = first.net(n).driver;
+    const auto& d2 = second.net(m).driver;
+    ASSERT_EQ(d1.gate == kNoGate, d2.gate == kNoGate);
+    if (d1.gate != kNoGate) {
+      EXPECT_EQ(first.gate(d1.gate).cell->name(),
+                second.gate(d2.gate).cell->name());
+    }
+  }
+}
+
+TEST(BenchParser, XorParsesToThreeStageCell) {
+  const Netlist nl =
+      parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XOR(a, b)\n", lib());
+  EXPECT_EQ(nl.gate(0).cell->func(), CellFunc::kXor);
+  EXPECT_THROW(
+      parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = XOR(a,b,c)\n",
+                  lib()),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace xtalk::netlist

@@ -1,0 +1,110 @@
+#include "netlist/cell_library.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xtalk::netlist {
+namespace {
+
+const CellLibrary& lib() { return CellLibrary::half_micron(); }
+
+TEST(CellLibrary, ContainsCoreCells) {
+  for (const char* name :
+       {"INV_X1", "INV_X2", "INV_X4", "BUF_X1", "NAND2_X1", "NAND3_X1",
+        "NAND4_X1", "NOR2_X1", "NOR3_X1", "NOR4_X1", "AND2_X1", "OR2_X1",
+        "XOR2_X1", "XNOR2_X1", "AOI21_X1", "OAI21_X1", "DFF_X1", "CLKBUF_X8",
+        "CLKBUF_X16"}) {
+    EXPECT_NE(lib().find(name), nullptr) << name;
+  }
+}
+
+TEST(CellLibrary, UnknownCellHandling) {
+  EXPECT_EQ(lib().find("NAND9_X1"), nullptr);
+  EXPECT_THROW(lib().get("NAND9_X1"), std::out_of_range);
+}
+
+TEST(CellLibrary, InverterStructure) {
+  const Cell& inv = lib().get("INV_X1");
+  EXPECT_EQ(inv.num_inputs(), 1u);
+  EXPECT_EQ(inv.stages().size(), 1u);
+  EXPECT_EQ(inv.transistor_count(), 2u);
+  EXPECT_FALSE(inv.is_sequential());
+  EXPECT_GT(inv.pins()[inv.pin_index("A")].cap, 0.0);
+  EXPECT_DOUBLE_EQ(inv.pins()[inv.output_pin()].cap, 0.0);
+}
+
+TEST(CellLibrary, Nand3Structure) {
+  const Cell& nand3 = lib().get("NAND3_X1");
+  EXPECT_EQ(nand3.num_inputs(), 3u);
+  EXPECT_EQ(nand3.transistor_count(), 6u);
+  const Stage& s = nand3.stages()[0];
+  EXPECT_EQ(s.pulldown.kind, SpNode::Kind::kSeries);
+  EXPECT_EQ(s.pulldown.device_count(), 3u);
+  EXPECT_EQ(s.pulldown.stack_height(), 3u);
+  // Stacked NMOS is upsized by the stack height.
+  EXPECT_NEAR(s.wn, 3.0 * 2e-6, 1e-12);
+}
+
+TEST(CellLibrary, Nor2IsDualOfNand2) {
+  const Stage& nand2 = lib().get("NAND2_X1").stages()[0];
+  const Stage& nor2 = lib().get("NOR2_X1").stages()[0];
+  EXPECT_EQ(nand2.pulldown.kind, SpNode::Kind::kSeries);
+  EXPECT_EQ(nor2.pulldown.kind, SpNode::Kind::kParallel);
+  // NOR upsizes the stacked PMOS instead.
+  EXPECT_GT(nor2.wp, nand2.wp);
+  EXPECT_GT(nand2.wn, nor2.wn);
+}
+
+TEST(CellLibrary, MultiStageCells) {
+  EXPECT_EQ(lib().get("BUF_X1").stages().size(), 2u);
+  EXPECT_EQ(lib().get("AND2_X1").stages().size(), 2u);
+  EXPECT_EQ(lib().get("XOR2_X1").stages().size(), 3u);
+  EXPECT_EQ(lib().get("XOR2_X1").transistor_count(), 12u);
+}
+
+TEST(CellLibrary, StrengthScalesPinCap) {
+  const Cell& x1 = lib().get("INV_X1");
+  const Cell& x4 = lib().get("INV_X4");
+  const double c1 = x1.pins()[x1.pin_index("A")].cap;
+  const double c4 = x4.pins()[x4.pin_index("A")].cap;
+  EXPECT_NEAR(c4 / c1, 4.0, 0.01);
+}
+
+TEST(CellLibrary, DffShape) {
+  const Cell& ff = lib().get("DFF_X1");
+  EXPECT_TRUE(ff.is_sequential());
+  EXPECT_EQ(ff.pins()[ff.clock_pin()].name, "CK");
+  EXPECT_EQ(ff.pins()[ff.output_pin()].name, "Q");
+  EXPECT_GT(ff.pins()[ff.pin_index("D")].cap, 0.0);
+}
+
+TEST(CellLibrary, ByFuncLookups) {
+  EXPECT_EQ(lib().by_func(CellFunc::kNand, 2).name(), "NAND2_X1");
+  EXPECT_EQ(lib().by_func(CellFunc::kNor, 4).name(), "NOR4_X1");
+  EXPECT_EQ(lib().by_func(CellFunc::kInv, 1).name(), "INV_X1");
+  EXPECT_EQ(lib().by_func(CellFunc::kDff, 1).name(), "DFF_X1");
+  EXPECT_THROW(lib().by_func(CellFunc::kNand, 7), std::out_of_range);
+}
+
+TEST(CellLibrary, OutputParasiticPositiveForAllCells) {
+  for (const Cell* c : lib().all_cells()) {
+    EXPECT_GT(c->output_parasitic_cap(), 0.0) << c->name();
+  }
+}
+
+TEST(CellLibrary, AoiStackHeights) {
+  const Cell& aoi = lib().get("AOI21_X1");
+  EXPECT_EQ(aoi.stages()[0].pulldown.stack_height(), 2u);
+  EXPECT_EQ(aoi.stages()[0].pulldown.device_count(), 3u);
+}
+
+TEST(SpNodeTest, DeviceCountAndStackHeight) {
+  const SpNode n = SpNode::series({
+      SpNode::parallel({SpNode::device(0), SpNode::device(1)}),
+      SpNode::device(2),
+  });
+  EXPECT_EQ(n.device_count(), 3u);
+  EXPECT_EQ(n.stack_height(), 2u);
+}
+
+}  // namespace
+}  // namespace xtalk::netlist

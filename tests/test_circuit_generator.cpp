@@ -1,0 +1,86 @@
+#include "netlist/circuit_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+#include "netlist/levelize.hpp"
+
+namespace xtalk::netlist {
+namespace {
+
+const CellLibrary& lib() { return CellLibrary::half_micron(); }
+
+TEST(CircuitGenerator, MeetsSpecCounts) {
+  GeneratorSpec spec = scaled_spec("t", 11, 500, 12);
+  const Netlist nl = generate_circuit(spec, lib());
+  EXPECT_EQ(nl.num_gates(), spec.num_cells + /* level padding may add */ 0u);
+  EXPECT_EQ(nl.sequential_gates().size(), spec.num_ffs);
+  // +1 primary input for the clock.
+  EXPECT_EQ(nl.primary_inputs().size(), spec.num_pis + 1);
+  EXPECT_GE(nl.primary_outputs().size(), spec.num_pos);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(CircuitGenerator, DeterministicForSameSeed) {
+  const GeneratorSpec spec = scaled_spec("t", 99, 300, 10);
+  const Netlist a = generate_circuit(spec, lib());
+  const Netlist b = generate_circuit(spec, lib());
+  ASSERT_EQ(a.num_gates(), b.num_gates());
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  const std::string ta = write_bench(a);
+  const std::string tb = write_bench(b);
+  EXPECT_EQ(ta, tb);
+}
+
+TEST(CircuitGenerator, DifferentSeedsDiffer) {
+  GeneratorSpec s1 = scaled_spec("t", 1, 300, 10);
+  GeneratorSpec s2 = scaled_spec("t", 2, 300, 10);
+  EXPECT_NE(write_bench(generate_circuit(s1, lib())),
+            write_bench(generate_circuit(s2, lib())));
+}
+
+TEST(CircuitGenerator, LevelizesToRequestedDepth) {
+  const GeneratorSpec spec = scaled_spec("t", 5, 800, 17);
+  const Netlist nl = generate_circuit(spec, lib());
+  const LevelizedDag dag = levelize(nl);
+  // Clock tree not built yet: levels = logic depth + 1 (FF level is 0 and
+  // multi-stage cells still occupy one level each).
+  EXPECT_GE(dag.num_levels, spec.depth);
+  EXPECT_LE(dag.num_levels, spec.depth + 3);
+}
+
+TEST(CircuitGenerator, EveryNetDrivenAndObservable) {
+  const Netlist nl = generate_circuit(scaled_spec("t", 3, 400, 9), lib());
+  std::vector<char> is_po(nl.num_nets(), 0);
+  for (const NetId po : nl.primary_outputs()) is_po[po] = 1;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    const Net& net = nl.net(n);
+    EXPECT_TRUE(net.is_primary_input || net.driver.gate != kNoGate)
+        << net.name;
+    EXPECT_TRUE(!net.sinks.empty() || is_po[n]) << net.name << " dangles";
+  }
+}
+
+TEST(CircuitGenerator, PaperPresetsMatchPublishedCellCounts) {
+  EXPECT_EQ(s35932_like().num_cells, 17900u);
+  EXPECT_EQ(s38417_like().num_cells, 23922u);
+  EXPECT_EQ(s38584_like().num_cells, 20812u);
+  EXPECT_EQ(s35932_like().num_ffs, 1728u);
+  EXPECT_EQ(s38417_like().num_ffs, 1636u);
+  EXPECT_EQ(s38584_like().num_ffs, 1426u);
+}
+
+TEST(CircuitGenerator, RespectsRoughFanoutCap) {
+  const GeneratorSpec spec = scaled_spec("t", 21, 600, 12);
+  const Netlist nl = generate_circuit(spec, lib());
+  std::size_t over = 0;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    if (n == nl.clock_net()) continue;
+    if (nl.net(n).sinks.size() > spec.max_fanout + 4) ++over;
+  }
+  // The cap is soft; only a small fraction may exceed it.
+  EXPECT_LT(over, nl.num_nets() / 50 + 3);
+}
+
+}  // namespace
+}  // namespace xtalk::netlist

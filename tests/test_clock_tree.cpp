@@ -1,0 +1,74 @@
+#include "netlist/clock_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/circuit_generator.hpp"
+#include "netlist/levelize.hpp"
+
+namespace xtalk::netlist {
+namespace {
+
+const CellLibrary& lib() { return CellLibrary::half_micron(); }
+
+TEST(ClockTree, NoOpWithoutClock) {
+  Netlist nl(lib());
+  const NetId in = nl.add_net("in");
+  const NetId out = nl.add_net("out");
+  nl.mark_primary_input(in);
+  nl.add_gate("u1", lib().get("INV_X1"), {in, out});
+  nl.mark_primary_output(out);
+  const ClockTreeStats st = build_clock_tree(nl);
+  EXPECT_EQ(st.num_buffers, 0u);
+}
+
+TEST(ClockTree, SmallFanoutStaysDirect) {
+  Netlist nl = generate_circuit(scaled_spec("t", 4, 100, 6), lib());
+  ClockTreeOptions opt;
+  opt.max_fanout = 64;  // 100/12 = 8 FFs, fits under the root directly
+  const ClockTreeStats st = build_clock_tree(nl, opt);
+  EXPECT_EQ(st.num_buffers, 0u);
+}
+
+TEST(ClockTree, BuildsBalancedTree) {
+  Netlist nl = generate_circuit(scaled_spec("t", 17, 2400, 14), lib());
+  const std::size_t ffs = nl.sequential_gates().size();
+  ASSERT_GT(ffs, 16u);
+  ClockTreeOptions opt;
+  opt.max_fanout = 16;
+  const std::size_t gates_before = nl.num_gates();
+  const ClockTreeStats st = build_clock_tree(nl, opt);
+  EXPECT_GT(st.num_buffers, 0u);
+  EXPECT_EQ(nl.num_gates(), gates_before + st.num_buffers);
+  EXPECT_NO_THROW(nl.validate());
+
+  // Fanout bound holds everywhere on the clock distribution.
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    if (nl.net(n).kind != NetKind::kClock) continue;
+    EXPECT_LE(nl.net(n).sinks.size(), opt.max_fanout) << nl.net(n).name;
+  }
+
+  // Every FF clock pin now hangs off a buffer, and buffers chain back to
+  // the clock root.
+  for (const GateId ff : nl.sequential_gates()) {
+    const Gate& g = nl.gate(ff);
+    const NetId ck = g.pin_nets[g.cell->clock_pin()];
+    EXPECT_EQ(nl.net(ck).kind, NetKind::kClock);
+  }
+
+  // Still levelizes (tree is acyclic).
+  EXPECT_NO_THROW(levelize(nl));
+}
+
+TEST(ClockTree, AllFlipFlopsStillClocked) {
+  Netlist nl = generate_circuit(scaled_spec("t", 77, 1200, 10), lib());
+  build_clock_tree(nl);
+  const LevelizedDag dag = levelize(nl);
+  // Every FF must be reachable from the clock root (nonzero level, since
+  // at least one buffer level was inserted).
+  for (const GateId ff : nl.sequential_gates()) {
+    EXPECT_GT(dag.gate_level[ff], 0u);
+  }
+}
+
+}  // namespace
+}  // namespace xtalk::netlist

@@ -1,0 +1,120 @@
+#include "sta/constraints.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/crosstalk_sta.hpp"
+#include "netlist/embedded_benchmarks.hpp"
+
+namespace xtalk::sta {
+namespace {
+
+struct Fixture {
+  core::Design design;
+  StaResult result;
+
+  Fixture()
+      : design(core::Design::from_bench(netlist::s27_bench())),
+        result(design.run(AnalysisMode::kIterative)) {}
+};
+
+TEST(Setup, GenerousPeriodMeetsTiming) {
+  Fixture f;
+  ConstraintOptions opt;
+  opt.clock_period = 10e-9;
+  const SlackReport rep = check_setup(f.result, f.design.view(), opt);
+  EXPECT_EQ(rep.violations, 0u);
+  EXPECT_GT(rep.wns, 0.0);
+  EXPECT_DOUBLE_EQ(rep.tns, 0.0);
+  EXPECT_EQ(rep.endpoints.size(), f.result.endpoints.size());
+}
+
+TEST(Setup, TightPeriodViolates) {
+  Fixture f;
+  ConstraintOptions opt;
+  opt.clock_period = 0.5e-9;  // well under the ~1.4 ns longest path
+  const SlackReport rep = check_setup(f.result, f.design.view(), opt);
+  EXPECT_GT(rep.violations, 0u);
+  EXPECT_LT(rep.wns, 0.0);
+  EXPECT_LT(rep.tns, 0.0);
+  EXPECT_LE(rep.tns, rep.wns);  // tns sums all violations
+}
+
+TEST(Setup, SlackShiftsLinearlyWithPeriod) {
+  Fixture f;
+  ConstraintOptions a;
+  a.clock_period = 3e-9;
+  ConstraintOptions b;
+  b.clock_period = 5e-9;
+  const SlackReport ra = check_setup(f.result, f.design.view(), a);
+  const SlackReport rb = check_setup(f.result, f.design.view(), b);
+  EXPECT_NEAR(rb.wns - ra.wns, 2e-9, 1e-15);
+}
+
+TEST(Setup, MarginTightensUniformly) {
+  Fixture f;
+  ConstraintOptions plain;
+  plain.clock_period = 5e-9;
+  ConstraintOptions margin = plain;
+  margin.setup_margin = 0.2e-9;
+  const SlackReport rp = check_setup(f.result, f.design.view(), plain);
+  const SlackReport rm = check_setup(f.result, f.design.view(), margin);
+  EXPECT_NEAR(rp.wns - rm.wns, 0.2e-9, 1e-15);
+}
+
+TEST(Setup, SlackDefinitionConsistent) {
+  Fixture f;
+  ConstraintOptions opt;
+  opt.clock_period = 4e-9;
+  const SlackReport rep = check_setup(f.result, f.design.view(), opt);
+  for (const EndpointSlack& e : rep.endpoints) {
+    EXPECT_NEAR(e.slack, e.required - e.arrival, 1e-15);
+  }
+  // Sorted most critical first.
+  for (std::size_t i = 1; i < rep.endpoints.size(); ++i) {
+    EXPECT_LE(rep.endpoints[i - 1].slack, rep.endpoints[i].slack);
+  }
+}
+
+TEST(Setup, WorstEndpointMatchesLongestPath) {
+  // With a common capture clock, the most critical setup endpoint is the
+  // longest-path endpoint of the analysis.
+  Fixture f;
+  ConstraintOptions opt;
+  opt.clock_period = 4e-9;
+  const SlackReport rep = check_setup(f.result, f.design.view(), opt);
+  bool found = false;
+  for (const EndpointSlack& e : rep.endpoints) {
+    if (e.net == f.result.critical.net && e.rising == f.result.critical.rising) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Hold, ReportsOnlyClockedEndpoints) {
+  Fixture f;
+  const EarlyTimes early = compute_early_activity(f.design.view());
+  ConstraintOptions opt;
+  const SlackReport rep =
+      check_hold(f.result, early, f.design.view(), opt);
+  for (const EndpointSlack& e : rep.endpoints) {
+    EXPECT_TRUE(e.clocked);
+    EXPECT_NEAR(e.slack, e.arrival - e.required, 1e-15);
+  }
+  // s27 has 3 D endpoints x 2 directions.
+  EXPECT_EQ(rep.endpoints.size(), 6u);
+}
+
+TEST(Hold, MarginReducesSlack) {
+  Fixture f;
+  const EarlyTimes early = compute_early_activity(f.design.view());
+  ConstraintOptions plain;
+  ConstraintOptions margin;
+  margin.hold_margin = 0.1e-9;
+  const double w0 = check_hold(f.result, early, f.design.view(), plain).wns;
+  const double w1 = check_hold(f.result, early, f.design.view(), margin).wns;
+  EXPECT_NEAR(w0 - w1, 0.1e-9, 1e-15);
+}
+
+}  // namespace
+}  // namespace xtalk::sta

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/crosstalk_sta.hpp"
+#include "netlist/embedded_benchmarks.hpp"
+
+namespace xtalk::device {
+namespace {
+
+TEST(Corners, TechnologyShifts) {
+  const Technology& slow = Technology::half_micron_corner(ProcessCorner::kSlow);
+  const Technology& typ =
+      Technology::half_micron_corner(ProcessCorner::kTypical);
+  const Technology& fast = Technology::half_micron_corner(ProcessCorner::kFast);
+  EXPECT_LT(slow.beta_n, typ.beta_n);
+  EXPECT_GT(fast.beta_n, typ.beta_n);
+  EXPECT_GT(slow.vth_n, typ.vth_n);
+  EXPECT_LT(fast.vth_n, typ.vth_n);
+  // Interconnect rules identical: one extraction serves all corners.
+  EXPECT_DOUBLE_EQ(slow.wire_r, typ.wire_r);
+  EXPECT_DOUBLE_EQ(fast.wire_c_couple, typ.wire_c_couple);
+  EXPECT_EQ(&typ, &Technology::half_micron());
+}
+
+TEST(Corners, DeviceCurrentsOrdered) {
+  for (double vds : {1.0, 3.3}) {
+    const double is = unit_current(
+        Technology::half_micron_corner(ProcessCorner::kSlow), MosType::kNmos,
+        3.3, vds);
+    const double it = unit_current(Technology::half_micron(), MosType::kNmos,
+                                   3.3, vds);
+    const double ifa = unit_current(
+        Technology::half_micron_corner(ProcessCorner::kFast), MosType::kNmos,
+        3.3, vds);
+    EXPECT_LT(is, it);
+    EXPECT_LT(it, ifa);
+  }
+}
+
+TEST(Corners, StaDelaysOrdered) {
+  const core::Design d = core::Design::from_bench(netlist::s27_bench());
+  const double slow =
+      d.run_at_corner(sta::AnalysisMode::kOneStep, ProcessCorner::kSlow)
+          .longest_path_delay;
+  const double typ =
+      d.run_at_corner(sta::AnalysisMode::kOneStep, ProcessCorner::kTypical)
+          .longest_path_delay;
+  const double fast =
+      d.run_at_corner(sta::AnalysisMode::kOneStep, ProcessCorner::kFast)
+          .longest_path_delay;
+  EXPECT_GT(slow, typ);
+  EXPECT_GT(typ, fast);
+  // Corner spread is meaningful but bounded.
+  EXPECT_LT(slow, typ * 2.0);
+  EXPECT_GT(fast, typ * 0.5);
+}
+
+TEST(Corners, TypicalCornerMatchesDefaultRun) {
+  const core::Design d = core::Design::from_bench(netlist::s27_bench());
+  const double a =
+      d.run_at_corner(sta::AnalysisMode::kBestCase, ProcessCorner::kTypical)
+          .longest_path_delay;
+  const double b = d.run(sta::AnalysisMode::kBestCase).longest_path_delay;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Corners, ModeOrderingHoldsAtEveryCorner) {
+  const core::Design d = core::Design::from_bench(netlist::s27_bench());
+  for (const ProcessCorner c :
+       {ProcessCorner::kSlow, ProcessCorner::kTypical, ProcessCorner::kFast}) {
+    const double best =
+        d.run_at_corner(sta::AnalysisMode::kBestCase, c).longest_path_delay;
+    const double one =
+        d.run_at_corner(sta::AnalysisMode::kOneStep, c).longest_path_delay;
+    const double worst =
+        d.run_at_corner(sta::AnalysisMode::kWorstCase, c).longest_path_delay;
+    EXPECT_LE(best, one + 1e-13) << corner_name(c);
+    EXPECT_LE(one, worst + 1e-13) << corner_name(c);
+  }
+}
+
+}  // namespace
+}  // namespace xtalk::device

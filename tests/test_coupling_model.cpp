@@ -1,0 +1,77 @@
+#include "delaycalc/coupling_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xtalk::delaycalc {
+namespace {
+
+constexpr double kVdd = 3.3;
+constexpr double kVth = 0.2;
+
+TEST(CouplingModel, DividerStepFormula) {
+  // dV = VDD * Cc / (Cc + C)
+  EXPECT_NEAR(divider_step(kVdd, 10e-15, 90e-15), 0.33, 1e-12);
+  EXPECT_NEAR(divider_step(kVdd, 50e-15, 50e-15), 1.65, 1e-12);
+  EXPECT_DOUBLE_EQ(divider_step(kVdd, 0.0, 100e-15), 0.0);
+}
+
+TEST(CouplingModel, RisingVictimLandsExactlyAtVth) {
+  // Paper §2: trigger at Vth + dV so that the instantaneous VDD drop on
+  // the aggressor pulls the victim back to exactly Vth.
+  const CouplingEvent ev =
+      make_coupling_event(kVdd, kVth, 20e-15, 80e-15, true, kVdd);
+  EXPECT_FALSE(ev.clamped);
+  EXPECT_NEAR(ev.trigger_voltage - ev.delta_v, kVth, 1e-12);
+}
+
+TEST(CouplingModel, FallingVictimMirrors) {
+  const CouplingEvent ev =
+      make_coupling_event(kVdd, kVth, 20e-15, 80e-15, false, 0.0);
+  EXPECT_FALSE(ev.clamped);
+  EXPECT_NEAR(ev.trigger_voltage + ev.delta_v, kVdd - kVth, 1e-12);
+}
+
+TEST(CouplingModel, RisingAndFallingSymmetric) {
+  const CouplingEvent r =
+      make_coupling_event(kVdd, kVth, 15e-15, 60e-15, true, kVdd);
+  const CouplingEvent f =
+      make_coupling_event(kVdd, kVth, 15e-15, 60e-15, false, 0.0);
+  EXPECT_NEAR(r.delta_v, f.delta_v, 1e-15);
+  EXPECT_NEAR(r.trigger_voltage, kVdd - f.trigger_voltage, 1e-12);
+}
+
+TEST(CouplingModel, HugeCouplingClamps) {
+  // Cc >> C: dV approaches VDD, trigger would exceed the final voltage.
+  const CouplingEvent ev =
+      make_coupling_event(kVdd, kVth, 900e-15, 10e-15, true, kVdd);
+  EXPECT_TRUE(ev.clamped);
+  EXPECT_DOUBLE_EQ(ev.trigger_voltage, kVdd);
+}
+
+TEST(CouplingModel, NoCouplingNoEvent) {
+  const CouplingEvent ev =
+      make_coupling_event(kVdd, kVth, 0.0, 100e-15, true, kVdd);
+  EXPECT_DOUBLE_EQ(ev.delta_v, 0.0);
+}
+
+TEST(CouplingModel, StepMonotoneInCouplingCap) {
+  double prev = 0.0;
+  for (double cc = 1e-15; cc < 200e-15; cc += 5e-15) {
+    const double dv = divider_step(kVdd, cc, 100e-15);
+    EXPECT_GT(dv, prev);
+    prev = dv;
+  }
+  EXPECT_LT(prev, kVdd);
+}
+
+TEST(CouplingModel, StepDecreasesWithGroundCap) {
+  double prev = kVdd;
+  for (double cg = 10e-15; cg < 500e-15; cg += 20e-15) {
+    const double dv = divider_step(kVdd, 30e-15, cg);
+    EXPECT_LT(dv, prev);
+    prev = dv;
+  }
+}
+
+}  // namespace
+}  // namespace xtalk::delaycalc

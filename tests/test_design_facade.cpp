@@ -1,0 +1,84 @@
+#include "core/crosstalk_sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/embedded_benchmarks.hpp"
+
+namespace xtalk::core {
+namespace {
+
+TEST(Design, FromBenchRunsWholeFlow) {
+  const Design d = Design::from_bench(netlist::s27_bench());
+  const DesignStats st = d.stats();
+  EXPECT_EQ(st.cells, 13u);
+  EXPECT_EQ(st.flip_flops, 3u);
+  EXPECT_GT(st.transistors, 30u);
+  EXPECT_GT(st.total_wire_length, 0.0);
+  EXPECT_GT(st.coupling_pairs, 0u);
+  EXPECT_GT(st.total_coupling_cap, 0.0);
+  EXPECT_GT(st.total_wire_cap, 0.0);
+}
+
+TEST(Design, GenerateInsertsClockTree) {
+  const Design d = Design::generate(netlist::scaled_spec("t", 3, 1200, 10));
+  // 1200/12 = 100 FFs need buffering at max fanout 16.
+  EXPECT_GT(d.stats().cells, 1200u);
+  bool has_clkbuf = false;
+  for (netlist::GateId g = 0; g < d.netlist().num_gates(); ++g) {
+    if (d.netlist().gate(g).cell->name().rfind("CLKBUF", 0) == 0) {
+      has_clkbuf = true;
+    }
+  }
+  EXPECT_TRUE(has_clkbuf);
+}
+
+TEST(Design, FlowOptionsDisableClockTree) {
+  FlowOptions opt;
+  opt.insert_clock_tree = false;
+  const Design d =
+      Design::generate(netlist::scaled_spec("t", 3, 1200, 10), opt);
+  EXPECT_EQ(d.stats().cells, 1200u);
+}
+
+TEST(Design, ViewIsConsistent) {
+  const Design d = Design::from_bench(netlist::s27_bench());
+  const sta::DesignView v = d.view();
+  EXPECT_EQ(v.netlist, &d.netlist());
+  EXPECT_EQ(v.dag, &d.dag());
+  EXPECT_EQ(v.parasitics, &d.parasitics());
+  EXPECT_EQ(v.tables, &d.tables());
+}
+
+TEST(Design, MoveKeepsViewValid) {
+  Design d = Design::from_bench(netlist::c17_bench());
+  const std::size_t nets = d.netlist().num_nets();
+  Design moved = std::move(d);
+  EXPECT_EQ(moved.netlist().num_nets(), nets);
+  const sta::StaResult r = moved.run(sta::AnalysisMode::kBestCase);
+  EXPECT_GT(r.longest_path_delay, 0.0);
+}
+
+TEST(Design, CombinationalOnlyDesignWorks) {
+  // c17 has no flip-flops and no clock; endpoints are primary outputs.
+  const Design d = Design::from_bench(netlist::c17_bench());
+  const sta::StaResult r = d.run(sta::AnalysisMode::kOneStep);
+  EXPECT_GT(r.longest_path_delay, 0.0);
+  EXPECT_EQ(r.endpoints.size(), 2u * 2u);  // 2 POs x 2 directions
+}
+
+TEST(Design, RunWithExplicitOptions) {
+  const Design d = Design::from_bench(netlist::s27_bench());
+  sta::StaOptions opt;
+  opt.mode = sta::AnalysisMode::kIterative;
+  opt.max_passes = 2;
+  const sta::StaResult r = d.run(opt);
+  EXPECT_LE(r.passes, 2);
+}
+
+TEST(Design, StatsTransistorCountMatchesNetlist) {
+  const Design d = Design::from_bench(netlist::s27_bench());
+  EXPECT_EQ(d.stats().transistors, d.netlist().transistor_count());
+}
+
+}  // namespace
+}  // namespace xtalk::core

@@ -1,0 +1,167 @@
+#include "device/device_table.hpp"
+#include "device/mosfet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xtalk::device {
+namespace {
+
+const Technology& tech() { return Technology::half_micron(); }
+
+TEST(Mosfet, CutoffBelowThreshold) {
+  // Deep subthreshold current is negligible compared to on current.
+  const double off = unit_current(tech(), MosType::kNmos, 0.0, 3.3);
+  const double on = unit_current(tech(), MosType::kNmos, 3.3, 3.3);
+  EXPECT_LT(off, on * 1e-6);
+}
+
+TEST(Mosfet, ZeroAtZeroVds) {
+  EXPECT_DOUBLE_EQ(unit_current(tech(), MosType::kNmos, 3.3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(unit_current(tech(), MosType::kPmos, 3.3, 0.0), 0.0);
+}
+
+TEST(Mosfet, MonotoneInVgs) {
+  double prev = -1.0;
+  for (double vgs = 0.0; vgs <= 3.3; vgs += 0.1) {
+    const double i = unit_current(tech(), MosType::kNmos, vgs, 2.0);
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+}
+
+TEST(Mosfet, MonotoneInVds) {
+  double prev = -1.0;
+  for (double vds = 0.0; vds <= 3.3; vds += 0.05) {
+    const double i = unit_current(tech(), MosType::kNmos, 3.3, vds);
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+}
+
+TEST(Mosfet, SaturationCurrentMatchesCalibration) {
+  // beta_n = 82.5 A/(m V^alpha): at full overdrive (2.7 V) and alpha=1.3
+  // a 1 um device carries ~300 uA.
+  const double i = 1e-6 * unit_current(tech(), MosType::kNmos, 3.3, 3.3);
+  EXPECT_NEAR(i, 300e-6, 50e-6);
+}
+
+TEST(Mosfet, PmosWeakerThanNmos) {
+  const double in = unit_current(tech(), MosType::kNmos, 3.3, 3.3);
+  const double ip = unit_current(tech(), MosType::kPmos, 3.3, 3.3);
+  EXPECT_LT(ip, in);
+  EXPECT_GT(ip, 0.25 * in);
+}
+
+TEST(Mosfet, LinearRegionQuadraticShape) {
+  // In the linear region, i(vds) = idsat*(2-u)*u with u=vds/vdsat: halfway
+  // to vdsat the current is 0.75 * idsat.
+  const double vdsat = saturation_voltage(tech(), MosType::kNmos, 3.3);
+  const double idsat = unit_current(tech(), MosType::kNmos, 3.3, vdsat);
+  const double ihalf = unit_current(tech(), MosType::kNmos, 3.3, vdsat / 2.0);
+  EXPECT_NEAR(ihalf / idsat, 0.75, 0.02);
+}
+
+TEST(DeviceTable, MatchesAnalyticModel) {
+  const DeviceTable& t = DeviceTableSet::half_micron().nmos();
+  for (double vgs = 0.2; vgs <= 3.3; vgs += 0.33) {
+    for (double vds = 0.1; vds <= 3.3; vds += 0.41) {
+      const double exact = unit_current(tech(), MosType::kNmos, vgs, vds);
+      const double approx = t.unit_ids(vgs, vds);
+      // 1e-5 A/m is 0.01 uA per um of width — far below any on-current.
+      EXPECT_NEAR(approx, exact, std::max(1e-5, 0.01 * exact))
+          << "vgs=" << vgs << " vds=" << vds;
+    }
+  }
+}
+
+TEST(DeviceTable, ChannelCurrentAntisymmetricInTerminals) {
+  const DeviceTable& t = DeviceTableSet::half_micron().nmos();
+  const double w = 2e-6;
+  // Swapping the terminals flips the current sign (symmetric channel).
+  const double fwd = t.channel_current(w, 3.3, 2.0, 0.5);
+  const double rev = t.channel_current(w, 3.3, 0.5, 2.0);
+  EXPECT_NEAR(fwd, -rev, 1e-12);
+  EXPECT_GT(fwd, 0.0);
+}
+
+TEST(DeviceTable, PmosConductsWithLowGate) {
+  const DeviceTable& t = DeviceTableSet::half_micron().pmos();
+  const double w = 4e-6;
+  // Source at 3.3, gate low -> conducts from the high terminal downward.
+  EXPECT_GT(t.channel_current(w, 0.0, 3.3, 1.0), 0.0);
+  // Gate high -> off.
+  EXPECT_LT(t.channel_current(w, 3.3, 3.3, 1.0),
+            t.channel_current(w, 0.0, 3.3, 1.0) * 1e-4);
+}
+
+TEST(DeviceTable, DerivativesMatchFiniteDifferences) {
+  const DeviceTable& t = DeviceTableSet::half_micron().nmos();
+  const double w = 2e-6;
+  const double vg = 2.1, va = 1.7, vb = 0.3, eps = 1e-4;
+  const CurrentDerivs d = t.channel_current_derivs(w, vg, va, vb);
+  EXPECT_NEAR(d.i, t.channel_current(w, vg, va, vb), 1e-15);
+  const double dg = (t.channel_current(w, vg + eps, va, vb) -
+                     t.channel_current(w, vg - eps, va, vb)) /
+                    (2.0 * eps);
+  const double da = (t.channel_current(w, vg, va + eps, vb) -
+                     t.channel_current(w, vg, va - eps, vb)) /
+                    (2.0 * eps);
+  const double db = (t.channel_current(w, vg, va, vb + eps) -
+                     t.channel_current(w, vg, va, vb - eps)) /
+                    (2.0 * eps);
+  EXPECT_NEAR(d.d_vg, dg, std::abs(dg) * 0.05 + 1e-9);
+  EXPECT_NEAR(d.d_va, da, std::abs(da) * 0.05 + 1e-9);
+  EXPECT_NEAR(d.d_vb, db, std::abs(db) * 0.05 + 1e-9);
+}
+
+TEST(DeviceTable, StackFactorsDecreaseWithDepth) {
+  const DeviceTable& t = DeviceTableSet::half_micron().nmos();
+  EXPECT_DOUBLE_EQ(t.stack_factor(1), 1.0);
+  double prev = 1.0;
+  for (std::size_t n = 2; n <= 4; ++n) {
+    const double f = t.stack_factor(n);
+    EXPECT_LT(f, prev) << n;
+    // The stack is better than the purely resistive 1/n rule (little
+    // source degeneration in the saturation-limited regime).
+    EXPECT_GT(f, 1.0 / static_cast<double>(n)) << n;
+    prev = f;
+  }
+  // Clamped beyond the precomputed range.
+  EXPECT_GT(t.stack_factor(100), 0.0);
+}
+
+TEST(DeviceTable, StackFactorMatchesDirectStackSolve) {
+  // Verify the n=2 factor against a brute-force nodal solve of two
+  // stacked devices carrying equal current with the top at vdd/2.
+  const Technology& t = tech();
+  const DeviceTable& tab = DeviceTableSet::half_micron().nmos();
+  const double i_single = unit_current(t, MosType::kNmos, t.vdd, t.vdd / 2.0);
+  // Find v_mid such that I(bottom: vgs=vdd, vds=v_mid) equals
+  // I(top: vgs=vdd-v_mid, vds=vdd/2-v_mid), then compare currents.
+  double lo = 0.0, hi = t.vdd / 2.0;
+  for (int it = 0; it < 60; ++it) {
+    const double v = 0.5 * (lo + hi);
+    const double ib = unit_current(t, MosType::kNmos, t.vdd, v);
+    const double it2 = unit_current(t, MosType::kNmos, t.vdd - v,
+                                    t.vdd / 2.0 - v);
+    if (ib < it2) {
+      lo = v;
+    } else {
+      hi = v;
+    }
+  }
+  const double v_mid = 0.5 * (lo + hi);
+  const double i_stack = unit_current(t, MosType::kNmos, t.vdd, v_mid);
+  EXPECT_NEAR(tab.stack_factor(2), i_stack / i_single, 0.02);
+}
+
+TEST(Technology, CapacitanceHelpers) {
+  const Technology& t = tech();
+  // A 2 um x 0.5 um gate: area cap 2.5 fF/um^2 * 1 um^2 = 2.5 fF plus
+  // overlap 2 * 2 um * 0.3 fF/um = 1.2 fF.
+  EXPECT_NEAR(t.gate_cap(2e-6), 3.7e-15, 1e-16);
+  EXPECT_NEAR(t.junction_cap(2e-6), 2e-15, 1e-16);
+}
+
+}  // namespace
+}  // namespace xtalk::device

@@ -1,0 +1,218 @@
+#include "sta/engine.hpp"
+
+#include "sta/early.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/crosstalk_sta.hpp"
+#include "netlist/embedded_benchmarks.hpp"
+#include "sta/path.hpp"
+#include "sta/report.hpp"
+
+namespace xtalk::sta {
+namespace {
+
+const core::Design& s27() {
+  static const core::Design d =
+      core::Design::from_bench(netlist::s27_bench());
+  return d;
+}
+
+std::map<AnalysisMode, StaResult>& s27_results() {
+  static std::map<AnalysisMode, StaResult> results = [] {
+    std::map<AnalysisMode, StaResult> r;
+    for (const AnalysisMode m :
+         {AnalysisMode::kBestCase, AnalysisMode::kStaticDoubled,
+          AnalysisMode::kWorstCase, AnalysisMode::kOneStep,
+          AnalysisMode::kIterative}) {
+      r.emplace(m, s27().run(m));
+    }
+    return r;
+  }();
+  return results;
+}
+
+TEST(Engine, ProducesPositiveDelay) {
+  for (const auto& [mode, r] : s27_results()) {
+    EXPECT_GT(r.longest_path_delay, 0.1e-9) << mode_name(mode);
+    EXPECT_LT(r.longest_path_delay, 100e-9) << mode_name(mode);
+  }
+}
+
+TEST(Engine, PaperModeOrderingOnLongestPath) {
+  const auto& r = s27_results();
+  const double best = r.at(AnalysisMode::kBestCase).longest_path_delay;
+  const double doubled = r.at(AnalysisMode::kStaticDoubled).longest_path_delay;
+  const double worst = r.at(AnalysisMode::kWorstCase).longest_path_delay;
+  const double onestep = r.at(AnalysisMode::kOneStep).longest_path_delay;
+  const double iter = r.at(AnalysisMode::kIterative).longest_path_delay;
+  const double eps = 1e-13;
+  EXPECT_LE(best, iter + eps);
+  EXPECT_LE(iter, onestep + eps);
+  EXPECT_LE(onestep, worst + eps);
+  EXPECT_LE(best, doubled + eps);
+  EXPECT_LE(doubled, worst + eps);
+}
+
+TEST(Engine, OrderingHoldsAtEveryEndpoint) {
+  // The guarantee is per-event, not only for the maximum (paper §4: STA
+  // "guarantees an upper delay bound for any event on each line").
+  const auto& rm = s27_results();
+  const auto key = [](const EndpointArrival& e) {
+    return std::make_pair(e.net, e.rising);
+  };
+  std::map<std::pair<netlist::NetId, bool>, double> best, onestep, worst, iter;
+  for (const auto& e : rm.at(AnalysisMode::kBestCase).endpoints)
+    best[key(e)] = e.arrival;
+  for (const auto& e : rm.at(AnalysisMode::kOneStep).endpoints)
+    onestep[key(e)] = e.arrival;
+  for (const auto& e : rm.at(AnalysisMode::kWorstCase).endpoints)
+    worst[key(e)] = e.arrival;
+  for (const auto& e : rm.at(AnalysisMode::kIterative).endpoints)
+    iter[key(e)] = e.arrival;
+  const double eps = 1e-13;
+  for (const auto& [k, v] : best) {
+    ASSERT_TRUE(onestep.count(k));
+    ASSERT_TRUE(worst.count(k));
+    EXPECT_LE(v, onestep[k] + eps);
+    EXPECT_LE(iter[k], onestep[k] + eps);
+    EXPECT_LE(onestep[k], worst[k] + eps);
+  }
+}
+
+TEST(Engine, EveryNetCalculatedBothDirections) {
+  const StaResult& r = s27_results().at(AnalysisMode::kOneStep);
+  const auto& nl = s27().netlist();
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    EXPECT_TRUE(r.timing[n].calculated) << nl.net(n).name;
+    EXPECT_TRUE(r.timing[n].rise.valid) << nl.net(n).name;
+    EXPECT_TRUE(r.timing[n].fall.valid) << nl.net(n).name;
+  }
+}
+
+TEST(Engine, WaveformsMonotoneAndRailBounded) {
+  const StaResult& r = s27_results().at(AnalysisMode::kIterative);
+  const double vdd = s27().tech().vdd;
+  for (const NetTiming& t : r.timing) {
+    for (const bool rising : {true, false}) {
+      const NetEvent& e = t.event(rising);
+      if (!e.valid) continue;
+      EXPECT_TRUE(e.waveform.is_monotone(rising, 1e-9));
+      EXPECT_GE(e.waveform.min_value(), -0.01);
+      EXPECT_LE(e.waveform.max_value(), vdd + 0.01);
+      EXPECT_LE(e.start_time, e.arrival);
+      EXPECT_LE(e.arrival, e.settle_time);
+    }
+  }
+}
+
+TEST(Engine, IterativeRunsAtLeastTwoPasses) {
+  const StaResult& r = s27_results().at(AnalysisMode::kIterative);
+  EXPECT_GE(r.passes, 2);
+  EXPECT_EQ(s27_results().at(AnalysisMode::kOneStep).passes, 1);
+}
+
+TEST(Engine, OneStepCostsAboutTwoCalcsPerArc) {
+  const auto& r = s27_results();
+  const auto base = r.at(AnalysisMode::kBestCase).waveform_calculations;
+  const auto one = r.at(AnalysisMode::kOneStep).waveform_calculations;
+  EXPECT_GT(one, base);
+  EXPECT_LE(one, 3 * base);  // <= 2x plus direction bookkeeping slack
+}
+
+TEST(Engine, CriticalEndpointIsMaxOverEndpoints) {
+  for (const auto& [mode, r] : s27_results()) {
+    double worst = 0.0;
+    for (const auto& e : r.endpoints) worst = std::max(worst, e.arrival);
+    EXPECT_DOUBLE_EQ(worst, r.critical.arrival) << mode_name(mode);
+    EXPECT_DOUBLE_EQ(worst, r.longest_path_delay) << mode_name(mode);
+  }
+}
+
+TEST(Engine, WorstCaseEventsAreCoupledSomewhere) {
+  const StaResult& r = s27_results().at(AnalysisMode::kWorstCase);
+  std::size_t coupled = 0;
+  for (const NetTiming& t : r.timing) {
+    coupled += t.rise.coupled + t.fall.coupled;
+  }
+  EXPECT_GT(coupled, 0u);
+}
+
+TEST(Engine, EsperanceStillUpperBound) {
+  StaOptions opt;
+  opt.mode = AnalysisMode::kIterative;
+  opt.esperance = true;
+  const StaResult r = run_sta(s27().view(), opt);
+  const auto& rm = s27_results();
+  const double eps = 1e-13;
+  // Bounded below by the unrestricted iterative result and above by the
+  // plain one-step bound.
+  EXPECT_GE(r.longest_path_delay,
+            rm.at(AnalysisMode::kIterative).longest_path_delay - eps);
+  EXPECT_LE(r.longest_path_delay,
+            rm.at(AnalysisMode::kOneStep).longest_path_delay + eps);
+}
+
+TEST(Engine, TimingWindowExtensionStaysBounded) {
+  StaOptions tw;
+  tw.mode = AnalysisMode::kIterative;
+  tw.timing_windows = true;
+  const StaResult r = run_sta(s27().view(), tw);
+  const auto& rm = s27_results();
+  const double eps = 1e-13;
+  // Tighter than (or equal to) the plain iterative bound, never below the
+  // coupling-free best case.
+  EXPECT_LE(r.longest_path_delay,
+            rm.at(AnalysisMode::kIterative).longest_path_delay + eps);
+  EXPECT_GE(r.longest_path_delay,
+            rm.at(AnalysisMode::kBestCase).longest_path_delay - eps);
+}
+
+TEST(Engine, EarlyActivityLowerBoundsWorstStart) {
+  const sta::StaResult& one = s27_results().at(AnalysisMode::kOneStep);
+  const EarlyTimes early = compute_early_activity(s27().view());
+  for (netlist::NetId n = 0; n < s27().netlist().num_nets(); ++n) {
+    for (const bool rising : {true, false}) {
+      const NetEvent& e = one.timing[n].event(rising);
+      if (!e.valid) continue;
+      EXPECT_LE(early.start(n, rising), e.start_time + 1e-13)
+          << s27().netlist().net(n).name << (rising ? " r" : " f");
+    }
+  }
+}
+
+TEST(Engine, EarlyActivityZeroAtPrimaryInputs) {
+  const EarlyTimes early = compute_early_activity(s27().view());
+  for (const netlist::NetId pi : s27().netlist().primary_inputs()) {
+    EXPECT_DOUBLE_EQ(early.start(pi, true), 0.0);
+    EXPECT_DOUBLE_EQ(early.start(pi, false), 0.0);
+  }
+}
+
+TEST(Engine, InputSlewAffectsDelay) {
+  StaOptions fast;
+  fast.mode = AnalysisMode::kBestCase;
+  fast.input_slew = 0.05e-9;
+  StaOptions slow = fast;
+  slow.input_slew = 0.8e-9;
+  const double d_fast = run_sta(s27().view(), fast).longest_path_delay;
+  const double d_slow = run_sta(s27().view(), slow).longest_path_delay;
+  EXPECT_GT(d_slow, d_fast);
+}
+
+TEST(Report, TableFormatsAllRows) {
+  std::vector<TableRow> rows;
+  for (const auto& [mode, r] : s27_results()) {
+    rows.push_back(row_from_result(mode, r));
+  }
+  const std::string table = format_mode_table("s27", rows);
+  for (const auto& [mode, r] : s27_results()) {
+    EXPECT_NE(table.find(mode_name(mode)), std::string::npos);
+  }
+  EXPECT_NE(table.find("delay[ns]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xtalk::sta

@@ -1,0 +1,122 @@
+#include "extract/extractor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "extract/elmore.hpp"
+#include "netlist/circuit_generator.hpp"
+
+namespace xtalk::extract {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl;
+  netlist::LevelizedDag dag;
+  layout::Placement place;
+  layout::RoutedDesign routed;
+  Parasitics para;
+
+  explicit Fixture(std::size_t cells, std::uint64_t seed = 13)
+      : nl(netlist::generate_circuit(
+            netlist::scaled_spec("t", seed, cells, 9),
+            netlist::CellLibrary::half_micron())),
+        dag(netlist::levelize(nl)),
+        place(nl, dag),
+        routed(nl, place),
+        para(extract(nl, routed, device::Technology::half_micron())) {}
+};
+
+TEST(Extractor, GroundCapProportionalToLength) {
+  Fixture f(300);
+  const device::Technology& tech = device::Technology::half_micron();
+  for (netlist::NetId n = 0; n < f.nl.num_nets(); ++n) {
+    EXPECT_NEAR(f.para.net(n).wire_cap,
+                f.routed.net(n).total_length * tech.wire_c_ground, 1e-18);
+  }
+}
+
+TEST(Extractor, CouplingSymmetric) {
+  Fixture f(500);
+  // Build a map of (a,b) -> cap from each net's view and compare.
+  for (netlist::NetId n = 0; n < f.nl.num_nets(); ++n) {
+    for (const NeighborCap& nb : f.para.net(n).couplings) {
+      double back = -1.0;
+      for (const NeighborCap& rev : f.para.net(nb.neighbor).couplings) {
+        if (rev.neighbor == n) back = rev.cap;
+      }
+      EXPECT_DOUBLE_EQ(back, nb.cap);
+    }
+  }
+}
+
+TEST(Extractor, NoSelfCoupling) {
+  Fixture f(500);
+  for (const CouplingCap& cc : f.para.coupling_pairs()) {
+    EXPECT_NE(cc.net_a, cc.net_b);
+    EXPECT_GT(cc.cap, 0.0);
+  }
+}
+
+TEST(Extractor, CouplingCapBoundedByOverlap) {
+  Fixture f(500);
+  const device::Technology& tech = device::Technology::half_micron();
+  for (const CouplingCap& cc : f.para.coupling_pairs()) {
+    EXPECT_LE(cc.cap, tech.wire_c_couple * cc.overlap_length + 1e-18);
+    EXPECT_GT(cc.overlap_length, 0.0);
+  }
+}
+
+TEST(Extractor, SubstantialCouplingExists) {
+  Fixture f(800);
+  EXPECT_GT(f.para.coupling_pairs().size(), 100u);
+  // Dense random logic: total coupling is comparable to ground cap.
+  EXPECT_GT(f.para.total_coupling_cap(), 0.1 * f.para.total_wire_cap());
+}
+
+TEST(Extractor, MinCapThresholdFilters) {
+  Fixture base(300);
+  ExtractionOptions strict;
+  strict.min_coupling_cap = 50e-15;
+  const Parasitics filtered =
+      extract(base.nl, base.routed, device::Technology::half_micron(), strict);
+  EXPECT_LE(filtered.coupling_pairs().size(),
+            base.para.coupling_pairs().size());
+  for (const CouplingCap& cc : filtered.coupling_pairs()) {
+    EXPECT_GE(cc.cap, strict.min_coupling_cap);
+  }
+}
+
+TEST(Extractor, SinkWiresMatchNetSinks) {
+  Fixture f(300);
+  for (netlist::NetId n = 0; n < f.nl.num_nets(); ++n) {
+    EXPECT_EQ(f.para.net(n).sink_wires.size(), f.nl.net(n).sinks.size());
+    for (const SinkWire& w : f.para.net(n).sink_wires) {
+      EXPECT_GE(w.resistance, 0.0);
+      EXPECT_GE(w.capacitance, 0.0);
+    }
+  }
+}
+
+TEST(Elmore, SinkDelayFormula) {
+  SinkWire w;
+  w.resistance = 1000.0;
+  w.capacitance = 100e-15;
+  // R * (C/2 + Cl) = 1000 * (50f + 10f) = 60 ps
+  EXPECT_NEAR(elmore_sink_delay(w, 10e-15), 60e-12, 1e-15);
+}
+
+TEST(Elmore, DistributedLine) {
+  EXPECT_NEAR(elmore_distributed_line(2000.0, 200e-15, 0.0), 200e-12, 1e-15);
+  EXPECT_NEAR(elmore_distributed_line(2000.0, 0.0, 50e-15), 100e-12, 1e-15);
+}
+
+TEST(Elmore, MaxSinkElmorePositiveOnLongNets) {
+  Fixture f(400);
+  double worst = 0.0;
+  for (netlist::NetId n = 0; n < f.nl.num_nets(); ++n) {
+    worst = std::max(worst, max_sink_elmore(f.nl, f.para, n));
+  }
+  EXPECT_GT(worst, 0.1e-12);  // at least a fraction of a ps somewhere
+}
+
+}  // namespace
+}  // namespace xtalk::extract

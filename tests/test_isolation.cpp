@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "core/crosstalk_sta.hpp"
+#include "sta/path.hpp"
+
+namespace xtalk::core {
+namespace {
+
+TEST(Isolation, RemovesCouplingOfChosenNets) {
+  Design d = Design::generate(netlist::scaled_spec("iso", 31, 500, 10));
+  // Pick the three most coupled nets.
+  std::vector<std::pair<double, netlist::NetId>> ranked;
+  for (netlist::NetId n = 0; n < d.netlist().num_nets(); ++n) {
+    ranked.push_back({d.parasitics().net(n).total_coupling_cap(), n});
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  ASSERT_GT(ranked[0].first, 0.0);
+  const std::vector<netlist::NetId> victims = {
+      ranked[0].second, ranked[1].second, ranked[2].second};
+
+  d.isolate_nets(victims);
+  for (const netlist::NetId v : victims) {
+    EXPECT_TRUE(d.parasitics().net(v).couplings.empty())
+        << d.netlist().net(v).name;
+  }
+}
+
+TEST(Isolation, PreservesWireLengthAndGroundCap) {
+  Design d = Design::generate(netlist::scaled_spec("iso", 32, 400, 9));
+  const double len_before = d.routing().total_wire_length();
+  const auto wire_cap_before = d.parasitics().net(5).wire_cap;
+  d.isolate_nets({5});
+  EXPECT_DOUBLE_EQ(d.routing().total_wire_length(), len_before);
+  EXPECT_DOUBLE_EQ(d.parasitics().net(5).wire_cap, wire_cap_before);
+}
+
+TEST(Isolation, IsolatedNetsDoNotCoupleEachOther) {
+  Design d = Design::generate(netlist::scaled_spec("iso", 33, 400, 9));
+  std::vector<netlist::NetId> all;
+  for (netlist::NetId n = 0; n < std::min<netlist::NetId>(
+                                     20, static_cast<netlist::NetId>(
+                                             d.netlist().num_nets()));
+       ++n) {
+    all.push_back(n);
+  }
+  d.isolate_nets(all);
+  for (const netlist::NetId v : all) {
+    for (const extract::NeighborCap& nb : d.parasitics().net(v).couplings) {
+      EXPECT_TRUE(std::find(all.begin(), all.end(), nb.neighbor) == all.end());
+    }
+  }
+}
+
+TEST(Isolation, ShrinksWorstCaseBoundTowardBestCase) {
+  Design d = Design::generate(netlist::scaled_spec("iso", 34, 800, 12));
+  const double best = d.run(sta::AnalysisMode::kBestCase).longest_path_delay;
+  const sta::StaResult before = d.run(sta::AnalysisMode::kWorstCase);
+
+  // Isolate every coupled net on the critical path.
+  std::vector<netlist::NetId> victims;
+  for (const sta::PathStep& s : sta::extract_critical_path(before)) {
+    if (s.coupled) victims.push_back(s.net);
+  }
+  ASSERT_FALSE(victims.empty());
+  d.isolate_nets(victims);
+
+  const sta::StaResult after = d.run(sta::AnalysisMode::kWorstCase);
+  EXPECT_LE(after.longest_path_delay, before.longest_path_delay + 1e-13);
+  EXPECT_GE(after.longest_path_delay, best - 1e-13);
+}
+
+}  // namespace
+}  // namespace xtalk::core

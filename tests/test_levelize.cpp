@@ -1,0 +1,86 @@
+#include "netlist/levelize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+#include "netlist/embedded_benchmarks.hpp"
+
+namespace xtalk::netlist {
+namespace {
+
+const CellLibrary& lib() { return CellLibrary::half_micron(); }
+
+TEST(Levelize, TopologicalOrderRespectsDependencies) {
+  const Netlist nl = parse_bench(c17_bench(), lib());
+  const LevelizedDag dag = levelize(nl);
+  ASSERT_EQ(dag.topo_order.size(), nl.num_gates());
+  std::vector<std::size_t> position(nl.num_gates());
+  for (std::size_t i = 0; i < dag.topo_order.size(); ++i) {
+    position[dag.topo_order[i]] = i;
+  }
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    for (std::uint32_t p = 0; p < gate.pin_nets.size(); ++p) {
+      if (!is_timed_input(*gate.cell, p)) continue;
+      const Net& net = nl.net(gate.pin_nets[p]);
+      if (net.driver.gate == kNoGate) continue;
+      EXPECT_LT(position[net.driver.gate], position[g]);
+    }
+  }
+}
+
+TEST(Levelize, LevelsIncreaseAlongEdges) {
+  const Netlist nl = parse_bench(c17_bench(), lib());
+  const LevelizedDag dag = levelize(nl);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    for (std::uint32_t p = 0; p < gate.pin_nets.size(); ++p) {
+      if (!is_timed_input(*gate.cell, p)) continue;
+      const Net& net = nl.net(gate.pin_nets[p]);
+      if (net.driver.gate == kNoGate) continue;
+      EXPECT_LT(dag.gate_level[net.driver.gate], dag.gate_level[g]);
+    }
+  }
+  EXPECT_EQ(dag.num_levels, 3u);  // c17 is 3 NAND levels deep
+}
+
+TEST(Levelize, FlipFlopsBreakCycles) {
+  // s27 has feedback through its flip-flops; levelization must succeed.
+  const Netlist nl = parse_bench(s27_bench(), lib());
+  EXPECT_NO_THROW(levelize(nl));
+}
+
+TEST(Levelize, DetectsCombinationalCycle) {
+  Netlist nl(lib());
+  const NetId a = nl.add_net("a");
+  const NetId b = nl.add_net("b");
+  nl.add_gate("u1", lib().get("INV_X1"), {a, b});
+  nl.add_gate("u2", lib().get("INV_X1"), {b, a});
+  EXPECT_THROW(levelize(nl), std::runtime_error);
+}
+
+TEST(Levelize, EndpointsAreDffDAndPrimaryOutputs) {
+  const Netlist nl = parse_bench(s27_bench(), lib());
+  const LevelizedDag dag = levelize(nl);
+  // Endpoints: G10, G11, G13 (the DFF D nets) and G17 (the PO).
+  std::vector<std::string> names;
+  for (const NetId n : dag.endpoint_nets) names.push_back(nl.net(n).name);
+  for (const char* expected : {"G10", "G11", "G13", "G17"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  EXPECT_EQ(names.size(), 4u);
+}
+
+TEST(Levelize, DffTimedOnlyThroughClock) {
+  const Cell& ff = lib().get("DFF_X1");
+  EXPECT_FALSE(is_timed_input(ff, ff.pin_index("D")));
+  EXPECT_TRUE(is_timed_input(ff, ff.pin_index("CK")));
+  EXPECT_FALSE(is_timed_input(ff, ff.output_pin()));
+  const Cell& nand2 = lib().get("NAND2_X1");
+  EXPECT_TRUE(is_timed_input(nand2, 0));
+  EXPECT_TRUE(is_timed_input(nand2, 1));
+}
+
+}  // namespace
+}  // namespace xtalk::netlist

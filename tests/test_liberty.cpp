@@ -1,0 +1,102 @@
+#include "delaycalc/liberty_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace xtalk::delaycalc {
+namespace {
+
+const std::string& liberty() {
+  static const std::string text = write_liberty(
+      NldmLibrary::half_micron(), netlist::CellLibrary::half_micron());
+  return text;
+}
+
+TEST(Liberty, HeaderAndTemplate) {
+  EXPECT_NE(liberty().find("library (xtalk_half_micron) {"),
+            std::string::npos);
+  EXPECT_NE(liberty().find("delay_model : table_lookup;"), std::string::npos);
+  EXPECT_NE(liberty().find("lu_table_template (delay_template)"),
+            std::string::npos);
+  EXPECT_NE(liberty().find("variable_1 : input_net_transition;"),
+            std::string::npos);
+  EXPECT_NE(liberty().find("capacitive_load_unit (1, ff);"),
+            std::string::npos);
+}
+
+TEST(Liberty, EveryCellEmitted) {
+  for (const netlist::Cell* c : netlist::CellLibrary::half_micron().all_cells()) {
+    EXPECT_NE(liberty().find("cell (" + c->name() + ")"), std::string::npos)
+        << c->name();
+  }
+}
+
+TEST(Liberty, FunctionsAndSenses) {
+  EXPECT_NE(liberty().find("function : \"!A\";"), std::string::npos);
+  EXPECT_NE(liberty().find("function : \"!(A*B)\";"), std::string::npos);
+  EXPECT_NE(liberty().find("function : \"!(A+B)\";"), std::string::npos);
+  EXPECT_NE(liberty().find("function : \"(A^B)\";"), std::string::npos);
+  EXPECT_NE(liberty().find("timing_sense : negative_unate;"),
+            std::string::npos);
+  EXPECT_NE(liberty().find("timing_sense : positive_unate;"),
+            std::string::npos);
+  EXPECT_NE(liberty().find("timing_sense : non_unate;"), std::string::npos);
+}
+
+TEST(Liberty, SequentialCellGetsFfGroup) {
+  const auto pos = liberty().find("cell (DFF_X1)");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string body = liberty().substr(pos, 4000);
+  EXPECT_NE(body.find("ff (IQ, IQN)"), std::string::npos);
+  EXPECT_NE(body.find("clocked_on : \"CK\";"), std::string::npos);
+  EXPECT_NE(body.find("next_state : \"D\";"), std::string::npos);
+  EXPECT_NE(body.find("clock : true;"), std::string::npos);
+  EXPECT_NE(body.find("timing_type : rising_edge;"), std::string::npos);
+}
+
+TEST(Liberty, BalancedBraces) {
+  int depth = 0;
+  for (const char c : liberty()) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Liberty, TableValuesArePositiveNanoseconds) {
+  // Every cell_rise table row must carry positive sub-10ns entries.
+  const std::string& text = liberty();
+  std::size_t pos = text.find("cell_rise (delay_template)");
+  ASSERT_NE(pos, std::string::npos);
+  const std::size_t vals = text.find("values (", pos);
+  ASSERT_NE(vals, std::string::npos);
+  const std::size_t q1 = text.find('"', vals);
+  const std::size_t q2 = text.find('"', q1 + 1);
+  std::istringstream row(text.substr(q1 + 1, q2 - q1 - 1));
+  std::string tok;
+  std::size_t count = 0;
+  while (std::getline(row, tok, ',')) {
+    const double v = std::stod(tok);
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 10.0);
+    ++count;
+  }
+  EXPECT_EQ(count, NldmLibrary::half_micron().options().load_points);
+}
+
+TEST(Liberty, PinCapacitancesInFemtofarads) {
+  // INV_X1 A pin cap ~ a few fF.
+  const auto pos = liberty().find("cell (INV_X1)");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string body = liberty().substr(pos, 2000);
+  const auto cap_pos = body.find("capacitance : ");
+  ASSERT_NE(cap_pos, std::string::npos);
+  const double cap = std::stod(body.substr(cap_pos + 14));
+  EXPECT_GT(cap, 1.0);
+  EXPECT_LT(cap, 50.0);
+}
+
+}  // namespace
+}  // namespace xtalk::delaycalc

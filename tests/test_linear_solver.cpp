@@ -1,0 +1,117 @@
+#include "util/linear_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace xtalk::util {
+namespace {
+
+TEST(LuSolver, SolvesIdentity) {
+  Matrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) a(i, i) = 1.0;
+  const auto x = solve_dense(a, {1.0, 2.0, 3.0});
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(LuSolver, Solves2x2) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0;
+  const auto x = solve_dense(a, {5.0, 10.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuSolver, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 0.0;
+  const auto x = solve_dense(a, {2.0, 3.0});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LuSolver, DetectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 4.0;
+  LuSolver lu;
+  EXPECT_FALSE(lu.factorize(a));
+}
+
+TEST(LuSolver, RandomSystemsRoundTrip) {
+  Rng rng(123);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.next_below(30));
+    Matrix a(n, n);
+    std::vector<double> x_ref(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x_ref[i] = rng.next_double(-2.0, 2.0);
+      for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.next_double(-1.0, 1.0);
+      a(i, i) += static_cast<double>(n);  // diagonally dominant -> well posed
+    }
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) b[i] += a(i, j) * x_ref[j];
+    }
+    const auto x = solve_dense(a, b);
+    ASSERT_EQ(x.size(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-9);
+  }
+}
+
+TEST(LuSolver, ReusableFactorization) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0;
+  LuSolver lu;
+  ASSERT_TRUE(lu.factorize(a));
+  const auto x1 = lu.solve({5.0, 4.0});
+  const auto x2 = lu.solve({9.0, 7.0});
+  EXPECT_NEAR(4.0 * x1[0] + x1[1], 5.0, 1e-12);
+  EXPECT_NEAR(x1[0] + 3.0 * x1[1], 4.0, 1e-12);
+  EXPECT_NEAR(4.0 * x2[0] + x2[1], 9.0, 1e-12);
+  EXPECT_NEAR(x2[0] + 3.0 * x2[1], 7.0, 1e-12);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowIsInRangeAndCoversValues) {
+  Rng rng(7);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++hits[v];
+  }
+  for (int h : hits) EXPECT_GT(h, 700);  // roughly uniform
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace xtalk::util

@@ -1,0 +1,107 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xtalk::netlist {
+namespace {
+
+const CellLibrary& lib() { return CellLibrary::half_micron(); }
+
+Netlist tiny() {
+  // in -> INV -> mid -> INV -> out
+  Netlist nl(lib());
+  const NetId in = nl.add_net("in");
+  const NetId mid = nl.add_net("mid");
+  const NetId out = nl.add_net("out");
+  nl.mark_primary_input(in);
+  nl.add_gate("u1", lib().get("INV_X1"), {in, mid});
+  nl.add_gate("u2", lib().get("INV_X1"), {mid, out});
+  nl.mark_primary_output(out);
+  return nl;
+}
+
+TEST(Netlist, BasicConstruction) {
+  const Netlist nl = tiny();
+  EXPECT_EQ(nl.num_nets(), 3u);
+  EXPECT_EQ(nl.num_gates(), 2u);
+  EXPECT_NO_THROW(nl.validate());
+  EXPECT_EQ(nl.transistor_count(), 4u);
+}
+
+TEST(Netlist, DriverAndSinksTracked) {
+  const Netlist nl = tiny();
+  const NetId mid = nl.find_net("mid");
+  EXPECT_EQ(nl.net(mid).driver.gate, 0u);
+  ASSERT_EQ(nl.net(mid).sinks.size(), 1u);
+  EXPECT_EQ(nl.net(mid).sinks[0].gate, 1u);
+}
+
+TEST(Netlist, AddNetIsIdempotentByName) {
+  Netlist nl(lib());
+  const NetId a = nl.add_net("x");
+  const NetId b = nl.add_net("x");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(nl.num_nets(), 1u);
+}
+
+TEST(Netlist, RejectsDoubleDriver) {
+  Netlist nl(lib());
+  const NetId in = nl.add_net("in");
+  const NetId out = nl.add_net("out");
+  nl.mark_primary_input(in);
+  nl.add_gate("u1", lib().get("INV_X1"), {in, out});
+  EXPECT_THROW(nl.add_gate("u2", lib().get("INV_X1"), {in, out}),
+               std::runtime_error);
+}
+
+TEST(Netlist, RejectsPinCountMismatch) {
+  Netlist nl(lib());
+  const NetId in = nl.add_net("in");
+  EXPECT_THROW(nl.add_gate("u1", lib().get("NAND2_X1"), {in, in}),
+               std::runtime_error);
+}
+
+TEST(Netlist, ValidateCatchesUndrivenNet) {
+  Netlist nl(lib());
+  const NetId floating = nl.add_net("floating");
+  const NetId out = nl.add_net("out");
+  nl.add_gate("u1", lib().get("INV_X1"), {floating, out});
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(Netlist, NetPinCapSumsSinkPins) {
+  const Netlist nl = tiny();
+  const NetId mid = nl.find_net("mid");
+  const Cell& inv = lib().get("INV_X1");
+  EXPECT_DOUBLE_EQ(nl.net_pin_cap(mid), inv.pins()[inv.pin_index("A")].cap);
+}
+
+TEST(Netlist, ReconnectPinMovesSink) {
+  Netlist nl = tiny();
+  const NetId mid = nl.find_net("mid");
+  const NetId alt = nl.add_net("alt");
+  // Give alt a driver so validation stays happy conceptually.
+  nl.reconnect_pin(1, 0, alt);  // u2 input A -> alt
+  EXPECT_TRUE(nl.net(mid).sinks.empty());
+  ASSERT_EQ(nl.net(alt).sinks.size(), 1u);
+  EXPECT_EQ(nl.net(alt).sinks[0].gate, 1u);
+  EXPECT_EQ(nl.gate(1).pin_nets[0], alt);
+}
+
+TEST(Netlist, SequentialGateListing) {
+  Netlist nl(lib());
+  const NetId d = nl.add_net("d");
+  const NetId ck = nl.add_net("ck", NetKind::kClock);
+  const NetId q = nl.add_net("q");
+  nl.mark_primary_input(d);
+  nl.mark_primary_input(ck);
+  nl.set_clock_net(ck);
+  nl.add_gate("ff", lib().get("DFF_X1"), {d, ck, q});
+  nl.mark_primary_output(q);
+  EXPECT_EQ(nl.sequential_gates().size(), 1u);
+  EXPECT_EQ(nl.clock_net(), ck);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+}  // namespace
+}  // namespace xtalk::netlist

@@ -1,0 +1,103 @@
+#include "sta/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/crosstalk_sta.hpp"
+#include "netlist/embedded_benchmarks.hpp"
+#include "sta/report.hpp"
+
+namespace xtalk::sta {
+namespace {
+
+const core::Design& bus() {
+  static const core::Design d =
+      core::Design::from_bench(netlist::coupled_bus_bench());
+  return d;
+}
+
+TEST(Noise, WorstGlitchPositiveOnCoupledDesign) {
+  const double g = worst_glitch(bus().view());
+  EXPECT_GT(g, 0.0);
+  EXPECT_LT(g, bus().tech().vdd);
+}
+
+TEST(Noise, StaticScanSortedAndConsistent) {
+  NoiseOptions opt;
+  opt.margin = 0.05;  // low threshold so the small bus reports something
+  const auto violations = analyze_noise(bus().view(), nullptr, opt);
+  ASSERT_FALSE(violations.empty());
+  for (std::size_t i = 1; i < violations.size(); ++i) {
+    EXPECT_GE(violations[i - 1].glitch, violations[i].glitch);
+  }
+  for (const NoiseViolation& v : violations) {
+    EXPECT_GE(v.glitch, v.threshold);
+    EXPECT_GT(v.c_active, 0.0);
+    EXPECT_GT(v.aggressors, 0u);
+    // Divider consistency.
+    EXPECT_NEAR(v.glitch,
+                bus().tech().vdd * v.c_active / (v.c_active + v.c_ground),
+                1e-9);
+  }
+}
+
+TEST(Noise, TimedScanNeverExceedsStatic) {
+  const StaResult timing = bus().run(AnalysisMode::kOneStep);
+  NoiseOptions stat;
+  stat.margin = 0.01;
+  NoiseOptions timed = stat;
+  timed.use_timing = true;
+  const auto s = analyze_noise(bus().view(), nullptr, stat);
+  const auto t = analyze_noise(bus().view(), &timing, timed);
+  // Map static glitches by victim for comparison.
+  std::map<netlist::NetId, double> static_glitch;
+  for (const NoiseViolation& v : s) static_glitch[v.victim] = v.glitch;
+  for (const NoiseViolation& v : t) {
+    ASSERT_TRUE(static_glitch.count(v.victim));
+    EXPECT_LE(v.glitch, static_glitch[v.victim] + 1e-12);
+  }
+}
+
+TEST(Noise, HighMarginReportsNothing) {
+  NoiseOptions opt;
+  opt.margin = 10.0;
+  EXPECT_TRUE(analyze_noise(bus().view(), nullptr, opt).empty());
+}
+
+TEST(ClockSkew, BalancedTreeHasBoundedSkew) {
+  const core::Design d =
+      core::Design::generate(netlist::scaled_spec("skew", 5, 2400, 12));
+  const StaResult r = d.run(AnalysisMode::kBestCase);
+  const ClockSkewReport rep = compute_clock_skew(r, d.netlist());
+  EXPECT_EQ(rep.flip_flops, d.netlist().sequential_gates().size());
+  EXPECT_GT(rep.min_insertion, 0.0);
+  EXPECT_GE(rep.skew, 0.0);
+  // A balanced tree keeps skew well below the insertion delay itself.
+  EXPECT_LT(rep.skew, rep.max_insertion);
+}
+
+TEST(ClockSkew, NoFlipFlopsGivesZeroReport) {
+  const core::Design d = core::Design::from_bench(netlist::c17_bench());
+  const StaResult r = d.run(AnalysisMode::kBestCase);
+  const ClockSkewReport rep = compute_clock_skew(r, d.netlist());
+  EXPECT_EQ(rep.flip_flops, 0u);
+  EXPECT_DOUBLE_EQ(rep.skew, 0.0);
+}
+
+TEST(CouplingImpactReport, SortedAndNonNegative) {
+  const StaResult best = bus().run(AnalysisMode::kBestCase);
+  const StaResult worst = bus().run(AnalysisMode::kWorstCase);
+  const auto impact = coupling_impact(worst, best);
+  ASSERT_FALSE(impact.empty());
+  for (std::size_t i = 1; i < impact.size(); ++i) {
+    EXPECT_GE(impact[i - 1].delta, impact[i].delta);
+  }
+  for (const CouplingImpact& ci : impact) {
+    EXPECT_GE(ci.delta, -1e-13);
+  }
+  EXPECT_GT(impact.front().delta, 0.0);
+}
+
+}  // namespace
+}  // namespace xtalk::sta

@@ -1,0 +1,96 @@
+#include "sta/path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/crosstalk_sta.hpp"
+#include "netlist/embedded_benchmarks.hpp"
+
+namespace xtalk::sta {
+namespace {
+
+struct Fixture {
+  core::Design design;
+  StaResult result;
+
+  Fixture()
+      : design(core::Design::from_bench(netlist::s27_bench())),
+        result(design.run(AnalysisMode::kOneStep)) {}
+};
+
+TEST(Path, StartsAtPrimaryInputEndsAtCriticalEndpoint) {
+  Fixture f;
+  const auto path = extract_critical_path(f.result);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front().driver, netlist::kNoGate);
+  EXPECT_TRUE(f.design.netlist().net(path.front().net).is_primary_input);
+  EXPECT_EQ(path.back().net, f.result.critical.net);
+  EXPECT_EQ(path.back().rising, f.result.critical.rising);
+}
+
+TEST(Path, ArrivalsMonotoneAlongPath) {
+  Fixture f;
+  const auto path = extract_critical_path(f.result);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_GT(path[i].arrival, path[i - 1].arrival);
+  }
+}
+
+TEST(Path, ConsecutiveStepsPhysicallyConnected) {
+  Fixture f;
+  const auto& nl = f.design.netlist();
+  const auto path = extract_critical_path(f.result);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const netlist::Gate& g = nl.gate(path[i].driver);
+    // The driver of step i outputs step i's net...
+    EXPECT_EQ(g.pin_nets[g.cell->output_pin()], path[i].net);
+    // ...and one of its timed inputs is step i-1's net.
+    bool connected = false;
+    for (std::uint32_t p = 0; p < g.pin_nets.size(); ++p) {
+      if (g.pin_nets[p] == path[i - 1].net &&
+          netlist::is_timed_input(*g.cell, p)) {
+        connected = true;
+      }
+    }
+    EXPECT_TRUE(connected) << "step " << i;
+  }
+}
+
+TEST(Path, LaunchGoesThroughFlipFlopClock) {
+  // s27's longest path must start at the clock and pass a DFF (all logic
+  // sources are FF outputs or slow-to-arrive PIs; with equal PI timing the
+  // FF CK->Q chain dominates). At minimum, the path source must be a
+  // primary input of the design.
+  Fixture f;
+  const auto path = extract_critical_path(f.result);
+  bool has_ff = false;
+  for (const PathStep& s : path) {
+    if (s.driver != netlist::kNoGate &&
+        f.design.netlist().gate(s.driver).cell->is_sequential()) {
+      has_ff = true;
+    }
+  }
+  EXPECT_TRUE(has_ff);
+}
+
+TEST(Path, FormatMentionsEveryNet) {
+  Fixture f;
+  const auto path = extract_critical_path(f.result);
+  const std::string text = format_path(path, f.design.netlist());
+  for (const PathStep& s : path) {
+    EXPECT_NE(text.find(f.design.netlist().net(s.net).name),
+              std::string::npos);
+  }
+}
+
+TEST(Path, ExtractForArbitraryEndpoint) {
+  Fixture f;
+  for (const EndpointArrival& ep : f.result.endpoints) {
+    const auto path = extract_path(f.result, ep);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.back().net, ep.net);
+    EXPECT_EQ(path.front().driver, netlist::kNoGate);
+  }
+}
+
+}  // namespace
+}  // namespace xtalk::sta

@@ -1,0 +1,114 @@
+#include "layout/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+#include "netlist/circuit_generator.hpp"
+#include "netlist/embedded_benchmarks.hpp"
+
+namespace xtalk::layout {
+namespace {
+
+using netlist::CellLibrary;
+
+std::pair<netlist::Netlist, netlist::LevelizedDag> make_design(std::size_t n) {
+  netlist::Netlist nl = netlist::generate_circuit(
+      netlist::scaled_spec("t", 5, n, 10), CellLibrary::half_micron());
+  netlist::LevelizedDag dag = netlist::levelize(nl);
+  return {std::move(nl), std::move(dag)};
+}
+
+TEST(Placement, AllGatesInsideChip) {
+  auto [nl, dag] = make_design(600);
+  const Placement p(nl, dag);
+  for (netlist::GateId g = 0; g < nl.num_gates(); ++g) {
+    const GatePlace& gp = p.gate(g);
+    EXPECT_GE(gp.x, 0.0);
+    EXPECT_LT(gp.x, p.chip_width());
+    EXPECT_GE(gp.y, 0.0);
+    EXPECT_LT(gp.y, p.chip_height());
+    EXPECT_LT(gp.row, p.num_rows());
+  }
+}
+
+TEST(Placement, RowsMatchYCoordinates) {
+  auto [nl, dag] = make_design(400);
+  PlacementOptions opt;
+  const Placement p(nl, dag, opt);
+  for (netlist::GateId g = 0; g < nl.num_gates(); ++g) {
+    EXPECT_DOUBLE_EQ(p.gate(g).y,
+                     static_cast<double>(p.gate(g).row) * opt.row_height);
+  }
+}
+
+TEST(Placement, NoOverlapsWithinRow) {
+  auto [nl, dag] = make_design(500);
+  PlacementOptions opt;
+  const Placement p(nl, dag, opt);
+  // Collect intervals per row and check pairwise disjointness.
+  std::vector<std::vector<std::pair<double, double>>> rows(p.num_rows());
+  for (netlist::GateId g = 0; g < nl.num_gates(); ++g) {
+    const double w = Placement::cell_sites(nl.gate(g)) * opt.site_pitch;
+    rows[p.gate(g).row].push_back({p.gate(g).x, p.gate(g).x + w});
+  }
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end());
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      EXPECT_GE(row[i].first, row[i - 1].second - 1e-12);
+    }
+  }
+}
+
+TEST(Placement, TopologicalNeighborsAreClose) {
+  auto [nl, dag] = make_design(800);
+  const Placement p(nl, dag);
+  // Average connected-pair distance must beat the random-pair expectation
+  // (~half the chip span); the snake fill provides that locality.
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    const auto& net = nl.net(n);
+    if (net.driver.gate == netlist::kNoGate) continue;
+    for (const auto& s : net.sinks) {
+      const GatePlace& a = p.gate(net.driver.gate);
+      const GatePlace& b = p.gate(s.gate);
+      sum += std::abs(a.x - b.x) + std::abs(a.y - b.y);
+      ++count;
+    }
+  }
+  const double avg = sum / static_cast<double>(count);
+  EXPECT_LT(avg, 0.5 * (p.chip_width() + p.chip_height()) / 2.0);
+}
+
+TEST(Placement, PrimaryInputPadsOnLeftEdge) {
+  netlist::Netlist nl = netlist::parse_bench(netlist::s27_bench(),
+                                             CellLibrary::half_micron());
+  const netlist::LevelizedDag dag = netlist::levelize(nl);
+  const Placement p(nl, dag);
+  for (const netlist::NetId pi : nl.primary_inputs()) {
+    const GatePlace gp = p.net_driver_position(nl, pi);
+    EXPECT_DOUBLE_EQ(gp.x, 0.0);
+    EXPECT_GE(gp.y, 0.0);
+    EXPECT_LE(gp.y, p.chip_height());
+  }
+}
+
+TEST(Placement, CellSitesScaleWithTransistors) {
+  const CellLibrary& lib = CellLibrary::half_micron();
+  netlist::Netlist nl(lib);
+  const auto a = nl.add_net("a");
+  const auto b = nl.add_net("b");
+  const auto c = nl.add_net("c");
+  const auto y1 = nl.add_net("y1");
+  const auto y2 = nl.add_net("y2");
+  nl.mark_primary_input(a);
+  nl.mark_primary_input(b);
+  nl.mark_primary_input(c);
+  const auto inv = nl.add_gate("i", lib.get("INV_X1"), {a, y1});
+  const auto nand3 = nl.add_gate("n", lib.get("NAND3_X1"), {a, b, c, y2});
+  EXPECT_LT(Placement::cell_sites(nl.gate(inv)),
+            Placement::cell_sites(nl.gate(nand3)));
+}
+
+}  // namespace
+}  // namespace xtalk::layout

@@ -1,0 +1,107 @@
+#include "util/pwl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace xtalk::util {
+namespace {
+
+TEST(Pwl, ConstantEvaluatesEverywhere) {
+  const Pwl w = Pwl::constant(1.5);
+  EXPECT_DOUBLE_EQ(w.value_at(-10.0), 1.5);
+  EXPECT_DOUBLE_EQ(w.value_at(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(w.value_at(42.0), 1.5);
+}
+
+TEST(Pwl, RampInterpolatesLinearly) {
+  const Pwl w = Pwl::ramp(1.0, 0.0, 3.0, 2.0);
+  EXPECT_DOUBLE_EQ(w.value_at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value_at(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(w.value_at(3.0), 2.0);
+  // Constant extrapolation on both sides.
+  EXPECT_DOUBLE_EQ(w.value_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value_at(5.0), 2.0);
+}
+
+TEST(Pwl, TimeAtValueRising) {
+  const Pwl w = Pwl::ramp(0.0, 0.0, 2.0, 4.0);
+  EXPECT_DOUBLE_EQ(w.time_at_value(2.0, true), 1.0);
+  EXPECT_DOUBLE_EQ(w.time_at_value(4.0, true), 2.0);
+  EXPECT_TRUE(std::isinf(w.time_at_value(5.0, true)));
+}
+
+TEST(Pwl, TimeAtValueFalling) {
+  const Pwl w = Pwl::ramp(0.0, 3.0, 3.0, 0.0);
+  EXPECT_DOUBLE_EQ(w.time_at_value(1.0, false), 2.0);
+  EXPECT_TRUE(std::isinf(w.time_at_value(-1.0, false)));
+}
+
+TEST(Pwl, TimeAtValueStartsBeyond) {
+  const Pwl w = Pwl::ramp(0.0, 1.0, 1.0, 2.0);
+  // Already above 0.5 at the start.
+  EXPECT_TRUE(std::isinf(-w.time_at_value(0.5, true)));
+}
+
+TEST(Pwl, AppendMergesCollinearPoints) {
+  Pwl w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 1.0);
+  w.append(2.0, 2.0);  // collinear with the previous two
+  w.append(3.0, 3.0);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.value_at(1.7), 1.7);
+}
+
+TEST(Pwl, AppendKeepsCorners) {
+  Pwl w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 1.0);
+  w.append(2.0, 1.0);
+  w.append(3.0, 4.0);
+  EXPECT_EQ(w.size(), 4u);
+}
+
+TEST(Pwl, ShiftMovesTimeOnly) {
+  const Pwl w = Pwl::ramp(0.0, 0.0, 1.0, 1.0).shifted(2.5);
+  EXPECT_DOUBLE_EQ(w.front().t, 2.5);
+  EXPECT_DOUBLE_EQ(w.back().t, 3.5);
+  EXPECT_DOUBLE_EQ(w.value_at(3.0), 0.5);
+}
+
+TEST(Pwl, ClipFromValueStartsExactlyThere) {
+  const Pwl w = Pwl::ramp(0.0, 0.0, 2.0, 2.0);
+  const Pwl c = w.clipped_from_value(0.5, true);
+  EXPECT_DOUBLE_EQ(c.front().t, 0.5);
+  EXPECT_DOUBLE_EQ(c.front().v, 0.5);
+  EXPECT_DOUBLE_EQ(c.back().v, 2.0);
+}
+
+TEST(Pwl, MonotoneDetection) {
+  EXPECT_TRUE(Pwl::ramp(0.0, 0.0, 1.0, 1.0).is_monotone(true));
+  EXPECT_FALSE(Pwl::ramp(0.0, 0.0, 1.0, 1.0).is_monotone(false));
+  Pwl w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 2.0);
+  w.append(2.0, 1.0);
+  EXPECT_FALSE(w.is_monotone(true));
+}
+
+TEST(Pwl, MinMaxValues) {
+  Pwl w;
+  w.append(0.0, 1.0);
+  w.append(1.0, -2.0);
+  w.append(2.0, 5.0);
+  EXPECT_DOUBLE_EQ(w.min_value(), -2.0);
+  EXPECT_DOUBLE_EQ(w.max_value(), 5.0);
+}
+
+TEST(Pwl, StepHasRequestedRiseTime) {
+  const Pwl w = Pwl::step(1.0, 0.0, 3.3, 0.1);
+  EXPECT_DOUBLE_EQ(w.value_at(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value_at(1.1), 3.3);
+  EXPECT_NEAR(w.value_at(1.05), 1.65, 1e-12);
+}
+
+}  // namespace
+}  // namespace xtalk::util

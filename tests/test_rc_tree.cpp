@@ -1,0 +1,151 @@
+#include "extract/rc_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/crosstalk_sta.hpp"
+#include "extract/elmore.hpp"
+#include "netlist/embedded_benchmarks.hpp"
+#include "sim/measure.hpp"
+#include "sim/transient.hpp"
+
+namespace xtalk::extract {
+namespace {
+
+/// Hand-built tree helpers.
+RcTree line(double r, double c, int pieces) {
+  RcTree t;
+  t.nodes.push_back(RcTreeNode{});
+  std::size_t cur = 0;
+  for (int i = 0; i < pieces; ++i) {
+    RcTreeNode n;
+    n.parent = static_cast<std::ptrdiff_t>(cur);
+    n.res_to_parent = r / pieces;
+    n.cap = c / pieces / 2.0;
+    t.nodes[cur].cap += c / pieces / 2.0;
+    t.nodes.push_back(n);
+    cur = t.nodes.size() - 1;
+  }
+  t.sinks.push_back({cur, {}});
+  return t;
+}
+
+TEST(RcTree, SinglePieceMatchesPiModel) {
+  const RcTree t = line(1000.0, 100e-15, 1);
+  const auto d = elmore_delays(t, {20e-15});
+  // R * (C/2 + Cl)
+  EXPECT_NEAR(d[0], 1000.0 * (50e-15 + 20e-15), 1e-18);
+}
+
+TEST(RcTree, ManyPiecesApproachDistributedLimit) {
+  // Distributed RC line Elmore: R*C/2 + R*Cl.
+  const RcTree t = line(2000.0, 200e-15, 64);
+  const auto d = elmore_delays(t, {10e-15});
+  const double expected = elmore_distributed_line(2000.0, 200e-15, 10e-15);
+  EXPECT_NEAR(d[0], expected, expected * 0.02);
+}
+
+TEST(RcTree, SharedTrunkOrdersSinkDelays) {
+  // Two sinks on the same side: the nearer one must be faster, and both
+  // carry the shared trunk's full downstream load.
+  core::Design design = core::Design::from_bench(netlist::s27_bench());
+  const netlist::Netlist& nl = design.netlist();
+  const device::Technology& tech = design.tech();
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    const RcTree t = build_rc_tree(nl, design.placement(), tech, n);
+    ASSERT_EQ(t.sinks.size(), nl.net(n).sinks.size());
+    const auto d = elmore_delays(
+        t, std::vector<double>(t.sinks.size(), 0.0));
+    for (const double v : d) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(RcTree, ElmoreUpperBoundsSimulatedDelay) {
+  // Elmore >= 50% step delay for RC trees (the classic bound the paper
+  // leans on: "known to overestimate the delay ... in the worst-case sense
+  // this is acceptable"). Check on a 3-branch tree against the MNA engine.
+  RcTree t;
+  t.nodes.push_back(RcTreeNode{});
+  auto piece = [&](std::size_t from, double r, double c) {
+    RcTreeNode n;
+    n.parent = static_cast<std::ptrdiff_t>(from);
+    n.res_to_parent = r;
+    n.cap = c / 2.0;
+    t.nodes[from].cap += c / 2.0;
+    t.nodes.push_back(n);
+    return t.nodes.size() - 1;
+  };
+  const std::size_t trunk = piece(0, 800.0, 60e-15);
+  const std::size_t s1 = piece(trunk, 500.0, 30e-15);
+  const std::size_t s2 = piece(trunk, 1500.0, 90e-15);
+  t.sinks.push_back({s1, {}});
+  t.sinks.push_back({s2, {}});
+  const auto elmore = elmore_delays(t, {5e-15, 5e-15});
+
+  // The same tree in the transient simulator.
+  sim::Circuit ckt;
+  const sim::NodeId src = ckt.add_node("src");
+  ckt.add_vsource(src, util::Pwl::step(0.05e-9, 0.0, 1.0, 1e-12));
+  std::vector<sim::NodeId> node(t.nodes.size());
+  node[0] = src;
+  for (std::size_t i = 1; i < t.nodes.size(); ++i) {
+    node[i] = ckt.add_node("n" + std::to_string(i));
+    ckt.add_resistor(node[static_cast<std::size_t>(t.nodes[i].parent)],
+                     node[i], t.nodes[i].res_to_parent);
+  }
+  for (std::size_t i = 1; i < t.nodes.size(); ++i) {
+    ckt.add_capacitor(node[i], ckt.ground(), t.nodes[i].cap);
+  }
+  ckt.add_capacitor(node[s1], ckt.ground(), 5e-15);
+  ckt.add_capacitor(node[s2], ckt.ground(), 5e-15);
+  sim::TransientOptions opt;
+  opt.tstop = 3e-9;
+  opt.dt = 1e-12;
+  const auto tr = sim::simulate(ckt, device::DeviceTableSet::half_micron(), opt);
+  for (std::size_t k = 0; k < t.sinks.size(); ++k) {
+    const double t50 = sim::first_crossing(tr.waveform(node[t.sinks[k].node]),
+                                           0.5, true) -
+                       0.05e-9;
+    EXPECT_GE(elmore[k], t50 * 0.99) << k;        // Elmore is an upper bound
+    EXPECT_LE(elmore[k], t50 * 3.0 + 10e-12) << k;  // but not absurdly loose
+  }
+}
+
+TEST(RcTree, ExtractionFillsTreeElmore) {
+  core::Design design = core::Design::from_bench(netlist::s27_bench());
+  std::size_t with_tree = 0;
+  for (netlist::NetId n = 0; n < design.netlist().num_nets(); ++n) {
+    for (const SinkWire& w : design.parasitics().net(n).sink_wires) {
+      if (w.wire_elmore >= 0.0) ++with_tree;
+      EXPECT_GE(w.resistance, 0.0);
+    }
+  }
+  EXPECT_GT(with_tree, 10u);
+}
+
+TEST(RcTree, SharedTrunkCheaperThanIndependentRoutes) {
+  // For a multi-fanout net whose sinks lie on the same side, tree Elmore
+  // of the near sink must be below the independent-L-route pi estimate
+  // (the trunk is shared, not duplicated).
+  core::Design design =
+      core::Design::generate(netlist::scaled_spec("rct", 77, 400, 8));
+  const netlist::Netlist& nl = design.netlist();
+  std::size_t checked = 0;
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    const auto& wires = design.parasitics().net(n).sink_wires;
+    if (wires.size() < 2) continue;
+    const RcTree tree =
+        build_rc_tree(nl, design.placement(), design.tech(), n);
+    const double tree_cap = tree.total_cap();
+    for (const SinkWire& w : wires) {
+      if (w.wire_elmore < 0.0) continue;
+      // Tree wire Elmore never exceeds (total path R) x (tree total cap):
+      // every edge resistance sees at most the whole tree downstream.
+      EXPECT_LE(w.wire_elmore, w.resistance * tree_cap + 1e-18);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20u);
+}
+
+}  // namespace
+}  // namespace xtalk::extract

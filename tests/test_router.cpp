@@ -1,0 +1,117 @@
+#include "layout/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/circuit_generator.hpp"
+
+namespace xtalk::layout {
+namespace {
+
+struct Fixture {
+  netlist::Netlist nl;
+  netlist::LevelizedDag dag;
+  Placement place;
+  RoutedDesign routed;
+
+  explicit Fixture(std::size_t cells)
+      : nl(netlist::generate_circuit(netlist::scaled_spec("t", 9, cells, 9),
+                                     netlist::CellLibrary::half_micron())),
+        dag(netlist::levelize(nl)),
+        place(nl, dag),
+        routed(nl, place) {}
+};
+
+TEST(Router, EveryConnectedNetIsRouted) {
+  Fixture f(400);
+  for (netlist::NetId n = 0; n < f.nl.num_nets(); ++n) {
+    const auto& net = f.nl.net(n);
+    if (net.sinks.empty()) continue;
+    EXPECT_EQ(f.routed.net(n).sinks.size(), net.sinks.size())
+        << f.nl.net(n).name;
+  }
+}
+
+TEST(Router, WireLengthAtLeastManhattan) {
+  Fixture f(300);
+  for (netlist::NetId n = 0; n < f.nl.num_nets(); ++n) {
+    const auto& net = f.nl.net(n);
+    if (net.driver.gate == netlist::kNoGate) continue;
+    const GatePlace& d = f.place.gate(net.driver.gate);
+    for (const SinkRoute& sr : f.routed.net(n).sinks) {
+      const GatePlace& s = f.place.gate(sr.sink.gate);
+      const double manhattan = std::abs(d.x - s.x) + std::abs(d.y - s.y);
+      EXPECT_NEAR(sr.wire_length, manhattan, 1e-9);
+    }
+  }
+}
+
+TEST(Router, NoSameTrackOverlaps) {
+  Fixture f(500);
+  // Group by (dir, channel, track) and verify interval disjointness: the
+  // guarantee the extractor's two-pointer sweep relies on.
+  std::map<std::tuple<bool, std::uint32_t, std::uint32_t>,
+           std::vector<std::pair<double, double>>>
+      tracks;
+  for (const RouteSegment& s : f.routed.segments()) {
+    tracks[{s.horizontal, s.channel, s.track}].push_back({s.lo, s.hi});
+  }
+  for (auto& [key, spans] : tracks) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+      EXPECT_GE(spans[i].first, spans[i - 1].second - 1e-12);
+    }
+  }
+}
+
+TEST(Router, SegmentsHavePositiveLength) {
+  Fixture f(300);
+  for (const RouteSegment& s : f.routed.segments()) {
+    EXPECT_GT(s.length(), 0.0);
+  }
+}
+
+TEST(Router, TotalLengthConsistent) {
+  Fixture f(300);
+  double sum = 0.0;
+  for (const RouteSegment& s : f.routed.segments()) sum += s.length();
+  EXPECT_NEAR(sum, f.routed.total_wire_length(), 1e-9);
+  EXPECT_GT(sum, 0.0);
+}
+
+TEST(Router, MultiFanoutTrunkShared) {
+  // Same-net overlapping spans in one channel are merged, so a net's
+  // horizontal footprint in its driver row never double-counts.
+  Fixture f(400);
+  for (netlist::NetId n = 0; n < f.nl.num_nets(); ++n) {
+    std::map<std::pair<std::uint32_t, bool>, std::vector<std::pair<double, double>>>
+        by_channel;
+    for (const std::uint32_t si : f.routed.net(n).segments) {
+      const RouteSegment& s = f.routed.segments()[si];
+      by_channel[{s.channel, s.horizontal}].push_back({s.lo, s.hi});
+    }
+    for (auto& [ch, spans] : by_channel) {
+      std::sort(spans.begin(), spans.end());
+      for (std::size_t i = 1; i < spans.size(); ++i) {
+        EXPECT_GE(spans[i].first, spans[i - 1].second - 1e-12)
+            << "net " << f.nl.net(n).name << " overlaps itself";
+      }
+    }
+  }
+}
+
+TEST(Router, ParallelTracksExist) {
+  // The whole point of the substrate: unrelated nets sharing a channel on
+  // adjacent tracks. A generated circuit must produce plenty of them.
+  Fixture f(600);
+  std::size_t adjacent_pairs = 0;
+  std::map<std::pair<bool, std::uint32_t>, std::uint32_t> max_track;
+  for (const RouteSegment& s : f.routed.segments()) {
+    auto& m = max_track[{s.horizontal, s.channel}];
+    m = std::max(m, s.track);
+  }
+  for (const auto& [key, m] : max_track) adjacent_pairs += m;
+  EXPECT_GT(adjacent_pairs, 10u);
+}
+
+}  // namespace
+}  // namespace xtalk::layout

@@ -1,0 +1,102 @@
+#include "sta/sdf_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <regex>
+#include <sstream>
+
+#include "core/crosstalk_sta.hpp"
+#include "netlist/embedded_benchmarks.hpp"
+
+namespace xtalk::sta {
+namespace {
+
+struct Fixture {
+  core::Design design;
+  std::string sdf;
+
+  Fixture() : design(core::Design::from_bench(netlist::s27_bench())) {
+    sdf = write_sdf(design.view(), delaycalc::NldmLibrary::half_micron());
+  }
+};
+
+TEST(Sdf, HeaderStructure) {
+  Fixture f;
+  EXPECT_EQ(f.sdf.rfind("(DELAYFILE", 0), 0u);
+  EXPECT_NE(f.sdf.find("(SDFVERSION \"3.0\")"), std::string::npos);
+  EXPECT_NE(f.sdf.find("(TIMESCALE 1ns)"), std::string::npos);
+  EXPECT_NE(f.sdf.find("(DIVIDER /)"), std::string::npos);
+}
+
+TEST(Sdf, BalancedParentheses) {
+  Fixture f;
+  int depth = 0;
+  for (const char c : f.sdf) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(Sdf, EveryGateGetsACell) {
+  Fixture f;
+  for (netlist::GateId g = 0; g < f.design.netlist().num_gates(); ++g) {
+    EXPECT_NE(f.sdf.find("(INSTANCE " + f.design.netlist().gate(g).name + ")"),
+              std::string::npos)
+        << f.design.netlist().gate(g).name;
+  }
+}
+
+TEST(Sdf, InterconnectPerSink) {
+  Fixture f;
+  std::size_t expected = 0;
+  for (netlist::NetId n = 0; n < f.design.netlist().num_nets(); ++n) {
+    expected += f.design.parasitics().net(n).sink_wires.size();
+  }
+  std::size_t count = 0;
+  for (std::size_t p = f.sdf.find("(INTERCONNECT"); p != std::string::npos;
+       p = f.sdf.find("(INTERCONNECT", p + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, expected);
+}
+
+TEST(Sdf, SequentialArcsUsePosedge) {
+  Fixture f;
+  EXPECT_NE(f.sdf.find("(IOPATH (posedge CK) Q"), std::string::npos);
+}
+
+TEST(Sdf, DelaysArePositiveNanoseconds) {
+  Fixture f;
+  // Scan every (x:y:z) value triple on IOPATH lines.
+  const std::regex triple(R"(\(([0-9.eE+-]+):([0-9.eE+-]+):([0-9.eE+-]+)\))");
+  std::istringstream lines(f.sdf);
+  std::string line;
+  std::size_t checked = 0;
+  while (std::getline(lines, line)) {
+    if (line.find("(IOPATH") == std::string::npos) continue;
+    for (std::sregex_iterator it(line.begin(), line.end(), triple), end;
+         it != end; ++it) {
+      const double lo = std::stod((*it)[1]);
+      const double hi = std::stod((*it)[3]);
+      EXPECT_GT(lo, 0.0);
+      EXPECT_LT(hi, 10.0);  // ns
+      EXPECT_DOUBLE_EQ(lo, hi);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20u);
+}
+
+TEST(Sdf, NominalSlewChangesValues) {
+  Fixture f;
+  SdfOptions slow;
+  slow.nominal_slew = 0.8e-9;
+  const std::string sdf2 =
+      write_sdf(f.design.view(), delaycalc::NldmLibrary::half_micron(), slow);
+  EXPECT_NE(f.sdf, sdf2);
+}
+
+}  // namespace
+}  // namespace xtalk::sta

@@ -1,0 +1,127 @@
+#include "extract/spef.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/crosstalk_sta.hpp"
+#include "netlist/embedded_benchmarks.hpp"
+
+namespace xtalk::extract {
+namespace {
+
+struct Fixture {
+  core::Design design;
+  Fixture() : design(core::Design::from_bench(netlist::s27_bench())) {}
+};
+
+TEST(Spef, WriterEmitsHeaderAndNets) {
+  Fixture f;
+  const std::string spef = write_spef(f.design.netlist(), f.design.parasitics());
+  EXPECT_NE(spef.find("*SPEF \"IEEE 1481-1998\""), std::string::npos);
+  EXPECT_NE(spef.find("*C_UNIT 1 FF"), std::string::npos);
+  for (netlist::NetId n = 0; n < f.design.netlist().num_nets(); ++n) {
+    EXPECT_NE(spef.find("*D_NET " + f.design.netlist().net(n).name),
+              std::string::npos);
+  }
+  EXPECT_NE(spef.find("*RES"), std::string::npos);
+}
+
+TEST(Spef, RoundTripPreservesCouplingExactly) {
+  Fixture f;
+  const Parasitics& orig = f.design.parasitics();
+  const std::string spef = write_spef(f.design.netlist(), orig);
+  const Parasitics read = read_spef(spef, f.design.netlist());
+  ASSERT_EQ(read.coupling_pairs().size(), orig.coupling_pairs().size());
+  EXPECT_NEAR(read.total_coupling_cap(), orig.total_coupling_cap(),
+              orig.total_coupling_cap() * 1e-6 + 1e-20);
+  // Neighbour views agree per net.
+  for (netlist::NetId n = 0; n < f.design.netlist().num_nets(); ++n) {
+    EXPECT_NEAR(read.net(n).total_coupling_cap(),
+                orig.net(n).total_coupling_cap(),
+                orig.net(n).total_coupling_cap() * 1e-6 + 1e-20);
+  }
+}
+
+TEST(Spef, RoundTripPreservesResistanceAndSinkOrder) {
+  Fixture f;
+  const Parasitics& orig = f.design.parasitics();
+  const std::string spef = write_spef(f.design.netlist(), orig);
+  const Parasitics read = read_spef(spef, f.design.netlist());
+  for (netlist::NetId n = 0; n < f.design.netlist().num_nets(); ++n) {
+    ASSERT_EQ(read.net(n).sink_wires.size(), orig.net(n).sink_wires.size());
+    for (std::size_t k = 0; k < orig.net(n).sink_wires.size(); ++k) {
+      const SinkWire& a = orig.net(n).sink_wires[k];
+      const SinkWire& b = read.net(n).sink_wires[k];
+      EXPECT_TRUE(a.sink == b.sink);
+      EXPECT_NEAR(b.resistance, a.resistance, a.resistance * 1e-6 + 1e-9);
+    }
+  }
+}
+
+TEST(Spef, RoundTripIsIdempotent) {
+  // After one read/write cycle re-lumps the capacitance, further cycles
+  // are a textual fixed point (up to the first cycle's last-digit parse
+  // rounding, hence generation 2 vs generation 3).
+  Fixture f;
+  const std::string s1 = write_spef(f.design.netlist(), f.design.parasitics());
+  const Parasitics p1 = read_spef(s1, f.design.netlist());
+  const std::string s2 = write_spef(f.design.netlist(), p1);
+  const Parasitics p2 = read_spef(s2, f.design.netlist());
+  const std::string s3 = write_spef(f.design.netlist(), p2);
+  EXPECT_EQ(s2, s3);
+}
+
+TEST(Spef, WireCapConservedOrConservative) {
+  Fixture f;
+  const Parasitics& orig = f.design.parasitics();
+  const Parasitics read = read_spef(
+      write_spef(f.design.netlist(), orig), f.design.netlist());
+  for (netlist::NetId n = 0; n < f.design.netlist().num_nets(); ++n) {
+    EXPECT_GE(read.net(n).wire_cap, orig.net(n).wire_cap - 1e-20);
+    EXPECT_LE(read.net(n).wire_cap, orig.net(n).wire_cap * 2.0 + 1e-18);
+  }
+}
+
+TEST(Spef, StaDelaysMatchOnRoundTrippedParasitics) {
+  // The end-to-end check: analysis on re-imported parasitics reproduces
+  // the original longest path closely.
+  Fixture f;
+  const Parasitics read = read_spef(
+      write_spef(f.design.netlist(), f.design.parasitics()),
+      f.design.netlist());
+  sta::DesignView v = f.design.view();
+  const double orig =
+      sta::run_sta(v, {}).longest_path_delay;
+  v.parasitics = &read;
+  const double replay = sta::run_sta(v, {}).longest_path_delay;
+  EXPECT_NEAR(replay, orig, orig * 0.02);
+}
+
+TEST(Spef, ReaderRejectsUnknownNet) {
+  Fixture f;
+  EXPECT_THROW(read_spef("*D_NET no_such_net 1.0\n*END\n", f.design.netlist()),
+               std::runtime_error);
+}
+
+TEST(Spef, ReaderRejectsMalformedEntries) {
+  Fixture f;
+  const std::string head = "*D_NET G17 1.0\n*CAP\n";
+  EXPECT_THROW(read_spef(head + "1 G17:0\n*END\n", f.design.netlist()),
+               std::runtime_error);
+  EXPECT_THROW(
+      read_spef("*D_NET G17 1.0\n*RES\n1 G17:0 G17:9 5\n*END\n",
+                f.design.netlist()),
+      std::runtime_error);
+}
+
+TEST(Spef, ReaderHandlesUnits) {
+  Fixture f;
+  const std::string spef =
+      "*C_UNIT 1 PF\n*R_UNIT 1 KOHM\n*D_NET G17 0.001\n*CAP\n"
+      "1 G17:0 0.002\n*END\n";
+  const Parasitics p = read_spef(spef, f.design.netlist());
+  const netlist::NetId g17 = f.design.netlist().find_net("G17");
+  EXPECT_NEAR(p.net(g17).wire_cap, 2e-15, 1e-21);
+}
+
+}  // namespace
+}  // namespace xtalk::extract

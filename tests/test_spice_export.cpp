@@ -1,0 +1,81 @@
+#include "sim/spice_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/transistor_netlist.hpp"
+
+namespace xtalk::sim {
+namespace {
+
+const device::Technology& tech() { return device::Technology::half_micron(); }
+
+Circuit inverter_circuit(NodeId& out) {
+  Circuit ckt;
+  core::TransistorNetlistBuilder b(ckt, tech());
+  const NodeId in = ckt.add_node("in");
+  ckt.add_vsource(in, util::Pwl::ramp(0.0, 0.0, 0.1e-9, 3.3));
+  std::vector<std::optional<NodeId>> pins(2);
+  pins[0] = in;
+  auto inst = b.expand_cell(netlist::CellLibrary::half_micron().get("INV_X1"),
+                            "inv", pins);
+  ckt.add_resistor(in, inst.output, 1e6);  // something to exercise R lines
+  out = inst.output;
+  return ckt;
+}
+
+TEST(SpiceExport, ContainsModelsAndElements) {
+  NodeId out;
+  const Circuit ckt = inverter_circuit(out);
+  TransientOptions opt;
+  opt.dt = 1e-12;
+  opt.tstop = 1e-9;
+  const std::string deck = export_spice(ckt, tech(), opt, "unit test");
+  EXPECT_NE(deck.find("* unit test"), std::string::npos);
+  EXPECT_NE(deck.find(".model nmos_xt nmos"), std::string::npos);
+  EXPECT_NE(deck.find(".model pmos_xt pmos"), std::string::npos);
+  EXPECT_NE(deck.find("M0 "), std::string::npos);
+  EXPECT_NE(deck.find("R0 "), std::string::npos);
+  EXPECT_NE(deck.find("C0 "), std::string::npos);
+  EXPECT_NE(deck.find("pwl("), std::string::npos);
+  EXPECT_NE(deck.find(".tran 1e-12 1e-09"), std::string::npos);
+  EXPECT_NE(deck.find(".end"), std::string::npos);
+}
+
+TEST(SpiceExport, DeviceCountsMatch) {
+  NodeId out;
+  const Circuit ckt = inverter_circuit(out);
+  TransientOptions opt;
+  const std::string deck = export_spice(ckt, tech(), opt);
+  std::size_t mos_lines = 0;
+  std::size_t pos = 0;
+  while ((pos = deck.find("\nM", pos)) != std::string::npos) {
+    ++mos_lines;
+    ++pos;
+  }
+  EXPECT_EQ(mos_lines, ckt.mosfets().size());
+}
+
+TEST(SpiceExport, GroundSpelledAsZero) {
+  NodeId out;
+  const Circuit ckt = inverter_circuit(out);
+  TransientOptions opt;
+  const std::string deck = export_spice(ckt, tech(), opt);
+  // Every capacitor in the fixture references ground.
+  EXPECT_NE(deck.find(" 0 "), std::string::npos);
+  // No raw node ids for ground (node name "0" only).
+  EXPECT_EQ(deck.find("n0_0"), std::string::npos);
+}
+
+TEST(SpiceExport, Level1KpPositive) {
+  // Indirect check through the deck text: kp= must be present and positive.
+  NodeId out;
+  const Circuit ckt = inverter_circuit(out);
+  TransientOptions opt;
+  const std::string deck = export_spice(ckt, tech(), opt);
+  const auto pos = deck.find("kp=");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_NE(deck[pos + 3], '-');
+}
+
+}  // namespace
+}  // namespace xtalk::sim

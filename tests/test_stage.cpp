@@ -1,0 +1,189 @@
+#include "delaycalc/stage.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xtalk::delaycalc {
+namespace {
+
+using netlist::Cell;
+using netlist::CellLibrary;
+
+const CellLibrary& lib() { return CellLibrary::half_micron(); }
+
+TEST(Sensitize, InverterTrivial) {
+  const netlist::Stage& s = lib().get("INV_X1").stages()[0];
+  const auto states = sensitize(s, 0);
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_EQ(states[0], InputState::kSwitching);
+}
+
+TEST(Sensitize, NandSeriesNeighborsConduct) {
+  const netlist::Stage& s = lib().get("NAND3_X1").stages()[0];
+  const auto states = sensitize(s, 1);
+  EXPECT_EQ(states[0], InputState::kHigh);
+  EXPECT_EQ(states[1], InputState::kSwitching);
+  EXPECT_EQ(states[2], InputState::kHigh);
+}
+
+TEST(Sensitize, NorParallelNeighborsCutOff) {
+  const netlist::Stage& s = lib().get("NOR3_X1").stages()[0];
+  const auto states = sensitize(s, 2);
+  EXPECT_EQ(states[0], InputState::kLow);
+  EXPECT_EQ(states[1], InputState::kLow);
+  EXPECT_EQ(states[2], InputState::kSwitching);
+}
+
+TEST(Sensitize, Aoi21MixedStructure) {
+  // pulldown = (A*B) || C. Sensitizing A: B conducts, C off.
+  const netlist::Stage& s = lib().get("AOI21_X1").stages()[0];
+  const auto a = sensitize(s, 0);
+  EXPECT_EQ(a[1], InputState::kHigh);
+  EXPECT_EQ(a[2], InputState::kLow);
+  // Sensitizing C: the A*B branch must be off (both low is how
+  // force_subtree resolves it).
+  const auto c = sensitize(s, 2);
+  EXPECT_EQ(c[0], InputState::kLow);
+  EXPECT_EQ(c[1], InputState::kLow);
+}
+
+TEST(Sensitize, Oai21MixedStructure) {
+  // pulldown = (A+B) * C. Sensitizing C: the A||B parallel must conduct.
+  const netlist::Stage& s = lib().get("OAI21_X1").stages()[0];
+  const auto c = sensitize(s, 2);
+  EXPECT_EQ(c[0], InputState::kHigh);
+  EXPECT_EQ(c[1], InputState::kHigh);
+  // Sensitizing A: B must be off (parallel), C must conduct (series).
+  const auto a = sensitize(s, 0);
+  EXPECT_EQ(a[1], InputState::kLow);
+  EXPECT_EQ(a[2], InputState::kHigh);
+}
+
+TEST(Collapse, InverterWidthsAsDrawn) {
+  const netlist::Stage& s = lib().get("INV_X1").stages()[0];
+  const CollapsedStage c = collapse(s, sensitize(s, 0));
+  EXPECT_NEAR(c.wn_eq, s.wn, 1e-12);
+  EXPECT_NEAR(c.wp_eq, s.wp, 1e-12);
+}
+
+TEST(Collapse, NandSeriesDividesParallelSingles) {
+  const netlist::Stage& s = lib().get("NAND2_X1").stages()[0];
+  const CollapsedStage c = collapse(s, sensitize(s, 0));
+  // Two series NMOS of width wn -> wn/2; pull-up: only the switching PMOS
+  // conducts (neighbor pin high cuts its PMOS).
+  EXPECT_NEAR(c.wn_eq, s.wn / 2.0, 1e-12);
+  EXPECT_NEAR(c.wp_eq, s.wp, 1e-12);
+}
+
+TEST(Collapse, NorDual) {
+  const netlist::Stage& s = lib().get("NOR2_X1").stages()[0];
+  const CollapsedStage c = collapse(s, sensitize(s, 0));
+  // Pull-down: only the switching NMOS (neighbor low); pull-up: two series
+  // PMOS -> wp/2.
+  EXPECT_NEAR(c.wn_eq, s.wn, 1e-12);
+  EXPECT_NEAR(c.wp_eq, s.wp / 2.0, 1e-12);
+}
+
+TEST(Collapse, Nand4StackScalesAsQuarter) {
+  const netlist::Stage& s = lib().get("NAND4_X1").stages()[0];
+  const CollapsedStage c = collapse(s, sensitize(s, 3));
+  EXPECT_NEAR(c.wn_eq, s.wn / 4.0, 1e-12);
+}
+
+TEST(StaticOutput, NandTruthTable) {
+  const netlist::Stage& s = lib().get("NAND2_X1").stages()[0];
+  std::vector<InputState> v(2, InputState::kHigh);
+  EXPECT_FALSE(static_output(s, v));  // 1&1 -> 0
+  v[0] = InputState::kLow;
+  EXPECT_TRUE(static_output(s, v));
+}
+
+TEST(EnumeratePaths, SimpleCellsHaveOnePath) {
+  EXPECT_EQ(enumerate_paths(lib().get("INV_X1"), 0).size(), 1u);
+  EXPECT_EQ(enumerate_paths(lib().get("NAND3_X1"), 1).size(), 1u);
+  const auto buf = enumerate_paths(lib().get("BUF_X1"), 0);
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0].hops.size(), 2u);  // two stages
+}
+
+TEST(EnumeratePaths, XorHasTwoParitiesPerInput) {
+  const Cell& x = lib().get("XOR2_X1");
+  const auto paths = enumerate_paths(x, 0);
+  ASSERT_EQ(paths.size(), 2u);
+  // One direct (odd parity), one via the input inverter (even parity).
+  const bool p0_odd = paths[0].inversions() % 2 == 1;
+  const bool p1_odd = paths[1].inversions() % 2 == 1;
+  EXPECT_NE(p0_odd, p1_odd);
+}
+
+TEST(EnumeratePaths, DffClockPath) {
+  const Cell& ff = lib().get("DFF_X1");
+  const auto paths = enumerate_paths(ff, ff.clock_pin());
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hops.size(), 2u);
+  // D pin drives no stage.
+  EXPECT_TRUE(enumerate_paths(ff, ff.pin_index("D")).empty());
+}
+
+TEST(CollapseDc, SeriesChainBeatsResistiveRule) {
+  const auto& tables = device::DeviceTableSet::half_micron();
+  const netlist::Stage& s = lib().get("NAND2_X1").stages()[0];
+  const auto states = sensitize(s, 0);
+  const CollapsedStage resistive = collapse(s, states);
+  const CollapsedStage dc = collapse_dc(s, states, tables);
+  EXPECT_GT(dc.wn_eq, resistive.wn_eq);       // stack factor > 1/n
+  EXPECT_LT(dc.wn_eq, s.wn);                  // but still a penalty
+  EXPECT_DOUBLE_EQ(dc.wp_eq, resistive.wp_eq);  // single PMOS unaffected
+}
+
+TEST(CollapseDc, NorPullupGetsPmosFactor) {
+  const auto& tables = device::DeviceTableSet::half_micron();
+  const netlist::Stage& s = lib().get("NOR2_X1").stages()[0];
+  const auto states = sensitize(s, 0);
+  const CollapsedStage resistive = collapse(s, states);
+  const CollapsedStage dc = collapse_dc(s, states, tables);
+  EXPECT_GT(dc.wp_eq, resistive.wp_eq);
+  EXPECT_NEAR(dc.wp_eq, s.wp * tables.pmos().stack_factor(2), 1e-12);
+}
+
+TEST(SwingingInternalCap, DependsOnStackPosition) {
+  const device::Technology& tech = device::Technology::half_micron();
+  const netlist::Stage& s = lib().get("NAND2_X1").stages()[0];
+  // Falling output, pull-down drives. Input 0 sits adjacent to the output:
+  // nothing between it and the output. Input 1 (bottom of the stack) has
+  // one device between: two junctions swing.
+  EXPECT_DOUBLE_EQ(swinging_internal_cap(s, 0, /*pullup=*/false, tech), 0.0);
+  EXPECT_NEAR(swinging_internal_cap(s, 1, false, tech),
+              2.0 * tech.junction_cap(s.wn), 1e-20);
+  // The pull-up (opposing for a falling output) is a parallel pair: no
+  // internal nodes either way.
+  EXPECT_DOUBLE_EQ(swinging_internal_cap(s, 0, true, tech), 0.0);
+  EXPECT_DOUBLE_EQ(swinging_internal_cap(s, 1, true, tech), 0.0);
+}
+
+TEST(SwingingInternalCap, NorPullupMirrors) {
+  const device::Technology& tech = device::Technology::half_micron();
+  const netlist::Stage& s = lib().get("NOR2_X1").stages()[0];
+  // Pull-up chain runs VDD -> A -> B -> output (dual of parallel keeps the
+  // child order). Input 0 (A, rail side) has B between itself and the
+  // output; input 1 (B) is output adjacent.
+  EXPECT_NEAR(swinging_internal_cap(s, 0, /*pullup=*/true, tech),
+              2.0 * tech.junction_cap(s.wp), 1e-20);
+  EXPECT_DOUBLE_EQ(swinging_internal_cap(s, 1, true, tech), 0.0);
+}
+
+TEST(StageOutputCap, InternalNodeSeesNextStageGates) {
+  const Cell& buf = lib().get("BUF_X1");
+  const device::Technology& tech = device::Technology::half_micron();
+  const double c0 = stage_output_cap(buf, 0, tech);
+  // At least the second stage's two gate caps.
+  const netlist::Stage& s1 = buf.stages()[1];
+  EXPECT_GT(c0, tech.gate_cap(s1.wn) + tech.gate_cap(s1.wp));
+  // Last stage sees no internal consumers: junctions only.
+  const double c1 = stage_output_cap(buf, 1, tech);
+  const netlist::Stage& st1 = buf.stages()[1];
+  EXPECT_NEAR(c1, tech.junction_cap(st1.wn) + tech.junction_cap(st1.wp),
+              1e-18);
+}
+
+}  // namespace
+}  // namespace xtalk::delaycalc

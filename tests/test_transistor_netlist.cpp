@@ -1,0 +1,123 @@
+#include "core/transistor_netlist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/transient.hpp"
+
+namespace xtalk::core {
+namespace {
+
+const device::Technology& tech() { return device::Technology::half_micron(); }
+const netlist::CellLibrary& lib() {
+  return netlist::CellLibrary::half_micron();
+}
+
+TEST(TransistorNetlist, InverterExpansion) {
+  sim::Circuit ckt;
+  TransistorNetlistBuilder b(ckt, tech());
+  std::vector<std::optional<sim::NodeId>> pins(2);
+  auto inst = b.expand_cell(lib().get("INV_X1"), "u", pins);
+  EXPECT_EQ(b.devices_added(), 2u);
+  EXPECT_EQ(ckt.mosfets().size(), 2u);
+  // Both devices share the output as drain terminal.
+  for (const sim::Mosfet& m : ckt.mosfets()) {
+    EXPECT_TRUE(m.drain == inst.output || m.source == inst.output);
+  }
+  // One NMOS to ground, one PMOS to VDD.
+  int nmos = 0, pmos = 0;
+  for (const sim::Mosfet& m : ckt.mosfets()) {
+    if (m.type == device::MosType::kNmos) ++nmos; else ++pmos;
+  }
+  EXPECT_EQ(nmos, 1);
+  EXPECT_EQ(pmos, 1);
+}
+
+TEST(TransistorNetlist, DeviceCountsMatchCellForAllCells) {
+  for (const netlist::Cell* cell : lib().all_cells()) {
+    sim::Circuit ckt;
+    TransistorNetlistBuilder b(ckt, tech());
+    std::vector<std::optional<sim::NodeId>> pins(cell->pins().size());
+    b.expand_cell(*cell, "u", pins);
+    EXPECT_EQ(b.devices_added(), cell->transistor_count()) << cell->name();
+  }
+}
+
+TEST(TransistorNetlist, SeriesChainCreatesInternalNodes) {
+  sim::Circuit ckt;
+  TransistorNetlistBuilder b(ckt, tech());
+  std::vector<std::optional<sim::NodeId>> pins(4);
+  const std::size_t nodes_before = ckt.num_nodes();
+  b.expand_cell(lib().get("NAND3_X1"), "u", pins);
+  // 3 input pins + output + vdd + 2 internal NMOS chain nodes.
+  EXPECT_EQ(ckt.num_nodes() - nodes_before, 3u + 1u + 1u + 2u);
+}
+
+TEST(TransistorNetlist, EveryDeviceGetsCaps) {
+  sim::Circuit ckt;
+  TransistorNetlistBuilder b(ckt, tech());
+  std::vector<std::optional<sim::NodeId>> pins(3);
+  b.expand_cell(lib().get("NAND2_X1"), "u", pins);
+  // gate + drain + source cap per device.
+  EXPECT_EQ(ckt.capacitors().size(), 3u * ckt.mosfets().size());
+}
+
+TEST(TransistorNetlist, VddCreatedOnce) {
+  sim::Circuit ckt;
+  TransistorNetlistBuilder b(ckt, tech());
+  const sim::NodeId v1 = b.vdd();
+  const sim::NodeId v2 = b.vdd();
+  EXPECT_EQ(v1, v2);
+  ASSERT_EQ(ckt.vsources().size(), 1u);
+  EXPECT_DOUBLE_EQ(ckt.vsources()[0].v.value_at(0.0), tech().vdd);
+}
+
+TEST(TransistorNetlist, TieForcesLogicLevel) {
+  sim::Circuit ckt;
+  TransistorNetlistBuilder b(ckt, tech());
+  const sim::NodeId n = ckt.add_node("x");
+  b.tie(n, true);
+  ASSERT_EQ(ckt.vsources().size(), 1u);
+  EXPECT_DOUBLE_EQ(ckt.vsources()[0].v.value_at(1.0), tech().vdd);
+}
+
+TEST(TransistorNetlist, XorEvaluatesCorrectlyInDc) {
+  // Full transistor XOR must produce the XOR truth table at DC.
+  for (const bool a : {false, true}) {
+    for (const bool bb : {false, true}) {
+      sim::Circuit ckt;
+      TransistorNetlistBuilder builder(ckt, tech());
+      std::vector<std::optional<sim::NodeId>> pins(3);
+      auto inst = builder.expand_cell(lib().get("XOR2_X1"), "x", pins);
+      builder.tie(inst.pin_nodes[0], a);
+      builder.tie(inst.pin_nodes[1], bb);
+      sim::TransientOptions opt;
+      const auto v = sim::dc_operating_point(
+          ckt, device::DeviceTableSet::half_micron(), opt);
+      const double expected = (a != bb) ? tech().vdd : 0.0;
+      EXPECT_NEAR(v[inst.output], expected, 0.05)
+          << "a=" << a << " b=" << bb;
+    }
+  }
+}
+
+TEST(TransistorNetlist, Aoi21TruthTableInDc) {
+  // Y = !(A*B + C)
+  for (int mask = 0; mask < 8; ++mask) {
+    const bool a = mask & 1, bb = mask & 2, c = mask & 4;
+    sim::Circuit ckt;
+    TransistorNetlistBuilder builder(ckt, tech());
+    std::vector<std::optional<sim::NodeId>> pins(4);
+    auto inst = builder.expand_cell(lib().get("AOI21_X1"), "x", pins);
+    builder.tie(inst.pin_nodes[0], a);
+    builder.tie(inst.pin_nodes[1], bb);
+    builder.tie(inst.pin_nodes[2], c);
+    sim::TransientOptions opt;
+    const auto v = sim::dc_operating_point(
+        ckt, device::DeviceTableSet::half_micron(), opt);
+    const bool y = !((a && bb) || c);
+    EXPECT_NEAR(v[inst.output], y ? tech().vdd : 0.0, 0.05) << mask;
+  }
+}
+
+}  // namespace
+}  // namespace xtalk::core

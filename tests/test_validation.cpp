@@ -1,0 +1,125 @@
+#include "core/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "delaycalc/arc_delay.hpp"
+#include "netlist/embedded_benchmarks.hpp"
+#include "sim/measure.hpp"
+
+namespace xtalk::core {
+namespace {
+
+const device::Technology& tech() { return device::Technology::half_micron(); }
+const device::DeviceTableSet& tables() {
+  return device::DeviceTableSet::half_micron();
+}
+
+TEST(GateFixture, InverterDelayCalcMatchesSimulator) {
+  // Transistor-level delay engine vs the full MNA simulator on the same
+  // stimulus: the paper's §3 accuracy claim at single-gate granularity.
+  for (const double load : {10e-15, 40e-15}) {
+    GateFixtureSpec spec;
+    spec.cell = &netlist::CellLibrary::half_micron().get("INV_X1");
+    spec.input_rising = true;
+    spec.load_cap = load;
+    GateFixture fx = build_gate_fixture(tech(), spec);
+
+    sim::TransientOptions topt;
+    topt.tstop = 3e-9;
+    topt.dt = 1e-12;
+    const auto tr = sim::simulate(fx.circuit, tables(), topt);
+    const double sim_delay =
+        sim::measure_delay(tr.waveform(fx.input), tech().vdd / 2.0, true,
+                           tr.waveform(fx.output), tech().vdd / 2.0, false);
+
+    delaycalc::ArcDelayCalculator calc(tables());
+    const util::Pwl in = util::Pwl::ramp(
+        0.0, tech().model_vth, spec.input_slew, tech().vdd);
+    // Match the fixture's load: external cap plus the device junctions the
+    // simulator sees are added by the calculator itself.
+    const auto rs = calc.compute(*spec.cell, 0, true, in,
+                                 {spec.load_cap, 0.0});
+    const double in50 = in.time_at_value(tech().vdd / 2.0, true);
+    const double calc_delay =
+        rs[0].waveform.time_at_value(tech().vdd / 2.0, false) - in50;
+
+    EXPECT_NEAR(calc_delay, sim_delay, 0.35 * sim_delay + 10e-12)
+        << "load " << load;
+  }
+}
+
+TEST(GateFixture, CouplingExtendsSimulatedDelay) {
+  GateFixtureSpec base;
+  base.cell = &netlist::CellLibrary::half_micron().get("INV_X1");
+  base.input_rising = false;  // output rising: aggressor falls
+  base.load_cap = 30e-15;
+
+  sim::TransientOptions topt;
+  topt.tstop = 4e-9;
+  topt.dt = 1e-12;
+
+  GateFixture quiet = build_gate_fixture(tech(), base);
+  const auto tq = sim::simulate(quiet.circuit, tables(), topt);
+  const double dq = sim::last_crossing(tq.waveform(quiet.output),
+                                       tech().vdd / 2.0, true);
+
+  GateFixtureSpec coupled = base;
+  coupled.load_cap = 20e-15;
+  coupled.coupling_cap = 10e-15;
+  // Aim the aggressor at the victim's expected threshold region.
+  coupled.aggressor_start = dq - 0.15e-9;
+  GateFixture fx = build_gate_fixture(tech(), coupled);
+  ASSERT_NE(fx.aggressor, 0u);
+  const auto tc = sim::simulate(fx.circuit, tables(), topt);
+  const double dc =
+      sim::last_crossing(tc.waveform(fx.output), tech().vdd / 2.0, true);
+
+  EXPECT_GT(dc, dq + 5e-12);
+}
+
+struct ValFixture {
+  core::Design design;
+  sta::StaResult worst;
+
+  ValFixture()
+      : design(core::Design::from_bench(netlist::s27_bench())),
+        worst(design.run(sta::AnalysisMode::kWorstCase)) {}
+};
+
+TEST(Validation, SimulationBelowStaBound) {
+  ValFixture f;
+  ValidationOptions opt;
+  opt.policy = AggressorPolicy::kAll;
+  const ValidationResult vr = validate_critical_path(f.design, f.worst, opt);
+  EXPECT_GT(vr.sim_delay, 0.3 * vr.sta_delay);
+  // STA is an upper bound; allow a whisker of numerical slack.
+  EXPECT_LE(vr.sim_delay, vr.sta_delay * 1.05);
+  EXPECT_GT(vr.aggressors, 0u);
+  EXPECT_GT(vr.devices, 10u);
+}
+
+TEST(Validation, AggressorsIncreaseSimulatedDelay) {
+  ValFixture f;
+  ValidationOptions none;
+  none.policy = AggressorPolicy::kNone;
+  ValidationOptions all;
+  all.policy = AggressorPolicy::kAll;
+  const double d_none =
+      validate_critical_path(f.design, f.worst, none).sim_delay;
+  const double d_all = validate_critical_path(f.design, f.worst, all).sim_delay;
+  EXPECT_GT(d_all, d_none);
+}
+
+TEST(Validation, SpiceDeckExported) {
+  ValFixture f;
+  ValidationOptions opt;
+  opt.policy = AggressorPolicy::kFromTiming;
+  opt.align_iterations = 1;
+  const ValidationResult vr = validate_critical_path(f.design, f.worst, opt);
+  EXPECT_NE(vr.spice_deck.find(".tran"), std::string::npos);
+  EXPECT_NE(vr.spice_deck.find(".model nmos_xt"), std::string::npos);
+  EXPECT_NE(vr.spice_deck.find(".end"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xtalk::core

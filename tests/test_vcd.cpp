@@ -1,0 +1,92 @@
+#include "sim/vcd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/transient.hpp"
+
+namespace xtalk::sim {
+namespace {
+
+struct Fixture {
+  Circuit ckt;
+  NodeId in, out;
+  TransientResult result;
+
+  Fixture() : result(0) {
+    in = ckt.add_node("in");
+    out = ckt.add_node("out node");  // space must be sanitized
+    ckt.add_vsource(in, util::Pwl::step(0.1e-9, 0.0, 1.0, 10e-12));
+    ckt.add_resistor(in, out, 1000.0);
+    ckt.add_capacitor(out, ckt.ground(), 50e-15);
+    TransientOptions opt;
+    opt.tstop = 0.5e-9;
+    opt.dt = 5e-12;
+    result = simulate(ckt, device::DeviceTableSet::half_micron(), opt);
+  }
+};
+
+TEST(Vcd, DeclaresAllNodesByDefault) {
+  Fixture f;
+  const std::string vcd = write_vcd(f.result, f.ckt);
+  EXPECT_NE(vcd.find("$timescale 1000 fs $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$var real 64 ! in $end"), std::string::npos);
+  EXPECT_NE(vcd.find("out_node"), std::string::npos);  // sanitized
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(Vcd, EmitsInitialValuesAtTimeZero) {
+  Fixture f;
+  const std::string vcd = write_vcd(f.result, f.ckt);
+  const auto pos0 = vcd.find("#0\n");
+  ASSERT_NE(pos0, std::string::npos);
+  // Both variables dumped at t=0.
+  const auto next_stamp = vcd.find('#', pos0 + 1);
+  const std::string first_block = vcd.substr(pos0, next_stamp - pos0);
+  EXPECT_NE(first_block.find(" !"), std::string::npos);
+  EXPECT_NE(first_block.find(" \""), std::string::npos);
+}
+
+TEST(Vcd, TimeStampsMonotone) {
+  Fixture f;
+  const std::string vcd = write_vcd(f.result, f.ckt);
+  std::istringstream ss(vcd);
+  std::string line;
+  long long prev = -1;
+  std::size_t stamps = 0;
+  while (std::getline(ss, line)) {
+    if (line.empty() || line[0] != '#') continue;
+    const long long t = std::stoll(line.substr(1));
+    EXPECT_GT(t, prev);
+    prev = t;
+    ++stamps;
+  }
+  EXPECT_GT(stamps, 10u);
+}
+
+TEST(Vcd, EpsilonSuppressesQuietNodes) {
+  Fixture f;
+  VcdOptions loose;
+  loose.value_epsilon = 10.0;  // nothing ever changes that much
+  const std::string vcd = write_vcd(f.result, f.ckt, loose);
+  // Only the initial dump remains.
+  std::size_t stamps = 0;
+  for (std::size_t p = vcd.find("\n#"); p != std::string::npos;
+       p = vcd.find("\n#", p + 1)) {
+    ++stamps;
+  }
+  EXPECT_EQ(stamps, 1u);
+}
+
+TEST(Vcd, NodeSubsetRespected) {
+  Fixture f;
+  VcdOptions opt;
+  opt.nodes = {f.out};
+  const std::string vcd = write_vcd(f.result, f.ckt, opt);
+  EXPECT_EQ(vcd.find("$var real 64 ! in $end"), std::string::npos);
+  EXPECT_NE(vcd.find("out_node"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xtalk::sim

@@ -1,0 +1,121 @@
+#include "netlist/verilog_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+#include "netlist/embedded_benchmarks.hpp"
+#include "netlist/levelize.hpp"
+
+namespace xtalk::netlist {
+namespace {
+
+const CellLibrary& lib() { return CellLibrary::half_micron(); }
+
+constexpr const char* kSample = R"(
+// a tiny sequential design
+module top (a, b, clk, y);
+  input a, b, clk;
+  output y;
+  wire w1, w2;
+  NAND2_X1 u1 (.A(a), .B(b), .Y(w1));
+  DFF_X1   r1 (.D(w1), .CK(clk), .Q(w2));
+  INV_X1   u2 (.A(w2), .Y(y));
+endmodule
+)";
+
+TEST(Verilog, ParsesSample) {
+  const Netlist nl = parse_verilog(kSample, lib());
+  EXPECT_EQ(nl.num_gates(), 3u);
+  EXPECT_EQ(nl.primary_inputs().size(), 3u);
+  EXPECT_EQ(nl.primary_outputs().size(), 1u);
+  EXPECT_EQ(nl.sequential_gates().size(), 1u);
+  EXPECT_EQ(nl.clock_net(), nl.find_net("clk"));
+  EXPECT_NO_THROW(levelize(nl));
+}
+
+TEST(Verilog, HandlesComments) {
+  const std::string text =
+      "/* block\n comment */ module t (a, y); // ports\n"
+      "input a; output y;\nINV_X1 u (.A(a), .Y(y));\nendmodule\n";
+  const Netlist nl = parse_verilog(text, lib());
+  EXPECT_EQ(nl.num_gates(), 1u);
+}
+
+TEST(Verilog, RejectsUnknownCell) {
+  const std::string text =
+      "module t (a, y); input a; output y;\n"
+      "FOO_X9 u (.A(a), .Y(y));\nendmodule\n";
+  try {
+    parse_verilog(text, lib());
+    FAIL() << "expected error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown cell"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Verilog, RejectsUnknownPin) {
+  const std::string text =
+      "module t (a, y); input a; output y;\n"
+      "INV_X1 u (.Q(a), .Y(y));\nendmodule\n";
+  EXPECT_THROW(parse_verilog(text, lib()), std::runtime_error);
+}
+
+TEST(Verilog, RejectsUnconnectedPin) {
+  const std::string text =
+      "module t (a, y); input a; output y;\n"
+      "NAND2_X1 u (.A(a), .Y(y));\nendmodule\n";
+  EXPECT_THROW(parse_verilog(text, lib()), std::runtime_error);
+}
+
+TEST(Verilog, RejectsMissingEndmodule) {
+  EXPECT_THROW(parse_verilog("module t (a); input a;\n", lib()),
+               std::runtime_error);
+}
+
+TEST(Verilog, RoundTripPreservesStructure) {
+  // bench -> netlist -> verilog -> netlist: same gates, cells and
+  // connectivity by name.
+  const Netlist first = parse_bench(s27_bench(), lib());
+  const std::string verilog = write_verilog(first, "s27");
+  const Netlist second = parse_verilog(verilog, lib());
+  EXPECT_EQ(second.num_gates(), first.num_gates());
+  EXPECT_EQ(second.num_nets(), first.num_nets());
+  EXPECT_EQ(second.sequential_gates().size(), first.sequential_gates().size());
+  for (GateId g = 0; g < first.num_gates(); ++g) {
+    const Gate& a = first.gate(g);
+    // Find by instance name in the round-tripped netlist.
+    bool found = false;
+    for (GateId h = 0; h < second.num_gates(); ++h) {
+      const Gate& b = second.gate(h);
+      if (b.name != a.name) continue;
+      found = true;
+      EXPECT_EQ(b.cell->name(), a.cell->name());
+      for (std::uint32_t p = 0; p < a.pin_nets.size(); ++p) {
+        EXPECT_EQ(second.net(b.pin_nets[p]).name, first.net(a.pin_nets[p]).name);
+      }
+    }
+    EXPECT_TRUE(found) << a.name;
+  }
+}
+
+TEST(Verilog, WriterDeclaresEveryInternalWire) {
+  const Netlist nl = parse_verilog(kSample, lib());
+  const std::string text = write_verilog(nl);
+  EXPECT_NE(text.find("wire w1;"), std::string::npos);
+  EXPECT_NE(text.find("wire w2;"), std::string::npos);
+  EXPECT_NE(text.find("input clk;"), std::string::npos);
+}
+
+TEST(Verilog, ClockDetectionFromDff) {
+  // Clock pin wired to a non-"clk"-named net still becomes the clock.
+  const std::string text =
+      "module t (d, phi, q); input d, phi; output q;\n"
+      "DFF_X1 r (.D(d), .CK(phi), .Q(q));\nendmodule\n";
+  const Netlist nl = parse_verilog(text, lib());
+  EXPECT_EQ(nl.clock_net(), nl.find_net("phi"));
+  EXPECT_EQ(nl.net(nl.clock_net()).kind, NetKind::kClock);
+}
+
+}  // namespace
+}  // namespace xtalk::netlist
