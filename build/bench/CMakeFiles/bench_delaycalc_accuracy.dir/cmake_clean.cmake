@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delaycalc_accuracy.dir/bench_delaycalc_accuracy.cpp.o"
+  "CMakeFiles/bench_delaycalc_accuracy.dir/bench_delaycalc_accuracy.cpp.o.d"
+  "bench_delaycalc_accuracy"
+  "bench_delaycalc_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delaycalc_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nldm_vs_transistor.dir/bench_nldm_vs_transistor.cpp.o"
+  "CMakeFiles/bench_nldm_vs_transistor.dir/bench_nldm_vs_transistor.cpp.o.d"
+  "bench_nldm_vs_transistor"
+  "bench_nldm_vs_transistor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nldm_vs_transistor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_nldm_vs_transistor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_nldm_vs_transistor.
+# This may be replaced when dependencies are built.

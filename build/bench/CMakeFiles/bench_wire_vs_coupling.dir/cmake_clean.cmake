@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wire_vs_coupling.dir/bench_wire_vs_coupling.cpp.o"
+  "CMakeFiles/bench_wire_vs_coupling.dir/bench_wire_vs_coupling.cpp.o.d"
+  "bench_wire_vs_coupling"
+  "bench_wire_vs_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wire_vs_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_bench_common.dir/table_common.cpp.o"
+  "CMakeFiles/xtalk_bench_common.dir/table_common.cpp.o.d"
+  "libxtalk_bench_common.a"
+  "libxtalk_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

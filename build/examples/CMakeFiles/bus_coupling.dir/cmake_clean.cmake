@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_coupling.dir/bus_coupling.cpp.o"
+  "CMakeFiles/bus_coupling.dir/bus_coupling.cpp.o.d"
+  "bus_coupling"
+  "bus_coupling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_coupling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

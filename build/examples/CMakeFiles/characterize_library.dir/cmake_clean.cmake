@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_library.dir/characterize_library.cpp.o"
+  "CMakeFiles/characterize_library.dir/characterize_library.cpp.o.d"
+  "characterize_library"
+  "characterize_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosstalk_repair.dir/crosstalk_repair.cpp.o"
+  "CMakeFiles/crosstalk_repair.dir/crosstalk_repair.cpp.o.d"
+  "crosstalk_repair"
+  "crosstalk_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosstalk_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_core.dir/crosstalk_sta.cpp.o"
+  "CMakeFiles/xtalk_core.dir/crosstalk_sta.cpp.o.d"
+  "CMakeFiles/xtalk_core.dir/transistor_netlist.cpp.o"
+  "CMakeFiles/xtalk_core.dir/transistor_netlist.cpp.o.d"
+  "CMakeFiles/xtalk_core.dir/validation.cpp.o"
+  "CMakeFiles/xtalk_core.dir/validation.cpp.o.d"
+  "libxtalk_core.a"
+  "libxtalk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/delaycalc/arc_delay.cpp" "src/delaycalc/CMakeFiles/xtalk_delaycalc.dir/arc_delay.cpp.o" "gcc" "src/delaycalc/CMakeFiles/xtalk_delaycalc.dir/arc_delay.cpp.o.d"
+  "/root/repo/src/delaycalc/coupling_model.cpp" "src/delaycalc/CMakeFiles/xtalk_delaycalc.dir/coupling_model.cpp.o" "gcc" "src/delaycalc/CMakeFiles/xtalk_delaycalc.dir/coupling_model.cpp.o.d"
+  "/root/repo/src/delaycalc/liberty_writer.cpp" "src/delaycalc/CMakeFiles/xtalk_delaycalc.dir/liberty_writer.cpp.o" "gcc" "src/delaycalc/CMakeFiles/xtalk_delaycalc.dir/liberty_writer.cpp.o.d"
+  "/root/repo/src/delaycalc/nldm.cpp" "src/delaycalc/CMakeFiles/xtalk_delaycalc.dir/nldm.cpp.o" "gcc" "src/delaycalc/CMakeFiles/xtalk_delaycalc.dir/nldm.cpp.o.d"
+  "/root/repo/src/delaycalc/stage.cpp" "src/delaycalc/CMakeFiles/xtalk_delaycalc.dir/stage.cpp.o" "gcc" "src/delaycalc/CMakeFiles/xtalk_delaycalc.dir/stage.cpp.o.d"
+  "/root/repo/src/delaycalc/waveform_calc.cpp" "src/delaycalc/CMakeFiles/xtalk_delaycalc.dir/waveform_calc.cpp.o" "gcc" "src/delaycalc/CMakeFiles/xtalk_delaycalc.dir/waveform_calc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/xtalk_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/xtalk_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xtalk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

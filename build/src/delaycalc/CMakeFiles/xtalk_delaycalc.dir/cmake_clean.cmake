@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_delaycalc.dir/arc_delay.cpp.o"
+  "CMakeFiles/xtalk_delaycalc.dir/arc_delay.cpp.o.d"
+  "CMakeFiles/xtalk_delaycalc.dir/coupling_model.cpp.o"
+  "CMakeFiles/xtalk_delaycalc.dir/coupling_model.cpp.o.d"
+  "CMakeFiles/xtalk_delaycalc.dir/liberty_writer.cpp.o"
+  "CMakeFiles/xtalk_delaycalc.dir/liberty_writer.cpp.o.d"
+  "CMakeFiles/xtalk_delaycalc.dir/nldm.cpp.o"
+  "CMakeFiles/xtalk_delaycalc.dir/nldm.cpp.o.d"
+  "CMakeFiles/xtalk_delaycalc.dir/stage.cpp.o"
+  "CMakeFiles/xtalk_delaycalc.dir/stage.cpp.o.d"
+  "CMakeFiles/xtalk_delaycalc.dir/waveform_calc.cpp.o"
+  "CMakeFiles/xtalk_delaycalc.dir/waveform_calc.cpp.o.d"
+  "libxtalk_delaycalc.a"
+  "libxtalk_delaycalc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_delaycalc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xtalk_delaycalc.
+# This may be replaced when dependencies are built.

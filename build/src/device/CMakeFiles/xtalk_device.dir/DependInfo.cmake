@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/device_table.cpp" "src/device/CMakeFiles/xtalk_device.dir/device_table.cpp.o" "gcc" "src/device/CMakeFiles/xtalk_device.dir/device_table.cpp.o.d"
+  "/root/repo/src/device/mosfet.cpp" "src/device/CMakeFiles/xtalk_device.dir/mosfet.cpp.o" "gcc" "src/device/CMakeFiles/xtalk_device.dir/mosfet.cpp.o.d"
+  "/root/repo/src/device/technology.cpp" "src/device/CMakeFiles/xtalk_device.dir/technology.cpp.o" "gcc" "src/device/CMakeFiles/xtalk_device.dir/technology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xtalk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

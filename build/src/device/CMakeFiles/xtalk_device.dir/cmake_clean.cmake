@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_device.dir/device_table.cpp.o"
+  "CMakeFiles/xtalk_device.dir/device_table.cpp.o.d"
+  "CMakeFiles/xtalk_device.dir/mosfet.cpp.o"
+  "CMakeFiles/xtalk_device.dir/mosfet.cpp.o.d"
+  "CMakeFiles/xtalk_device.dir/technology.cpp.o"
+  "CMakeFiles/xtalk_device.dir/technology.cpp.o.d"
+  "libxtalk_device.a"
+  "libxtalk_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extract/elmore.cpp" "src/extract/CMakeFiles/xtalk_extract.dir/elmore.cpp.o" "gcc" "src/extract/CMakeFiles/xtalk_extract.dir/elmore.cpp.o.d"
+  "/root/repo/src/extract/extractor.cpp" "src/extract/CMakeFiles/xtalk_extract.dir/extractor.cpp.o" "gcc" "src/extract/CMakeFiles/xtalk_extract.dir/extractor.cpp.o.d"
+  "/root/repo/src/extract/parasitics.cpp" "src/extract/CMakeFiles/xtalk_extract.dir/parasitics.cpp.o" "gcc" "src/extract/CMakeFiles/xtalk_extract.dir/parasitics.cpp.o.d"
+  "/root/repo/src/extract/rc_tree.cpp" "src/extract/CMakeFiles/xtalk_extract.dir/rc_tree.cpp.o" "gcc" "src/extract/CMakeFiles/xtalk_extract.dir/rc_tree.cpp.o.d"
+  "/root/repo/src/extract/spef.cpp" "src/extract/CMakeFiles/xtalk_extract.dir/spef.cpp.o" "gcc" "src/extract/CMakeFiles/xtalk_extract.dir/spef.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/xtalk_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/xtalk_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/xtalk_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xtalk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_extract.dir/elmore.cpp.o"
+  "CMakeFiles/xtalk_extract.dir/elmore.cpp.o.d"
+  "CMakeFiles/xtalk_extract.dir/extractor.cpp.o"
+  "CMakeFiles/xtalk_extract.dir/extractor.cpp.o.d"
+  "CMakeFiles/xtalk_extract.dir/parasitics.cpp.o"
+  "CMakeFiles/xtalk_extract.dir/parasitics.cpp.o.d"
+  "CMakeFiles/xtalk_extract.dir/rc_tree.cpp.o"
+  "CMakeFiles/xtalk_extract.dir/rc_tree.cpp.o.d"
+  "CMakeFiles/xtalk_extract.dir/spef.cpp.o"
+  "CMakeFiles/xtalk_extract.dir/spef.cpp.o.d"
+  "libxtalk_extract.a"
+  "libxtalk_extract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_extract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

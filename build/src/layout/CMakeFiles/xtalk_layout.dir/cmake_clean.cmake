@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_layout.dir/placement.cpp.o"
+  "CMakeFiles/xtalk_layout.dir/placement.cpp.o.d"
+  "CMakeFiles/xtalk_layout.dir/router.cpp.o"
+  "CMakeFiles/xtalk_layout.dir/router.cpp.o.d"
+  "CMakeFiles/xtalk_layout.dir/track_optimizer.cpp.o"
+  "CMakeFiles/xtalk_layout.dir/track_optimizer.cpp.o.d"
+  "libxtalk_layout.a"
+  "libxtalk_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/bench_parser.cpp" "src/netlist/CMakeFiles/xtalk_netlist.dir/bench_parser.cpp.o" "gcc" "src/netlist/CMakeFiles/xtalk_netlist.dir/bench_parser.cpp.o.d"
+  "/root/repo/src/netlist/cell_library.cpp" "src/netlist/CMakeFiles/xtalk_netlist.dir/cell_library.cpp.o" "gcc" "src/netlist/CMakeFiles/xtalk_netlist.dir/cell_library.cpp.o.d"
+  "/root/repo/src/netlist/circuit_generator.cpp" "src/netlist/CMakeFiles/xtalk_netlist.dir/circuit_generator.cpp.o" "gcc" "src/netlist/CMakeFiles/xtalk_netlist.dir/circuit_generator.cpp.o.d"
+  "/root/repo/src/netlist/clock_tree.cpp" "src/netlist/CMakeFiles/xtalk_netlist.dir/clock_tree.cpp.o" "gcc" "src/netlist/CMakeFiles/xtalk_netlist.dir/clock_tree.cpp.o.d"
+  "/root/repo/src/netlist/embedded_benchmarks.cpp" "src/netlist/CMakeFiles/xtalk_netlist.dir/embedded_benchmarks.cpp.o" "gcc" "src/netlist/CMakeFiles/xtalk_netlist.dir/embedded_benchmarks.cpp.o.d"
+  "/root/repo/src/netlist/levelize.cpp" "src/netlist/CMakeFiles/xtalk_netlist.dir/levelize.cpp.o" "gcc" "src/netlist/CMakeFiles/xtalk_netlist.dir/levelize.cpp.o.d"
+  "/root/repo/src/netlist/logic_sim.cpp" "src/netlist/CMakeFiles/xtalk_netlist.dir/logic_sim.cpp.o" "gcc" "src/netlist/CMakeFiles/xtalk_netlist.dir/logic_sim.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/xtalk_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/xtalk_netlist.dir/netlist.cpp.o.d"
+  "/root/repo/src/netlist/verilog_parser.cpp" "src/netlist/CMakeFiles/xtalk_netlist.dir/verilog_parser.cpp.o" "gcc" "src/netlist/CMakeFiles/xtalk_netlist.dir/verilog_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/xtalk_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xtalk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

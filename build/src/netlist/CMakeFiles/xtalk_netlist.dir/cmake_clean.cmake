@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_netlist.dir/bench_parser.cpp.o"
+  "CMakeFiles/xtalk_netlist.dir/bench_parser.cpp.o.d"
+  "CMakeFiles/xtalk_netlist.dir/cell_library.cpp.o"
+  "CMakeFiles/xtalk_netlist.dir/cell_library.cpp.o.d"
+  "CMakeFiles/xtalk_netlist.dir/circuit_generator.cpp.o"
+  "CMakeFiles/xtalk_netlist.dir/circuit_generator.cpp.o.d"
+  "CMakeFiles/xtalk_netlist.dir/clock_tree.cpp.o"
+  "CMakeFiles/xtalk_netlist.dir/clock_tree.cpp.o.d"
+  "CMakeFiles/xtalk_netlist.dir/embedded_benchmarks.cpp.o"
+  "CMakeFiles/xtalk_netlist.dir/embedded_benchmarks.cpp.o.d"
+  "CMakeFiles/xtalk_netlist.dir/levelize.cpp.o"
+  "CMakeFiles/xtalk_netlist.dir/levelize.cpp.o.d"
+  "CMakeFiles/xtalk_netlist.dir/logic_sim.cpp.o"
+  "CMakeFiles/xtalk_netlist.dir/logic_sim.cpp.o.d"
+  "CMakeFiles/xtalk_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/xtalk_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/xtalk_netlist.dir/verilog_parser.cpp.o"
+  "CMakeFiles/xtalk_netlist.dir/verilog_parser.cpp.o.d"
+  "libxtalk_netlist.a"
+  "libxtalk_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/circuit.cpp" "src/sim/CMakeFiles/xtalk_sim.dir/circuit.cpp.o" "gcc" "src/sim/CMakeFiles/xtalk_sim.dir/circuit.cpp.o.d"
+  "/root/repo/src/sim/measure.cpp" "src/sim/CMakeFiles/xtalk_sim.dir/measure.cpp.o" "gcc" "src/sim/CMakeFiles/xtalk_sim.dir/measure.cpp.o.d"
+  "/root/repo/src/sim/spice_export.cpp" "src/sim/CMakeFiles/xtalk_sim.dir/spice_export.cpp.o" "gcc" "src/sim/CMakeFiles/xtalk_sim.dir/spice_export.cpp.o.d"
+  "/root/repo/src/sim/transient.cpp" "src/sim/CMakeFiles/xtalk_sim.dir/transient.cpp.o" "gcc" "src/sim/CMakeFiles/xtalk_sim.dir/transient.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/xtalk_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/xtalk_sim.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/xtalk_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xtalk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

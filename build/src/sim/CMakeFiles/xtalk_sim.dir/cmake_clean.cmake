@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_sim.dir/circuit.cpp.o"
+  "CMakeFiles/xtalk_sim.dir/circuit.cpp.o.d"
+  "CMakeFiles/xtalk_sim.dir/measure.cpp.o"
+  "CMakeFiles/xtalk_sim.dir/measure.cpp.o.d"
+  "CMakeFiles/xtalk_sim.dir/spice_export.cpp.o"
+  "CMakeFiles/xtalk_sim.dir/spice_export.cpp.o.d"
+  "CMakeFiles/xtalk_sim.dir/transient.cpp.o"
+  "CMakeFiles/xtalk_sim.dir/transient.cpp.o.d"
+  "CMakeFiles/xtalk_sim.dir/vcd.cpp.o"
+  "CMakeFiles/xtalk_sim.dir/vcd.cpp.o.d"
+  "libxtalk_sim.a"
+  "libxtalk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sta/constraints.cpp" "src/sta/CMakeFiles/xtalk_sta.dir/constraints.cpp.o" "gcc" "src/sta/CMakeFiles/xtalk_sta.dir/constraints.cpp.o.d"
+  "/root/repo/src/sta/early.cpp" "src/sta/CMakeFiles/xtalk_sta.dir/early.cpp.o" "gcc" "src/sta/CMakeFiles/xtalk_sta.dir/early.cpp.o.d"
+  "/root/repo/src/sta/engine.cpp" "src/sta/CMakeFiles/xtalk_sta.dir/engine.cpp.o" "gcc" "src/sta/CMakeFiles/xtalk_sta.dir/engine.cpp.o.d"
+  "/root/repo/src/sta/noise.cpp" "src/sta/CMakeFiles/xtalk_sta.dir/noise.cpp.o" "gcc" "src/sta/CMakeFiles/xtalk_sta.dir/noise.cpp.o.d"
+  "/root/repo/src/sta/path.cpp" "src/sta/CMakeFiles/xtalk_sta.dir/path.cpp.o" "gcc" "src/sta/CMakeFiles/xtalk_sta.dir/path.cpp.o.d"
+  "/root/repo/src/sta/report.cpp" "src/sta/CMakeFiles/xtalk_sta.dir/report.cpp.o" "gcc" "src/sta/CMakeFiles/xtalk_sta.dir/report.cpp.o.d"
+  "/root/repo/src/sta/sdf_writer.cpp" "src/sta/CMakeFiles/xtalk_sta.dir/sdf_writer.cpp.o" "gcc" "src/sta/CMakeFiles/xtalk_sta.dir/sdf_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/delaycalc/CMakeFiles/xtalk_delaycalc.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/xtalk_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/xtalk_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/xtalk_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/xtalk_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xtalk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

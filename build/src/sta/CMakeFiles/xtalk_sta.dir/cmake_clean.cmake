@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_sta.dir/constraints.cpp.o"
+  "CMakeFiles/xtalk_sta.dir/constraints.cpp.o.d"
+  "CMakeFiles/xtalk_sta.dir/early.cpp.o"
+  "CMakeFiles/xtalk_sta.dir/early.cpp.o.d"
+  "CMakeFiles/xtalk_sta.dir/engine.cpp.o"
+  "CMakeFiles/xtalk_sta.dir/engine.cpp.o.d"
+  "CMakeFiles/xtalk_sta.dir/noise.cpp.o"
+  "CMakeFiles/xtalk_sta.dir/noise.cpp.o.d"
+  "CMakeFiles/xtalk_sta.dir/path.cpp.o"
+  "CMakeFiles/xtalk_sta.dir/path.cpp.o.d"
+  "CMakeFiles/xtalk_sta.dir/report.cpp.o"
+  "CMakeFiles/xtalk_sta.dir/report.cpp.o.d"
+  "CMakeFiles/xtalk_sta.dir/sdf_writer.cpp.o"
+  "CMakeFiles/xtalk_sta.dir/sdf_writer.cpp.o.d"
+  "libxtalk_sta.a"
+  "libxtalk_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

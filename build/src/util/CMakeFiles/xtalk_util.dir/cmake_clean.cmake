@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_util.dir/linear_solver.cpp.o"
+  "CMakeFiles/xtalk_util.dir/linear_solver.cpp.o.d"
+  "CMakeFiles/xtalk_util.dir/pwl.cpp.o"
+  "CMakeFiles/xtalk_util.dir/pwl.cpp.o.d"
+  "CMakeFiles/xtalk_util.dir/table.cpp.o"
+  "CMakeFiles/xtalk_util.dir/table.cpp.o.d"
+  "libxtalk_util.a"
+  "libxtalk_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

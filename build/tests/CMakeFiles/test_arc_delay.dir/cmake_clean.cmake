@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arc_delay.dir/test_arc_delay.cpp.o"
+  "CMakeFiles/test_arc_delay.dir/test_arc_delay.cpp.o.d"
+  "test_arc_delay"
+  "test_arc_delay.pdb"
+  "test_arc_delay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arc_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

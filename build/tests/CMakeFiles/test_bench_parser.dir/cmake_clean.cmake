@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_parser.dir/test_bench_parser.cpp.o"
+  "CMakeFiles/test_bench_parser.dir/test_bench_parser.cpp.o.d"
+  "test_bench_parser"
+  "test_bench_parser.pdb"
+  "test_bench_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cell_library.dir/test_cell_library.cpp.o"
+  "CMakeFiles/test_cell_library.dir/test_cell_library.cpp.o.d"
+  "test_cell_library"
+  "test_cell_library.pdb"
+  "test_cell_library[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cell_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

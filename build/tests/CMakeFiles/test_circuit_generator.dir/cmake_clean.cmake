@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit_generator.dir/test_circuit_generator.cpp.o"
+  "CMakeFiles/test_circuit_generator.dir/test_circuit_generator.cpp.o.d"
+  "test_circuit_generator"
+  "test_circuit_generator.pdb"
+  "test_circuit_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clock_tree.dir/test_clock_tree.cpp.o"
+  "CMakeFiles/test_clock_tree.dir/test_clock_tree.cpp.o.d"
+  "test_clock_tree"
+  "test_clock_tree.pdb"
+  "test_clock_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clock_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coupling_model.dir/test_coupling_model.cpp.o"
+  "CMakeFiles/test_coupling_model.dir/test_coupling_model.cpp.o.d"
+  "test_coupling_model"
+  "test_coupling_model.pdb"
+  "test_coupling_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coupling_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

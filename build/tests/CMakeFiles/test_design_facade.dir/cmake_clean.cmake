@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_design_facade.dir/test_design_facade.cpp.o"
+  "CMakeFiles/test_design_facade.dir/test_design_facade.cpp.o.d"
+  "test_design_facade"
+  "test_design_facade.pdb"
+  "test_design_facade[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_design_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

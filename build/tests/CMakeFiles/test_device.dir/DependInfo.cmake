@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_device.cpp" "tests/CMakeFiles/test_device.dir/test_device.cpp.o" "gcc" "tests/CMakeFiles/test_device.dir/test_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/xtalk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/xtalk_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/delaycalc/CMakeFiles/xtalk_delaycalc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xtalk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/extract/CMakeFiles/xtalk_extract.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/xtalk_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/xtalk_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/xtalk_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xtalk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_levelize.dir/test_levelize.cpp.o"
+  "CMakeFiles/test_levelize.dir/test_levelize.cpp.o.d"
+  "test_levelize"
+  "test_levelize.pdb"
+  "test_levelize[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_levelize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

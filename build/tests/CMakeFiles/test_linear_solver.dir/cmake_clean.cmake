@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linear_solver.dir/test_linear_solver.cpp.o"
+  "CMakeFiles/test_linear_solver.dir/test_linear_solver.cpp.o.d"
+  "test_linear_solver"
+  "test_linear_solver.pdb"
+  "test_linear_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linear_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rc_tree.dir/test_rc_tree.cpp.o"
+  "CMakeFiles/test_rc_tree.dir/test_rc_tree.cpp.o.d"
+  "test_rc_tree"
+  "test_rc_tree.pdb"
+  "test_rc_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rc_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

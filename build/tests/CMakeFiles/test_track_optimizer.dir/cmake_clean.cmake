@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_track_optimizer.dir/test_track_optimizer.cpp.o"
+  "CMakeFiles/test_track_optimizer.dir/test_track_optimizer.cpp.o.d"
+  "test_track_optimizer"
+  "test_track_optimizer.pdb"
+  "test_track_optimizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_track_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transistor_netlist.dir/test_transistor_netlist.cpp.o"
+  "CMakeFiles/test_transistor_netlist.dir/test_transistor_netlist.cpp.o.d"
+  "test_transistor_netlist"
+  "test_transistor_netlist.pdb"
+  "test_transistor_netlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transistor_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

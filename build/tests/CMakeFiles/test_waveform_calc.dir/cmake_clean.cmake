@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waveform_calc.dir/test_waveform_calc.cpp.o"
+  "CMakeFiles/test_waveform_calc.dir/test_waveform_calc.cpp.o.d"
+  "test_waveform_calc"
+  "test_waveform_calc.pdb"
+  "test_waveform_calc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waveform_calc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
