@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <thread>
 
 #include "core/crosstalk_sta.hpp"
 
@@ -20,6 +21,18 @@ int main() {
   if (const char* env = std::getenv("XTALK_BENCH_SCALE")) {
     scale = std::strtod(env, nullptr);
   }
+  // Worker threads for every run below (0 = one per hardware thread).
+  int num_threads = 0;
+  if (const char* env = std::getenv("XTALK_THREADS")) {
+    num_threads = static_cast<int>(std::strtol(env, nullptr, 10));
+  }
+  const auto run_mode = [&](const core::Design& design,
+                            sta::AnalysisMode mode, int threads) {
+    sta::StaOptions opt;
+    opt.mode = mode;
+    opt.num_threads = threads;
+    return design.run(opt);
+  };
 
   std::cout << "=== §5: runtime scaling and algorithm cost ===\n\n";
   std::cout << std::left << std::setw(8) << "cells" << std::right
@@ -36,7 +49,7 @@ int main() {
     for (const sta::AnalysisMode mode :
          {sta::AnalysisMode::kBestCase, sta::AnalysisMode::kOneStep,
           sta::AnalysisMode::kIterative}) {
-      const sta::StaResult r = design.run(mode);
+      const sta::StaResult r = run_mode(design, mode, num_threads);
       std::cout << std::left << std::setw(8) << cells << std::right
                 << std::setw(12) << sta::mode_name(mode) << std::fixed
                 << std::setprecision(3) << std::setw(11) << r.runtime_seconds
@@ -46,6 +59,35 @@ int main() {
                 << r.runtime_seconds * 1e6 / static_cast<double>(cells)
                 << std::setw(12) << std::setprecision(3)
                 << r.longest_path_delay * 1e9 << "\n";
+    }
+  }
+
+  // Level-parallel thread scaling on the largest circuit. Delays must be
+  // bit-identical for every thread count (snapshot-based coupling
+  // classification); speedup tracks the hardware's core count.
+  std::cout << "\nthread scaling (one-step, largest circuit, "
+            << std::thread::hardware_concurrency() << " hardware threads):\n";
+  {
+    const auto cells_ts = static_cast<std::size_t>(
+        std::max(64.0, 16000.0 * scale));
+    const core::Design design = core::Design::generate(
+        netlist::scaled_spec("threads", 1000 + cells_ts, cells_ts, 20));
+    double t1 = 0.0;
+    double d1 = 0.0;
+    for (const int threads : {1, 2, 4, 8}) {
+      const sta::StaResult r =
+          run_mode(design, sta::AnalysisMode::kOneStep, threads);
+      if (threads == 1) {
+        t1 = r.runtime_seconds;
+        d1 = r.longest_path_delay;
+      }
+      std::cout << "  threads " << threads << ": " << std::fixed
+                << std::setprecision(3) << std::setw(8) << r.runtime_seconds
+                << " s, speedup " << std::setprecision(2)
+                << t1 / std::max(r.runtime_seconds, 1e-9) << "x, delay "
+                << std::setprecision(3) << r.longest_path_delay * 1e9
+                << " ns, identical "
+                << (r.longest_path_delay == d1 ? "yes" : "NO") << "\n";
     }
   }
 
@@ -71,6 +113,7 @@ int main() {
     opt.esperance = a.esperance;
     opt.timing_windows = a.timing_windows;
     opt.early.aiding_coupling_assist = a.aiding_assist;
+    opt.num_threads = num_threads;
     const sta::StaResult r = design.run(opt);
     std::cout << "  " << a.label << " time " << std::setprecision(3)
               << r.runtime_seconds << " s, passes " << r.passes << ", calcs "

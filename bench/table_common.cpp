@@ -18,6 +18,11 @@ double run_table_benchmark(const char* table_name,
   if (const char* env = std::getenv("XTALK_BENCH_SCALE")) {
     scale = std::strtod(env, nullptr);
   }
+  // Worker threads for the level-parallel pass (0 = hardware concurrency).
+  int num_threads = 0;
+  if (const char* env = std::getenv("XTALK_THREADS")) {
+    num_threads = static_cast<int>(std::strtol(env, nullptr, 10));
+  }
   if (scale != 1.0) {
     spec.num_cells = std::max<std::size_t>(
         64, static_cast<std::size_t>(static_cast<double>(spec.num_cells) * scale));
@@ -45,7 +50,10 @@ double run_table_benchmark(const char* table_name,
        {sta::AnalysisMode::kBestCase, sta::AnalysisMode::kStaticDoubled,
         sta::AnalysisMode::kWorstCase, sta::AnalysisMode::kOneStep,
         sta::AnalysisMode::kIterative}) {
-    sta::StaResult r = design.run(mode);
+    sta::StaOptions opt;
+    opt.mode = mode;
+    opt.num_threads = num_threads;
+    sta::StaResult r = design.run(opt);
     rows.push_back(sta::row_from_result(mode, r));
     if (mode == sta::AnalysisMode::kWorstCase) worst_result = std::move(r);
     else if (mode == sta::AnalysisMode::kIterative) iter_result = std::move(r);

@@ -2,14 +2,48 @@
 
 namespace xtalk::delaycalc {
 
+const std::vector<StagePath>& ArcScratch::paths(const netlist::Cell& cell,
+                                                std::size_t pin) {
+  const auto key = std::make_pair(&cell, pin);
+  auto it = paths_.find(key);
+  if (it == paths_.end()) {
+    it = paths_.emplace(key, enumerate_paths(cell, pin)).first;
+  }
+  return it->second;
+}
+
+const CollapsedStage& ArcScratch::collapsed(
+    const netlist::Cell& cell, std::size_t stage_index, std::size_t input,
+    const device::DeviceTableSet& tables) {
+  const auto key = std::make_tuple(&cell, stage_index, input);
+  auto it = collapsed_.find(key);
+  if (it == collapsed_.end()) {
+    const netlist::Stage& stage = cell.stages()[stage_index];
+    it = collapsed_
+             .emplace(key,
+                      collapse_dc(stage, sensitize(stage, input), tables))
+             .first;
+  }
+  return it->second;
+}
+
 std::vector<ArcResult> ArcDelayCalculator::compute(
     const netlist::Cell& cell, std::size_t input_pin, bool input_rising,
     const util::Pwl& input_waveform, const OutputLoad& load,
-    const IntegrationOptions& options) const {
+    const IntegrationOptions& options, ArcScratch* scratch) const {
   const device::Technology& tech = tables_->tech();
   std::vector<ArcResult> results;
 
-  for (const StagePath& path : enumerate_paths(cell, input_pin)) {
+  std::vector<StagePath> local_paths;
+  const std::vector<StagePath>* paths;
+  if (scratch != nullptr) {
+    paths = &scratch->paths(cell, input_pin);
+  } else {
+    local_paths = enumerate_paths(cell, input_pin);
+    paths = &local_paths;
+  }
+
+  for (const StagePath& path : *paths) {
     util::Pwl wave = input_waveform;
     bool dir = input_rising;
     WaveformResult wr;
@@ -18,8 +52,12 @@ std::vector<ArcResult> ArcDelayCalculator::compute(
       const netlist::Stage& stage = cell.stages()[hop.stage];
       const bool last = hop_idx + 1 == path.hops.size();
 
-      const std::vector<InputState> states = sensitize(stage, hop.input);
-      const CollapsedStage col = collapse_dc(stage, states, *tables_);
+      CollapsedStage col;
+      if (scratch != nullptr) {
+        col = scratch->collapsed(cell, hop.stage, hop.input, *tables_);
+      } else {
+        col = collapse_dc(stage, sensitize(stage, hop.input), *tables_);
+      }
 
       StageDrive drive;
       drive.wn_eq = col.wn_eq;

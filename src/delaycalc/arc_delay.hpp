@@ -7,6 +7,9 @@
 // final output stage, whose load is supplied by the caller.
 #pragma once
 
+#include <map>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "delaycalc/stage.hpp"
@@ -22,6 +25,31 @@ struct ArcResult {
   bool coupled = false;      ///< the active coupling event fired
 };
 
+/// Reusable per-thread scratch for arc evaluation. Path enumeration and
+/// stage collapse are pure functions of the cell structure (and the fixed
+/// device tables), so they are memoized here instead of being re-derived —
+/// and re-allocated — for every waveform calculation. The calculator itself
+/// stays immutable; each engine thread owns one ArcScratch, which keeps the
+/// parallel pass free of shared mutable state.
+class ArcScratch {
+ public:
+  /// Memoized enumerate_paths(cell, pin).
+  const std::vector<StagePath>& paths(const netlist::Cell& cell,
+                                      std::size_t pin);
+  /// Memoized collapse_dc(sensitize()) for one stage hop.
+  const CollapsedStage& collapsed(const netlist::Cell& cell,
+                                  std::size_t stage_index, std::size_t input,
+                                  const device::DeviceTableSet& tables);
+
+ private:
+  std::map<std::pair<const netlist::Cell*, std::size_t>,
+           std::vector<StagePath>>
+      paths_;
+  std::map<std::tuple<const netlist::Cell*, std::size_t, std::size_t>,
+           CollapsedStage>
+      collapsed_;
+};
+
 class ArcDelayCalculator {
  public:
   explicit ArcDelayCalculator(const device::DeviceTableSet& tables)
@@ -32,12 +60,14 @@ class ArcDelayCalculator {
   /// Evaluate the arc from `input_pin` (switching with `input_rising` and
   /// waveform `input_waveform`) to the cell output, driving `load`.
   /// Returns one result per stage path (mixed output directions possible
-  /// for non-unate cells).
+  /// for non-unate cells). `scratch`, if given, must not be shared between
+  /// threads.
   std::vector<ArcResult> compute(const netlist::Cell& cell,
                                  std::size_t input_pin, bool input_rising,
                                  const util::Pwl& input_waveform,
                                  const OutputLoad& load,
-                                 const IntegrationOptions& options = {}) const;
+                                 const IntegrationOptions& options = {},
+                                 ArcScratch* scratch = nullptr) const;
 
  private:
   const device::DeviceTableSet* tables_;

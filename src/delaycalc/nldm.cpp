@@ -154,9 +154,21 @@ const NldmLibrary& NldmLibrary::half_micron() {
   return lib;
 }
 
+const std::vector<const NldmArc*>& NldmScratch::arcs(
+    const NldmLibrary& library, const netlist::Cell& cell, std::size_t pin,
+    bool input_rising) {
+  const auto key = std::make_tuple(&cell, pin, input_rising);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, &library.arcs(cell, pin, input_rising)).first;
+  }
+  return *it->second;
+}
+
 std::vector<ArcResult> NldmDelayCalculator::compute(
     const netlist::Cell& cell, std::size_t input_pin, bool input_rising,
-    const util::Pwl& input_waveform, const OutputLoad& load) const {
+    const util::Pwl& input_waveform, const OutputLoad& load,
+    NldmScratch* scratch) const {
   const device::Technology& tech = *tech_;
   // Classical coupling treatment: active caps are grounded doubled.
   const double load_cap = load.c_passive + 2.0 * load.c_active;
@@ -169,7 +181,10 @@ std::vector<ArcResult> NldmDelayCalculator::compute(
       input_waveform.time_at_value(tech.vdd / 2.0, input_rising);
 
   std::vector<ArcResult> out;
-  for (const NldmArc* arc : library_->arcs(cell, input_pin, input_rising)) {
+  const std::vector<const NldmArc*>& arcs =
+      scratch != nullptr ? scratch->arcs(*library_, cell, input_pin, input_rising)
+                         : library_->arcs(cell, input_pin, input_rising);
+  for (const NldmArc* arc : arcs) {
     const double delay = arc->delay.lookup(full_slew, load_cap);
     const double oslew = arc->output_slew.lookup(full_slew, load_cap);
     const bool rising = arc->output_rising;

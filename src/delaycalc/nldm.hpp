@@ -13,6 +13,7 @@
 
 #include <map>
 #include <memory>
+#include <tuple>
 #include <vector>
 
 #include "delaycalc/arc_delay.hpp"
@@ -82,6 +83,22 @@ class NldmLibrary {
   std::vector<const NldmArc*> empty_;
 };
 
+/// Per-thread scratch for NLDM evaluation: memoizes the (cell, pin,
+/// direction) -> arc-list index lookups, which otherwise hit the library's
+/// std::map on every waveform calculation. One per engine thread; the
+/// library itself is immutable and shared.
+class NldmScratch {
+ public:
+  const std::vector<const NldmArc*>& arcs(const NldmLibrary& library,
+                                          const netlist::Cell& cell,
+                                          std::size_t pin, bool input_rising);
+
+ private:
+  std::map<std::tuple<const netlist::Cell*, std::size_t, bool>,
+           const std::vector<const NldmArc*>*>
+      cache_;
+};
+
 /// Drop-in alternative to ArcDelayCalculator using table lookups. The
 /// active coupling load is folded in as *doubled grounded* capacitance —
 /// the classical treatment (paper mode 2); the model cannot represent the
@@ -92,10 +109,12 @@ class NldmDelayCalculator {
                       const device::Technology& tech)
       : library_(&library), tech_(&tech) {}
 
+  /// `scratch`, if given, must not be shared between threads.
   std::vector<ArcResult> compute(const netlist::Cell& cell,
                                  std::size_t input_pin, bool input_rising,
                                  const util::Pwl& input_waveform,
-                                 const OutputLoad& load) const;
+                                 const OutputLoad& load,
+                                 NldmScratch* scratch = nullptr) const;
 
  private:
   const NldmLibrary* library_;

@@ -80,6 +80,21 @@ LevelizedDag levelize(const Netlist& nl) {
   for (NetId n = 0; n < nl.num_nets(); ++n) {
     if (is_endpoint[n]) dag.endpoint_nets.push_back(n);
   }
+
+  // Bucket the topological order by level (stable counting sort, so the
+  // within-level order is deterministic and independent of everything but
+  // the netlist itself).
+  dag.level_begin.assign(dag.num_levels + 1, 0);
+  for (GateId g = 0; g < ng; ++g) ++dag.level_begin[dag.gate_level[g] + 1];
+  for (std::uint32_t l = 1; l <= dag.num_levels; ++l) {
+    dag.level_begin[l] += dag.level_begin[l - 1];
+  }
+  dag.level_order.resize(ng);
+  std::vector<std::uint32_t> cursor(dag.level_begin.begin(),
+                                    dag.level_begin.end() - 1);
+  for (const GateId g : dag.topo_order) {
+    dag.level_order[cursor[dag.gate_level[g]]++] = g;
+  }
   return dag;
 }
 

@@ -32,6 +32,14 @@ struct LevelizedDag {
   std::vector<NetId> endpoint_nets;
   /// Maximum gate level + 1.
   std::uint32_t num_levels = 0;
+  /// `topo_order` re-bucketed by level: gates of level L occupy
+  /// level_order[level_begin[L] .. level_begin[L+1]), in topo_order-relative
+  /// order within the bucket. All fanins of a level-L gate are outputs of
+  /// levels < L, so the gates of one level are mutually independent — the
+  /// unit of parallelism for the level-synchronous STA pass.
+  std::vector<GateId> level_order;
+  /// Bucket boundaries into level_order; size num_levels + 1.
+  std::vector<std::uint32_t> level_begin;
 };
 
 /// Build the DAG. Throws std::runtime_error if a combinational cycle

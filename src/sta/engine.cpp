@@ -1,6 +1,7 @@
 #include "sta/engine.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cmath>
 
@@ -48,17 +49,23 @@ StaEngine::StaEngine(const DesignView& design, const StaOptions& options)
     nldm_ = std::make_unique<delaycalc::NldmDelayCalculator>(
         delaycalc::NldmLibrary::half_micron(), design.tables->tech());
   }
+  pool_ = std::make_unique<util::ThreadPool>(
+      util::ThreadPool::resolve_threads(options_.num_threads));
+  scratch_.resize(pool_->num_threads());
 }
 
 std::vector<delaycalc::ArcResult> StaEngine::compute_arc(
     const netlist::Cell& cell, std::uint32_t pin, bool in_rising,
-    const util::Pwl& input_waveform, const delaycalc::OutputLoad& load) {
-  ++waveform_calcs_;
+    const util::Pwl& input_waveform, const delaycalc::OutputLoad& load,
+    std::size_t thread_id) {
+  waveform_calcs_.fetch_add(1, std::memory_order_relaxed);
+  DelayScratch& scratch = scratch_[thread_id];
   if (nldm_ != nullptr) {
-    return nldm_->compute(cell, pin, in_rising, input_waveform, load);
+    return nldm_->compute(cell, pin, in_rising, input_waveform, load,
+                          &scratch.nldm);
   }
   return calculator_.compute(cell, pin, in_rising, input_waveform, load,
-                             options_.integration);
+                             options_.integration, &scratch.arc);
 }
 
 double StaEngine::base_load(netlist::NetId net) const {
@@ -78,13 +85,19 @@ double StaEngine::sink_elmore(netlist::NetId net,
       return extract::elmore_sink_delay(w, pin_cap);
     }
   }
+  // No extracted wire for this sink: an extraction gap, not an ideal
+  // connection. Count it so the result can't silently masquerade as zero
+  // wire delay (StaResult::missing_sink_wires).
+  assert(!"sink has no entry in the extracted parasitics");
+  missing_sinks_.fetch_add(1, std::memory_order_relaxed);
   return 0.0;
 }
 
 delaycalc::OutputLoad StaEngine::classify_coupling(
     netlist::NetId victim, bool victim_rising, double t_bcs,
     const PassConfig& config, const std::vector<NetTiming>& timing,
-    double base_cap, double victim_settle_upper) const {
+    const std::vector<char>& calculated, double base_cap,
+    double victim_settle_upper) const {
   delaycalc::OutputLoad load;
   double grounded = 0.0;
   double active = 0.0;
@@ -103,7 +116,11 @@ delaycalc::OutputLoad StaEngine::classify_coupling(
       }
     }
     double t_a;
-    if (timing[nb.neighbor].calculated) {
+    // The snapshot only marks nets finished in *earlier* levels: a
+    // same-level neighbour classifies as "not calculated" no matter which
+    // thread (or in what order) computes it, keeping results bit-identical
+    // for any thread count — and conservative, via the fallbacks below.
+    if (calculated[nb.neighbor]) {
       t_a = timing[nb.neighbor].quiet_time(neighbor_dir);
     } else if (config.previous != nullptr) {
       t_a = config.previous->quiet(nb.neighbor, neighbor_dir);
@@ -124,7 +141,9 @@ delaycalc::OutputLoad StaEngine::classify_coupling(
 }
 
 void StaEngine::process_gate(netlist::GateId gate_id, const PassConfig& config,
-                             std::vector<NetTiming>& timing) {
+                             std::vector<NetTiming>& timing,
+                             const std::vector<char>& calculated,
+                             std::size_t thread_id) {
   const netlist::Netlist& nl = *design_.netlist;
   const netlist::Gate& gate = nl.gate(gate_id);
   const netlist::Cell& cell = *gate.cell;
@@ -173,7 +192,7 @@ void StaEngine::process_gate(netlist::GateId gate_id, const PassConfig& config,
             load = {base, cc_sum};
           }
           for (const delaycalc::ArcResult& r :
-               compute_arc(cell, p, in_rising, in_wave, load)) {
+               compute_arc(cell, p, in_rising, in_wave, load, thread_id)) {
             merge(r, origin);
           }
           break;
@@ -183,8 +202,8 @@ void StaEngine::process_gate(netlist::GateId gate_id, const PassConfig& config,
           // Best-case run: all adjacent wires quiet, caps grounded
           // unchanged. Its Vth crossing is the earliest possible victim
           // activity (lower time bound of the current waveform, §5.1).
-          const auto bcs =
-              compute_arc(cell, p, in_rising, in_wave, {base + cc_sum, 0.0});
+          const auto bcs = compute_arc(cell, p, in_rising, in_wave,
+                                       {base + cc_sum, 0.0}, thread_id);
           for (const bool out_rising : {true, false}) {
             double t_bcs = std::numeric_limits<double>::infinity();
             bool present = false;
@@ -196,7 +215,7 @@ void StaEngine::process_gate(netlist::GateId gate_id, const PassConfig& config,
             if (!present) continue;
             const double inf = std::numeric_limits<double>::infinity();
             delaycalc::OutputLoad load = classify_coupling(
-                out, out_rising, t_bcs, config, timing, base, inf);
+                out, out_rising, t_bcs, config, timing, calculated, base, inf);
             if (load.c_active <= 0.0) {
               // No neighbour can couple: the best-case run *is* the
               // worst-case run (loads identical); skip the second calc.
@@ -205,7 +224,8 @@ void StaEngine::process_gate(netlist::GateId gate_id, const PassConfig& config,
               }
               continue;
             }
-            auto wcs = compute_arc(cell, p, in_rising, in_wave, load);
+            auto wcs = compute_arc(cell, p, in_rising, in_wave, load,
+                                   thread_id);
             if (options_.timing_windows) {
               // Refine: drop aggressors that cannot start before the
               // victim settles under the unrefined worst case (the settle
@@ -216,10 +236,12 @@ void StaEngine::process_gate(netlist::GateId gate_id, const PassConfig& config,
                   settle_upper = std::max(settle_upper, r.settle_time);
                 }
               }
-              const delaycalc::OutputLoad refined = classify_coupling(
-                  out, out_rising, t_bcs, config, timing, base, settle_upper);
+              const delaycalc::OutputLoad refined =
+                  classify_coupling(out, out_rising, t_bcs, config, timing,
+                                    calculated, base, settle_upper);
               if (refined.c_active < load.c_active - 1e-18) {
-                wcs = compute_arc(cell, p, in_rising, in_wave, refined);
+                wcs = compute_arc(cell, p, in_rising, in_wave, refined,
+                                  thread_id);
               }
             }
             for (const delaycalc::ArcResult& r : wcs) {
@@ -248,16 +270,37 @@ double StaEngine::run_pass(const PassConfig& config,
     timing[pi].calculated = true;
   }
 
-  for (const netlist::GateId g : design_.dag->topo_order) {
-    if (config.active_gates != nullptr && !(*config.active_gates)[g]) {
-      // Esperance: keep the previous pass's (conservative) result.
-      const netlist::Gate& gate = nl.gate(g);
-      const netlist::NetId out = gate.pin_nets[gate.cell->output_pin()];
-      timing[out] = (*config.previous_timing)[out];
-      timing[out].calculated = true;
-      continue;
+  // Level-synchronous parallel traversal. Gates of one level are mutually
+  // independent (fanins all in earlier levels, each writes only its own
+  // output net); the only cross-gate reads are the coupling neighbours,
+  // which classify against the `calculated` snapshot as of level start —
+  // so a net being written by a same-level gate is never touched, and the
+  // outcome is independent of thread count and scheduling.
+  const std::vector<netlist::GateId>& order = design_.dag->level_order;
+  const std::vector<std::uint32_t>& level_begin = design_.dag->level_begin;
+  std::vector<char> calculated(nl.num_nets(), 0);
+  for (const netlist::NetId pi : nl.primary_inputs()) calculated[pi] = 1;
+
+  for (std::size_t lvl = 0; lvl + 1 < level_begin.size(); ++lvl) {
+    pool_->parallel_for(
+        level_begin[lvl], level_begin[lvl + 1],
+        [&](std::size_t i, std::size_t thread_id) {
+          const netlist::GateId g = order[i];
+          if (config.active_gates != nullptr && !(*config.active_gates)[g]) {
+            // Esperance: keep the previous pass's (conservative) result.
+            const netlist::Gate& gate = nl.gate(g);
+            const netlist::NetId out = gate.pin_nets[gate.cell->output_pin()];
+            timing[out] = (*config.previous_timing)[out];
+            timing[out].calculated = true;
+            return;
+          }
+          process_gate(g, config, timing, calculated, thread_id);
+        });
+    // Barrier passed: this level's outputs are visible from the next level.
+    for (std::size_t i = level_begin[lvl]; i < level_begin[lvl + 1]; ++i) {
+      const netlist::Gate& gate = nl.gate(order[i]);
+      calculated[gate.pin_nets[gate.cell->output_pin()]] = 1;
     }
-    process_gate(g, config, timing);
   }
 
   // Endpoint arrivals: D-pin sinks add their Elmore shift, primary outputs
@@ -296,19 +339,26 @@ QuietTimes StaEngine::collect_quiet(const std::vector<NetTiming>& timing) const 
   return q;
 }
 
-std::vector<char> StaEngine::esperance_gates(
-    const std::vector<NetTiming>& timing,
-    const std::vector<EndpointArrival>& eps, double delay) const {
-  std::vector<char> active(design_.netlist->num_gates(), 0);
-  // Walk the origin chains of every endpoint within the window.
+std::vector<char> collect_esperance_gates(
+    std::size_t num_gates, const std::vector<NetTiming>& timing,
+    const std::vector<EndpointArrival>& eps, double delay, double window) {
+  std::vector<char> active(num_gates, 0);
+  // Walk the origin chains of every endpoint within the window. Chains are
+  // deduplicated per (net, edge) event: a gate can be marked via its
+  // rise-event chain while its fall-event chain has a *different* upstream
+  // origin (reconvergent logic), so an already-active gate must not stop
+  // the walk — only an already-visited event may.
+  std::vector<char> visited(timing.size() * 2, 0);
   for (const EndpointArrival& ep : eps) {
-    if (ep.arrival < delay - options_.esperance_window) continue;
+    if (ep.arrival < delay - window) continue;
     netlist::NetId net = ep.net;
     bool rising = ep.rising;
     while (net != netlist::kNoNet) {
+      char& seen = visited[static_cast<std::size_t>(net) * 2 + (rising ? 1 : 0)];
+      if (seen) break;  // this event's chain is already collected
+      seen = 1;
       const NetEvent& e = timing[net].event(rising);
       if (!e.valid || e.origin.gate == netlist::kNoGate) break;
-      if (active[e.origin.gate]) break;  // chain already collected
       active[e.origin.gate] = 1;
       net = e.origin.from_net;
       rising = e.origin.from_rising;
@@ -320,7 +370,9 @@ std::vector<char> StaEngine::esperance_gates(
 StaResult StaEngine::run() {
   const auto t0 = std::chrono::steady_clock::now();
   StaResult result;
-  waveform_calcs_ = 0;
+  waveform_calcs_.store(0, std::memory_order_relaxed);
+  missing_sinks_.store(0, std::memory_order_relaxed);
+  result.threads_used = static_cast<int>(pool_->num_threads());
 
   if (options_.timing_windows) {
     const EarlyTimes early = compute_early_activity(design_, options_.early);
@@ -356,7 +408,9 @@ StaResult StaEngine::run() {
       cfg.previous = &quiet;
       std::vector<char> active;
       if (options_.esperance) {
-        active = esperance_gates(best_timing, best_eps, best);
+        active = collect_esperance_gates(design_.netlist->num_gates(),
+                                         best_timing, best_eps, best,
+                                         options_.esperance_window);
         cfg.active_gates = &active;
         cfg.previous_timing = &best_timing;
       }
@@ -381,7 +435,9 @@ StaResult StaEngine::run() {
   result.critical = critical;
   result.endpoints = std::move(endpoints);
   result.timing = std::move(timing);
-  result.waveform_calculations = waveform_calcs_;
+  result.waveform_calculations =
+      waveform_calcs_.load(std::memory_order_relaxed);
+  result.missing_sink_wires = missing_sinks_.load(std::memory_order_relaxed);
   result.runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -9,10 +9,25 @@
 // yet — keeps an active coupling cap, the rest are grounded with unchanged
 // value, and the worst-case waveform is computed and inserted into the
 // victim's event queue. Complexity stays linear in the graph size.
+//
+// The pass is level-parallel: gates of one topological level have all
+// their fanins in earlier levels and write only their own output net, so
+// they run concurrently with a barrier between levels (the "TopoBarrier"
+// schedule of parallel STA engines). Coupling classification reads
+// neighbour nets that may be *computed in the same level*; to stay
+// deterministic for any thread count, it classifies against a snapshot of
+// the per-net calculated flags taken at level start — a same-level
+// neighbour counts as "not calculated", which falls back to §5.1's
+// conservative coupling assumption (or the previous pass's quiet times)
+// regardless of intra-level execution order.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
 #include <vector>
+
+#include "util/thread_pool.hpp"
 
 #include "delaycalc/arc_delay.hpp"
 #include "delaycalc/nldm.hpp"
@@ -68,6 +83,10 @@ struct StaOptions {
   /// pass plus occasional arc re-evaluations; tightens the bound further.
   bool timing_windows = false;
   EarlyOptions early;
+  /// Worker threads for the level-parallel pass: 0 = one per hardware
+  /// thread, 1 = serial. Results are bit-identical for any value — the
+  /// coupling classification only sees state from completed levels.
+  int num_threads = 0;
 };
 
 struct EndpointArrival {
@@ -84,6 +103,11 @@ struct StaResult {
   int passes = 0;                          ///< full BFS passes executed
   std::size_t waveform_calculations = 0;
   double runtime_seconds = 0.0;
+  int threads_used = 1;  ///< resolved worker count of the level-parallel pass
+  /// Sinks encountered during propagation with no entry in the extracted
+  /// parasitics (treated as zero wire delay). Nonzero means the extraction
+  /// has gaps — investigate instead of trusting the bound.
+  std::size_t missing_sink_wires = 0;
 };
 
 /// All inputs of an analysis run (netlist + DAG + extracted parasitics +
@@ -114,17 +138,29 @@ class StaEngine {
     const std::vector<NetTiming>* previous_timing = nullptr;
   };
 
-  /// One full BFS pass; fills `timing` and returns the longest-path delay.
+  /// Per-thread delay-calculation scratch (memoized path enumeration /
+  /// stage collapse / NLDM arc lookups). Indexed by the pool's thread id.
+  struct DelayScratch {
+    delaycalc::ArcScratch arc;
+    delaycalc::NldmScratch nldm;
+  };
+
+  /// One full BFS pass (level-parallel); fills `timing` and returns the
+  /// longest-path delay.
   double run_pass(const PassConfig& config, std::vector<NetTiming>& timing,
                   std::vector<EndpointArrival>& endpoints,
                   EndpointArrival& critical);
 
   /// Evaluate every arc of `gate` and merge results into the output net's
-  /// events.
+  /// events. `calculated` is the snapshot of per-net calculated flags as of
+  /// the start of the gate's level; `thread_id` selects the scratch.
   void process_gate(netlist::GateId gate, const PassConfig& config,
-                    std::vector<NetTiming>& timing);
+                    std::vector<NetTiming>& timing,
+                    const std::vector<char>& calculated,
+                    std::size_t thread_id);
 
   /// Decide the coupling load split for one victim arc evaluation.
+  /// `calculated` is the level-start snapshot (see process_gate).
   /// `victim_settle_upper` enables the timing-window refinement: an
   /// aggressor whose earliest opposite activity starts at or after it is
   /// grounded (pass +inf to disable).
@@ -132,6 +168,7 @@ class StaEngine {
                                           bool victim_rising, double t_bcs,
                                           const PassConfig& config,
                                           const std::vector<NetTiming>& timing,
+                                          const std::vector<char>& calculated,
                                           double base_cap,
                                           double victim_settle_upper) const;
 
@@ -145,25 +182,38 @@ class StaEngine {
   /// Collect per-net quiet times from a finished pass.
   QuietTimes collect_quiet(const std::vector<NetTiming>& timing) const;
 
-  /// Gates on paths within the Esperance window of the critical endpoint.
-  std::vector<char> esperance_gates(const std::vector<NetTiming>& timing,
-                                    const std::vector<EndpointArrival>& eps,
-                                    double delay) const;
-
   /// Dispatch to the configured delay engine.
   std::vector<delaycalc::ArcResult> compute_arc(
       const netlist::Cell& cell, std::uint32_t pin, bool in_rising,
-      const util::Pwl& input_waveform, const delaycalc::OutputLoad& load);
+      const util::Pwl& input_waveform, const delaycalc::OutputLoad& load,
+      std::size_t thread_id);
 
   DesignView design_;
   StaOptions options_;
   delaycalc::ArcDelayCalculator calculator_;
   std::unique_ptr<delaycalc::NldmDelayCalculator> nldm_;
-  std::size_t waveform_calcs_ = 0;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<DelayScratch> scratch_;  ///< one per pool thread
+  std::atomic<std::size_t> waveform_calcs_{0};
+  /// Sinks with no extracted wire seen during propagation (see
+  /// StaResult::missing_sink_wires). Mutable: sink_elmore is logically
+  /// const but must record the gap.
+  mutable std::atomic<std::size_t> missing_sinks_{0};
   /// Per-net earliest activity (only when options_.timing_windows is set).
   std::vector<double> early_rise_;
   std::vector<double> early_fall_;
 };
+
+/// Gates on origin chains of endpoints within `window` of `delay` (the
+/// Esperance restriction, §5.2). Chains are walked and deduplicated per
+/// (net, edge) *event*, not per gate: in reconvergent logic a gate's rise
+/// and fall events can arrive through different upstream origins, so a gate
+/// already marked via one edge's chain must not terminate the walk of the
+/// other edge's chain. Exposed for testing.
+std::vector<char> collect_esperance_gates(
+    std::size_t num_gates, const std::vector<NetTiming>& timing,
+    const std::vector<EndpointArrival>& endpoints, double delay,
+    double window);
 
 /// Convenience wrapper: run one mode on a design.
 StaResult run_sta(const DesignView& design, const StaOptions& options);

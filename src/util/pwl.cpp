@@ -41,13 +41,19 @@ void Pwl::append(double t, double v) {
   if (!points_.empty()) {
     assert(t > points_.back().t && "PWL times must increase");
     // Merge collinear middle points: if the previous two points and the new
-    // one lie on one line, drop the middle one.
-    if (points_.size() >= 2) {
+    // one lie on one line, drop the middle one. The tolerance is relative
+    // to the local voltage swing, not an absolute epsilon: an absolute
+    // threshold merges away small-but-real features (the near-vertical
+    // post-V_trig coupling-step segments ride on a large DC value with a
+    // swing near the old 1e-12 cutoff) and shifts time_at_value crossings.
+    // The first two points fix the waveform's start and are never merged.
+    if (points_.size() >= 3) {
       const PwlPoint& a = points_[points_.size() - 2];
       const PwlPoint& b = points_.back();
       const double slope_ab = (b.v - a.v) / (b.t - a.t);
       const double predicted = b.v + slope_ab * (t - b.t);
-      if (std::abs(predicted - v) <= 1e-12 * std::max(1.0, std::abs(v))) {
+      const double swing = std::abs(b.v - a.v) + std::abs(v - b.v);
+      if (std::abs(predicted - v) <= 1e-9 * swing) {
         points_.back() = {t, v};
         return;
       }

@@ -1,0 +1,92 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace xtalk::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(n - 1);
+  for (std::size_t t = 1; t < n; ++t) {
+    workers_.emplace_back([this, t] { worker_main(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::resolve_threads(int requested) {
+  if (requested > 0) return static_cast<std::size_t>(requested);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ThreadPool::run_loop(std::size_t thread_id) {
+  const LoopFn& fn = *fn_;
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= end_) break;
+    try {
+      fn(i, thread_id);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_main(std::size_t thread_id) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    run_loop(thread_id);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--workers_running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const LoopFn& fn) {
+  if (begin >= end) return;
+  if (workers_.empty()) {
+    for (std::size_t i = begin; i < end; ++i) fn(i, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    end_ = end;
+    next_.store(begin, std::memory_order_relaxed);
+    workers_running_ = workers_.size();
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_loop(0);  // the caller is thread 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return workers_running_ == 0; });
+  fn_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace xtalk::util

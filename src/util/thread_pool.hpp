@@ -1,0 +1,75 @@
+// A small persistent worker pool for level-synchronous parallel loops.
+//
+// The STA engine processes one topological level at a time; inside a level
+// every gate is independent (each writes only its own output net), so the
+// natural execution model is a parallel-for with a barrier between levels
+// (Galois' "TopoBarrier" schedule). The pool keeps its workers alive across
+// levels and passes — spawning threads per level would dominate the runtime
+// of small levels.
+//
+// No external dependencies: plain std::thread + mutex/condvar dispatch with
+// an atomic index counter for dynamic load balancing. Work is handed out as
+// indices, so the *content* of the computation never depends on which
+// worker executes it — determinism is the caller's contract (see
+// sta/engine.cpp's snapshot-based coupling classification).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xtalk::util {
+
+class ThreadPool {
+ public:
+  /// Worker callback: fn(index, thread_id). `index` walks [begin, end) of
+  /// the current loop; `thread_id` is in [0, num_threads()) and stable for
+  /// the duration of one parallel_for (use it to index per-thread scratch).
+  using LoopFn = std::function<void(std::size_t, std::size_t)>;
+
+  /// Spawns `num_threads - 1` workers; the calling thread participates as
+  /// thread 0. `num_threads` is clamped to at least 1.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Run fn(i, thread_id) for every i in [begin, end), blocking until all
+  /// iterations finished. Exceptions thrown by fn are captured and the
+  /// first one is rethrown on the calling thread after the barrier.
+  void parallel_for(std::size_t begin, std::size_t end, const LoopFn& fn);
+
+  /// Map a user-facing thread-count request to an actual count:
+  /// 0 = std::thread::hardware_concurrency(), otherwise the value itself
+  /// (minimum 1).
+  static std::size_t resolve_threads(int requested);
+
+ private:
+  void worker_main(std::size_t thread_id);
+  void run_loop(std::size_t thread_id);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  bool shutdown_ = false;
+  std::uint64_t generation_ = 0;  ///< bumped once per parallel_for
+
+  // State of the loop in flight (valid while a generation is active).
+  const LoopFn* fn_ = nullptr;
+  std::size_t end_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t workers_running_ = 0;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace xtalk::util

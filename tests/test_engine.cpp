@@ -202,6 +202,56 @@ TEST(Engine, InputSlewAffectsDelay) {
   EXPECT_GT(d_slow, d_fast);
 }
 
+TEST(Engine, EsperanceWalksRiseAndFallChainsIndependently) {
+  // Reconvergent regression: both edges of an endpoint net are driven by
+  // the same gate (the net's driver), but their worst arcs come through
+  // different upstream origins. The old walk stopped as soon as it hit an
+  // already-*active gate*, so after the rise chain marked the shared
+  // driver, the fall chain's distinct upstream gates were never
+  // re-activated and silently kept stale previous-pass timing. Chains must
+  // be deduplicated per (net, edge) event instead.
+  //
+  // Nets: A(0) -> G1 -> B(1) -> G2 -> E(4)   (rise chain)
+  //       D(3) -> G3 -> C(2) -> G2 -> E(4)   (fall chain)
+  const auto ev = [](double arrival, netlist::GateId gate,
+                     netlist::NetId from_net, bool from_rising) {
+    NetEvent e;
+    e.valid = true;
+    e.arrival = arrival;
+    e.origin = {gate, from_net, from_rising};
+    return e;
+  };
+  std::vector<NetTiming> timing(5);
+  timing[0].rise = ev(0.1e-9, netlist::kNoGate, netlist::kNoNet, true);
+  timing[1].rise = ev(0.5e-9, 1, 0, true);
+  timing[3].fall = ev(0.1e-9, netlist::kNoGate, netlist::kNoNet, false);
+  timing[2].fall = ev(0.5e-9, 3, 3, false);
+  timing[4].rise = ev(1.0e-9, 2, 1, true);
+  timing[4].fall = ev(0.98e-9, 2, 2, false);
+
+  const std::vector<EndpointArrival> eps = {{4, true, 1.0e-9},
+                                            {4, false, 0.98e-9}};
+  const std::vector<char> active =
+      collect_esperance_gates(4, timing, eps, 1.0e-9, 0.1e-9);
+  EXPECT_TRUE(active[1]);  // rise chain upstream
+  EXPECT_TRUE(active[2]);  // shared driver
+  EXPECT_TRUE(active[3]);  // fall chain upstream — lost before the fix
+}
+
+TEST(Engine, EsperanceWindowExcludesShortPaths) {
+  std::vector<NetTiming> timing(2);
+  NetEvent e;
+  e.valid = true;
+  e.arrival = 0.2e-9;
+  e.origin = {0, netlist::kNoNet, true};
+  timing[1].rise = e;
+  const std::vector<EndpointArrival> eps = {{1, true, 0.2e-9}};
+  // Endpoint is 0.8 ns off the longest path with a 0.5 ns window: pruned.
+  const std::vector<char> active =
+      collect_esperance_gates(1, timing, eps, 1.0e-9, 0.5e-9);
+  EXPECT_FALSE(active[0]);
+}
+
 TEST(Report, TableFormatsAllRows) {
   std::vector<TableRow> rows;
   for (const auto& [mode, r] : s27_results()) {

@@ -1,0 +1,154 @@
+// Determinism of the level-parallel STA pass: the engine must produce
+// bit-identical results for any thread count (the coupling classification
+// reads a per-level snapshot, so intra-level scheduling cannot leak into
+// the numbers), plus unit coverage of the thread-pool utility itself.
+#include "sta/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "core/crosstalk_sta.hpp"
+#include "netlist/circuit_generator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace xtalk::sta {
+namespace {
+
+const core::Design& parallel_design() {
+  static const core::Design d =
+      core::Design::generate(netlist::scaled_spec("par", 77, 400, 12));
+  return d;
+}
+
+StaResult run_with_threads(AnalysisMode mode, int threads) {
+  StaOptions opt;
+  opt.mode = mode;
+  opt.esperance = true;
+  opt.timing_windows = true;
+  opt.num_threads = threads;
+  return parallel_design().run(opt);
+}
+
+void expect_identical(const StaResult& a, const StaResult& b) {
+  // Bitwise equality throughout: same waveform calculations in the same
+  // per-gate order must yield the same doubles, not merely close ones.
+  EXPECT_EQ(a.longest_path_delay, b.longest_path_delay);
+  EXPECT_EQ(a.passes, b.passes);
+  EXPECT_EQ(a.waveform_calculations, b.waveform_calculations);
+  EXPECT_EQ(a.critical.net, b.critical.net);
+  EXPECT_EQ(a.critical.rising, b.critical.rising);
+  EXPECT_EQ(a.critical.arrival, b.critical.arrival);
+  ASSERT_EQ(a.endpoints.size(), b.endpoints.size());
+  for (std::size_t i = 0; i < a.endpoints.size(); ++i) {
+    EXPECT_EQ(a.endpoints[i].net, b.endpoints[i].net);
+    EXPECT_EQ(a.endpoints[i].rising, b.endpoints[i].rising);
+    EXPECT_EQ(a.endpoints[i].arrival, b.endpoints[i].arrival);
+  }
+  ASSERT_EQ(a.timing.size(), b.timing.size());
+  for (std::size_t n = 0; n < a.timing.size(); ++n) {
+    for (const bool rising : {true, false}) {
+      const NetEvent& ea = a.timing[n].event(rising);
+      const NetEvent& eb = b.timing[n].event(rising);
+      ASSERT_EQ(ea.valid, eb.valid) << "net " << n;
+      if (!ea.valid) continue;
+      EXPECT_EQ(ea.arrival, eb.arrival) << "net " << n;
+      EXPECT_EQ(ea.start_time, eb.start_time) << "net " << n;
+      EXPECT_EQ(ea.settle_time, eb.settle_time) << "net " << n;
+    }
+  }
+}
+
+TEST(ParallelEngine, BitIdenticalAcrossThreadCounts) {
+  for (const AnalysisMode mode :
+       {AnalysisMode::kOneStep, AnalysisMode::kIterative}) {
+    const StaResult serial = run_with_threads(mode, 1);
+    EXPECT_EQ(serial.threads_used, 1);
+    EXPECT_EQ(serial.missing_sink_wires, 0u);
+    for (const int threads : {2, 8}) {
+      const StaResult parallel = run_with_threads(mode, threads);
+      EXPECT_EQ(parallel.threads_used, threads);
+      expect_identical(serial, parallel);
+    }
+  }
+}
+
+TEST(ParallelEngine, DefaultThreadCountResolvesToHardware) {
+  StaOptions opt;
+  opt.mode = AnalysisMode::kOneStep;
+  opt.num_threads = 0;
+  const StaResult r = parallel_design().run(opt);
+  EXPECT_GE(r.threads_used, 1);
+  EXPECT_GT(r.longest_path_delay, 0.0);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i, std::size_t tid) {
+    ASSERT_LT(tid, pool.num_threads());
+    hits[i].fetch_add(1);
+  });
+  for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossLoopsAndEmptyRanges) {
+  util::ThreadPool pool(3);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { sum += 1; });
+  EXPECT_EQ(sum.load(), 0u);
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(0, 17, [&](std::size_t i, std::size_t) { sum += i; });
+  }
+  EXPECT_EQ(sum.load(), 10u * (16u * 17u / 2u));
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  util::ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](std::size_t i, std::size_t) {
+                                   if (i == 42) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 8, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  util::ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  int sum = 0;  // no atomics needed: everything runs on the caller
+  pool.parallel_for(0, 10, [&](std::size_t i, std::size_t tid) {
+    EXPECT_EQ(tid, 0u);
+    sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ParallelEngine, LevelBucketsPartitionTopoOrder) {
+  const netlist::LevelizedDag& dag = parallel_design().dag();
+  ASSERT_EQ(dag.level_begin.size(), dag.num_levels + 1);
+  EXPECT_EQ(dag.level_begin.front(), 0u);
+  EXPECT_EQ(dag.level_begin.back(), dag.topo_order.size());
+  ASSERT_EQ(dag.level_order.size(), dag.topo_order.size());
+  std::vector<char> seen(dag.level_order.size(), 0);
+  for (std::uint32_t lvl = 0; lvl < dag.num_levels; ++lvl) {
+    for (std::uint32_t i = dag.level_begin[lvl]; i < dag.level_begin[lvl + 1];
+         ++i) {
+      const netlist::GateId g = dag.level_order[i];
+      EXPECT_EQ(dag.gate_level[g], lvl);
+      EXPECT_FALSE(seen[g]);
+      seen[g] = 1;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xtalk::sta

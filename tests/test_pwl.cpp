@@ -47,10 +47,43 @@ TEST(Pwl, AppendMergesCollinearPoints) {
   Pwl w;
   w.append(0.0, 0.0);
   w.append(1.0, 1.0);
-  w.append(2.0, 2.0);  // collinear with the previous two
-  w.append(3.0, 3.0);
-  EXPECT_EQ(w.size(), 2u);
+  w.append(2.0, 2.0);  // collinear, but the first two points never merge
+  w.append(3.0, 3.0);  // collinear: replaces (2, 2)
+  w.append(4.0, 4.0);  // collinear: replaces (3, 3)
+  EXPECT_EQ(w.size(), 3u);
   EXPECT_DOUBLE_EQ(w.value_at(1.7), 1.7);
+  EXPECT_DOUBLE_EQ(w.back().t, 4.0);
+}
+
+TEST(Pwl, AppendNeverMergesWithOnlyTwoPoints) {
+  // The first two points pin the waveform's start (engine code reads
+  // front().t as the first-activity bound); a collinear third sample must
+  // not collapse them.
+  Pwl w;
+  w.append(0.0, 0.0);
+  w.append(1.0, 1.0);
+  w.append(2.0, 2.0);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.points()[1].t, 1.0);
+}
+
+TEST(Pwl, AppendPreservesCouplingStepMicroSwing) {
+  // Regression: the old absolute 1e-12 merge tolerance erased
+  // small-amplitude features riding on a large DC value — exactly the
+  // shape of the near-vertical post-V_trig coupling-step segments — which
+  // shifted time_at_value crossings. The tolerance must scale with the
+  // local segment swing, not the absolute voltage.
+  Pwl w;
+  w.append(0.0, 0.2);
+  w.append(1e-12, 1.0);
+  w.append(2e-12, 1.0 + 8e-13);  // micro-step up: real feature, not noise
+  w.append(3e-12, 1.0 + 8e-13);  // flat continuation; old code merged this
+                                 // into the previous point (|err| <= 1e-12)
+  ASSERT_EQ(w.size(), 4u);
+  // The 1.0 + 4e-13 crossing lies in the micro-step segment; with the
+  // erroneous merge it would shift from 1.5 ps to 2 ps. (Loose tolerance:
+  // 1.0 + 4e-13 itself rounds at the 1e-16 granularity of doubles near 1.)
+  EXPECT_NEAR(w.time_at_value(1.0 + 4e-13, true), 1.5e-12, 0.05e-12);
 }
 
 TEST(Pwl, AppendKeepsCorners) {
