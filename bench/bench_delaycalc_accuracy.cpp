@@ -16,6 +16,7 @@
 #include "delaycalc/arc_delay.hpp"
 #include "sim/measure.hpp"
 #include "sim/transient.hpp"
+#include "table_common.hpp"
 
 using namespace xtalk;
 
@@ -85,7 +86,11 @@ Sample measure(const char* cell_name, double load, double slew,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json;
+  json.root().set("benchmark", "delaycalc_accuracy");
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+
   std::cout << "=== §3: transistor-level delay engine vs MNA simulation ===\n";
   std::cout << std::left << std::setw(11) << "cell" << std::right
             << std::setw(9) << "load[fF]" << std::setw(10) << "slew[ps]"
@@ -100,6 +105,14 @@ int main() {
         for (const bool rising : {true, false}) {
           const Sample s = measure(cell, load, slew, rising);
           samples.push_back(s);
+          json.add_row("samples")
+              .set("cell", s.cell)
+              .set("load_ff", s.load * 1e15)
+              .set("slew_ps", s.slew * 1e12)
+              .set("input_rising", s.in_rising)
+              .set("calc_ps", s.calc_ps)
+              .set("sim_ps", s.sim_ps)
+              .set("err_pct", s.err_pct);
           std::cout << std::left << std::setw(11) << s.cell << std::right
                     << std::fixed << std::setprecision(0) << std::setw(9)
                     << s.load * 1e15 << std::setw(10) << s.slew * 1e12
@@ -122,5 +135,11 @@ int main() {
             << errs.back() << "% over " << errs.size() << " samples\n";
   std::cout << "(positive error = engine slower than simulation, i.e. "
                "conservative)\n";
+  json.root()
+      .set("mean_abs_err_pct", mean)
+      .set("median_abs_err_pct", errs[errs.size() / 2])
+      .set("max_abs_err_pct", errs.back())
+      .set("samples", errs.size());
+  json.write_file(json_path);
   return 0;
 }

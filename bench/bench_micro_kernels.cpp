@@ -4,9 +4,13 @@
 // set. Useful for tracking performance regressions of the engine.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/transistor_netlist.hpp"
 #include "delaycalc/arc_delay.hpp"
 #include "sim/transient.hpp"
+#include "table_common.hpp"
 
 using namespace xtalk;
 
@@ -110,4 +114,31 @@ BENCHMARK(BM_TransientInverterChain)->Arg(4)->Arg(16)->Unit(benchmark::kMillisec
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): translate the repo-wide
+// `--json <path>` flag into google-benchmark's JSON reporter flags so every
+// bench binary shares one machine-readable interface.
+int main(int argc, char** argv) {
+  const std::string json_path = xtalk::bench::json_path_from_args(argc, argv);
+  std::vector<char*> args;
+  std::vector<std::string> storage;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!json_path.empty()) {
+    storage.push_back("--benchmark_out=" + json_path);
+    storage.push_back("--benchmark_out_format=json");
+    for (std::string& s : storage) args.push_back(s.data());
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

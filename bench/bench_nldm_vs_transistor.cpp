@@ -13,10 +13,15 @@
 
 #include "core/crosstalk_sta.hpp"
 #include "delaycalc/nldm.hpp"
+#include "table_common.hpp"
 
 using namespace xtalk;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json;
+  json.root().set("benchmark", "nldm_vs_transistor");
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+
   double scale = 1.0;
   if (const char* env = std::getenv("XTALK_BENCH_SCALE")) {
     scale = std::strtod(env, nullptr);
@@ -33,6 +38,7 @@ int main() {
           .count();
   std::cout << "NLDM characterization: " << arcs << " arcs in " << std::fixed
             << std::setprecision(2) << char_s << " s (one-time)\n\n";
+  json.root().set("nldm_arcs", arcs).set("characterization_s", char_s);
 
   const core::Design design =
       core::Design::generate(netlist::scaled_spec("nldm", 777, cells, 20));
@@ -71,10 +77,14 @@ int main() {
               << std::setprecision(3) << std::setw(12)
               << r.longest_path_delay * 1e9 << std::setw(12)
               << std::setprecision(2) << r.runtime_seconds << "\n";
+    bench::JsonObject& row = json.add_row("configurations");
+    row.set("label", c.label);
+    bench::fill_result_row(row, r);
   }
   std::cout << "\nexpected shape: NLDM tracks the transistor engine within a "
                "few percent at a fraction of the runtime, but its doubled-cap "
                "number falls below the transistor-level iterative bound — the "
                "classical flow is not a safe crosstalk bound (paper §6).\n";
+  json.write_file(json_path);
   return 0;
 }

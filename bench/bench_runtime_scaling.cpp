@@ -13,10 +13,15 @@
 #include <thread>
 
 #include "core/crosstalk_sta.hpp"
+#include "table_common.hpp"
 
 using namespace xtalk;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json;
+  json.root().set("benchmark", "runtime_scaling");
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+
   double scale = 1.0;
   if (const char* env = std::getenv("XTALK_BENCH_SCALE")) {
     scale = std::strtod(env, nullptr);
@@ -59,6 +64,9 @@ int main() {
                 << r.runtime_seconds * 1e6 / static_cast<double>(cells)
                 << std::setw(12) << std::setprecision(3)
                 << r.longest_path_delay * 1e9 << "\n";
+      bench::JsonObject& row = json.add_row("scaling");
+      row.set("cells", cells).set("mode", sta::mode_name(mode));
+      bench::fill_result_row(row, r);
     }
   }
 
@@ -88,6 +96,12 @@ int main() {
                 << std::setprecision(3) << r.longest_path_delay * 1e9
                 << " ns, identical "
                 << (r.longest_path_delay == d1 ? "yes" : "NO") << "\n";
+      json.add_row("thread_scaling")
+          .set("threads", threads)
+          .set("runtime_s", r.runtime_seconds)
+          .set("speedup", t1 / std::max(r.runtime_seconds, 1e-9))
+          .set("delay_ns", r.longest_path_delay * 1e9)
+          .set("identical", r.longest_path_delay == d1);
     }
   }
 
@@ -119,11 +133,17 @@ int main() {
               << r.runtime_seconds << " s, passes " << r.passes << ", calcs "
               << r.waveform_calculations << ", bound "
               << r.longest_path_delay * 1e9 << " ns\n";
+    bench::JsonObject& row = json.add_row("ablations");
+    row.set("label", a.label)
+        .set("esperance", a.esperance)
+        .set("timing_windows", a.timing_windows);
+    bench::fill_result_row(row, r);
   }
 
   std::cout << "\nexpected shape: us/cell roughly constant per mode (linear "
                "complexity); one-step about 2x best-case calcs; iterative "
                ">= 2 passes; esperance cuts calcs at equal-or-looser "
                "bound.\n";
+  json.write_file(json_path);
   return 0;
 }

@@ -3,7 +3,10 @@
 // longest-path simulation row.
 #include "table_common.hpp"
 
-int main() {
-  xtalk::bench::run_table_benchmark("Table 1", xtalk::netlist::s35932_like());
+int main(int argc, char** argv) {
+  xtalk::bench::TableOptions options;
+  options.json_path = xtalk::bench::json_path_from_args(argc, argv);
+  xtalk::bench::run_table_benchmark("Table 1", xtalk::netlist::s35932_like(),
+                                    options);
   return 0;
 }

@@ -1,7 +1,10 @@
 // Reproduces Table 2 of the paper: the s38417-scale circuit (23922 cells).
 #include "table_common.hpp"
 
-int main() {
-  xtalk::bench::run_table_benchmark("Table 2", xtalk::netlist::s38417_like());
+int main(int argc, char** argv) {
+  xtalk::bench::TableOptions options;
+  options.json_path = xtalk::bench::json_path_from_args(argc, argv);
+  xtalk::bench::run_table_benchmark("Table 2", xtalk::netlist::s38417_like(),
+                                    options);
   return 0;
 }

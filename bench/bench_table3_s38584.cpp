@@ -1,7 +1,10 @@
 // Reproduces Table 3 of the paper: the s38584-scale circuit (20812 cells).
 #include "table_common.hpp"
 
-int main() {
-  xtalk::bench::run_table_benchmark("Table 3", xtalk::netlist::s38584_like());
+int main(int argc, char** argv) {
+  xtalk::bench::TableOptions options;
+  options.json_path = xtalk::bench::json_path_from_args(argc, argv);
+  xtalk::bench::run_table_benchmark("Table 3", xtalk::netlist::s38584_like(),
+                                    options);
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "core/crosstalk_sta.hpp"
 #include "extract/elmore.hpp"
 #include "sta/path.hpp"
+#include "table_common.hpp"
 
 using namespace xtalk;
 
@@ -25,7 +26,7 @@ double scaled(double v) {
   return v;
 }
 
-void run(const netlist::GeneratorSpec& base) {
+void run(const netlist::GeneratorSpec& base, bench::JsonReport& json) {
   netlist::GeneratorSpec spec = base;
   spec.num_cells = std::max<std::size_t>(
       64, static_cast<std::size_t>(scaled(static_cast<double>(spec.num_cells))));
@@ -58,20 +59,30 @@ void run(const netlist::GeneratorSpec& base) {
             << wire_delay * 1e9 << std::setw(16) << coupling_impact * 1e9
             << std::setw(10) << std::setprecision(1)
             << coupling_impact / std::max(wire_delay, 1e-15) << "x\n";
+  json.add_row("circuits")
+      .set("circuit", spec.name)
+      .set("wire_ns", wire_delay * 1e9)
+      .set("coupling_ns", coupling_impact * 1e9)
+      .set("ratio", coupling_impact / std::max(wire_delay, 1e-15));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json;
+  json.root().set("benchmark", "wire_vs_coupling");
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+
   std::cout << "=== §6: wire-resistance delay vs coupling impact on the "
                "longest path ===\n";
   std::cout << std::left << std::setw(16) << "circuit" << std::right
             << std::setw(12) << "wire[ns]" << std::setw(16) << "coupling[ns]"
             << std::setw(10) << "ratio" << "\n";
-  run(netlist::s35932_like());
-  run(netlist::s38417_like());
-  run(netlist::s38584_like());
+  run(netlist::s35932_like(), json);
+  run(netlist::s38417_like(), json);
+  run(netlist::s38584_like(), json);
   std::cout << "\npaper: wire 0.2/0.2/0.5 ns, coupling 1.4/2.8/2.7 ns — the "
                "coupling impact dominates the wire-resistance impact.\n";
+  json.write_file(json_path);
   return 0;
 }

@@ -1,14 +1,163 @@
 #include "table_common.hpp"
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <limits>
+#include <sstream>
 
 #include "core/validation.hpp"
 #include "sta/path.hpp"
 #include "sta/report.hpp"
 
 namespace xtalk::bench {
+
+namespace {
+
+std::string json_number(double v) {
+  if (v != v || v == std::numeric_limits<double>::infinity() ||
+      v == -std::numeric_limits<double>::infinity()) {
+    return "null";  // JSON has no inf/nan
+  }
+  std::ostringstream os;
+  os << std::setprecision(17) << v;
+  return os.str();
+}
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+JsonObject& JsonObject::set_raw(const std::string& key,
+                                std::string serialized) {
+  fields_.emplace_back(key, std::move(serialized));
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, double value) {
+  return set_raw(key, json_number(value));
+}
+JsonObject& JsonObject::set(const std::string& key, long long value) {
+  return set_raw(key, std::to_string(value));
+}
+JsonObject& JsonObject::set(const std::string& key,
+                            unsigned long long value) {
+  return set_raw(key, std::to_string(value));
+}
+JsonObject& JsonObject::set(const std::string& key, long value) {
+  return set_raw(key, std::to_string(value));
+}
+JsonObject& JsonObject::set(const std::string& key, unsigned long value) {
+  return set_raw(key, std::to_string(value));
+}
+JsonObject& JsonObject::set(const std::string& key, int value) {
+  return set_raw(key, std::to_string(value));
+}
+JsonObject& JsonObject::set(const std::string& key, unsigned value) {
+  return set_raw(key, std::to_string(value));
+}
+JsonObject& JsonObject::set(const std::string& key, bool value) {
+  return set_raw(key, value ? "true" : "false");
+}
+JsonObject& JsonObject::set(const std::string& key, const std::string& value) {
+  return set_raw(key, json_string(value));
+}
+JsonObject& JsonObject::set(const std::string& key, const char* value) {
+  return set_raw(key, json_string(value));
+}
+
+std::string JsonObject::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += json_string(fields_[i].first) + ": " + fields_[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+JsonObject& JsonReport::add_row(const std::string& array_name) {
+  for (auto& [name, rows] : arrays_) {
+    if (name == array_name) {
+      rows.emplace_back();
+      return rows.back();
+    }
+  }
+  arrays_.emplace_back(array_name, std::vector<JsonObject>(1));
+  return arrays_.back().second.back();
+}
+
+std::string JsonReport::to_string() const {
+  std::string body = root_.to_string();
+  body.pop_back();  // reopen the root object to splice the arrays in
+  for (const auto& [name, rows] : arrays_) {
+    if (body.size() > 1) body += ", ";
+    body += json_string(name) + ": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0) body += ", ";
+      body += rows[i].to_string();
+    }
+    body += ']';
+  }
+  body += "}\n";
+  return body;
+}
+
+bool JsonReport::write_file(const std::string& path) const {
+  if (path.empty()) return true;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write JSON report to " << path << "\n";
+    return false;
+  }
+  out << to_string();
+  return static_cast<bool>(out);
+}
+
+std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": --json needs a file path\n";
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+void fill_result_row(JsonObject& row, const sta::StaResult& result) {
+  row.set("delay_ns", result.longest_path_delay * 1e9)
+      .set("runtime_s", result.runtime_seconds)
+      .set("passes", result.passes)
+      .set("waveform_calculations", result.waveform_calculations)
+      .set("gates_reused", result.gates_reused)
+      .set("threads_used", result.threads_used)
+      .set("missing_sink_wires", result.missing_sink_wires);
+}
 
 double run_table_benchmark(const char* table_name,
                            const netlist::GeneratorSpec& base_spec,
@@ -43,6 +192,21 @@ double run_table_benchmark(const char* table_name,
             << st.coupling_pairs << ", Cc total " << st.total_coupling_cap * 1e12
             << " pF, Cg total " << st.total_wire_cap * 1e12 << " pF\n\n";
 
+  JsonReport json;
+  json.root()
+      .set("benchmark", table_name)
+      .set("circuit", spec.name)
+      .set("seed", spec.seed)
+      .set("scale", scale)
+      .set("cells", st.cells)
+      .set("flip_flops", st.flip_flops)
+      .set("nets", st.nets)
+      .set("transistors", st.transistors)
+      .set("coupling_pairs", st.coupling_pairs)
+      .set("wire_mm", st.total_wire_length * 1e3)
+      .set("coupling_cap_pf", st.total_coupling_cap * 1e12)
+      .set("wire_cap_pf", st.total_wire_cap * 1e12);
+
   std::vector<sta::TableRow> rows;
   sta::StaResult worst_result;
   sta::StaResult iter_result;
@@ -55,11 +219,16 @@ double run_table_benchmark(const char* table_name,
     opt.num_threads = num_threads;
     sta::StaResult r = design.run(opt);
     rows.push_back(sta::row_from_result(mode, r));
+    JsonObject& row = json.add_row("modes");
+    row.set("mode", sta::mode_name(mode));
+    fill_result_row(row, r);
     if (mode == sta::AnalysisMode::kWorstCase) worst_result = std::move(r);
     else if (mode == sta::AnalysisMode::kIterative) iter_result = std::move(r);
   }
   std::cout << sta::format_mode_table("longest path of the synchronous circuit",
                                       rows);
+  std::cout << "\niterative run: "
+            << sta::format_result_summary(iter_result);
 
   const double best = rows[0].delay_seconds;
   const double worst = rows[2].delay_seconds;
@@ -68,6 +237,9 @@ double run_table_benchmark(const char* table_name,
             << (worst - best) * 1e9 << " ns\n"
             << "bound tightening (worst - iterative): "
             << (worst - iter) * 1e9 << " ns\n";
+  json.root()
+      .set("coupling_impact_ns", (worst - best) * 1e9)
+      .set("bound_tightening_ns", (worst - iter) * 1e9);
 
   if (options.run_validation) {
     std::cout << "\nsimulation of the longest path (lumped extracted RC, "
@@ -89,7 +261,18 @@ double run_table_benchmark(const char* table_name,
     std::cout << "  iterative path:   sim " << vr.sim_delay * 1e9
               << " ns vs STA " << vr.sta_delay * 1e9 << " ns  ("
               << vr.aggressors << " active aggressors)\n";
+    json.add_row("validation")
+        .set("path", "worst_case")
+        .set("sim_ns", vw.sim_delay * 1e9)
+        .set("sta_ns", vw.sta_delay * 1e9)
+        .set("aggressors", vw.aggressors);
+    json.add_row("validation")
+        .set("path", "iterative")
+        .set("sim_ns", vr.sim_delay * 1e9)
+        .set("sta_ns", vr.sta_delay * 1e9)
+        .set("aggressors", vr.aggressors);
   }
+  json.write_file(options.json_path);
   std::cout << std::endl;
   return iter;
 }

@@ -4,6 +4,10 @@
 // aligned aggressors (paper §6).
 #pragma once
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "core/crosstalk_sta.hpp"
 #include "netlist/circuit_generator.hpp"
 
@@ -15,6 +19,9 @@ struct TableOptions {
   /// smoke runs: XTALK_BENCH_SCALE=0.1).
   double scale = 1.0;
   bool run_validation = true;
+  /// When non-empty, write a machine-readable JSON report here (the
+  /// --json <path> flag; see json_path_from_args).
+  std::string json_path;
 };
 
 /// Runs the full table experiment and prints it to stdout. Returns the
@@ -22,5 +29,59 @@ struct TableOptions {
 double run_table_benchmark(const char* table_name,
                            const netlist::GeneratorSpec& spec,
                            const TableOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench output (--json <path>)
+// ---------------------------------------------------------------------------
+
+/// A flat JSON object under construction (values are serialized on set).
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, double value);
+  JsonObject& set(const std::string& key, long long value);
+  JsonObject& set(const std::string& key, unsigned long long value);
+  JsonObject& set(const std::string& key, long value);
+  JsonObject& set(const std::string& key, unsigned long value);
+  JsonObject& set(const std::string& key, int value);
+  JsonObject& set(const std::string& key, unsigned value);
+  JsonObject& set(const std::string& key, bool value);
+  JsonObject& set(const std::string& key, const std::string& value);
+  JsonObject& set(const std::string& key, const char* value);
+
+  std::string to_string() const;
+
+ private:
+  JsonObject& set_raw(const std::string& key, std::string serialized);
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Minimal writer for bench JSON reports: one root object of scalar fields
+/// plus named arrays of flat objects. No external dependencies; field and
+/// row order is insertion order, so reports diff cleanly between runs.
+class JsonReport {
+ public:
+  JsonObject& root() { return root_; }
+  /// Append a row to the named array (created on first use) and return it
+  /// for field fills.
+  JsonObject& add_row(const std::string& array_name);
+
+  std::string to_string() const;
+  /// Serialize to `path`; no-op (returns true) when path is empty. On I/O
+  /// failure prints to stderr and returns false.
+  bool write_file(const std::string& path) const;
+
+ private:
+  JsonObject root_;
+  std::vector<std::pair<std::string, std::vector<JsonObject>>> arrays_;
+};
+
+/// Extract the `--json <path>` flag every bench binary supports; empty
+/// string when absent. Exits with a message on a missing path argument.
+std::string json_path_from_args(int argc, char** argv);
+
+/// Append the per-mode fields of a result to a JSON row (shared shape
+/// across all benches: delay_ns, runtime_s, passes, waveform counters).
+void fill_result_row(JsonObject& row, const sta::StaResult& result);
 
 }  // namespace xtalk::bench

@@ -80,6 +80,10 @@ sta::StaResult Design::run_at_corner(sta::AnalysisMode mode,
   return sta::run_sta(v, opt);
 }
 
+sta::incremental::DesignEditor Design::make_editor() const {
+  return sta::incremental::DesignEditor(view());
+}
+
 void Design::isolate_nets(const std::vector<netlist::NetId>& nets,
                           const extract::ExtractionOptions& options) {
   routing_->isolate_nets(nets);

@@ -22,6 +22,7 @@
 #include "netlist/clock_tree.hpp"
 #include "netlist/netlist.hpp"
 #include "sta/engine.hpp"
+#include "sta/incremental/editor.hpp"
 
 namespace xtalk::core {
 
@@ -80,6 +81,12 @@ class Design {
   /// the given process corner.
   sta::StaResult run_at_corner(sta::AnalysisMode mode,
                                device::ProcessCorner corner) const;
+
+  /// Open an incremental (ECO) editing session. The editor copies the
+  /// netlist/parasitics/DAG on first write; this design stays untouched
+  /// and must outlive the editor. Pair with sta::incremental::IncrementalSta
+  /// for cached re-timing after each edit batch.
+  sta::incremental::DesignEditor make_editor() const;
 
   /// Crosstalk avoidance experiment: re-route the given nets onto isolated
   /// tracks (no neighbours) and re-extract the parasitics. Mutates the

@@ -1,12 +1,88 @@
 #include "extract/parasitics.hpp"
 
+#include <stdexcept>
+
 namespace xtalk::extract {
 
 void Parasitics::add_coupling(netlist::NetId a, netlist::NetId b, double cap,
                               double overlap) {
+  if (index_valid_) {
+    pair_index_.emplace(pair_key(a, b), pairs_.size());
+  }
   pairs_.push_back({a, b, cap, overlap});
   nets_[a].couplings.push_back({b, cap});
   nets_[b].couplings.push_back({a, cap});
+}
+
+std::uint64_t Parasitics::pair_key(netlist::NetId a, netlist::NetId b) {
+  const std::uint64_t lo = a < b ? a : b;
+  const std::uint64_t hi = a < b ? b : a;
+  return (hi << 32) | lo;
+}
+
+void Parasitics::ensure_index() const {
+  if (index_valid_) return;
+  pair_index_.clear();
+  pair_index_.reserve(pairs_.size());
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    // emplace keeps the first occurrence should duplicates exist.
+    pair_index_.emplace(pair_key(pairs_[i].net_a, pairs_[i].net_b), i);
+  }
+  index_valid_ = true;
+}
+
+const CouplingCap* Parasitics::find_coupling(netlist::NetId a,
+                                             netlist::NetId b) const {
+  ensure_index();
+  const auto it = pair_index_.find(pair_key(a, b));
+  return it == pair_index_.end() ? nullptr : &pairs_[it->second];
+}
+
+void Parasitics::set_coupling(netlist::NetId a, netlist::NetId b, double cap) {
+  if (a == b) {
+    throw std::invalid_argument("coupling capacitor needs two distinct nets");
+  }
+  ensure_index();
+  const auto it = pair_index_.find(pair_key(a, b));
+  if (it == pair_index_.end()) {
+    add_coupling(a, b, cap, 0.0);
+    return;
+  }
+  CouplingCap& pair = pairs_[it->second];
+  pair.cap = cap;
+  for (NeighborCap& n : nets_[pair.net_a].couplings) {
+    if (n.neighbor == pair.net_b) {
+      n.cap = cap;
+      break;
+    }
+  }
+  for (NeighborCap& n : nets_[pair.net_b].couplings) {
+    if (n.neighbor == pair.net_a) {
+      n.cap = cap;
+      break;
+    }
+  }
+}
+
+void Parasitics::remove_coupling(netlist::NetId a, netlist::NetId b) {
+  ensure_index();
+  const auto it = pair_index_.find(pair_key(a, b));
+  if (it == pair_index_.end()) {
+    throw std::invalid_argument("no coupling capacitor between the nets");
+  }
+  const CouplingCap pair = pairs_[it->second];
+  pairs_.erase(pairs_.begin() + static_cast<std::ptrdiff_t>(it->second));
+  index_valid_ = false;  // erase shifted the indices
+  auto drop_view = [](std::vector<NeighborCap>& views, netlist::NetId nb) {
+    for (auto v = views.begin(); v != views.end(); ++v) {
+      if (v->neighbor == nb) {
+        views.erase(v);
+        return;
+      }
+    }
+  };
+  drop_view(nets_[pair.net_a].couplings, pair.net_b);
+  drop_view(nets_[pair.net_b].couplings, pair.net_a);
 }
 
 double Parasitics::total_wire_cap() const {

@@ -7,6 +7,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -67,13 +69,56 @@ class Parasitics {
   void add_coupling(netlist::NetId a, netlist::NetId b, double cap,
                     double overlap);
 
+  // --- ECO mutation (coupling adjacency index) -----------------------------
+  // The pair index maps an unordered net pair to its CouplingCap, built
+  // lazily on first edit and maintained afterwards. The extractor
+  // aggregates overlaps per pair, so pairs are unique in extracted
+  // databases; on a hand-built database with duplicate pairs the editors
+  // below act on the first occurrence.
+
+  /// The coupling capacitor between two nets, or nullptr if none exists.
+  const CouplingCap* find_coupling(netlist::NetId a, netlist::NetId b) const;
+  /// Add a coupling capacitor or change the value of an existing one,
+  /// keeping both per-net neighbor views in sync.
+  void set_coupling(netlist::NetId a, netlist::NetId b, double cap);
+  /// Remove a coupling capacitor; throws std::invalid_argument if the pair
+  /// has none.
+  void remove_coupling(netlist::NetId a, netlist::NetId b);
+
   /// Aggregate statistics used in reports.
   double total_wire_cap() const;
   double total_coupling_cap() const;
 
  private:
+  static std::uint64_t pair_key(netlist::NetId a, netlist::NetId b);
+  void ensure_index() const;
+
   std::vector<NetParasitics> nets_;
   std::vector<CouplingCap> pairs_;
+  /// pair_key -> index into pairs_; lazily built, invalidated by removal.
+  mutable std::unordered_map<std::uint64_t, std::size_t> pair_index_;
+  mutable bool index_valid_ = false;
+};
+
+/// Copy-on-write overlay over an immutable base Parasitics, mirroring
+/// netlist::NetlistOverlay: ECO sessions edit a private copy while the base
+/// design (and the oracle's from-scratch baseline) stays untouched.
+class ParasiticsOverlay {
+ public:
+  explicit ParasiticsOverlay(const Parasitics& base) : base_(&base) {}
+
+  const Parasitics& get() const { return own_ ? *own_ : *base_; }
+
+  Parasitics& mutate() {
+    if (!own_) own_ = std::make_unique<Parasitics>(*base_);
+    return *own_;
+  }
+
+  bool modified() const { return own_ != nullptr; }
+
+ private:
+  const Parasitics* base_;
+  std::unique_ptr<Parasitics> own_;
 };
 
 }  // namespace xtalk::extract

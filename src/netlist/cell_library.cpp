@@ -114,6 +114,21 @@ std::size_t Cell::transistor_count() const {
   return n;
 }
 
+Cell Cell::resized(double factor) const {
+  if (!(factor > 0.0)) {
+    throw std::invalid_argument("cell " + name_ +
+                                ": resize factor must be positive");
+  }
+  Cell c = *this;
+  for (Stage& s : c.stages_) {
+    s.wn *= factor;
+    s.wp *= factor;
+  }
+  for (PinInfo& p : c.pins_) p.cap *= factor;
+  c.output_cap_ *= factor;
+  return c;
+}
+
 // ---------------------------------------------------------------------------
 // Library construction
 // ---------------------------------------------------------------------------

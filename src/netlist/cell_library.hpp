@@ -128,6 +128,13 @@ class Cell {
   /// Total transistor count over all stages.
   std::size_t transistor_count() const;
 
+  /// A copy of this cell with every device width scaled by `factor`, and
+  /// the width-proportional capacitances (pin gate caps, output junction
+  /// cap) scaled with it — the ECO "resize in place" move. The clone is
+  /// not registered in any CellLibrary; the caller owns it. Throws
+  /// std::invalid_argument for factor <= 0.
+  Cell resized(double factor) const;
+
   // Library-construction hooks (capacitances are derived from the stage
   // topology after the pin list is fixed). Not for use outside
   // CellLibrary::build().

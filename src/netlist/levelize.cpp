@@ -65,21 +65,7 @@ LevelizedDag levelize(const Netlist& nl) {
                              " gates unreachable)");
   }
 
-  // Endpoints: nets feeding DFF D pins or primary outputs.
-  std::vector<char> is_endpoint(nl.num_nets(), 0);
-  for (GateId g = 0; g < ng; ++g) {
-    const Gate& gate = nl.gate(g);
-    if (!gate.cell->is_sequential()) continue;
-    for (std::uint32_t p = 0; p < gate.pin_nets.size(); ++p) {
-      if (gate.cell->pins()[p].dir == PinDir::kInput) {
-        is_endpoint[gate.pin_nets[p]] = 1;
-      }
-    }
-  }
-  for (const NetId po : nl.primary_outputs()) is_endpoint[po] = 1;
-  for (NetId n = 0; n < nl.num_nets(); ++n) {
-    if (is_endpoint[n]) dag.endpoint_nets.push_back(n);
-  }
+  dag.endpoint_nets = collect_endpoint_nets(nl);
 
   // Bucket the topological order by level (stable counting sort, so the
   // within-level order is deterministic and independent of everything but
@@ -96,6 +82,110 @@ LevelizedDag levelize(const Netlist& nl) {
     dag.level_order[cursor[dag.gate_level[g]]++] = g;
   }
   return dag;
+}
+
+std::vector<NetId> collect_endpoint_nets(const Netlist& nl) {
+  std::vector<char> is_endpoint(nl.num_nets(), 0);
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    if (!gate.cell->is_sequential()) continue;
+    for (std::uint32_t p = 0; p < gate.pin_nets.size(); ++p) {
+      if (gate.cell->pins()[p].dir == PinDir::kInput) {
+        is_endpoint[gate.pin_nets[p]] = 1;
+      }
+    }
+  }
+  for (const NetId po : nl.primary_outputs()) is_endpoint[po] = 1;
+  std::vector<NetId> endpoints;
+  for (NetId n = 0; n < nl.num_nets(); ++n) {
+    if (is_endpoint[n]) endpoints.push_back(n);
+  }
+  return endpoints;
+}
+
+std::vector<GateId> relevelize_affected(LevelizedDag& dag, const Netlist& nl,
+                                        const std::vector<GateId>& seed_gates) {
+  const std::size_t ng = nl.num_gates();
+  std::vector<GateId> changed;
+
+  // Worklist relaxation: recompute a gate's level from its current timed
+  // fanins; if it moved, re-examine the fanout. Levels can both grow and
+  // shrink (a sink can be retargeted to a shallower net). The relax counter
+  // bounds each gate to |V| updates, so a cycle that slipped past the
+  // editor's pre-check is reported instead of looping forever.
+  std::vector<char> in_queue(ng, 0);
+  std::vector<char> level_changed(ng, 0);
+  std::vector<std::uint32_t> relax_count(ng, 0);
+  std::vector<GateId> queue;
+  for (const GateId g : seed_gates) {
+    if (!in_queue[g]) {
+      in_queue[g] = 1;
+      queue.push_back(g);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const GateId g = queue[head];
+    in_queue[g] = 0;
+    const Gate& gate = nl.gate(g);
+    std::uint32_t level = 0;
+    for (std::uint32_t p = 0; p < gate.pin_nets.size(); ++p) {
+      if (!is_timed_input(*gate.cell, p)) continue;
+      const Net& net = nl.net(gate.pin_nets[p]);
+      if (net.driver.gate == kNoGate) continue;
+      level = std::max(level, dag.gate_level[net.driver.gate] + 1);
+    }
+    if (level == dag.gate_level[g]) continue;
+    if (++relax_count[g] > ng) {
+      throw std::runtime_error("combinational cycle detected during "
+                               "incremental re-levelization");
+    }
+    dag.gate_level[g] = level;
+    if (!level_changed[g]) {
+      level_changed[g] = 1;
+      changed.push_back(g);
+    }
+    const NetId out = gate.pin_nets[gate.cell->output_pin()];
+    for (const PinRef& s : nl.net(out).sinks) {
+      if (!is_timed_input(*nl.gate(s.gate).cell, s.pin)) continue;
+      if (!in_queue[s.gate]) {
+        in_queue[s.gate] = 1;
+        queue.push_back(s.gate);
+      }
+    }
+  }
+
+  // Endpoints can change even when no level does (retargeting a DFF D pin
+  // moves an endpoint without touching the DAG edges), so always rebuild.
+  dag.endpoint_nets = collect_endpoint_nets(nl);
+  if (changed.empty()) return changed;
+
+  // Rebuild the derived arrays. num_levels may shrink as well as grow.
+  dag.num_levels = 0;
+  for (GateId g = 0; g < ng; ++g) {
+    dag.num_levels = std::max(dag.num_levels, dag.gate_level[g] + 1);
+  }
+  dag.net_level.assign(nl.num_nets(), 0);
+  for (GateId g = 0; g < ng; ++g) {
+    const Gate& gate = nl.gate(g);
+    const NetId out = gate.pin_nets[gate.cell->output_pin()];
+    dag.net_level[out] = dag.gate_level[g] + 1;
+  }
+  // Re-bucket using the old order as the (deterministic) tie-break within a
+  // level, then adopt the bucketed order as the topological order — any
+  // level-ascending order is topological.
+  dag.level_begin.assign(dag.num_levels + 1, 0);
+  for (GateId g = 0; g < ng; ++g) ++dag.level_begin[dag.gate_level[g] + 1];
+  for (std::uint32_t l = 1; l <= dag.num_levels; ++l) {
+    dag.level_begin[l] += dag.level_begin[l - 1];
+  }
+  dag.level_order.resize(ng);
+  std::vector<std::uint32_t> cursor(dag.level_begin.begin(),
+                                    dag.level_begin.end() - 1);
+  for (const GateId g : dag.topo_order) {
+    dag.level_order[cursor[dag.gate_level[g]]++] = g;
+  }
+  dag.topo_order = dag.level_order;
+  return changed;
 }
 
 }  // namespace xtalk::netlist

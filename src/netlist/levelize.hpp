@@ -46,4 +46,23 @@ struct LevelizedDag {
 /// exists (cycles through DFFs are fine).
 LevelizedDag levelize(const Netlist& netlist);
 
+/// Timing-endpoint nets (DFF D pins + primary outputs), net-id ascending.
+/// Shared by levelize() and relevelize_affected() so both produce the same
+/// endpoint ordering (StaResult::endpoints follows it).
+std::vector<NetId> collect_endpoint_nets(const Netlist& netlist);
+
+/// Incrementally repair `dag` after a connectivity edit (ECO sink
+/// retargeting). `seed_gates` are the gates whose fanin set changed; levels
+/// are re-relaxed through their fanout cones, the level buckets and
+/// endpoint list are rebuilt, and the gates whose level actually changed
+/// are returned (the caller uses them to grow the dirty set — a level
+/// change can flip the coupling-classification snapshot of PR 1).
+///
+/// The resulting dag matches `levelize(netlist)` in every field except
+/// possibly the within-level order of topo_order/level_order, which no
+/// timing result depends on (gates of one level are mutually independent).
+/// Throws std::runtime_error if the edit introduced a combinational cycle.
+std::vector<GateId> relevelize_affected(LevelizedDag& dag, const Netlist& netlist,
+                                        const std::vector<GateId>& seed_gates);
+
 }  // namespace xtalk::netlist

@@ -88,6 +88,27 @@ void Netlist::reconnect_pin(GateId gid, std::uint32_t pin, NetId new_net) {
   }
 }
 
+void Netlist::replace_gate_cell(GateId gid, const Cell& cell) {
+  Gate& g = gates_[gid];
+  const Cell& old = *g.cell;
+  if (cell.pins().size() != old.pins().size()) {
+    throw std::runtime_error("gate " + g.name + ": replacement cell " +
+                             cell.name() + " has a different pin count");
+  }
+  for (std::size_t p = 0; p < cell.pins().size(); ++p) {
+    if (cell.pins()[p].dir != old.pins()[p].dir) {
+      throw std::runtime_error("gate " + g.name + ": replacement cell " +
+                               cell.name() + " pin " + cell.pins()[p].name +
+                               " changes direction");
+    }
+  }
+  if (cell.is_sequential() != old.is_sequential()) {
+    throw std::runtime_error("gate " + g.name + ": replacement cell " +
+                             cell.name() + " changes the sequential flag");
+  }
+  g.cell = &cell;
+}
+
 NetId Netlist::find_net(const std::string& name) const {
   auto it = net_by_name_.find(name);
   return it == net_by_name_.end() ? kNoNet : it->second;

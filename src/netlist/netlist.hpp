@@ -71,6 +71,10 @@ class Netlist {
   /// Move a gate pin to a different net, updating sink/driver lists on both
   /// nets (used by clock-tree construction).
   void reconnect_pin(GateId gate, std::uint32_t pin, NetId new_net);
+  /// Swap a gate's cell for a footprint-compatible one (same pin count,
+  /// directions and sequential flag) — the ECO "resize" move. Connectivity
+  /// is untouched; throws std::runtime_error on an incompatible cell.
+  void replace_gate_cell(GateId gate, const Cell& cell);
 
   // --- access -------------------------------------------------------------
   std::size_t num_nets() const { return nets_.size(); }

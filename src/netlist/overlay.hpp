@@ -1,0 +1,37 @@
+// Copy-on-write overlay over an immutable base Netlist.
+//
+// ECO editing must not disturb the design being edited: other sessions (and
+// the from-scratch oracle baseline) keep reading the base object. The
+// overlay starts as a borrowed pointer and clones the netlist on the first
+// mutating access; a Netlist copy is cheap relative to re-extraction (flat
+// vectors plus borrowed Cell pointers, which shallow-copy correctly because
+// cells are owned by the CellLibrary, not the netlist).
+#pragma once
+
+#include <memory>
+
+#include "netlist/netlist.hpp"
+
+namespace xtalk::netlist {
+
+class NetlistOverlay {
+ public:
+  explicit NetlistOverlay(const Netlist& base) : base_(&base) {}
+
+  /// Current view: the private copy if any mutation happened, else the base.
+  const Netlist& get() const { return own_ ? *own_ : *base_; }
+
+  /// Mutable view; clones the base on first call.
+  Netlist& mutate() {
+    if (!own_) own_ = std::make_unique<Netlist>(*base_);
+    return *own_;
+  }
+
+  bool modified() const { return own_ != nullptr; }
+
+ private:
+  const Netlist* base_;
+  std::unique_ptr<Netlist> own_;
+};
+
+}  // namespace xtalk::netlist

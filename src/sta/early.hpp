@@ -38,4 +38,20 @@ struct EarlyTimes {
 EarlyTimes compute_early_activity(const DesignView& design,
                                   const EarlyOptions& options = {});
 
+/// The sharpest input ramps the min-propagation evaluates arcs with.
+/// Factored out so the incremental updater constructs bit-identical
+/// stimuli.
+util::Pwl early_sharp_ramp(const device::Technology& tech,
+                           const EarlyOptions& options, bool rising);
+
+/// Single-gate kernel of the min-propagation: overwrite `early` for
+/// `gate`'s output net from the fanins' current values. Shared by
+/// compute_early_activity and the incremental early updater
+/// (sta/incremental/) so both produce bitwise-identical numbers.
+void recompute_gate_early(const DesignView& design, const EarlyOptions& options,
+                          delaycalc::ArcDelayCalculator& calc,
+                          const util::Pwl& sharp_rise,
+                          const util::Pwl& sharp_fall, netlist::GateId gate,
+                          EarlyTimes& early);
+
 }  // namespace xtalk::sta

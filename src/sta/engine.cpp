@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
 
 #include "extract/elmore.hpp"
 #include "sta/early.hpp"
@@ -40,7 +41,58 @@ double arrival_of(const delaycalc::ArcResult& r, double vdd) {
   return r.waveform.time_at_value(vdd / 2.0, r.output_rising);
 }
 
+/// Reject option values that would silently misbehave (a negative slew
+/// yields waveforms running backwards, max_passes < 1 returns an empty
+/// result, ...). The NaN-proof comparisons also reject NaN.
+void validate_options(const StaOptions& o) {
+  if (o.max_passes < 1) {
+    throw std::invalid_argument("StaOptions::max_passes must be >= 1");
+  }
+  if (!(o.convergence_eps >= 0.0)) {
+    throw std::invalid_argument("StaOptions::convergence_eps must be >= 0");
+  }
+  if (!(o.esperance_window >= 0.0)) {
+    throw std::invalid_argument("StaOptions::esperance_window must be >= 0");
+  }
+  if (!(o.input_slew > 0.0)) {
+    throw std::invalid_argument("StaOptions::input_slew must be > 0");
+  }
+  if (o.num_threads < 0) {
+    throw std::invalid_argument(
+        "StaOptions::num_threads must be >= 0 (0 = one per hardware thread)");
+  }
+}
+
+/// Exact double comparison treating NaN == NaN ("same bits", not IEEE).
+bool same_value(double a, double b) { return a == b || (a != a && b != b); }
+
+bool event_identical(const NetEvent& a, const NetEvent& b) {
+  if (a.valid != b.valid) return false;
+  if (!a.valid) return true;  // invalid events are never read downstream
+  if (!same_value(a.arrival, b.arrival) ||
+      !same_value(a.start_time, b.start_time) ||
+      !same_value(a.settle_time, b.settle_time) || a.coupled != b.coupled ||
+      a.origin.gate != b.origin.gate || a.origin.from_net != b.origin.from_net ||
+      a.origin.from_rising != b.origin.from_rising) {
+    return false;
+  }
+  const auto& pa = a.waveform.points();
+  const auto& pb = b.waveform.points();
+  if (pa.size() != pb.size()) return false;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    if (!same_value(pa[i].t, pb[i].t) || !same_value(pa[i].v, pb[i].v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
+
+bool net_timing_identical(const NetTiming& a, const NetTiming& b) {
+  return a.calculated == b.calculated && event_identical(a.rise, b.rise) &&
+         event_identical(a.fall, b.fall);
+}
 
 StaEngine::StaEngine(const DesignView& design, const StaOptions& options)
     : design_(design), options_(options), calculator_(*design.tables) {
@@ -287,11 +339,42 @@ double StaEngine::run_pass(const PassConfig& config,
         [&](std::size_t i, std::size_t thread_id) {
           const netlist::GateId g = order[i];
           if (config.active_gates != nullptr && !(*config.active_gates)[g]) {
-            // Esperance: keep the previous pass's (conservative) result.
+            // Esperance: keep the basis pass's (conservative) result. In a
+            // replayed pass the baseline did the same copy (the esperance
+            // mask is part of the pass signature), so this net differs
+            // from the baseline record exactly where the basis differed.
             const netlist::Gate& gate = nl.gate(g);
             const netlist::NetId out = gate.pin_nets[gate.cell->output_pin()];
             timing[out] = (*config.previous_timing)[out];
             timing[out].calculated = true;
+            if (config.value_dirty != nullptr) {
+              (*config.value_dirty)[out] =
+                  config.basis_dirty != nullptr ? (*config.basis_dirty)[out]
+                                                : 1;
+            }
+            return;
+          }
+          if (config.reuse_timing != nullptr) {
+            const netlist::Gate& gate = nl.gate(g);
+            const netlist::NetId out = gate.pin_nets[gate.cell->output_pin()];
+            if (gate_reusable(g, config)) {
+              // Incremental reuse: every input of this gate's evaluation —
+              // fanin events, neighbour quiet times, quiet-time basis,
+              // early activity, levels, parasitics, the cell itself — is
+              // bitwise unchanged from the baseline pass, so the cached
+              // output *is* what process_gate would recompute.
+              timing[out] = (*config.reuse_timing)[out];
+              timing[out].calculated = true;
+              (*config.value_dirty)[out] = 0;
+              gates_reused_.fetch_add(1, std::memory_order_relaxed);
+              return;
+            }
+            process_gate(g, config, timing, calculated, thread_id);
+            // Value cut-off: a recomputed net that lands exactly on the
+            // baseline (e.g. the changed input was not the controlling
+            // arc) does not dirty its consumers.
+            (*config.value_dirty)[out] =
+                !net_timing_identical(timing[out], (*config.reuse_timing)[out]);
             return;
           }
           process_gate(g, config, timing, calculated, thread_id);
@@ -328,6 +411,53 @@ double StaEngine::run_pass(const PassConfig& config,
     }
   }
   return worst;
+}
+
+bool StaEngine::gate_reusable(netlist::GateId gate_id,
+                              const PassConfig& config) const {
+  const netlist::Netlist& nl = *design_.netlist;
+  const netlist::Gate& gate = nl.gate(gate_id);
+  const netlist::NetId out = gate.pin_nets[gate.cell->output_pin()];
+  const std::vector<char>& seed = *config.seed_dirty;
+  const std::vector<char>& vdirty = *config.value_dirty;
+
+  // Structural changes on the output net: the driving cell, the net's
+  // parasitics (wire cap, sink wires feed base_load), any coupling cap on
+  // it, a level flip of its driver, or a moved early-activity bound read
+  // through it — all seeded by the session.
+  if (seed[out]) return false;
+
+  // Fanins: the arc input is the fanin's waveform shifted by the fanin's
+  // sink wire, so both a changed value and a structural edit on the fanin
+  // net (e.g. its wire RC) force a recompute.
+  for (std::uint32_t p = 0; p < gate.pin_nets.size(); ++p) {
+    if (!netlist::is_timed_input(*gate.cell, p)) continue;
+    const netlist::NetId f = gate.pin_nets[p];
+    if (seed[f] || vdirty[f]) return false;
+  }
+
+  const bool coupling_aware = options_.mode == AnalysisMode::kOneStep ||
+                              options_.mode == AnalysisMode::kIterative;
+  if (!coupling_aware) return true;
+
+  // Coupling classification inputs, mirroring classify_coupling's snapshot
+  // rule: a neighbour finished in an earlier level is read through this
+  // pass's timing; otherwise the stored quiet times of the basis pass are
+  // read (when one exists); otherwise the §5.1 assumption reads nothing.
+  // Driverless (primary-input) neighbours carry fixed stimulus.
+  const std::vector<std::uint32_t>& glevel = design_.dag->gate_level;
+  const std::uint32_t my_level = glevel[gate_id];
+  for (const extract::NeighborCap& nb :
+       design_.parasitics->net(out).couplings) {
+    const netlist::GateId dn = nl.net(nb.neighbor).driver.gate;
+    if (dn == netlist::kNoGate) continue;
+    if (glevel[dn] < my_level) {
+      if (vdirty[nb.neighbor]) return false;
+    } else if (config.basis_dirty != nullptr) {
+      if ((*config.basis_dirty)[nb.neighbor]) return false;
+    }
+  }
+  return true;
 }
 
 QuietTimes StaEngine::collect_quiet(const std::vector<NetTiming>& timing) const {
@@ -367,17 +497,39 @@ std::vector<char> collect_esperance_gates(
   return active;
 }
 
-StaResult StaEngine::run() {
+StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
+  validate_options(options_);
   const auto t0 = std::chrono::steady_clock::now();
   StaResult result;
   waveform_calcs_.store(0, std::memory_order_relaxed);
   missing_sinks_.store(0, std::memory_order_relaxed);
+  gates_reused_.store(0, std::memory_order_relaxed);
   result.threads_used = static_cast<int>(pool_->num_threads());
+  if (trace_out != nullptr) *trace_out = RunTrace{};
+
+  // Reuse needs both the trace and the seed set; anything less means a
+  // from-scratch run.
+  const RunTrace* base = hints != nullptr ? hints->baseline : nullptr;
+  const std::vector<char>* seeds =
+      hints != nullptr ? hints->seed_dirty : nullptr;
+  if (base == nullptr || seeds == nullptr) {
+    base = nullptr;
+    seeds = nullptr;
+  }
 
   if (options_.timing_windows) {
-    const EarlyTimes early = compute_early_activity(design_, options_.early);
-    early_rise_ = early.rise;
-    early_fall_ = early.fall;
+    if (hints != nullptr && hints->early != nullptr) {
+      early_rise_ = hints->early->rise;
+      early_fall_ = hints->early->fall;
+    } else {
+      const EarlyTimes early = compute_early_activity(design_, options_.early);
+      early_rise_ = early.rise;
+      early_fall_ = early.fall;
+    }
+    if (trace_out != nullptr) {
+      trace_out->early_rise = early_rise_;
+      trace_out->early_fall = early_fall_;
+    }
   } else {
     early_rise_.clear();
     early_fall_.clear();
@@ -387,16 +539,83 @@ StaResult StaEngine::run() {
   std::vector<EndpointArrival> endpoints;
   EndpointArrival critical;
 
+  // Per-pass replay bookkeeping. A pass k of this run may copy baseline
+  // pass-k results for clean gates iff the pass reads exactly the same
+  // cross-pass inputs as the baseline's pass k did: the same basis pass
+  // (whose stored quiet times feed the coupling classification), a basis
+  // that was itself replayed validly, and an identical esperance mask (an
+  // activity flip changes which gates recompute vs. copy, so even a
+  // structurally clean gate's value could legitimately differ). pass_valid
+  // chains the argument across passes.
+  std::vector<char> pass_valid;
+  const std::vector<char> no_mask;
+  // Per-pass value-dirty flags: dirty_by_pass[k][net] == 1 iff pass k's
+  // final timing of `net` differs bitwise from the baseline's pass k. A
+  // later pass whose quiet basis is pass k consults them; a pass that was
+  // not replayable is recorded all-dirty. Reserved up front so references
+  // into earlier entries stay valid while a pass runs.
+  std::vector<std::vector<char>> dirty_by_pass;
+  dirty_by_pass.reserve(static_cast<std::size_t>(options_.max_passes) + 1);
+  const std::size_t num_nets = design_.netlist->num_nets();
+  auto pass_reusable = [&](std::size_t k, int basis,
+                           const std::vector<char>& active) {
+    if (base == nullptr || k >= base->passes.size()) return false;
+    const PassRecord& rec = base->passes[k];
+    if (rec.basis_pass != basis) return false;
+    if (basis >= 0 && !pass_valid[static_cast<std::size_t>(basis)]) {
+      return false;
+    }
+    return rec.active_gates == active;
+  };
+  auto record_pass = [&](const std::vector<NetTiming>& pass_timing,
+                         const std::vector<char>& active, int basis) {
+    if (trace_out == nullptr) return;
+    PassRecord rec;
+    rec.timing = pass_timing;
+    rec.active_gates = active;
+    rec.basis_pass = basis;
+    trace_out->passes.push_back(std::move(rec));
+  };
+
+  // Sets up the value-dirty array for pass k and wires the reuse fields of
+  // its PassConfig (no-op when the pass is not replayable: the pass then
+  // computes everything and counts as all-dirty for later bases).
+  auto configure_reuse = [&](PassConfig& cfg, std::size_t k, bool reusable,
+                             int basis) {
+    if (base == nullptr) return;  // fresh run: no dirty bookkeeping at all
+    dirty_by_pass.emplace_back(num_nets, reusable ? 0 : 1);
+    if (!reusable) return;
+    cfg.reuse_timing = &base->passes[k].timing;
+    cfg.seed_dirty = seeds;
+    cfg.value_dirty = &dirty_by_pass[k];
+    if (basis >= 0) {
+      cfg.basis_dirty = &dirty_by_pass[static_cast<std::size_t>(basis)];
+    }
+  };
+
   if (options_.mode != AnalysisMode::kIterative) {
-    result.longest_path_delay = run_pass({}, timing, endpoints, critical);
+    PassConfig cfg;
+    const bool reusable = pass_reusable(0, -1, no_mask);
+    configure_reuse(cfg, 0, reusable, -1);
+    result.longest_path_delay = run_pass(cfg, timing, endpoints, critical);
     result.passes = 1;
+    pass_valid.push_back(reusable ? 1 : 0);
+    record_pass(timing, no_mask, -1);
   } else {
     // §5.2: delay := default (first one-step pass, unknown neighbours are
     // assumed coupling); then refine with stored quiescent times while the
     // delay improves.
-    double delay = run_pass({}, timing, endpoints, critical);
+    PassConfig first;
+    {
+      const bool reusable = pass_reusable(0, -1, no_mask);
+      configure_reuse(first, 0, reusable, -1);
+      pass_valid.push_back(reusable ? 1 : 0);
+    }
+    double delay = run_pass(first, timing, endpoints, critical);
     result.passes = 1;
+    record_pass(timing, no_mask, -1);
     QuietTimes quiet = collect_quiet(timing);
+    int basis = 0;  // pass whose timing supplied `quiet` and best_*
 
     std::vector<NetTiming> best_timing = timing;
     std::vector<EndpointArrival> best_eps = endpoints;
@@ -404,6 +623,7 @@ StaResult StaEngine::run() {
     double best = delay;
 
     while (result.passes < options_.max_passes) {
+      const std::size_t k = static_cast<std::size_t>(result.passes);
       PassConfig cfg;
       cfg.previous = &quiet;
       std::vector<char> active;
@@ -414,11 +634,16 @@ StaResult StaEngine::run() {
         cfg.active_gates = &active;
         cfg.previous_timing = &best_timing;
       }
+      const bool reusable = pass_reusable(k, basis, active);
+      configure_reuse(cfg, k, reusable, basis);
       const double delay_old = best;
       delay = run_pass(cfg, timing, endpoints, critical);
       ++result.passes;
+      pass_valid.push_back(reusable ? 1 : 0);
+      record_pass(timing, active, basis);
       if (delay < best) {
         best = delay;
+        basis = static_cast<int>(k);
         best_timing = timing;
         best_eps = endpoints;
         best_crit = critical;
@@ -438,6 +663,7 @@ StaResult StaEngine::run() {
   result.waveform_calculations =
       waveform_calcs_.load(std::memory_order_relaxed);
   result.missing_sink_wires = missing_sinks_.load(std::memory_order_relaxed);
+  result.gates_reused = gates_reused_.load(std::memory_order_relaxed);
   result.runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -108,6 +108,47 @@ struct StaResult {
   /// parasitics (treated as zero wire delay). Nonzero means the extraction
   /// has gaps — investigate instead of trusting the bound.
   std::size_t missing_sink_wires = 0;
+  /// Gate evaluations answered from a baseline RunTrace instead of being
+  /// recomputed (incremental runs only; summed over all passes).
+  std::size_t gates_reused = 0;
+};
+
+/// Everything one pass of one run produced, recorded so a later incremental
+/// run (sta/incremental/) can replay the pass sequence and copy per-net
+/// results for gates untouched by the edits. `basis_pass` identifies the
+/// pass whose timing supplied this pass's quiet times and esperance
+/// baseline (-1 for the first pass, which runs on §5.1's conservative
+/// assumption instead of stored quiet times).
+struct PassRecord {
+  std::vector<NetTiming> timing;
+  std::vector<char> active_gates;  ///< esperance mask; empty when unused
+  int basis_pass = -1;
+};
+
+/// Per-run recording: pass snapshots plus the early-activity arrays of the
+/// timing-window extension. Only meaningful for replay under the same
+/// StaOptions (num_threads excepted — results are thread-count invariant).
+struct RunTrace {
+  std::vector<PassRecord> passes;
+  std::vector<double> early_rise;
+  std::vector<double> early_fall;
+};
+
+struct EarlyTimes;  // sta/early.hpp
+
+/// Inputs for an incremental (cached) run: the previous run's trace and the
+/// per-net *seed* set — true meaning the net's own structure changed (its
+/// driver cell, its parasitics, a coupling cap on it, its level, or an
+/// early-activity bound read through it). From the seeds the engine
+/// propagates dirtiness dynamically with value cut-off: a recomputed net
+/// whose timing comes out bitwise identical to the baseline stops the
+/// propagation, so reuse reaches far beyond the structural fanout cone.
+/// `early` optionally injects already-updated early-activity arrays so the
+/// min-propagation isn't redone from scratch. All borrowed; null = unused.
+struct ReuseHints {
+  const RunTrace* baseline = nullptr;
+  const std::vector<char>* seed_dirty = nullptr;
+  const EarlyTimes* early = nullptr;
 };
 
 /// All inputs of an analysis run (netlist + DAG + extracted parasitics +
@@ -124,8 +165,14 @@ class StaEngine {
   StaEngine(const DesignView& design, const StaOptions& options);
 
   /// Run the configured analysis (single pass for the three baseline modes
-  /// and one-step; the convergence loop for iterative).
-  StaResult run();
+  /// and one-step; the convergence loop for iterative). Validates the
+  /// options first (throws std::invalid_argument). When `trace_out` is
+  /// given, per-pass snapshots are recorded into it; when `hints` carries a
+  /// baseline trace + clean mask, clean gates copy their cached per-pass
+  /// results instead of recomputing — bitwise identical to a full run as
+  /// long as the clean mask honours the ReuseHints contract.
+  StaResult run(RunTrace* trace_out = nullptr,
+                const ReuseHints* hints = nullptr);
 
  private:
   struct PassConfig {
@@ -136,6 +183,19 @@ class StaEngine {
     const std::vector<char>* active_gates = nullptr;
     /// Timing from the previous pass (for gates skipped by Esperance).
     const std::vector<NetTiming>* previous_timing = nullptr;
+    /// Incremental reuse: when non-null, a gate whose evaluation inputs
+    /// are all unchanged vs. this baseline pass (gate_reusable) copies its
+    /// output from here instead of being recomputed. Null = no reuse.
+    const std::vector<NetTiming>* reuse_timing = nullptr;
+    /// Per-net structural seeds of the edit batch (ReuseHints contract).
+    const std::vector<char>* seed_dirty = nullptr;
+    /// Written by the pass: per net, 1 iff the net's final timing in this
+    /// pass differs (bitwise) from the baseline pass. Gates of level L
+    /// write only their own output; levels >L read it after the barrier.
+    std::vector<char>* value_dirty = nullptr;
+    /// value_dirty of the basis pass (whose stored quiet times feed the
+    /// coupling classification). Null when no quiet basis exists.
+    const std::vector<char>* basis_dirty = nullptr;
   };
 
   /// Per-thread delay-calculation scratch (memoized path enumeration /
@@ -150,6 +210,14 @@ class StaEngine {
   double run_pass(const PassConfig& config, std::vector<NetTiming>& timing,
                   std::vector<EndpointArrival>& endpoints,
                   EndpointArrival& critical);
+
+  /// Incremental reuse decision for one gate in a replayable pass: true iff
+  /// every value its evaluation reads is bitwise unchanged from the
+  /// baseline — no structural seed on its output or fanins, no
+  /// value-dirty fanin, and no value-dirty coupling neighbour it actually
+  /// reads (lower-level neighbours through this pass's timing, the rest
+  /// through the basis pass's stored quiet times).
+  bool gate_reusable(netlist::GateId gate, const PassConfig& config) const;
 
   /// Evaluate every arc of `gate` and merge results into the output net's
   /// events. `calculated` is the snapshot of per-net calculated flags as of
@@ -195,6 +263,7 @@ class StaEngine {
   std::unique_ptr<util::ThreadPool> pool_;
   std::vector<DelayScratch> scratch_;  ///< one per pool thread
   std::atomic<std::size_t> waveform_calcs_{0};
+  std::atomic<std::size_t> gates_reused_{0};
   /// Sinks with no extracted wire seen during propagation (see
   /// StaResult::missing_sink_wires). Mutable: sink_elmore is logically
   /// const but must record the gap.
@@ -214,6 +283,12 @@ std::vector<char> collect_esperance_gates(
     std::size_t num_gates, const std::vector<NetTiming>& timing,
     const std::vector<EndpointArrival>& endpoints, double delay,
     double window);
+
+/// Bitwise equality of two per-net timing states (NaN == NaN): every field
+/// a downstream evaluation can read — validity, arrival/start/settle times,
+/// coupled flag, origin, and all waveform points. The value cut-off of the
+/// incremental reuse and its tests both depend on this exact notion.
+bool net_timing_identical(const NetTiming& a, const NetTiming& b);
 
 /// Convenience wrapper: run one mode on a design.
 StaResult run_sta(const DesignView& design, const StaOptions& options);

@@ -1,0 +1,51 @@
+// Coupling-aware invalidation for incremental re-timing.
+//
+// Classic incremental STA only re-times the structural fanout cone of an
+// edit. Crosstalk breaks that: a change on net n can flip the worst-case
+// coupling classification of every net capacitively adjacent to n (their
+// quiet-time comparison against n moves), so the dirty set must close over
+// the coupling neighbourhood as well — transitively, because a re-timed
+// neighbour's own quiet time may move and disturb *its* neighbours.
+//
+// The closure is conservative (over-approximating the dirty set only costs
+// recomputation, never correctness), but mode-aware:
+//   - kBestCase/kStaticDoubled/kWorstCase never read neighbour timing
+//     (their load split is structural), so only the fanout cone dirties;
+//   - kOneStep reads a neighbour's quiet time only when the neighbour's
+//     driver sits at a strictly lower level (the PR-1 snapshot rule), so
+//     dirt propagates only "downward" across coupling edges;
+//   - kIterative compares against the previous pass's stored quiet times
+//     regardless of level, so dirt crosses every coupling edge.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sta/engine.hpp"
+#include "sta/incremental/editor.hpp"
+
+namespace xtalk::sta::incremental {
+
+struct DirtySet {
+  /// Per net: structurally edited (pre-closure) — the ReuseHints seed set
+  /// for StaEngine::run, which propagates from here dynamically with value
+  /// cut-off.
+  std::vector<char> seed_net;
+  /// Per net: timing may change under the static (value-blind) closure.
+  /// An upper bound on what the engine's dynamic propagation can dirty;
+  /// used for statistics and as the conservative contract in tests.
+  std::vector<char> dirty_net;
+  /// Per gate: output net outside the static closure.
+  std::vector<char> clean_gate;
+  std::size_t dirty_nets = 0;
+};
+
+/// Seed from the edit log, close over fanout + coupling. `extra_seed_nets`
+/// lets the caller add seeds the log cannot express (e.g. nets whose
+/// early-activity bound moved under the timing-window extension).
+DirtySet build_dirty_set(const sta::DesignView& design,
+                         const StaOptions& options,
+                         const std::vector<EditRecord>& edits,
+                         const std::vector<netlist::NetId>& extra_seed_nets);
+
+}  // namespace xtalk::sta::incremental

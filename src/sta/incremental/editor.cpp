@@ -1,0 +1,207 @@
+#include "sta/incremental/editor.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace xtalk::sta::incremental {
+
+DesignEditor::DesignEditor(const sta::DesignView& base)
+    : netlist_(*base.netlist),
+      parasitics_(*base.parasitics),
+      base_dag_(base.dag),
+      tables_(base.tables) {}
+
+sta::DesignView DesignEditor::view() const {
+  sta::DesignView v;
+  v.netlist = &netlist();
+  v.dag = &dag();
+  v.parasitics = &parasitics();
+  v.tables = tables_;
+  return v;
+}
+
+netlist::LevelizedDag& DesignEditor::mutate_dag() {
+  if (!own_dag_) own_dag_ = std::make_unique<netlist::LevelizedDag>(*base_dag_);
+  return *own_dag_;
+}
+
+void DesignEditor::resize_gate(netlist::GateId gate, double width_factor) {
+  if (gate >= netlist().num_gates()) {
+    throw std::invalid_argument("resize_gate: gate id out of range");
+  }
+  const netlist::Gate& g = netlist().gate(gate);
+  owned_cells_.push_back(
+      std::make_unique<netlist::Cell>(g.cell->resized(width_factor)));
+  mutate_netlist().replace_gate_cell(gate, *owned_cells_.back());
+  EditRecord rec;
+  rec.kind = EditRecord::Kind::kResizeGate;
+  rec.gate = gate;
+  log_.push_back(std::move(rec));
+}
+
+void DesignEditor::swap_cell(netlist::GateId gate, const netlist::Cell& cell) {
+  if (gate >= netlist().num_gates()) {
+    throw std::invalid_argument("swap_cell: gate id out of range");
+  }
+  mutate_netlist().replace_gate_cell(gate, cell);
+  EditRecord rec;
+  rec.kind = EditRecord::Kind::kResizeGate;
+  rec.gate = gate;
+  log_.push_back(std::move(rec));
+}
+
+void DesignEditor::set_wire_rc(netlist::NetId net, const netlist::PinRef& sink,
+                               double resistance, double capacitance) {
+  if (net >= netlist().num_nets()) {
+    throw std::invalid_argument("set_wire_rc: net id out of range");
+  }
+  const netlist::Gate& g = netlist().gate(sink.gate);
+  if (sink.pin >= g.pin_nets.size() || g.pin_nets[sink.pin] != net ||
+      g.cell->pins()[sink.pin].dir == netlist::PinDir::kOutput) {
+    throw std::invalid_argument("set_wire_rc: pin is not a sink of the net");
+  }
+  extract::NetParasitics& p = mutate_parasitics().net(net);
+  bool found = false;
+  for (extract::SinkWire& w : p.sink_wires) {
+    if (w.sink == sink) {
+      p.wire_cap += capacitance - w.capacitance;
+      w.resistance = resistance;
+      w.capacitance = capacitance;
+      w.wire_elmore = -1.0;  // recompute via the lumped-pi fallback
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    p.sink_wires.push_back({sink, resistance, capacitance, -1.0});
+    p.wire_cap += capacitance;
+  }
+  EditRecord rec;
+  rec.kind = EditRecord::Kind::kWireRc;
+  rec.net_a = net;
+  log_.push_back(std::move(rec));
+}
+
+void DesignEditor::set_wire_cap(netlist::NetId net, double wire_cap) {
+  if (net >= netlist().num_nets()) {
+    throw std::invalid_argument("set_wire_cap: net id out of range");
+  }
+  mutate_parasitics().net(net).wire_cap = wire_cap;
+  EditRecord rec;
+  rec.kind = EditRecord::Kind::kWireCap;
+  rec.net_a = net;
+  log_.push_back(std::move(rec));
+}
+
+void DesignEditor::set_coupling(netlist::NetId a, netlist::NetId b,
+                                double cap) {
+  if (a >= netlist().num_nets() || b >= netlist().num_nets()) {
+    throw std::invalid_argument("set_coupling: net id out of range");
+  }
+  if (!(cap >= 0.0)) {
+    throw std::invalid_argument("set_coupling: capacitance must be >= 0");
+  }
+  mutate_parasitics().set_coupling(a, b, cap);
+  EditRecord rec;
+  rec.kind = EditRecord::Kind::kCoupling;
+  rec.net_a = a;
+  rec.net_b = b;
+  log_.push_back(std::move(rec));
+}
+
+void DesignEditor::remove_coupling(netlist::NetId a, netlist::NetId b) {
+  if (a >= netlist().num_nets() || b >= netlist().num_nets()) {
+    throw std::invalid_argument("remove_coupling: net id out of range");
+  }
+  mutate_parasitics().remove_coupling(a, b);
+  EditRecord rec;
+  rec.kind = EditRecord::Kind::kCoupling;
+  rec.net_a = a;
+  rec.net_b = b;
+  log_.push_back(std::move(rec));
+}
+
+void DesignEditor::check_no_cycle(netlist::GateId gate,
+                                  netlist::NetId new_fanin) const {
+  const netlist::Netlist& nl = netlist();
+  const netlist::GateId driver = nl.net(new_fanin).driver.gate;
+  if (driver == netlist::kNoGate) return;  // primary input: no cycle possible
+  // The edit adds the timing arc driver -> gate; it closes a cycle iff
+  // `gate` already reaches `driver` through timed arcs.
+  std::vector<char> seen(nl.num_gates(), 0);
+  std::vector<netlist::GateId> stack{gate};
+  seen[gate] = 1;
+  while (!stack.empty()) {
+    const netlist::GateId g = stack.back();
+    stack.pop_back();
+    if (g == driver) {
+      throw std::runtime_error("retarget_sink: edit would create a "
+                               "combinational cycle through gate " +
+                               nl.gate(gate).name);
+    }
+    const netlist::Gate& gt = nl.gate(g);
+    const netlist::NetId out = gt.pin_nets[gt.cell->output_pin()];
+    for (const netlist::PinRef& s : nl.net(out).sinks) {
+      if (!netlist::is_timed_input(*nl.gate(s.gate).cell, s.pin)) continue;
+      if (!seen[s.gate]) {
+        seen[s.gate] = 1;
+        stack.push_back(s.gate);
+      }
+    }
+  }
+}
+
+void DesignEditor::retarget_sink(netlist::GateId gate, std::uint32_t pin,
+                                 netlist::NetId new_net,
+                                 double wire_resistance,
+                                 double wire_capacitance) {
+  if (gate >= netlist().num_gates()) {
+    throw std::invalid_argument("retarget_sink: gate id out of range");
+  }
+  if (new_net >= netlist().num_nets()) {
+    throw std::invalid_argument("retarget_sink: net id out of range");
+  }
+  const netlist::Gate& g = netlist().gate(gate);
+  if (pin >= g.pin_nets.size() ||
+      g.cell->pins()[pin].dir == netlist::PinDir::kOutput) {
+    throw std::invalid_argument("retarget_sink: only input pins can move");
+  }
+  const netlist::NetId old_net = g.pin_nets[pin];
+  if (old_net == new_net) return;
+  const bool timed = netlist::is_timed_input(*g.cell, pin);
+  if (timed) check_no_cycle(gate, new_net);
+
+  // Move the sink's wire RC with the pin.
+  extract::Parasitics& para = mutate_parasitics();
+  const netlist::PinRef moved{gate, pin};
+  auto& old_wires = para.net(old_net).sink_wires;
+  for (auto it = old_wires.begin(); it != old_wires.end(); ++it) {
+    if (it->sink == moved) {
+      para.net(old_net).wire_cap -= it->capacitance;
+      old_wires.erase(it);
+      break;
+    }
+  }
+  para.net(new_net).sink_wires.push_back(
+      {moved, wire_resistance, wire_capacitance, -1.0});
+  para.net(new_net).wire_cap += wire_capacitance;
+
+  mutate_netlist().reconnect_pin(gate, pin, new_net);
+
+  EditRecord rec;
+  rec.kind = EditRecord::Kind::kRetargetSink;
+  rec.gate = gate;
+  rec.pin = pin;
+  rec.net_a = old_net;
+  rec.net_b = new_net;
+  // An untimed pin (DFF D) can still move an endpoint, so the DAG repair
+  // always runs; only timed pins can change levels.
+  const std::vector<netlist::GateId> seeds =
+      timed ? std::vector<netlist::GateId>{gate}
+            : std::vector<netlist::GateId>{};
+  rec.releveled_gates = netlist::relevelize_affected(mutate_dag(), netlist(),
+                                                     seeds);
+  log_.push_back(std::move(rec));
+}
+
+}  // namespace xtalk::sta::incremental

@@ -1,0 +1,114 @@
+// Incremental (ECO) edit API over a finished design.
+//
+// A DesignEditor wraps copy-on-write overlays of the netlist, the extracted
+// parasitics and the levelized DAG: the base design stays untouched (other
+// readers — and the from-scratch oracle baseline — keep using it), while
+// the editor applies the supported ECO moves to private copies and repairs
+// the DAG incrementally. Every mutation appends an EditRecord to a log;
+// IncrementalSta sessions consume the log to build coupling-aware dirty
+// sets, so several sessions (e.g. one per analysis mode) can share one
+// editor, each tracking its own position in the log.
+//
+// Cell clones created by resize_gate() are owned by the editor; the edited
+// netlist borrows them, so the editor must outlive anything analyzing its
+// views.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "extract/parasitics.hpp"
+#include "netlist/levelize.hpp"
+#include "netlist/overlay.hpp"
+#include "sta/engine.hpp"
+
+namespace xtalk::sta::incremental {
+
+/// One logged ECO move, in the vocabulary the dirty-set builder needs.
+struct EditRecord {
+  enum class Kind {
+    kResizeGate,    ///< cell swapped or width-scaled in place
+    kWireRc,        ///< one sink connection's wire RC changed
+    kWireCap,       ///< a net's grounded wire cap changed
+    kCoupling,      ///< a coupling cap added / changed / removed
+    kRetargetSink,  ///< a gate input moved to another net
+  };
+
+  Kind kind = Kind::kResizeGate;
+  netlist::GateId gate = netlist::kNoGate;  ///< resize / retarget subject
+  std::uint32_t pin = 0;                    ///< retargeted pin index
+  netlist::NetId net_a = netlist::kNoNet;   ///< edited net / old sink net
+  netlist::NetId net_b = netlist::kNoNet;   ///< coupling partner / new net
+  /// Gates whose topological level changed (retarget only). A level change
+  /// can flip the "calculated before my level?" predicate of the snapshot
+  /// coupling classification, so the dirty-set builder must invalidate
+  /// these gates' outputs and their coupling neighbourhoods even though
+  /// their own fanin values did not move.
+  std::vector<netlist::GateId> releveled_gates;
+};
+
+class DesignEditor {
+ public:
+  /// All four DesignView members must be set; they are borrowed and must
+  /// outlive the editor.
+  explicit DesignEditor(const sta::DesignView& base);
+
+  // --- the supported ECO moves --------------------------------------------
+  /// Scale the gate's transistor widths (and width-proportional caps) by
+  /// `width_factor`, cloning its cell. Throws for factor <= 0.
+  void resize_gate(netlist::GateId gate, double width_factor);
+  /// Swap the gate's cell for a footprint-compatible library cell (e.g.
+  /// INV_X1 -> INV_X4).
+  void swap_cell(netlist::GateId gate, const netlist::Cell& cell);
+  /// Set one sink connection's wire RC (adds the sink wire if the
+  /// extraction had none); the net's grounded wire cap absorbs the
+  /// capacitance delta. Elmore falls back to the lumped-pi formula for the
+  /// edited sink.
+  void set_wire_rc(netlist::NetId net, const netlist::PinRef& sink,
+                   double resistance, double capacitance);
+  /// Set a net's total grounded wire capacitance.
+  void set_wire_cap(netlist::NetId net, double wire_cap);
+  /// Add or change the coupling capacitor between two nets.
+  void set_coupling(netlist::NetId a, netlist::NetId b, double cap);
+  /// Remove the coupling capacitor between two nets; throws if absent.
+  void remove_coupling(netlist::NetId a, netlist::NetId b);
+  /// Move a gate input pin to another (existing) net, carrying the given
+  /// wire RC on the new connection. Rejects edits that would create a
+  /// combinational cycle (std::runtime_error). No-op if the pin is already
+  /// on `new_net`.
+  void retarget_sink(netlist::GateId gate, std::uint32_t pin,
+                     netlist::NetId new_net, double wire_resistance,
+                     double wire_capacitance);
+
+  // --- views ---------------------------------------------------------------
+  const netlist::Netlist& netlist() const { return netlist_.get(); }
+  const extract::Parasitics& parasitics() const { return parasitics_.get(); }
+  const netlist::LevelizedDag& dag() const {
+    return own_dag_ ? *own_dag_ : *base_dag_;
+  }
+  const device::DeviceTableSet& tables() const { return *tables_; }
+  /// The edited design as an analysis input (pointers into the overlays).
+  sta::DesignView view() const;
+
+  /// The append-only edit log; sessions remember how much they consumed.
+  const std::vector<EditRecord>& log() const { return log_; }
+
+ private:
+  netlist::Netlist& mutate_netlist() { return netlist_.mutate(); }
+  extract::Parasitics& mutate_parasitics() { return parasitics_.mutate(); }
+  netlist::LevelizedDag& mutate_dag();
+  /// Throws if connecting `gate`'s timed input to `new_fanin` would close a
+  /// combinational cycle (i.e. `gate` already reaches the net's driver).
+  void check_no_cycle(netlist::GateId gate, netlist::NetId new_fanin) const;
+
+  netlist::NetlistOverlay netlist_;
+  extract::ParasiticsOverlay parasitics_;
+  const netlist::LevelizedDag* base_dag_;
+  std::unique_ptr<netlist::LevelizedDag> own_dag_;
+  const device::DeviceTableSet* tables_;
+  std::vector<std::unique_ptr<netlist::Cell>> owned_cells_;
+  std::vector<EditRecord> log_;
+};
+
+}  // namespace xtalk::sta::incremental

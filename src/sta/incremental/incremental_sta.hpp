@@ -1,0 +1,58 @@
+// Cached re-timing sessions over a DesignEditor.
+//
+// A session owns the RunTrace of its last analysis (per-pass timing
+// snapshots + early-activity arrays) and a cursor into the editor's edit
+// log. run() consumes the pending edits, builds the coupling-aware dirty
+// set (dirty.hpp), incrementally updates the early-activity bound when the
+// timing-window extension is on, and replays the engine's pass sequence
+// with ReuseHints so clean gates copy their cached per-pass results instead
+// of recomputing waveforms.
+//
+// Determinism contract: the result is bitwise identical to a from-scratch
+// run on the edited design (oracle.hpp enforces this in tests), at any
+// thread count, in every mode — the reuse path only ever copies values the
+// scratch run would have recomputed identically.
+#pragma once
+
+#include <cstddef>
+
+#include "sta/early.hpp"
+#include "sta/engine.hpp"
+#include "sta/incremental/dirty.hpp"
+#include "sta/incremental/editor.hpp"
+
+namespace xtalk::sta::incremental {
+
+struct IncrementalStats {
+  bool full_run = true;        ///< last run had no usable baseline
+  std::size_t total_nets = 0;
+  std::size_t dirty_nets = 0;  ///< nets invalidated by the consumed edits
+  std::size_t gates_reused = 0;
+};
+
+class IncrementalSta {
+ public:
+  /// The editor is borrowed and must outlive the session. Options are
+  /// fixed per session (a trace is only replayable under the options that
+  /// produced it); num_threads is free to differ between runs.
+  IncrementalSta(DesignEditor& editor, const StaOptions& options);
+
+  /// Re-time the editor's current state, incrementally when a baseline
+  /// trace exists. Always returns the full StaResult for the whole design.
+  StaResult run();
+
+  const IncrementalStats& stats() const { return stats_; }
+  const StaOptions& options() const { return options_; }
+
+ private:
+  DesignEditor* editor_;
+  StaOptions options_;
+  RunTrace trace_;
+  bool has_baseline_ = false;
+  std::size_t log_cursor_ = 0;  ///< edits consumed so far
+  EarlyTimes early_;            ///< cached early-activity (timing windows)
+  bool has_early_ = false;
+  IncrementalStats stats_;
+};
+
+}  // namespace xtalk::sta::incremental

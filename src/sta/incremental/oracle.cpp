@@ -1,0 +1,132 @@
+#include "sta/incremental/oracle.hpp"
+
+#include <sstream>
+
+namespace xtalk::sta::incremental {
+
+namespace {
+
+/// Exact double comparison that treats NaN == NaN (a mismatch should mean
+/// "different bits", not "IEEE says NaN != NaN").
+bool same(double a, double b) { return a == b || (a != a && b != b); }
+
+bool compare_event(const NetEvent& a, const NetEvent& b, netlist::NetId net,
+                   bool rising, std::ostringstream& why) {
+  const char* dir = rising ? "rise" : "fall";
+  if (a.valid != b.valid) {
+    why << "net " << net << " " << dir << ": valid " << a.valid << " vs "
+        << b.valid;
+    return false;
+  }
+  if (!a.valid) return true;
+  if (!same(a.arrival, b.arrival) || !same(a.start_time, b.start_time) ||
+      !same(a.settle_time, b.settle_time)) {
+    why << "net " << net << " " << dir << ": times (" << a.arrival << ", "
+        << a.start_time << ", " << a.settle_time << ") vs (" << b.arrival
+        << ", " << b.start_time << ", " << b.settle_time << ")";
+    return false;
+  }
+  if (a.coupled != b.coupled || a.origin.gate != b.origin.gate ||
+      a.origin.from_net != b.origin.from_net ||
+      a.origin.from_rising != b.origin.from_rising) {
+    why << "net " << net << " " << dir << ": origin/coupled differ";
+    return false;
+  }
+  const auto& pa = a.waveform.points();
+  const auto& pb = b.waveform.points();
+  if (pa.size() != pb.size()) {
+    why << "net " << net << " " << dir << ": waveform " << pa.size()
+        << " vs " << pb.size() << " points";
+    return false;
+  }
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    if (!same(pa[i].t, pb[i].t) || !same(pa[i].v, pb[i].v)) {
+      why << "net " << net << " " << dir << ": waveform point " << i
+          << " (" << pa[i].t << ", " << pa[i].v << ") vs (" << pb[i].t
+          << ", " << pb[i].v << ")";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+EquivalenceReport compare_results(const StaResult& a, const StaResult& b) {
+  EquivalenceReport rep;
+  std::ostringstream why;
+  auto fail = [&]() {
+    rep.identical = false;
+    rep.mismatch = why.str();
+    return rep;
+  };
+
+  if (!same(a.longest_path_delay, b.longest_path_delay)) {
+    why << "longest_path_delay " << a.longest_path_delay << " vs "
+        << b.longest_path_delay;
+    return fail();
+  }
+  if (a.passes != b.passes) {
+    why << "passes " << a.passes << " vs " << b.passes;
+    return fail();
+  }
+  if (a.critical.net != b.critical.net ||
+      a.critical.rising != b.critical.rising ||
+      !same(a.critical.arrival, b.critical.arrival)) {
+    why << "critical endpoint (net " << a.critical.net << ") vs (net "
+        << b.critical.net << ")";
+    return fail();
+  }
+  if (a.endpoints.size() != b.endpoints.size()) {
+    why << "endpoint count " << a.endpoints.size() << " vs "
+        << b.endpoints.size();
+    return fail();
+  }
+  for (std::size_t i = 0; i < a.endpoints.size(); ++i) {
+    const EndpointArrival& ea = a.endpoints[i];
+    const EndpointArrival& eb = b.endpoints[i];
+    if (ea.net != eb.net || ea.rising != eb.rising ||
+        !same(ea.arrival, eb.arrival)) {
+      why << "endpoint " << i << ": (net " << ea.net << ", " << ea.arrival
+          << ") vs (net " << eb.net << ", " << eb.arrival << ")";
+      return fail();
+    }
+  }
+  if (a.timing.size() != b.timing.size()) {
+    why << "timing size " << a.timing.size() << " vs " << b.timing.size();
+    return fail();
+  }
+  for (netlist::NetId n = 0; n < a.timing.size(); ++n) {
+    if (a.timing[n].calculated != b.timing[n].calculated) {
+      why << "net " << n << ": calculated flag differs";
+      return fail();
+    }
+    if (!compare_event(a.timing[n].rise, b.timing[n].rise, n, true, why)) {
+      return fail();
+    }
+    if (!compare_event(a.timing[n].fall, b.timing[n].fall, n, false, why)) {
+      return fail();
+    }
+  }
+  return rep;
+}
+
+EquivalenceReport verify_incremental(DesignEditor& editor,
+                                     IncrementalSta& session,
+                                     int scratch_threads) {
+  const StaResult incremental = session.run();
+
+  const netlist::LevelizedDag scratch_dag = netlist::levelize(editor.netlist());
+  sta::DesignView scratch_view;
+  scratch_view.netlist = &editor.netlist();
+  scratch_view.dag = &scratch_dag;
+  scratch_view.parasitics = &editor.parasitics();
+  scratch_view.tables = &editor.tables();
+  StaOptions scratch_options = session.options();
+  scratch_options.num_threads = scratch_threads;
+  const StaResult scratch = run_sta(scratch_view, scratch_options);
+
+  return compare_results(incremental, scratch);
+}
+
+}  // namespace xtalk::sta::incremental

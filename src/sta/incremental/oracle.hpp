@@ -1,0 +1,38 @@
+// Equivalence oracle: incremental == from-scratch, bitwise.
+//
+// The incremental subsystem's whole correctness story is that reuse only
+// copies numbers a scratch run would recompute identically. The oracle
+// makes that falsifiable: it compares every timing-semantic field of two
+// StaResults for exact (bitwise) equality and reports the first mismatch.
+#pragma once
+
+#include <string>
+
+#include "sta/engine.hpp"
+#include "sta/incremental/incremental_sta.hpp"
+
+namespace xtalk::sta::incremental {
+
+struct EquivalenceReport {
+  bool identical = true;
+  std::string mismatch;  ///< human-readable first difference; empty if none
+
+  explicit operator bool() const { return identical; }
+};
+
+/// Exact comparison of the timing-semantic fields: longest-path delay, pass
+/// count, critical endpoint, all endpoint arrivals, and the full per-net
+/// timing state including waveform points. Deliberately excluded:
+/// runtime_seconds / threads_used (performance), waveform_calculations /
+/// gates_reused (effort counters), and missing_sink_wires (reused gates
+/// skip the sink-wire lookups that feed the diagnostic).
+EquivalenceReport compare_results(const StaResult& a, const StaResult& b);
+
+/// Run the session incrementally, then the same options from scratch on the
+/// editor's current overlays (fresh levelization, no trace), and compare.
+/// `scratch_threads` lets tests cross-check different thread counts.
+EquivalenceReport verify_incremental(DesignEditor& editor,
+                                     IncrementalSta& session,
+                                     int scratch_threads = 1);
+
+}  // namespace xtalk::sta::incremental

@@ -32,6 +32,25 @@ TableRow row_from_result(AnalysisMode mode, const StaResult& result) {
   return r;
 }
 
+std::string format_result_summary(const StaResult& result) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << "longest path "
+     << result.longest_path_delay * 1e9 << " ns (net " << result.critical.net
+     << ", " << (result.critical.rising ? "rise" : "fall") << ")\n";
+  os << "passes " << result.passes << ", threads " << result.threads_used
+     << ", waveform calculations " << result.waveform_calculations;
+  if (result.gates_reused > 0) {
+    os << ", gates reused " << result.gates_reused;
+  }
+  os << "\n";
+  if (result.missing_sink_wires > 0) {
+    os << "WARNING: " << result.missing_sink_wires
+       << " sink(s) without extracted wires (zero wire delay assumed; the "
+          "extraction has gaps)\n";
+  }
+  return os.str();
+}
+
 ClockSkewReport compute_clock_skew(const StaResult& result,
                                    const netlist::Netlist& nl) {
   ClockSkewReport rep;

@@ -22,6 +22,11 @@ std::string format_mode_table(const std::string& title,
 
 TableRow row_from_result(AnalysisMode mode, const StaResult& result);
 
+/// One-result summary: longest path, pass / thread / calculation counters,
+/// and — when nonzero — the missing-sink-wire extraction diagnostic, so
+/// gaps are visible in reports instead of hiding in the struct.
+std::string format_result_summary(const StaResult& result);
+
 /// Clock-tree quality figures derived from a finished analysis: arrival of
 /// the (rising) clock at every flip-flop CK pin.
 struct ClockSkewReport {
