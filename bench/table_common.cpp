@@ -156,7 +156,10 @@ void fill_result_row(JsonObject& row, const sta::StaResult& result) {
       .set("waveform_calculations", result.waveform_calculations)
       .set("gates_reused", result.gates_reused)
       .set("threads_used", result.threads_used)
-      .set("missing_sink_wires", result.missing_sink_wires);
+      .set("missing_sink_wires", result.missing_sink_wires)
+      .set("diag_errors", result.diagnostics.count(util::Severity::kError))
+      .set("diag_warnings", result.diagnostics.count(util::Severity::kWarning))
+      .set("diag_dropped", result.diagnostics.dropped);
 }
 
 double run_table_benchmark(const char* table_name,

@@ -30,7 +30,8 @@ const CollapsedStage& ArcScratch::collapsed(
 std::vector<ArcResult> ArcDelayCalculator::compute(
     const netlist::Cell& cell, std::size_t input_pin, bool input_rising,
     const util::Pwl& input_waveform, const OutputLoad& load,
-    const IntegrationOptions& options, ArcScratch* scratch) const {
+    const IntegrationOptions& options, ArcScratch* scratch,
+    const util::DiagHandle* diag) const {
   const device::Technology& tech = tables_->tech();
   std::vector<ArcResult> results;
 
@@ -46,6 +47,7 @@ std::vector<ArcResult> ArcDelayCalculator::compute(
   for (const StagePath& path : *paths) {
     util::Pwl wave = input_waveform;
     bool dir = input_rising;
+    bool degraded = false;
     WaveformResult wr;
     for (std::size_t hop_idx = 0; hop_idx < path.hops.size(); ++hop_idx) {
       const StagePath::Hop& hop = path.hops[hop_idx];
@@ -83,8 +85,9 @@ std::vector<ArcResult> ArcDelayCalculator::compute(
           swinging_internal_cap(stage, hop.input, drive.output_rising, tech) +
           swinging_internal_cap(stage, hop.input, !drive.output_rising, tech);
 
-      wr = solve_stage_waveform(*tables_, drive, stage_load, options);
+      wr = solve_stage_waveform(*tables_, drive, stage_load, options, diag);
       wave = wr.waveform;
+      degraded = degraded || wr.degraded;
       dir = !dir;
     }
     ArcResult r;
@@ -92,6 +95,7 @@ std::vector<ArcResult> ArcDelayCalculator::compute(
     r.waveform = std::move(wave);
     r.settle_time = wr.settle_time;
     r.coupled = wr.coupled;
+    r.degraded = degraded;
     results.push_back(std::move(r));
   }
   return results;

@@ -23,6 +23,7 @@ struct ArcResult {
   util::Pwl waveform;        ///< at the cell output, absolute time
   double settle_time = 0.0;  ///< when the output stopped moving
   bool coupled = false;      ///< the active coupling event fired
+  bool degraded = false;     ///< any stage hop took the solver fallback chain
 };
 
 /// Reusable per-thread scratch for arc evaluation. Path enumeration and
@@ -61,13 +62,15 @@ class ArcDelayCalculator {
   /// waveform `input_waveform`) to the cell output, driving `load`.
   /// Returns one result per stage path (mixed output directions possible
   /// for non-unate cells). `scratch`, if given, must not be shared between
-  /// threads.
+  /// threads. `diag`, if given, attaches the fault-tolerance pipeline of
+  /// solve_stage_waveform (diagnostics, policy, fault injection).
   std::vector<ArcResult> compute(const netlist::Cell& cell,
                                  std::size_t input_pin, bool input_rising,
                                  const util::Pwl& input_waveform,
                                  const OutputLoad& load,
                                  const IntegrationOptions& options = {},
-                                 ArcScratch* scratch = nullptr) const;
+                                 ArcScratch* scratch = nullptr,
+                                 const util::DiagHandle* diag = nullptr) const;
 
  private:
   const device::DeviceTableSet* tables_;

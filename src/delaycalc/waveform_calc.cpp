@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <string>
+
+#include "util/fault_injection.hpp"
 
 namespace xtalk::delaycalc {
 
@@ -47,7 +51,8 @@ double first_reach_after(const util::Pwl& w, double v, bool rising,
 WaveformResult solve_stage_waveform(const device::DeviceTableSet& tables,
                                     const StageDrive& drive,
                                     const OutputLoad& load,
-                                    const IntegrationOptions& opt) {
+                                    const IntegrationOptions& opt,
+                                    const util::DiagHandle* diag) {
   const device::Technology& tech = tables.tech();
   const double vdd = tech.vdd;
   const double vth = tech.model_vth;
@@ -66,33 +71,262 @@ WaveformResult solve_stage_waveform(const device::DeviceTableSet& tables,
       vdd, vth, load.c_active, load.c_passive, rising,
       rising ? vdd - 2.0 * opt.settle_band : 2.0 * opt.settle_band);
 
-  // Backward-Euler implicit step solved by Newton on the table model.
-  auto advance = [&](double t_next, double h, double v_prev) {
+  util::FaultInjector* injector = diag != nullptr ? diag->faults : nullptr;
+  const std::int64_t gate_ctx = diag != nullptr ? diag->ctx.gate : -1;
+  const bool strict =
+      diag != nullptr && diag->policy == util::FaultPolicy::kStrict;
+
+  auto make_diag = [&](util::DiagCode code, util::Severity sev,
+                       std::string msg) {
+    if (diag != nullptr) return diag->make(code, sev, std::move(msg));
+    util::Diagnostic d;
+    d.code = code;
+    d.severity = sev;
+    d.message = std::move(msg);
+    return d;
+  };
+
+  // Net device current into the output node and its dVout derivative;
+  // `poison` models a corrupted table region (fault injection).
+  auto eval_currents = [&](double vg, double v, bool poison) {
+    struct Currents {
+      double i;
+      double di_dv;
+    };
+    if (poison) {
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      return Currents{nan, nan};
+    }
+    double i_net = 0.0;
+    double di_dv = 0.0;
+    if (drive.wp_eq > 0.0) {
+      const device::CurrentDerivs d = tables.pmos().channel_current_derivs(
+          drive.wp_eq, vg, vdd, v);  // current VDD -> out
+      i_net += d.i;
+      di_dv += d.d_vb;
+    }
+    if (drive.wn_eq > 0.0) {
+      const device::CurrentDerivs d = tables.nmos().channel_current_derivs(
+          drive.wn_eq, vg, v, 0.0);  // current out -> GND
+      i_net -= d.i;
+      di_dv -= d.d_va;
+    }
+    return Currents{i_net, di_dv};
+  };
+
+  struct Inject {
+    bool diverge = false;
+    bool nan = false;
+    bool first_diverge = false;
+    bool first_nan = false;
+  };
+  auto probe = [&]() {
+    Inject inj;
+    if (injector != nullptr) {
+      const util::FireInfo a =
+          injector->should_fire(util::FaultKind::kNewtonDiverge, gate_ctx);
+      inj.diverge = a.fire;
+      inj.first_diverge = a.first;
+      const util::FireInfo b =
+          injector->should_fire(util::FaultKind::kNanCurrent, gate_ctx);
+      inj.nan = b.fire;
+      inj.first_nan = b.first;
+    }
+    return inj;
+  };
+
+  struct StepAttempt {
+    double v = 0.0;
+    bool ok = false;
+    bool nonfinite = false;
+  };
+
+  // Backward-Euler implicit step solved by Newton on the table model. The
+  // undamped (dv_clamp = 0.5) variant reproduces the historical fast path
+  // bit-for-bit when it converges; exhausting max_iters now *reports*
+  // failure instead of silently keeping the last iterate.
+  auto newton_attempt = [&](double t_next, double h, double v_prev,
+                            double dv_clamp, int max_iters,
+                            const Inject& inj) {
+    StepAttempt a;
+    a.v = v_prev;
+    if (inj.diverge) return a;
     const double vg = vin.value_at(t_next);
     double v = v_prev;
-    for (int it = 0; it < opt.max_newton; ++it) {
-      double i_net = 0.0;
-      double di_dv = 0.0;
-      if (drive.wp_eq > 0.0) {
-        const device::CurrentDerivs d = tables.pmos().channel_current_derivs(
-            drive.wp_eq, vg, vdd, v);  // current VDD -> out
-        i_net += d.i;
-        di_dv += d.d_vb;
+    for (int it = 0; it < max_iters; ++it) {
+      const auto cur = eval_currents(vg, v, inj.nan);
+      if (!std::isfinite(cur.i) || !std::isfinite(cur.di_dv)) {
+        a.nonfinite = true;
+        return a;
       }
-      if (drive.wn_eq > 0.0) {
-        const device::CurrentDerivs d = tables.nmos().channel_current_derivs(
-            drive.wn_eq, vg, v, 0.0);  // current out -> GND
-        i_net -= d.i;
-        di_dv -= d.d_va;
-      }
-      const double g = c_total * (v - v_prev) / h - i_net;
-      const double gp = c_total / h - di_dv;
+      const double g = c_total * (v - v_prev) / h - cur.i;
+      const double gp = c_total / h - cur.di_dv;
       double dv = -g / gp;
-      dv = std::clamp(dv, -0.5, 0.5);
+      if (!std::isfinite(dv)) {
+        a.nonfinite = true;
+        return a;
+      }
+      dv = std::clamp(dv, -dv_clamp, dv_clamp);
       v = std::clamp(v + dv, -0.5, vdd + 0.5);
-      if (std::abs(dv) < opt.newton_tol) break;
+      if (std::abs(dv) < opt.newton_tol) {
+        a.v = v;
+        a.ok = true;
+        return a;
+      }
     }
-    return v;
+    a.v = v;
+    return a;
+  };
+
+  // Last Newton-free resort for one BE step: the residual
+  // g(v) = C (v - v_prev)/h - i_net(v) is strictly increasing in v
+  // (C/h > 0, di_net/dv <= 0 for this stage topology), so bisection on the
+  // clamp interval finds the unique root without derivatives.
+  auto bisection_attempt = [&](double t_next, double h, double v_prev,
+                               const Inject& inj) {
+    StepAttempt a;
+    a.v = v_prev;
+    const double vg = vin.value_at(t_next);
+    auto residual = [&](double v) {
+      const auto cur = eval_currents(vg, v, inj.nan);
+      return c_total * (v - v_prev) / h - cur.i;
+    };
+    double lo = -0.5;
+    double hi = vdd + 0.5;
+    const double g_lo = residual(lo);
+    const double g_hi = residual(hi);
+    if (!std::isfinite(g_lo) || !std::isfinite(g_hi)) {
+      a.nonfinite = true;
+      return a;
+    }
+    if (g_lo >= 0.0) {  // root at or below the clamp floor
+      a.v = lo;
+      a.ok = true;
+      return a;
+    }
+    if (g_hi <= 0.0) {  // root at or above the clamp ceiling
+      a.v = hi;
+      a.ok = true;
+      return a;
+    }
+    for (int it = 0; it < 80; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      const double g_mid = residual(mid);
+      if (!std::isfinite(g_mid)) {
+        a.nonfinite = true;
+        return a;
+      }
+      if (g_mid >= 0.0) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    a.v = 0.5 * (lo + hi);
+    a.ok = true;
+    return a;
+  };
+
+  int fallback_steps = 0;
+  // One report per fallback rung per solve call keeps the sink readable
+  // under sticky faults (a poisoned gate takes hundreds of BE steps).
+  bool reported_failure = false;
+  bool reported_damped = false;
+  bool reported_halving = false;
+  bool reported_bisection = false;
+
+  auto advance = [&](double t_next, double h, double v_prev) {
+    const Inject inj = probe();
+    StepAttempt a = newton_attempt(t_next, h, v_prev, 0.5, opt.max_newton, inj);
+    if (a.ok) return a.v;
+
+    // Formerly the silent path: Newton exhausted max_newton (or produced a
+    // non-finite value) and the last iterate was used as-is. Now: record,
+    // honor strict policy, then walk the fallback chain.
+    const util::DiagCode code = a.nonfinite
+                                    ? util::DiagCode::kNonFiniteValue
+                                    : util::DiagCode::kNewtonNonConvergence;
+    const std::string what =
+        a.nonfinite
+            ? "non-finite value in BE/Newton step at t=" + std::to_string(t_next)
+            : "Newton exhausted " + std::to_string(opt.max_newton) +
+                  " iterations at t=" + std::to_string(t_next);
+    if (diag != nullptr) {
+      if (inj.first_diverge) {
+        diag->report(util::DiagCode::kInjectedFault, util::Severity::kWarning,
+                     "injected fault: newton-diverge");
+      }
+      if (inj.first_nan) {
+        diag->report(util::DiagCode::kInjectedFault, util::Severity::kWarning,
+                     "injected fault: nan-current");
+      }
+    }
+    if (strict) {
+      util::Diagnostic d = make_diag(code, util::Severity::kError, what);
+      if (diag != nullptr && diag->sink != nullptr) diag->sink->report(d);
+      throw util::DiagError(std::move(d));
+    }
+    if (diag != nullptr && !reported_failure) {
+      diag->report(code, util::Severity::kWarning, what);
+      reported_failure = true;
+    }
+    ++fallback_steps;
+
+    // Rung 1: heavily damped Newton, more iterations.
+    a = newton_attempt(t_next, h, v_prev, 0.05, opt.max_newton * 4, inj);
+    if (a.ok) {
+      if (diag != nullptr && !reported_damped) {
+        diag->report(util::DiagCode::kDampedRetry, util::Severity::kInfo,
+                     "damped Newton retry converged");
+        reported_damped = true;
+      }
+      return a.v;
+    }
+
+    // Rung 2: halve the time step (2^k damped sub-steps across [t, t+h]).
+    for (int k = 1; k <= opt.max_fallback_halvings; ++k) {
+      const int n_sub = 1 << k;
+      const double hs = h / n_sub;
+      double v_sub = v_prev;
+      bool ok = true;
+      for (int s = 1; s <= n_sub; ++s) {
+        const StepAttempt sub = newton_attempt(t_next - h + hs * s, hs, v_sub,
+                                               0.05, opt.max_newton * 4, inj);
+        if (!sub.ok) {
+          ok = false;
+          break;
+        }
+        v_sub = sub.v;
+      }
+      if (ok) {
+        if (diag != nullptr && !reported_halving) {
+          diag->report(util::DiagCode::kStepHalving, util::Severity::kInfo,
+                       "step halving (" + std::to_string(n_sub) +
+                           " sub-steps) recovered");
+          reported_halving = true;
+        }
+        return v_sub;
+      }
+    }
+
+    // Rung 3: bisection on the table model.
+    a = bisection_attempt(t_next, h, v_prev, inj);
+    if (a.ok) {
+      if (diag != nullptr && !reported_bisection) {
+        diag->report(util::DiagCode::kBisectionFallback,
+                     util::Severity::kInfo,
+                     "bisection on the table model recovered");
+        reported_bisection = true;
+      }
+      return a.v;
+    }
+
+    // Chain exhausted (only non-finite device currents reach here): hand
+    // the fault up for the caller to substitute a conservative bound.
+    throw util::DiagError(make_diag(
+        a.nonfinite ? util::DiagCode::kNonFiniteValue : code,
+        util::Severity::kError,
+        "solver fallback chain exhausted at t=" + std::to_string(t_next)));
   };
 
   WaveformResult result;
@@ -112,7 +346,10 @@ WaveformResult solve_stage_waveform(const device::DeviceTableSet& tables,
   std::size_t steps = 0;
   for (;; ++steps) {
     if (steps > opt.max_steps) {
-      throw std::runtime_error("waveform integration did not settle");
+      throw util::DiagError(make_diag(
+          util::DiagCode::kIntegrationStall, util::Severity::kError,
+          "waveform integration did not settle within " +
+              std::to_string(opt.max_steps) + " steps"));
     }
     const double t_next = t + h;
     const double v_next = advance(t_next, h, v);
@@ -175,7 +412,10 @@ WaveformResult solve_stage_waveform(const device::DeviceTableSet& tables,
   const double t_min = result.coupled ? result.drop_time : -1e300;
   double t_start = first_reach_after(raw, threshold, rising, t_min);
   if (!std::isfinite(t_start)) {
-    throw std::runtime_error("output waveform never crossed the threshold");
+    throw util::DiagError(
+        make_diag(util::DiagCode::kThresholdNotCrossed,
+                  util::Severity::kError,
+                  "output waveform never crossed the model threshold"));
   }
   util::Pwl out;
   out.append(t_start, threshold);
@@ -188,6 +428,23 @@ WaveformResult solve_stage_waveform(const device::DeviceTableSet& tables,
     last_v = vv;
   }
   result.waveform = std::move(out);
+
+  if (fallback_steps > 0) {
+    // Degrade margin: the fallback chain alters the adaptive step sequence,
+    // so the result carries grid-truncation noise relative to the nominal
+    // solution. Shifting the whole transition right by a margin that
+    // dominates that noise (and the iterative engine's best-pass drift)
+    // turns "approximately equal" into "provably never earlier".
+    result.degraded = true;
+    result.fallback_steps = fallback_steps;
+    const double span =
+        std::max(result.settle_time - result.waveform.front().t, 0.0);
+    const double margin =
+        opt.degrade_margin_abs + opt.degrade_margin_rel * span;
+    result.waveform = result.waveform.shifted(margin);
+    result.settle_time += margin;
+    if (result.coupled) result.drop_time += margin;
+  }
   return result;
 }
 

@@ -16,6 +16,7 @@
 
 #include "delaycalc/coupling_model.hpp"
 #include "device/device_table.hpp"
+#include "util/diag.hpp"
 #include "util/pwl.hpp"
 
 namespace xtalk::delaycalc {
@@ -39,6 +40,11 @@ struct WaveformResult {
   double settle_time = 0.0; ///< time the output finished moving (quiet from here)
   bool coupled = false;     ///< an active coupling event fired
   double drop_time = 0.0;   ///< when it fired (if coupled)
+  /// A solver fallback shaped this result. The waveform has been shifted
+  /// right by the degrade margin, making it a conservative (never earlier)
+  /// bound on the nominal solution.
+  bool degraded = false;
+  int fallback_steps = 0;   ///< BE steps that needed the fallback chain
 };
 
 struct IntegrationOptions {
@@ -49,12 +55,31 @@ struct IntegrationOptions {
   double newton_tol = 1e-6;     ///< [V]
   int max_newton = 30;
   std::size_t max_steps = 500000;
+  /// Fallback chain: maximum number of times a failed BE step is halved
+  /// (2^k sub-steps) before falling back to bisection on the table model.
+  int max_fallback_halvings = 4;
+  /// Pessimistic time shift applied to any degraded waveform:
+  /// margin = degrade_margin_abs + degrade_margin_rel * transition span.
+  /// The absolute part dominates grid-truncation noise from the altered
+  /// step sequence; the relative part scales with slow transitions.
+  double degrade_margin_abs = 2e-12;  ///< [s]
+  double degrade_margin_rel = 0.05;
 };
 
 /// Integrate one stage output transition.
+///
+/// `diag` (optional) attaches the fault-tolerance pipeline: diagnostics are
+/// reported against its context, its policy selects strict (first Newton
+/// failure throws util::DiagError) vs degrade (fallback chain: damped
+/// retry -> step halving -> bisection on the table model; the result is
+/// marked degraded and margin-shifted). Without a handle the degrade chain
+/// still runs (a failure is never silent again) but nothing is recorded.
+/// Unrecoverable faults (chain exhausted, integration stall, threshold
+/// never crossed) throw util::DiagError for the caller to bound-substitute.
 WaveformResult solve_stage_waveform(const device::DeviceTableSet& tables,
                                     const StageDrive& drive,
                                     const OutputLoad& load,
-                                    const IntegrationOptions& options = {});
+                                    const IntegrationOptions& options = {},
+                                    const util::DiagHandle* diag = nullptr);
 
 }  // namespace xtalk::delaycalc

@@ -215,25 +215,70 @@ class Assembler {
   std::vector<double> f_;
 };
 
+/// Outcome of one Newton solve, distinguishing the failure modes so the
+/// caller can report (and escalate) precisely.
+struct NewtonOutcome {
+  bool ok = false;
+  bool singular = false;   ///< Jacobian factorization failed
+  bool nonfinite = false;  ///< NaN/Inf escaped into the iteration
+};
+
 /// Newton iteration at one (DC or transient) point. Updates `v` in place
-/// for the unknown nodes. Returns true on convergence.
-bool newton_solve(Assembler& asem, std::vector<double>& v,
-                  const std::vector<double>& v_prev, double h, bool with_caps,
-                  const TransientOptions& opt, double damping_limit) {
+/// for the unknown nodes. `inject_*` force the corresponding failure
+/// (deterministic fault injection).
+NewtonOutcome newton_solve(Assembler& asem, std::vector<double>& v,
+                           const std::vector<double>& v_prev, double h,
+                           bool with_caps, const TransientOptions& opt,
+                           double damping_limit, bool inject_diverge = false,
+                           bool inject_singular = false) {
+  NewtonOutcome out;
+  if (inject_diverge) return out;
   std::vector<double> delta;
   for (int iter = 0; iter < opt.max_newton; ++iter) {
     asem.assemble(v, v_prev, h, with_caps);
-    if (!asem.solve_delta(delta)) return false;
+    if (inject_singular || !asem.solve_delta(delta)) {
+      out.singular = true;
+      return out;
+    }
     double err = 0.0;
     const auto& nodes = asem.unknown_nodes();
     for (std::size_t u = 0; u < nodes.size(); ++u) {
       double d = std::clamp(delta[u], -damping_limit, damping_limit);
+      if (!std::isfinite(d)) {
+        out.nonfinite = true;
+        return out;
+      }
       v[nodes[u]] += d;
       err = std::max(err, std::abs(d));
     }
-    if (err < opt.abstol) return true;
+    if (err < opt.abstol) {
+      out.ok = true;
+      return out;
+    }
   }
-  return false;
+  return out;
+}
+
+/// Report a solver diagnostic against the options' sink (no-op when null;
+/// transient runs have no gate/net context).
+void report(const TransientOptions& opt, util::DiagCode code,
+            util::Severity sev, std::string msg) {
+  if (opt.sink == nullptr) return;
+  util::Diagnostic d;
+  d.code = code;
+  d.severity = sev;
+  d.message = std::move(msg);
+  opt.sink->report(std::move(d));
+}
+
+util::DiagError make_error(const TransientOptions& opt, util::DiagCode code,
+                           std::string msg) {
+  util::Diagnostic d;
+  d.code = code;
+  d.severity = util::Severity::kError;
+  d.message = std::move(msg);
+  if (opt.sink != nullptr) opt.sink->report(d);
+  return util::DiagError(std::move(d));
 }
 
 void apply_sources(const Circuit& ckt, double t, std::vector<double>& v) {
@@ -268,14 +313,33 @@ std::vector<double> dc_operating_point(const Circuit& ckt,
   // cover bistable structures.
   TransientOptions dc_opt = opt;
   dc_opt.max_newton = 400;
-  if (newton_solve(asem, v, v, 1.0, /*with_caps=*/false, dc_opt, 0.3)) {
+  if (newton_solve(asem, v, v, 1.0, /*with_caps=*/false, dc_opt, 0.3).ok) {
     return v;
   }
   // Retry from mid-rail.
   std::fill(v.begin(), v.end(), 1.0);
   apply_sources(ckt, 0.0, v);
-  if (newton_solve(asem, v, v, 1.0, false, dc_opt, 0.1)) return v;
-  throw std::runtime_error("DC operating point did not converge");
+  if (newton_solve(asem, v, v, 1.0, false, dc_opt, 0.1).ok) return v;
+  // Last fallback: crawl from zero with very heavy damping and a large
+  // iteration budget (slow, but monotone enough for pathological stacks).
+  std::fill(v.begin(), v.end(), 0.0);
+  apply_sources(ckt, 0.0, v);
+  dc_opt.max_newton = 4000;
+  if (newton_solve(asem, v, v, 1.0, false, dc_opt, 0.02).ok) {
+    report(opt, util::DiagCode::kDcNonConvergence, util::Severity::kInfo,
+           "DC operating point needed the heavily-damped fallback");
+    return v;
+  }
+  if (opt.fault_policy == util::FaultPolicy::kDegrade) {
+    // Degrade: proceed from the best-effort iterate, loudly. The transient
+    // BE steps pull the state toward a consistent trajectory.
+    report(opt, util::DiagCode::kDcNonConvergence, util::Severity::kError,
+           "DC operating point did not converge; continuing from the last "
+           "damped iterate");
+    return v;
+  }
+  throw make_error(opt, util::DiagCode::kDcNonConvergence,
+                   "DC operating point did not converge");
 }
 
 TransientResult simulate(const Circuit& ckt,
@@ -293,18 +357,98 @@ TransientResult simulate(const Circuit& ckt,
   double h = opt.dt;
   const double h_min = opt.dt / std::pow(2.0, opt.max_step_halvings);
   int recorded = 0;
+  bool reported_halving = false;
+  bool reported_singular = false;
+  bool reported_hold = false;
+  std::size_t holds = 0;
   while (t < opt.tstop - 1e-18) {
     const double step = std::min(h, opt.tstop - t);
     const double t_next = t + step;
     v = v_prev;  // predictor: previous value
     apply_sources(ckt, t_next, v);
-    if (!newton_solve(asem, v, v_prev, step, /*with_caps=*/true, opt, 1.0)) {
-      h *= 0.5;
-      if (h < h_min) {
-        throw std::runtime_error("transient Newton failed at t=" +
-                                 std::to_string(t));
+    bool inject_diverge = false;
+    bool inject_singular = false;
+    bool first_diverge = false;
+    bool first_singular = false;
+    if (opt.fault_injector != nullptr) {
+      const util::FireInfo a =
+          opt.fault_injector->should_fire(util::FaultKind::kNewtonDiverge, -1);
+      inject_diverge = a.fire;
+      first_diverge = a.first;
+      const util::FireInfo b = opt.fault_injector->should_fire(
+          util::FaultKind::kSingularMatrix, -1);
+      inject_singular = b.fire;
+      first_singular = b.first;
+    }
+    if (first_diverge) {
+      report(opt, util::DiagCode::kInjectedFault, util::Severity::kWarning,
+             "injected fault: newton-diverge");
+    }
+    if (first_singular) {
+      report(opt, util::DiagCode::kInjectedFault, util::Severity::kWarning,
+             "injected fault: singular-matrix");
+    }
+    NewtonOutcome nw = newton_solve(asem, v, v_prev, step, /*with_caps=*/true,
+                                    opt, 1.0, inject_diverge, inject_singular);
+    if (!nw.ok) {
+      // Damped retry before halving: a hard transition that overshoots
+      // full Newton often converges with a limited update.
+      v = v_prev;
+      apply_sources(ckt, t_next, v);
+      TransientOptions damped = opt;
+      damped.max_newton = opt.max_newton * 4;
+      nw = newton_solve(asem, v, v_prev, step, true, damped, 0.05,
+                        inject_diverge, inject_singular);
+      if (nw.ok) {
+        report(opt, util::DiagCode::kDampedRetry, util::Severity::kInfo,
+               "damped Newton retry converged at t=" + std::to_string(t));
       }
-      continue;
+    }
+    if (!nw.ok) {
+      if (nw.singular && !reported_singular) {
+        report(opt, util::DiagCode::kSingularMatrix, util::Severity::kWarning,
+               "Jacobian factorization failed at t=" + std::to_string(t));
+        reported_singular = true;
+      }
+      if (nw.nonfinite) {
+        report(opt, util::DiagCode::kNonFiniteValue, util::Severity::kWarning,
+               "non-finite Newton update at t=" + std::to_string(t));
+      }
+      h *= 0.5;
+      if (h >= h_min) {
+        if (!reported_halving) {
+          report(opt, util::DiagCode::kStepHalving, util::Severity::kInfo,
+                 "time step halved after Newton failure at t=" +
+                     std::to_string(t));
+          reported_halving = true;
+        }
+        continue;
+      }
+      if (opt.fault_policy == util::FaultPolicy::kDegrade) {
+        // Zero-order hold: carry the previous state across the bad step
+        // and try again with the base step. The held waveform understates
+        // nothing that was already recorded, and the hold itself is loud.
+        ++holds;
+        if (!reported_hold) {
+          report(opt, util::DiagCode::kTransientHold, util::Severity::kError,
+                 "Newton failed at the minimum step; holding state across "
+                 "t=" + std::to_string(t));
+          reported_hold = true;
+        }
+        v = v_prev;
+        apply_sources(ckt, t_next, v);
+        t = t_next;
+        v_prev = v;
+        if (++recorded >= opt.record_every) {
+          result.record(t, v);
+          recorded = 0;
+        }
+        h = opt.dt;
+        continue;
+      }
+      throw make_error(opt, util::DiagCode::kTransientStepLimit,
+                       "transient Newton failed at t=" + std::to_string(t) +
+                           " (minimum step reached)");
     }
     t = t_next;
     v_prev = v;
@@ -315,6 +459,10 @@ TransientResult simulate(const Circuit& ckt,
     if (h < opt.dt) h = std::min(opt.dt, h * 2.0);
   }
   if (recorded != 0) result.record(t, v);
+  if (holds > 1) {
+    report(opt, util::DiagCode::kTransientHold, util::Severity::kWarning,
+           std::to_string(holds) + " zero-order holds in total");
+  }
   return result;
 }
 

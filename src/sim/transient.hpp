@@ -11,6 +11,8 @@
 
 #include "device/device_table.hpp"
 #include "sim/circuit.hpp"
+#include "util/diag.hpp"
+#include "util/fault_injection.hpp"
 #include "util/pwl.hpp"
 
 namespace xtalk::sim {
@@ -23,6 +25,15 @@ struct TransientOptions {
   int max_step_halvings = 10;
   double gmin = 1e-9;        ///< conductance to ground on every node [S]
   int record_every = 1;      ///< keep every k-th time point
+  /// Diagnostic sink for solver events (borrowed; null = unrecorded).
+  util::DiagSink* sink = nullptr;
+  /// Test-only deterministic fault injection (borrowed; null = off).
+  util::FaultInjector* fault_injector = nullptr;
+  /// kStrict (default, the historical behaviour): an unrecoverable solver
+  /// failure throws util::DiagError. kDegrade: the simulator records the
+  /// failure, holds the previous state across the bad step (zero-order
+  /// hold), and completes.
+  util::FaultPolicy fault_policy = util::FaultPolicy::kStrict;
 };
 
 class TransientResult {
@@ -46,8 +57,11 @@ class TransientResult {
   std::vector<double> values_;  ///< step-major
 };
 
-/// Run the transient. Throws std::runtime_error if Newton fails to
-/// converge even at the minimum step size.
+/// Run the transient. Under the default kStrict policy, throws
+/// util::DiagError (code kTransientStepLimit / kDcNonConvergence) if Newton
+/// fails to converge even at the minimum step size; under kDegrade the
+/// failure is recorded in `options.sink` and the run completes with a
+/// zero-order hold across the bad step.
 TransientResult simulate(const Circuit& circuit,
                          const device::DeviceTableSet& tables,
                          const TransientOptions& options);

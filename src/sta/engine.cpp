@@ -72,7 +72,8 @@ bool event_identical(const NetEvent& a, const NetEvent& b) {
   if (!same_value(a.arrival, b.arrival) ||
       !same_value(a.start_time, b.start_time) ||
       !same_value(a.settle_time, b.settle_time) || a.coupled != b.coupled ||
-      a.origin.gate != b.origin.gate || a.origin.from_net != b.origin.from_net ||
+      a.degraded != b.degraded || a.origin.gate != b.origin.gate ||
+      a.origin.from_net != b.origin.from_net ||
       a.origin.from_rising != b.origin.from_rising) {
     return false;
   }
@@ -95,7 +96,10 @@ bool net_timing_identical(const NetTiming& a, const NetTiming& b) {
 }
 
 StaEngine::StaEngine(const DesignView& design, const StaOptions& options)
-    : design_(design), options_(options), calculator_(*design.tables) {
+    : design_(design),
+      options_(options),
+      calculator_(*design.tables),
+      sink_(options.max_diagnostics) {
   if (options_.delay_model == DelayModel::kNldm) {
     // The shared characterization is built against the default technology.
     nldm_ = std::make_unique<delaycalc::NldmDelayCalculator>(
@@ -106,18 +110,122 @@ StaEngine::StaEngine(const DesignView& design, const StaOptions& options)
   scratch_.resize(pool_->num_threads());
 }
 
+util::DiagHandle StaEngine::gate_diag(netlist::GateId gate, netlist::NetId out,
+                                      const PassConfig& config) const {
+  util::DiagHandle dh;
+  dh.sink = const_cast<util::DiagSink*>(&sink_);
+  dh.faults = options_.fault_injector;
+  dh.policy = options_.fault_policy;
+  dh.ctx.gate = static_cast<std::int64_t>(gate);
+  dh.ctx.net = static_cast<std::int64_t>(out);
+  dh.ctx.level = static_cast<int>(design_.dag->gate_level[gate]);
+  dh.ctx.pass = config.pass_index;
+  return dh;
+}
+
 std::vector<delaycalc::ArcResult> StaEngine::compute_arc(
     const netlist::Cell& cell, std::uint32_t pin, bool in_rising,
     const util::Pwl& input_waveform, const delaycalc::OutputLoad& load,
-    std::size_t thread_id) {
+    std::size_t thread_id, const util::DiagHandle& diag) {
   waveform_calcs_.fetch_add(1, std::memory_order_relaxed);
   DelayScratch& scratch = scratch_[thread_id];
   if (nldm_ != nullptr) {
     return nldm_->compute(cell, pin, in_rising, input_waveform, load,
                           &scratch.nldm);
   }
-  return calculator_.compute(cell, pin, in_rising, input_waveform, load,
-                             options_.integration, &scratch.arc);
+  try {
+    return calculator_.compute(cell, pin, in_rising, input_waveform, load,
+                               options_.integration, &scratch.arc, &diag);
+  } catch (const util::DiagError& err) {
+    if (!diag.degrade()) throw;
+    // Unrecoverable solver fault under kDegrade: record it and substitute
+    // the conservative bound.
+    if (diag.sink != nullptr) diag.sink->report(err.diagnostic());
+    return bound_arc(cell, pin, in_rising, input_waveform, load, thread_id,
+                     diag);
+  }
+}
+
+std::vector<delaycalc::ArcResult> StaEngine::bound_arc(
+    const netlist::Cell& cell, std::uint32_t pin, bool in_rising,
+    const util::Pwl& input_waveform, const delaycalc::OutputLoad& load,
+    std::size_t thread_id, const util::DiagHandle& diag) {
+  const device::Technology& tech = design_.tables->tech();
+  const double vdd = tech.vdd;
+  const double vth = tech.model_vth;
+  const double in50 = input_waveform.time_at_value(vdd / 2.0, in_rising);
+  const delaycalc::IntegrationOptions& iopt = options_.integration;
+
+  // Build one bound event: 50% crossing at `arrival`, linear full-swing
+  // transition of `span` seconds, clipped at the model threshold like every
+  // propagated waveform. `frac` locates the threshold crossing within the
+  // full ramp (identical for rising and falling by symmetry of Vth).
+  auto make_bound = [&](bool out_rising, double arrival, double span) {
+    delaycalc::ArcResult r;
+    r.output_rising = out_rising;
+    r.degraded = true;
+    r.coupled = load.c_active > 0.0;
+    const double frac = (vdd / 2.0 - vth) / (vdd - vth);
+    const double t0 = arrival - frac * span;
+    r.waveform = out_rising ? util::Pwl::ramp(t0, vth, t0 + span, vdd)
+                            : util::Pwl::ramp(t0, vdd - vth, t0 + span, 0.0);
+    r.settle_time = t0 + span;
+    return r;
+  };
+
+  // Preferred bound: the characterized NLDM model (grounded caps doubled —
+  // already the conservative static treatment of coupling), inflated by
+  // doubling delay and slew about the input 50% crossing plus the degrade
+  // margin. NLDM is characterized from the transistor engine itself, so 2x
+  // dominates its interpolation error by a wide margin.
+  std::call_once(fallback_nldm_once_, [&] {
+    try {
+      fallback_nldm_ = std::make_unique<delaycalc::NldmDelayCalculator>(
+          delaycalc::NldmLibrary::half_micron(), tech);
+    } catch (...) {
+      // leave null: the analytic bound below covers it
+    }
+  });
+  std::vector<delaycalc::ArcResult> nominal;
+  if (fallback_nldm_ != nullptr) {
+    try {
+      nominal = fallback_nldm_->compute(cell, pin, in_rising, input_waveform,
+                                        load, &scratch_[thread_id].nldm);
+    } catch (const std::exception&) {
+      nominal.clear();
+    }
+  }
+
+  std::vector<delaycalc::ArcResult> out;
+  if (!nominal.empty()) {
+    for (const delaycalc::ArcResult& r : nominal) {
+      const double a = r.waveform.time_at_value(vdd / 2.0, r.output_rising);
+      const double span =
+          2.0 * std::max(r.waveform.back().t - r.waveform.front().t, 1e-13);
+      const double margin =
+          iopt.degrade_margin_abs + iopt.degrade_margin_rel * span;
+      const double arrival = in50 + 2.0 * std::max(a - in50, 0.0) + margin;
+      out.push_back(make_bound(r.output_rising, arrival, span));
+    }
+    diag.report(util::DiagCode::kBoundSubstituted, util::Severity::kWarning,
+                "substituted inflated NLDM bound for cell " + cell.name());
+    return out;
+  }
+
+  // Last resort (cell without characterized arcs): a fixed 1 ns delay with
+  // doubled input span, emitted for *both* output directions — a non-unate
+  // superset, so no event the nominal engine could produce is missed.
+  const double span =
+      2.0 * std::max(input_waveform.back().t - input_waveform.front().t,
+                     1e-13);
+  const double margin =
+      iopt.degrade_margin_abs + iopt.degrade_margin_rel * span;
+  const double arrival = in50 + 1e-9 + margin;
+  out.push_back(make_bound(true, arrival, span));
+  out.push_back(make_bound(false, arrival, span));
+  diag.report(util::DiagCode::kBoundSubstituted, util::Severity::kWarning,
+              "substituted analytic 1 ns bound for cell " + cell.name());
+  return out;
 }
 
 double StaEngine::base_load(netlist::NetId net) const {
@@ -204,8 +312,10 @@ void StaEngine::process_gate(netlist::GateId gate_id, const PassConfig& config,
 
   const double base = base_load(out);
   const double cc_sum = design_.parasitics->net(out).total_coupling_cap();
+  const util::DiagHandle dh = gate_diag(gate_id, out, config);
 
-  auto merge = [&](const delaycalc::ArcResult& r, const EventOrigin& origin) {
+  auto merge = [&](const delaycalc::ArcResult& r, const EventOrigin& origin,
+                   bool input_degraded) {
     NetEvent& e = timing[out].event(r.output_rising);
     const double arrival = arrival_of(r, vdd);
     if (!e.valid || arrival > e.arrival) {
@@ -214,6 +324,7 @@ void StaEngine::process_gate(netlist::GateId gate_id, const PassConfig& config,
       e.start_time = r.waveform.front().t;
       e.origin = origin;
       e.coupled = r.coupled;
+      e.degraded = r.degraded || input_degraded;
     }
     e.settle_time = std::max(e.valid ? e.settle_time : r.settle_time,
                              r.settle_time);
@@ -244,18 +355,35 @@ void StaEngine::process_gate(netlist::GateId gate_id, const PassConfig& config,
             load = {base, cc_sum};
           }
           for (const delaycalc::ArcResult& r :
-               compute_arc(cell, p, in_rising, in_wave, load, thread_id)) {
-            merge(r, origin);
+               compute_arc(cell, p, in_rising, in_wave, load, thread_id,
+                           dh)) {
+            merge(r, origin, in_ev.degraded);
           }
           break;
         }
         case AnalysisMode::kOneStep:
         case AnalysisMode::kIterative: {
+          if (in_ev.degraded) {
+            // Taint rule: a degraded fanin event may be later than the
+            // nominal one, which would *shrink* the apparent aggressor set
+            // of a timing-based classification. The all-active worst case
+            // (§4) is a sound bound for any alignment, so use it instead.
+            for (const delaycalc::ArcResult& r :
+                 compute_arc(cell, p, in_rising, in_wave, {base, cc_sum},
+                             thread_id, dh)) {
+              merge(r, origin, true);
+            }
+            break;
+          }
           // Best-case run: all adjacent wires quiet, caps grounded
           // unchanged. Its Vth crossing is the earliest possible victim
           // activity (lower time bound of the current waveform, §5.1).
           const auto bcs = compute_arc(cell, p, in_rising, in_wave,
-                                       {base + cc_sum, 0.0}, thread_id);
+                                       {base + cc_sum, 0.0}, thread_id, dh);
+          bool bcs_degraded = false;
+          for (const delaycalc::ArcResult& r : bcs) {
+            bcs_degraded = bcs_degraded || r.degraded;
+          }
           for (const bool out_rising : {true, false}) {
             double t_bcs = std::numeric_limits<double>::infinity();
             bool present = false;
@@ -266,44 +394,120 @@ void StaEngine::process_gate(netlist::GateId gate_id, const PassConfig& config,
             }
             if (!present) continue;
             const double inf = std::numeric_limits<double>::infinity();
-            delaycalc::OutputLoad load = classify_coupling(
-                out, out_rising, t_bcs, config, timing, calculated, base, inf);
+            // Taint rule, best-case side: a degraded best-case run makes
+            // t_bcs unreliable (a later t_bcs drops aggressors), so fall
+            // back to all-active coupling instead of classifying.
+            delaycalc::OutputLoad load =
+                bcs_degraded
+                    ? delaycalc::OutputLoad{base, cc_sum}
+                    : classify_coupling(out, out_rising, t_bcs, config,
+                                        timing, calculated, base, inf);
             if (load.c_active <= 0.0) {
               // No neighbour can couple: the best-case run *is* the
               // worst-case run (loads identical); skip the second calc.
               for (const delaycalc::ArcResult& r : bcs) {
-                if (r.output_rising == out_rising) merge(r, origin);
+                if (r.output_rising == out_rising) merge(r, origin, false);
               }
               continue;
             }
             auto wcs = compute_arc(cell, p, in_rising, in_wave, load,
-                                   thread_id);
-            if (options_.timing_windows) {
+                                   thread_id, dh);
+            if (options_.timing_windows && !bcs_degraded) {
               // Refine: drop aggressors that cannot start before the
               // victim settles under the unrefined worst case (the settle
               // bound shrinks monotonically, so this stays conservative).
+              // Skipped under taint: a degraded settle bound is not the
+              // nominal one, so the refinement's premise breaks.
+              bool wcs_degraded = false;
+              for (const delaycalc::ArcResult& r : wcs) {
+                wcs_degraded = wcs_degraded || r.degraded;
+              }
               double settle_upper = 0.0;
               for (const delaycalc::ArcResult& r : wcs) {
                 if (r.output_rising == out_rising) {
                   settle_upper = std::max(settle_upper, r.settle_time);
                 }
               }
-              const delaycalc::OutputLoad refined =
-                  classify_coupling(out, out_rising, t_bcs, config, timing,
-                                    calculated, base, settle_upper);
-              if (refined.c_active < load.c_active - 1e-18) {
-                wcs = compute_arc(cell, p, in_rising, in_wave, refined,
-                                  thread_id);
+              if (!wcs_degraded) {
+                const delaycalc::OutputLoad refined =
+                    classify_coupling(out, out_rising, t_bcs, config, timing,
+                                      calculated, base, settle_upper);
+                if (refined.c_active < load.c_active - 1e-18) {
+                  wcs = compute_arc(cell, p, in_rising, in_wave, refined,
+                                    thread_id, dh);
+                }
               }
             }
             for (const delaycalc::ArcResult& r : wcs) {
-              if (r.output_rising == out_rising) merge(r, origin);
+              if (r.output_rising == out_rising) merge(r, origin, false);
             }
           }
           break;
         }
       }
     }
+  }
+  timing[out].calculated = true;
+}
+
+void StaEngine::degrade_gate(netlist::GateId gate_id, const PassConfig& config,
+                             std::vector<NetTiming>& timing, const char* why) {
+  const netlist::Netlist& nl = *design_.netlist;
+  const netlist::Gate& gate = nl.gate(gate_id);
+  const netlist::Cell& cell = *gate.cell;
+  const netlist::NetId out = gate.pin_nets[cell.output_pin()];
+  const device::Technology& tech = design_.tables->tech();
+  const double vdd = tech.vdd;
+  const double vth = tech.model_vth;
+
+  const util::DiagHandle dh = gate_diag(gate_id, out, config);
+  dh.report(util::DiagCode::kGateDegraded, util::Severity::kError,
+            std::string("gate output replaced by pessimistic bound: ") + why);
+
+  // A fixed 1 ns stage bound after the latest fanin arrival, with doubled
+  // fanin span, merged on top of whatever arcs succeeded before the failure
+  // (merge keeps the max, so partial results can only be overtaken, never
+  // lost).
+  double worst_in = -std::numeric_limits<double>::infinity();
+  double span_in = 0.0;
+  bool any = false;
+  for (std::uint32_t p = 0; p < gate.pin_nets.size(); ++p) {
+    if (!netlist::is_timed_input(cell, p)) continue;
+    const netlist::NetId in_net = gate.pin_nets[p];
+    for (const bool in_rising : {true, false}) {
+      const NetEvent& in_ev = timing[in_net].event(in_rising);
+      if (!in_ev.valid) continue;
+      any = true;
+      worst_in = std::max(worst_in,
+                          in_ev.arrival + sink_elmore(in_net, {gate_id, p}));
+      span_in = std::max(
+          span_in, in_ev.waveform.back().t - in_ev.waveform.front().t);
+    }
+  }
+  if (!any) {
+    timing[out].calculated = true;
+    return;
+  }
+  const delaycalc::IntegrationOptions& iopt = options_.integration;
+  const double span = std::max(2.0 * span_in, 1e-12);
+  const double margin =
+      iopt.degrade_margin_abs + iopt.degrade_margin_rel * span;
+  const double arrival = worst_in + 1e-9 + margin;
+  const double frac = (vdd / 2.0 - vth) / (vdd - vth);
+  const double t0 = arrival - frac * span;
+  for (const bool rising : {true, false}) {
+    NetEvent& e = timing[out].event(rising);
+    if (!e.valid || arrival > e.arrival) {
+      e.waveform = rising ? util::Pwl::ramp(t0, vth, t0 + span, vdd)
+                          : util::Pwl::ramp(t0, vdd - vth, t0 + span, 0.0);
+      e.arrival = arrival;
+      e.start_time = t0;
+      e.origin = EventOrigin{gate_id, netlist::kNoNet, true};
+      e.coupled = true;
+      e.degraded = true;
+    }
+    e.settle_time = std::max(e.valid ? e.settle_time : t0 + span, t0 + span);
+    e.valid = true;
   }
   timing[out].calculated = true;
 }
@@ -332,6 +536,23 @@ double StaEngine::run_pass(const PassConfig& config,
   const std::vector<std::uint32_t>& level_begin = design_.dag->level_begin;
   std::vector<char> calculated(nl.num_nets(), 0);
   for (const netlist::NetId pi : nl.primary_inputs()) calculated[pi] = 1;
+
+  // Per-gate exception isolation (kDegrade): a poisoned gate degrades to a
+  // pessimistic bound locally instead of propagating out of the thread
+  // pool and killing every worker's level. compute_arc already converts
+  // solver DiagErrors into bound substitutions, so what reaches this
+  // outermost net are unexpected evaluation failures.
+  auto evaluate_gate = [&](netlist::GateId g, std::size_t thread_id) {
+    if (options_.fault_policy == util::FaultPolicy::kDegrade) {
+      try {
+        process_gate(g, config, timing, calculated, thread_id);
+      } catch (const std::exception& ex) {
+        degrade_gate(g, config, timing, ex.what());
+      }
+      return;
+    }
+    process_gate(g, config, timing, calculated, thread_id);
+  };
 
   for (std::size_t lvl = 0; lvl + 1 < level_begin.size(); ++lvl) {
     pool_->parallel_for(
@@ -362,14 +583,23 @@ double StaEngine::run_pass(const PassConfig& config,
               // fanin events, neighbour quiet times, quiet-time basis,
               // early activity, levels, parasitics, the cell itself — is
               // bitwise unchanged from the baseline pass, so the cached
-              // output *is* what process_gate would recompute.
+              // output *is* what process_gate would recompute. That
+              // includes its diagnostics: re-emit the baseline's entries
+              // so the incremental report matches a from-scratch run.
               timing[out] = (*config.reuse_timing)[out];
               timing[out].calculated = true;
               (*config.value_dirty)[out] = 0;
+              if (config.reuse_diags != nullptr) {
+                for (const util::Diagnostic& d : *config.reuse_diags) {
+                  if (d.ctx.gate == static_cast<std::int64_t>(g)) {
+                    sink_.report(d);
+                  }
+                }
+              }
               gates_reused_.fetch_add(1, std::memory_order_relaxed);
               return;
             }
-            process_gate(g, config, timing, calculated, thread_id);
+            evaluate_gate(g, thread_id);
             // Value cut-off: a recomputed net that lands exactly on the
             // baseline (e.g. the changed input was not the controlling
             // arc) does not dirty its consumers.
@@ -377,7 +607,7 @@ double StaEngine::run_pass(const PassConfig& config,
                 !net_timing_identical(timing[out], (*config.reuse_timing)[out]);
             return;
           }
-          process_gate(g, config, timing, calculated, thread_id);
+          evaluate_gate(g, thread_id);
         });
     // Barrier passed: this level's outputs are visible from the next level.
     for (std::size_t i = level_begin[lvl]; i < level_begin[lvl + 1]; ++i) {
@@ -504,6 +734,8 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
   waveform_calcs_.store(0, std::memory_order_relaxed);
   missing_sinks_.store(0, std::memory_order_relaxed);
   gates_reused_.store(0, std::memory_order_relaxed);
+  sink_.clear();
+  if (options_.fault_injector != nullptr) options_.fault_injector->reset();
   result.threads_used = static_cast<int>(pool_->num_threads());
   if (trace_out != nullptr) *trace_out = RunTrace{};
 
@@ -568,12 +800,14 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
     return rec.active_gates == active;
   };
   auto record_pass = [&](const std::vector<NetTiming>& pass_timing,
-                         const std::vector<char>& active, int basis) {
+                         const std::vector<char>& active, int basis,
+                         std::size_t diag_mark) {
     if (trace_out == nullptr) return;
     PassRecord rec;
     rec.timing = pass_timing;
     rec.active_gates = active;
     rec.basis_pass = basis;
+    rec.diagnostics = sink_.slice(diag_mark);
     trace_out->passes.push_back(std::move(rec));
   };
 
@@ -586,6 +820,7 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
     dirty_by_pass.emplace_back(num_nets, reusable ? 0 : 1);
     if (!reusable) return;
     cfg.reuse_timing = &base->passes[k].timing;
+    cfg.reuse_diags = &base->passes[k].diagnostics;
     cfg.seed_dirty = seeds;
     cfg.value_dirty = &dirty_by_pass[k];
     if (basis >= 0) {
@@ -595,25 +830,29 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
 
   if (options_.mode != AnalysisMode::kIterative) {
     PassConfig cfg;
+    cfg.pass_index = 0;
     const bool reusable = pass_reusable(0, -1, no_mask);
     configure_reuse(cfg, 0, reusable, -1);
+    const std::size_t diag_mark = sink_.size();
     result.longest_path_delay = run_pass(cfg, timing, endpoints, critical);
     result.passes = 1;
     pass_valid.push_back(reusable ? 1 : 0);
-    record_pass(timing, no_mask, -1);
+    record_pass(timing, no_mask, -1, diag_mark);
   } else {
     // §5.2: delay := default (first one-step pass, unknown neighbours are
     // assumed coupling); then refine with stored quiescent times while the
     // delay improves.
     PassConfig first;
+    first.pass_index = 0;
     {
       const bool reusable = pass_reusable(0, -1, no_mask);
       configure_reuse(first, 0, reusable, -1);
       pass_valid.push_back(reusable ? 1 : 0);
     }
+    const std::size_t first_mark = sink_.size();
     double delay = run_pass(first, timing, endpoints, critical);
     result.passes = 1;
-    record_pass(timing, no_mask, -1);
+    record_pass(timing, no_mask, -1, first_mark);
     QuietTimes quiet = collect_quiet(timing);
     int basis = 0;  // pass whose timing supplied `quiet` and best_*
 
@@ -626,6 +865,7 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
       const std::size_t k = static_cast<std::size_t>(result.passes);
       PassConfig cfg;
       cfg.previous = &quiet;
+      cfg.pass_index = result.passes;
       std::vector<char> active;
       if (options_.esperance) {
         active = collect_esperance_gates(design_.netlist->num_gates(),
@@ -637,10 +877,11 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
       const bool reusable = pass_reusable(k, basis, active);
       configure_reuse(cfg, k, reusable, basis);
       const double delay_old = best;
+      const std::size_t diag_mark = sink_.size();
       delay = run_pass(cfg, timing, endpoints, critical);
       ++result.passes;
       pass_valid.push_back(reusable ? 1 : 0);
-      record_pass(timing, active, basis);
+      record_pass(timing, active, basis, diag_mark);
       if (delay < best) {
         best = delay;
         basis = static_cast<int>(k);
@@ -660,6 +901,13 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
   result.critical = critical;
   result.endpoints = std::move(endpoints);
   result.timing = std::move(timing);
+  // Thread scheduling permutes sink arrival order; the deterministic sort
+  // makes the report identical for any thread count (and lets incremental
+  // replays compare equal to from-scratch runs).
+  result.diagnostics.entries = sink_.snapshot();
+  std::sort(result.diagnostics.entries.begin(),
+            result.diagnostics.entries.end(), util::diagnostic_order);
+  result.diagnostics.dropped = sink_.dropped();
   result.waveform_calculations =
       waveform_calcs_.load(std::memory_order_relaxed);
   result.missing_sink_wires = missing_sinks_.load(std::memory_order_relaxed);

@@ -25,8 +25,11 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "util/diag.hpp"
+#include "util/fault_injection.hpp"
 #include "util/thread_pool.hpp"
 
 #include "delaycalc/arc_delay.hpp"
@@ -87,6 +90,20 @@ struct StaOptions {
   /// thread, 1 = serial. Results are bit-identical for any value — the
   /// coupling classification only sees state from completed levels.
   int num_threads = 0;
+  /// What to do when a delay calculation fails (Newton non-convergence,
+  /// NaN escape, solver divergence): kStrict throws util::DiagError on the
+  /// first failure; kDegrade walks the solver fallback chain, isolates a
+  /// still-failing gate behind a conservative bound, records everything in
+  /// StaResult::diagnostics, and completes the run.
+  util::FaultPolicy fault_policy = util::FaultPolicy::kDegrade;
+  /// Test-only deterministic fault injection hook (borrowed; null in
+  /// production). Reset at the start of every run. Gate-scoped FaultSpecs
+  /// fire deterministically at any thread count; a gate=-1 spec with
+  /// after > 0 is only deterministic single-threaded.
+  util::FaultInjector* fault_injector = nullptr;
+  /// Capacity of the diagnostic sink; reports beyond it are counted in
+  /// StaResult::diagnostics.dropped instead of stored.
+  std::size_t max_diagnostics = 1024;
 };
 
 struct EndpointArrival {
@@ -111,6 +128,11 @@ struct StaResult {
   /// Gate evaluations answered from a baseline RunTrace instead of being
   /// recomputed (incremental runs only; summed over all passes).
   std::size_t gates_reused = 0;
+  /// Everything the fault-tolerance pipeline recorded this run, in the
+  /// deterministic diagnostic_order (empty on a clean run). Incremental
+  /// runs replay the diagnostics of reused gates from the baseline trace,
+  /// so this matches a from-scratch run of the edited design.
+  util::DiagReport diagnostics;
 };
 
 /// Everything one pass of one run produced, recorded so a later incremental
@@ -123,6 +145,10 @@ struct PassRecord {
   std::vector<NetTiming> timing;
   std::vector<char> active_gates;  ///< esperance mask; empty when unused
   int basis_pass = -1;
+  /// Diagnostics this pass emitted (sink arrival order). An incremental
+  /// replay re-emits the entries of reused gates so its final report stays
+  /// consistent with a from-scratch run.
+  std::vector<util::Diagnostic> diagnostics;
 };
 
 /// Per-run recording: pass snapshots plus the early-activity arrays of the
@@ -196,6 +222,12 @@ class StaEngine {
     /// value_dirty of the basis pass (whose stored quiet times feed the
     /// coupling classification). Null when no quiet basis exists.
     const std::vector<char>* basis_dirty = nullptr;
+    /// Index of this pass in the run (diagnostic context).
+    int pass_index = 0;
+    /// Baseline diagnostics of the replayed pass: a reused gate re-emits
+    /// its entries so incremental reports match from-scratch runs. Null
+    /// when not replaying.
+    const std::vector<util::Diagnostic>* reuse_diags = nullptr;
   };
 
   /// Per-thread delay-calculation scratch (memoized path enumeration /
@@ -250,11 +282,31 @@ class StaEngine {
   /// Collect per-net quiet times from a finished pass.
   QuietTimes collect_quiet(const std::vector<NetTiming>& timing) const;
 
-  /// Dispatch to the configured delay engine.
+  /// Dispatch to the configured delay engine. Under kDegrade a
+  /// util::DiagError from the solver is caught here and a conservative
+  /// bound substituted (bound_arc); under kStrict it propagates.
   std::vector<delaycalc::ArcResult> compute_arc(
       const netlist::Cell& cell, std::uint32_t pin, bool in_rising,
       const util::Pwl& input_waveform, const delaycalc::OutputLoad& load,
-      std::size_t thread_id);
+      std::size_t thread_id, const util::DiagHandle& diag);
+
+  /// Conservative upper-bound arc results when the transistor-level solver
+  /// is unrecoverable: the characterized NLDM delay/slew doubled (plus the
+  /// degrade margin), or — for cells without NLDM arcs — an analytic
+  /// fixed-delay bound covering both output directions.
+  std::vector<delaycalc::ArcResult> bound_arc(
+      const netlist::Cell& cell, std::uint32_t pin, bool in_rising,
+      const util::Pwl& input_waveform, const delaycalc::OutputLoad& load,
+      std::size_t thread_id, const util::DiagHandle& diag);
+
+  /// Per-gate isolation (kDegrade): replace the whole gate's output with a
+  /// pessimistic bound event after an unexpected evaluation failure.
+  void degrade_gate(netlist::GateId gate, const PassConfig& config,
+                    std::vector<NetTiming>& timing, const char* why);
+
+  /// The diagnostic capability for one gate evaluation.
+  util::DiagHandle gate_diag(netlist::GateId gate, netlist::NetId out,
+                             const PassConfig& config) const;
 
   DesignView design_;
   StaOptions options_;
@@ -271,6 +323,12 @@ class StaEngine {
   /// Per-net earliest activity (only when options_.timing_windows is set).
   std::vector<double> early_rise_;
   std::vector<double> early_fall_;
+  /// Bounded thread-safe diagnostic collector (cleared at every run).
+  util::DiagSink sink_;
+  /// Lazily-built NLDM calculator backing bound_arc in transistor-level
+  /// runs (kNldm runs use nldm_ directly).
+  std::unique_ptr<delaycalc::NldmDelayCalculator> fallback_nldm_;
+  std::once_flag fallback_nldm_once_;
 };
 
 /// Gates on origin chains of endpoints within `window` of `delay` (the

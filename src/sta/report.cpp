@@ -48,6 +48,29 @@ std::string format_result_summary(const StaResult& result) {
        << " sink(s) without extracted wires (zero wire delay assumed; the "
           "extraction has gaps)\n";
   }
+  if (!result.diagnostics.empty()) {
+    const std::size_t errors = result.diagnostics.count(util::Severity::kError);
+    const std::size_t warnings =
+        result.diagnostics.count(util::Severity::kWarning);
+    os << "diagnostics: " << result.diagnostics.entries.size() << " ("
+       << errors << " error, " << warnings << " warning";
+    if (result.diagnostics.dropped > 0) {
+      os << ", " << result.diagnostics.dropped << " dropped past capacity";
+    }
+    os << ")\n";
+    // The first few entries inline; anything past that lives in the struct.
+    constexpr std::size_t kMaxInline = 5;
+    const std::size_t shown =
+        std::min(result.diagnostics.entries.size(), kMaxInline);
+    for (std::size_t i = 0; i < shown; ++i) {
+      os << "  " << util::format_diagnostic(result.diagnostics.entries[i])
+         << "\n";
+    }
+    if (result.diagnostics.entries.size() > shown) {
+      os << "  ... " << result.diagnostics.entries.size() - shown
+         << " more in StaResult::diagnostics\n";
+    }
+  }
   return os.str();
 }
 

@@ -28,6 +28,11 @@ struct NetEvent {
   double start_time = 0.0;   ///< Vth crossing (first possible activity)
   double settle_time = 0.0;  ///< quiet for this direction from here on
   bool coupled = false;      ///< worst arc saw an active coupling event
+  /// The winning arc took the solver fallback chain (or consumed a degraded
+  /// fanin event): the event is a conservative bound, not the nominal
+  /// solution. Downstream arcs reading a degraded event must not trust its
+  /// timing for coupling classification (engine taint rule).
+  bool degraded = false;
   EventOrigin origin;
 };
 

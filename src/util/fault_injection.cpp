@@ -1,0 +1,55 @@
+#include "util/fault_injection.hpp"
+
+namespace xtalk::util {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNewtonDiverge: return "newton-diverge";
+    case FaultKind::kNanCurrent: return "nan-current";
+    case FaultKind::kSingularMatrix: return "singular-matrix";
+  }
+  return "unknown";
+}
+
+void FaultInjector::add(FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  specs_.push_back(Armed{spec, 0, 0});
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Armed& a : specs_) {
+    a.seen = 0;
+    a.fired = 0;
+  }
+}
+
+void FaultInjector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  specs_.clear();
+}
+
+FireInfo FaultInjector::should_fire(FaultKind kind, std::int64_t gate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FireInfo info;
+  for (Armed& a : specs_) {
+    if (a.spec.kind != kind) continue;
+    if (a.spec.gate >= 0 && a.spec.gate != gate) continue;
+    const std::uint64_t call = a.seen++;
+    if (call < a.spec.after) continue;
+    if (a.fired >= a.spec.count) continue;
+    info.fire = true;
+    if (a.fired == 0) info.first = true;
+    ++a.fired;
+  }
+  return info;
+}
+
+std::uint64_t FaultInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const Armed& a : specs_) total += a.fired;
+  return total;
+}
+
+}  // namespace xtalk::util

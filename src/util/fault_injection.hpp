@@ -1,0 +1,74 @@
+// Deterministic fault injection for the solver fallback chain (test-only).
+//
+// A FaultInjector is armed with FaultSpecs ("force a Newton divergence on
+// gate 12 after its 3rd solver call") and threaded through the analysis via
+// DiagHandle::faults (StaOptions::fault_injector). Solver probe sites ask
+// should_fire(); a null injector costs one pointer test. Determinism: each
+// spec counts its *own* matching probe calls, and probes are scoped to a
+// gate that is evaluated serially by exactly one worker thread, so firing
+// does not depend on thread interleaving or thread count.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <vector>
+
+namespace xtalk::util {
+
+enum class FaultKind {
+  kNewtonDiverge,   ///< force Newton iteration to report non-convergence
+  kNanCurrent,      ///< poison the device-current evaluation with NaN
+  kSingularMatrix,  ///< force the matrix factorization to report failure
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNewtonDiverge;
+  /// Gate the fault is scoped to; -1 matches probes from any gate.
+  std::int64_t gate = -1;
+  /// Number of matching probe calls to let pass before firing.
+  std::uint64_t after = 0;
+  /// How many times to fire once triggered (default: every call after
+  /// `after`). A sticky fault (the default) models a genuinely broken
+  /// model-table region rather than a one-shot glitch, so retries at the
+  /// same site keep failing and the chain has to escalate.
+  std::uint64_t count = std::numeric_limits<std::uint64_t>::max();
+};
+
+/// Result of a probe: whether to fault this call, and whether this is the
+/// first firing of the matching spec (the probe site emits exactly one
+/// kInjectedFault diagnostic per spec per run, on `first`).
+struct FireInfo {
+  bool fire = false;
+  bool first = false;
+};
+
+class FaultInjector {
+ public:
+  void add(FaultSpec spec);
+  /// Rewind all per-spec counters (keeps the specs). The engine calls this
+  /// at the start of every run so repeated runs replay identically.
+  void reset();
+  void clear();
+
+  /// Called from a solver probe site on behalf of `gate` (-1 when the call
+  /// has no gate context, e.g. standalone transient simulation).
+  FireInfo should_fire(FaultKind kind, std::int64_t gate);
+
+  /// Total number of probe calls that were faulted (all specs).
+  std::uint64_t fired() const;
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    std::uint64_t seen = 0;   ///< matching probe calls so far
+    std::uint64_t fired = 0;  ///< times this spec has fired
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<Armed> specs_;
+};
+
+}  // namespace xtalk::util

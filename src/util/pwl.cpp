@@ -6,25 +6,40 @@
 #include <limits>
 #include <sstream>
 
+#include "util/diag.hpp"
+
 namespace xtalk::util {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
+// NaN/Inf guards on every constructing entry point: a non-finite waveform
+// point would propagate silently through delays (every comparison against
+// NaN is false, so merges and crossings just pick wrong branches). Rejecting
+// at the boundary turns that into an attributable DiagError.
+
 Pwl::Pwl(std::vector<PwlPoint> points) : points_(std::move(points)) {
-  for (std::size_t i = 1; i < points_.size(); ++i) {
-    assert(points_[i].t > points_[i - 1].t && "PWL times must increase");
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    require_finite(points_[i].t, "Pwl point time");
+    require_finite(points_[i].v, "Pwl point value");
+    assert(i == 0 ||
+           (points_[i].t > points_[i - 1].t && "PWL times must increase"));
   }
 }
 
 Pwl Pwl::constant(double value) {
+  require_finite(value, "Pwl::constant value");
   Pwl w;
   w.points_.push_back({0.0, value});
   return w;
 }
 
 Pwl Pwl::ramp(double t0, double v0, double t1, double v1) {
+  require_finite(t0, "Pwl::ramp t0");
+  require_finite(v0, "Pwl::ramp v0");
+  require_finite(t1, "Pwl::ramp t1");
+  require_finite(v1, "Pwl::ramp v1");
   assert(t1 > t0);
   Pwl w;
   w.points_.push_back({t0, v0});
@@ -38,6 +53,10 @@ Pwl Pwl::step(double t, double v0, double v1, double rise) {
 }
 
 void Pwl::append(double t, double v) {
+  if (!(std::isfinite(t) && std::isfinite(v))) {
+    require_finite(t, "Pwl::append time");
+    require_finite(v, "Pwl::append value");
+  }
   if (!points_.empty()) {
     assert(t > points_.back().t && "PWL times must increase");
     // Merge collinear middle points: if the previous two points and the new
@@ -64,6 +83,7 @@ void Pwl::append(double t, double v) {
 
 double Pwl::value_at(double t) const {
   assert(!points_.empty());
+  if (!std::isfinite(t)) require_finite(t, "Pwl::value_at time");
   if (t <= points_.front().t) return points_.front().v;
   if (t >= points_.back().t) return points_.back().v;
   // Binary search for the segment containing t.
@@ -78,6 +98,7 @@ double Pwl::value_at(double t) const {
 
 double Pwl::time_at_value(double v, bool rising) const {
   assert(!points_.empty());
+  if (!std::isfinite(v)) require_finite(v, "Pwl::time_at_value value");
   const double sign = rising ? 1.0 : -1.0;
   if (sign * (points_.front().v - v) >= 0.0) return -kInf;
   for (std::size_t i = 1; i < points_.size(); ++i) {
@@ -102,6 +123,7 @@ bool Pwl::is_monotone(bool rising, double tol) const {
 }
 
 Pwl Pwl::shifted(double dt) const {
+  if (!std::isfinite(dt)) require_finite(dt, "Pwl::shifted offset");
   Pwl w;
   w.points_.reserve(points_.size());
   for (const PwlPoint& p : points_) w.points_.push_back({p.t + dt, p.v});

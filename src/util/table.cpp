@@ -3,8 +3,32 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <string>
+
+#include "util/diag.hpp"
 
 namespace xtalk::util {
+
+namespace {
+
+// A NaN/Inf table sample is a latent time bomb: std::clamp(NaN, ...) is
+// NaN, and casting that to an index is undefined behaviour inside the
+// hottest loop of the engine. Reject at construction (kNonFiniteTableEntry)
+// and at every query entry point (require_finite) instead.
+void require_finite_samples(const std::vector<double>& values,
+                            const char* what) {
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (std::isfinite(values[i])) continue;
+    Diagnostic d;
+    d.code = DiagCode::kNonFiniteTableEntry;
+    d.severity = Severity::kError;
+    d.message = std::string(what) + " sample " + std::to_string(i) +
+                " is not finite";
+    throw DiagError(std::move(d));
+  }
+}
+
+}  // namespace
 
 Table1D::Table1D(double x0, double x1, std::size_t n,
                  const std::function<double(double)>& f)
@@ -16,10 +40,12 @@ Table1D::Table1D(double x0, double x1, std::size_t n,
   for (std::size_t i = 0; i < n; ++i) {
     values_[i] = f(x0 + dx * static_cast<double>(i));
   }
+  require_finite_samples(values_, "Table1D");
 }
 
 double Table1D::lookup(double x) const {
   assert(!values_.empty());
+  if (!std::isfinite(x)) require_finite(x, "Table1D::lookup x");
   const double u = std::clamp((x - x0_) * inv_dx_, 0.0,
                               static_cast<double>(values_.size() - 1));
   const auto i = static_cast<std::size_t>(
@@ -30,6 +56,7 @@ double Table1D::lookup(double x) const {
 
 double Table1D::derivative(double x) const {
   assert(values_.size() >= 2);
+  if (!std::isfinite(x)) require_finite(x, "Table1D::derivative x");
   const double u = std::clamp((x - x0_) * inv_dx_, 0.0,
                               static_cast<double>(values_.size() - 1));
   const auto i = static_cast<std::size_t>(
@@ -52,6 +79,7 @@ Table2D::Table2D(double x0, double x1, std::size_t nx, double y0, double y1,
           f(x0 + dx * static_cast<double>(i), y0 + dy * static_cast<double>(j));
     }
   }
+  require_finite_samples(values_, "Table2D");
 }
 
 void Table2D::locate_x(double x, std::size_t& i, double& fx) const {
@@ -70,6 +98,10 @@ void Table2D::locate_y(double y, std::size_t& j, double& fy) const {
 
 double Table2D::lookup(double x, double y) const {
   assert(nx_ >= 2 && ny_ >= 2);
+  if (!(std::isfinite(x) && std::isfinite(y))) {
+    require_finite(x, "Table2D::lookup x");
+    require_finite(y, "Table2D::lookup y");
+  }
   std::size_t i, j;
   double fx, fy;
   locate_x(x, i, fx);
@@ -82,6 +114,10 @@ double Table2D::lookup(double x, double y) const {
 }
 
 double Table2D::d_dx(double x, double y) const {
+  if (!(std::isfinite(x) && std::isfinite(y))) {
+    require_finite(x, "Table2D::d_dx x");
+    require_finite(y, "Table2D::d_dx y");
+  }
   std::size_t i, j;
   double fx, fy;
   locate_x(x, i, fx);
@@ -92,6 +128,10 @@ double Table2D::d_dx(double x, double y) const {
 }
 
 double Table2D::d_dy(double x, double y) const {
+  if (!(std::isfinite(x) && std::isfinite(y))) {
+    require_finite(x, "Table2D::d_dy x");
+    require_finite(y, "Table2D::d_dy y");
+  }
   std::size_t i, j;
   double fx, fy;
   locate_x(x, i, fx);

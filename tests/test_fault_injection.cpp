@@ -1,0 +1,509 @@
+// Fault-tolerance pipeline tests: deterministic injector semantics, the
+// solver fallback chain in waveform_calc, engine-level degrade/strict
+// behaviour with per-gate diagnostics, the conservatism property under
+// injected faults, incremental diagnostic replay, and the transient
+// simulator's fallbacks.
+#include "util/fault_injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/crosstalk_sta.hpp"
+#include "delaycalc/stage.hpp"
+#include "delaycalc/waveform_calc.hpp"
+#include "netlist/cell_library.hpp"
+#include "netlist/circuit_generator.hpp"
+#include "sim/transient.hpp"
+#include "sta/incremental/editor.hpp"
+#include "sta/incremental/incremental_sta.hpp"
+#include "sta/incremental/oracle.hpp"
+#include "util/diag.hpp"
+
+namespace xtalk {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FaultInjector semantics
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, FiltersCountsAndReportsFirstFire) {
+  util::FaultInjector inj;
+  util::FaultSpec spec;
+  spec.kind = util::FaultKind::kNewtonDiverge;
+  spec.gate = 7;
+  spec.after = 2;
+  spec.count = 3;
+  inj.add(spec);
+
+  // Kind and gate filters are applied before the per-spec counter, so
+  // probes of other kinds/gates never advance it.
+  EXPECT_FALSE(inj.should_fire(util::FaultKind::kNanCurrent, 7).fire);
+  EXPECT_FALSE(inj.should_fire(util::FaultKind::kNewtonDiverge, 3).fire);
+
+  // Calls 0 and 1 are skipped (after=2); calls 2..4 fire (count=3); the
+  // first firing is flagged exactly once.
+  EXPECT_FALSE(inj.should_fire(util::FaultKind::kNewtonDiverge, 7).fire);
+  EXPECT_FALSE(inj.should_fire(util::FaultKind::kNewtonDiverge, 7).fire);
+  util::FireInfo f = inj.should_fire(util::FaultKind::kNewtonDiverge, 7);
+  EXPECT_TRUE(f.fire);
+  EXPECT_TRUE(f.first);
+  f = inj.should_fire(util::FaultKind::kNewtonDiverge, 7);
+  EXPECT_TRUE(f.fire);
+  EXPECT_FALSE(f.first);
+  EXPECT_TRUE(inj.should_fire(util::FaultKind::kNewtonDiverge, 7).fire);
+  EXPECT_FALSE(inj.should_fire(util::FaultKind::kNewtonDiverge, 7).fire);
+  EXPECT_EQ(inj.fired(), 3u);
+}
+
+TEST(FaultInjector, ResetRewindsCountersAndKeepsSpecs) {
+  util::FaultInjector inj;
+  util::FaultSpec spec;
+  spec.kind = util::FaultKind::kNanCurrent;
+  spec.gate = 1;
+  spec.count = 1;
+  inj.add(spec);
+  EXPECT_TRUE(inj.should_fire(util::FaultKind::kNanCurrent, 1).fire);
+  EXPECT_FALSE(inj.should_fire(util::FaultKind::kNanCurrent, 1).fire);
+  inj.reset();
+  const util::FireInfo f = inj.should_fire(util::FaultKind::kNanCurrent, 1);
+  EXPECT_TRUE(f.fire);
+  EXPECT_TRUE(f.first);
+}
+
+TEST(FaultInjector, DefaultSpecIsSticky) {
+  util::FaultInjector inj;
+  util::FaultSpec spec;
+  spec.kind = util::FaultKind::kNewtonDiverge;
+  inj.add(spec);  // any gate, fire forever
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(inj.should_fire(util::FaultKind::kNewtonDiverge, i).fire);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Solver fallback chain (waveform_calc)
+// ---------------------------------------------------------------------------
+
+const device::DeviceTableSet& dev_tables() {
+  return device::DeviceTableSet::half_micron();
+}
+const device::Technology& tech() { return device::Technology::half_micron(); }
+
+struct SolveSetup {
+  util::Pwl vin;
+  util::DiagSink sink{256};
+  util::FaultInjector injector;
+  util::DiagHandle diag;
+
+  explicit SolveSetup(util::FaultPolicy policy) {
+    vin = util::Pwl::ramp(0.0, tech().vdd - tech().model_vth, 0.2e-9, 0.0);
+    diag.sink = &sink;
+    diag.faults = &injector;
+    diag.policy = policy;
+    diag.ctx.gate = 5;
+    diag.ctx.net = 9;
+  }
+
+  delaycalc::WaveformResult run(const delaycalc::IntegrationOptions& opt = {}) {
+    const netlist::Stage& s =
+        netlist::CellLibrary::half_micron().get("INV_X1").stages()[0];
+    const delaycalc::CollapsedStage col =
+        delaycalc::collapse(s, delaycalc::sensitize(s, 0));
+    delaycalc::StageDrive d;
+    d.wn_eq = col.wn_eq;
+    d.wp_eq = col.wp_eq;
+    d.vin = &vin;
+    d.output_rising = true;
+    return delaycalc::solve_stage_waveform(dev_tables(), d, {30e-15, 0.0},
+                                           opt, &diag);
+  }
+};
+
+double arrival50(const delaycalc::WaveformResult& r) {
+  return r.waveform.time_at_value(tech().vdd / 2.0, true);
+}
+
+// Regression for the formerly-silent max_newton exhaustion: the primary
+// solve cannot converge in zero iterations, yet the run must neither loop
+// nor return garbage — the chain lands on bisection, flags the result
+// degraded, and records what happened.
+TEST(SolverFallback, MaxNewtonExhaustionDegradesLoudly) {
+  SolveSetup nominal(util::FaultPolicy::kDegrade);
+  const delaycalc::WaveformResult clean = nominal.run();
+  ASSERT_FALSE(clean.degraded);
+
+  SolveSetup starved(util::FaultPolicy::kDegrade);
+  delaycalc::IntegrationOptions opt;
+  opt.max_newton = 0;
+  const delaycalc::WaveformResult r = starved.run(opt);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_GT(r.fallback_steps, 0);
+  const util::DiagReport rep{starved.sink.snapshot(), starved.sink.dropped()};
+  EXPECT_GT(rep.count(util::DiagCode::kNewtonNonConvergence), 0u);
+  EXPECT_GT(rep.count(util::DiagCode::kBisectionFallback), 0u);
+
+  // Bisection solves the same strictly-monotone residual, so the waveform
+  // matches the Newton one up to the deliberate degrade margin.
+  const double margin = opt.degrade_margin_abs +
+                        opt.degrade_margin_rel *
+                            (clean.settle_time - clean.waveform.front().t);
+  EXPECT_GE(arrival50(r), arrival50(clean));
+  EXPECT_LE(arrival50(r), arrival50(clean) + 2.0 * margin + 5e-12);
+}
+
+TEST(SolverFallback, InjectedDivergenceIsConservativeAndReportedOnce) {
+  SolveSetup clean(util::FaultPolicy::kDegrade);
+  const delaycalc::WaveformResult base = clean.run();
+
+  SolveSetup faulted(util::FaultPolicy::kDegrade);
+  util::FaultSpec spec;
+  spec.kind = util::FaultKind::kNewtonDiverge;
+  spec.gate = 5;  // matches diag.ctx.gate
+  faulted.injector.add(spec);
+  const delaycalc::WaveformResult r = faulted.run();
+  EXPECT_TRUE(r.degraded);
+  EXPECT_GE(arrival50(r), arrival50(base));
+  const util::DiagReport rep{faulted.sink.snapshot(), faulted.sink.dropped()};
+  EXPECT_EQ(rep.count(util::DiagCode::kInjectedFault), 1u);
+  for (const util::Diagnostic& d : rep.entries) {
+    EXPECT_EQ(d.ctx.gate, 5);
+  }
+}
+
+TEST(SolverFallback, StrictThrowsDiagErrorBeforeFallbacks) {
+  SolveSetup s(util::FaultPolicy::kStrict);
+  util::FaultSpec spec;
+  spec.kind = util::FaultKind::kNewtonDiverge;
+  spec.gate = 5;
+  s.injector.add(spec);
+  try {
+    s.run();
+    FAIL() << "expected DiagError";
+  } catch (const util::DiagError& err) {
+    EXPECT_EQ(err.diagnostic().code, util::DiagCode::kNewtonNonConvergence);
+    EXPECT_EQ(err.diagnostic().severity, util::Severity::kError);
+    EXPECT_EQ(err.diagnostic().ctx.gate, 5);
+  }
+  // No fallback rung ran: the sink holds the injection notice and the
+  // failure itself, nothing about damping/halving/bisection.
+  const util::DiagReport rep{s.sink.snapshot(), s.sink.dropped()};
+  EXPECT_EQ(rep.count(util::DiagCode::kDampedRetry), 0u);
+  EXPECT_EQ(rep.count(util::DiagCode::kBisectionFallback), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level behaviour
+// ---------------------------------------------------------------------------
+
+const core::Design& fault_design() {
+  static const core::Design d =
+      core::Design::generate(netlist::scaled_spec("fault", 17, 220, 10));
+  return d;
+}
+
+netlist::NetId output_net(const netlist::Netlist& nl, netlist::GateId g) {
+  const netlist::Gate& gate = nl.gate(g);
+  return gate.pin_nets[gate.cell->output_pin()];
+}
+
+/// The `count` deepest combinational gates (small influence cones).
+std::vector<netlist::GateId> deep_gates(const core::Design& design,
+                                        std::size_t count) {
+  const netlist::Netlist& nl = design.netlist();
+  std::vector<netlist::GateId> gates;
+  for (netlist::GateId g = 0; g < nl.num_gates(); ++g) {
+    if (!nl.gate(g).cell->is_sequential()) gates.push_back(g);
+  }
+  std::sort(gates.begin(), gates.end(),
+            [&](netlist::GateId a, netlist::GateId b) {
+              return design.dag().gate_level[a] > design.dag().gate_level[b];
+            });
+  gates.resize(std::min(count, gates.size()));
+  return gates;
+}
+
+void arm_gates(util::FaultInjector& inj,
+               const std::vector<netlist::GateId>& gates,
+               util::FaultKind kind) {
+  for (const netlist::GateId g : gates) {
+    util::FaultSpec spec;
+    spec.kind = kind;
+    spec.gate = static_cast<std::int64_t>(g);
+    inj.add(spec);
+  }
+}
+
+TEST(EngineFault, DegradeCompletesWithPerGateDiagnostics) {
+  const core::Design& design = fault_design();
+  const std::vector<netlist::GateId> gates = deep_gates(design, 5);
+  ASSERT_EQ(gates.size(), 5u);
+
+  sta::StaOptions opt;
+  opt.mode = sta::AnalysisMode::kOneStep;
+  opt.num_threads = 1;
+  const sta::StaResult clean = design.run(opt);
+  EXPECT_TRUE(clean.diagnostics.empty());
+
+  util::FaultInjector inj;
+  arm_gates(inj, gates, util::FaultKind::kNewtonDiverge);
+  opt.fault_injector = &inj;
+  const sta::StaResult faulted = design.run(opt);
+
+  for (const netlist::GateId g : gates) {
+    std::size_t hits = 0;
+    for (const util::Diagnostic& d : faulted.diagnostics.entries) {
+      if (d.code != util::DiagCode::kInjectedFault) continue;
+      if (d.ctx.gate != static_cast<std::int64_t>(g)) continue;
+      ++hits;
+      EXPECT_EQ(d.ctx.net, static_cast<std::int64_t>(
+                               output_net(design.netlist(), g)));
+      EXPECT_GE(d.ctx.level, 0);
+    }
+    EXPECT_EQ(hits, 1u) << "gate " << g;
+  }
+
+  ASSERT_EQ(clean.endpoints.size(), faulted.endpoints.size());
+  for (std::size_t i = 0; i < clean.endpoints.size(); ++i) {
+    EXPECT_GE(faulted.endpoints[i].arrival, clean.endpoints[i].arrival)
+        << "endpoint net " << clean.endpoints[i].net;
+  }
+}
+
+TEST(EngineFault, StrictThrowsOnFirstInjectedFault) {
+  const core::Design& design = fault_design();
+  const std::vector<netlist::GateId> gates = deep_gates(design, 5);
+  util::FaultInjector inj;
+  arm_gates(inj, gates, util::FaultKind::kNewtonDiverge);
+
+  sta::StaOptions opt;
+  opt.mode = sta::AnalysisMode::kOneStep;
+  opt.num_threads = 1;
+  opt.fault_injector = &inj;
+  opt.fault_policy = util::FaultPolicy::kStrict;
+  try {
+    (void)design.run(opt);
+    FAIL() << "expected DiagError";
+  } catch (const util::DiagError& err) {
+    EXPECT_EQ(err.diagnostic().severity, util::Severity::kError);
+    EXPECT_NE(std::find(gates.begin(), gates.end(),
+                        static_cast<netlist::GateId>(err.diagnostic().ctx.gate)),
+              gates.end());
+  }
+}
+
+// Sticky NaN currents defeat every solver rung (bisection included), so the
+// engine must substitute the NLDM-derived bound and say so.
+TEST(EngineFault, StickyNanSubstitutesBound) {
+  const core::Design& design = fault_design();
+  const std::vector<netlist::GateId> gates = deep_gates(design, 1);
+  util::FaultInjector inj;
+  arm_gates(inj, gates, util::FaultKind::kNanCurrent);
+
+  sta::StaOptions opt;
+  opt.mode = sta::AnalysisMode::kOneStep;
+  opt.num_threads = 1;
+  const sta::StaResult clean = design.run(opt);
+  opt.fault_injector = &inj;
+  const sta::StaResult faulted = design.run(opt);
+
+  EXPECT_GT(faulted.diagnostics.count(util::DiagCode::kBoundSubstituted), 0u);
+  ASSERT_EQ(clean.endpoints.size(), faulted.endpoints.size());
+  for (std::size_t i = 0; i < clean.endpoints.size(); ++i) {
+    EXPECT_GE(faulted.endpoints[i].arrival, clean.endpoints[i].arrival);
+  }
+}
+
+// Satellite property: under injected faults, degrade-mode arrivals are
+// conservative at every endpoint, in one-step and iterative modes, serial
+// and parallel — and gate-scoped injection is thread-count deterministic.
+TEST(EngineFault, ConservatismPropertyAcrossModesAndThreads) {
+  const core::Design& design = fault_design();
+  const std::vector<netlist::GateId> gates = deep_gates(design, 3);
+  util::FaultInjector inj;
+  arm_gates(inj, gates, util::FaultKind::kNewtonDiverge);
+
+  for (const sta::AnalysisMode mode :
+       {sta::AnalysisMode::kOneStep, sta::AnalysisMode::kIterative}) {
+    sta::StaOptions opt;
+    opt.mode = mode;
+    opt.num_threads = 1;
+    const sta::StaResult clean = design.run(opt);
+
+    opt.fault_injector = &inj;
+    const sta::StaResult serial = design.run(opt);
+    opt.num_threads = 4;
+    const sta::StaResult parallel = design.run(opt);
+
+    ASSERT_EQ(clean.endpoints.size(), serial.endpoints.size());
+    ASSERT_EQ(clean.endpoints.size(), parallel.endpoints.size());
+    for (std::size_t i = 0; i < clean.endpoints.size(); ++i) {
+      EXPECT_GE(serial.endpoints[i].arrival, clean.endpoints[i].arrival)
+          << sta::mode_name(mode) << " endpoint " << i;
+      // Thread-count invariance, bitwise, including under faults.
+      EXPECT_EQ(serial.endpoints[i].arrival, parallel.endpoints[i].arrival)
+          << sta::mode_name(mode) << " endpoint " << i;
+    }
+    EXPECT_EQ(serial.diagnostics.entries.size(),
+              parallel.diagnostics.entries.size());
+  }
+}
+
+bool same_diagnostics(const util::DiagReport& a, const util::DiagReport& b) {
+  if (a.entries.size() != b.entries.size()) return false;
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    const util::Diagnostic& x = a.entries[i];
+    const util::Diagnostic& y = b.entries[i];
+    if (x.code != y.code || x.severity != y.severity ||
+        x.ctx.gate != y.ctx.gate || x.ctx.net != y.ctx.net ||
+        x.ctx.level != y.ctx.level || x.ctx.pass != y.ctx.pass ||
+        x.message != y.message) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Incremental runs must replay the diagnostics of reused (faulted) gates so
+// their report matches a from-scratch run of the edited design exactly.
+TEST(EngineFault, IncrementalReplayMatchesFromScratchDiagnostics) {
+  const core::Design& design = fault_design();
+  const std::vector<netlist::GateId> gates = deep_gates(design, 2);
+  util::FaultInjector inj;
+  arm_gates(inj, gates, util::FaultKind::kNewtonDiverge);
+
+  sta::StaOptions opt;
+  opt.mode = sta::AnalysisMode::kOneStep;
+  opt.num_threads = 1;
+  opt.fault_injector = &inj;
+
+  sta::incremental::DesignEditor editor = design.make_editor();
+  sta::incremental::IncrementalSta session(editor, opt);
+  const sta::StaResult baseline = session.run();
+  EXPECT_GT(baseline.diagnostics.entries.size(), 0u);
+
+  // A wire-cap nudge on a shallow net, far from the deep faulted gates, so
+  // the incremental run reuses them and must replay their diagnostics.
+  netlist::GateId shallow = netlist::kNoGate;
+  for (netlist::GateId g = 0; g < editor.netlist().num_gates(); ++g) {
+    if (editor.netlist().gate(g).cell->is_sequential()) continue;
+    if (design.dag().gate_level[g] <= 2) {
+      shallow = g;
+      break;
+    }
+  }
+  ASSERT_NE(shallow, netlist::kNoGate);
+  const netlist::NetId net = output_net(editor.netlist(), shallow);
+  editor.set_wire_cap(net, design.parasitics().net(net).wire_cap * 1.05);
+
+  const sta::StaResult inc = session.run();
+  EXPECT_GT(session.stats().gates_reused, 0u);
+
+  const sta::StaResult scratch = sta::run_sta(editor.view(), opt);
+  const sta::incremental::EquivalenceReport eq =
+      sta::incremental::compare_results(inc, scratch);
+  EXPECT_TRUE(eq.identical) << eq.mismatch;
+  EXPECT_TRUE(same_diagnostics(inc.diagnostics, scratch.diagnostics));
+  EXPECT_TRUE(same_diagnostics(inc.diagnostics, baseline.diagnostics));
+}
+
+// ---------------------------------------------------------------------------
+// Transient simulator fallbacks
+// ---------------------------------------------------------------------------
+
+sim::Circuit rc_circuit() {
+  sim::Circuit ckt;
+  const sim::NodeId in = ckt.add_node("in");
+  const sim::NodeId out = ckt.add_node("out");
+  ckt.add_vsource(in, util::Pwl::step(0.1e-9, 0.0, 1.0, 1e-12));
+  ckt.add_resistor(in, out, 1000.0);
+  ckt.add_capacitor(out, ckt.ground(), 100e-15);
+  return ckt;
+}
+
+TEST(TransientFault, SingleInjectedFaultRecoversByStepHalving) {
+  const sim::Circuit ckt = rc_circuit();
+  util::DiagSink sink(64);
+  util::FaultInjector inj;
+  util::FaultSpec spec;
+  spec.kind = util::FaultKind::kNewtonDiverge;
+  spec.count = 1;
+  inj.add(spec);
+
+  sim::TransientOptions opt;
+  opt.tstop = 1e-9;
+  opt.dt = 0.5e-12;
+  opt.sink = &sink;
+  opt.fault_injector = &inj;
+  const sim::TransientResult r = sim::simulate(ckt, dev_tables(), opt);
+  EXPECT_NEAR(r.waveform(1).value_at(0.9e-9), 1.0, 0.05);
+  const util::DiagReport rep{sink.snapshot(), sink.dropped()};
+  EXPECT_EQ(rep.count(util::DiagCode::kInjectedFault), 1u);
+  EXPECT_GT(rep.count(util::DiagCode::kStepHalving), 0u);
+  EXPECT_EQ(rep.count(util::Severity::kError), 0u);
+}
+
+TEST(TransientFault, StickyFaultStrictThrowsAtStepLimit) {
+  const sim::Circuit ckt = rc_circuit();
+  util::FaultInjector inj;
+  util::FaultSpec spec;
+  spec.kind = util::FaultKind::kNewtonDiverge;
+  inj.add(spec);  // sticky: every step fails even after halving
+
+  sim::TransientOptions opt;
+  opt.tstop = 0.2e-9;
+  opt.fault_injector = &inj;
+  opt.fault_policy = util::FaultPolicy::kStrict;
+  try {
+    sim::simulate(ckt, dev_tables(), opt);
+    FAIL() << "expected DiagError";
+  } catch (const util::DiagError& err) {
+    EXPECT_EQ(err.diagnostic().code, util::DiagCode::kTransientStepLimit);
+  }
+}
+
+TEST(TransientFault, StickyFaultDegradeHoldsAndCompletes) {
+  const sim::Circuit ckt = rc_circuit();
+  util::DiagSink sink(64);
+  util::FaultInjector inj;
+  util::FaultSpec spec;
+  spec.kind = util::FaultKind::kNewtonDiverge;
+  inj.add(spec);
+
+  sim::TransientOptions opt;
+  opt.tstop = 0.2e-9;
+  opt.dt = 1e-12;
+  opt.sink = &sink;
+  opt.fault_injector = &inj;
+  opt.fault_policy = util::FaultPolicy::kDegrade;
+  const sim::TransientResult r = sim::simulate(ckt, dev_tables(), opt);
+  EXPECT_GT(r.num_steps(), 10u);
+  const util::DiagReport rep{sink.snapshot(), sink.dropped()};
+  EXPECT_GT(rep.count(util::DiagCode::kTransientHold), 0u);
+  EXPECT_GT(rep.count(util::Severity::kError), 0u);
+}
+
+TEST(TransientFault, SingularMatrixInjectionIsRecorded) {
+  const sim::Circuit ckt = rc_circuit();
+  util::DiagSink sink(64);
+  util::FaultInjector inj;
+  util::FaultSpec spec;
+  spec.kind = util::FaultKind::kSingularMatrix;
+  spec.count = 1;
+  inj.add(spec);
+
+  sim::TransientOptions opt;
+  opt.tstop = 0.5e-9;
+  opt.sink = &sink;
+  opt.fault_injector = &inj;
+  const sim::TransientResult r = sim::simulate(ckt, dev_tables(), opt);
+  EXPECT_GT(r.num_steps(), 10u);
+  const util::DiagReport rep{sink.snapshot(), sink.dropped()};
+  EXPECT_EQ(rep.count(util::DiagCode::kInjectedFault), 1u);
+}
+
+}  // namespace
+}  // namespace xtalk

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+
+#include "util/diag.hpp"
 
 namespace xtalk::util {
 namespace {
@@ -134,6 +137,33 @@ TEST(Pwl, StepHasRequestedRiseTime) {
   EXPECT_DOUBLE_EQ(w.value_at(1.0), 0.0);
   EXPECT_DOUBLE_EQ(w.value_at(1.1), 3.3);
   EXPECT_NEAR(w.value_at(1.05), 1.65, 1e-12);
+}
+
+TEST(Pwl, RejectsNonFiniteConstructionInputs) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Pwl::constant(nan), DiagError);
+  EXPECT_THROW(Pwl::ramp(0.0, 0.0, 1.0, inf), DiagError);
+  EXPECT_THROW(Pwl::ramp(nan, 0.0, 1.0, 1.0), DiagError);
+  Pwl w = Pwl::ramp(0.0, 0.0, 1.0, 1.0);
+  EXPECT_THROW(w.append(2.0, nan), DiagError);
+  EXPECT_THROW(w.append(inf, 2.0), DiagError);
+  EXPECT_THROW(Pwl({{0.0, 0.0}, {1.0, nan}}), DiagError);
+}
+
+TEST(Pwl, RejectsNonFiniteQueryInputs) {
+  const Pwl w = Pwl::ramp(0.0, 0.0, 1.0, 1.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(w.value_at(nan), DiagError);
+  EXPECT_THROW(w.time_at_value(nan, true), DiagError);
+  EXPECT_THROW(w.shifted(nan), DiagError);
+  // The guard carries the non-finite diagnostic code.
+  try {
+    w.value_at(nan);
+    FAIL() << "expected DiagError";
+  } catch (const DiagError& err) {
+    EXPECT_EQ(err.diagnostic().code, DiagCode::kNonFiniteValue);
+  }
 }
 
 }  // namespace

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+
+#include "util/diag.hpp"
 
 namespace xtalk::util {
 namespace {
@@ -63,6 +66,49 @@ TEST(Table2D, FineGridInterpolatesSmoothFunction) {
       EXPECT_NEAR(t.lookup(x, y), std::sqrt(x + 0.1) * std::log1p(y), 2e-4);
     }
   }
+}
+
+TEST(Table1D, RejectsNonFiniteSamplesAtConstruction) {
+  EXPECT_THROW(Table1D(0.0, 1.0, 5,
+                       [](double x) {
+                         return x > 0.5 ? std::numeric_limits<double>::
+                                              quiet_NaN()
+                                        : x;
+                       }),
+               DiagError);
+  try {
+    Table1D(0.0, 1.0, 3, [](double) {
+      return std::numeric_limits<double>::infinity();
+    });
+    FAIL() << "expected DiagError";
+  } catch (const DiagError& err) {
+    EXPECT_EQ(err.diagnostic().code, DiagCode::kNonFiniteTableEntry);
+  }
+}
+
+TEST(Table1D, RejectsNonFiniteLookupInputs) {
+  const Table1D t(0.0, 1.0, 3, [](double x) { return x; });
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(t.lookup(nan), DiagError);
+  EXPECT_THROW(t.derivative(nan), DiagError);
+  EXPECT_THROW(t.lookup(std::numeric_limits<double>::infinity()), DiagError);
+}
+
+TEST(Table2D, RejectsNonFiniteSamplesAndInputs) {
+  EXPECT_THROW(Table2D(0.0, 1.0, 3, 0.0, 1.0, 3,
+                       [](double x, double y) {
+                         return (x > 0.5 && y > 0.5)
+                                    ? std::numeric_limits<double>::quiet_NaN()
+                                    : x + y;
+                       }),
+               DiagError);
+  const Table2D t(0.0, 1.0, 3, 0.0, 1.0, 3,
+                  [](double x, double y) { return x + y; });
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(t.lookup(nan, 0.5), DiagError);
+  EXPECT_THROW(t.lookup(0.5, nan), DiagError);
+  EXPECT_THROW(t.d_dx(nan, 0.5), DiagError);
+  EXPECT_THROW(t.d_dy(0.5, nan), DiagError);
 }
 
 }  // namespace
