@@ -159,7 +159,14 @@ void fill_result_row(JsonObject& row, const sta::StaResult& result) {
       .set("missing_sink_wires", result.missing_sink_wires)
       .set("diag_errors", result.diagnostics.count(util::Severity::kError))
       .set("diag_warnings", result.diagnostics.count(util::Severity::kWarning))
-      .set("diag_dropped", result.diagnostics.dropped);
+      .set("diag_dropped", result.diagnostics.dropped)
+      .set("budget_exhausted", result.budget.exhausted)
+      .set("budget_reason", util::budget_reason_name(result.budget.reason))
+      .set("completed_passes", result.budget.completed_passes)
+      .set("completed_levels", result.budget.completed_levels)
+      .set("total_levels", result.budget.total_levels)
+      .set("untimed_endpoints", result.budget.untimed_endpoints.size())
+      .set("governor_checks", result.budget.governor_checks);
 }
 
 double run_table_benchmark(const char* table_name,

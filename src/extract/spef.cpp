@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -15,9 +19,38 @@ std::string pin_name(const netlist::Netlist& nl, const netlist::PinRef& p) {
   return g.name + ":" + g.cell->pins()[p.pin].name;
 }
 
-[[noreturn]] void fail(std::size_t line, const std::string& msg) {
-  throw std::runtime_error("SPEF parse error, line " + std::to_string(line) +
-                           ": " + msg);
+/// Recoverable per-line failure; converted into a util::ParseDiag record
+/// at the line boundary (the reader then resumes with the next line).
+struct LineFail {
+  std::string msg;
+};
+
+[[noreturn]] void fail(const std::string& msg) { throw LineFail{msg}; }
+
+/// strtod-based number parse: std::stod throws std::invalid_argument /
+/// std::out_of_range (not std::runtime_error) on adversarial input, and
+/// accepts trailing garbage; this rejects both and keeps failures on the
+/// recoverable LineFail path.
+double parse_double(const std::string& s) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(v)) {
+    fail("malformed number '" + s + "'");
+  }
+  return v;
+}
+
+int parse_int(const std::string& s) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE || v < INT_MIN ||
+      v > INT_MAX) {
+    fail("malformed index '" + s + "'");
+  }
+  return static_cast<int>(v);
 }
 
 }  // namespace
@@ -96,7 +129,9 @@ std::string write_spef(const netlist::Netlist& nl, const Parasitics& para,
   return os.str();
 }
 
-Parasitics read_spef(std::string_view text, const netlist::Netlist& nl) {
+Parasitics read_spef(std::string_view text, const netlist::Netlist& nl,
+                     const util::ParseLimits& limits, util::DiagSink* sink) {
+  util::ParseDiag pd("<spef>", limits, sink);
   Parasitics para(nl.num_nets());
   SpefOptions units;  // defaults; overwritten by *C_UNIT / *R_UNIT
 
@@ -105,124 +140,168 @@ Parasitics read_spef(std::string_view text, const netlist::Netlist& nl) {
   netlist::NetId current = netlist::kNoNet;
 
   // Split "net:index" into net id and node index.
-  auto parse_node = [&](const std::string& token,
-                        std::size_t line) -> std::pair<netlist::NetId, int> {
+  auto parse_node = [&](const std::string& token)
+      -> std::pair<netlist::NetId, int> {
     const std::size_t colon = token.rfind(':');
     if (colon == std::string::npos) {
       const netlist::NetId id = nl.find_net(token);
-      if (id == netlist::kNoNet) fail(line, "unknown net '" + token + "'");
+      if (id == netlist::kNoNet) fail("unknown net '" + token + "'");
       return {id, 0};
     }
     const std::string name = token.substr(0, colon);
     const netlist::NetId id = nl.find_net(name);
-    if (id == netlist::kNoNet) fail(line, "unknown net '" + name + "'");
-    return {id, std::stoi(token.substr(colon + 1))};
+    if (id == netlist::kNoNet) fail("unknown net '" + name + "'");
+    return {id, parse_int(token.substr(colon + 1))};
   };
 
   std::size_t line_no = 0;
   std::size_t pos = 0;
-  while (pos <= text.size()) {
+  std::size_t tokens = 0;
+  auto count_token = [&] {
+    if (++tokens > limits.max_tokens) {
+      pd.fatal(util::DiagCode::kInputLimit,
+               static_cast<std::int64_t>(line_no), -1,
+               "token count exceeds limit (" +
+                   std::to_string(limits.max_tokens) + ")");
+    }
+  };
+  bool recovering = true;
+  while (recovering && pos <= text.size()) {
     const std::size_t eol = text.find('\n', pos);
-    std::string line(text.substr(
-        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos));
-    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    const std::size_t raw_len =
+        (eol == std::string_view::npos ? text.size() : eol) - pos;
     ++line_no;
+    if (raw_len > limits.max_line_length) {
+      pd.fatal(util::DiagCode::kInputLimit,
+               static_cast<std::int64_t>(line_no), -1,
+               "line length " + std::to_string(raw_len) +
+                   " exceeds limit (" +
+                   std::to_string(limits.max_line_length) + ")");
+    }
+    std::string line(text.substr(pos, raw_len));
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
     // Trim + skip comments.
     const std::size_t comment = line.find("//");
     if (comment != std::string::npos) line = line.substr(0, comment);
     std::istringstream ss(line);
     std::string tok;
     if (!(ss >> tok)) continue;
+    count_token();
 
-    if (tok == "*C_UNIT") {
-      double mult;
-      std::string unit;
-      ss >> mult >> unit;
-      if (unit == "FF") units.cap_unit = mult * 1e-15;
-      else if (unit == "PF") units.cap_unit = mult * 1e-12;
-      else fail(line_no, "unsupported C_UNIT " + unit);
-      continue;
-    }
-    if (tok == "*R_UNIT") {
-      double mult;
-      std::string unit;
-      ss >> mult >> unit;
-      if (unit == "OHM") units.res_unit = mult;
-      else if (unit == "KOHM") units.res_unit = mult * 1e3;
-      else fail(line_no, "unsupported R_UNIT " + unit);
-      continue;
-    }
-    if (tok == "*D_NET") {
-      std::string name;
-      ss >> name;
-      current = nl.find_net(name);
-      if (current == netlist::kNoNet) {
-        fail(line_no, "unknown net '" + name + "'");
+    // Per-line recovery: every failure below abandons this line only and
+    // the reader resumes with the next one (until max_errors trips).
+    try {
+      if (tok == "*C_UNIT") {
+        double mult = 0.0;
+        std::string unit;
+        if (!(ss >> mult >> unit)) fail("malformed C_UNIT line");
+        count_token();
+        if (unit == "FF") units.cap_unit = mult * 1e-15;
+        else if (unit == "PF") units.cap_unit = mult * 1e-12;
+        else fail("unsupported C_UNIT " + unit);
+        continue;
       }
-      para.net(current).sink_wires.clear();
-      for (const netlist::PinRef& s : nl.net(current).sinks) {
-        SinkWire w;
-        w.sink = s;
-        para.net(current).sink_wires.push_back(w);
+      if (tok == "*R_UNIT") {
+        double mult = 0.0;
+        std::string unit;
+        if (!(ss >> mult >> unit)) fail("malformed R_UNIT line");
+        count_token();
+        if (unit == "OHM") units.res_unit = mult;
+        else if (unit == "KOHM") units.res_unit = mult * 1e3;
+        else fail("unsupported R_UNIT " + unit);
+        continue;
       }
-      section = Section::kNone;
-      continue;
-    }
-    if (tok == "*CONN") { section = Section::kConn; continue; }
-    if (tok == "*CAP") { section = Section::kCap; continue; }
-    if (tok == "*RES") { section = Section::kRes; continue; }
-    if (tok == "*END") { current = netlist::kNoNet; section = Section::kNone; continue; }
-    if (tok[0] == '*') continue;  // header / CONN entries
-
-    if (current == netlist::kNoNet) continue;
-    if (section == Section::kCap) {
-      // "<idx> node [node2] value"
-      std::vector<std::string> fields;
-      std::string f;
-      while (ss >> f) fields.push_back(f);
-      if (fields.size() == 2) {
-        const auto [id, node] = parse_node(fields[0], line_no);
-        if (id != current) fail(line_no, "grounded cap on foreign net");
-        const double cap = std::stod(fields[1]) * units.cap_unit;
-        para.net(current).wire_cap += cap;
-        if (node > 0) {
-          auto& wires = para.net(current).sink_wires;
-          if (static_cast<std::size_t>(node) <= wires.size()) {
-            wires[static_cast<std::size_t>(node) - 1].capacitance += cap;
-          }
+      if (tok == "*D_NET") {
+        std::string name;
+        if (!(ss >> name)) fail("malformed D_NET line");
+        count_token();
+        current = nl.find_net(name);
+        if (current == netlist::kNoNet) {
+          fail("unknown net '" + name + "'");
         }
-      } else if (fields.size() == 3) {
-        const auto [a, na] = parse_node(fields[0], line_no);
-        const auto [b, nb] = parse_node(fields[1], line_no);
+        para.net(current).sink_wires.clear();
+        for (const netlist::PinRef& s : nl.net(current).sinks) {
+          SinkWire w;
+          w.sink = s;
+          para.net(current).sink_wires.push_back(w);
+        }
+        section = Section::kNone;
+        continue;
+      }
+      if (tok == "*CONN") { section = Section::kConn; continue; }
+      if (tok == "*CAP") { section = Section::kCap; continue; }
+      if (tok == "*RES") { section = Section::kRes; continue; }
+      if (tok == "*END") {
+        current = netlist::kNoNet;
+        section = Section::kNone;
+        continue;
+      }
+      if (tok[0] == '*') continue;  // header / CONN entries
+
+      if (current == netlist::kNoNet) continue;
+      if (section == Section::kCap) {
+        // "<idx> node [node2] value"
+        std::vector<std::string> fields;
+        std::string f;
+        while (ss >> f) {
+          count_token();
+          fields.push_back(f);
+        }
+        if (fields.size() == 2) {
+          const auto [id, node] = parse_node(fields[0]);
+          if (id != current) fail("grounded cap on foreign net");
+          const double cap = parse_double(fields[1]) * units.cap_unit;
+          para.net(current).wire_cap += cap;
+          if (node > 0) {
+            auto& wires = para.net(current).sink_wires;
+            if (static_cast<std::size_t>(node) <= wires.size()) {
+              wires[static_cast<std::size_t>(node) - 1].capacitance += cap;
+            }
+          }
+        } else if (fields.size() == 3) {
+          const auto [a, na] = parse_node(fields[0]);
+          const auto [b, nb] = parse_node(fields[1]);
+          (void)na;
+          (void)nb;
+          if (a == b) fail("coupling cap from a net to itself");
+          const double cap = parse_double(fields[2]) * units.cap_unit;
+          para.add_coupling(a, b, cap, 0.0);
+        } else {
+          fail("malformed CAP entry");
+        }
+        continue;
+      }
+      if (section == Section::kRes) {
+        std::vector<std::string> fields;
+        std::string f;
+        while (ss >> f) {
+          count_token();
+          fields.push_back(f);
+        }
+        if (fields.size() != 3) fail("malformed RES entry");
+        const auto [a, na] = parse_node(fields[0]);
+        const auto [b, node] = parse_node(fields[1]);
         (void)na;
-        (void)nb;
-        const double cap = std::stod(fields[2]) * units.cap_unit;
-        para.add_coupling(a, b, cap, 0.0);
-      } else {
-        fail(line_no, "malformed CAP entry");
+        if (a != current || b != current) {
+          fail("resistance on foreign net");
+        }
+        const double res = parse_double(fields[2]) * units.res_unit;
+        auto& wires = para.net(current).sink_wires;
+        if (node <= 0 || static_cast<std::size_t>(node) > wires.size()) {
+          fail("RES node index out of range");
+        }
+        wires[static_cast<std::size_t>(node) - 1].resistance = res;
+        continue;
       }
-      continue;
-    }
-    if (section == Section::kRes) {
-      std::vector<std::string> fields;
-      std::string f;
-      while (ss >> f) fields.push_back(f);
-      if (fields.size() != 3) fail(line_no, "malformed RES entry");
-      const auto [a, na] = parse_node(fields[0], line_no);
-      const auto [b, node] = parse_node(fields[1], line_no);
-      (void)na;
-      if (a != current || b != current) {
-        fail(line_no, "resistance on foreign net");
-      }
-      const double res = std::stod(fields[2]) * units.res_unit;
-      auto& wires = para.net(current).sink_wires;
-      if (node <= 0 || static_cast<std::size_t>(node) > wires.size()) {
-        fail(line_no, "RES node index out of range");
-      }
-      wires[static_cast<std::size_t>(node) - 1].resistance = res;
-      continue;
+    } catch (const LineFail& e) {
+      recovering = pd.error(static_cast<std::int64_t>(line_no), -1, e.msg);
+    } catch (const util::DiagError&) {
+      throw;  // a fatal limit hit — not recoverable
+    } catch (const std::exception& e) {
+      recovering = pd.error(static_cast<std::int64_t>(line_no), -1, e.what());
     }
   }
+  pd.finish();
   return para;
 }
 

@@ -14,6 +14,7 @@
 
 #include "extract/parasitics.hpp"
 #include "netlist/netlist.hpp"
+#include "util/diag.hpp"
 
 namespace xtalk::extract {
 
@@ -30,9 +31,13 @@ std::string write_spef(const netlist::Netlist& netlist,
                        const Parasitics& parasitics,
                        const SpefOptions& options = {});
 
-/// Parse SPEF text against a netlist (net names must resolve). Throws
-/// std::runtime_error with a line number on malformed input or unknown
-/// net/pin names.
-Parasitics read_spef(std::string_view text, const netlist::Netlist& netlist);
+/// Parse SPEF text against a netlist (net names must resolve). Malformed
+/// lines are accumulated (with file/line context, optionally into `sink`)
+/// and the reader recovers at the next line; at end-of-input a single
+/// util::DiagError (a std::runtime_error) carrying the first error is
+/// thrown. util::ParseLimits bounds line length and token count.
+Parasitics read_spef(std::string_view text, const netlist::Netlist& netlist,
+                     const util::ParseLimits& limits = {},
+                     util::DiagSink* sink = nullptr);
 
 }  // namespace xtalk::extract

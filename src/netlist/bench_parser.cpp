@@ -23,11 +23,6 @@ std::string upper(std::string s) {
   return s;
 }
 
-[[noreturn]] void fail(std::size_t line_no, const std::string& msg) {
-  throw std::runtime_error("bench parse error, line " +
-                           std::to_string(line_no) + ": " + msg);
-}
-
 struct ParsedGate {
   std::string output;
   std::string func;
@@ -35,17 +30,17 @@ struct ParsedGate {
   std::size_t line_no = 0;
 };
 
-CellFunc func_from_name(const std::string& f, std::size_t line_no) {
-  if (f == "NOT" || f == "INV") return CellFunc::kInv;
-  if (f == "BUF" || f == "BUFF") return CellFunc::kBuf;
-  if (f == "AND") return CellFunc::kAnd;
-  if (f == "NAND") return CellFunc::kNand;
-  if (f == "OR") return CellFunc::kOr;
-  if (f == "NOR") return CellFunc::kNor;
-  if (f == "XOR") return CellFunc::kXor;
-  if (f == "XNOR") return CellFunc::kXnor;
-  if (f == "DFF") return CellFunc::kDff;
-  fail(line_no, "unknown function '" + f + "'");
+bool func_from_name(const std::string& f, CellFunc& out) {
+  if (f == "NOT" || f == "INV") { out = CellFunc::kInv; return true; }
+  if (f == "BUF" || f == "BUFF") { out = CellFunc::kBuf; return true; }
+  if (f == "AND") { out = CellFunc::kAnd; return true; }
+  if (f == "NAND") { out = CellFunc::kNand; return true; }
+  if (f == "OR") { out = CellFunc::kOr; return true; }
+  if (f == "NOR") { out = CellFunc::kNor; return true; }
+  if (f == "XOR") { out = CellFunc::kXor; return true; }
+  if (f == "XNOR") { out = CellFunc::kXnor; return true; }
+  if (f == "DFF") { out = CellFunc::kDff; return true; }
+  return false;
 }
 
 /// Largest direct fanin the library supports per function.
@@ -113,7 +108,9 @@ void decompose(CellFunc func, const std::string& output,
 
 }  // namespace
 
-Netlist parse_bench(std::string_view text, const CellLibrary& library) {
+Netlist parse_bench(std::string_view text, const CellLibrary& library,
+                    const util::ParseLimits& limits, util::DiagSink* sink) {
+  util::ParseDiag pd("<bench>", limits, sink);
   Netlist nl(library);
 
   std::vector<std::string> inputs;
@@ -122,14 +119,36 @@ Netlist parse_bench(std::string_view text, const CellLibrary& library) {
 
   std::size_t line_no = 0;
   std::size_t pos = 0;
-  while (pos <= text.size()) {
+  std::size_t tokens = 0;
+  auto count_token = [&] {
+    if (++tokens > limits.max_tokens) {
+      pd.fatal(util::DiagCode::kInputLimit,
+               static_cast<std::int64_t>(line_no), -1,
+               "token count exceeds limit (" +
+                   std::to_string(limits.max_tokens) + ")");
+    }
+  };
+  bool recovering = true;
+  while (recovering && pos <= text.size()) {
     const std::size_t nl_pos = text.find('\n', pos);
-    std::string line =
-        trim(text.substr(pos, nl_pos == std::string_view::npos ? text.size() - pos
-                                                               : nl_pos - pos));
-    pos = nl_pos == std::string_view::npos ? text.size() + 1 : nl_pos + 1;
+    const std::size_t raw_len =
+        (nl_pos == std::string_view::npos ? text.size() : nl_pos) - pos;
     ++line_no;
+    if (raw_len > limits.max_line_length) {
+      pd.fatal(util::DiagCode::kInputLimit,
+               static_cast<std::int64_t>(line_no), -1,
+               "line length " + std::to_string(raw_len) +
+                   " exceeds limit (" +
+                   std::to_string(limits.max_line_length) + ")");
+    }
+    std::string line = trim(text.substr(pos, raw_len));
+    pos = nl_pos == std::string_view::npos ? text.size() + 1 : nl_pos + 1;
     if (line.empty() || line[0] == '#') continue;
+    // Recovery is per-line: every diagnostic below abandons this line only
+    // and the loop continues with the next one (until max_errors trips).
+    auto bad_line = [&](const std::string& msg) {
+      recovering = pd.error(static_cast<std::int64_t>(line_no), -1, msg);
+    };
 
     const std::size_t eq = line.find('=');
     if (eq == std::string::npos) {
@@ -138,17 +157,22 @@ Netlist parse_bench(std::string_view text, const CellLibrary& library) {
       const std::size_t close = line.rfind(')');
       if (open == std::string::npos || close == std::string::npos ||
           close < open) {
-        fail(line_no, "expected INPUT(...) or OUTPUT(...): '" + line + "'");
+        bad_line("expected INPUT(...) or OUTPUT(...): '" + line + "'");
+        continue;
       }
       const std::string kw = upper(trim(line.substr(0, open)));
       const std::string arg = trim(line.substr(open + 1, close - open - 1));
-      if (arg.empty()) fail(line_no, "empty port name");
+      count_token();
+      if (arg.empty()) {
+        bad_line("empty port name");
+        continue;
+      }
       if (kw == "INPUT") {
         inputs.push_back(arg);
       } else if (kw == "OUTPUT") {
         outputs.push_back(arg);
       } else {
-        fail(line_no, "unknown directive '" + kw + "'");
+        bad_line("unknown directive '" + kw + "'");
       }
       continue;
     }
@@ -156,23 +180,49 @@ Netlist parse_bench(std::string_view text, const CellLibrary& library) {
     ParsedGate g;
     g.line_no = line_no;
     g.output = trim(line.substr(0, eq));
-    if (g.output.empty()) fail(line_no, "empty gate output name");
+    if (g.output.empty()) {
+      bad_line("empty gate output name");
+      continue;
+    }
     const std::string rhs = trim(line.substr(eq + 1));
     const std::size_t open = rhs.find('(');
     const std::size_t close = rhs.rfind(')');
     if (open == std::string::npos || close == std::string::npos ||
         close < open) {
-      fail(line_no, "expected FUNC(args): '" + rhs + "'");
+      bad_line("expected FUNC(args): '" + rhs + "'");
+      continue;
     }
     g.func = upper(trim(rhs.substr(0, open)));
     std::stringstream args(rhs.substr(open + 1, close - open - 1));
     std::string a;
+    bool args_ok = true;
     while (std::getline(args, a, ',')) {
       a = trim(a);
-      if (a.empty()) fail(line_no, "empty argument");
+      count_token();
+      if (a.empty()) {
+        bad_line("empty argument");
+        args_ok = false;
+        break;
+      }
       g.args.push_back(a);
     }
-    if (g.args.empty()) fail(line_no, "gate with no inputs");
+    if (!args_ok) continue;
+    if (g.args.empty()) {
+      bad_line("gate with no inputs");
+      continue;
+    }
+    if (g.args.size() > limits.max_gate_args) {
+      bad_line("gate fanin " + std::to_string(g.args.size()) +
+               " exceeds limit (" + std::to_string(limits.max_gate_args) +
+               ")");
+      continue;
+    }
+    if (gates.size() >= limits.max_instances) {
+      pd.fatal(util::DiagCode::kInputLimit,
+               static_cast<std::int64_t>(line_no), -1,
+               "instance count exceeds limit (" +
+                   std::to_string(limits.max_instances) + ")");
+    }
     gates.push_back(std::move(g));
   }
 
@@ -188,69 +238,127 @@ Netlist parse_bench(std::string_view text, const CellLibrary& library) {
     nl.set_clock_net(clk);
   }
 
+  auto check_nets = [&](std::size_t line) {
+    if (nl.num_nets() > limits.max_nets) {
+      pd.fatal(util::DiagCode::kInputLimit, static_cast<std::int64_t>(line),
+               -1,
+               "net count exceeds limit (" + std::to_string(limits.max_nets) +
+                   ")");
+    }
+  };
+
   for (const std::string& in : inputs) {
-    nl.mark_primary_input(nl.add_net(in));
+    if (!recovering) break;
+    try {
+      nl.mark_primary_input(nl.add_net(in));
+    } catch (const std::exception& e) {
+      recovering = pd.error(-1, -1, e.what());
+    }
+    check_nets(0);
   }
 
+  // Semantic errors (unknown function, bad arity, a net driven twice) skip
+  // the offending gate and keep going — the netlist core's own
+  // std::runtime_error throws become recorded diagnostics here. Limit hits
+  // (DiagError from check_nets) stay fatal.
   std::size_t ff_index = 0;
   for (const ParsedGate& g : gates) {
-    const CellFunc func = func_from_name(g.func, g.line_no);
-    if (func == CellFunc::kDff) {
-      if (g.args.size() != 1) fail(g.line_no, "DFF takes exactly one input");
-      const Cell& cell = library.by_func(CellFunc::kDff, 1);
-      const NetId d = nl.add_net(g.args[0]);
-      const NetId q = nl.add_net(g.output);
-      nl.add_gate("ff" + std::to_string(ff_index++) + "_" + g.output, cell,
-                  {d, nl.clock_net(), q});
-      continue;
-    }
-    if ((func == CellFunc::kInv || func == CellFunc::kBuf) &&
-        g.args.size() != 1) {
-      fail(g.line_no, g.func + " takes exactly one input");
-    }
-    if ((func == CellFunc::kXor || func == CellFunc::kXnor) &&
-        g.args.size() != 2) {
-      fail(g.line_no, g.func + " takes exactly two inputs");
-    }
-    if (g.args.size() == 1 && func != CellFunc::kInv && func != CellFunc::kBuf) {
-      // Single-input AND/OR/NAND/NOR degenerate to BUF/NOT.
-      const CellFunc unary = (func == CellFunc::kNand || func == CellFunc::kNor)
-                                 ? CellFunc::kInv
-                                 : CellFunc::kBuf;
-      const Cell& cell = library.by_func(unary, 1);
-      nl.add_gate(g.output, cell, {nl.add_net(g.args[0]), nl.add_net(g.output)});
-      continue;
-    }
-    std::vector<TreeGate> tree;
-    decompose(func, g.output, g.args, tree);
-    for (TreeGate& tg : tree) {
-      const Cell& cell = library.by_func(tg.func, tg.inputs.size());
-      std::vector<NetId> pins;
-      pins.reserve(tg.inputs.size() + 1);
-      for (const std::string& in : tg.inputs) pins.push_back(nl.add_net(in));
-      pins.push_back(nl.add_net(tg.output));
-      nl.add_gate(tg.output, cell, std::move(pins));
+    if (!recovering) break;
+    auto bad_gate = [&](const std::string& msg) {
+      recovering = pd.error(static_cast<std::int64_t>(g.line_no), -1, msg);
+    };
+    try {
+      CellFunc func;
+      if (!func_from_name(g.func, func)) {
+        bad_gate("unknown function '" + g.func + "'");
+        continue;
+      }
+      if (func == CellFunc::kDff) {
+        if (g.args.size() != 1) {
+          bad_gate("DFF takes exactly one input");
+          continue;
+        }
+        const Cell& cell = library.by_func(CellFunc::kDff, 1);
+        const NetId d = nl.add_net(g.args[0]);
+        const NetId q = nl.add_net(g.output);
+        nl.add_gate("ff" + std::to_string(ff_index++) + "_" + g.output, cell,
+                    {d, nl.clock_net(), q});
+        check_nets(g.line_no);
+        continue;
+      }
+      if ((func == CellFunc::kInv || func == CellFunc::kBuf) &&
+          g.args.size() != 1) {
+        bad_gate(g.func + " takes exactly one input");
+        continue;
+      }
+      if ((func == CellFunc::kXor || func == CellFunc::kXnor) &&
+          g.args.size() != 2) {
+        bad_gate(g.func + " takes exactly two inputs");
+        continue;
+      }
+      if (g.args.size() == 1 && func != CellFunc::kInv &&
+          func != CellFunc::kBuf) {
+        // Single-input AND/OR/NAND/NOR degenerate to BUF/NOT.
+        const CellFunc unary =
+            (func == CellFunc::kNand || func == CellFunc::kNor)
+                ? CellFunc::kInv
+                : CellFunc::kBuf;
+        const Cell& cell = library.by_func(unary, 1);
+        nl.add_gate(g.output, cell,
+                    {nl.add_net(g.args[0]), nl.add_net(g.output)});
+        check_nets(g.line_no);
+        continue;
+      }
+      std::vector<TreeGate> tree;
+      decompose(func, g.output, g.args, tree);
+      for (TreeGate& tg : tree) {
+        const Cell& cell = library.by_func(tg.func, tg.inputs.size());
+        std::vector<NetId> pins;
+        pins.reserve(tg.inputs.size() + 1);
+        for (const std::string& in : tg.inputs) pins.push_back(nl.add_net(in));
+        pins.push_back(nl.add_net(tg.output));
+        nl.add_gate(tg.output, cell, std::move(pins));
+      }
+      check_nets(g.line_no);
+    } catch (const util::DiagError&) {
+      throw;  // a fatal limit hit, not a recoverable gate error
+    } catch (const std::exception& e) {
+      bad_gate(e.what());
     }
   }
 
   for (const std::string& out : outputs) {
+    if (!recovering) break;
     const NetId id = nl.find_net(out);
     if (id == kNoNet) {
-      throw std::runtime_error("OUTPUT(" + out + ") is never driven");
+      recovering = pd.error(-1, -1, "OUTPUT(" + out + ") is never driven");
+      continue;
     }
     nl.mark_primary_output(id);
   }
 
-  nl.validate();
+  pd.finish();
+  try {
+    nl.validate();
+  } catch (const std::exception& e) {
+    // Structural inconsistency that survived a clean parse: still routed
+    // through DiagError so every front-end failure carries a Diagnostic.
+    pd.fatal(util::DiagCode::kParseError, -1, -1, e.what());
+  }
   return nl;
 }
 
-Netlist parse_bench_file(const std::string& path, const CellLibrary& library) {
+Netlist parse_bench_file(const std::string& path, const CellLibrary& library,
+                         const util::ParseLimits& limits,
+                         util::DiagSink* sink) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) {
+    util::ParseDiag pd(path, limits, sink);
+    pd.fatal(util::DiagCode::kFileError, -1, -1, "cannot open " + path);
+  }
   std::ostringstream ss;
   ss << in.rdbuf();
-  return parse_bench(ss.str(), library);
+  return parse_bench(ss.str(), library, limits, sink);
 }
 
 std::string write_bench(const Netlist& nl) {

@@ -13,21 +13,36 @@
 // Gates wider than the library's 4-input maximum are decomposed into
 // balanced trees of narrower gates (new nets get a "$t<n>" suffix).
 // DFF clock pins are wired to a single implicit clock net named "CLK".
+//
+// Error handling: malformed lines are *accumulated* (optionally into an
+// external util::DiagSink, with file/line context) and the parser recovers
+// to the next line; at end-of-input a single util::DiagError carrying the
+// first error is thrown. Resource limits (util::ParseLimits) bound what
+// adversarial input can allocate and abort the parse via DiagError
+// immediately. DiagError derives from std::runtime_error, so legacy
+// catch sites keep working.
 #pragma once
 
 #include <string>
 #include <string_view>
 
 #include "netlist/netlist.hpp"
+#include "util/diag.hpp"
 
 namespace xtalk::netlist {
 
-/// Parse a .bench netlist. Throws std::runtime_error with a line-numbered
-/// message on malformed input.
-Netlist parse_bench(std::string_view text, const CellLibrary& library);
+/// Parse a .bench netlist. Throws util::DiagError (a std::runtime_error)
+/// with a line-numbered message on malformed input; with a `sink`, every
+/// recovered error is also recorded there before the throw.
+Netlist parse_bench(std::string_view text, const CellLibrary& library,
+                    const util::ParseLimits& limits = {},
+                    util::DiagSink* sink = nullptr);
 
-/// Read and parse a .bench file from disk.
-Netlist parse_bench_file(const std::string& path, const CellLibrary& library);
+/// Read and parse a .bench file from disk. An unopenable file throws
+/// util::DiagError(kFileError) carrying the path in its context.
+Netlist parse_bench_file(const std::string& path, const CellLibrary& library,
+                         const util::ParseLimits& limits = {},
+                         util::DiagSink* sink = nullptr);
 
 /// Serialize a netlist back to .bench text. Multi-stage library cells keep
 /// their bench-level function name (AND2_X1 -> AND); clock-tree buffer

@@ -12,24 +12,57 @@ namespace {
 struct Token {
   std::string text;
   std::size_t line;
+  std::size_t column;
 };
 
-[[noreturn]] void fail(std::size_t line, const std::string& msg) {
-  throw std::runtime_error("verilog parse error, line " +
-                           std::to_string(line) + ": " + msg);
+/// Recoverable syntax error, thrown inside one statement and converted
+/// into a util::ParseDiag record at the statement boundary (the parser
+/// then resynchronizes at the next ';').
+struct SyntaxError {
+  std::size_t line;
+  std::size_t column;
+  std::string msg;
+};
+
+[[noreturn]] void fail(std::size_t line, std::size_t column,
+                       const std::string& msg) {
+  throw SyntaxError{line, column, msg};
 }
 
 /// Tokenizer: identifiers, and single-character punctuation ( ) , ; .
-std::vector<Token> tokenize(std::string_view text) {
+/// Unexpected characters are recorded and skipped (one diagnostic each);
+/// token-count and identifier-length limits abort via DiagError.
+std::vector<Token> tokenize(std::string_view text, util::ParseDiag& pd,
+                            bool& recovering) {
+  const util::ParseLimits& limits = pd.limits();
   std::vector<Token> out;
   std::size_t line = 1;
+  std::size_t line_start = 0;
   std::size_t i = 0;
   const std::size_t n = text.size();
-  while (i < n) {
+  auto column = [&](std::size_t at) { return at - line_start + 1; };
+  auto push = [&](std::string tok, std::size_t at) {
+    if (tok.size() > limits.max_line_length) {
+      pd.fatal(util::DiagCode::kInputLimit, static_cast<std::int64_t>(line),
+               static_cast<std::int64_t>(column(at)),
+               "identifier length " + std::to_string(tok.size()) +
+                   " exceeds limit (" +
+                   std::to_string(limits.max_line_length) + ")");
+    }
+    if (out.size() >= limits.max_tokens) {
+      pd.fatal(util::DiagCode::kInputLimit, static_cast<std::int64_t>(line),
+               static_cast<std::int64_t>(column(at)),
+               "token count exceeds limit (" +
+                   std::to_string(limits.max_tokens) + ")");
+    }
+    out.push_back({std::move(tok), line, column(at)});
+  };
+  while (i < n && recovering) {
     const char c = text[i];
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -43,10 +76,18 @@ std::vector<Token> tokenize(std::string_view text) {
     if (c == '/' && i + 1 < n && text[i + 1] == '*') {
       i += 2;
       while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
-        if (text[i] == '\n') ++line;
+        if (text[i] == '\n') {
+          ++line;
+          line_start = i + 1;
+        }
         ++i;
       }
-      if (i + 1 >= n) fail(line, "unterminated block comment");
+      if (i + 1 >= n) {
+        recovering = pd.error(static_cast<std::int64_t>(line),
+                              static_cast<std::int64_t>(column(i)),
+                              "unterminated block comment");
+        break;
+      }
       i += 2;
       continue;
     }
@@ -58,13 +99,13 @@ std::vector<Token> tokenize(std::string_view text) {
         while (j < n && !std::isspace(static_cast<unsigned char>(text[j]))) {
           ++j;
         }
-        out.push_back({std::string(text.substr(i + 1, j - i - 1)), line});
+        push(std::string(text.substr(i + 1, j - i - 1)), i);
       } else {
         while (j < n && (std::isalnum(static_cast<unsigned char>(text[j])) ||
                          text[j] == '_' || text[j] == '$')) {
           ++j;
         }
-        out.push_back({std::string(text.substr(i, j - i)), line});
+        push(std::string(text.substr(i, j - i)), i);
       }
       i = j;
       continue;
@@ -75,52 +116,109 @@ std::vector<Token> tokenize(std::string_view text) {
                        text[j] == '_')) {
         ++j;
       }
-      out.push_back({std::string(text.substr(i, j - i)), line});
+      push(std::string(text.substr(i, j - i)), i);
       i = j;
       continue;
     }
     if (c == '(' || c == ')' || c == ',' || c == ';' || c == '.') {
-      out.push_back({std::string(1, c), line});
+      push(std::string(1, c), i);
       ++i;
       continue;
     }
-    fail(line, std::string("unexpected character '") + c + "'");
+    recovering = pd.error(static_cast<std::int64_t>(line),
+                          static_cast<std::int64_t>(column(i)),
+                          std::string("unexpected character '") + c + "'");
+    ++i;  // skip the bad byte and keep tokenizing
   }
   return out;
 }
 
 class Parser {
  public:
-  Parser(std::vector<Token> tokens, const CellLibrary& library)
-      : tokens_(std::move(tokens)), nl_(library) {}
+  Parser(std::vector<Token> tokens, const CellLibrary& library,
+         util::ParseDiag& pd, bool recovering)
+      : tokens_(std::move(tokens)),
+        nl_(library),
+        pd_(&pd),
+        recovering_(recovering) {}
 
   Netlist run() {
-    expect("module");
-    next();  // module name
-    if (peek() == "(") {
-      // Port list: names only (re-declared as input/output below).
-      next();
-      while (peek() != ")") next();
-      next();
-    }
-    expect(";");
-
-    while (peek() != "endmodule") {
-      if (pos_ >= tokens_.size()) fail(last_line(), "missing endmodule");
-      const std::string kw = peek();
-      if (kw == "input" || kw == "output" || kw == "wire") {
+    statement([&] {
+      expect("module");
+      next();  // module name
+      if (peek() == "(") {
+        // Port list: names only (re-declared as input/output below).
         next();
-        declaration(kw);
-      } else {
-        instance();
+        while (pos_ < tokens_.size() && peek() != ")") next();
+        expect(")");
       }
+      expect(";");
+    });
+
+    bool saw_endmodule = false;
+    while (recovering_ && pos_ < tokens_.size()) {
+      if (peek() == "endmodule") {
+        saw_endmodule = true;
+        break;
+      }
+      statement([&] {
+        const std::string kw = peek();
+        if (kw == "input" || kw == "output" || kw == "wire") {
+          next();
+          declaration(kw);
+        } else {
+          instance();
+        }
+      });
     }
-    finalize_clock();
-    nl_.validate();
+    if (recovering_ && !saw_endmodule) {
+      recovering_ = pd_->error(static_cast<std::int64_t>(last_line()), -1,
+                               "missing endmodule");
+    }
+    pd_->finish();
+    try {
+      finalize_clock();
+      nl_.validate();
+    } catch (const util::DiagError&) {
+      throw;
+    } catch (const std::exception& e) {
+      // Structural inconsistency after a clean parse — still a DiagError.
+      pd_->fatal(util::DiagCode::kParseError, -1, -1, e.what());
+    }
     return std::move(nl_);
   }
 
  private:
+  /// Run one statement body with per-statement error isolation: a syntax
+  /// error or a netlist-core throw becomes a recorded diagnostic and the
+  /// parser resynchronizes at the token after the next ';'.
+  template <typename Fn>
+  void statement(Fn&& body) {
+    if (!recovering_) return;
+    try {
+      body();
+    } catch (const SyntaxError& e) {
+      recovering_ = pd_->error(static_cast<std::int64_t>(e.line),
+                               e.column == 0
+                                   ? -1
+                                   : static_cast<std::int64_t>(e.column),
+                               e.msg);
+      sync();
+    } catch (const util::DiagError&) {
+      throw;  // a fatal limit hit — not recoverable
+    } catch (const std::exception& e) {
+      recovering_ =
+          pd_->error(static_cast<std::int64_t>(line()), -1, e.what());
+      sync();
+    }
+  }
+
+  /// Skip past the next ';' (statement boundary).
+  void sync() {
+    while (pos_ < tokens_.size() && tokens_[pos_].text != ";") ++pos_;
+    if (pos_ < tokens_.size()) ++pos_;
+  }
+
   const std::string& peek() const {
     static const std::string empty;
     return pos_ < tokens_.size() ? tokens_[pos_].text : empty;
@@ -131,21 +229,41 @@ class Parser {
   std::size_t line() const {
     return pos_ < tokens_.size() ? tokens_[pos_].line : last_line();
   }
+  std::size_t column() const {
+    return pos_ < tokens_.size() ? tokens_[pos_].column : 0;
+  }
   std::string next() {
-    if (pos_ >= tokens_.size()) fail(last_line(), "unexpected end of input");
+    if (pos_ >= tokens_.size()) {
+      fail(last_line(), 0, "unexpected end of input");
+    }
     return tokens_[pos_++].text;
   }
   void expect(const std::string& want) {
     const std::size_t at = line();
+    const std::size_t col = column();
     const std::string got = next();
-    if (got != want) fail(at, "expected '" + want + "', got '" + got + "'");
+    if (got != want) {
+      fail(at, col, "expected '" + want + "', got '" + got + "'");
+    }
+  }
+
+  NetId add_net_limited(const std::string& name, std::size_t at) {
+    const NetId id = nl_.add_net(name);
+    if (nl_.num_nets() > pd_->limits().max_nets) {
+      pd_->fatal(util::DiagCode::kInputLimit, static_cast<std::int64_t>(at),
+                 -1,
+                 "net count exceeds limit (" +
+                     std::to_string(pd_->limits().max_nets) + ")");
+    }
+    return id;
   }
 
   void declaration(const std::string& kind) {
     for (;;) {
       const std::size_t at = line();
+      const std::size_t col = column();
       const std::string name = next();
-      const NetId id = nl_.add_net(name);
+      const NetId id = add_net_limited(name, at);
       if (kind == "input") {
         nl_.mark_primary_input(id);
       } else if (kind == "output") {
@@ -153,41 +271,54 @@ class Parser {
       }
       const std::string sep = next();
       if (sep == ";") break;
-      if (sep != ",") fail(at, "expected ',' or ';' in declaration");
+      if (sep != ",") fail(at, col, "expected ',' or ';' in declaration");
     }
   }
 
   void instance() {
     const std::size_t at = line();
+    const std::size_t at_col = column();
     const std::string cell_name = next();
     const Cell* cell = nl_.library().find(cell_name);
-    if (cell == nullptr) fail(at, "unknown cell '" + cell_name + "'");
+    if (cell == nullptr) {
+      fail(at, at_col, "unknown cell '" + cell_name + "'");
+    }
+    if (nl_.num_gates() >= pd_->limits().max_instances) {
+      pd_->fatal(util::DiagCode::kInputLimit, static_cast<std::int64_t>(at),
+                 -1,
+                 "instance count exceeds limit (" +
+                     std::to_string(pd_->limits().max_instances) + ")");
+    }
     const std::string inst_name = next();
     expect("(");
     std::vector<NetId> pins(cell->pins().size(), kNoNet);
     for (;;) {
       expect(".");
       const std::size_t pin_at = line();
+      const std::size_t pin_col = column();
       const std::string pin_name = next();
       std::size_t pin_index = 0;
       try {
         pin_index = cell->pin_index(pin_name);
       } catch (const std::out_of_range&) {
-        fail(pin_at, "cell " + cell_name + " has no pin '" + pin_name + "'");
+        fail(pin_at, pin_col,
+             "cell " + cell_name + " has no pin '" + pin_name + "'");
       }
       expect("(");
       const std::string net_name = next();
       expect(")");
-      pins[pin_index] = nl_.add_net(net_name);
+      pins[pin_index] = add_net_limited(net_name, pin_at);
       const std::string sep = next();
       if (sep == ")") break;
-      if (sep != ",") fail(pin_at, "expected ',' or ')' in connection list");
+      if (sep != ",") {
+        fail(pin_at, pin_col, "expected ',' or ')' in connection list");
+      }
     }
     expect(";");
     for (std::size_t p = 0; p < pins.size(); ++p) {
       if (pins[p] == kNoNet) {
-        fail(at, "instance " + inst_name + " leaves pin " +
-                     cell->pins()[p].name + " unconnected");
+        fail(at, at_col, "instance " + inst_name + " leaves pin " +
+                             cell->pins()[p].name + " unconnected");
       }
     }
     nl_.add_gate(inst_name, *cell, std::move(pins));
@@ -212,12 +343,18 @@ class Parser {
   std::size_t pos_ = 0;
   Netlist nl_;
   std::vector<NetId> outputs_;
+  util::ParseDiag* pd_;
+  bool recovering_;
 };
 
 }  // namespace
 
-Netlist parse_verilog(std::string_view text, const CellLibrary& library) {
-  return Parser(tokenize(text), library).run();
+Netlist parse_verilog(std::string_view text, const CellLibrary& library,
+                      const util::ParseLimits& limits, util::DiagSink* sink) {
+  util::ParseDiag pd("<verilog>", limits, sink);
+  bool recovering = true;
+  std::vector<Token> tokens = tokenize(text, pd, recovering);
+  return Parser(std::move(tokens), library, pd, recovering).run();
 }
 
 std::string write_verilog(const Netlist& nl, const std::string& module_name) {

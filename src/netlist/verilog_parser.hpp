@@ -16,18 +16,28 @@
 // Cell names resolve against the CellLibrary. `// ...` and `/* ... */`
 // comments are stripped. A net named "clk"/"CLK" connected to a DFF CK pin
 // becomes the clock net.
+// Error handling mirrors the bench parser: malformed statements are
+// accumulated (with line/column context, optionally into an external
+// util::DiagSink) and the parser recovers at the next ';'; at end-of-input
+// a single util::DiagError carrying the first error is thrown.
+// util::ParseLimits bounds token count, identifier length and netlist size
+// against adversarial input.
 #pragma once
 
 #include <string>
 #include <string_view>
 
 #include "netlist/netlist.hpp"
+#include "util/diag.hpp"
 
 namespace xtalk::netlist {
 
-/// Parse structural Verilog. Throws std::runtime_error with a line number
-/// on malformed input, unknown cells or unknown pins.
-Netlist parse_verilog(std::string_view text, const CellLibrary& library);
+/// Parse structural Verilog. Throws util::DiagError (a std::runtime_error)
+/// with a line number on malformed input, unknown cells or unknown pins;
+/// with a `sink`, every recovered error is also recorded there.
+Netlist parse_verilog(std::string_view text, const CellLibrary& library,
+                      const util::ParseLimits& limits = {},
+                      util::DiagSink* sink = nullptr);
 
 /// Serialize a netlist as structural Verilog (inverse of parse_verilog up
 /// to formatting).

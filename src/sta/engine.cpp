@@ -61,6 +61,15 @@ void validate_options(const StaOptions& o) {
     throw std::invalid_argument(
         "StaOptions::num_threads must be >= 0 (0 = one per hardware thread)");
   }
+  if (!(o.budget.deadline_ms >= 0.0)) {
+    throw std::invalid_argument(
+        "RunBudget::deadline_ms must be >= 0 (0 = unlimited)");
+  }
+  if (o.budget.hard_memory_bytes > 0 && o.budget.soft_memory_bytes >
+                                            o.budget.hard_memory_bytes) {
+    throw std::invalid_argument(
+        "RunBudget::soft_memory_bytes must not exceed hard_memory_bytes");
+  }
 }
 
 /// Exact double comparison treating NaN == NaN ("same bits", not IEEE).
@@ -99,7 +108,8 @@ StaEngine::StaEngine(const DesignView& design, const StaOptions& options)
     : design_(design),
       options_(options),
       calculator_(*design.tables),
-      sink_(options.max_diagnostics) {
+      sink_(options.max_diagnostics),
+      governor_(options.budget, options.cancel, options.governor_hook) {
   if (options_.delay_model == DelayModel::kNldm) {
     // The shared characterization is built against the default technology.
     nldm_ = std::make_unique<delaycalc::NldmDelayCalculator>(
@@ -512,10 +522,39 @@ void StaEngine::degrade_gate(netlist::GateId gate_id, const PassConfig& config,
   timing[out].calculated = true;
 }
 
+void StaEngine::throw_budget(util::BudgetReason reason, int pass,
+                             std::size_t level) {
+  util::Diagnostic d;
+  d.code = util::DiagCode::kBudgetExhausted;
+  d.severity = util::Severity::kError;
+  d.ctx.pass = pass;
+  d.ctx.level = static_cast<std::int64_t>(level);
+  d.message = std::string("run budget exhausted (") +
+              util::budget_reason_name(reason) + "), policy forbids an " +
+              "anytime result";
+  sink_.report(d);
+  throw util::DiagError(d);
+}
+
+void StaEngine::report_truncation(util::BudgetReason reason, int pass,
+                                  const PassStatus& status, const char* what) {
+  util::Diagnostic d;
+  d.code = util::DiagCode::kBudgetExhausted;
+  d.severity = util::Severity::kWarning;
+  d.ctx.pass = pass;
+  d.ctx.level = static_cast<std::int64_t>(status.completed_levels);
+  d.message = std::string("run budget exhausted (") +
+              util::budget_reason_name(reason) + "): " + what + " after " +
+              std::to_string(status.completed_levels) + "/" +
+              std::to_string(status.total_levels) + " levels; result is a " +
+              "conservative anytime bound";
+  sink_.report(d);
+}
+
 double StaEngine::run_pass(const PassConfig& config,
                            std::vector<NetTiming>& timing,
                            std::vector<EndpointArrival>& endpoints,
-                           EndpointArrival& critical) {
+                           EndpointArrival& critical, PassStatus& status) {
   const netlist::Netlist& nl = *design_.netlist;
   const device::Technology& tech = design_.tables->tech();
 
@@ -554,7 +593,25 @@ double StaEngine::run_pass(const PassConfig& config,
     process_gate(g, config, timing, calculated, thread_id);
   };
 
+  status = PassStatus{};
+  status.total_levels = level_begin.empty() ? 0 : level_begin.size() - 1;
+
   for (std::size_t lvl = 0; lvl + 1 < level_begin.size(); ++lvl) {
+    // Governor checkpoint at the level boundary — the only serial point in
+    // the traversal, so a count-based truncation lands on the same level
+    // for every thread count. Soft exhaustion stops *before* starting the
+    // level: every level that starts also finishes, keeping the computed
+    // prefix bitwise identical to the same prefix of an unlimited run.
+    const util::BudgetReason br =
+        governor_.checkpoint(waveform_calcs_.load(std::memory_order_relaxed));
+    if (br != util::BudgetReason::kNone) {
+      if (governor_.hard_exhausted() ||
+          options_.budget.policy == util::BudgetPolicy::kStrictBudget) {
+        throw_budget(br, config.pass_index, lvl);
+      }
+      status.truncated = true;
+      break;
+    }
     pool_->parallel_for(
         level_begin[lvl], level_begin[lvl + 1],
         [&](std::size_t i, std::size_t thread_id) {
@@ -608,12 +665,20 @@ double StaEngine::run_pass(const PassConfig& config,
             return;
           }
           evaluate_gate(g, thread_id);
-        });
+        },
+        &governor_.abort_flag());
+    // A hard condition (hard memory cap, hard cancel) aborts mid-level:
+    // some gates of this level were skipped, so its outputs are unusable —
+    // the run is abandoned outright regardless of the anytime policy.
+    if (governor_.hard_exhausted()) {
+      throw_budget(governor_.reason(), config.pass_index, lvl);
+    }
     // Barrier passed: this level's outputs are visible from the next level.
     for (std::size_t i = level_begin[lvl]; i < level_begin[lvl + 1]; ++i) {
       const netlist::Gate& gate = nl.gate(order[i]);
       calculated[gate.pin_nets[gate.cell->output_pin()]] = 1;
     }
+    status.completed_levels = lvl + 1;
   }
 
   // Endpoint arrivals: D-pin sinks add their Elmore shift, primary outputs
@@ -622,6 +687,13 @@ double StaEngine::run_pass(const PassConfig& config,
   critical = {};
   double worst = -std::numeric_limits<double>::infinity();
   for (const netlist::NetId ep : design_.dag->endpoint_nets) {
+    if (status.truncated && !timing[ep].calculated) {
+      // A truncated pass never reached this endpoint's driver; rather than
+      // silently reporting no arrival (which would look *optimistic*), the
+      // endpoint is listed as explicitly untimed in the budget status.
+      status.untimed_endpoints.push_back(ep);
+      continue;
+    }
     double extra = 0.0;
     for (const netlist::PinRef& s : nl.net(ep).sinks) {
       const netlist::Cell& c = *nl.gate(s.gate).cell;
@@ -640,6 +712,9 @@ double StaEngine::run_pass(const PassConfig& config,
       }
     }
   }
+  // A truncation that reached no endpoint at all has no longest path; 0.0
+  // (with every endpoint listed untimed) beats leaking -inf into reports.
+  if (endpoints.empty()) return 0.0;
   return worst;
 }
 
@@ -729,6 +804,9 @@ std::vector<char> collect_esperance_gates(
 
 StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
   validate_options(options_);
+  // start() is idempotent: IncrementalSta pre-starts the epoch so its own
+  // early-activity update is charged against the same deadline.
+  governor_.start();
   const auto t0 = std::chrono::steady_clock::now();
   StaResult result;
   waveform_calcs_.store(0, std::memory_order_relaxed);
@@ -754,9 +832,24 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
       early_rise_ = hints->early->rise;
       early_fall_ = hints->early->fall;
     } else {
-      const EarlyTimes early = compute_early_activity(design_, options_.early);
-      early_rise_ = early.rise;
-      early_fall_ = early.fall;
+      // Charge the early-activity sweep against the budget. If the budget
+      // is already gone, skipping the arrays is sound: pass 1 truncates at
+      // level 0 before any gate could read them.
+      const util::BudgetReason br = governor_.checkpoint(0);
+      if (br != util::BudgetReason::kNone &&
+          (governor_.hard_exhausted() ||
+           options_.budget.policy == util::BudgetPolicy::kStrictBudget)) {
+        throw_budget(br, -1, 0);
+      }
+      if (br == util::BudgetReason::kNone) {
+        const EarlyTimes early =
+            compute_early_activity(design_, options_.early);
+        early_rise_ = early.rise;
+        early_fall_ = early.fall;
+      } else {
+        early_rise_.clear();
+        early_fall_.clear();
+      }
     }
     if (trace_out != nullptr) {
       trace_out->early_rise = early_rise_;
@@ -834,10 +927,27 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
     const bool reusable = pass_reusable(0, -1, no_mask);
     configure_reuse(cfg, 0, reusable, -1);
     const std::size_t diag_mark = sink_.size();
-    result.longest_path_delay = run_pass(cfg, timing, endpoints, critical);
+    PassStatus st;
+    result.longest_path_delay = run_pass(cfg, timing, endpoints, critical, st);
     result.passes = 1;
-    pass_valid.push_back(reusable ? 1 : 0);
-    record_pass(timing, no_mask, -1, diag_mark);
+    result.budget.total_levels = st.total_levels;
+    if (st.truncated) {
+      // Anytime result: the computed level prefix is bitwise what a full
+      // pass computes for those nets (every started level finished), and
+      // unreached endpoints are explicitly untimed — never record this
+      // partial pass as a reuse baseline.
+      result.budget.exhausted = true;
+      result.budget.reason = governor_.reason();
+      result.budget.completed_passes = 0;
+      result.budget.completed_levels = st.completed_levels;
+      result.budget.untimed_endpoints = std::move(st.untimed_endpoints);
+      report_truncation(governor_.reason(), 0, st, "pass truncated");
+    } else {
+      pass_valid.push_back(reusable ? 1 : 0);
+      record_pass(timing, no_mask, -1, diag_mark);
+      result.budget.completed_passes = 1;
+      result.budget.completed_levels = st.total_levels;
+    }
   } else {
     // §5.2: delay := default (first one-step pass, unknown neighbours are
     // assumed coupling); then refine with stored quiescent times while the
@@ -850,52 +960,83 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
       pass_valid.push_back(reusable ? 1 : 0);
     }
     const std::size_t first_mark = sink_.size();
-    double delay = run_pass(first, timing, endpoints, critical);
+    PassStatus st;
+    double delay = run_pass(first, timing, endpoints, critical, st);
     result.passes = 1;
-    record_pass(timing, no_mask, -1, first_mark);
-    QuietTimes quiet = collect_quiet(timing);
-    int basis = 0;  // pass whose timing supplied `quiet` and best_*
+    result.budget.total_levels = st.total_levels;
+    if (st.truncated) {
+      // Budget died inside the bounding pass: return its level prefix (the
+      // same anytime result as a truncated one-step run) and skip
+      // refinement entirely.
+      result.longest_path_delay = delay;
+      result.budget.exhausted = true;
+      result.budget.reason = governor_.reason();
+      result.budget.completed_passes = 0;
+      result.budget.completed_levels = st.completed_levels;
+      result.budget.untimed_endpoints = std::move(st.untimed_endpoints);
+      report_truncation(governor_.reason(), 0, st, "bounding pass truncated");
+    } else {
+      record_pass(timing, no_mask, -1, first_mark);
+      QuietTimes quiet = collect_quiet(timing);
+      int basis = 0;  // pass whose timing supplied `quiet` and best_*
 
-    std::vector<NetTiming> best_timing = timing;
-    std::vector<EndpointArrival> best_eps = endpoints;
-    EndpointArrival best_crit = critical;
-    double best = delay;
+      std::vector<NetTiming> best_timing = timing;
+      std::vector<EndpointArrival> best_eps = endpoints;
+      EndpointArrival best_crit = critical;
+      double best = delay;
+      result.budget.completed_passes = 1;
+      result.budget.completed_levels = st.total_levels;
 
-    while (result.passes < options_.max_passes) {
-      const std::size_t k = static_cast<std::size_t>(result.passes);
-      PassConfig cfg;
-      cfg.previous = &quiet;
-      cfg.pass_index = result.passes;
-      std::vector<char> active;
-      if (options_.esperance) {
-        active = collect_esperance_gates(design_.netlist->num_gates(),
-                                         best_timing, best_eps, best,
-                                         options_.esperance_window);
-        cfg.active_gates = &active;
-        cfg.previous_timing = &best_timing;
+      while (result.passes < options_.max_passes) {
+        const std::size_t k = static_cast<std::size_t>(result.passes);
+        PassConfig cfg;
+        cfg.previous = &quiet;
+        cfg.pass_index = result.passes;
+        std::vector<char> active;
+        if (options_.esperance) {
+          active = collect_esperance_gates(design_.netlist->num_gates(),
+                                           best_timing, best_eps, best,
+                                           options_.esperance_window);
+          cfg.active_gates = &active;
+          cfg.previous_timing = &best_timing;
+        }
+        const bool reusable = pass_reusable(k, basis, active);
+        configure_reuse(cfg, k, reusable, basis);
+        const double delay_old = best;
+        const std::size_t diag_mark = sink_.size();
+        PassStatus pst;
+        delay = run_pass(cfg, timing, endpoints, critical, pst);
+        ++result.passes;
+        if (pst.truncated) {
+          // Every completed pass only tightens the pass-1 upper bound, so
+          // the best completed pass is a valid conservative answer on its
+          // own — discard the partial refinement pass entirely (a level
+          // prefix of pass k>0 is *not* a bound: it mixes refined and
+          // unrefined quiet times).
+          result.budget.exhausted = true;
+          result.budget.reason = governor_.reason();
+          report_truncation(governor_.reason(), result.passes - 1, pst,
+                            "refinement pass discarded");
+          break;
+        }
+        pass_valid.push_back(reusable ? 1 : 0);
+        record_pass(timing, active, basis, diag_mark);
+        result.budget.completed_passes = result.passes;
+        if (delay < best) {
+          best = delay;
+          basis = static_cast<int>(k);
+          best_timing = timing;
+          best_eps = endpoints;
+          best_crit = critical;
+          quiet = collect_quiet(timing);
+        }
+        if (!(delay < delay_old - options_.convergence_eps)) break;
       }
-      const bool reusable = pass_reusable(k, basis, active);
-      configure_reuse(cfg, k, reusable, basis);
-      const double delay_old = best;
-      const std::size_t diag_mark = sink_.size();
-      delay = run_pass(cfg, timing, endpoints, critical);
-      ++result.passes;
-      pass_valid.push_back(reusable ? 1 : 0);
-      record_pass(timing, active, basis, diag_mark);
-      if (delay < best) {
-        best = delay;
-        basis = static_cast<int>(k);
-        best_timing = timing;
-        best_eps = endpoints;
-        best_crit = critical;
-        quiet = collect_quiet(timing);
-      }
-      if (!(delay < delay_old - options_.convergence_eps)) break;
+      result.longest_path_delay = best;
+      timing = std::move(best_timing);
+      endpoints = std::move(best_eps);
+      critical = best_crit;
     }
-    result.longest_path_delay = best;
-    timing = std::move(best_timing);
-    endpoints = std::move(best_eps);
-    critical = best_crit;
   }
 
   result.critical = critical;
@@ -912,6 +1053,8 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
       waveform_calcs_.load(std::memory_order_relaxed);
   result.missing_sink_wires = missing_sinks_.load(std::memory_order_relaxed);
   result.gates_reused = gates_reused_.load(std::memory_order_relaxed);
+  result.budget.governor_checks = governor_.checks();
+  governor_.finish();
   result.runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

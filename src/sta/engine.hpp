@@ -30,6 +30,7 @@
 
 #include "util/diag.hpp"
 #include "util/fault_injection.hpp"
+#include "util/run_governor.hpp"
 #include "util/thread_pool.hpp"
 
 #include "delaycalc/arc_delay.hpp"
@@ -104,6 +105,22 @@ struct StaOptions {
   /// Capacity of the diagnostic sink; reports beyond it are counted in
   /// StaResult::diagnostics.dropped instead of stored.
   std::size_t max_diagnostics = 1024;
+  /// Run governance: wall-clock deadline, memory caps, waveform-calc cap.
+  /// Defaults to unlimited (the governor's checkpoints are then pure reads
+  /// and results are bitwise identical to an ungoverned run). On
+  /// exhaustion, BudgetPolicy::kAnytime finishes the level in flight and
+  /// returns the anytime result described at StaResult::BudgetStatus;
+  /// kStrictBudget throws util::DiagError(kBudgetExhausted) instead. A
+  /// hard condition (hard memory cap, hard cancel) always throws.
+  util::RunBudget budget;
+  /// Optional external cancellation (borrowed; null = none). request()
+  /// truncates the run at the next level boundary like a soft budget;
+  /// request(/*hard=*/true) aborts the level in flight and throws.
+  util::CancelToken* cancel = nullptr;
+  /// Test-only checkpoint observer (borrowed; null in production): lets a
+  /// test burn wall-clock time at a deterministic serial point so deadline
+  /// truncation reproduces bitwise at any thread count.
+  util::GovernorHook* governor_hook = nullptr;
 };
 
 struct EndpointArrival {
@@ -133,6 +150,34 @@ struct StaResult {
   /// runs replay the diagnostics of reused gates from the baseline trace,
   /// so this matches a from-scratch run of the edited design.
   util::DiagReport diagnostics;
+  /// Outcome of the run governor (StaOptions::budget). On a truncated run
+  /// the result is *anytime*: the last completed coupling pass (iterative
+  /// truncation discards the pass in flight), or — when even the first
+  /// pass could not finish — its completed level prefix, whose per-net
+  /// values are bitwise what the full first pass would have computed.
+  /// Either way every reported endpoint arrival is >= the corresponding
+  /// fully-converged arrival of the same mode (each pass only tightens the
+  /// pass-1 bound, and a level prefix equals the full pass on its nets),
+  /// and endpoints the truncated pass never reached are listed in
+  /// `untimed_endpoints` instead of carrying stale numbers.
+  struct BudgetStatus {
+    bool exhausted = false;
+    util::BudgetReason reason = util::BudgetReason::kNone;
+    /// Fully completed BFS passes (== passes when not exhausted).
+    int completed_passes = 0;
+    /// Levels the truncated pass finished (== total_levels otherwise).
+    std::size_t completed_levels = 0;
+    std::size_t total_levels = 0;
+    /// The anytime guarantee holds (always true: truncation never returns
+    /// a value earlier than the converged run; kept explicit for report
+    /// consumers).
+    bool conservative = true;
+    std::uint64_t governor_checks = 0;
+    /// Endpoint nets with no timing in the returned result (their driver
+    /// cone was cut off by the truncation). Empty on a complete run.
+    std::vector<netlist::NetId> untimed_endpoints;
+  };
+  BudgetStatus budget;
 };
 
 /// Everything one pass of one run produced, recorded so a later incremental
@@ -200,6 +245,12 @@ class StaEngine {
   StaResult run(RunTrace* trace_out = nullptr,
                 const ReuseHints* hints = nullptr);
 
+  /// The run governor enforcing StaOptions::budget. Exposed so a caller
+  /// doing preparatory work on the run's clock (IncrementalSta's
+  /// early-activity update) can start the epoch early and checkpoint its
+  /// own loops; run() keeps a pre-started epoch.
+  util::RunGovernor& governor() { return governor_; }
+
  private:
   struct PassConfig {
     /// Quiet times from the previous pass; null on the first pass (then
@@ -237,11 +288,25 @@ class StaEngine {
     delaycalc::NldmScratch nldm;
   };
 
+  /// Where a pass stopped: complete, or truncated at a level boundary by
+  /// the run governor (the completed prefix is untouched and bitwise what
+  /// the full pass would compute for those levels).
+  struct PassStatus {
+    bool truncated = false;
+    std::size_t completed_levels = 0;
+    std::size_t total_levels = 0;
+    /// Endpoint nets left untimed by the truncation (empty if complete).
+    std::vector<netlist::NetId> untimed_endpoints;
+  };
+
   /// One full BFS pass (level-parallel); fills `timing` and returns the
-  /// longest-path delay.
+  /// longest-path delay. Checks the run governor at every level boundary;
+  /// on soft exhaustion finishes nothing further and reports the cut in
+  /// `status`; on a hard condition or under kStrictBudget throws
+  /// util::DiagError(kBudgetExhausted).
   double run_pass(const PassConfig& config, std::vector<NetTiming>& timing,
                   std::vector<EndpointArrival>& endpoints,
-                  EndpointArrival& critical);
+                  EndpointArrival& critical, PassStatus& status);
 
   /// Incremental reuse decision for one gate in a replayable pass: true iff
   /// every value its evaluation reads is bitwise unchanged from the
@@ -308,6 +373,13 @@ class StaEngine {
   util::DiagHandle gate_diag(netlist::GateId gate, netlist::NetId out,
                              const PassConfig& config) const;
 
+  /// Throw util::DiagError(kBudgetExhausted) for a hard/strict budget stop.
+  [[noreturn]] void throw_budget(util::BudgetReason reason, int pass,
+                                 std::size_t level);
+  /// Emit the per-truncation diagnostic record (anytime path).
+  void report_truncation(util::BudgetReason reason, int pass,
+                         const PassStatus& status, const char* what);
+
   DesignView design_;
   StaOptions options_;
   delaycalc::ArcDelayCalculator calculator_;
@@ -329,6 +401,8 @@ class StaEngine {
   /// runs (kNldm runs use nldm_ directly).
   std::unique_ptr<delaycalc::NldmDelayCalculator> fallback_nldm_;
   std::once_flag fallback_nldm_once_;
+  /// Budget enforcement for this engine's runs (one epoch per run).
+  util::RunGovernor governor_;
 };
 
 /// Gates on origin chains of endpoints within `window` of `delay` (the

@@ -63,7 +63,8 @@ std::vector<netlist::GateId> early_seed_gates(
 std::vector<netlist::NetId> update_early(const sta::DesignView& design,
                                          const EarlyOptions& options,
                                          const std::vector<netlist::GateId>& seeds,
-                                         EarlyTimes& early) {
+                                         EarlyTimes& early,
+                                         util::RunGovernor* governor) {
   const netlist::Netlist& nl = *design.netlist;
   const netlist::LevelizedDag& dag = *design.dag;
   const device::Technology& tech = design.tables->tech();
@@ -84,6 +85,11 @@ std::vector<netlist::NetId> update_early(const sta::DesignView& design,
   // Ascending levels; pushes always target strictly deeper levels (timed
   // sinks), so no bucket is revisited.
   for (std::size_t lvl = 0; lvl < buckets.size(); ++lvl) {
+    // Charge the update against the run budget but always finish it: a
+    // half-propagated early bound would corrupt the session cache, and the
+    // sticky exhaustion reason makes the engine truncate (or throw, under
+    // a strict policy) at its very first checkpoint anyway.
+    if (governor != nullptr) governor->checkpoint(0);
     for (std::size_t i = 0; i < buckets[lvl].size(); ++i) {
       const netlist::GateId g = buckets[lvl][i];
       const netlist::Gate& gate = nl.gate(g);
@@ -132,10 +138,14 @@ StaResult IncrementalSta::run() {
     // counts it as a neighbour, so those victims seed the dirty set.
     std::vector<netlist::NetId> extra_seeds;
     const bool inject_early = options_.timing_windows && has_early_;
+    // Pre-start the budget epoch so the cached-early update below is
+    // charged against the same deadline as the engine run it precedes
+    // (StaEngine::run's own start() is idempotent).
+    engine.governor().start();
     if (inject_early && !edits.empty()) {
       const std::vector<netlist::NetId> moved = update_early(
           view, options_.early, early_seed_gates(*view.netlist, edits),
-          early_);
+          early_, &engine.governor());
       for (const netlist::NetId n : moved) {
         extra_seeds.push_back(n);
         for (const extract::NeighborCap& nb :
@@ -161,6 +171,18 @@ StaResult IncrementalSta::run() {
     result = engine.run(&fresh, &hints);
   }
 
+  if (result.budget.exhausted) {
+    // A truncated run must never become the reuse baseline: passes past
+    // the truncation point were not recorded and the early arrays may
+    // have been skipped. Correctness over reuse — drop the session cache
+    // and let the next run start from scratch.
+    trace_ = RunTrace{};
+    has_baseline_ = false;
+    has_early_ = false;
+    log_cursor_ = log.size();
+    stats_.gates_reused = result.gates_reused;
+    return result;
+  }
   trace_ = std::move(fresh);
   has_baseline_ = true;
   log_cursor_ = log.size();

@@ -48,6 +48,18 @@ std::string format_result_summary(const StaResult& result) {
        << " sink(s) without extracted wires (zero wire delay assumed; the "
           "extraction has gaps)\n";
   }
+  if (result.budget.exhausted) {
+    os << "BUDGET: run truncated ("
+       << util::budget_reason_name(result.budget.reason) << ") after "
+       << result.budget.completed_passes << " full pass(es), "
+       << result.budget.completed_levels << "/" << result.budget.total_levels
+       << " levels; anytime conservative bound";
+    if (!result.budget.untimed_endpoints.empty()) {
+      os << ", " << result.budget.untimed_endpoints.size()
+         << " endpoint(s) untimed";
+    }
+    os << "\n";
+  }
   if (!result.diagnostics.empty()) {
     const std::size_t errors = result.diagnostics.count(util::Severity::kError);
     const std::size_t warnings =

@@ -24,6 +24,10 @@ const char* diag_code_name(DiagCode code) {
     case DiagCode::kTransientHold: return "transient-hold";
     case DiagCode::kSingularMatrix: return "singular-matrix";
     case DiagCode::kInjectedFault: return "injected-fault";
+    case DiagCode::kBudgetExhausted: return "budget-exhausted";
+    case DiagCode::kParseError: return "parse-error";
+    case DiagCode::kInputLimit: return "input-limit";
+    case DiagCode::kFileError: return "file-error";
   }
   return "unknown";
 }
@@ -53,15 +57,18 @@ std::string format_diagnostic(const Diagnostic& d) {
   if (d.ctx.net >= 0) out << " net " << d.ctx.net;
   if (d.ctx.level >= 0) out << " level " << d.ctx.level;
   if (d.ctx.pass >= 0) out << " pass " << d.ctx.pass;
+  if (!d.ctx.file.empty()) out << ' ' << d.ctx.file;
+  if (d.ctx.line >= 0) out << " line " << d.ctx.line;
+  if (d.ctx.column >= 0) out << " col " << d.ctx.column;
   if (!d.message.empty()) out << ": " << d.message;
   return out.str();
 }
 
 bool diagnostic_order(const Diagnostic& a, const Diagnostic& b) {
-  return std::tie(a.ctx.pass, a.ctx.level, a.ctx.gate, a.ctx.net, a.code,
-                  a.severity, a.message) <
-         std::tie(b.ctx.pass, b.ctx.level, b.ctx.gate, b.ctx.net, b.code,
-                  b.severity, b.message);
+  return std::tie(a.ctx.pass, a.ctx.level, a.ctx.gate, a.ctx.net, a.ctx.file,
+                  a.ctx.line, a.ctx.column, a.code, a.severity, a.message) <
+         std::tie(b.ctx.pass, b.ctx.level, b.ctx.gate, b.ctx.net, b.ctx.file,
+                  b.ctx.line, b.ctx.column, b.code, b.severity, b.message);
 }
 
 bool DiagSink::report(Diagnostic d) {
@@ -107,6 +114,47 @@ std::size_t DiagReport::count(DiagCode code) const {
   return static_cast<std::size_t>(
       std::count_if(entries.begin(), entries.end(),
                     [&](const Diagnostic& d) { return d.code == code; }));
+}
+
+Diagnostic ParseDiag::make(DiagCode code, Severity severity,
+                           std::int64_t line, std::int64_t column,
+                           std::string message) const {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.ctx.file = file_;
+  d.ctx.line = line;
+  d.ctx.column = column;
+  d.message = std::move(message);
+  return d;
+}
+
+bool ParseDiag::error(std::int64_t line, std::int64_t column,
+                      std::string message) {
+  Diagnostic d = make(DiagCode::kParseError, Severity::kError, line, column,
+                      std::move(message));
+  if (errors_ == 0) first_ = d;
+  ++errors_;
+  if (sink_ != nullptr) sink_->report(std::move(d));
+  return errors_ < limits_.max_errors;
+}
+
+void ParseDiag::fatal(DiagCode code, std::int64_t line, std::int64_t column,
+                      std::string message) {
+  Diagnostic d =
+      make(code, Severity::kError, line, column, std::move(message));
+  if (sink_ != nullptr) sink_->report(d);
+  throw DiagError(std::move(d));
+}
+
+void ParseDiag::finish() const {
+  if (errors_ == 0) return;
+  Diagnostic d = first_;
+  if (errors_ > 1) {
+    d.message += " (+" + std::to_string(errors_ - 1) + " more " +
+                 (errors_ == 2 ? "error" : "errors") + ")";
+  }
+  throw DiagError(std::move(d));
 }
 
 void require_finite(double value, const char* what) {

@@ -29,7 +29,9 @@ std::size_t ThreadPool::resolve_threads(int requested) {
 
 void ThreadPool::run_loop(std::size_t thread_id) {
   const LoopFn& fn = *fn_;
+  const std::atomic<bool>* abort = abort_;
   for (;;) {
+    if (abort != nullptr && abort->load(std::memory_order_relaxed)) break;
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= end_) break;
     try {
@@ -61,15 +63,20 @@ void ThreadPool::worker_main(std::size_t thread_id) {
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const LoopFn& fn) {
+                              const LoopFn& fn,
+                              const std::atomic<bool>* abort) {
   if (begin >= end) return;
   if (workers_.empty()) {
-    for (std::size_t i = begin; i < end; ++i) fn(i, 0);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (abort != nullptr && abort->load(std::memory_order_relaxed)) return;
+      fn(i, 0);
+    }
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     fn_ = &fn;
+    abort_ = abort;
     end_ = end;
     next_.store(begin, std::memory_order_relaxed);
     workers_running_ = workers_.size();
@@ -81,6 +88,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [&] { return workers_running_ == 0; });
   fn_ = nullptr;
+  abort_ = nullptr;
   if (first_error_) {
     std::exception_ptr err = first_error_;
     first_error_ = nullptr;

@@ -45,7 +45,15 @@ class ThreadPool {
   /// Run fn(i, thread_id) for every i in [begin, end), blocking until all
   /// iterations finished. Exceptions thrown by fn are captured and the
   /// first one is rethrown on the calling thread after the barrier.
-  void parallel_for(std::size_t begin, std::size_t end, const LoopFn& fn);
+  ///
+  /// `abort` (optional, borrowed) is polled between indices: once it reads
+  /// true, workers stop claiming new indices and the loop returns early
+  /// with iterations unprocessed. This is reserved for hard-cancellation
+  /// paths (run governor hard memory cap / hard CancelToken) where the
+  /// caller is about to abandon the whole result — a soft budget must
+  /// instead let the level finish to keep anytime results deterministic.
+  void parallel_for(std::size_t begin, std::size_t end, const LoopFn& fn,
+                    const std::atomic<bool>* abort = nullptr);
 
   /// Map a user-facing thread-count request to an actual count:
   /// 0 = std::thread::hardware_concurrency(), otherwise the value itself
@@ -66,6 +74,7 @@ class ThreadPool {
 
   // State of the loop in flight (valid while a generation is active).
   const LoopFn* fn_ = nullptr;
+  const std::atomic<bool>* abort_ = nullptr;
   std::size_t end_ = 0;
   std::atomic<std::size_t> next_{0};
   std::size_t workers_running_ = 0;

@@ -1,0 +1,8 @@
+// two-gate structural seed
+module top (a, b, clk, y);
+  input a, b, clk;
+  output y;
+  wire w1;
+  NAND2_X1 u1 (.A(a), .B(b), .Y(w1));
+  DFF_X1   r1 (.D(w1), .CK(clk), .Q(y));
+endmodule

@@ -1,0 +1,121 @@
+// Fallback fuzz driver for toolchains without libFuzzer (gcc).
+//
+// The harnesses define the standard `LLVMFuzzerTestOneInput` entry point;
+// under clang they link against the real libFuzzer (-fsanitize=fuzzer) and
+// this file is not compiled. Under gcc this main() replays every seed file
+// given on the command line and then runs `-runs=N` deterministic
+// xorshift-mutated variants of them — no coverage feedback, but the same
+// contract: any escape of a non-DiagError exception, any sanitizer report,
+// any crash fails the run. Determinism (fixed seed, no time/pid entropy)
+// keeps the smoke test reproducible in CI.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::uint64_t rng_state = 0x9e3779b97f4a7c15ull;
+
+std::uint64_t xorshift() {
+  std::uint64_t x = rng_state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  rng_state = x;
+  return x;
+}
+
+void run_one(const std::string& input) {
+  LLVMFuzzerTestOneInput(
+      reinterpret_cast<const std::uint8_t*>(input.data()), input.size());
+}
+
+/// One deterministic mutation in place: byte flip, insert, erase,
+/// truncate, or chunk duplication.
+void mutate(std::string& s) {
+  const std::uint64_t r = xorshift();
+  const std::size_t n = s.size();
+  switch (r % 5) {
+    case 0:  // flip a byte
+      if (n > 0) s[xorshift() % n] = static_cast<char>(xorshift() & 0xff);
+      break;
+    case 1:  // insert a byte
+      s.insert(s.begin() + static_cast<std::ptrdiff_t>(n ? xorshift() % n : 0),
+               static_cast<char>(xorshift() & 0xff));
+      break;
+    case 2:  // erase a byte
+      if (n > 0) s.erase(s.begin() + static_cast<std::ptrdiff_t>(xorshift() % n));
+      break;
+    case 3:  // truncate
+      if (n > 1) s.resize(xorshift() % n);
+      break;
+    case 4:  // duplicate a chunk
+      if (n > 4) {
+        const std::size_t at = xorshift() % (n - 1);
+        const std::size_t len = 1 + xorshift() % std::min<std::size_t>(
+                                        64, n - at - 1);
+        s.insert(xorshift() % n, s.substr(at, len));
+      }
+      break;
+  }
+}
+
+void load_seed(const std::filesystem::path& p,
+               std::vector<std::string>& seeds) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz driver: cannot open seed %s\n",
+                 p.string().c_str());
+    std::exit(1);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  seeds.push_back(ss.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long runs = 0;
+  std::vector<std::string> seeds;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "-runs=", 6) == 0) {
+      runs = std::strtol(argv[i] + 6, nullptr, 10);
+      continue;
+    }
+    if (argv[i][0] == '-') continue;  // ignore other libFuzzer-style flags
+    const std::filesystem::path p(argv[i]);
+    if (std::filesystem::is_directory(p)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& e : std::filesystem::directory_iterator(p)) {
+        if (e.is_regular_file()) files.push_back(e.path());
+      }
+      std::sort(files.begin(), files.end());  // deterministic order
+      for (const auto& f : files) load_seed(f, seeds);
+    } else {
+      load_seed(p, seeds);
+    }
+  }
+  if (seeds.empty()) seeds.emplace_back();
+
+  for (const std::string& s : seeds) run_one(s);
+  for (long i = 0; i < runs; ++i) {
+    std::string input = seeds[static_cast<std::size_t>(i) % seeds.size()];
+    const std::uint64_t mutations = 1 + xorshift() % 8;
+    for (std::uint64_t m = 0; m < mutations; ++m) mutate(input);
+    run_one(input);
+  }
+  std::printf("fuzz driver: %zu seeds + %ld mutated runs, no crashes\n",
+              seeds.size(), runs);
+  return 0;
+}

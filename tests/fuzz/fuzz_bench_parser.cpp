@@ -1,0 +1,30 @@
+// libFuzzer harness for the .bench netlist parser.
+//
+// The contract under test: for ANY byte sequence the parser either returns
+// a valid netlist or throws util::DiagError — never a bare std::exception,
+// never a crash, never unbounded allocation (ParseLimits tightened below so
+// a single adversarial input cannot OOM the fuzzer).
+#include <cstdint>
+#include <string_view>
+
+#include "netlist/bench_parser.hpp"
+#include "netlist/cell_library.hpp"
+#include "util/diag.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace xtalk;
+  static const netlist::CellLibrary& lib = netlist::CellLibrary::half_micron();
+  util::ParseLimits limits;
+  limits.max_nets = 1u << 16;
+  limits.max_instances = 1u << 16;
+  limits.max_tokens = 1u << 18;
+  limits.max_gate_args = 256;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)netlist::parse_bench(text, lib, limits);
+  } catch (const util::DiagError&) {
+    // The only acceptable failure mode: structured, coded, recoverable.
+  }
+  return 0;
+}

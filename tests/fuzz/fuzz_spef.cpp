@@ -1,0 +1,29 @@
+// libFuzzer harness for the SPEF reader. The reader resolves node names
+// against a fixed netlist (the embedded s27 benchmark), mirroring how a
+// production flow feeds extractor output into an already-loaded design.
+// Contract: any byte sequence either parses or raises util::DiagError.
+#include <cstdint>
+#include <string_view>
+
+#include "extract/spef.hpp"
+#include "netlist/bench_parser.hpp"
+#include "netlist/cell_library.hpp"
+#include "netlist/embedded_benchmarks.hpp"
+#include "util/diag.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace xtalk;
+  static const netlist::Netlist nl = netlist::parse_bench(
+      netlist::s27_bench(), netlist::CellLibrary::half_micron());
+  util::ParseLimits limits;
+  limits.max_tokens = 1u << 18;
+  limits.max_line_length = 1u << 12;
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)extract::read_spef(text, nl, limits);
+  } catch (const util::DiagError&) {
+    // The only acceptable failure mode: structured, coded, recoverable.
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// libFuzzer harness for the structural Verilog parser. Same contract as
+// fuzz_bench_parser: any input either parses or raises util::DiagError.
+#include <cstdint>
+#include <string_view>
+
+#include "netlist/cell_library.hpp"
+#include "netlist/verilog_parser.hpp"
+#include "util/diag.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace xtalk;
+  static const netlist::CellLibrary& lib = netlist::CellLibrary::half_micron();
+  util::ParseLimits limits;
+  limits.max_nets = 1u << 16;
+  limits.max_instances = 1u << 16;
+  limits.max_tokens = 1u << 18;
+  limits.max_line_length = 1u << 12;  // doubles as the identifier cap
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)netlist::parse_verilog(text, lib, limits);
+  } catch (const util::DiagError&) {
+    // The only acceptable failure mode: structured, coded, recoverable.
+  }
+  return 0;
+}

@@ -1,0 +1,286 @@
+// Hardened text front-ends: the bench/Verilog/SPEF parsers must (a) report
+// *every* malformed statement with an error code and source location, not
+// bail at the first one, (b) recover to the next statement and keep
+// building what they can, (c) enforce ParseLimits instead of letting
+// adversarial input allocate unboundedly, and (d) fail only by throwing
+// util::DiagError — including "cannot open file".
+#include "netlist/bench_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/crosstalk_sta.hpp"
+#include "extract/spef.hpp"
+#include "netlist/embedded_benchmarks.hpp"
+#include "netlist/verilog_parser.hpp"
+#include "util/diag.hpp"
+
+namespace xtalk::netlist {
+namespace {
+
+const CellLibrary& lib() { return CellLibrary::half_micron(); }
+
+std::vector<util::Diagnostic> parse_errors(const util::DiagSink& sink) {
+  std::vector<util::Diagnostic> out;
+  for (const util::Diagnostic& d : sink.snapshot()) {
+    if (d.code == util::DiagCode::kParseError) out.push_back(d);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// bench
+// ---------------------------------------------------------------------------
+
+TEST(BenchHardening, AccumulatesAllErrorsWithLineNumbers) {
+  const std::string text =
+      "INPUT(a)\n"
+      "INPUT(b)\n"
+      "x = FROB(a)\n"     // line 3: unknown function (construction phase)
+      "y = NAND(a, b)\n"  // fine
+      "w = \n"            // line 5: malformed gate line (scan phase)
+      "OUTPUT(y)\n";
+  util::DiagSink sink;
+  try {
+    parse_bench(text, lib(), {}, &sink);
+    FAIL() << "expected util::DiagError";
+  } catch (const util::DiagError& e) {
+    // The first recorded error drives the exception (the scan runs before
+    // gate construction, so that is line 5) and the message announces how
+    // many more were found.
+    EXPECT_NE(std::string(e.what()).find("line 5"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("more error"), std::string::npos);
+    EXPECT_EQ(e.diagnostic().code, util::DiagCode::kParseError);
+  }
+  const std::vector<util::Diagnostic> errs = parse_errors(sink);
+  ASSERT_EQ(errs.size(), 2u);
+  EXPECT_EQ(errs[0].ctx.line, 5);
+  EXPECT_EQ(errs[1].ctx.line, 3);
+  EXPECT_EQ(errs[0].ctx.file, "<bench>");
+}
+
+TEST(BenchHardening, RecoversAndStillSeesLaterStatements) {
+  // The undriven-output check runs over the *recovered* netlist, so an
+  // error on line 2 must not hide the independent error on line 4.
+  const std::string text =
+      "INPUT(a)\n"
+      "x = FROB(a)\n"
+      "y = NOT(a)\n"
+      "OUTPUT(ghost)\n"
+      "OUTPUT(y)\n";
+  util::DiagSink sink;
+  EXPECT_THROW(parse_bench(text, lib(), {}, &sink), util::DiagError);
+  const std::vector<util::Diagnostic> errs = parse_errors(sink);
+  ASSERT_EQ(errs.size(), 2u);
+  EXPECT_EQ(errs[0].ctx.line, 2);
+  EXPECT_NE(errs[1].message.find("never driven"), std::string::npos);
+}
+
+TEST(BenchHardening, MaxErrorsCapsTheAccumulator) {
+  std::string text = "INPUT(a)\n";
+  for (int i = 0; i < 50; ++i) text += "x" + std::to_string(i) + " = FROB(a)\n";
+  util::ParseLimits limits;
+  limits.max_errors = 3;
+  util::DiagSink sink;
+  EXPECT_THROW(parse_bench(text, lib(), limits, &sink), util::DiagError);
+  EXPECT_EQ(parse_errors(sink).size(), 3u);
+}
+
+TEST(BenchHardening, LineLengthLimitIsFatal) {
+  util::ParseLimits limits;
+  limits.max_line_length = 64;
+  const std::string text =
+      "INPUT(a)\ny = NOT(" + std::string(200, 'a') + ")\nOUTPUT(y)\n";
+  try {
+    parse_bench(text, lib(), limits);
+    FAIL() << "expected util::DiagError";
+  } catch (const util::DiagError& e) {
+    EXPECT_EQ(e.diagnostic().code, util::DiagCode::kInputLimit);
+    EXPECT_EQ(e.diagnostic().ctx.line, 2);
+  }
+}
+
+TEST(BenchHardening, GateArgLimitSkipsTheGate) {
+  // An over-wide gate is a recoverable parse error (the gate is skipped,
+  // which then also surfaces the undriven OUTPUT), not an OOM risk.
+  util::ParseLimits limits;
+  limits.max_gate_args = 4;
+  const std::string text = "INPUT(a)\ny = NAND(a, a, a, a, a, a)\nOUTPUT(y)\n";
+  util::DiagSink sink;
+  try {
+    parse_bench(text, lib(), limits, &sink);
+    FAIL() << "expected util::DiagError";
+  } catch (const util::DiagError& e) {
+    EXPECT_EQ(e.diagnostic().code, util::DiagCode::kParseError);
+    EXPECT_NE(std::string(e.what()).find("exceeds limit"), std::string::npos);
+  }
+  EXPECT_EQ(parse_errors(sink).size(), 2u);
+}
+
+TEST(BenchHardening, UnopenableFileIsADiagError) {
+  try {
+    parse_bench_file("/nonexistent/dir/x.bench", lib());
+    FAIL() << "expected util::DiagError";
+  } catch (const util::DiagError& e) {
+    EXPECT_EQ(e.diagnostic().code, util::DiagCode::kFileError);
+    EXPECT_EQ(e.diagnostic().ctx.file, "/nonexistent/dir/x.bench");
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  }
+}
+
+TEST(BenchHardening, CleanInputStillParses) {
+  util::DiagSink sink;
+  const Netlist nl = parse_bench(s27_bench(), lib(), {}, &sink);
+  EXPECT_GT(nl.num_gates(), 0u);
+  EXPECT_TRUE(parse_errors(sink).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Verilog
+// ---------------------------------------------------------------------------
+
+TEST(VerilogHardening, RecoversPastBadStatements) {
+  // Two independently broken statements; the good instance between them
+  // must still land in the netlist, and both errors must carry locations.
+  const std::string text =
+      "module t (a, b, y);\n"
+      "input a, b; output y;\n"
+      "wire w;\n"
+      "FOO_X9 bad1 (.A(a), .Y(w));\n"        // unknown cell
+      "NAND2_X1 ok (.A(a), .B(b), .Y(w));\n"
+      "INV_X1 bad2 (.Q(w), .Y(y));\n"        // unknown pin
+      "INV_X1 ok2 (.A(w), .Y(y));\n"
+      "endmodule\n";
+  util::DiagSink sink;
+  EXPECT_THROW(parse_verilog(text, lib(), {}, &sink), util::DiagError);
+  const std::vector<util::Diagnostic> errs = parse_errors(sink);
+  ASSERT_EQ(errs.size(), 2u);
+  EXPECT_EQ(errs[0].ctx.line, 4);
+  EXPECT_EQ(errs[1].ctx.line, 6);
+  EXPECT_EQ(errs[0].ctx.file, "<verilog>");
+}
+
+TEST(VerilogHardening, ErrorsCarryColumns) {
+  const std::string text =
+      "module t (a, y);\n"
+      "input a; output y;\n"
+      "INV_X1 u (.A(a) .Y(y));\n"  // missing comma mid-statement
+      "endmodule\n";
+  util::DiagSink sink;
+  EXPECT_THROW(parse_verilog(text, lib(), {}, &sink), util::DiagError);
+  const std::vector<util::Diagnostic> errs = parse_errors(sink);
+  ASSERT_GE(errs.size(), 1u);
+  EXPECT_EQ(errs[0].ctx.line, 3);
+  EXPECT_GT(errs[0].ctx.column, 0);
+}
+
+TEST(VerilogHardening, UnterminatedCommentIsRecoverable) {
+  const std::string text =
+      "module t (a, y); input a; output y;\n"
+      "INV_X1 u (.A(a), .Y(y));\nendmodule\n/* dangling";
+  util::DiagSink sink;
+  EXPECT_THROW(parse_verilog(text, lib(), {}, &sink), util::DiagError);
+  ASSERT_GE(parse_errors(sink).size(), 1u);
+  EXPECT_NE(parse_errors(sink)[0].message.find("comment"), std::string::npos);
+}
+
+TEST(VerilogHardening, TokenLimitIsFatal) {
+  util::ParseLimits limits;
+  limits.max_tokens = 16;
+  std::string text = "module t (a, y); input a; output y;\n";
+  for (int i = 0; i < 20; ++i) text += "wire w" + std::to_string(i) + ";\n";
+  text += "endmodule\n";
+  try {
+    parse_verilog(text, lib(), limits);
+    FAIL() << "expected util::DiagError";
+  } catch (const util::DiagError& e) {
+    EXPECT_EQ(e.diagnostic().code, util::DiagCode::kInputLimit);
+  }
+}
+
+TEST(VerilogHardening, MissingEndmoduleIsReported) {
+  const std::string text =
+      "module t (a, y); input a; output y;\nINV_X1 u (.A(a), .Y(y));\n";
+  util::DiagSink sink;
+  EXPECT_THROW(parse_verilog(text, lib(), {}, &sink), util::DiagError);
+  bool saw = false;
+  for (const util::Diagnostic& d : parse_errors(sink)) {
+    if (d.message.find("endmodule") != std::string::npos) saw = true;
+  }
+  EXPECT_TRUE(saw);
+}
+
+// ---------------------------------------------------------------------------
+// SPEF
+// ---------------------------------------------------------------------------
+
+struct SpefFixture {
+  Netlist nl;
+  SpefFixture() : nl(parse_bench(s27_bench(), lib())) {}
+};
+
+TEST(SpefHardening, MalformedNumbersAreRecoveredNotFatal) {
+  // std::stod-style crashes (invalid_argument / out_of_range escaping as
+  // unrelated exception types) must be impossible: bad numbers are parse
+  // errors with a line, and later sections still load.
+  SpefFixture f;
+  const std::string text =
+      "*D_NET G14 4.2\n"
+      "*CAP\n"
+      "1 G14:0 1e99999\n"    // line 3: out-of-range double
+      "2 G14:1 banana\n"     // line 4: not a number at all
+      "3 G14:2 1.4\n"        // fine
+      "*RES\n"
+      "1 G14:0 G14:1 abc\n"  // line 7: bad resistance
+      "*END\n";
+  util::DiagSink sink;
+  EXPECT_THROW(extract::read_spef(text, f.nl, {}, &sink), util::DiagError);
+  const std::vector<util::Diagnostic> errs = parse_errors(sink);
+  ASSERT_EQ(errs.size(), 3u);
+  EXPECT_EQ(errs[0].ctx.line, 3);
+  EXPECT_EQ(errs[1].ctx.line, 4);
+  EXPECT_EQ(errs[2].ctx.line, 7);
+  EXPECT_EQ(errs[0].ctx.file, "<spef>");
+}
+
+TEST(SpefHardening, UnknownNetAndSelfCouplingAreAccumulated) {
+  SpefFixture f;
+  const std::string text =
+      "*D_NET NOSUCHNET 1.0\n"
+      "*END\n"
+      "*D_NET G14 1.0\n"
+      "*CAP\n"
+      "1 G14:0 G14:1 0.5\n"  // coupling a net to itself
+      "*END\n";
+  util::DiagSink sink;
+  EXPECT_THROW(extract::read_spef(text, f.nl, {}, &sink), util::DiagError);
+  EXPECT_EQ(parse_errors(sink).size(), 2u);
+}
+
+TEST(SpefHardening, LineLengthLimitIsFatal) {
+  SpefFixture f;
+  util::ParseLimits limits;
+  limits.max_line_length = 32;
+  const std::string text = "*D_NET G14 " + std::string(100, '1') + "\n*END\n";
+  try {
+    extract::read_spef(text, f.nl, limits);
+    FAIL() << "expected util::DiagError";
+  } catch (const util::DiagError& e) {
+    EXPECT_EQ(e.diagnostic().code, util::DiagCode::kInputLimit);
+  }
+}
+
+TEST(SpefHardening, CleanRoundTripIsUnaffectedByTheSink) {
+  SpefFixture f;
+  const core::Design d = core::Design::from_bench(s27_bench());
+  const std::string spef = extract::write_spef(d.netlist(), d.parasitics());
+  util::DiagSink sink;
+  const extract::Parasitics p = extract::read_spef(spef, f.nl, {}, &sink);
+  EXPECT_TRUE(sink.snapshot().empty());
+  EXPECT_EQ(p.coupling_pairs().size(), d.parasitics().coupling_pairs().size());
+}
+
+}  // namespace
+}  // namespace xtalk::netlist
