@@ -7,6 +7,7 @@
 #include <iostream>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/validation.hpp"
 #include "sta/path.hpp"
@@ -88,6 +89,20 @@ JsonObject& JsonObject::set(const std::string& key, const char* value) {
   return set_raw(key, json_string(value));
 }
 
+bool JsonObject::has(const std::string& key) const {
+  for (const auto& [name, value] : fields_) {
+    if (name == key) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> JsonObject::keys() const {
+  std::vector<std::string> out;
+  out.reserve(fields_.size());
+  for (const auto& [name, value] : fields_) out.push_back(name);
+  return out;
+}
+
 std::string JsonObject::to_string() const {
   std::string out = "{";
   for (std::size_t i = 0; i < fields_.size(); ++i) {
@@ -149,7 +164,53 @@ std::string json_path_from_args(int argc, char** argv) {
   return "";
 }
 
+const std::vector<std::string>& result_row_required_keys() {
+  static const std::vector<std::string> kKeys = {
+      "delay_ns",
+      "runtime_s",
+      "passes",
+      "waveform_calculations",
+      "gates_reused",
+      "threads_used",
+      "missing_sink_wires",
+      "diag_errors",
+      "diag_warnings",
+      "diag_dropped",
+      "budget_exhausted",
+      "budget_reason",
+      "completed_passes",
+      "completed_levels",
+      "total_levels",
+      "untimed_endpoints",
+      "governor_checks",
+      "metrics_enabled",
+      "be_steps",
+      "newton_iterations",
+      "fallback_be_steps",
+      "coupling_classifications",
+      "coupling_reclassifications",
+      "pool_utilization",
+      "trace_events",
+  };
+  return kKeys;
+}
+
+void assert_result_row_schema(const JsonObject& row) {
+  std::string missing;
+  for (const std::string& key : result_row_required_keys()) {
+    if (!row.has(key)) {
+      if (!missing.empty()) missing += ", ";
+      missing += key;
+    }
+  }
+  if (!missing.empty()) {
+    throw std::logic_error("bench result row missing required key(s): " +
+                           missing);
+  }
+}
+
 void fill_result_row(JsonObject& row, const sta::StaResult& result) {
+  const sta::MetricsSnapshot& m = result.metrics;
   row.set("delay_ns", result.longest_path_delay * 1e9)
       .set("runtime_s", result.runtime_seconds)
       .set("passes", result.passes)
@@ -166,7 +227,20 @@ void fill_result_row(JsonObject& row, const sta::StaResult& result) {
       .set("completed_levels", result.budget.completed_levels)
       .set("total_levels", result.budget.total_levels)
       .set("untimed_endpoints", result.budget.untimed_endpoints.size())
-      .set("governor_checks", result.budget.governor_checks);
+      .set("governor_checks", result.budget.governor_checks)
+      .set("metrics_enabled", m.enabled)
+      .set("be_steps", m.counter(sta::EngineCounter::kBeSteps))
+      .set("newton_iterations",
+           m.counter(sta::EngineCounter::kNewtonIterations))
+      .set("fallback_be_steps",
+           m.counter(sta::EngineCounter::kFallbackBeSteps))
+      .set("coupling_classifications",
+           m.counter(sta::EngineCounter::kCouplingClassifications))
+      .set("coupling_reclassifications",
+           m.counter(sta::EngineCounter::kCouplingReclassifications))
+      .set("pool_utilization", m.pool_utilization)
+      .set("trace_events", m.trace_events);
+  assert_result_row_schema(row);
 }
 
 double run_table_benchmark(const char* table_name,

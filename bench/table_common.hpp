@@ -50,6 +50,10 @@ class JsonObject {
 
   std::string to_string() const;
 
+  bool has(const std::string& key) const;
+  /// Field names in insertion order.
+  std::vector<std::string> keys() const;
+
  private:
   JsonObject& set_raw(const std::string& key, std::string serialized);
 
@@ -81,7 +85,17 @@ class JsonReport {
 std::string json_path_from_args(int argc, char** argv);
 
 /// Append the per-mode fields of a result to a JSON row (shared shape
-/// across all benches: delay_ns, runtime_s, passes, waveform counters).
+/// across all benches: delay_ns, runtime_s, passes, waveform counters,
+/// engine metrics). Asserts the row schema on exit — see
+/// assert_result_row_schema.
 void fill_result_row(JsonObject& row, const sta::StaResult& result);
+
+/// The keys every result row must carry. Downstream dashboards key on
+/// these; renaming or dropping one is a breaking schema change.
+const std::vector<std::string>& result_row_required_keys();
+
+/// Throws std::logic_error naming every missing required key. Called by
+/// fill_result_row so a bench binary cannot silently emit a partial row.
+void assert_result_row_schema(const JsonObject& row);
 
 }  // namespace xtalk::bench

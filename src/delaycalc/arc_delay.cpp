@@ -48,6 +48,9 @@ std::vector<ArcResult> ArcDelayCalculator::compute(
     util::Pwl wave = input_waveform;
     bool dir = input_rising;
     bool degraded = false;
+    std::uint64_t be_steps = 0;
+    std::uint64_t newton_iters = 0;
+    std::uint64_t fallback_steps = 0;
     WaveformResult wr;
     for (std::size_t hop_idx = 0; hop_idx < path.hops.size(); ++hop_idx) {
       const StagePath::Hop& hop = path.hops[hop_idx];
@@ -88,6 +91,9 @@ std::vector<ArcResult> ArcDelayCalculator::compute(
       wr = solve_stage_waveform(*tables_, drive, stage_load, options, diag);
       wave = wr.waveform;
       degraded = degraded || wr.degraded;
+      be_steps += wr.be_steps;
+      newton_iters += wr.newton_iters;
+      fallback_steps += static_cast<std::uint64_t>(wr.fallback_steps);
       dir = !dir;
     }
     ArcResult r;
@@ -96,6 +102,9 @@ std::vector<ArcResult> ArcDelayCalculator::compute(
     r.settle_time = wr.settle_time;
     r.coupled = wr.coupled;
     r.degraded = degraded;
+    r.be_steps = be_steps;
+    r.newton_iters = newton_iters;
+    r.fallback_steps = fallback_steps;
     results.push_back(std::move(r));
   }
   return results;

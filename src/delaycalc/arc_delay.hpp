@@ -24,6 +24,10 @@ struct ArcResult {
   double settle_time = 0.0;  ///< when the output stopped moving
   bool coupled = false;      ///< the active coupling event fired
   bool degraded = false;     ///< any stage hop took the solver fallback chain
+  // Solver work summed over the stage hops of this path (metrics layer).
+  std::uint64_t be_steps = 0;
+  std::uint64_t newton_iters = 0;
+  std::uint64_t fallback_steps = 0;
 };
 
 /// Reusable per-thread scratch for arc evaluation. Path enumeration and

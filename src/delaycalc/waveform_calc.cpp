@@ -145,6 +145,7 @@ WaveformResult solve_stage_waveform(const device::DeviceTableSet& tables,
   // undamped (dv_clamp = 0.5) variant reproduces the historical fast path
   // bit-for-bit when it converges; exhausting max_iters now *reports*
   // failure instead of silently keeping the last iterate.
+  std::uint64_t newton_iters = 0;
   auto newton_attempt = [&](double t_next, double h, double v_prev,
                             double dv_clamp, int max_iters,
                             const Inject& inj) {
@@ -154,6 +155,7 @@ WaveformResult solve_stage_waveform(const device::DeviceTableSet& tables,
     const double vg = vin.value_at(t_next);
     double v = v_prev;
     for (int it = 0; it < max_iters; ++it) {
+      ++newton_iters;
       const auto cur = eval_currents(vg, v, inj.nan);
       if (!std::isfinite(cur.i) || !std::isfinite(cur.di_dv)) {
         a.nonfinite = true;
@@ -404,6 +406,8 @@ WaveformResult solve_stage_waveform(const device::DeviceTableSet& tables,
     }
   }
   result.settle_time = t;
+  result.be_steps = steps;
+  result.newton_iters = newton_iters;
 
   // Clip: the propagated waveform starts at the model threshold, taken at
   // or after the coupling drop (paper: "the waveforms start with the value

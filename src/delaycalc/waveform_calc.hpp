@@ -14,6 +14,8 @@
 // waveforms are clipped to start at the model threshold and are monotone.
 #pragma once
 
+#include <cstdint>
+
 #include "delaycalc/coupling_model.hpp"
 #include "device/device_table.hpp"
 #include "util/diag.hpp"
@@ -45,6 +47,11 @@ struct WaveformResult {
   /// bound on the nominal solution.
   bool degraded = false;
   int fallback_steps = 0;   ///< BE steps that needed the fallback chain
+  // Solver work counters (for the sta/metrics layer): accepted BE steps and
+  // total Newton iterations spent on them. Bookkeeping of loop variables the
+  // integrator maintains anyway — they never change the computed waveform.
+  std::uint64_t be_steps = 0;
+  std::uint64_t newton_iters = 0;
 };
 
 struct IntegrationOptions {

@@ -346,7 +346,12 @@ TransientResult simulate(const Circuit& ckt,
                          const device::DeviceTableSet& tables,
                          const TransientOptions& opt) {
   Assembler asem(ckt, tables, opt);
-  std::vector<double> v = dc_operating_point(ckt, tables, opt);
+  util::TraceSpan run_span(opt.trace, "sim.run");
+  std::vector<double> v;
+  {
+    util::TraceSpan dc_span(opt.trace, "sim.dc");
+    v = dc_operating_point(ckt, tables, opt);
+  }
   for (const auto& [node, value] : ckt.initials()) v[node] = value;
 
   TransientResult result(ckt.num_nodes());
@@ -412,6 +417,7 @@ TransientResult simulate(const Circuit& ckt,
     if (!nw.ok) {
       // Damped retry before halving: a hard transition that overshoots
       // full Newton often converges with a limited update.
+      ++result.stats.newton_retries;
       v = v_prev;
       apply_sources(ckt, t_next, v);
       TransientOptions damped = opt;
@@ -434,6 +440,7 @@ TransientResult simulate(const Circuit& ckt,
                "non-finite Newton update at t=" + std::to_string(t));
       }
       h *= 0.5;
+      ++result.stats.step_halvings;
       if (h >= h_min) {
         if (!reported_halving) {
           report(opt, util::DiagCode::kStepHalving, util::Severity::kInfo,
@@ -471,6 +478,7 @@ TransientResult simulate(const Circuit& ckt,
     }
     t = t_next;
     v_prev = v;
+    ++result.stats.accepted_steps;
     if (++recorded >= opt.record_every) {
       result.record(t, v);
       recorded = 0;
@@ -478,6 +486,7 @@ TransientResult simulate(const Circuit& ckt,
     if (h < opt.dt) h = std::min(opt.dt, h * 2.0);
   }
   if (recorded != 0) result.record(t, v);
+  result.stats.holds = holds;
   if (holds > 1) {
     report(opt, util::DiagCode::kTransientHold, util::Severity::kWarning,
            std::to_string(holds) + " zero-order holds in total");

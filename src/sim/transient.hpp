@@ -7,6 +7,7 @@
 // dominant); a dense pivoted LU is the automatic fallback.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "device/device_table.hpp"
@@ -15,6 +16,7 @@
 #include "util/fault_injection.hpp"
 #include "util/pwl.hpp"
 #include "util/run_governor.hpp"
+#include "util/trace.hpp"
 
 namespace xtalk::sim {
 
@@ -41,11 +43,26 @@ struct TransientOptions {
   /// (the recorded prefix is untouched); a hard condition or
   /// kStrictBudget throws util::DiagError instead.
   util::RunGovernor* governor = nullptr;
+  /// Trace buffer for "sim.dc"/"sim.run" spans (borrowed; null = no
+  /// tracing). Single-writer: the simulate() caller's thread.
+  util::TraceBuffer* trace = nullptr;
+};
+
+/// Integration-effort bookkeeping for one simulate() call. Pure counts of
+/// control-flow events that already happen; recording them never perturbs
+/// the integration.
+struct SolverStats {
+  std::uint64_t accepted_steps = 0;  ///< outer BE steps that converged
+  std::uint64_t newton_retries = 0;  ///< damped retries after a failed solve
+  std::uint64_t step_halvings = 0;   ///< h *= 0.5 events
+  std::uint64_t holds = 0;           ///< zero-order holds (kDegrade only)
 };
 
 class TransientResult {
  public:
   TransientResult(std::size_t num_nodes) : num_nodes_(num_nodes) {}
+
+  SolverStats stats;
 
   void record(double t, const std::vector<double>& v);
 

@@ -118,6 +118,16 @@ StaEngine::StaEngine(const DesignView& design, const StaOptions& options)
   pool_ = std::make_unique<util::ThreadPool>(
       util::ThreadPool::resolve_threads(options_.num_threads));
   scratch_.resize(pool_->num_threads());
+  // Observability is decided once per engine: when off, metrics_/trace_
+  // stay null and every instrumentation site below is a null-pointer test.
+  if (!options_.trace_path.empty()) {
+    trace_ = std::make_unique<util::TraceSession>(
+        pool_->num_threads(), options_.trace_events_per_thread);
+  }
+  if (options_.collect_metrics || trace_ != nullptr) {
+    metrics_ = std::make_unique<MetricsRegistry>(pool_->num_threads());
+    pool_->set_timing_enabled(true);
+  }
 }
 
 util::DiagHandle StaEngine::gate_diag(netlist::GateId gate, netlist::NetId out,
@@ -139,21 +149,43 @@ std::vector<delaycalc::ArcResult> StaEngine::compute_arc(
     std::size_t thread_id, const util::DiagHandle& diag) {
   waveform_calcs_.fetch_add(1, std::memory_order_relaxed);
   DelayScratch& scratch = scratch_[thread_id];
+  std::vector<delaycalc::ArcResult> results;
   if (nldm_ != nullptr) {
-    return nldm_->compute(cell, pin, in_rising, input_waveform, load,
-                          &scratch.nldm);
+    results = nldm_->compute(cell, pin, in_rising, input_waveform, load,
+                             &scratch.nldm);
+  } else {
+    try {
+      results =
+          calculator_.compute(cell, pin, in_rising, input_waveform, load,
+                              options_.integration, &scratch.arc, &diag);
+    } catch (const util::DiagError& err) {
+      if (!diag.degrade()) throw;
+      // Unrecoverable solver fault under kDegrade: record it and substitute
+      // the conservative bound.
+      if (diag.sink != nullptr) diag.sink->report(err.diagnostic());
+      results = bound_arc(cell, pin, in_rising, input_waveform, load,
+                          thread_id, diag);
+    }
   }
-  try {
-    return calculator_.compute(cell, pin, in_rising, input_waveform, load,
-                               options_.integration, &scratch.arc, &diag);
-  } catch (const util::DiagError& err) {
-    if (!diag.degrade()) throw;
-    // Unrecoverable solver fault under kDegrade: record it and substitute
-    // the conservative bound.
-    if (diag.sink != nullptr) diag.sink->report(err.diagnostic());
-    return bound_arc(cell, pin, in_rising, input_waveform, load, thread_id,
-                     diag);
+  if (metrics_ != nullptr) {
+    // Pure bookkeeping of counters the solver maintained anyway — per-thread
+    // shards, so no contention and bitwise thread-count-invariant totals.
+    for (const delaycalc::ArcResult& r : results) {
+      metrics_->add(thread_id, EngineCounter::kBeSteps, r.be_steps);
+      metrics_->add(thread_id, EngineCounter::kNewtonIterations,
+                    r.newton_iters);
+      if (r.fallback_steps > 0) {
+        metrics_->add(thread_id, EngineCounter::kFallbackBeSteps,
+                      r.fallback_steps);
+      }
+      if (r.degraded) {
+        metrics_->add(thread_id, EngineCounter::kDegradedArcs);
+      }
+      metrics_->observe(thread_id, EngineHistogram::kFallbackDepth,
+                        r.fallback_steps);
+    }
   }
+  return results;
 }
 
 std::vector<delaycalc::ArcResult> StaEngine::bound_arc(
@@ -412,6 +444,10 @@ void StaEngine::process_gate(netlist::GateId gate_id, const PassConfig& config,
                     ? delaycalc::OutputLoad{base, cc_sum}
                     : classify_coupling(out, out_rising, t_bcs, config,
                                         timing, calculated, base, inf);
+            if (!bcs_degraded && metrics_ != nullptr) {
+              metrics_->add(thread_id,
+                            EngineCounter::kCouplingClassifications);
+            }
             if (load.c_active <= 0.0) {
               // No neighbour can couple: the best-case run *is* the
               // worst-case run (loads identical); skip the second calc.
@@ -442,7 +478,15 @@ void StaEngine::process_gate(netlist::GateId gate_id, const PassConfig& config,
                 const delaycalc::OutputLoad refined =
                     classify_coupling(out, out_rising, t_bcs, config, timing,
                                       calculated, base, settle_upper);
+                if (metrics_ != nullptr) {
+                  metrics_->add(thread_id,
+                                EngineCounter::kCouplingClassifications);
+                }
                 if (refined.c_active < load.c_active - 1e-18) {
+                  if (metrics_ != nullptr) {
+                    metrics_->add(thread_id,
+                                  EngineCounter::kCouplingReclassifications);
+                  }
                   wcs = compute_arc(cell, p, in_rising, in_wave, refined,
                                     thread_id, dh);
                 }
@@ -458,6 +502,9 @@ void StaEngine::process_gate(netlist::GateId gate_id, const PassConfig& config,
     }
   }
   timing[out].calculated = true;
+  if (metrics_ != nullptr) {
+    metrics_->add(thread_id, EngineCounter::kGatesEvaluated);
+  }
 }
 
 void StaEngine::degrade_gate(netlist::GateId gate_id, const PassConfig& config,
@@ -558,6 +605,16 @@ double StaEngine::run_pass(const PassConfig& config,
   const netlist::Netlist& nl = *design_.netlist;
   const device::Technology& tech = design_.tables->tech();
 
+  // Pass span and pass metrics cover the whole pass body (primary-input
+  // init, level loop, endpoint collection); the level spans below nest
+  // inside and account for nearly all of it on real designs.
+  util::TraceSpan pass_span(tbuf(0), "sta.pass", "pass", config.pass_index);
+  if (metrics_ != nullptr) {
+    metrics_->begin_pass(config.pass_index,
+                         waveform_calcs_.load(std::memory_order_relaxed),
+                         gates_reused_.load(std::memory_order_relaxed));
+  }
+
   timing.assign(nl.num_nets(), NetTiming{});
   for (const netlist::NetId pi : nl.primary_inputs()) {
     timing[pi].rise = primary_input_event(tech, options_.input_slew, true);
@@ -610,8 +667,18 @@ double StaEngine::run_pass(const PassConfig& config,
         throw_budget(br, config.pass_index, lvl);
       }
       status.truncated = true;
+      util::trace_instant(tbuf(0), "sta.budget_exhausted", "pass",
+                          config.pass_index,
+                          "level", static_cast<std::int64_t>(lvl));
       break;
     }
+    const std::size_t level_gates = level_begin[lvl + 1] - level_begin[lvl];
+    util::TraceSpan level_span(tbuf(0), "sta.level",
+                               "level", static_cast<std::int64_t>(lvl),
+                               "gates",
+                               static_cast<std::int64_t>(level_gates));
+    const std::uint64_t level_t0 =
+        metrics_ != nullptr ? util::monotonic_ns() : 0;
     pool_->parallel_for(
         level_begin[lvl], level_begin[lvl + 1],
         [&](std::size_t i, std::size_t thread_id) {
@@ -679,6 +746,13 @@ double StaEngine::run_pass(const PassConfig& config,
       calculated[gate.pin_nets[gate.cell->output_pin()]] = 1;
     }
     status.completed_levels = lvl + 1;
+    level_span.finish();
+    if (metrics_ != nullptr) {
+      metrics_->add_level(
+          level_gates,
+          static_cast<double>(util::monotonic_ns() - level_t0) * 1e-9);
+      metrics_->observe(0, EngineHistogram::kLevelGates, level_gates);
+    }
   }
 
   // Endpoint arrivals: D-pin sinks add their Elmore shift, primary outputs
@@ -712,6 +786,21 @@ double StaEngine::run_pass(const PassConfig& config,
       }
     }
   }
+  if (metrics_ != nullptr) {
+    for (const NetTiming& nt : timing) {
+      if (nt.rise.valid) {
+        metrics_->observe(0, EngineHistogram::kPwlPointsPerNet,
+                          nt.rise.waveform.points().size());
+      }
+      if (nt.fall.valid) {
+        metrics_->observe(0, EngineHistogram::kPwlPointsPerNet,
+                          nt.fall.waveform.points().size());
+      }
+    }
+    metrics_->end_pass(waveform_calcs_.load(std::memory_order_relaxed),
+                       gates_reused_.load(std::memory_order_relaxed));
+  }
+
   // A truncation that reached no endpoint at all has no longest path; 0.0
   // (with every endpoint listed untimed) beats leaking -inf into reports.
   if (endpoints.empty()) return 0.0;
@@ -808,6 +897,15 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
   // early-activity update is charged against the same deadline.
   governor_.start();
   const auto t0 = std::chrono::steady_clock::now();
+  // Observability state is per run: an engine reused across runs starts
+  // from empty buffers and zeroed shards each time.
+  if (metrics_ != nullptr) {
+    metrics_->clear();
+    pool_->reset_timing();
+  }
+  if (trace_ != nullptr) trace_->clear();
+  util::TraceSpan run_span(tbuf(0), "sta.run", "mode",
+                           static_cast<std::int64_t>(options_.mode));
   StaResult result;
   waveform_calcs_.store(0, std::memory_order_relaxed);
   missing_sinks_.store(0, std::memory_order_relaxed);
@@ -842,6 +940,7 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
         throw_budget(br, -1, 0);
       }
       if (br == util::BudgetReason::kNone) {
+        util::TraceSpan early_span(tbuf(0), "sta.early_activity");
         const EarlyTimes early =
             compute_early_activity(design_, options_.early);
         early_rise_ = early.rise;
@@ -896,6 +995,7 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
                          const std::vector<char>& active, int basis,
                          std::size_t diag_mark) {
     if (trace_out == nullptr) return;
+    util::TraceSpan span(tbuf(0), "sta.record_pass", "basis", basis);
     PassRecord rec;
     rec.timing = pass_timing;
     rec.active_gates = active;
@@ -977,7 +1077,11 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
       report_truncation(governor_.reason(), 0, st, "bounding pass truncated");
     } else {
       record_pass(timing, no_mask, -1, first_mark);
-      QuietTimes quiet = collect_quiet(timing);
+      QuietTimes quiet;
+      {
+        util::TraceSpan span(tbuf(0), "sta.collect_quiet");
+        quiet = collect_quiet(timing);
+      }
       int basis = 0;  // pass whose timing supplied `quiet` and best_*
 
       std::vector<NetTiming> best_timing = timing;
@@ -994,9 +1098,11 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
         cfg.pass_index = result.passes;
         std::vector<char> active;
         if (options_.esperance) {
+          util::TraceSpan span(tbuf(0), "sta.esperance_mask");
           active = collect_esperance_gates(design_.netlist->num_gates(),
                                            best_timing, best_eps, best,
                                            options_.esperance_window);
+          span.finish();
           cfg.active_gates = &active;
           cfg.previous_timing = &best_timing;
         }
@@ -1028,6 +1134,7 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
           best_timing = timing;
           best_eps = endpoints;
           best_crit = critical;
+          util::TraceSpan span(tbuf(0), "sta.collect_quiet");
           quiet = collect_quiet(timing);
         }
         if (!(delay < delay_old - options_.convergence_eps)) break;
@@ -1042,6 +1149,48 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
   result.critical = critical;
   result.endpoints = std::move(endpoints);
   result.timing = std::move(timing);
+  result.waveform_calculations =
+      waveform_calcs_.load(std::memory_order_relaxed);
+  result.missing_sink_wires = missing_sinks_.load(std::memory_order_relaxed);
+  result.gates_reused = gates_reused_.load(std::memory_order_relaxed);
+  result.budget.governor_checks = governor_.checks();
+
+  // Observability epilogue: close the run span, reduce the metric shards,
+  // and export the Chrome trace — all before the diagnostics snapshot so a
+  // trace-write failure still lands in result.diagnostics.
+  run_span.finish();
+  if (metrics_ != nullptr) {
+    metrics_->reduce_into(&result.metrics);
+    result.metrics.threads = result.threads_used;
+    result.metrics.waveform_calcs = result.waveform_calculations;
+    result.metrics.gates_reused = result.gates_reused;
+    result.metrics.governor_checkpoints = result.budget.governor_checks;
+    result.metrics.run_wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const util::ThreadPool::Timing pt = pool_->timing_total();
+    result.metrics.pool_busy_ns = pt.busy_ns;
+    result.metrics.pool_wait_ns = pt.wait_ns;
+    if (result.metrics.run_wall_seconds > 0.0) {
+      result.metrics.pool_utilization =
+          static_cast<double>(pt.busy_ns) * 1e-9 /
+          (result.metrics.run_wall_seconds *
+           static_cast<double>(pool_->num_threads()));
+    }
+  }
+  if (trace_ != nullptr) {
+    result.metrics.trace_events = trace_->total_events();
+    result.metrics.trace_dropped = trace_->total_dropped();
+    std::string err;
+    if (!trace_->write_chrome_trace(options_.trace_path, "xtalk-sta", &err)) {
+      util::Diagnostic d;
+      d.code = util::DiagCode::kFileError;
+      d.severity = util::Severity::kWarning;
+      d.message = "chrome trace not written: " + err;
+      sink_.report(d);
+    }
+  }
+
   // Thread scheduling permutes sink arrival order; the deterministic sort
   // makes the report identical for any thread count (and lets incremental
   // replays compare equal to from-scratch runs).
@@ -1049,11 +1198,6 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
   std::sort(result.diagnostics.entries.begin(),
             result.diagnostics.entries.end(), util::diagnostic_order);
   result.diagnostics.dropped = sink_.dropped();
-  result.waveform_calculations =
-      waveform_calcs_.load(std::memory_order_relaxed);
-  result.missing_sink_wires = missing_sinks_.load(std::memory_order_relaxed);
-  result.gates_reused = gates_reused_.load(std::memory_order_relaxed);
-  result.budget.governor_checks = governor_.checks();
   governor_.finish();
   result.runtime_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -26,18 +26,21 @@
 #include <cstddef>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "util/diag.hpp"
 #include "util/fault_injection.hpp"
 #include "util/run_governor.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 #include "delaycalc/arc_delay.hpp"
 #include "delaycalc/nldm.hpp"
 #include "extract/parasitics.hpp"
 #include "netlist/levelize.hpp"
 #include "netlist/netlist.hpp"
+#include "sta/metrics.hpp"
 #include "sta/modes.hpp"
 #include "sta/timing_graph.hpp"
 
@@ -121,6 +124,22 @@ struct StaOptions {
   /// test burn wall-clock time at a deterministic serial point so deadline
   /// truncation reproduces bitwise at any thread count.
   util::GovernorHook* governor_hook = nullptr;
+  /// Collect the per-run metrics snapshot (StaResult::metrics): engine
+  /// counters and histograms, the per-pass/per-level breakdown, and
+  /// thread-pool utilization. Accumulated into per-thread shards — cheap,
+  /// but not free, hence default off. Implied on when trace_path is set.
+  /// Never changes computed delays; integer metrics are bitwise
+  /// thread-count invariant like the results themselves.
+  bool collect_metrics = false;
+  /// When non-empty, record per-pass/per-level spans into per-thread ring
+  /// buffers and write a Chrome trace-event JSON file here at the end of a
+  /// completed run (open in chrome://tracing or https://ui.perfetto.dev).
+  /// Empty = tracing fully disabled: no buffers, no clock reads; every
+  /// instrumentation site degrades to one null-pointer test.
+  std::string trace_path;
+  /// Ring capacity per thread [events]. Overflow drops the oldest events
+  /// (counted in metrics.trace_dropped) — it never blocks or reallocates.
+  std::size_t trace_events_per_thread = 1 << 14;
 };
 
 struct EndpointArrival {
@@ -178,6 +197,10 @@ struct StaResult {
     std::vector<netlist::NetId> untimed_endpoints;
   };
   BudgetStatus budget;
+  /// Aggregated observability snapshot (StaOptions::collect_metrics /
+  /// trace_path). Default-constructed — metrics.enabled == false — when the
+  /// run did not collect metrics.
+  MetricsSnapshot metrics;
 };
 
 /// Everything one pass of one run produced, recorded so a later incremental
@@ -250,6 +273,13 @@ class StaEngine {
   /// early-activity update) can start the epoch early and checkpoint its
   /// own loops; run() keeps a pre-started epoch.
   util::RunGovernor& governor() { return governor_; }
+
+  /// Serial-thread trace buffer, for callers wrapping preparatory work
+  /// (IncrementalSta's early update / dirty-set build) in spans on the same
+  /// timeline. Null when tracing is disabled.
+  util::TraceBuffer* trace_buffer() {
+    return trace_ != nullptr ? trace_->buffer(0) : nullptr;
+  }
 
  private:
   struct PassConfig {
@@ -403,6 +433,15 @@ class StaEngine {
   std::once_flag fallback_nldm_once_;
   /// Budget enforcement for this engine's runs (one epoch per run).
   util::RunGovernor governor_;
+  /// Observability (both null when the corresponding option is off, which
+  /// reduces every instrumentation site to a null-pointer test).
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<util::TraceSession> trace_;
+
+  /// Trace buffer of `thread_id`; null when tracing is disabled.
+  util::TraceBuffer* tbuf(std::size_t thread_id) {
+    return trace_ != nullptr ? trace_->buffer(thread_id) : nullptr;
+  }
 };
 
 /// Gates on origin chains of endpoints within `window` of `delay` (the

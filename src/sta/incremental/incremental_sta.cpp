@@ -143,6 +143,8 @@ StaResult IncrementalSta::run() {
     // (StaEngine::run's own start() is idempotent).
     engine.governor().start();
     if (inject_early && !edits.empty()) {
+      util::TraceSpan span(engine.trace_buffer(), "eco.update_early", "edits",
+                           static_cast<std::int64_t>(edits.size()));
       const std::vector<netlist::NetId> moved = update_early(
           view, options_.early, early_seed_gates(*view.netlist, edits),
           early_, &engine.governor());
@@ -164,6 +166,8 @@ StaResult IncrementalSta::run() {
       dirty.seed_net.assign(view.netlist->num_nets(), 0);
       dirty.dirty_net.assign(view.netlist->num_nets(), 0);
     } else {
+      util::TraceSpan span(engine.trace_buffer(), "eco.build_dirty", "edits",
+                           static_cast<std::int64_t>(edits.size()));
       dirty = build_dirty_set(view, options_, edits, extra_seeds);
     }
     stats_.dirty_nets = dirty.dirty_nets;

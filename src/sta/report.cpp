@@ -34,9 +34,16 @@ TableRow row_from_result(AnalysisMode mode, const StaResult& result) {
 
 std::string format_result_summary(const StaResult& result) {
   std::ostringstream os;
-  os << std::fixed << std::setprecision(3) << "longest path "
-     << result.longest_path_delay * 1e9 << " ns (net " << result.critical.net
-     << ", " << (result.critical.rising ? "rise" : "fall") << ")\n";
+  os << std::fixed << std::setprecision(3);
+  if (result.critical.net == netlist::kNoNet) {
+    // A zeroed/empty result has no critical pointer; printing the sentinel
+    // net id (4294967295) here would read as a real — and absurd — net.
+    os << "longest path: none (no timed endpoints)\n";
+  } else {
+    os << "longest path " << result.longest_path_delay * 1e9 << " ns (net "
+       << result.critical.net << ", "
+       << (result.critical.rising ? "rise" : "fall") << ")\n";
+  }
   os << "passes " << result.passes << ", threads " << result.threads_used
      << ", waveform calculations " << result.waveform_calculations;
   if (result.gates_reused > 0) {
@@ -83,6 +90,7 @@ std::string format_result_summary(const StaResult& result) {
          << " more in StaResult::diagnostics\n";
     }
   }
+  os << format_metrics_summary(result.metrics);
   return os.str();
 }
 

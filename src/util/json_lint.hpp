@@ -1,0 +1,41 @@
+#pragma once
+
+// Validation-grade JSON reader. Used by tests and tools to round-trip the
+// JSON this codebase emits (bench reports, Chrome traces) and fail loudly on
+// malformed output. It is a strict recursive-descent parser over the full
+// JSON grammar, not a general-purpose DOM: numbers are kept as double only,
+// and \uXXXX escapes are preserved verbatim rather than decoded.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace xtalk::util {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                            ///< kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+
+  /// Object member lookup; null when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  bool has(std::string_view key) const { return find(key) != nullptr; }
+};
+
+/// Parses `text` (which must be a single JSON value plus optional
+/// whitespace). On failure returns false and describes the problem and its
+/// byte offset in *error when given.
+bool parse_json(std::string_view text, JsonValue* out,
+                std::string* error = nullptr);
+
+}  // namespace xtalk::util

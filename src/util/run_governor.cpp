@@ -70,7 +70,7 @@ void RunGovernor::start() {
   if (started_) return;
   t0_ = std::chrono::steady_clock::now();
   started_ = true;
-  checks_ = 0;
+  checks_.store(0, std::memory_order_relaxed);
   reason_.store(BudgetReason::kNone, std::memory_order_relaxed);
   hard_.store(false, std::memory_order_relaxed);
   abort_.store(false, std::memory_order_relaxed);
@@ -97,8 +97,9 @@ void RunGovernor::exhaust(BudgetReason reason, bool hard) {
 }
 
 BudgetReason RunGovernor::checkpoint(std::size_t work_done) {
-  ++checks_;
-  if (hook_ != nullptr) hook_->on_checkpoint(checks_, work_done);
+  const std::uint64_t check_index =
+      checks_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (hook_ != nullptr) hook_->on_checkpoint(check_index, work_done);
   // Sticky: once exhausted, later checkpoints report the same reason so
   // every caller truncates at one consistent point.
   BudgetReason current = reason_.load(std::memory_order_relaxed);

@@ -169,7 +169,13 @@ class RunGovernor {
   /// so an aborting run stops claiming work mid-level.
   const std::atomic<bool>& abort_flag() const { return abort_; }
 
-  std::uint64_t checks() const { return checks_; }
+  /// Checkpoints seen this run. Readable from any thread (tests, metrics
+  /// snapshots) while checkpoints are still being taken; the count itself
+  /// only ever advances from serial checkpoint sites, so it is bitwise
+  /// thread-count invariant.
+  std::uint64_t checks() const {
+    return checks_.load(std::memory_order_relaxed);
+  }
   double elapsed_seconds() const;
   const RunBudget& budget() const { return budget_; }
 
@@ -186,7 +192,10 @@ class RunGovernor {
   GovernorHook* hook_;     ///< borrowed; may be null (test-only)
   std::chrono::steady_clock::time_point t0_;
   bool started_ = false;
-  std::uint64_t checks_ = 0;
+  // Relaxed atomic: bumped only at serial checkpoints, but read concurrently
+  // by result aggregation and watchdog-adjacent observers — a plain integer
+  // here is a data race under TSan even though the value could not tear.
+  std::atomic<std::uint64_t> checks_{0};
   std::atomic<BudgetReason> reason_{BudgetReason::kNone};
   std::atomic<bool> hard_{false};
   std::atomic<bool> abort_{false};

@@ -2,10 +2,18 @@
 
 #include <algorithm>
 
+#include "util/trace.hpp"
+
 namespace xtalk::util {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t n = std::max<std::size_t>(1, num_threads);
+  busy_ns_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  wait_ns_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    busy_ns_[t].store(0, std::memory_order_relaxed);
+    wait_ns_[t].store(0, std::memory_order_relaxed);
+  }
   workers_.reserve(n - 1);
   for (std::size_t t = 1; t < n; ++t) {
     workers_.emplace_back([this, t] { worker_main(t); });
@@ -27,7 +35,38 @@ std::size_t ThreadPool::resolve_threads(int requested) {
   return hw == 0 ? 1 : hw;
 }
 
+ThreadPool::Timing ThreadPool::timing_total() const {
+  Timing t;
+  const std::size_t n = num_threads();
+  for (std::size_t i = 0; i < n; ++i) {
+    t.busy_ns += busy_ns_[i].load(std::memory_order_relaxed);
+    t.wait_ns += wait_ns_[i].load(std::memory_order_relaxed);
+  }
+  t.loops = loops_.load(std::memory_order_relaxed);
+  return t;
+}
+
+void ThreadPool::reset_timing() {
+  const std::size_t n = num_threads();
+  for (std::size_t i = 0; i < n; ++i) {
+    busy_ns_[i].store(0, std::memory_order_relaxed);
+    wait_ns_[i].store(0, std::memory_order_relaxed);
+  }
+  loops_.store(0, std::memory_order_relaxed);
+}
+
 void ThreadPool::run_loop(std::size_t thread_id) {
+  const bool timed = timing_enabled_.load(std::memory_order_relaxed);
+  std::uint64_t t_enter = 0;
+  if (timed) {
+    t_enter = monotonic_ns();
+    const std::uint64_t dispatched =
+        dispatch_ns_.load(std::memory_order_relaxed);
+    if (t_enter > dispatched) {
+      wait_ns_[thread_id].fetch_add(t_enter - dispatched,
+                                    std::memory_order_relaxed);
+    }
+  }
   const LoopFn& fn = *fn_;
   const std::atomic<bool>* abort = abort_;
   for (;;) {
@@ -40,6 +79,10 @@ void ThreadPool::run_loop(std::size_t thread_id) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!first_error_) first_error_ = std::current_exception();
     }
+  }
+  if (timed) {
+    busy_ns_[thread_id].fetch_add(monotonic_ns() - t_enter,
+                                  std::memory_order_relaxed);
   }
 }
 
@@ -66,10 +109,20 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const LoopFn& fn,
                               const std::atomic<bool>* abort) {
   if (begin >= end) return;
+  const bool timed = timing_enabled_.load(std::memory_order_relaxed);
+  if (timed) {
+    loops_.fetch_add(1, std::memory_order_relaxed);
+    dispatch_ns_.store(monotonic_ns(), std::memory_order_relaxed);
+  }
   if (workers_.empty()) {
+    const std::uint64_t t_enter = timed ? monotonic_ns() : 0;
     for (std::size_t i = begin; i < end; ++i) {
-      if (abort != nullptr && abort->load(std::memory_order_relaxed)) return;
+      if (abort != nullptr && abort->load(std::memory_order_relaxed)) break;
       fn(i, 0);
+    }
+    if (timed) {
+      busy_ns_[0].fetch_add(monotonic_ns() - t_enter,
+                            std::memory_order_relaxed);
     }
     return;
   }

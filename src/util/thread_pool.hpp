@@ -17,8 +17,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -60,11 +62,37 @@ class ThreadPool {
   /// (minimum 1).
   static std::size_t resolve_threads(int requested);
 
+  /// Busy/wait accounting for the trace/metrics layer. `busy_ns` is time
+  /// spent inside run_loop (claiming indices and running fn); `wait_ns` is
+  /// dispatch latency from parallel_for's hand-off to each thread entering
+  /// its loop (queue wait). Measurements, not deterministic quantities.
+  struct Timing {
+    std::uint64_t busy_ns = 0;
+    std::uint64_t wait_ns = 0;
+    std::uint64_t loops = 0;  ///< parallel_for invocations
+  };
+
+  /// Off by default; when off, the only cost per loop is one relaxed load
+  /// per participating thread. Flip only while no loop is in flight.
+  void set_timing_enabled(bool enabled) {
+    timing_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  Timing timing_total() const;
+  void reset_timing();
+
  private:
   void worker_main(std::size_t thread_id);
   void run_loop(std::size_t thread_id);
 
   std::vector<std::thread> workers_;
+
+  // Per-thread timing slots (index == thread id), allocated once in the
+  // constructor so the hot path never touches the allocator.
+  std::atomic<bool> timing_enabled_{false};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> busy_ns_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> wait_ns_;
+  std::atomic<std::uint64_t> loops_{0};
+  std::atomic<std::uint64_t> dispatch_ns_{0};
 
   std::mutex mutex_;
   std::condition_variable start_cv_;

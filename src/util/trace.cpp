@@ -1,0 +1,179 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace xtalk::util {
+
+namespace {
+
+// Event/argument names are expected to be identifier-like literals, but the
+// exporter must never emit broken JSON, so escape defensively anyway.
+void append_json_escaped(std::string& out, const char* s) {
+  out += '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+// Microseconds with nanosecond resolution kept in the fraction.
+void append_micros(std::string& out, std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%llu.%03u",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned>(ns % 1000));
+  out += buf;
+}
+
+void append_event_args(std::string& out, const TraceEvent& e) {
+  if (e.arg0_name == nullptr && e.arg1_name == nullptr) return;
+  out += ",\"args\":{";
+  bool first = true;
+  if (e.arg0_name != nullptr) {
+    append_json_escaped(out, e.arg0_name);
+    out += ':';
+    out += std::to_string(e.arg0);
+    first = false;
+  }
+  if (e.arg1_name != nullptr) {
+    if (!first) out += ',';
+    append_json_escaped(out, e.arg1_name);
+    out += ':';
+    out += std::to_string(e.arg1);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : ring_(std::max<std::size_t>(capacity, 1)) {}
+
+void TraceBuffer::push(const TraceEvent& event) {
+  ring_[next_] = event;
+  next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
+  if (count_ < ring_.size()) {
+    ++count_;
+  } else {
+    ++dropped_;
+  }
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  // Oldest event sits at next_ when the ring has wrapped, at 0 otherwise.
+  const std::size_t start = count_ == ring_.size() ? next_ : 0;
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceBuffer::clear() {
+  next_ = 0;
+  count_ = 0;
+  dropped_ = 0;
+}
+
+TraceSession::TraceSession(std::size_t num_threads,
+                           std::size_t events_per_thread)
+    : base_ns_(monotonic_ns()) {
+  buffers_.reserve(std::max<std::size_t>(num_threads, 1));
+  for (std::size_t t = 0; t < std::max<std::size_t>(num_threads, 1); ++t) {
+    buffers_.push_back(std::make_unique<TraceBuffer>(events_per_thread));
+  }
+}
+
+std::uint64_t TraceSession::total_events() const {
+  std::uint64_t n = 0;
+  for (const auto& b : buffers_) n += b->size();
+  return n;
+}
+
+std::uint64_t TraceSession::total_dropped() const {
+  std::uint64_t n = 0;
+  for (const auto& b : buffers_) n += b->dropped();
+  return n;
+}
+
+void TraceSession::clear() {
+  base_ns_ = monotonic_ns();
+  for (auto& b : buffers_) b->clear();
+}
+
+std::string TraceSession::chrome_trace_json(
+    const std::string& process_name) const {
+  std::string out = "{\"traceEvents\":[";
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":";
+  append_json_escaped(out, process_name.c_str());
+  out += "}}";
+  for (std::size_t t = 0; t < buffers_.size(); ++t) {
+    out += ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    out += std::to_string(t);
+    out += ",\"args\":{\"name\":\"";
+    out += t == 0 ? "engine" : "worker-" + std::to_string(t);
+    out += "\"}}";
+  }
+  for (std::size_t t = 0; t < buffers_.size(); ++t) {
+    for (const TraceEvent& e : buffers_[t]->snapshot()) {
+      // Events recorded before clear()/construction of this session would
+      // have negative relative timestamps; clamp defensively.
+      const std::uint64_t t0 = e.t0_ns >= base_ns_ ? e.t0_ns - base_ns_ : 0;
+      const std::uint64_t t1 = e.t1_ns >= e.t0_ns ? e.t1_ns - e.t0_ns : 0;
+      out += ",{\"name\":";
+      append_json_escaped(out, e.name != nullptr ? e.name : "?");
+      out += ",\"cat\":\"xtalk\"";
+      if (t1 == 0) {
+        out += ",\"ph\":\"i\",\"s\":\"t\"";
+      } else {
+        out += ",\"ph\":\"X\",\"dur\":";
+        append_micros(out, t1);
+      }
+      out += ",\"ts\":";
+      append_micros(out, t0);
+      out += ",\"pid\":0,\"tid\":";
+      out += std::to_string(t);
+      append_event_args(out, e);
+      out += '}';
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool TraceSession::write_chrome_trace(const std::string& path,
+                                      const std::string& process_name,
+                                      std::string* error) const {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << chrome_trace_json(process_name);
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace xtalk::util

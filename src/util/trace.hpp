@@ -1,0 +1,158 @@
+#pragma once
+
+// Low-overhead tracing: RAII spans recorded into fixed-capacity per-thread
+// ring buffers, exported as Chrome trace-event JSON (open the file in
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// Contract:
+//  - One writer per TraceBuffer (the owning thread). push() never locks,
+//    never allocates; overflow overwrites the oldest event and bumps a
+//    dropped counter.
+//  - A null TraceBuffer* means "tracing disabled": TraceSpan degrades to a
+//    single pointer test, no clock reads, no stores. Instrumentation sites
+//    pay one predictable branch when tracing is off.
+//  - Event names and argument names must have static storage duration
+//    (string literals); events store the pointers, not copies.
+//  - snapshot()/write_chrome_trace() are meant for quiescent buffers (after
+//    the instrumented run has joined its workers); they are not synchronized
+//    against a concurrent push().
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xtalk::util {
+
+/// Monotonic timestamp in nanoseconds (steady clock; never goes backwards).
+inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct TraceEvent {
+  const char* name = nullptr;  ///< static lifetime (string literal)
+  std::uint64_t t0_ns = 0;
+  std::uint64_t t1_ns = 0;  ///< == t0_ns marks an instant event
+  const char* arg0_name = nullptr;  ///< null = no argument
+  const char* arg1_name = nullptr;
+  std::int64_t arg0 = 0;
+  std::int64_t arg1 = 0;
+};
+
+/// Fixed-capacity single-writer ring. All storage is allocated up front in
+/// the constructor; push() is a couple of stores plus an index wrap.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity);
+
+  void push(const TraceEvent& event);
+
+  std::size_t capacity() const { return ring_.size(); }
+  std::size_t size() const { return count_; }
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Copies the surviving events oldest-first.
+  std::vector<TraceEvent> snapshot() const;
+  void clear();
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;   ///< next write slot
+  std::size_t count_ = 0;  ///< events currently held (<= capacity)
+  std::uint64_t dropped_ = 0;
+};
+
+/// RAII span. Records [construction, destruction) into `buffer`; a null
+/// buffer disables the span entirely. Not copyable or movable: a span is
+/// pinned to the scope (and thread) that opened it.
+class TraceSpan {
+ public:
+  explicit TraceSpan(TraceBuffer* buffer, const char* name,
+                     const char* arg0_name = nullptr, std::int64_t arg0 = 0,
+                     const char* arg1_name = nullptr, std::int64_t arg1 = 0)
+      : buffer_(buffer) {
+    if (buffer_ == nullptr) return;
+    event_.name = name;
+    event_.arg0_name = arg0_name;
+    event_.arg0 = arg0;
+    event_.arg1_name = arg1_name;
+    event_.arg1 = arg1;
+    event_.t0_ns = monotonic_ns();
+  }
+  ~TraceSpan() { finish(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Ends the span early (idempotent); used when the enclosing scope keeps
+  /// going but the measured phase is over.
+  void finish() {
+    if (buffer_ == nullptr) return;
+    event_.t1_ns = monotonic_ns();
+    if (event_.t1_ns == event_.t0_ns) ++event_.t1_ns;  // keep "X", not "i"
+    buffer_->push(event_);
+    buffer_ = nullptr;
+  }
+
+ private:
+  TraceBuffer* buffer_;
+  TraceEvent event_;
+};
+
+/// Zero-duration marker event ("i" phase in the Chrome viewer).
+inline void trace_instant(TraceBuffer* buffer, const char* name,
+                          const char* arg0_name = nullptr,
+                          std::int64_t arg0 = 0,
+                          const char* arg1_name = nullptr,
+                          std::int64_t arg1 = 0) {
+  if (buffer == nullptr) return;
+  TraceEvent e;
+  e.name = name;
+  e.t0_ns = e.t1_ns = monotonic_ns();
+  e.arg0_name = arg0_name;
+  e.arg0 = arg0;
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  buffer->push(e);
+}
+
+/// One trace per instrumented run: a ring buffer per participating thread
+/// (buffer index == ThreadPool thread id; index 0 is the calling thread).
+class TraceSession {
+ public:
+  TraceSession(std::size_t num_threads, std::size_t events_per_thread);
+
+  std::size_t num_threads() const { return buffers_.size(); }
+  TraceBuffer* buffer(std::size_t thread_id) {
+    return buffers_[thread_id].get();
+  }
+  const TraceBuffer* buffer(std::size_t thread_id) const {
+    return buffers_[thread_id].get();
+  }
+
+  std::uint64_t total_events() const;
+  std::uint64_t total_dropped() const;
+  void clear();
+
+  /// All buffers merged into Chrome trace-event JSON. Timestamps are
+  /// microseconds relative to the session start; tid is the thread index.
+  std::string chrome_trace_json(const std::string& process_name) const;
+
+  /// Writes chrome_trace_json() to `path`. Returns false (and fills *error
+  /// when given) on I/O failure.
+  bool write_chrome_trace(const std::string& path,
+                          const std::string& process_name,
+                          std::string* error = nullptr) const;
+
+ private:
+  std::uint64_t base_ns_;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+};
+
+}  // namespace xtalk::util

@@ -1,0 +1,90 @@
+// Bench JSON schema: every result row must carry the required keys (the
+// machine-readable reports feed dashboards that key on them), the writer's
+// output must round-trip through the strict JSON parser, and the schema
+// assertion must fail loudly on a partial row.
+#include "table_common.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sta/engine.hpp"
+#include "util/json_lint.hpp"
+
+namespace xtalk::bench {
+namespace {
+
+TEST(BenchJson, FilledRowCarriesEveryRequiredKey) {
+  JsonObject row;
+  fill_result_row(row, sta::StaResult{});
+  for (const std::string& key : result_row_required_keys()) {
+    EXPECT_TRUE(row.has(key)) << key;
+  }
+  EXPECT_NO_THROW(assert_result_row_schema(row));
+}
+
+TEST(BenchJson, SchemaAssertionNamesMissingKeys) {
+  JsonObject partial;
+  partial.set("delay_ns", 1.0).set("runtime_s", 0.5);
+  try {
+    assert_result_row_schema(partial);
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("passes"), std::string::npos);
+    EXPECT_NE(what.find("metrics_enabled"), std::string::npos);
+    EXPECT_EQ(what.find("delay_ns"), std::string::npos);
+  }
+}
+
+TEST(BenchJson, ReportRoundTripsThroughStrictParser) {
+  JsonReport report;
+  report.root()
+      .set("benchmark", "round \"trip\"\n")
+      .set("scale", 0.25)
+      .set("nan_field", std::numeric_limits<double>::quiet_NaN());
+  sta::StaResult result;
+  result.longest_path_delay = 3.5e-9;
+  result.passes = 2;
+  result.metrics.enabled = true;
+  result.metrics.counters[static_cast<std::size_t>(
+      sta::EngineCounter::kBeSteps)] = 42;
+  JsonObject& row = report.add_row("modes");
+  row.set("mode", "iterative");
+  fill_result_row(row, result);
+  report.add_row("modes").set("mode", "best_case");
+
+  util::JsonValue root;
+  std::string err;
+  ASSERT_TRUE(util::parse_json(report.to_string(), &root, &err)) << err;
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.find("benchmark")->str, "round \"trip\"\n");
+  EXPECT_EQ(root.find("scale")->number, 0.25);
+  // NaN/inf serialize as null, never as invalid JSON.
+  EXPECT_EQ(root.find("nan_field")->kind, util::JsonValue::Kind::kNull);
+
+  const util::JsonValue* modes = root.find("modes");
+  ASSERT_NE(modes, nullptr);
+  ASSERT_TRUE(modes->is_array());
+  ASSERT_EQ(modes->items.size(), 2u);
+  const util::JsonValue& parsed_row = modes->items[0];
+  for (const std::string& key : result_row_required_keys()) {
+    EXPECT_TRUE(parsed_row.has(key)) << key;
+  }
+  EXPECT_EQ(parsed_row.find("delay_ns")->number, 3.5);
+  EXPECT_EQ(parsed_row.find("be_steps")->number, 42.0);
+  EXPECT_EQ(parsed_row.find("metrics_enabled")->boolean, true);
+  EXPECT_EQ(parsed_row.find("budget_reason")->str, "none");
+}
+
+TEST(BenchJson, KeysPreserveInsertionOrder) {
+  JsonObject row;
+  fill_result_row(row, sta::StaResult{});
+  EXPECT_EQ(row.keys(), result_row_required_keys());
+}
+
+}  // namespace
+}  // namespace xtalk::bench
