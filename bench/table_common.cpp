@@ -172,6 +172,7 @@ const std::vector<std::string>& result_row_required_keys() {
       "waveform_calculations",
       "gates_reused",
       "threads_used",
+      "scheduler",
       "missing_sink_wires",
       "diag_errors",
       "diag_warnings",
@@ -190,6 +191,9 @@ const std::vector<std::string>& result_row_required_keys() {
       "coupling_classifications",
       "coupling_reclassifications",
       "pool_utilization",
+      "pool_busy_ns",
+      "pool_wait_ns",
+      "pool_ready_wait_ns",
       "trace_events",
   };
   return kKeys;
@@ -217,6 +221,7 @@ void fill_result_row(JsonObject& row, const sta::StaResult& result) {
       .set("waveform_calculations", result.waveform_calculations)
       .set("gates_reused", result.gates_reused)
       .set("threads_used", result.threads_used)
+      .set("scheduler", sta::scheduler_name(result.scheduler))
       .set("missing_sink_wires", result.missing_sink_wires)
       .set("diag_errors", result.diagnostics.count(util::Severity::kError))
       .set("diag_warnings", result.diagnostics.count(util::Severity::kWarning))
@@ -239,6 +244,9 @@ void fill_result_row(JsonObject& row, const sta::StaResult& result) {
       .set("coupling_reclassifications",
            m.counter(sta::EngineCounter::kCouplingReclassifications))
       .set("pool_utilization", m.pool_utilization)
+      .set("pool_busy_ns", m.pool_busy_ns)
+      .set("pool_wait_ns", m.pool_wait_ns)
+      .set("pool_ready_wait_ns", m.pool_ready_wait_ns)
       .set("trace_events", m.trace_events);
   assert_result_row_schema(row);
 }

@@ -10,20 +10,29 @@
 // value, and the worst-case waveform is computed and inserted into the
 // victim's event queue. Complexity stays linear in the graph size.
 //
-// The pass is level-parallel: gates of one topological level have all
-// their fanins in earlier levels and write only their own output net, so
-// they run concurrently with a barrier between levels (the "TopoBarrier"
-// schedule of parallel STA engines). Coupling classification reads
-// neighbour nets that may be *computed in the same level*; to stay
-// deterministic for any thread count, it classifies against a snapshot of
-// the per-net calculated flags taken at level start — a same-level
-// neighbour counts as "not calculated", which falls back to §5.1's
-// conservative coupling assumption (or the previous pass's quiet times)
-// regardless of intra-level execution order.
+// The pass is parallel over gates with two interchangeable schedulers
+// (StaOptions::scheduler, following the schedule menu of parallel STA
+// engines): kLevelBarrier runs one parallel-for per topological level with
+// a barrier in between ("TopoBarrier"); kByDependency drops the barriers —
+// a gate is dispatched the moment its fanin countdown (seeded from the
+// dependency DAG) reaches zero ("ByDependency"; kSoftPriority additionally
+// orders the ready queue by level as a hint). Coupling classification
+// reads neighbour nets that may be computed concurrently; to stay
+// deterministic for any thread count AND scheduler, it is anchored to pass
+// start: a neighbour is readable iff its static ready level (driver level
+// + 1; 0 for primary inputs) is <= the victim gate's level — exactly the
+// nets a barrier schedule would have completed before the victim's level —
+// and everything else falls back to §5.1's conservative coupling
+// assumption (or the previous pass's quiet times) regardless of execution
+// order. The dependency DAG carries an edge from every such readable
+// neighbour's driver too, so the dynamic schedule never reads a net the
+// predicate admits before it is actually written.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -69,6 +78,29 @@ enum class DelayModel {
   kNldm,
 };
 
+/// How a pass's gate evaluations are scheduled onto the thread pool. All
+/// three produce bitwise-identical StaResults (including integer metrics
+/// counters) at any thread count — the coupling snapshot is pass-anchored,
+/// so no computed value depends on execution order; only the wall-clock
+/// profile differs.
+enum class Scheduler {
+  /// One parallel-for per topological level with a barrier in between.
+  /// Narrow levels leave workers idle at the barrier (visible in the pool
+  /// wait_ns metrics), but the schedule is the simplest to reason about.
+  kLevelBarrier,
+  /// Dependency-driven: a gate becomes ready when its fanin countdown hits
+  /// zero and runs as soon as a worker is free; no barriers. Governor
+  /// checkpoints become count-based epochs at the same level boundaries.
+  kByDependency,
+  /// kByDependency plus a soft priority: the ready queue prefers lower
+  /// topological levels, approximating the barrier order without its cost.
+  kSoftPriority,
+};
+
+/// Stable lowercase name ("level-barrier", "by-dependency",
+/// "soft-priority") for reports and the bench JSON schema.
+const char* scheduler_name(Scheduler s);
+
 struct StaOptions {
   AnalysisMode mode = AnalysisMode::kOneStep;
   DelayModel delay_model = DelayModel::kTransistorLevel;
@@ -90,10 +122,14 @@ struct StaOptions {
   /// pass plus occasional arc re-evaluations; tightens the bound further.
   bool timing_windows = false;
   EarlyOptions early;
-  /// Worker threads for the level-parallel pass: 0 = one per hardware
-  /// thread, 1 = serial. Results are bit-identical for any value — the
-  /// coupling classification only sees state from completed levels.
+  /// Worker threads for the parallel pass: 0 = one per hardware thread,
+  /// 1 = serial. Results are bit-identical for any value — the coupling
+  /// classification is anchored to pass start (static ready levels).
   int num_threads = 0;
+  /// Gate dispatch schedule (see Scheduler). Bitwise result-invariant;
+  /// kLevelBarrier is the compatible default, kByDependency removes the
+  /// per-level barriers.
+  Scheduler scheduler = Scheduler::kLevelBarrier;
   /// What to do when a delay calculation fails (Newton non-convergence,
   /// NaN escape, solver divergence): kStrict throws util::DiagError on the
   /// first failure; kDegrade walks the solver fallback chain, isolates a
@@ -156,7 +192,10 @@ struct StaResult {
   int passes = 0;                          ///< full BFS passes executed
   std::size_t waveform_calculations = 0;
   double runtime_seconds = 0.0;
-  int threads_used = 1;  ///< resolved worker count of the level-parallel pass
+  int threads_used = 1;  ///< resolved worker count of the parallel pass
+  /// The schedule that produced this result (echo of StaOptions::scheduler;
+  /// results are bitwise identical across all values).
+  Scheduler scheduler = Scheduler::kLevelBarrier;
   /// Sinks encountered during propagation with no entry in the extracted
   /// parasitics (treated as zero wire delay). Nonzero means the extraction
   /// has gaps — investigate instead of trusting the bound.
@@ -329,14 +368,44 @@ class StaEngine {
     std::vector<netlist::NetId> untimed_endpoints;
   };
 
-  /// One full BFS pass (level-parallel); fills `timing` and returns the
-  /// longest-path delay. Checks the run governor at every level boundary;
+  /// One full BFS pass (parallel, scheduler-selected); fills `timing` and
+  /// returns the longest-path delay. Checks the run governor at every
+  /// level boundary (barrier mode) or count-based epoch (dependency mode);
   /// on soft exhaustion finishes nothing further and reports the cut in
   /// `status`; on a hard condition or under kStrictBudget throws
   /// util::DiagError(kBudgetExhausted).
   double run_pass(const PassConfig& config, std::vector<NetTiming>& timing,
                   std::vector<EndpointArrival>& endpoints,
                   EndpointArrival& critical, PassStatus& status);
+
+  /// The per-gate work item shared by both schedulers: esperance skip /
+  /// incremental reuse / process_gate for one gate, on `thread_id`'s
+  /// scratch.
+  using GateTask = std::function<void(netlist::GateId, std::size_t)>;
+
+  /// kLevelBarrier traversal: one pool parallel_for per level, serial
+  /// governor checkpoint (own trace span + governor-wall metric) before
+  /// each, level walls measured strictly around the dispatch.
+  void run_levels(const PassConfig& config, const GateTask& task,
+                  std::vector<NetTiming>& timing, PassStatus& status);
+
+  /// kByDependency / kSoftPriority traversal: seeds the pool's dynamic
+  /// loop from the dependency DAG's roots; each finished gate counts down
+  /// its successors and pushes the ones that hit zero. Governor
+  /// checkpoints fire as count-based epochs when the completed-gate count
+  /// crosses a level boundary — same checkpoint count and truncation
+  /// contract as the barrier schedule ("every gate that starts also
+  /// finishes; the truncated prefix is conservative").
+  void run_dependencies(const PassConfig& config, const GateTask& task,
+                        std::vector<NetTiming>& timing, PassStatus& status);
+
+  /// Build dep_ (once per engine; pure structure). Predecessors of a gate:
+  /// the dedup'd drivers of its timed fanin nets, plus — in coupling-aware
+  /// modes — the drivers of coupling neighbours of its output net with a
+  /// lower gate level (exactly the neighbours the pass-anchored snapshot
+  /// lets classify_coupling read). All edges strictly increase gate level,
+  /// so the graph is acyclic.
+  void build_dep_graph();
 
   /// Incremental reuse decision for one gate in a replayable pass: true iff
   /// every value its evaluation reads is bitwise unchanged from the
@@ -347,23 +416,25 @@ class StaEngine {
   bool gate_reusable(netlist::GateId gate, const PassConfig& config) const;
 
   /// Evaluate every arc of `gate` and merge results into the output net's
-  /// events. `calculated` is the snapshot of per-net calculated flags as of
-  /// the start of the gate's level; `thread_id` selects the scratch.
+  /// events. Thread-safe against other gates of the same pass: coupling
+  /// reads go through the pass-anchored ready-level predicate (see
+  /// classify_coupling); `thread_id` selects the scratch.
   void process_gate(netlist::GateId gate, const PassConfig& config,
-                    std::vector<NetTiming>& timing,
-                    const std::vector<char>& calculated,
-                    std::size_t thread_id);
+                    std::vector<NetTiming>& timing, std::size_t thread_id);
 
   /// Decide the coupling load split for one victim arc evaluation.
-  /// `calculated` is the level-start snapshot (see process_gate).
-  /// `victim_settle_upper` enables the timing-window refinement: an
-  /// aggressor whose earliest opposite activity starts at or after it is
-  /// grounded (pass +inf to disable).
+  /// `victim_level` anchors the snapshot to pass start: a neighbour's
+  /// current-pass timing is readable iff net_ready_level_[neighbour] <=
+  /// victim_level (static structure, identical for every scheduler and
+  /// thread count); otherwise §5.1's conservative assumption or the
+  /// previous pass's quiet times apply. `victim_settle_upper` enables the
+  /// timing-window refinement: an aggressor whose earliest opposite
+  /// activity starts at or after it is grounded (pass +inf to disable).
   delaycalc::OutputLoad classify_coupling(netlist::NetId victim,
                                           bool victim_rising, double t_bcs,
                                           const PassConfig& config,
                                           const std::vector<NetTiming>& timing,
-                                          const std::vector<char>& calculated,
+                                          std::uint32_t victim_level,
                                           double base_cap,
                                           double victim_settle_upper) const;
 
@@ -425,6 +496,24 @@ class StaEngine {
   /// Per-net earliest activity (only when options_.timing_windows is set).
   std::vector<double> early_rise_;
   std::vector<double> early_fall_;
+  /// Pass-anchored coupling snapshot, as static structure: the earliest
+  /// gate level at which net n's current-pass timing is readable. 0 for
+  /// primary inputs (stimulus, set before dispatch), driver level + 1 for
+  /// gate-driven nets, UINT32_MAX for driverless non-PI nets (never
+  /// readable — matching the old per-level snapshot, where such nets never
+  /// got a calculated flag). Built once per engine in run().
+  std::vector<std::uint32_t> net_ready_level_;
+  /// Gate dependency DAG for the kByDependency/kSoftPriority schedulers
+  /// (see build_dep_graph). CSR successors + initial predecessor counts +
+  /// zero-predecessor roots; pure structure, built lazily once per engine.
+  struct DepGraph {
+    bool built = false;
+    std::vector<std::uint32_t> pred_count;   ///< per gate, initial fanin count
+    std::vector<std::uint32_t> succ_offset;  ///< CSR row starts (gates + 1)
+    std::vector<std::uint32_t> succ;         ///< CSR successor gate ids
+    std::vector<util::ThreadPool::ReadyItem> roots;  ///< pred_count == 0
+  };
+  DepGraph dep_;
   /// Bounded thread-safe diagnostic collector (cleared at every run).
   util::DiagSink sink_;
   /// Lazily-built NLDM calculator backing bound_arc in transistor-level

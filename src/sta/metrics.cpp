@@ -82,6 +82,11 @@ void MetricsRegistry::add_level(std::uint64_t gates, double wall_seconds) {
   passes_.back().level_wall_seconds.push_back(wall_seconds);
 }
 
+void MetricsRegistry::add_governor_wall(double wall_seconds) {
+  if (!pass_open_) return;
+  passes_.back().governor_wall_seconds += wall_seconds;
+}
+
 void MetricsRegistry::end_pass(std::uint64_t waveform_calcs,
                                std::uint64_t gates_reused) {
   if (!pass_open_) return;
@@ -164,13 +169,23 @@ std::string format_metrics_summary(const MetricsSnapshot& m) {
        << p.level_gates.size() << " levels, " << p.gates_evaluated
        << " gates";
     if (p.gates_reused > 0) os << " (+" << p.gates_reused << " reused)";
-    os << ", " << p.waveform_calcs << " calcs\n";
+    os << ", " << p.waveform_calcs << " calcs";
+    if (p.governor_wall_seconds > 0.0) {
+      os << ", governor " << std::fixed << std::setprecision(3)
+         << p.governor_wall_seconds << " s";
+    }
+    os << "\n";
   }
   if (m.pool_busy_ns > 0 || m.pool_wait_ns > 0) {
     os << "  pool: utilization " << std::fixed << std::setprecision(1)
        << m.pool_utilization * 100.0 << "% (busy "
        << static_cast<double>(m.pool_busy_ns) * 1e-9 << " s, wait "
-       << static_cast<double>(m.pool_wait_ns) * 1e-9 << " s)\n";
+       << static_cast<double>(m.pool_wait_ns) * 1e-9 << " s";
+    if (m.pool_ready_wait_ns > 0) {
+      os << ", ready-wait " << static_cast<double>(m.pool_ready_wait_ns) * 1e-9
+         << " s";
+    }
+    os << ")\n";
   }
   if (m.trace_events > 0 || m.trace_dropped > 0) {
     os << "  trace: " << m.trace_events << " events (" << m.trace_dropped

@@ -71,7 +71,13 @@ struct PassMetrics {
   std::uint64_t gates_evaluated = 0;
   std::uint64_t gates_reused = 0;
   std::vector<std::uint64_t> level_gates;
+  /// Per-level dispatch wall only — the serial governor checkpoints are
+  /// attributed to governor_wall_seconds instead, so the level walls stay
+  /// an honest Table-2-style breakdown in both scheduler modes.
   std::vector<double> level_wall_seconds;
+  /// Serial governor checkpoint time of this pass (level boundaries in
+  /// barrier mode, count-based epochs in dependency mode).
+  double governor_wall_seconds = 0.0;
 };
 
 /// Aggregated view attached to StaResult::metrics. Default-constructed
@@ -92,7 +98,12 @@ struct MetricsSnapshot {
   double run_wall_seconds = 0.0;
   std::uint64_t pool_busy_ns = 0;
   std::uint64_t pool_wait_ns = 0;
-  /// sum(busy) / (run wall * threads); 0 when unknown.
+  /// Time executed dynamic-dispatch items sat ready in the pool's queue
+  /// before being claimed (kByDependency/kSoftPriority only; 0 otherwise).
+  std::uint64_t pool_ready_wait_ns = 0;
+  /// sum(busy) / (run wall * threads); 0 when unknown. Computed from
+  /// timing_total() at run end — the pool's quiescence contract makes the
+  /// numbers exact, never torn mid-loop.
   double pool_utilization = 0.0;
 
   std::uint64_t trace_events = 0;
@@ -122,6 +133,8 @@ class MetricsRegistry {
   void begin_pass(int pass_index, std::uint64_t waveform_calcs,
                   std::uint64_t gates_reused);
   void add_level(std::uint64_t gates, double wall_seconds);
+  /// Accumulate serial governor-checkpoint time into the open pass.
+  void add_governor_wall(double wall_seconds);
   void end_pass(std::uint64_t waveform_calcs, std::uint64_t gates_reused);
 
   void clear();

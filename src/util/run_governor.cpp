@@ -88,11 +88,19 @@ void RunGovernor::exhaust(BudgetReason reason, bool hard) {
   BudgetReason expected = BudgetReason::kNone;
   // First condition wins and sticks; a later (even harder) condition does
   // not rewrite the reason, but it may still raise the abort flag.
+  //
+  // Release ordering throughout: exhaust() may run on the watchdog thread
+  // while workers poll abort_flag() between items. The abort store is the
+  // publication point — a worker's acquire load of abort_ (thread pool) or
+  // of reason_/hard_ (engine accessors) must observe the reason and hard
+  // bit written before it, otherwise the engine could see "aborted" with a
+  // stale kNone reason and misreport the truncation.
   reason_.compare_exchange_strong(expected, reason,
+                                  std::memory_order_release,
                                   std::memory_order_relaxed);
   if (hard) {
-    hard_.store(true, std::memory_order_relaxed);
-    abort_.store(true, std::memory_order_relaxed);
+    hard_.store(true, std::memory_order_release);
+    abort_.store(true, std::memory_order_release);
   }
 }
 

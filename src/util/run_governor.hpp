@@ -154,19 +154,25 @@ class RunGovernor {
   /// external token this is a handful of pure reads.
   BudgetReason checkpoint(std::size_t work_done);
 
+  // Reason/hard reads are acquire to pair with the release stores in
+  // exhaust(): the watchdog thread may raise the condition, and a reader
+  // (worker observing the abort flag, engine deciding how to truncate)
+  // must see the sticky reason and hard bit that were written before it.
   bool exhausted() const {
-    return reason_.load(std::memory_order_relaxed) != BudgetReason::kNone;
+    return reason_.load(std::memory_order_acquire) != BudgetReason::kNone;
   }
   BudgetReason reason() const {
-    return reason_.load(std::memory_order_relaxed);
+    return reason_.load(std::memory_order_acquire);
   }
   /// True when the exhausted condition is hard (hard RSS cap or hard
   /// cancel): the run must abort rather than return an anytime result.
   bool hard_exhausted() const {
-    return hard_.load(std::memory_order_relaxed);
+    return hard_.load(std::memory_order_acquire);
   }
-  /// Raised on hard conditions; the thread pool polls it between indices
-  /// so an aborting run stops claiming work mid-level.
+  /// Raised on hard conditions; the thread pool polls it with acquire
+  /// ordering between work items (both dispatch modes) so an aborting run
+  /// stops claiming work mid-level and sees the reason/hard stores that
+  /// preceded the flag.
   const std::atomic<bool>& abort_flag() const { return abort_; }
 
   /// Checkpoints seen this run. Readable from any thread (tests, metrics

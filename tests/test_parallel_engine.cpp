@@ -1,12 +1,15 @@
 // Determinism of the level-parallel STA pass: the engine must produce
 // bit-identical results for any thread count (the coupling classification
-// reads a per-level snapshot, so intra-level scheduling cannot leak into
-// the numbers), plus unit coverage of the thread-pool utility itself.
+// is anchored to pass start, so scheduling cannot leak into the numbers),
+// plus unit coverage of the thread-pool utility itself — both dispatch
+// modes: the parallel_for barrier loop and the run_dynamic dependency loop
+// (cross-scheduler engine invariance lives in test_scheduler.cpp).
 #include "sta/engine.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -130,6 +133,136 @@ TEST(ThreadPool, SingleThreadRunsInline) {
     sum += static_cast<int>(i);
   });
   EXPECT_EQ(sum, 45);
+}
+
+TEST(ThreadPoolDynamic, ChainRunsEveryItemExactlyOnce) {
+  // A 1000-item dependency chain seeded with one root: each task publishes
+  // its successor. The loop must drain the whole chain and touch every
+  // item exactly once, at several pool widths.
+  for (const std::size_t width : {1u, 2u, 4u}) {
+    util::ThreadPool pool(width);
+    const std::uint32_t n = 1000;
+    std::vector<std::atomic<int>> hits(n);
+    pool.run_dynamic({{0, 0}}, 1, [&](std::size_t item, std::size_t tid) {
+      ASSERT_LT(tid, pool.num_threads());
+      hits[item].fetch_add(1);
+      if (item + 1 < n) pool.push_ready(static_cast<std::uint32_t>(item) + 1);
+    });
+    for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolDynamic, FanOutCoversEveryItemAndReusesAcrossLoops) {
+  util::ThreadPool pool(4);
+  std::vector<util::ThreadPool::ReadyItem> roots;
+  for (std::uint32_t i = 0; i < 16; ++i) roots.push_back({i, 0});
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::atomic<int>> hits(16 * 8);
+    pool.run_dynamic(roots, 1, [&](std::size_t item, std::size_t) {
+      hits[item].fetch_add(1);
+      // Each root fans out its 7 children 16 + k*16 .. (binary-ish tree
+      // flattened): publish from inside fn only.
+      const std::size_t child = item + 16;
+      if (child < hits.size()) {
+        pool.push_ready(static_cast<std::uint32_t>(child));
+      }
+    });
+    for (const std::atomic<int>& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+  // Empty initial set is a no-op, pool stays usable.
+  std::atomic<int> count{0};
+  pool.run_dynamic({}, 1, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+  pool.parallel_for(0, 8, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPoolDynamic, SingleThreadHonoursPriorityOrder) {
+  // With one thread the dispatch order is fully deterministic: lower
+  // priority buckets drain first among items queued at decision time.
+  util::ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  const std::vector<util::ThreadPool::ReadyItem> roots = {
+      {10, 2}, {11, 0}, {12, 1}, {13, 0}};
+  pool.run_dynamic(roots, 3, [&](std::size_t item, std::size_t tid) {
+    EXPECT_EQ(tid, 0u);
+    order.push_back(item);
+    if (item == 11) pool.push_ready(20, 2);
+    if (item == 13) pool.push_ready(21, 0);  // jumps ahead of bucket 1 and 2
+  });
+  const std::vector<std::size_t> expected = {11, 13, 21, 12, 10, 20};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolDynamic, SoftStopFinishesStartedItemsOnly) {
+  // Once a task raises `stop`, no queued item may be claimed any more, but
+  // everything already started runs to completion ("every item that starts
+  // also finishes"). Single worker makes the cut deterministic.
+  util::ThreadPool pool(1);
+  std::atomic<bool> stop{false};
+  std::vector<std::size_t> ran;
+  std::vector<util::ThreadPool::ReadyItem> roots;
+  for (std::uint32_t i = 0; i < 10; ++i) roots.push_back({i, 0});
+  pool.run_dynamic(
+      roots, 1,
+      [&](std::size_t item, std::size_t) {
+        ran.push_back(item);
+        if (item == 3) stop.store(true, std::memory_order_release);
+      },
+      /*abort=*/nullptr, &stop);
+  const std::vector<std::size_t> expected = {0, 1, 2, 3};
+  EXPECT_EQ(ran, expected);
+}
+
+TEST(ThreadPoolDynamic, AbortStopsClaimingNewItems) {
+  util::ThreadPool pool(2);
+  std::atomic<bool> abort{false};
+  std::atomic<int> ran{0};
+  std::vector<util::ThreadPool::ReadyItem> roots;
+  for (std::uint32_t i = 0; i < 64; ++i) roots.push_back({i, 0});
+  pool.run_dynamic(
+      roots, 1,
+      [&](std::size_t, std::size_t) {
+        if (ran.fetch_add(1) == 0) abort.store(true, std::memory_order_release);
+      },
+      &abort);
+  EXPECT_LT(ran.load(), 64);
+}
+
+TEST(ThreadPoolDynamic, PropagatesFirstExceptionAndStaysUsable) {
+  util::ThreadPool pool(2);
+  std::vector<util::ThreadPool::ReadyItem> roots;
+  for (std::uint32_t i = 0; i < 32; ++i) roots.push_back({i, 0});
+  EXPECT_THROW(
+      pool.run_dynamic(roots, 1,
+                       [&](std::size_t item, std::size_t) {
+                         if (item == 7) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  std::atomic<int> count{0};
+  pool.run_dynamic(roots, 1, [&](std::size_t, std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPoolDynamic, TimingTotalThrowsMidDispatchAndCountsAtQuiescence) {
+  // The quiescence contract of S2: timing_total()/reset_timing() must
+  // refuse to run while a loop is in flight (the per-thread slots are
+  // relaxed and would tear), and must report at quiescence.
+  util::ThreadPool pool(2);
+  pool.set_timing_enabled(true);
+  std::atomic<bool> threw{false};
+  pool.run_dynamic({{0, 0}}, 1, [&](std::size_t, std::size_t) {
+    try {
+      (void)pool.timing_total();
+    } catch (const std::logic_error&) {
+      threw.store(true);
+    }
+  });
+  EXPECT_TRUE(threw.load());
+  const util::ThreadPool::Timing t = pool.timing_total();  // quiescent: fine
+  EXPECT_EQ(t.loops, 1u);
+  pool.reset_timing();
+  EXPECT_EQ(pool.timing_total().loops, 0u);
 }
 
 TEST(ParallelEngine, LevelBucketsPartitionTopoOrder) {

@@ -323,6 +323,54 @@ TEST(GovernedSta, SoftCancelReturnsEmptyAnytimeResult) {
   }
 }
 
+// Arms a one-shot timer at a fixed serial checkpoint that requests a hard
+// cancel from another thread a few milliseconds later — while worker
+// threads are busy inside a dispatch. The governor's watchdog (10 ms poll)
+// turns it into the abort flag the pool polls between items, so this
+// exercises the full hard-abort publication chain concurrently with
+// running workers: CancelToken -> watchdog exhaust() (release stores) ->
+// pool abort poll (acquire) -> engine throw. The ThreadSanitizer smoke
+// preset runs this in both schedulers (see CMakePresets.json sched-smoke).
+class HardCancelTimerHook : public util::GovernorHook {
+ public:
+  HardCancelTimerHook(util::CancelToken* token, std::uint64_t fire_at)
+      : token_(token), fire_at_(fire_at) {}
+  ~HardCancelTimerHook() override {
+    if (timer_.joinable()) timer_.join();
+  }
+  void on_checkpoint(std::uint64_t check_index, std::size_t) override {
+    if (check_index != fire_at_ || timer_.joinable()) return;
+    timer_ = std::thread([token = token_] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(15));
+      token->request(/*hard=*/true);
+    });
+  }
+
+ private:
+  util::CancelToken* token_;
+  std::uint64_t fire_at_;
+  std::thread timer_;
+};
+
+TEST(GovernedSta, HardCancelMidDispatchAbortsBothSchedulers) {
+  for (const Scheduler sched :
+       {Scheduler::kLevelBarrier, Scheduler::kByDependency}) {
+    StaOptions opt = governed_options(AnalysisMode::kIterative, 4);
+    opt.scheduler = sched;
+    util::CancelToken token;
+    HardCancelTimerHook hook(&token, /*fire_at=*/2);
+    opt.cancel = &token;
+    opt.governor_hook = &hook;
+    try {
+      governed_design().run(opt);
+      FAIL() << "expected util::DiagError for " << scheduler_name(sched);
+    } catch (const util::DiagError& e) {
+      EXPECT_EQ(e.diagnostic().code, util::DiagCode::kBudgetExhausted);
+      EXPECT_EQ(e.diagnostic().severity, util::Severity::kError);
+    }
+  }
+}
+
 TEST(GovernedSta, HardCancelAlwaysThrows) {
   StaOptions opt = governed_options(AnalysisMode::kOneStep, 2);
   util::CancelToken token;

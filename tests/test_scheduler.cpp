@@ -1,0 +1,294 @@
+// Scheduler invariance (the dependency-driven dispatch contract): every
+// scheduler — level-barrier, by-dependency, soft-priority — must produce a
+// bitwise-identical StaResult at every thread count: arrivals and waveform
+// points, diagnostics, and the integer metrics counters/histograms
+// (including governor_checks — the dependency mode's count-based epochs
+// fire exactly once per level boundary, matching the barrier schedule).
+// This holds because the coupling classification is anchored to pass start
+// (static ready levels), so no computed value depends on execution order.
+//
+// Fault-injected (degraded) runs are covered too: gate-scoped FaultSpecs
+// fire deterministically regardless of dispatch order. Governor-truncated
+// runs are NOT bitwise across schedulers — the dependency schedule may
+// complete a different (downward-closed) prefix — but both modes must obey
+// the same anytime contract: every gate that starts also finishes, and the
+// truncated prefix is conservative against the converged run.
+#include "sta/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/crosstalk_sta.hpp"
+#include "netlist/circuit_generator.hpp"
+#include "util/fault_injection.hpp"
+
+namespace xtalk::sta {
+namespace {
+
+constexpr Scheduler kAllSchedulers[] = {
+    Scheduler::kLevelBarrier, Scheduler::kByDependency,
+    Scheduler::kSoftPriority};
+
+const core::Design& sched_design() {
+  static const core::Design d =
+      core::Design::generate(netlist::scaled_spec("sched", 91, 350, 12));
+  return d;
+}
+
+StaOptions sched_options(AnalysisMode mode, Scheduler sched, int threads) {
+  StaOptions opt;
+  opt.mode = mode;
+  opt.esperance = true;
+  opt.timing_windows = true;
+  opt.num_threads = threads;
+  opt.scheduler = sched;
+  opt.collect_metrics = true;
+  return opt;
+}
+
+/// Bitwise equality of two results, including everything the metrics layer
+/// guarantees to be deterministic (integer counters, histograms, level
+/// shapes, governor checkpoint count) and the diagnostic stream.
+void expect_identical(const StaResult& a, const StaResult& b) {
+  EXPECT_EQ(a.longest_path_delay, b.longest_path_delay);
+  EXPECT_EQ(a.passes, b.passes);
+  EXPECT_EQ(a.waveform_calculations, b.waveform_calculations);
+  EXPECT_EQ(a.critical.net, b.critical.net);
+  EXPECT_EQ(a.critical.rising, b.critical.rising);
+  EXPECT_EQ(a.critical.arrival, b.critical.arrival);
+  ASSERT_EQ(a.endpoints.size(), b.endpoints.size());
+  for (std::size_t i = 0; i < a.endpoints.size(); ++i) {
+    EXPECT_EQ(a.endpoints[i].net, b.endpoints[i].net);
+    EXPECT_EQ(a.endpoints[i].rising, b.endpoints[i].rising);
+    EXPECT_EQ(a.endpoints[i].arrival, b.endpoints[i].arrival);
+  }
+  ASSERT_EQ(a.timing.size(), b.timing.size());
+  for (std::size_t n = 0; n < a.timing.size(); ++n) {
+    EXPECT_TRUE(net_timing_identical(a.timing[n], b.timing[n])) << "net " << n;
+  }
+
+  // Diagnostics arrive through the same deterministic ordering layer in
+  // both schedulers: same entries, same order.
+  ASSERT_EQ(a.diagnostics.entries.size(), b.diagnostics.entries.size());
+  EXPECT_EQ(a.diagnostics.dropped, b.diagnostics.dropped);
+  for (std::size_t i = 0; i < a.diagnostics.entries.size(); ++i) {
+    EXPECT_EQ(a.diagnostics.entries[i].code, b.diagnostics.entries[i].code)
+        << "diag " << i;
+    EXPECT_EQ(a.diagnostics.entries[i].ctx.gate,
+              b.diagnostics.entries[i].ctx.gate)
+        << "diag " << i;
+  }
+
+  // Governor bookkeeping: complete runs checkpoint once per level boundary
+  // in both modes (count-based epochs == barrier boundaries).
+  EXPECT_EQ(a.budget.exhausted, b.budget.exhausted);
+  EXPECT_EQ(a.budget.governor_checks, b.budget.governor_checks);
+  EXPECT_EQ(a.budget.completed_levels, b.budget.completed_levels);
+  EXPECT_EQ(a.budget.total_levels, b.budget.total_levels);
+
+  // Integer metrics: bitwise invariant like the results themselves.
+  ASSERT_EQ(a.metrics.enabled, b.metrics.enabled);
+  for (std::size_t c = 0; c < kNumEngineCounters; ++c) {
+    EXPECT_EQ(a.metrics.counters[c], b.metrics.counters[c])
+        << engine_counter_name(static_cast<EngineCounter>(c));
+  }
+  for (std::size_t h = 0; h < kNumEngineHistograms; ++h) {
+    const HistogramSummary& ha = a.metrics.histograms[h];
+    const HistogramSummary& hb = b.metrics.histograms[h];
+    EXPECT_EQ(ha.count, hb.count)
+        << engine_histogram_name(static_cast<EngineHistogram>(h));
+    EXPECT_EQ(ha.sum, hb.sum);
+    EXPECT_EQ(ha.min, hb.min);
+    EXPECT_EQ(ha.max, hb.max);
+    EXPECT_EQ(ha.buckets, hb.buckets);
+  }
+  ASSERT_EQ(a.metrics.passes.size(), b.metrics.passes.size());
+  for (std::size_t p = 0; p < a.metrics.passes.size(); ++p) {
+    // Level shapes are structural; wall times are measurements and differ.
+    EXPECT_EQ(a.metrics.passes[p].level_gates, b.metrics.passes[p].level_gates)
+        << "pass " << p;
+    EXPECT_EQ(a.metrics.passes[p].waveform_calcs,
+              b.metrics.passes[p].waveform_calcs)
+        << "pass " << p;
+    EXPECT_EQ(a.metrics.passes[p].gates_evaluated,
+              b.metrics.passes[p].gates_evaluated)
+        << "pass " << p;
+  }
+}
+
+using ArrivalMap = std::map<std::pair<netlist::NetId, bool>, double>;
+
+ArrivalMap arrival_map(const StaResult& r) {
+  ArrivalMap m;
+  for (const EndpointArrival& ep : r.endpoints) {
+    m[{ep.net, ep.rising}] = ep.arrival;
+  }
+  return m;
+}
+
+/// The anytime contract (see test_run_governor): reported arrivals are
+/// never below the converged ones, and every endpoint is either timed or
+/// explicitly untimed.
+void expect_conservative(const StaResult& truncated, const StaResult& full) {
+  const ArrivalMap converged = arrival_map(full);
+  for (const EndpointArrival& ep : truncated.endpoints) {
+    const auto it = converged.find({ep.net, ep.rising});
+    ASSERT_NE(it, converged.end()) << "net " << ep.net;
+    EXPECT_GE(ep.arrival, it->second) << "net " << ep.net;
+  }
+  const std::set<netlist::NetId> untimed(
+      truncated.budget.untimed_endpoints.begin(),
+      truncated.budget.untimed_endpoints.end());
+  std::set<netlist::NetId> timed;
+  for (const EndpointArrival& ep : truncated.endpoints) timed.insert(ep.net);
+  for (const netlist::NetId net : untimed) {
+    EXPECT_EQ(timed.count(net), 0u)
+        << "net " << net << " both timed and untimed";
+  }
+  for (const EndpointArrival& ep : full.endpoints) {
+    EXPECT_TRUE(timed.count(ep.net) == 1 || untimed.count(ep.net) == 1)
+        << "net " << ep.net << " vanished from the truncated result";
+  }
+  EXPECT_TRUE(truncated.budget.conservative);
+}
+
+TEST(SchedulerInvariance, NamesAreStable) {
+  EXPECT_STREQ(scheduler_name(Scheduler::kLevelBarrier), "level-barrier");
+  EXPECT_STREQ(scheduler_name(Scheduler::kByDependency), "by-dependency");
+  EXPECT_STREQ(scheduler_name(Scheduler::kSoftPriority), "soft-priority");
+}
+
+TEST(SchedulerInvariance, BitwiseAcrossSchedulersAndThreadCounts) {
+  for (const AnalysisMode mode :
+       {AnalysisMode::kOneStep, AnalysisMode::kIterative}) {
+    const StaResult reference =
+        sched_design().run(sched_options(mode, Scheduler::kLevelBarrier, 1));
+    EXPECT_EQ(reference.scheduler, Scheduler::kLevelBarrier);
+    for (const Scheduler sched : kAllSchedulers) {
+      for (const int threads : {1, 2, 4}) {
+        const StaResult r =
+            sched_design().run(sched_options(mode, sched, threads));
+        EXPECT_EQ(r.scheduler, sched);
+        EXPECT_EQ(r.threads_used, threads);
+        expect_identical(reference, r);
+      }
+    }
+  }
+}
+
+TEST(SchedulerInvariance, RandomNetlistSweep) {
+  // Independent random circuits (different seeds, sizes, depths): the
+  // invariance is a property of the algorithm, not of one lucky DAG.
+  const struct {
+    std::uint64_t seed;
+    std::size_t cells;
+    std::size_t depth;
+  } specs[] = {{7, 150, 6}, {131, 220, 16}, {977, 90, 4}};
+  for (const auto& s : specs) {
+    const core::Design d = core::Design::generate(
+        netlist::scaled_spec("sweep", s.seed, s.cells, s.depth));
+    const StaResult reference = d.run(
+        sched_options(AnalysisMode::kIterative, Scheduler::kLevelBarrier, 1));
+    for (const Scheduler sched :
+         {Scheduler::kByDependency, Scheduler::kSoftPriority}) {
+      for (const int threads : {2, 4}) {
+        const StaResult r =
+            d.run(sched_options(AnalysisMode::kIterative, sched, threads));
+        expect_identical(reference, r);
+      }
+    }
+  }
+}
+
+/// The `count` deepest combinational gates (small influence cones).
+std::vector<netlist::GateId> deep_gates(const core::Design& design,
+                                        std::size_t count) {
+  const netlist::Netlist& nl = design.netlist();
+  std::vector<netlist::GateId> gates;
+  for (netlist::GateId g = 0; g < nl.num_gates(); ++g) {
+    if (!nl.gate(g).cell->is_sequential()) gates.push_back(g);
+  }
+  std::sort(gates.begin(), gates.end(),
+            [&](netlist::GateId a, netlist::GateId b) {
+              return design.dag().gate_level[a] > design.dag().gate_level[b];
+            });
+  gates.resize(std::min(count, gates.size()));
+  return gates;
+}
+
+TEST(SchedulerInvariance, FaultInjectedDegradedRunsStayInvariant) {
+  // Gate-scoped fault injection fires per-gate deterministically, so the
+  // degraded (fallback-chain / bound-substituted) results must stay bitwise
+  // identical across schedulers and thread counts too — including the
+  // injected-fault diagnostics.
+  util::FaultInjector inj;
+  for (const netlist::GateId g : deep_gates(sched_design(), 4)) {
+    util::FaultSpec spec;
+    spec.kind = util::FaultKind::kNewtonDiverge;
+    spec.gate = static_cast<std::int64_t>(g);
+    inj.add(spec);
+  }
+  for (const AnalysisMode mode :
+       {AnalysisMode::kOneStep, AnalysisMode::kIterative}) {
+    StaOptions ref_opt = sched_options(mode, Scheduler::kLevelBarrier, 1);
+    ref_opt.fault_injector = &inj;
+    const StaResult reference = sched_design().run(ref_opt);
+    EXPECT_GT(reference.diagnostics.entries.size(), 0u);
+    for (const Scheduler sched : kAllSchedulers) {
+      for (const int threads : {1, 2, 4}) {
+        StaOptions opt = sched_options(mode, sched, threads);
+        opt.fault_injector = &inj;
+        const StaResult r = sched_design().run(opt);
+        expect_identical(reference, r);
+      }
+    }
+  }
+}
+
+TEST(SchedulerTruncation, GovernorTruncatedPrefixIsConservativeInBothModes) {
+  // Truncated runs are NOT bitwise across schedulers (the dependency
+  // schedule may finish a different downward-closed prefix before the
+  // epoch checkpoint raises the stop), but both must obey the anytime
+  // contract against the converged run.
+  for (const AnalysisMode mode :
+       {AnalysisMode::kOneStep, AnalysisMode::kIterative}) {
+    const StaResult full =
+        sched_design().run(sched_options(mode, Scheduler::kLevelBarrier, 1));
+    ASSERT_GT(full.waveform_calculations, 10u);
+    for (const Scheduler sched : kAllSchedulers) {
+      for (const int threads : {1, 4}) {
+        StaOptions opt = sched_options(mode, sched, threads);
+        opt.budget.max_waveform_calcs = full.waveform_calculations / 3;
+        const StaResult truncated = sched_design().run(opt);
+        EXPECT_TRUE(truncated.budget.exhausted)
+            << scheduler_name(sched) << " threads " << threads;
+        EXPECT_EQ(truncated.budget.reason, util::BudgetReason::kWaveformCalcs);
+        EXPECT_LT(truncated.waveform_calculations, full.waveform_calculations);
+        expect_conservative(truncated, full);
+      }
+    }
+  }
+}
+
+TEST(SchedulerTruncation, StrictPolicyThrowsInBothModes) {
+  for (const Scheduler sched : kAllSchedulers) {
+    StaOptions opt = sched_options(AnalysisMode::kOneStep, sched, 2);
+    opt.budget.max_waveform_calcs = 1;
+    opt.budget.policy = util::BudgetPolicy::kStrictBudget;
+    try {
+      sched_design().run(opt);
+      FAIL() << "expected util::DiagError for " << scheduler_name(sched);
+    } catch (const util::DiagError& e) {
+      EXPECT_EQ(e.diagnostic().code, util::DiagCode::kBudgetExhausted);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xtalk::sta
