@@ -1,0 +1,342 @@
+// Service load test: one in-process xtalk daemon, several client threads,
+// thousands of mixed requests (cheap slack/endpoint queries, incremental
+// ECO edit+run round trips, budget-capped full runs), measuring throughput,
+// latency percentiles and truncation rates — the service's overload story
+// in numbers.
+//
+// Correctness is checked while the load runs:
+//   - one uncapped full run is compared BITWISE against a local run_sta on
+//     the same design (the service's core invariant),
+//   - client 0 mirrors its ECO session in-process (same edits on a local
+//     DesignEditor + IncrementalSta) and compares every eco_run response
+//     bitwise,
+//   - every truncated response must carry conservative == true.
+//
+// Scale: the default design is the paper's s38417 stand-in;
+// XTALK_BENCH_SCALE (or --scale) shrinks it for smoke runs.
+//
+//   bench_service_load [--requests N] [--clients N] [--scale X]
+//                      [--max-calcs N] [--json PATH]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/crosstalk_sta.hpp"
+#include "netlist/circuit_generator.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "table_common.hpp"
+
+namespace {
+
+using namespace xtalk;
+
+/// Deterministic per-client request mix (no std::random — the mix must not
+/// depend on library implementation).
+class Lcg {
+ public:
+  explicit Lcg(std::uint64_t seed) : state_(seed * 2654435761u + 1) {}
+  std::uint64_t next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 17;
+  }
+  std::uint32_t below(std::uint32_t n) {
+    return static_cast<std::uint32_t>(next() % n);
+  }
+  double unit() { return static_cast<double>(next() % 100000) / 100000.0; }
+
+ private:
+  std::uint64_t state_;
+};
+
+double percentile(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(idx, sorted_ms.size() - 1)];
+}
+
+struct ClientOutcome {
+  std::vector<double> latencies_ms;
+  std::uint64_t full = 0;
+  std::uint64_t eco = 0;
+  std::uint64_t query = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t oracle_checks = 0;
+  std::string error;  ///< first contract violation, empty = clean
+};
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t total_requests = 1200;
+  std::size_t num_clients = 4;
+  double scale = 1.0;
+  if (const char* env = std::getenv("XTALK_BENCH_SCALE")) scale = std::atof(env);
+  std::uint64_t full_run_cap = 20000;
+  const std::string json_path = bench::json_path_from_args(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--requests" && i + 1 < argc) {
+      total_requests = std::stoul(argv[++i]);
+    } else if (arg == "--clients" && i + 1 < argc) {
+      num_clients = std::stoul(argv[++i]);
+    } else if (arg == "--scale" && i + 1 < argc) {
+      scale = std::stod(argv[++i]);
+    } else if (arg == "--max-calcs" && i + 1 < argc) {
+      full_run_cap = std::stoul(argv[++i]);
+    }
+  }
+  num_clients = std::max<std::size_t>(1, num_clients);
+
+  netlist::GeneratorSpec spec = netlist::s38417_like();
+  if (scale != 1.0) {
+    spec = netlist::scaled_spec(
+        "s38417_scaled", spec.seed,
+        std::max<std::size_t>(
+            60, static_cast<std::size_t>(
+                    static_cast<double>(spec.num_cells) * scale)),
+        std::max<std::size_t>(6, static_cast<std::size_t>(
+                                     static_cast<double>(spec.depth) *
+                                     std::sqrt(scale))));
+  }
+  std::cout << "bench_service_load: building " << spec.name << " ("
+            << spec.num_cells << " cells)..." << std::endl;
+  service::DesignSession session(core::Design::generate(spec), spec.name);
+
+  service::ServiceConfig config;
+  config.tcp_port = 0;  // loopback TCP, ephemeral port
+  config.num_executors = 2;
+  config.pool_threads = 1;
+  config.admission.soft_queue = 2;
+  config.admission.overload_max_calcs = full_run_cap / 2;
+  service::XtalkServer server(session, config);
+  server.start();
+  std::cout << "serving on 127.0.0.1:" << server.port() << std::endl;
+
+  // The shared numeric spec of the whole load: queries and ECO sessions all
+  // run one-step mode so baseline caching and incremental replay engage.
+  service::RunSpec run_spec;
+  run_spec.mode = sta::AnalysisMode::kOneStep;
+
+  // Bitwise oracle #1: one uncapped service run against a local run.
+  {
+    service::XtalkClient client =
+        service::XtalkClient::connect_tcp(server.port());
+    const service::RunResultMsg remote = client.run_sta(run_spec);
+    sta::StaOptions options = run_spec.to_options();
+    const sta::StaResult local = sta::run_sta(session.view(), options);
+    if (!bits_equal(remote.longest_path_delay, local.longest_path_delay) ||
+        remote.endpoints.size() != local.endpoints.size()) {
+      std::cerr << "FAIL: service full run is not bitwise identical to the "
+                   "local run\n";
+      return 1;
+    }
+    for (std::size_t i = 0; i < local.endpoints.size(); ++i) {
+      if (!bits_equal(remote.endpoints[i].arrival,
+                      local.endpoints[i].arrival)) {
+        std::cerr << "FAIL: endpoint " << i << " differs bitwise\n";
+        return 1;
+      }
+    }
+    std::cout << "oracle: uncapped service run bitwise identical ("
+              << local.endpoints.size() << " endpoints)" << std::endl;
+  }
+
+  const std::size_t per_client = total_requests / num_clients;
+  std::vector<ClientOutcome> outcomes(num_clients);
+  std::vector<std::thread> clients;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      ClientOutcome& out = outcomes[c];
+      try {
+        service::XtalkClient client =
+            service::XtalkClient::connect_tcp(server.port());
+        Lcg rng(c + 1);
+        const auto view = session.view();
+        const std::uint32_t num_gates =
+            static_cast<std::uint32_t>(view.netlist->num_gates());
+        const std::uint32_t num_nets =
+            static_cast<std::uint32_t>(view.netlist->num_nets());
+
+        const std::uint32_t eco_id = client.eco_open(run_spec);
+        // Client 0 mirrors its ECO session locally and checks every run.
+        std::unique_ptr<sta::incremental::DesignEditor> mirror_editor;
+        std::unique_ptr<sta::incremental::IncrementalSta> mirror_sta;
+        if (c == 0) {
+          mirror_editor = std::make_unique<sta::incremental::DesignEditor>(
+              session.view());
+          mirror_sta = std::make_unique<sta::incremental::IncrementalSta>(
+              *mirror_editor, run_spec.to_options());
+        }
+
+        for (std::size_t i = 0; i < per_client; ++i) {
+          const std::uint32_t dice = rng.below(100);
+          const auto rt0 = std::chrono::steady_clock::now();
+          if (dice < 2) {
+            // Budget-capped full run: the overload path.
+            service::RunSpec capped = run_spec;
+            capped.max_waveform_calcs = full_run_cap;
+            const service::RunResultMsg m = client.run_sta(capped);
+            ++out.full;
+            if (m.budget_exhausted) {
+              ++out.truncated;
+              if (!m.conservative && out.error.empty()) {
+                out.error = "truncated run not conservative";
+              }
+            }
+          } else if (dice < 25) {
+            // ECO round trip: a batch of edits + incremental re-timing.
+            std::vector<service::EcoOp> ops;
+            service::EcoOp op;
+            op.kind = service::EcoOp::Kind::kResizeGate;
+            op.gate = rng.below(num_gates);
+            op.value_a = 0.8 + 0.5 * rng.unit();
+            ops.push_back(op);
+            if (rng.below(2) == 0) {
+              service::EcoOp wire;
+              wire.kind = service::EcoOp::Kind::kSetWireCap;
+              wire.net_a = rng.below(num_nets);
+              wire.value_a = 1e-15 * (1.0 + 20.0 * rng.unit());
+              ops.push_back(wire);
+            }
+            client.eco_edit(eco_id, ops);
+            const service::RunResultMsg m = client.eco_run(eco_id);
+            ++out.eco;
+            if (m.budget_exhausted) ++out.truncated;
+            if (mirror_sta) {
+              for (const service::EcoOp& o : ops) {
+                if (o.kind == service::EcoOp::Kind::kResizeGate) {
+                  mirror_editor->resize_gate(o.gate, o.value_a);
+                } else {
+                  mirror_editor->set_wire_cap(o.net_a, o.value_a);
+                }
+              }
+              const sta::StaResult local = mirror_sta->run();
+              ++out.oracle_checks;
+              if (!m.budget_exhausted &&
+                  !bits_equal(m.longest_path_delay,
+                              local.longest_path_delay) &&
+                  out.error.empty()) {
+                out.error = "ECO run diverged from local incremental run";
+              }
+            }
+          } else if (dice < 40) {
+            // Endpoint dump of the cached baseline.
+            const service::EndpointsMsg m = client.query_endpoints(run_spec);
+            ++out.query;
+            if (m.endpoints.empty() && out.error.empty()) {
+              out.error = "endpoint query returned no endpoints";
+            }
+          } else {
+            // What-if slack probe on a random endpoint net.
+            service::SlackQueryMsg q;
+            q.spec = run_spec;
+            q.net = rng.below(num_nets);
+            q.rising = rng.below(2) == 0;
+            q.required_time = 5e-9;
+            client.query_slack(q);
+            ++out.query;
+          }
+          const auto rt1 = std::chrono::steady_clock::now();
+          out.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(rt1 - rt0).count());
+        }
+        client.eco_close(eco_id);
+      } catch (const std::exception& e) {
+        ++out.failed;
+        if (out.error.empty()) out.error = e.what();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  service::XtalkClient reporter =
+      service::XtalkClient::connect_tcp(server.port());
+  const service::StatsMsg stats = reporter.stats();
+  server.stop();
+
+  bench::ServiceLoadSummary summary;
+  std::vector<double> all_ms;
+  std::uint64_t oracle_checks = 0;
+  bool failed = false;
+  for (const ClientOutcome& out : outcomes) {
+    summary.requests_full += out.full;
+    summary.requests_eco += out.eco;
+    summary.requests_query += out.query;
+    summary.requests_truncated += out.truncated;
+    summary.requests_failed += out.failed;
+    oracle_checks += out.oracle_checks;
+    all_ms.insert(all_ms.end(), out.latencies_ms.begin(),
+                  out.latencies_ms.end());
+    if (!out.error.empty()) {
+      std::cerr << "FAIL: " << out.error << "\n";
+      failed = true;
+    }
+  }
+  summary.requests_total =
+      summary.requests_full + summary.requests_eco + summary.requests_query;
+  summary.truncation_rate =
+      summary.requests_total == 0
+          ? 0.0
+          : static_cast<double>(summary.requests_truncated) /
+                static_cast<double>(summary.requests_total);
+  summary.throughput_rps =
+      elapsed > 0.0 ? static_cast<double>(all_ms.size()) / elapsed : 0.0;
+  std::sort(all_ms.begin(), all_ms.end());
+  summary.latency_p50_ms = percentile(all_ms, 0.50);
+  summary.latency_p99_ms = percentile(all_ms, 0.99);
+  summary.bytes_in = stats.bytes_in;
+  summary.bytes_out = stats.bytes_out;
+
+  std::cout << "requests: " << summary.requests_total << " ("
+            << summary.requests_full << " full, " << summary.requests_eco
+            << " eco, " << summary.requests_query << " query) in " << elapsed
+            << " s\n"
+            << "throughput: " << summary.throughput_rps << " req/s, p50 "
+            << summary.latency_p50_ms << " ms, p99 " << summary.latency_p99_ms
+            << " ms\n"
+            << "truncated: " << summary.requests_truncated << " ("
+            << summary.truncation_rate * 100.0 << "%), degraded admissions: "
+            << stats.requests_degraded_admission
+            << ", queue peak: " << stats.queue_peak << "\n"
+            << "bytes in/out: " << stats.bytes_in << "/" << stats.bytes_out
+            << ", eco oracle checks: " << oracle_checks << "\n";
+
+  bench::JsonReport json;
+  json.root()
+      .set("bench", "service_load")
+      .set("design", spec.name)
+      .set("cells", spec.num_cells)
+      .set("clients", num_clients)
+      .set("executors", config.num_executors)
+      .set("elapsed_s", elapsed)
+      .set("degraded_admissions", stats.requests_degraded_admission)
+      .set("queue_peak", stats.queue_peak)
+      .set("eco_oracle_checks", oracle_checks);
+  bench::fill_service_row(json.add_row("service"), summary);
+  json.write_file(json_path);
+
+  if (summary.requests_failed != 0 || failed) return 1;
+  std::cout << "OK" << std::endl;
+  return 0;
+}

@@ -369,4 +369,52 @@ double run_table_benchmark(const char* table_name,
   return iter;
 }
 
+const std::vector<std::string>& service_row_required_keys() {
+  static const std::vector<std::string> kKeys = {
+      "requests_total",
+      "requests_full",
+      "requests_eco",
+      "requests_query",
+      "requests_truncated",
+      "requests_failed",
+      "truncation_rate",
+      "throughput_rps",
+      "latency_p50_ms",
+      "latency_p99_ms",
+      "bytes_in",
+      "bytes_out",
+  };
+  return kKeys;
+}
+
+void assert_service_row_schema(const JsonObject& row) {
+  std::string missing;
+  for (const std::string& key : service_row_required_keys()) {
+    if (!row.has(key)) {
+      if (!missing.empty()) missing += ", ";
+      missing += key;
+    }
+  }
+  if (!missing.empty()) {
+    throw std::logic_error("bench service row missing required key(s): " +
+                           missing);
+  }
+}
+
+void fill_service_row(JsonObject& row, const ServiceLoadSummary& summary) {
+  row.set("requests_total", summary.requests_total)
+      .set("requests_full", summary.requests_full)
+      .set("requests_eco", summary.requests_eco)
+      .set("requests_query", summary.requests_query)
+      .set("requests_truncated", summary.requests_truncated)
+      .set("requests_failed", summary.requests_failed)
+      .set("truncation_rate", summary.truncation_rate)
+      .set("throughput_rps", summary.throughput_rps)
+      .set("latency_p50_ms", summary.latency_p50_ms)
+      .set("latency_p99_ms", summary.latency_p99_ms)
+      .set("bytes_in", summary.bytes_in)
+      .set("bytes_out", summary.bytes_out);
+  assert_service_row_schema(row);
+}
+
 }  // namespace xtalk::bench

@@ -4,6 +4,7 @@
 // aligned aggressors (paper §6).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -97,5 +98,39 @@ const std::vector<std::string>& result_row_required_keys();
 /// Throws std::logic_error naming every missing required key. Called by
 /// fill_result_row so a bench binary cannot silently emit a partial row.
 void assert_result_row_schema(const JsonObject& row);
+
+// ---------------------------------------------------------------------------
+// Service load-test rows (bench_service_load)
+// ---------------------------------------------------------------------------
+
+/// Aggregate outcome of one service load run, in wire-independent units.
+/// Plain data so the schema helpers stay free of a service-layer
+/// dependency.
+struct ServiceLoadSummary {
+  std::uint64_t requests_total = 0;
+  std::uint64_t requests_full = 0;   ///< kRunSta
+  std::uint64_t requests_eco = 0;    ///< ECO open/edit/run/close round trips
+  std::uint64_t requests_query = 0;  ///< endpoint/slack queries
+  std::uint64_t requests_truncated = 0;
+  std::uint64_t requests_failed = 0;
+  double truncation_rate = 0.0;  ///< truncated / total
+  double throughput_rps = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  std::uint64_t bytes_in = 0;   ///< server-side received bytes
+  std::uint64_t bytes_out = 0;  ///< server-side sent bytes
+};
+
+/// Append a service load summary to a JSON row. Key order is pinned (the
+/// schema test round-trips it); asserts the schema on exit like
+/// fill_result_row.
+void fill_service_row(JsonObject& row, const ServiceLoadSummary& summary);
+
+/// The keys every service row must carry (breaking-change contract, same
+/// rules as result_row_required_keys).
+const std::vector<std::string>& service_row_required_keys();
+
+/// Throws std::logic_error naming every missing required key.
+void assert_service_row_schema(const JsonObject& row);
 
 }  // namespace xtalk::bench

@@ -1,0 +1,97 @@
+// Blocking client for the analysis service.
+//
+// One XtalkClient wraps one connection; every call sends a frame and waits
+// for the matching response (the server echoes the request id, which the
+// client asserts). A kError response surfaces as a thrown ServiceError
+// carrying the protocol error code — the connection itself stays usable,
+// matching the server's recoverable-diagnostics contract (only an
+// unframeable byte stream closes a connection).
+//
+// The raw frame helpers (send_raw/recv_frame) exist for the protocol tests,
+// which need to send deliberately malformed frames.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "util/socket.hpp"
+#include "util/wire.hpp"
+
+namespace xtalk::service {
+
+/// A kError response, thrown to the caller.
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(error_code_name(code)) + ": " +
+                           message),
+        code_(code) {}
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// One received frame, decoded down to the payload body.
+struct FrameView {
+  MsgType type = MsgType::kError;
+  std::uint32_t request_id = 0;
+  std::vector<std::uint8_t> payload;  ///< full payload incl. prologue
+
+  /// A reader positioned at the body (after the prologue).
+  util::WireReader body(const util::WireLimits& limits) const;
+};
+
+class XtalkClient {
+ public:
+  explicit XtalkClient(util::Socket sock, util::WireLimits limits = {});
+
+  static XtalkClient connect_unix(const std::string& path,
+                                  util::WireLimits limits = {});
+  static XtalkClient connect_tcp(std::uint16_t port,
+                                 util::WireLimits limits = {});
+
+  // --- typed requests -----------------------------------------------------
+  HelloOkMsg hello();
+  void ping();
+  RunResultMsg run_sta(const RunSpec& spec);
+  EndpointsMsg query_endpoints(const RunSpec& spec);
+  SlackMsg query_slack(const SlackQueryMsg& query);
+  /// Returns the new session id.
+  std::uint32_t eco_open(const RunSpec& spec);
+  /// Returns the number of ops applied (== ops.size() on success).
+  std::uint32_t eco_edit(std::uint32_t session_id,
+                         const std::vector<EcoOp>& ops);
+  RunResultMsg eco_run(std::uint32_t session_id);
+  void eco_close(std::uint32_t session_id);
+  StatsMsg stats();
+  /// Ask the server to drain and exit (kShutdownOk acknowledges).
+  void shutdown_server();
+
+  // --- raw access (tests) -------------------------------------------------
+  /// Send arbitrary bytes as-is (no framing added).
+  void send_raw(const std::vector<std::uint8_t>& bytes);
+  /// Send a well-formed frame with an explicit payload.
+  void send_frame(MsgType type, std::uint32_t request_id,
+                  const util::WireWriter& body);
+  /// Receive one frame (blocking). Throws util::DiagError on EOF/transport
+  /// errors and ServiceError never (raw frames are not interpreted).
+  FrameView recv_frame();
+
+  util::Socket& socket() { return sock_; }
+  const util::WireLimits& limits() const { return limits_; }
+
+ private:
+  /// Send `body` as `type`, wait for the response, unwrap kError.
+  FrameView transact(MsgType request, const util::WireWriter& body,
+                     MsgType expected_response);
+
+  util::Socket sock_;
+  util::WireLimits limits_;
+  std::uint32_t next_request_id_ = 1;
+};
+
+}  // namespace xtalk::service

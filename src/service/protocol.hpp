@@ -1,0 +1,296 @@
+// Request/response protocol of the analysis service (DESIGN.md §13).
+//
+// Transport framing: every message is one frame — a 4-byte little-endian
+// payload length followed by the payload; the payload starts with
+// [u8 MsgType][u32 request_id] and continues with the type-specific body
+// encoded by util::WireWriter. request_id is chosen by the client and
+// echoed verbatim on the response, so a client may pipeline requests on one
+// connection (the server still executes them in order — ECO edits are
+// order-dependent).
+//
+// Determinism: every double crosses the wire as its IEEE-754 bit pattern
+// (util::wire f64), so a RunResultMsg decoded by the client is *bitwise*
+// the StaResult summary the engine produced — the acceptance invariant
+// "service result == one-shot CLI run" is checked down to the last ulp.
+//
+// Error handling: a malformed body never tears down the connection. The
+// decoder's recoverable sticky error (util::WireReader) is surfaced as an
+// ErrorMsg response (kMalformedFrame) and the connection keeps serving;
+// only an unparseable *frame header* (oversized length) forces a close,
+// since byte-stream resynchronization is impossible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sta/engine.hpp"
+#include "util/wire.hpp"
+
+namespace xtalk::service {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Frame header size on the socket (payload length prefix).
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+enum class MsgType : std::uint8_t {
+  // Requests.
+  kHello = 1,
+  kPing = 2,
+  kRunSta = 3,          ///< full analysis run (RunSpec body)
+  kQueryEndpoints = 4,  ///< all endpoint arrivals of the cached baseline
+  kQuerySlack = 5,      ///< one endpoint's arrival/slack (what-if cheap read)
+  kEcoOpen = 6,         ///< open an incremental ECO session (RunSpec body)
+  kEcoEdit = 7,         ///< apply a batch of edits to a session
+  kEcoRun = 8,          ///< incremental re-timing of a session
+  kEcoClose = 9,
+  kGetStats = 10,
+  kShutdown = 11,       ///< begin drain; listener closes first
+
+  // Responses.
+  kHelloOk = 64,
+  kPong = 65,
+  kRunResult = 66,
+  kEndpoints = 67,
+  kSlack = 68,
+  kEcoOpened = 69,
+  kEcoEditOk = 70,
+  kEcoClosed = 71,
+  kStats = 72,
+  kShutdownOk = 73,
+  kError = 127,
+};
+
+const char* msg_type_name(MsgType t);
+
+/// Protocol-level error classes (ErrorMsg::code). Append only.
+enum class ErrorCode : std::uint8_t {
+  kMalformedFrame = 0,  ///< body failed to decode (reader's sticky error)
+  kUnknownType = 1,     ///< MsgType outside the request range
+  kBadRequest = 2,      ///< decoded fine, semantically invalid
+  kUnknownSession = 3,  ///< ECO session id not open on this connection
+  kEditRejected = 4,    ///< DesignEditor refused the edit (e.g. cycle)
+  kShuttingDown = 5,    ///< server is draining; no new work admitted
+  kInternal = 6,        ///< unexpected exception while serving
+};
+
+const char* error_code_name(ErrorCode code);
+
+// ---------------------------------------------------------------------------
+// Request bodies
+// ---------------------------------------------------------------------------
+
+/// The numeric identity of an analysis request: every StaOptions field that
+/// can change a computed value, plus the result-invariant knobs worth
+/// echoing (scheduler) and per-request observability (trace_path — the
+/// server qualifies it with the request id before running, so two
+/// concurrent requests never clobber each other's trace file).
+/// num_threads is deliberately absent: results are thread-count invariant
+/// and the executor's long-lived pool decides the width.
+struct RunSpec {
+  sta::AnalysisMode mode = sta::AnalysisMode::kOneStep;
+  sta::DelayModel delay_model = sta::DelayModel::kTransistorLevel;
+  sta::Scheduler scheduler = sta::Scheduler::kLevelBarrier;
+  double input_slew = 0.2e-9;
+  double convergence_eps = 0.1e-12;
+  std::int32_t max_passes = 10;
+  bool esperance = false;
+  double esperance_window = 1.0e-9;
+  bool timing_windows = false;
+  double early_sharp_slew = 20e-12;
+  bool early_aiding_assist = true;
+  util::FaultPolicy fault_policy = util::FaultPolicy::kDegrade;
+  /// Per-request budget; zeros = server default. Admission may clamp it
+  /// further under overload (anytime truncation, never an error).
+  double deadline_ms = 0.0;
+  std::uint64_t max_waveform_calcs = 0;
+  util::BudgetPolicy budget_policy = util::BudgetPolicy::kAnytime;
+  bool collect_metrics = false;
+  std::string trace_path;
+
+  /// Materialize as engine options (pool/num_threads left to the caller).
+  sta::StaOptions to_options() const;
+  /// Capture the numeric identity of existing options.
+  static RunSpec from_options(const sta::StaOptions& options);
+  /// Cache key for baseline result sharing: the encoded numeric fields,
+  /// excluding trace_path/collect_metrics (observability never changes
+  /// numbers).
+  std::string cache_key() const;
+
+  void encode(util::WireWriter& w) const;
+  bool decode(util::WireReader& r);
+};
+
+/// One ECO edit operation (mirrors the DesignEditor API).
+struct EcoOp {
+  enum class Kind : std::uint8_t {
+    kResizeGate = 0,      ///< gate, factor
+    kSetWireCap = 1,      ///< net_a, cap
+    kSetCoupling = 2,     ///< net_a, net_b, cap
+    kRemoveCoupling = 3,  ///< net_a, net_b
+    kSetWireRc = 4,       ///< net_a, gate, pin, resistance, cap
+    kRetargetSink = 5,    ///< gate, pin, net_a (new net), resistance, cap
+  };
+  Kind kind = Kind::kResizeGate;
+  std::uint32_t gate = 0;
+  std::uint32_t pin = 0;
+  std::uint32_t net_a = 0;
+  std::uint32_t net_b = 0;
+  double value_a = 0.0;  ///< factor / cap / resistance
+  double value_b = 0.0;  ///< cap of the RC ops
+
+  void encode(util::WireWriter& w) const;
+  bool decode(util::WireReader& r);
+};
+
+struct EcoEditMsg {
+  std::uint32_t session_id = 0;
+  std::vector<EcoOp> ops;
+
+  void encode(util::WireWriter& w) const;
+  bool decode(util::WireReader& r);
+};
+
+struct SlackQueryMsg {
+  RunSpec spec;             ///< which baseline to read (computed on demand)
+  std::uint32_t net = 0;    ///< endpoint net
+  bool rising = true;
+  double required_time = 0.0;  ///< slack = required - arrival
+
+  void encode(util::WireWriter& w) const;
+  bool decode(util::WireReader& r);
+};
+
+// ---------------------------------------------------------------------------
+// Response bodies
+// ---------------------------------------------------------------------------
+
+struct HelloOkMsg {
+  std::uint32_t protocol_version = kProtocolVersion;
+  std::string design_name;
+  std::uint64_t num_gates = 0;
+  std::uint64_t num_nets = 0;
+  std::uint64_t num_levels = 0;
+
+  void encode(util::WireWriter& w) const;
+  bool decode(util::WireReader& r);
+};
+
+struct WireEndpoint {
+  std::uint32_t net = 0;
+  bool rising = true;
+  double arrival = 0.0;
+};
+
+struct WireDiagnostic {
+  std::uint8_t code = 0;
+  std::uint8_t severity = 0;
+  std::int64_t gate = -1;
+  std::int64_t net = -1;
+  std::int32_t level = -1;
+  std::int32_t pass = -1;
+  std::string message;
+};
+
+/// The StaResult summary the service ships: everything a client needs to
+/// reproduce reports and check the bitwise contract — scalar results, the
+/// critical endpoint, *all* endpoint arrivals, the governor's anytime
+/// status, diagnostics, and the qualified trace path the server actually
+/// wrote (empty when tracing was off). Per-net waveforms stay server-side.
+struct RunResultMsg {
+  double longest_path_delay = 0.0;
+  WireEndpoint critical;
+  std::vector<WireEndpoint> endpoints;
+  std::int32_t passes = 0;
+  std::uint64_t waveform_calculations = 0;
+  std::uint64_t gates_reused = 0;
+  double runtime_seconds = 0.0;
+  std::int32_t threads_used = 1;
+  std::uint8_t scheduler = 0;
+  std::uint64_t missing_sink_wires = 0;
+  // Budget / anytime status.
+  bool budget_exhausted = false;
+  std::uint8_t budget_reason = 0;
+  std::int32_t completed_passes = 0;
+  std::uint64_t completed_levels = 0;
+  std::uint64_t total_levels = 0;
+  bool conservative = true;
+  std::uint64_t governor_checks = 0;
+  std::vector<std::uint32_t> untimed_endpoints;
+  // Diagnostics (deterministic order, possibly truncated by the sink cap).
+  std::uint64_t diagnostics_dropped = 0;
+  std::vector<WireDiagnostic> diagnostics;
+  // Observability echo.
+  std::string trace_path;  ///< request-id-qualified path the server wrote
+
+  void encode(util::WireWriter& w) const;
+  bool decode(util::WireReader& r);
+
+  /// Summarize an engine result (trace_path filled by the caller).
+  static RunResultMsg from_result(const sta::StaResult& result);
+};
+
+struct EndpointsMsg {
+  double longest_path_delay = 0.0;
+  WireEndpoint critical;
+  std::vector<WireEndpoint> endpoints;
+
+  void encode(util::WireWriter& w) const;
+  bool decode(util::WireReader& r);
+};
+
+struct SlackMsg {
+  bool valid = false;  ///< endpoint exists in the baseline
+  double arrival = 0.0;
+  double slack = 0.0;
+
+  void encode(util::WireWriter& w) const;
+  bool decode(util::WireReader& r);
+};
+
+/// Server-side counters (kGetStats). All totals since start().
+struct StatsMsg {
+  std::uint64_t requests_total = 0;
+  std::uint64_t requests_ok = 0;
+  std::uint64_t requests_error = 0;
+  std::uint64_t requests_truncated = 0;
+  std::uint64_t requests_degraded_admission = 0;
+  std::uint64_t eco_sessions_open = 0;
+  std::uint64_t connections_total = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t queue_peak = 0;
+  double uptime_seconds = 0.0;
+
+  void encode(util::WireWriter& w) const;
+  bool decode(util::WireReader& r);
+};
+
+struct ErrorMsg {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  void encode(util::WireWriter& w) const;
+  bool decode(util::WireReader& r);
+};
+
+// ---------------------------------------------------------------------------
+// Framing helpers
+// ---------------------------------------------------------------------------
+
+/// Serialize a complete frame: length prefix + [type][request_id][body].
+std::vector<std::uint8_t> make_frame(MsgType type, std::uint32_t request_id,
+                                     const util::WireWriter& body);
+
+/// Parse the payload prologue ([type][request_id]) and leave `r` positioned
+/// at the body. Returns false (reader poisoned) on a bad type byte.
+bool read_prologue(util::WireReader& r, MsgType* type,
+                   std::uint32_t* request_id);
+
+/// Qualify a trace path with the request id so concurrent requests sharing
+/// one StaOptions::trace_path never clobber each other: inserts "-req<id>"
+/// before a trailing ".json", appends it otherwise. Empty stays empty.
+std::string qualified_trace_path(const std::string& path,
+                                 std::uint64_t request_id);
+
+}  // namespace xtalk::service

@@ -1,0 +1,47 @@
+#include "service/session.hpp"
+
+#include <utility>
+
+namespace xtalk::service {
+
+DesignSession::DesignSession(core::Design&& design, std::string name)
+    : design_(std::move(design)), name_(std::move(name)) {}
+
+std::shared_ptr<const sta::StaResult> DesignSession::baseline(
+    const RunSpec& spec, util::ThreadPool* pool) {
+  const std::string key = spec.cache_key();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = baselines_.find(key);
+  if (it != baselines_.end()) return it->second;
+  // Cache miss: compute under the lock. Queries are expected to share a few
+  // specs; serializing the occasional fill is simpler and keeps exactly one
+  // engine per spec (two concurrent fills would produce bitwise-identical
+  // results anyway, but waste a full run).
+  RunSpec numeric = spec;
+  numeric.trace_path.clear();  // cache entries are shared; no per-request file
+  numeric.collect_metrics = false;
+  sta::StaOptions options = numeric.to_options();
+  options.pool = pool;
+  auto result = std::make_shared<sta::StaResult>(
+      sta::run_sta(design_.view(), options));
+  baselines_.emplace(key, result);
+  return result;
+}
+
+std::size_t DesignSession::baselines_cached() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return baselines_.size();
+}
+
+EcoSession::EcoSession(const DesignSession& base, const RunSpec& run_spec,
+                       util::ThreadPool* pool, util::CancelToken* cancel)
+    : spec(run_spec) {
+  editor =
+      std::make_unique<sta::incremental::DesignEditor>(base.design().view());
+  sta::StaOptions options = spec.to_options();
+  options.pool = pool;
+  options.cancel = cancel;
+  sta = std::make_unique<sta::incremental::IncrementalSta>(*editor, options);
+}
+
+}  // namespace xtalk::service

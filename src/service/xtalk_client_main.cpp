@@ -1,0 +1,155 @@
+// xtalk_client: command-line client for a running xtalk_serve.
+//
+//   xtalk_client --socket /tmp/xtalk.sock hello
+//   xtalk_client --socket /tmp/xtalk.sock run --mode one-step
+//   xtalk_client --tcp-port 7380 endpoints
+//   xtalk_client --socket /tmp/xtalk.sock stats
+//   xtalk_client --socket /tmp/xtalk.sock shutdown
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "service/client.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: xtalk_client [--socket PATH | --tcp-port N] COMMAND\n"
+         "commands:\n"
+         "  hello                     design summary\n"
+         "  ping                      liveness check\n"
+         "  run [run options]         full analysis, print summary\n"
+         "  endpoints [run options]   all endpoint arrivals of the baseline\n"
+         "  stats                     server counters\n"
+         "  shutdown                  graceful drain\n"
+         "run options:\n"
+         "  --mode M                  best-case | static | worst-case |\n"
+         "                            one-step | iterative (default one-step)\n"
+         "  --nldm                    table delay model\n"
+         "  --deadline-ms X           per-request deadline budget\n"
+         "  --max-calcs N             per-request waveform-calc budget\n"
+         "  --trace PATH              write a Chrome trace server-side\n";
+}
+
+xtalk::sta::AnalysisMode parse_mode(const std::string& m) {
+  using xtalk::sta::AnalysisMode;
+  if (m == "best-case") return AnalysisMode::kBestCase;
+  if (m == "static") return AnalysisMode::kStaticDoubled;
+  if (m == "worst-case") return AnalysisMode::kWorstCase;
+  if (m == "one-step") return AnalysisMode::kOneStep;
+  if (m == "iterative") return AnalysisMode::kIterative;
+  throw std::runtime_error("unknown mode " + m);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xtalk;
+
+  std::string socket_path = "/tmp/xtalk.sock";
+  bool use_tcp = false;
+  std::uint16_t tcp_port = 0;
+  std::string command;
+  service::RunSpec spec;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = value();
+    } else if (arg == "--tcp-port") {
+      use_tcp = true;
+      tcp_port = static_cast<std::uint16_t>(std::stoul(value()));
+    } else if (arg == "--mode") {
+      spec.mode = parse_mode(value());
+    } else if (arg == "--nldm") {
+      spec.delay_model = sta::DelayModel::kNldm;
+    } else if (arg == "--deadline-ms") {
+      spec.deadline_ms = std::stod(value());
+    } else if (arg == "--max-calcs") {
+      spec.max_waveform_calcs = std::stoul(value());
+    } else if (arg == "--trace") {
+      spec.trace_path = value();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (command.empty() && arg[0] != '-') {
+      command = arg;
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+  if (command.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    service::XtalkClient client =
+        use_tcp ? service::XtalkClient::connect_tcp(tcp_port)
+                : service::XtalkClient::connect_unix(socket_path);
+    if (command == "hello") {
+      const service::HelloOkMsg m = client.hello();
+      std::cout << "design " << m.design_name << ": " << m.num_gates
+                << " gates, " << m.num_nets << " nets, " << m.num_levels
+                << " levels (protocol v" << m.protocol_version << ")\n";
+    } else if (command == "ping") {
+      client.ping();
+      std::cout << "pong\n";
+    } else if (command == "run") {
+      const service::RunResultMsg m = client.run_sta(spec);
+      std::cout << "longest path delay: " << m.longest_path_delay * 1e9
+                << " ns (net " << m.critical.net << ", "
+                << (m.critical.rising ? "rising" : "falling") << ")\n"
+                << "passes: " << m.passes
+                << ", waveform calcs: " << m.waveform_calculations
+                << ", runtime: " << m.runtime_seconds << " s\n";
+      if (m.budget_exhausted) {
+        std::cout << "TRUNCATED (conservative="
+                  << (m.conservative ? "yes" : "no") << ", "
+                  << m.untimed_endpoints.size() << " untimed endpoints)\n";
+      }
+      if (!m.trace_path.empty())
+        std::cout << "trace written to " << m.trace_path << "\n";
+    } else if (command == "endpoints") {
+      const service::EndpointsMsg m = client.query_endpoints(spec);
+      for (const service::WireEndpoint& e : m.endpoints) {
+        std::cout << "net " << e.net << (e.rising ? " r " : " f ")
+                  << e.arrival * 1e9 << " ns\n";
+      }
+      std::cout << "longest path delay: " << m.longest_path_delay * 1e9
+                << " ns\n";
+    } else if (command == "stats") {
+      const service::StatsMsg s = client.stats();
+      std::cout << "requests: " << s.requests_total << " total, "
+                << s.requests_ok << " ok, " << s.requests_error << " error, "
+                << s.requests_truncated << " truncated, "
+                << s.requests_degraded_admission << " degraded\n"
+                << "eco sessions open: " << s.eco_sessions_open
+                << ", connections: " << s.connections_total << "\n"
+                << "bytes in/out: " << s.bytes_in << "/" << s.bytes_out
+                << ", queue peak: " << s.queue_peak << ", uptime: "
+                << s.uptime_seconds << " s\n";
+    } else if (command == "shutdown") {
+      client.shutdown_server();
+      std::cout << "server draining\n";
+    } else {
+      std::cerr << "unknown command " << command << "\n";
+      usage();
+      return 2;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "xtalk_client: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,160 @@
+// xtalk_serve: the long-lived analysis daemon.
+//
+//   xtalk_serve --socket /tmp/xtalk.sock --preset s38417
+//   xtalk_serve --tcp-port 7380 --bench design.bench --executors 4
+//
+// Loads the design ONCE (netlist -> placement -> routing -> extraction ->
+// levelization), then serves analysis requests over the binary protocol
+// until SIGTERM/SIGINT (graceful drain: listener closes first, received
+// requests finish, connections flush) or a client kShutdown.
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/crosstalk_sta.hpp"
+#include "netlist/circuit_generator.hpp"
+#include "service/server.hpp"
+
+namespace {
+
+xtalk::service::XtalkServer* g_server = nullptr;
+
+void on_signal(int) {
+  // request_stop() is async-signal-safe enough for our purpose: it flips an
+  // atomic and writes one byte into the wake pipe.
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+void usage() {
+  std::cerr
+      << "usage: xtalk_serve [options]\n"
+         "  --socket PATH       listen on a unix-domain socket (default\n"
+         "                      /tmp/xtalk.sock when --tcp-port is absent)\n"
+         "  --tcp-port N        listen on loopback TCP instead (0 = pick)\n"
+         "  --preset NAME       synthetic design: s35932 | s38417 | s38584\n"
+         "                      | tiny (default s38417)\n"
+         "  --bench FILE        load a .bench netlist instead of a preset\n"
+         "  --executors N       concurrent request executors (default 2)\n"
+         "  --pool-threads N    worker threads per executor (default 1,\n"
+         "                      0 = hardware concurrency)\n"
+         "  --deadline-ms X     default per-request deadline budget\n"
+         "  --max-calcs N       default per-request waveform-calc budget\n"
+         "  --soft-queue N      admission clamp threshold (default 8)\n"
+         "  --drain-truncate    truncate in-flight runs on shutdown instead\n"
+         "                      of finishing them\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xtalk;
+
+  std::string socket_path;
+  bool use_tcp = false;
+  std::uint16_t tcp_port = 0;
+  std::string preset = "s38417";
+  std::string bench_file;
+  service::ServiceConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      socket_path = value();
+    } else if (arg == "--tcp-port") {
+      use_tcp = true;
+      tcp_port = static_cast<std::uint16_t>(std::stoul(value()));
+    } else if (arg == "--preset") {
+      preset = value();
+    } else if (arg == "--bench") {
+      bench_file = value();
+    } else if (arg == "--executors") {
+      config.num_executors = std::stoul(value());
+    } else if (arg == "--pool-threads") {
+      config.pool_threads = std::stoi(value());
+    } else if (arg == "--deadline-ms") {
+      config.default_budget.deadline_ms = std::stod(value());
+    } else if (arg == "--max-calcs") {
+      config.default_budget.max_waveform_calcs = std::stoul(value());
+    } else if (arg == "--soft-queue") {
+      config.admission.soft_queue = std::stoul(value());
+    } else if (arg == "--drain-truncate") {
+      config.drain = service::DrainPolicy::kTruncate;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+  if (use_tcp) {
+    config.tcp_port = tcp_port;
+  } else {
+    config.unix_path = socket_path.empty() ? "/tmp/xtalk.sock" : socket_path;
+  }
+
+  try {
+    std::string name;
+    core::Design design = [&] {
+      if (!bench_file.empty()) {
+        std::ifstream in(bench_file);
+        if (!in) throw std::runtime_error("cannot open " + bench_file);
+        std::ostringstream text;
+        text << in.rdbuf();
+        name = bench_file;
+        return core::Design::from_bench(text.str());
+      }
+      netlist::GeneratorSpec spec;
+      if (preset == "s35932") {
+        spec = netlist::s35932_like();
+      } else if (preset == "s38417") {
+        spec = netlist::s38417_like();
+      } else if (preset == "s38584") {
+        spec = netlist::s38584_like();
+      } else if (preset == "tiny") {
+        spec = netlist::scaled_spec("tiny", 7, 300, 10);
+      } else {
+        throw std::runtime_error("unknown preset " + preset);
+      }
+      name = spec.name;
+      std::cerr << "xtalk_serve: building " << name << " (" << spec.num_cells
+                << " cells)...\n";
+      return core::Design::generate(spec);
+    }();
+
+    service::DesignSession session(std::move(design), name);
+    service::XtalkServer server(session, config);
+    g_server = &server;
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+    server.start();
+    if (config.unix_path.empty()) {
+      std::cerr << "xtalk_serve: listening on tcp 127.0.0.1:" << server.port()
+                << "\n";
+    } else {
+      std::cerr << "xtalk_serve: listening on " << config.unix_path << "\n";
+    }
+    server.join();
+    g_server = nullptr;
+    const service::StatsMsg s = server.stats_snapshot();
+    std::cerr << "xtalk_serve: drained after " << s.requests_total
+              << " requests (" << s.requests_truncated << " truncated, "
+              << s.requests_error << " errors)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "xtalk_serve: fatal: " << e.what() << "\n";
+    return 1;
+  }
+}

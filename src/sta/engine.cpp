@@ -129,8 +129,13 @@ StaEngine::StaEngine(const DesignView& design, const StaOptions& options)
     nldm_ = std::make_unique<delaycalc::NldmDelayCalculator>(
         delaycalc::NldmLibrary::half_micron(), design.tables->tech());
   }
-  pool_ = std::make_unique<util::ThreadPool>(
-      util::ThreadPool::resolve_threads(options_.num_threads));
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else {
+    owned_pool_ = std::make_unique<util::ThreadPool>(
+        util::ThreadPool::resolve_threads(options_.num_threads));
+    pool_ = owned_pool_.get();
+  }
   scratch_.resize(pool_->num_threads());
   // Observability is decided once per engine: when off, metrics_/trace_
   // stay null and every instrumentation site below is a null-pointer test.
@@ -141,7 +146,15 @@ StaEngine::StaEngine(const DesignView& design, const StaOptions& options)
   if (options_.collect_metrics || trace_ != nullptr) {
     metrics_ = std::make_unique<MetricsRegistry>(pool_->num_threads());
     pool_->set_timing_enabled(true);
+    borrowed_pool_timing_ = owned_pool_ == nullptr;
   }
+}
+
+StaEngine::~StaEngine() {
+  // A borrowed pool outlives this engine; leave its (quiescent) timing
+  // collection the way we found it so later lenders without metrics don't
+  // pay for ours.
+  if (borrowed_pool_timing_) pool_->set_timing_enabled(false);
 }
 
 util::DiagHandle StaEngine::gate_diag(netlist::GateId gate, netlist::NetId out,

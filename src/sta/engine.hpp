@@ -130,6 +130,16 @@ struct StaOptions {
   /// kLevelBarrier is the compatible default, kByDependency removes the
   /// per-level barriers.
   Scheduler scheduler = Scheduler::kLevelBarrier;
+  /// Externally-owned worker pool (borrowed; must outlive the engine). When
+  /// set, the engine runs its parallel passes on it instead of spawning a
+  /// private pool, so a long-lived caller (the analysis service's executor
+  /// threads) pays thread spawn/teardown once, not per request;
+  /// num_threads is then ignored. Exclusivity contract: at most one engine
+  /// may be running on the pool at a time — the engine keeps the per-run
+  /// quiescent-timing contract (reset_timing()/timing_total() only between
+  /// its own loops) but cannot defend against a second concurrent driver.
+  /// Results are bitwise identical for any pool size, shared or owned.
+  util::ThreadPool* pool = nullptr;
   /// What to do when a delay calculation fails (Newton non-convergence,
   /// NaN escape, solver divergence): kStrict throws util::DiagError on the
   /// first failure; kDegrade walks the solver fallback chain, isolates a
@@ -296,6 +306,7 @@ struct DesignView {
 class StaEngine {
  public:
   StaEngine(const DesignView& design, const StaOptions& options);
+  ~StaEngine();
 
   /// Run the configured analysis (single pass for the three baseline modes
   /// and one-step; the convergence loop for iterative). Validates the
@@ -485,7 +496,13 @@ class StaEngine {
   StaOptions options_;
   delaycalc::ArcDelayCalculator calculator_;
   std::unique_ptr<delaycalc::NldmDelayCalculator> nldm_;
-  std::unique_ptr<util::ThreadPool> pool_;
+  /// Owned pool (null when StaOptions::pool lends one); pool_ is the pool
+  /// actually driven — owned_pool_.get() or the borrowed handle.
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_ = nullptr;
+  /// True when this engine flipped timing collection on a *borrowed* pool;
+  /// the destructor flips it back so the lender's cold path stays cold.
+  bool borrowed_pool_timing_ = false;
   std::vector<DelayScratch> scratch_;  ///< one per pool thread
   std::atomic<std::size_t> waveform_calcs_{0};
   std::atomic<std::size_t> gates_reused_{0};

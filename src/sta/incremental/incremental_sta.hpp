@@ -44,6 +44,13 @@ class IncrementalSta {
   const IncrementalStats& stats() const { return stats_; }
   const StaOptions& options() const { return options_; }
 
+  /// Replace the budget for subsequent runs. Unlike the numeric options,
+  /// budgets are safe to vary between runs of one session: an untruncated
+  /// governed run is bitwise an ungoverned one, and a truncated run drops
+  /// the reuse baseline (run() resets the trace), so a later run never
+  /// replays partial results.
+  void set_budget(const util::RunBudget& budget) { options_.budget = budget; }
+
  private:
   DesignEditor* editor_;
   StaOptions options_;

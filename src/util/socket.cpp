@@ -1,0 +1,280 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "util/diag.hpp"
+
+namespace xtalk::util {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  Diagnostic d;
+  d.code = DiagCode::kFileError;
+  d.severity = Severity::kError;
+  d.message = what + ": " + std::strerror(errno);
+  throw DiagError(std::move(d));
+}
+
+std::string errno_text(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::set_nonblocking(bool nonblocking) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int wanted = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted != flags && ::fcntl(fd_, F_SETFL, wanted) < 0) {
+    throw_errno("fcntl(F_SETFL)");
+  }
+}
+
+std::ptrdiff_t Socket::recv_some(void* buf, std::size_t n, bool* would_block,
+                                 std::string* error) {
+  *would_block = false;
+  for (;;) {
+    const ssize_t got = ::read(fd_, buf, n);
+    if (got >= 0) return got;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *would_block = true;
+      return -1;
+    }
+    if (error != nullptr) *error = errno_text("read");
+    return -1;
+  }
+}
+
+std::ptrdiff_t Socket::send_some(const void* buf, std::size_t n,
+                                 bool* would_block, std::string* error) {
+  *would_block = false;
+  for (;;) {
+    // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE, not SIGPIPE.
+    const ssize_t put = ::send(fd_, buf, n, MSG_NOSIGNAL);
+    if (put >= 0) return put;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *would_block = true;
+      return -1;
+    }
+    if (error != nullptr) *error = errno_text("send");
+    return -1;
+  }
+}
+
+void Socket::send_all(const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (n > 0) {
+    bool would_block = false;
+    std::string error;
+    const std::ptrdiff_t put = send_some(p, n, &would_block, &error);
+    if (put < 0) {
+      if (would_block) continue;  // blocking socket: retry is a spurious wake
+      Diagnostic d;
+      d.code = DiagCode::kFileError;
+      d.severity = Severity::kError;
+      d.message = error;
+      throw DiagError(std::move(d));
+    }
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+}
+
+void Socket::recv_exact(void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  while (n > 0) {
+    bool would_block = false;
+    std::string error;
+    const std::ptrdiff_t got = recv_some(p, n, &would_block, &error);
+    if (got == 0) {
+      Diagnostic d;
+      d.code = DiagCode::kFileError;
+      d.severity = Severity::kError;
+      d.message = "connection closed mid-frame (" + std::to_string(n) +
+                  " bytes outstanding)";
+      throw DiagError(std::move(d));
+    }
+    if (got < 0) {
+      if (would_block) continue;
+      Diagnostic d;
+      d.code = DiagCode::kFileError;
+      d.severity = Severity::kError;
+      d.message = error;
+      throw DiagError(std::move(d));
+    }
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+}
+
+Listener Listener::unix_domain(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    Diagnostic d;
+    d.code = DiagCode::kFileError;
+    d.severity = Severity::kError;
+    d.message = "unix socket path too long: " + path;
+    throw DiagError(std::move(d));
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // stale file from a crashed daemon
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(s.fd(), backlog) < 0) throw_errno("listen(" + path + ")");
+  s.set_nonblocking(true);
+
+  Listener l;
+  l.socket_ = std::move(s);
+  l.unix_path_ = path;
+  return l;
+}
+
+Listener Listener::tcp_loopback(std::uint16_t port, int backlog) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(s.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    throw_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  if (::listen(s.fd(), backlog) < 0) throw_errno("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  s.set_nonblocking(true);
+
+  Listener l;
+  l.socket_ = std::move(s);
+  l.port_ = ntohs(addr.sin_port);
+  return l;
+}
+
+Listener::~Listener() { close(); }
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    socket_ = std::move(other.socket_);
+    unix_path_ = std::move(other.unix_path_);
+    port_ = other.port_;
+    other.unix_path_.clear();
+  }
+  return *this;
+}
+
+Socket Listener::accept_nonblocking() {
+  for (;;) {
+    const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket s(fd);
+      s.set_nonblocking(true);
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return s;
+    }
+    if (errno == EINTR) continue;
+    return Socket();  // EAGAIN and transient accept errors: nothing pending
+  }
+}
+
+void Listener::close() {
+  socket_.close();
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+Socket connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    Diagnostic d;
+    d.code = DiagCode::kFileError;
+    d.severity = Severity::kError;
+    d.message = "unix socket path too long: " + path;
+    throw DiagError(std::move(d));
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket(AF_UNIX)");
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    throw_errno("connect(" + path + ")");
+  }
+  return s;
+}
+
+Socket connect_tcp_loopback(std::uint16_t port) {
+  Socket s(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!s.valid()) throw_errno("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    throw_errno("connect(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  const int one = 1;
+  ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return s;
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  if (::pipe(fds) < 0) throw_errno("pipe");
+  read_ = Socket(fds[0]);
+  write_ = Socket(fds[1]);
+  read_.set_nonblocking(true);
+  write_.set_nonblocking(true);
+}
+
+void WakePipe::notify() {
+  const char b = 1;
+  // Best-effort: a full pipe already guarantees a pending wake.
+  [[maybe_unused]] const ssize_t rc = ::write(write_.fd(), &b, 1);
+}
+
+void WakePipe::drain() {
+  char buf[256];
+  for (;;) {
+    const ssize_t got = ::read(read_.fd(), buf, sizeof(buf));
+    if (got <= 0) return;
+  }
+}
+
+}  // namespace xtalk::util

@@ -162,15 +162,29 @@ std::string TraceSession::chrome_trace_json(
 bool TraceSession::write_chrome_trace(const std::string& path,
                                       const std::string& process_name,
                                       std::string* error) const {
-  std::ofstream out(path);
-  if (!out) {
-    if (error != nullptr) *error = "cannot open " + path + " for writing";
-    return false;
+  // Write-then-rename: a failed or interrupted export must never leave a
+  // truncated (corrupt) JSON file at `path` — the reader either sees the
+  // previous complete trace or the new complete trace, and failures surface
+  // through the return value (the engine turns it into a diagnostic).
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) *error = "cannot open " + tmp + " for writing";
+      return false;
+    }
+    out << chrome_trace_json(process_name);
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      if (error != nullptr) *error = "write to " + tmp + " failed";
+      return false;
+    }
   }
-  out << chrome_trace_json(process_name);
-  out.flush();
-  if (!out) {
-    if (error != nullptr) *error = "write to " + path + " failed";
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    if (error != nullptr) *error = "rename " + tmp + " -> " + path + " failed";
     return false;
   }
   return true;

@@ -1,0 +1,180 @@
+#include "util/wire.hpp"
+
+#include <cstring>
+
+namespace xtalk::util {
+
+void WireWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void WireWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void WireWriter::bytes(const void* data, std::size_t n) {
+  u32(static_cast<std::uint32_t>(n));
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+bool WireReader::take(std::size_t n, const std::uint8_t** out) {
+  if (!ok_) return false;
+  if (size_ - pos_ < n) {
+    ok_ = false;
+    error_at_ = pos_;
+    error_ = "truncated frame: need " + std::to_string(n) + " bytes at offset " +
+             std::to_string(pos_) + ", have " + std::to_string(size_ - pos_);
+    return false;
+  }
+  *out = data_ + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool WireReader::u8(std::uint8_t* out) {
+  const std::uint8_t* p;
+  if (!take(1, &p)) return false;
+  *out = p[0];
+  return true;
+}
+
+bool WireReader::u16(std::uint16_t* out) {
+  const std::uint8_t* p;
+  if (!take(2, &p)) return false;
+  *out = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+  return true;
+}
+
+bool WireReader::u32(std::uint32_t* out) {
+  const std::uint8_t* p;
+  if (!take(4, &p)) return false;
+  *out = static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+  return true;
+}
+
+bool WireReader::u64(std::uint64_t* out) {
+  const std::uint8_t* p;
+  if (!take(8, &p)) return false;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  *out = v;
+  return true;
+}
+
+bool WireReader::i32(std::int32_t* out) {
+  std::uint32_t v;
+  if (!u32(&v)) return false;
+  *out = static_cast<std::int32_t>(v);
+  return true;
+}
+
+bool WireReader::i64(std::int64_t* out) {
+  std::uint64_t v;
+  if (!u64(&v)) return false;
+  *out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+bool WireReader::f64(double* out) {
+  std::uint64_t bits;
+  if (!u64(&bits)) return false;
+  std::memcpy(out, &bits, sizeof(*out));
+  return true;
+}
+
+bool WireReader::boolean(bool* out) {
+  std::uint8_t v;
+  if (!u8(&v)) return false;
+  if (v > 1) {
+    fail("boolean field holds " + std::to_string(v));
+    return false;
+  }
+  *out = v != 0;
+  return true;
+}
+
+bool WireReader::str(std::string* out) {
+  std::uint32_t n;
+  if (!u32(&n)) return false;
+  if (n > limits_.max_string_bytes) {
+    fail("string length " + std::to_string(n) + " exceeds limit " +
+         std::to_string(limits_.max_string_bytes));
+    return false;
+  }
+  const std::uint8_t* p;
+  if (!take(n, &p)) return false;
+  out->assign(reinterpret_cast<const char*>(p), n);
+  return true;
+}
+
+bool WireReader::array(std::uint32_t* count, std::size_t min_item_bytes) {
+  std::uint32_t n;
+  if (!u32(&n)) return false;
+  if (n > limits_.max_array_items) {
+    fail("array count " + std::to_string(n) + " exceeds limit " +
+         std::to_string(limits_.max_array_items));
+    return false;
+  }
+  if (min_item_bytes > 0 && static_cast<std::size_t>(n) * min_item_bytes > remaining()) {
+    fail("array count " + std::to_string(n) + " cannot fit in " +
+         std::to_string(remaining()) + " remaining bytes");
+    return false;
+  }
+  *count = n;
+  return true;
+}
+
+bool WireReader::enum8(std::uint8_t* out, std::uint8_t limit) {
+  std::uint8_t v;
+  if (!u8(&v)) return false;
+  if (v >= limit) {
+    fail("enum value " + std::to_string(v) + " out of range [0, " +
+         std::to_string(limit) + ")");
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool WireReader::finish() {
+  if (!ok_) return false;
+  if (pos_ != size_) {
+    fail(std::to_string(size_ - pos_) + " trailing bytes after last field");
+    return false;
+  }
+  return true;
+}
+
+void WireReader::fail(const std::string& message) {
+  if (!ok_) return;  // first error sticks
+  ok_ = false;
+  error_at_ = pos_;
+  error_ = message;
+}
+
+}  // namespace xtalk::util

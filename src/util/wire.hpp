@@ -1,0 +1,120 @@
+// Binary wire format for the analysis service (src/service/).
+//
+// Frames on the socket are length-prefixed: a 4-byte little-endian payload
+// length followed by that many payload bytes. Inside a payload every value
+// is encoded explicitly (no struct memcpy, no padding, no host-endian
+// reads), so the format is stable across compilers and platforms:
+//
+//   u8/u16/u32/u64   little-endian fixed-width integers
+//   i32/i64          two's-complement, same widths
+//   f64              the IEEE-754 bit pattern as u64 — doubles round-trip
+//                    *bitwise*, which is what lets the service guarantee
+//                    results identical to a local run down to the last ulp
+//   str/bytes        u32 length + raw bytes (length capped by WireLimits)
+//
+// Decoding follows the recoverable-diagnostics style of util::ParseDiag:
+// WireReader never throws and never reads out of bounds. The first
+// malformed read sets a sticky error (message + byte offset), every later
+// getter becomes a no-op returning false, and the caller turns the sticky
+// error into a protocol-level error response instead of tearing down the
+// process. Limits bound what a hostile peer can make the decoder allocate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xtalk::util {
+
+/// Decoder resource limits (the wire-format analogue of ParseLimits). The
+/// defaults are far above anything the protocol legitimately sends; a limit
+/// hit is a malformed frame, not a resizable buffer.
+struct WireLimits {
+  std::size_t max_frame_bytes = 64u << 20;   ///< payload bytes per frame
+  std::size_t max_string_bytes = 8u << 20;   ///< bytes of one str/bytes field
+  std::size_t max_array_items = 4u << 20;    ///< items of one length-prefixed array
+};
+
+/// Append-only encoder. Storage grows geometrically; data() is the payload
+/// (without the frame length prefix — framing belongs to the transport).
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  /// IEEE-754 bit pattern; NaNs round-trip payload-exact.
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(const std::string& s);
+  void bytes(const void* data, std::size_t n);
+  /// Array header: element count (decoder enforces max_array_items).
+  void array(std::size_t n) { u32(static_cast<std::uint32_t>(n)); }
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+  void clear() { buf_.clear(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked cursor over one frame payload. All getters return false
+/// (leaving the output untouched) once the sticky error is set; a frame is
+/// well-formed iff every field decoded AND finish() confirms no trailing
+/// bytes.
+class WireReader {
+ public:
+  WireReader(const std::uint8_t* data, std::size_t size,
+             const WireLimits& limits = {})
+      : data_(data), size_(size), limits_(limits) {}
+  explicit WireReader(const std::vector<std::uint8_t>& buf,
+                      const WireLimits& limits = {})
+      : WireReader(buf.data(), buf.size(), limits) {}
+
+  bool u8(std::uint8_t* out);
+  bool u16(std::uint16_t* out);
+  bool u32(std::uint32_t* out);
+  bool u64(std::uint64_t* out);
+  bool i32(std::int32_t* out);
+  bool i64(std::int64_t* out);
+  bool f64(double* out);
+  bool boolean(bool* out);
+  bool str(std::string* out);
+  /// Array header; fails when the count exceeds max_array_items or the
+  /// remaining bytes could not possibly hold `min_item_bytes` per item
+  /// (rejects "4M items" headers on a 10-byte payload before any loop).
+  bool array(std::uint32_t* count, std::size_t min_item_bytes = 1);
+
+  /// Enum helper: u8 that must be < `limit`.
+  bool enum8(std::uint8_t* out, std::uint8_t limit);
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+  std::size_t error_offset() const { return error_at_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  /// Final validation: true iff no error and the payload was consumed
+  /// exactly (trailing bytes are a malformed frame).
+  bool finish();
+
+  /// Manually poison the reader (semantic validation by the caller, e.g. an
+  /// unknown enum value that passed the range check).
+  void fail(const std::string& message);
+
+ private:
+  bool take(std::size_t n, const std::uint8_t** out);
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  WireLimits limits_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+  std::size_t error_at_ = 0;
+};
+
+}  // namespace xtalk::util

@@ -96,5 +96,70 @@ TEST(BenchJson, KeysPreserveInsertionOrder) {
   EXPECT_EQ(row.keys(), result_row_required_keys());
 }
 
+TEST(BenchJson, ServiceRowCarriesEveryRequiredKey) {
+  JsonObject row;
+  fill_service_row(row, ServiceLoadSummary{});
+  for (const std::string& key : service_row_required_keys()) {
+    EXPECT_TRUE(row.has(key)) << key;
+  }
+  EXPECT_NO_THROW(assert_service_row_schema(row));
+}
+
+TEST(BenchJson, ServiceRowKeysPreserveInsertionOrder) {
+  JsonObject row;
+  fill_service_row(row, ServiceLoadSummary{});
+  EXPECT_EQ(row.keys(), service_row_required_keys());
+}
+
+TEST(BenchJson, ServiceSchemaAssertionNamesMissingKeys) {
+  JsonObject partial;
+  partial.set("requests_total", 12).set("throughput_rps", 3.5);
+  try {
+    assert_service_row_schema(partial);
+    FAIL() << "expected std::logic_error";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("latency_p99_ms"), std::string::npos);
+    EXPECT_NE(what.find("requests_truncated"), std::string::npos);
+    EXPECT_EQ(what.find("requests_total"), std::string::npos);
+  }
+}
+
+TEST(BenchJson, ServiceRowRoundTripsThroughStrictParser) {
+  ServiceLoadSummary summary;
+  summary.requests_total = 1200;
+  summary.requests_full = 30;
+  summary.requests_eco = 280;
+  summary.requests_query = 890;
+  summary.requests_truncated = 25;
+  summary.truncation_rate = 25.0 / 1200.0;
+  summary.throughput_rps = 412.5;
+  summary.latency_p50_ms = 0.8;
+  summary.latency_p99_ms = 95.25;
+  summary.bytes_in = 123456;
+  summary.bytes_out = 7890123;
+
+  JsonReport report;
+  report.root().set("bench", "service_load");
+  fill_service_row(report.add_row("service"), summary);
+
+  util::JsonValue root;
+  std::string err;
+  ASSERT_TRUE(util::parse_json(report.to_string(), &root, &err)) << err;
+  const util::JsonValue* rows = root.find("service");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_TRUE(rows->is_array());
+  ASSERT_EQ(rows->items.size(), 1u);
+  const util::JsonValue& row = rows->items[0];
+  for (const std::string& key : service_row_required_keys()) {
+    EXPECT_TRUE(row.has(key)) << key;
+  }
+  EXPECT_EQ(row.find("requests_total")->number, 1200.0);
+  EXPECT_EQ(row.find("requests_truncated")->number, 25.0);
+  EXPECT_EQ(row.find("throughput_rps")->number, 412.5);
+  EXPECT_EQ(row.find("latency_p99_ms")->number, 95.25);
+  EXPECT_EQ(row.find("bytes_out")->number, 7890123.0);
+}
+
 }  // namespace
 }  // namespace xtalk::bench

@@ -1,0 +1,165 @@
+// Concurrent ECO sessions over ONE shared immutable base design — the
+// foundation the analysis service builds on. N threads each drive an
+// independent DesignEditor + IncrementalSta against the same base; the COW
+// overlays must never write into shared state (this file is part of the
+// TSan smoke label), and every session's incremental result must stay
+// bitwise identical to a from-scratch run of its own edited design.
+#include "sta/incremental/incremental_sta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/crosstalk_sta.hpp"
+#include "netlist/circuit_generator.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
+#include "sta/incremental/oracle.hpp"
+
+namespace xtalk::sta::incremental {
+namespace {
+
+const core::Design& shared_base() {
+  static const core::Design* design = new core::Design(
+      core::Design::generate(netlist::scaled_spec("ceco", 23, 120, 8)));
+  return *design;
+}
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+TEST(ConcurrentEco, IndependentSessionsOnOneBaseStayBitwiseCorrect) {
+  constexpr int kThreads = 4;
+  const core::Design& base = shared_base();
+
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        DesignEditor editor(base.view());
+        StaOptions options;
+        options.num_threads = 1;
+        IncrementalSta session(editor, options);
+
+        const auto num_gates = base.view().netlist->num_gates();
+        const auto num_nets = base.view().netlist->num_nets();
+        // Distinct edits per thread: different gates, nets and caps, so a
+        // stray shared write would show up as a cross-thread value leak
+        // (and as a TSan race).
+        for (int round = 0; round < 2; ++round) {
+          editor.resize_gate((7 + 13 * t + 31 * round) % num_gates,
+                             1.2 + 0.1 * t);
+          editor.set_wire_cap((3 + 17 * t + 11 * round) % num_nets,
+                              (2.0 + t + round) * 1e-15);
+          editor.set_coupling((5 + 7 * t) % num_nets,
+                              (29 + 7 * t + round) % num_nets, 4e-15);
+          const EquivalenceReport report =
+              verify_incremental(editor, session);
+          if (!report) {
+            failures[t] = "round " + std::to_string(round) + ": " +
+                          report.mismatch;
+            return;
+          }
+        }
+      } catch (const std::exception& e) {
+        failures[t] = e.what();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(failures[t].empty()) << "thread " << t << ": " << failures[t];
+  }
+}
+
+TEST(ConcurrentEco, ServiceEcoSessionsRunConcurrentlyAgainstOneBase) {
+  constexpr int kClients = 3;
+  service::DesignSession session(
+      core::Design::generate(netlist::scaled_spec("csvc", 29, 120, 8)),
+      "csvc");
+  service::ServiceConfig config;
+  config.tcp_port = 0;
+  config.num_executors = kClients;  // true concurrency across connections
+  service::XtalkServer server(session, config);
+  server.start();
+
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        service::XtalkClient client =
+            service::XtalkClient::connect_tcp(server.port());
+        service::RunSpec spec;
+        const std::uint32_t eco = client.eco_open(spec);
+
+        // Local mirror of this client's session, edits applied in lockstep.
+        DesignEditor mirror(session.view());
+        IncrementalSta mirror_sta(mirror, spec.to_options());
+        const auto num_gates = session.view().netlist->num_gates();
+        const auto num_nets = session.view().netlist->num_nets();
+
+        for (int round = 0; round < 2; ++round) {
+          const std::uint32_t gate =
+              static_cast<std::uint32_t>((11 + 19 * c + round) % num_gates);
+          const std::uint32_t net =
+              static_cast<std::uint32_t>((13 + 23 * c + round) % num_nets);
+          const double factor = 1.1 + 0.2 * c + 0.05 * round;
+          const double cap = (3.0 + c) * 1e-15;
+
+          std::vector<service::EcoOp> ops;
+          service::EcoOp resize;
+          resize.kind = service::EcoOp::Kind::kResizeGate;
+          resize.gate = gate;
+          resize.value_a = factor;
+          ops.push_back(resize);
+          service::EcoOp wire;
+          wire.kind = service::EcoOp::Kind::kSetWireCap;
+          wire.net_a = net;
+          wire.value_a = cap;
+          ops.push_back(wire);
+          client.eco_edit(eco, ops);
+          mirror.resize_gate(gate, factor);
+          mirror.set_wire_cap(net, cap);
+
+          const service::RunResultMsg remote = client.eco_run(eco);
+          const StaResult local = mirror_sta.run();
+          if (!bits_equal(remote.longest_path_delay,
+                          local.longest_path_delay)) {
+            failures[c] = "round " + std::to_string(round) +
+                          ": longest path delay diverged";
+            return;
+          }
+          if (remote.endpoints.size() != local.endpoints.size()) {
+            failures[c] = "endpoint count diverged";
+            return;
+          }
+          for (std::size_t i = 0; i < local.endpoints.size(); ++i) {
+            if (!bits_equal(remote.endpoints[i].arrival,
+                            local.endpoints[i].arrival)) {
+              failures[c] = "endpoint " + std::to_string(i) + " diverged";
+              return;
+            }
+          }
+        }
+        client.eco_close(eco);
+      } catch (const std::exception& e) {
+        failures[c] = e.what();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.stop();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(failures[c].empty()) << "client " << c << ": " << failures[c];
+  }
+}
+
+}  // namespace
+}  // namespace xtalk::sta::incremental

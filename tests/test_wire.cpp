@@ -1,0 +1,208 @@
+// Wire codec: explicit little-endian encoding, bitwise f64 round-trips,
+// and the recoverable sticky-error decode contract (a hostile payload can
+// never make the reader throw, read out of bounds, or allocate unbounded).
+#include "util/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace xtalk::util {
+namespace {
+
+TEST(Wire, ScalarRoundTrip) {
+  WireWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-123456);
+  w.i64(-9876543210LL);
+  w.boolean(true);
+  w.boolean(false);
+
+  WireReader r(w.data());
+  std::uint8_t a = 0;
+  std::uint16_t b = 0;
+  std::uint32_t c = 0;
+  std::uint64_t d = 0;
+  std::int32_t e = 0;
+  std::int64_t f = 0;
+  bool g = false, h = true;
+  EXPECT_TRUE(r.u8(&a));
+  EXPECT_TRUE(r.u16(&b));
+  EXPECT_TRUE(r.u32(&c));
+  EXPECT_TRUE(r.u64(&d));
+  EXPECT_TRUE(r.i32(&e));
+  EXPECT_TRUE(r.i64(&f));
+  EXPECT_TRUE(r.boolean(&g));
+  EXPECT_TRUE(r.boolean(&h));
+  EXPECT_TRUE(r.finish());
+  EXPECT_EQ(a, 0xAB);
+  EXPECT_EQ(b, 0xBEEF);
+  EXPECT_EQ(c, 0xDEADBEEFu);
+  EXPECT_EQ(d, 0x0123456789ABCDEFull);
+  EXPECT_EQ(e, -123456);
+  EXPECT_EQ(f, -9876543210LL);
+  EXPECT_TRUE(g);
+  EXPECT_FALSE(h);
+}
+
+TEST(Wire, EncodingIsLittleEndianBytes) {
+  WireWriter w;
+  w.u32(0x0A0B0C0Du);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x0D);
+  EXPECT_EQ(w.data()[1], 0x0C);
+  EXPECT_EQ(w.data()[2], 0x0B);
+  EXPECT_EQ(w.data()[3], 0x0A);
+}
+
+TEST(Wire, F64RoundTripsBitwise) {
+  // The bitwise contract is the foundation of "service result == local
+  // run": -0.0, denormals and NaN payloads must all survive unchanged.
+  const double cases[] = {
+      0.0,
+      -0.0,
+      1.0 / 3.0,
+      -1.234567890123456789e-300,
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      6.33288e-9,
+  };
+  WireWriter w;
+  for (double v : cases) w.f64(v);
+  WireReader r(w.data());
+  for (double v : cases) {
+    double out = 0.0;
+    ASSERT_TRUE(r.f64(&out));
+    EXPECT_EQ(std::memcmp(&v, &out, sizeof v), 0)
+        << "value " << v << " did not round-trip bitwise";
+  }
+  EXPECT_TRUE(r.finish());
+}
+
+TEST(Wire, StringRoundTrip) {
+  WireWriter w;
+  w.str("");
+  w.str(std::string("bin\0ary", 7));
+  w.str("plain");
+  WireReader r(w.data());
+  std::string a, b, c;
+  EXPECT_TRUE(r.str(&a));
+  EXPECT_TRUE(r.str(&b));
+  EXPECT_TRUE(r.str(&c));
+  EXPECT_TRUE(r.finish());
+  EXPECT_EQ(a, "");
+  EXPECT_EQ(b, std::string("bin\0ary", 7));
+  EXPECT_EQ(c, "plain");
+}
+
+TEST(Wire, TruncatedPayloadSetsStickyError) {
+  WireWriter w;
+  w.u32(7);
+  WireReader r(w.data());
+  std::uint64_t big = 0;
+  EXPECT_FALSE(r.u64(&big));  // only 4 bytes available
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.error().empty());
+  // Every later getter is a no-op returning false; outputs stay untouched.
+  std::uint8_t byte = 42;
+  EXPECT_FALSE(r.u8(&byte));
+  EXPECT_EQ(byte, 42);
+  EXPECT_FALSE(r.finish());
+}
+
+TEST(Wire, TrailingBytesAreMalformed) {
+  WireWriter w;
+  w.u8(1);
+  w.u8(2);
+  WireReader r(w.data());
+  std::uint8_t v = 0;
+  EXPECT_TRUE(r.u8(&v));
+  EXPECT_FALSE(r.finish());  // one byte left unconsumed
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, StringOverLimitRejected) {
+  WireWriter w;
+  w.str(std::string(100, 'x'));
+  WireLimits limits;
+  limits.max_string_bytes = 99;
+  WireReader r(w.data(), limits);
+  std::string s;
+  EXPECT_FALSE(r.str(&s));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Wire, ImplausibleArrayHeaderRejectedBeforeAllocation) {
+  // A hostile 10-byte payload claiming 4M items must be rejected by the
+  // plausibility check (remaining bytes cannot hold them), not trusted.
+  WireWriter w;
+  w.array(4000000);
+  w.u8(0);
+  WireReader r(w.data());
+  std::uint32_t count = 0;
+  EXPECT_FALSE(r.array(&count, /*min_item_bytes=*/4));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, ArrayWithinLimitsAccepted) {
+  WireWriter w;
+  w.array(3);
+  for (std::uint32_t i = 0; i < 3; ++i) w.u32(i * 10);
+  WireReader r(w.data());
+  std::uint32_t count = 0;
+  ASSERT_TRUE(r.array(&count, 4));
+  ASSERT_EQ(count, 3u);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t v = 0;
+    EXPECT_TRUE(r.u32(&v));
+    EXPECT_EQ(v, i * 10);
+  }
+  EXPECT_TRUE(r.finish());
+}
+
+TEST(Wire, Enum8EnforcesRange) {
+  WireWriter w;
+  w.u8(4);
+  w.u8(5);
+  WireReader r(w.data());
+  std::uint8_t v = 0;
+  EXPECT_TRUE(r.enum8(&v, 5));  // 4 < 5: fine
+  EXPECT_EQ(v, 4);
+  EXPECT_FALSE(r.enum8(&v, 5));  // 5 is out of range
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Wire, ManualFailPoisonsReader) {
+  WireWriter w;
+  w.u8(1);
+  WireReader r(w.data());
+  r.fail("semantic validation failed");
+  std::uint8_t v = 0;
+  EXPECT_FALSE(r.u8(&v));
+  EXPECT_EQ(r.error(), "semantic validation failed");
+}
+
+TEST(Wire, ErrorReportsOffset) {
+  WireWriter w;
+  w.u32(1);
+  w.u8(2);
+  WireReader r(w.data());
+  std::uint32_t a = 0;
+  EXPECT_TRUE(r.u32(&a));
+  std::uint32_t b = 0;
+  EXPECT_FALSE(r.u32(&b));  // only 1 byte left at offset 4
+  EXPECT_EQ(r.error_offset(), 4u);
+}
+
+}  // namespace
+}  // namespace xtalk::util
