@@ -15,8 +15,14 @@
 // Scale: the default design is the paper's s38417 stand-in;
 // XTALK_BENCH_SCALE (or --scale) shrinks it for smoke runs.
 //
+// Chaos mode (--chaos <seed>, seed != 0): every client dials through its
+// own deterministic in-process chaos proxy (connection cuts, stalls, 1-byte
+// dribbles — schedule a pure function of seed and connection index) using
+// the resilient retry client. The same bitwise oracles run; the row gains
+// retry/reconnect counts, journal-recovery latency p99 and oracle verdicts.
+//
 //   bench_service_load [--requests N] [--clients N] [--scale X]
-//                      [--max-calcs N] [--json PATH]
+//                      [--max-calcs N] [--chaos SEED] [--json PATH]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -33,8 +39,10 @@
 #include "core/crosstalk_sta.hpp"
 #include "netlist/circuit_generator.hpp"
 #include "service/client.hpp"
+#include "service/retry.hpp"
 #include "service/server.hpp"
 #include "table_common.hpp"
+#include "util/fault_socket.hpp"
 
 namespace {
 
@@ -73,6 +81,12 @@ struct ClientOutcome {
   std::uint64_t truncated = 0;
   std::uint64_t failed = 0;
   std::uint64_t oracle_checks = 0;
+  std::uint64_t oracle_failures = 0;
+  // Chaos-mode resilience counters (zero in plain runs).
+  std::uint64_t retries = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t sessions_recovered = 0;
+  std::vector<double> recovery_ms;
   std::string error;  ///< first contract violation, empty = clean
 };
 
@@ -88,6 +102,7 @@ int main(int argc, char** argv) {
   double scale = 1.0;
   if (const char* env = std::getenv("XTALK_BENCH_SCALE")) scale = std::atof(env);
   std::uint64_t full_run_cap = 20000;
+  std::uint64_t chaos_seed = 0;  // 0 = fault-free
   const std::string json_path = bench::json_path_from_args(argc, argv);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -99,6 +114,8 @@ int main(int argc, char** argv) {
       scale = std::stod(argv[++i]);
     } else if (arg == "--max-calcs" && i + 1 < argc) {
       full_run_cap = std::stoul(argv[++i]);
+    } else if (arg == "--chaos" && i + 1 < argc) {
+      chaos_seed = std::stoull(argv[++i]);
     }
   }
   num_clients = std::max<std::size_t>(1, num_clients);
@@ -165,6 +182,125 @@ int main(int argc, char** argv) {
   for (std::size_t c = 0; c < num_clients; ++c) {
     clients.emplace_back([&, c] {
       ClientOutcome& out = outcomes[c];
+      if (chaos_seed != 0) {
+        // Each client gets its own proxy so its fault schedule is a pure
+        // function of (seed, client, connection attempt) — reruns with the
+        // same seed see the same cuts at the same byte offsets.
+        util::ChaosProxyConfig pconf;
+        pconf.upstream_port = server.port();
+        pconf.seed = chaos_seed + 0x9e3779b9ull * (c + 1);
+        pconf.stall_ms = 10;
+        util::ChaosProxy proxy(pconf);
+        proxy.start();
+        service::RetryPolicy policy;
+        policy.seed = chaos_seed + c;
+        policy.base_backoff_ms = 1;
+        policy.max_backoff_ms = 50;
+        policy.max_attempts = 10;
+        policy.read_timeout_ms = 15000;
+        service::ResilientClient client(proxy.port(), policy);
+        try {
+          Lcg rng(c + 1);  // the same request mix as the fault-free path
+          const auto view = session.view();
+          const std::uint32_t num_gates =
+              static_cast<std::uint32_t>(view.netlist->num_gates());
+          const std::uint32_t num_nets =
+              static_cast<std::uint32_t>(view.netlist->num_nets());
+
+          service::EcoHandle eco = client.eco_open(run_spec);
+          std::unique_ptr<sta::incremental::DesignEditor> mirror_editor;
+          std::unique_ptr<sta::incremental::IncrementalSta> mirror_sta;
+          if (c == 0) {
+            mirror_editor = std::make_unique<sta::incremental::DesignEditor>(
+                session.view());
+            mirror_sta = std::make_unique<sta::incremental::IncrementalSta>(
+                *mirror_editor, run_spec.to_options());
+          }
+
+          for (std::size_t i = 0; i < per_client; ++i) {
+            const std::uint32_t dice = rng.below(100);
+            const auto rt0 = std::chrono::steady_clock::now();
+            if (dice < 2) {
+              service::RunSpec capped = run_spec;
+              capped.max_waveform_calcs = full_run_cap;
+              const service::RunResultMsg m = client.run_sta(capped);
+              ++out.full;
+              if (m.budget_exhausted) {
+                ++out.truncated;
+                if (!m.conservative && out.error.empty()) {
+                  out.error = "truncated run not conservative";
+                }
+              }
+            } else if (dice < 25) {
+              std::vector<service::EcoOp> ops;
+              service::EcoOp op;
+              op.kind = service::EcoOp::Kind::kResizeGate;
+              op.gate = rng.below(num_gates);
+              op.value_a = 0.8 + 0.5 * rng.unit();
+              ops.push_back(op);
+              if (rng.below(2) == 0) {
+                service::EcoOp wire;
+                wire.kind = service::EcoOp::Kind::kSetWireCap;
+                wire.net_a = rng.below(num_nets);
+                wire.value_a = 1e-15 * (1.0 + 20.0 * rng.unit());
+                ops.push_back(wire);
+              }
+              eco.edit(ops);
+              const service::RunResultMsg m = eco.run();
+              ++out.eco;
+              if (m.budget_exhausted) ++out.truncated;
+              if (mirror_sta) {
+                for (const service::EcoOp& o : ops) {
+                  if (o.kind == service::EcoOp::Kind::kResizeGate) {
+                    mirror_editor->resize_gate(o.gate, o.value_a);
+                  } else {
+                    mirror_editor->set_wire_cap(o.net_a, o.value_a);
+                  }
+                }
+                const sta::StaResult local = mirror_sta->run();
+                ++out.oracle_checks;
+                if (!m.budget_exhausted &&
+                    !bits_equal(m.longest_path_delay,
+                                local.longest_path_delay)) {
+                  ++out.oracle_failures;
+                  if (out.error.empty()) {
+                    out.error =
+                        "chaos ECO run diverged from local incremental run";
+                  }
+                }
+              }
+            } else if (dice < 40) {
+              const service::EndpointsMsg m = client.query_endpoints(run_spec);
+              ++out.query;
+              if (m.endpoints.empty() && out.error.empty()) {
+                out.error = "endpoint query returned no endpoints";
+              }
+            } else {
+              service::SlackQueryMsg q;
+              q.spec = run_spec;
+              q.net = rng.below(num_nets);
+              q.rising = rng.below(2) == 0;
+              q.required_time = 5e-9;
+              client.query_slack(q);
+              ++out.query;
+            }
+            const auto rt1 = std::chrono::steady_clock::now();
+            out.latencies_ms.push_back(
+                std::chrono::duration<double, std::milli>(rt1 - rt0).count());
+          }
+          eco.close();
+        } catch (const std::exception& e) {
+          ++out.failed;
+          if (out.error.empty()) out.error = e.what();
+        }
+        const service::ResilienceStats& rs = client.resilience();
+        out.retries = rs.retries;
+        out.reconnects = rs.reconnects;
+        out.sessions_recovered = rs.sessions_recovered;
+        out.recovery_ms = rs.recovery_ms;
+        proxy.stop();
+        return;
+      }
       try {
         service::XtalkClient client =
             service::XtalkClient::connect_tcp(server.port());
@@ -232,9 +368,11 @@ int main(int argc, char** argv) {
               ++out.oracle_checks;
               if (!m.budget_exhausted &&
                   !bits_equal(m.longest_path_delay,
-                              local.longest_path_delay) &&
-                  out.error.empty()) {
-                out.error = "ECO run diverged from local incremental run";
+                              local.longest_path_delay)) {
+                ++out.oracle_failures;
+                if (out.error.empty()) {
+                  out.error = "ECO run diverged from local incremental run";
+                }
               }
             }
           } else if (dice < 40) {
@@ -276,7 +414,9 @@ int main(int argc, char** argv) {
   server.stop();
 
   bench::ServiceLoadSummary summary;
+  summary.chaos_seed = chaos_seed;
   std::vector<double> all_ms;
+  std::vector<double> recovery_ms;
   std::uint64_t oracle_checks = 0;
   bool failed = false;
   for (const ClientOutcome& out : outcomes) {
@@ -285,14 +425,23 @@ int main(int argc, char** argv) {
     summary.requests_query += out.query;
     summary.requests_truncated += out.truncated;
     summary.requests_failed += out.failed;
+    summary.retries += out.retries;
+    summary.reconnects += out.reconnects;
+    summary.sessions_recovered += out.sessions_recovered;
+    summary.oracle_failures += out.oracle_failures;
     oracle_checks += out.oracle_checks;
     all_ms.insert(all_ms.end(), out.latencies_ms.begin(),
                   out.latencies_ms.end());
+    recovery_ms.insert(recovery_ms.end(), out.recovery_ms.begin(),
+                       out.recovery_ms.end());
     if (!out.error.empty()) {
       std::cerr << "FAIL: " << out.error << "\n";
       failed = true;
     }
   }
+  summary.oracle_checks = oracle_checks;
+  std::sort(recovery_ms.begin(), recovery_ms.end());
+  summary.recovery_p99_ms = percentile(recovery_ms, 0.99);
   summary.requests_total =
       summary.requests_full + summary.requests_eco + summary.requests_query;
   summary.truncation_rate =
@@ -321,6 +470,16 @@ int main(int argc, char** argv) {
             << ", queue peak: " << stats.queue_peak << "\n"
             << "bytes in/out: " << stats.bytes_in << "/" << stats.bytes_out
             << ", eco oracle checks: " << oracle_checks << "\n";
+  if (chaos_seed != 0) {
+    std::cout << "chaos seed " << chaos_seed << ": " << summary.retries
+              << " retries, " << summary.reconnects << " reconnects, "
+              << summary.sessions_recovered
+              << " sessions recovered (p99 replay " << summary.recovery_p99_ms
+              << " ms), oracle " << (oracle_checks - summary.oracle_failures)
+              << "/" << oracle_checks << " bitwise, evicted "
+              << stats.connections_evicted << ", reaped "
+              << stats.eco_sessions_reaped << "\n";
+  }
 
   bench::JsonReport json;
   json.root()

@@ -383,6 +383,13 @@ const std::vector<std::string>& service_row_required_keys() {
       "latency_p99_ms",
       "bytes_in",
       "bytes_out",
+      "chaos_seed",
+      "retries",
+      "reconnects",
+      "sessions_recovered",
+      "recovery_p99_ms",
+      "oracle_checks",
+      "oracle_failures",
   };
   return kKeys;
 }
@@ -413,7 +420,14 @@ void fill_service_row(JsonObject& row, const ServiceLoadSummary& summary) {
       .set("latency_p50_ms", summary.latency_p50_ms)
       .set("latency_p99_ms", summary.latency_p99_ms)
       .set("bytes_in", summary.bytes_in)
-      .set("bytes_out", summary.bytes_out);
+      .set("bytes_out", summary.bytes_out)
+      .set("chaos_seed", summary.chaos_seed)
+      .set("retries", summary.retries)
+      .set("reconnects", summary.reconnects)
+      .set("sessions_recovered", summary.sessions_recovered)
+      .set("recovery_p99_ms", summary.recovery_p99_ms)
+      .set("oracle_checks", summary.oracle_checks)
+      .set("oracle_failures", summary.oracle_failures);
   assert_service_row_schema(row);
 }
 

@@ -119,6 +119,14 @@ struct ServiceLoadSummary {
   double latency_p99_ms = 0.0;
   std::uint64_t bytes_in = 0;   ///< server-side received bytes
   std::uint64_t bytes_out = 0;  ///< server-side sent bytes
+  // Chaos-mode resilience fields (--chaos <seed>); all zero in plain runs.
+  std::uint64_t chaos_seed = 0;  ///< 0 = fault-free run
+  std::uint64_t retries = 0;     ///< requests re-sent after transport faults
+  std::uint64_t reconnects = 0;  ///< connections (re)established
+  std::uint64_t sessions_recovered = 0;  ///< ECO journal replays
+  double recovery_p99_ms = 0.0;          ///< p99 journal-replay latency
+  std::uint64_t oracle_checks = 0;    ///< bitwise verdicts taken under load
+  std::uint64_t oracle_failures = 0;  ///< verdicts that diverged (must be 0)
 };
 
 /// Append a service load summary to a JSON row. Key order is pinned (the

@@ -8,15 +8,26 @@ namespace xtalk::service {
 
 namespace {
 
-[[noreturn]] void throw_protocol(const std::string& message) {
-  util::Diagnostic d;
-  d.code = util::DiagCode::kFileError;
-  d.severity = util::Severity::kError;
-  d.message = message;
-  throw util::DiagError(std::move(d));
+[[noreturn]] void throw_transport(TransportFailure kind,
+                                  const std::string& message) {
+  throw TransportError(kind, message);
 }
 
 }  // namespace
+
+const char* transport_failure_name(TransportFailure f) {
+  switch (f) {
+    case TransportFailure::kTimeout:
+      return "timeout";
+    case TransportFailure::kConnectionLost:
+      return "connection-lost";
+    case TransportFailure::kConnectRefused:
+      return "connect-refused";
+    case TransportFailure::kProtocol:
+      return "protocol";
+  }
+  return "unknown";
+}
 
 util::WireReader FrameView::body(const util::WireLimits& limits) const {
   util::WireReader r(payload.data(), payload.size(), limits);
@@ -27,20 +38,38 @@ util::WireReader FrameView::body(const util::WireLimits& limits) const {
 }
 
 XtalkClient::XtalkClient(util::Socket sock, util::WireLimits limits)
+    : sock_(util::FaultSocket(std::move(sock))), limits_(limits) {}
+
+XtalkClient::XtalkClient(util::FaultSocket sock, util::WireLimits limits)
     : sock_(std::move(sock)), limits_(limits) {}
 
 XtalkClient XtalkClient::connect_unix(const std::string& path,
                                       util::WireLimits limits) {
-  return XtalkClient(util::connect_unix(path), limits);
+  try {
+    return XtalkClient(util::connect_unix(path), limits);
+  } catch (const util::DiagError& e) {
+    throw_transport(TransportFailure::kConnectRefused, e.diagnostic().message);
+  }
 }
 
 XtalkClient XtalkClient::connect_tcp(std::uint16_t port,
-                                     util::WireLimits limits) {
-  return XtalkClient(util::connect_tcp_loopback(port), limits);
+                                     util::WireLimits limits,
+                                     util::SocketFaultInjector* injector,
+                                     std::int64_t conn) {
+  try {
+    return XtalkClient(util::fault_connect_tcp_loopback(port, injector, conn),
+                       limits);
+  } catch (const util::DiagError& e) {
+    throw_transport(TransportFailure::kConnectRefused, e.diagnostic().message);
+  }
 }
 
 void XtalkClient::send_raw(const std::vector<std::uint8_t>& bytes) {
-  sock_.send_all(bytes.data(), bytes.size());
+  try {
+    sock_.send_all(bytes.data(), bytes.size());
+  } catch (const util::DiagError& e) {
+    throw_transport(TransportFailure::kConnectionLost, e.diagnostic().message);
+  }
 }
 
 void XtalkClient::send_frame(MsgType type, std::uint32_t request_id,
@@ -50,21 +79,48 @@ void XtalkClient::send_frame(MsgType type, std::uint32_t request_id,
 
 FrameView XtalkClient::recv_frame() {
   std::uint8_t header[kFrameHeaderBytes];
-  sock_.recv_exact(header, sizeof header);
+  std::string error;
+  switch (sock_.recv_exact_deadline(header, sizeof header, read_timeout_ms_,
+                                    &error)) {
+    case util::RecvOutcome::kOk:
+      break;
+    case util::RecvOutcome::kTimeout:
+      throw_transport(TransportFailure::kTimeout,
+                      "no response header within " +
+                          std::to_string(read_timeout_ms_) + " ms");
+    case util::RecvOutcome::kClosed:
+    case util::RecvOutcome::kError:
+      throw_transport(TransportFailure::kConnectionLost, error);
+  }
   const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
                             (static_cast<std::uint32_t>(header[1]) << 8) |
                             (static_cast<std::uint32_t>(header[2]) << 16) |
                             (static_cast<std::uint32_t>(header[3]) << 24);
   if (len > limits_.max_frame_bytes) {
-    throw_protocol("response frame length " + std::to_string(len) +
-                              " exceeds limit");
+    throw_transport(TransportFailure::kProtocol,
+                    "response frame length " + std::to_string(len) +
+                        " exceeds limit");
   }
   FrameView frame;
   frame.payload.resize(len);
-  if (len > 0) sock_.recv_exact(frame.payload.data(), len);
+  if (len > 0) {
+    switch (sock_.recv_exact_deadline(frame.payload.data(), len,
+                                      read_timeout_ms_, &error)) {
+      case util::RecvOutcome::kOk:
+        break;
+      case util::RecvOutcome::kTimeout:
+        throw_transport(TransportFailure::kTimeout,
+                        "response payload stalled past " +
+                            std::to_string(read_timeout_ms_) + " ms");
+      case util::RecvOutcome::kClosed:
+      case util::RecvOutcome::kError:
+        throw_transport(TransportFailure::kConnectionLost, error);
+    }
+  }
   util::WireReader r(frame.payload.data(), frame.payload.size(), limits_);
   if (!read_prologue(r, &frame.type, &frame.request_id)) {
-    throw_protocol("unparseable response prologue: " + r.error());
+    throw_transport(TransportFailure::kProtocol,
+                    "unparseable response prologue: " + r.error());
   }
   return frame;
 }
@@ -75,22 +131,24 @@ FrameView XtalkClient::transact(MsgType request, const util::WireWriter& body,
   send_frame(request, id, body);
   FrameView frame = recv_frame();
   if (frame.request_id != id) {
-    throw_protocol("response id " + std::to_string(frame.request_id) +
-                              " does not match request id " +
-                              std::to_string(id));
+    throw_transport(TransportFailure::kProtocol,
+                    "response id " + std::to_string(frame.request_id) +
+                        " does not match request id " + std::to_string(id));
   }
   if (frame.type == MsgType::kError) {
     util::WireReader r = frame.body(limits_);
     ErrorMsg err;
     if (!err.decode(r)) {
-      throw_protocol("undecodable error response: " + r.error());
+      throw_transport(TransportFailure::kProtocol,
+                      "undecodable error response: " + r.error());
     }
     throw ServiceError(err.code, err.message);
   }
   if (frame.type != expected_response) {
-    throw_protocol(std::string("unexpected response type ") +
-                   msg_type_name(frame.type) + " (wanted " +
-                   msg_type_name(expected_response) + ")");
+    throw_transport(TransportFailure::kProtocol,
+                    std::string("unexpected response type ") +
+                        msg_type_name(frame.type) + " (wanted " +
+                        msg_type_name(expected_response) + ")");
   }
   return frame;
 }
@@ -104,7 +162,8 @@ Msg decode_body(const FrameView& frame, const util::WireLimits& limits) {
   util::WireReader r = frame.body(limits);
   Msg m;
   if (!m.decode(r) || !r.finish()) {
-    throw_protocol("undecodable response body: " + r.error());
+    throw_transport(TransportFailure::kProtocol,
+                    "undecodable response body: " + r.error());
   }
   return m;
 }
@@ -112,9 +171,11 @@ Msg decode_body(const FrameView& frame, const util::WireLimits& limits) {
 }  // namespace
 
 HelloOkMsg XtalkClient::hello() {
+  HelloMsg msg;
+  util::WireWriter body;
+  msg.encode(body);
   return decode_body<HelloOkMsg>(
-      transact(MsgType::kHello, util::WireWriter{}, MsgType::kHelloOk),
-      limits_);
+      transact(MsgType::kHello, body, MsgType::kHelloOk), limits_);
 }
 
 void XtalkClient::ping() {
@@ -142,6 +203,12 @@ SlackMsg XtalkClient::query_slack(const SlackQueryMsg& query) {
       transact(MsgType::kQuerySlack, body, MsgType::kSlack), limits_);
 }
 
+HealthMsg XtalkClient::health() {
+  return decode_body<HealthMsg>(
+      transact(MsgType::kHealth, util::WireWriter{}, MsgType::kHealthOk),
+      limits_);
+}
+
 std::uint32_t XtalkClient::eco_open(const RunSpec& spec) {
   util::WireWriter body;
   spec.encode(body);
@@ -149,7 +216,8 @@ std::uint32_t XtalkClient::eco_open(const RunSpec& spec) {
   util::WireReader r = frame.body(limits_);
   std::uint32_t id = 0;
   if (!r.u32(&id) || !r.finish()) {
-    throw_protocol("undecodable EcoOpened body: " + r.error());
+    throw_transport(TransportFailure::kProtocol,
+                    "undecodable EcoOpened body: " + r.error());
   }
   return id;
 }
@@ -165,7 +233,8 @@ std::uint32_t XtalkClient::eco_edit(std::uint32_t session_id,
   util::WireReader r = frame.body(limits_);
   std::uint32_t applied = 0;
   if (!r.u32(&applied) || !r.finish()) {
-    throw_protocol("undecodable EcoEditOk body: " + r.error());
+    throw_transport(TransportFailure::kProtocol,
+                    "undecodable EcoEditOk body: " + r.error());
   }
   return applied;
 }

@@ -13,7 +13,7 @@ constexpr std::uint8_t kNumSchedulers = 3;
 constexpr std::uint8_t kNumFaultPolicies = 2;
 constexpr std::uint8_t kNumBudgetPolicies = 2;
 constexpr std::uint8_t kNumEcoOps = 6;
-constexpr std::uint8_t kNumErrorCodes = 7;
+constexpr std::uint8_t kNumErrorCodes = 8;
 
 }  // namespace
 
@@ -30,6 +30,7 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kEcoClose: return "eco-close";
     case MsgType::kGetStats: return "get-stats";
     case MsgType::kShutdown: return "shutdown";
+    case MsgType::kHealth: return "health";
     case MsgType::kHelloOk: return "hello-ok";
     case MsgType::kPong: return "pong";
     case MsgType::kRunResult: return "run-result";
@@ -40,6 +41,7 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kEcoClosed: return "eco-closed";
     case MsgType::kStats: return "stats";
     case MsgType::kShutdownOk: return "shutdown-ok";
+    case MsgType::kHealthOk: return "health-ok";
     case MsgType::kError: return "error";
   }
   return "unknown";
@@ -54,9 +56,18 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kEditRejected: return "edit-rejected";
     case ErrorCode::kShuttingDown: return "shutting-down";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kVersionMismatch: return "version-mismatch";
   }
   return "unknown";
 }
+
+// ---------------------------------------------------------------------------
+// HelloMsg
+// ---------------------------------------------------------------------------
+
+void HelloMsg::encode(util::WireWriter& w) const { w.u32(protocol_version); }
+
+bool HelloMsg::decode(util::WireReader& r) { return r.u32(&protocol_version); }
 
 // ---------------------------------------------------------------------------
 // RunSpec
@@ -425,6 +436,8 @@ void StatsMsg::encode(util::WireWriter& w) const {
   w.u64(bytes_out);
   w.u64(queue_peak);
   w.f64(uptime_seconds);
+  w.u64(eco_sessions_reaped);
+  w.u64(connections_evicted);
 }
 
 bool StatsMsg::decode(util::WireReader& r) {
@@ -438,7 +451,31 @@ bool StatsMsg::decode(util::WireReader& r) {
   if (!r.u64(&bytes_in)) return false;
   if (!r.u64(&bytes_out)) return false;
   if (!r.u64(&queue_peak)) return false;
-  return r.f64(&uptime_seconds);
+  if (!r.f64(&uptime_seconds)) return false;
+  if (!r.u64(&eco_sessions_reaped)) return false;
+  return r.u64(&connections_evicted);
+}
+
+void HealthMsg::encode(util::WireWriter& w) const {
+  w.boolean(accepting);
+  w.u32(protocol_version);
+  w.u64(connections);
+  w.u64(queue_depth);
+  w.u64(soft_queue_limit);
+  w.boolean(clamping);
+  w.u64(eco_sessions_open);
+  w.u64(outbox_bytes);
+}
+
+bool HealthMsg::decode(util::WireReader& r) {
+  if (!r.boolean(&accepting)) return false;
+  if (!r.u32(&protocol_version)) return false;
+  if (!r.u64(&connections)) return false;
+  if (!r.u64(&queue_depth)) return false;
+  if (!r.u64(&soft_queue_limit)) return false;
+  if (!r.boolean(&clamping)) return false;
+  if (!r.u64(&eco_sessions_open)) return false;
+  return r.u64(&outbox_bytes);
 }
 
 void ErrorMsg::encode(util::WireWriter& w) const {
@@ -479,8 +516,8 @@ bool read_prologue(util::WireReader& r, MsgType* type,
                    std::uint32_t* request_id) {
   std::uint8_t t;
   if (!r.u8(&t)) return false;
-  const bool request_range = t >= 1 && t <= 11;
-  const bool response_range = (t >= 64 && t <= 73) || t == 127;
+  const bool request_range = t >= 1 && t <= 12;
+  const bool response_range = (t >= 64 && t <= 74) || t == 127;
   if (!request_range && !response_range) {
     r.fail("unknown message type " + std::to_string(t));
     return false;

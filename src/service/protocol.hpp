@@ -29,7 +29,7 @@
 
 namespace xtalk::service {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kProtocolVersion = 2;
 /// Frame header size on the socket (payload length prefix).
 inline constexpr std::size_t kFrameHeaderBytes = 4;
 
@@ -46,6 +46,7 @@ enum class MsgType : std::uint8_t {
   kEcoClose = 9,
   kGetStats = 10,
   kShutdown = 11,       ///< begin drain; listener closes first
+  kHealth = 12,         ///< cheap load probe (answered on the event loop)
 
   // Responses.
   kHelloOk = 64,
@@ -58,6 +59,7 @@ enum class MsgType : std::uint8_t {
   kEcoClosed = 71,
   kStats = 72,
   kShutdownOk = 73,
+  kHealthOk = 74,
   kError = 127,
 };
 
@@ -72,6 +74,7 @@ enum class ErrorCode : std::uint8_t {
   kEditRejected = 4,    ///< DesignEditor refused the edit (e.g. cycle)
   kShuttingDown = 5,    ///< server is draining; no new work admitted
   kInternal = 6,        ///< unexpected exception while serving
+  kVersionMismatch = 7,  ///< hello carried an unsupported protocol version
 };
 
 const char* error_code_name(ErrorCode code);
@@ -79,6 +82,17 @@ const char* error_code_name(ErrorCode code);
 // ---------------------------------------------------------------------------
 // Request bodies
 // ---------------------------------------------------------------------------
+
+/// Hello carries the client's wire version so the server can reject a
+/// mismatched client with a typed kVersionMismatch error instead of
+/// misdecoding its frames. Version 1 clients sent an empty hello body; the
+/// server treats that as version 1 (still rejected, but with a clean error).
+struct HelloMsg {
+  std::uint32_t protocol_version = kProtocolVersion;
+
+  void encode(util::WireWriter& w) const;
+  bool decode(util::WireReader& r);
+};
 
 /// The numeric identity of an analysis request: every StaOptions field that
 /// can change a computed value, plus the result-invariant knobs worth
@@ -261,6 +275,28 @@ struct StatsMsg {
   std::uint64_t bytes_out = 0;
   std::uint64_t queue_peak = 0;
   double uptime_seconds = 0.0;
+  /// ECO sessions destroyed because their connection died (vs. client
+  /// kEcoClose). A growing value under chaos is expected; a growing value
+  /// in production means clients are leaking sessions.
+  std::uint64_t eco_sessions_reaped = 0;
+  std::uint64_t connections_evicted = 0;  ///< stall/backpressure evictions
+
+  void encode(util::WireWriter& w) const;
+  bool decode(util::WireReader& r);
+};
+
+/// Load-shedding probe (kHealth → kHealthOk). Served directly from the
+/// event loop without touching an executor, so it stays responsive even
+/// when every worker is busy — exactly what an LB health check needs.
+struct HealthMsg {
+  bool accepting = true;  ///< false once drain started
+  std::uint32_t protocol_version = kProtocolVersion;
+  std::uint64_t connections = 0;
+  std::uint64_t queue_depth = 0;       ///< queued + in-flight requests
+  std::uint64_t soft_queue_limit = 0;  ///< admission clamp threshold
+  bool clamping = false;               ///< queue_depth ≥ soft_queue_limit
+  std::uint64_t eco_sessions_open = 0;
+  std::uint64_t outbox_bytes = 0;  ///< responses buffered for slow readers
 
   void encode(util::WireWriter& w) const;
   bool decode(util::WireReader& r);

@@ -1,0 +1,170 @@
+// Resilient client: reconnect, retry, and ECO session recovery.
+//
+// ResilientClient wraps the one-connection XtalkClient with the failure
+// policy DESIGN.md §14 specifies:
+//
+//   * Idempotent requests (hello/ping/run_sta/queries/stats/health) retry
+//     transparently after any TransportError: reconnect with exponential
+//     backoff + deterministic jitter, bounded by a retry budget. Re-running
+//     an analysis is safe because results are a pure function of the design
+//     and the RunSpec (the engine's bitwise-determinism contract).
+//
+//   * ECO sessions are NOT idempotent on the wire — but they are
+//     *reconstructible*. The handle journals every accepted edit batch
+//     client-side; since the server destroys a session when its connection
+//     dies, a transport failure always means the server-side session is
+//     gone, so recovery = open a fresh COW session and replay the journal.
+//     Replay can never double-apply: there is no surviving server state to
+//     collide with. The recovered session is bitwise identical to an
+//     uninterrupted one (PR 2's incremental-vs-scratch oracle).
+//
+//   * ServiceError (a typed protocol error) is never retried — the request
+//     failed for a reason retrying cannot fix — with one wrinkle: a
+//     rejected edit batch may be *partially* applied server-side, so the
+//     handle drops the batch from its journal and marks the server session
+//     poisoned; the next operation rebuilds it from the clean journal.
+//
+// Request ids keep increasing monotonically across reconnects (the id
+// stream is carried over), so server logs show one coherent client.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "util/fault_socket.hpp"
+#include "util/rng.hpp"
+#include "util/wire.hpp"
+
+namespace xtalk::service {
+
+struct RetryPolicy {
+  /// Transport attempts per operation (connect + exchange = one attempt).
+  int max_attempts = 6;
+  /// Backoff before attempt k (k ≥ 1): min(base << (k-1), max), jittered.
+  int base_backoff_ms = 5;
+  int max_backoff_ms = 500;
+  /// Jitter fraction: the delay is scaled by a uniform draw from
+  /// [1 - jitter/2, 1 + jitter/2]. Deterministic via `seed`.
+  double jitter = 0.5;
+  /// Seed for the jitter stream (deterministic tests pin it).
+  std::uint64_t seed = 1;
+  /// Per-request read deadline handed to the underlying client; 0 = none.
+  int read_timeout_ms = 10000;
+};
+
+/// Local resilience counters (client side; cheap, no locking — one
+/// ResilientClient is single-threaded like XtalkClient).
+struct ResilienceStats {
+  std::uint64_t attempts = 0;    ///< transport attempts, incl. first tries
+  std::uint64_t retries = 0;     ///< attempts that were repeats
+  std::uint64_t reconnects = 0;  ///< sockets (re-)established
+  std::uint64_t sessions_recovered = 0;  ///< ECO journal replays
+  std::vector<double> recovery_ms;       ///< wall time of each replay
+};
+
+class ResilientClient;
+
+/// A recoverable ECO session. Obtained from ResilientClient::eco_open();
+/// must not outlive its client. Move-only.
+class EcoHandle {
+ public:
+  EcoHandle() = default;
+  EcoHandle(EcoHandle&&) = default;
+  EcoHandle& operator=(EcoHandle&&) = default;
+  EcoHandle(const EcoHandle&) = delete;
+  EcoHandle& operator=(const EcoHandle&) = delete;
+
+  bool open() const { return owner_ != nullptr; }
+  /// Batches journaled so far (accepted edits only).
+  std::size_t journal_size() const { return journal_.size(); }
+
+  /// Apply one edit batch; journals it on success. Throws ServiceError on
+  /// semantic rejection (batch dropped from the journal, session rebuilt on
+  /// the next operation), TransportError when the retry budget is spent.
+  std::uint32_t edit(const std::vector<EcoOp>& ops);
+  /// Incremental re-timing; bitwise equal to a from-scratch run over the
+  /// journaled edits, even when recovery replayed them onto a new session.
+  RunResultMsg run();
+  /// Close the server-side session (a no-op if the connection died, which
+  /// already destroyed it).
+  void close();
+
+ private:
+  friend class ResilientClient;
+
+  ResilientClient* owner_ = nullptr;
+  RunSpec spec_;
+  std::vector<std::vector<EcoOp>> journal_;
+  std::uint32_t session_id_ = 0;
+  /// Connection epoch the server-side session lives on; a reconnect bumps
+  /// the client epoch, implicitly invalidating every handle.
+  std::uint64_t epoch_ = 0;
+  /// Set after a rejected batch: server state may hold a partial batch, so
+  /// the session must be rebuilt from the journal before further use.
+  bool poisoned_ = false;
+};
+
+class ResilientClient {
+ public:
+  /// Connects lazily (first operation). `injector`, when given, arms every
+  /// connection this client makes, with `conn` as the schedule filter id.
+  ResilientClient(std::uint16_t tcp_port, RetryPolicy policy = {},
+                  util::WireLimits limits = {},
+                  util::SocketFaultInjector* injector = nullptr,
+                  std::int64_t conn = -1);
+
+  // --- idempotent operations (transparent retry) --------------------------
+  HelloOkMsg hello();
+  void ping();
+  RunResultMsg run_sta(const RunSpec& spec);
+  EndpointsMsg query_endpoints(const RunSpec& spec);
+  SlackMsg query_slack(const SlackQueryMsg& query);
+  HealthMsg health();
+  StatsMsg server_stats();
+  /// Retried like the rest; a connect refusal during retry is treated as
+  /// success (the server already closed its listener to drain).
+  void shutdown_server();
+
+  // --- recoverable ECO sessions -------------------------------------------
+  EcoHandle eco_open(const RunSpec& spec);
+
+  const ResilienceStats& resilience() const { return stats_; }
+  const RetryPolicy& policy() const { return policy_; }
+
+ private:
+  friend class EcoHandle;
+
+  /// Run `op` against a live connection, retrying TransportErrors within
+  /// the attempt budget. ServiceError passes through untouched.
+  template <typename Fn>
+  auto with_retry(Fn&& op) -> decltype(op());
+
+  void ensure_connected();
+  void drop_connection();
+  void backoff(int attempt);
+
+  /// True when the handle's server-side session is live on the current
+  /// connection and not poisoned.
+  bool session_live(const EcoHandle& h) const;
+  /// Open a fresh session and replay the journal (timed; counted).
+  void recover_session(EcoHandle& h);
+
+  std::uint16_t port_;
+  RetryPolicy policy_;
+  util::WireLimits limits_;
+  util::SocketFaultInjector* injector_;
+  std::int64_t conn_label_;
+
+  std::unique_ptr<XtalkClient> client_;
+  std::uint32_t next_request_id_ = 1;
+  std::uint64_t epoch_ = 0;  ///< bumped on every drop_connection()
+
+  util::Rng jitter_rng_;
+  ResilienceStats stats_;
+};
+
+}  // namespace xtalk::service

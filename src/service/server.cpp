@@ -100,6 +100,8 @@ StatsMsg XtalkServer::stats_snapshot() const {
   s.requests_truncated = requests_truncated_.load(std::memory_order_relaxed);
   s.requests_degraded_admission = admission_.degraded();
   s.eco_sessions_open = eco_open_.load(std::memory_order_relaxed);
+  s.eco_sessions_reaped = eco_reaped_.load(std::memory_order_relaxed);
+  s.connections_evicted = evicted_.load(std::memory_order_relaxed);
   s.connections_total = connections_total_.load(std::memory_order_relaxed);
   s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
@@ -128,13 +130,23 @@ void XtalkServer::event_loop() {
 
     // Close connections that have fully drained (no pending work, flushed
     // outbox). During normal operation only dead peers are reaped; during
-    // drain this is how the server winds down to zero connections.
+    // drain this is how the server winds down to zero connections. A peer
+    // that blew a progress deadline (slow-loris, or refusing to read its
+    // responses during drain) is declared gone first, so a stalled socket
+    // can never pin the server — drain always terminates.
+    const auto now = std::chrono::steady_clock::now();
     for (auto it = connections_.begin(); it != connections_.end();) {
       const auto& conn = it->second;
+      if (!conn->peer_gone && !conn->kill &&
+          connection_stalled(conn, now, stopping)) {
+        evicted_.fetch_add(1, std::memory_order_relaxed);
+        conn->peer_gone = true;
+      }
       const bool close_now =
           (conn->kill || conn->peer_gone || stopping) &&
           connection_drained(conn);
       if (close_now) {
+        reap_connection_sessions(*conn);
         it = connections_.erase(it);
       } else {
         ++it;
@@ -148,12 +160,19 @@ void XtalkServer::event_loop() {
     if (listener_.valid()) fds.push_back({listener_.fd(), POLLIN, 0});
     for (auto& [id, conn] : connections_) {
       short events = 0;
-      // Stop reading once draining/killing: received-but-unread bytes are
-      // not "in-flight requests", and resync after a kill is impossible.
-      if (!stopping && !conn->kill && !conn->peer_gone) events |= POLLIN;
+      std::size_t pending_out = 0;
       {
         std::lock_guard<std::mutex> lock(conn->out_mutex);
-        if (conn->out_off < conn->outbuf.size()) events |= POLLOUT;
+        pending_out = conn->outbuf.size() - conn->out_off;
+      }
+      if (pending_out > 0) events |= POLLOUT;
+      // Stop reading once draining/killing: received-but-unread bytes are
+      // not "in-flight requests", and resync after a kill is impossible.
+      // Backpressure: also stop reading while the outbox is over budget —
+      // the peer must drain responses before pipelining more requests.
+      if (!stopping && !conn->kill && !conn->peer_gone &&
+          pending_out < config_.max_outbox_bytes) {
+        events |= POLLIN;
       }
       if (events == 0) continue;
       fds.push_back({conn->sock.fd(), events, 0});
@@ -192,6 +211,8 @@ void XtalkServer::accept_pending() {
     conn->id = next_conn_id_++;
     conn->sock = std::move(sock);
     conn->executor = next_executor_++ % executors_.size();
+    conn->last_read_progress = std::chrono::steady_clock::now();
+    conn->last_write_progress = conn->last_read_progress;
     connections_.emplace(conn->id, conn);
     connections_total_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -241,10 +262,51 @@ void XtalkServer::parse_frames(const std::shared_ptr<Connection>& conn) {
     }
     if (conn->inbuf.size() - off < kFrameHeaderBytes + len) break;
     const std::uint8_t* payload = conn->inbuf.data() + off + kFrameHeaderBytes;
-    conn->ready.emplace_back(payload, payload + len);
+    if (len >= 1 && payload[0] == static_cast<std::uint8_t>(MsgType::kHealth)) {
+      // Health never queues behind analysis work: a load balancer probing a
+      // saturated server needs the truthful "I'm clamping" answer now, not
+      // after the queue it is asking about.
+      respond_health(conn, std::vector<std::uint8_t>(payload, payload + len));
+    } else {
+      conn->ready.emplace_back(payload, payload + len);
+    }
     off += kFrameHeaderBytes + len;
   }
   if (off > 0) conn->inbuf.erase(conn->inbuf.begin(), conn->inbuf.begin() + off);
+}
+
+void XtalkServer::respond_health(const std::shared_ptr<Connection>& conn,
+                                 const std::vector<std::uint8_t>& payload) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+  util::WireReader r(payload.data(), payload.size(), config_.wire);
+  MsgType type;
+  std::uint32_t request_id = 0;
+  if (!read_prologue(r, &type, &request_id) || !r.finish()) {
+    respond_error(*conn, request_id, ErrorCode::kMalformedFrame, r.error());
+    return;
+  }
+  HealthMsg m;
+  m.accepting = !stopping_.load(std::memory_order_acquire);
+  m.connections = static_cast<std::uint64_t>(connections_.size());
+  std::uint64_t depth = 0;
+  std::uint64_t outbox = 0;
+  for (const auto& [id, other] : connections_) {
+    depth += static_cast<std::uint64_t>(other->ready.size());
+    if (other->busy.load(std::memory_order_acquire)) ++depth;
+    std::lock_guard<std::mutex> lock(other->out_mutex);
+    outbox +=
+        static_cast<std::uint64_t>(other->outbuf.size() - other->out_off);
+  }
+  m.queue_depth = depth;
+  m.soft_queue_limit =
+      static_cast<std::uint64_t>(config_.admission.soft_queue);
+  m.clamping = m.soft_queue_limit > 0 && depth >= m.soft_queue_limit;
+  m.eco_sessions_open = eco_open_.load(std::memory_order_relaxed);
+  m.outbox_bytes = outbox;
+  util::WireWriter body;
+  m.encode(body);
+  respond(*conn, MsgType::kHealthOk, request_id, body);
+  requests_ok_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void XtalkServer::dispatch_ready(const std::shared_ptr<Connection>& conn) {
@@ -288,6 +350,50 @@ void XtalkServer::write_connection(const std::shared_ptr<Connection>& conn) {
     conn->outbuf.clear();
     conn->out_off = 0;
   }
+}
+
+bool XtalkServer::connection_stalled(const std::shared_ptr<Connection>& conn,
+                                     std::chrono::steady_clock::time_point now,
+                                     bool stopping) {
+  std::size_t pending_out = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mutex);
+    pending_out = conn->outbuf.size() - conn->out_off;
+  }
+  const std::size_t pending_in = conn->inbuf.size();
+  if (pending_out != conn->last_out_pending) {
+    conn->last_out_pending = pending_out;
+    conn->last_write_progress = now;
+  }
+  if (pending_in != conn->last_in_pending) {
+    conn->last_in_pending = pending_in;
+    conn->last_read_progress = now;
+  }
+  const int limit_ms =
+      stopping ? config_.drain_flush_timeout_ms : config_.stall_timeout_ms;
+  if (limit_ms <= 0) return false;
+  const auto limit = std::chrono::milliseconds(limit_ms);
+  // An unflushed outbox with no send progress: the peer stopped reading.
+  if (pending_out > 0 && now - conn->last_write_progress > limit) return true;
+  // A partial frame with no receive progress: a torn or slow-loris sender.
+  // (Idle connections with an empty inbuf are fine — keepalive is free.)
+  if (!stopping && pending_in > 0 && now - conn->last_read_progress > limit) {
+    return true;
+  }
+  return false;
+}
+
+void XtalkServer::reap_connection_sessions(Connection& conn) {
+  // The connection owns its ECO sessions; when it dies before kEcoClose the
+  // sessions die with it (the recovery contract clients rely on: a lost
+  // connection always means a lost session, so journal replay onto a fresh
+  // session can never double-apply edits). Only runs once the connection is
+  // drained (not busy), so the pinned executor is done touching conn.eco.
+  const std::uint64_t orphans = static_cast<std::uint64_t>(conn.eco.size());
+  if (orphans == 0) return;
+  conn.eco.clear();
+  eco_open_.fetch_sub(orphans, std::memory_order_relaxed);
+  eco_reaped_.fetch_add(orphans, std::memory_order_relaxed);
 }
 
 bool XtalkServer::connection_drained(const std::shared_ptr<Connection>& conn) {
@@ -353,9 +459,24 @@ void XtalkServer::handle_request(Executor& ex, const Request& req,
   try {
     switch (type) {
       case MsgType::kHello: {
-        if (!r.finish()) {
+        // Version 1 clients sent an empty hello body; anything else carries
+        // the client's wire version. Rejecting a mismatch here — before any
+        // other request type is decoded — is what keeps "undefined frame
+        // decoding" off the table for old clients.
+        HelloMsg hello;
+        if (r.remaining() == 0) {
+          hello.protocol_version = 1;
+        } else if (!hello.decode(r) || !r.finish()) {
           respond_error(conn, request_id, ErrorCode::kMalformedFrame,
                         r.error());
+          return;
+        }
+        if (hello.protocol_version != kProtocolVersion) {
+          respond_error(conn, request_id, ErrorCode::kVersionMismatch,
+                        "client speaks protocol version " +
+                            std::to_string(hello.protocol_version) +
+                            ", server requires " +
+                            std::to_string(kProtocolVersion));
           return;
         }
         const sta::DesignView view = design_.view();

@@ -66,6 +66,19 @@ struct ServiceConfig {
   /// Server-side budget defaults merged into every request (0 = unlimited).
   util::RunBudget default_budget;
   DrainPolicy drain = DrainPolicy::kFinish;
+  /// Slow-loris eviction: a connection with a partial frame inbound or
+  /// unflushed responses outbound that makes no byte progress for this long
+  /// is treated as dead and closed. 0 disables.
+  int stall_timeout_ms = 30000;
+  /// During drain, a peer that stops reading its responses is force-closed
+  /// after this much write inactivity, so drain can never hang on a dead
+  /// reader. 0 disables (drain then waits forever, the pre-hardening
+  /// behaviour).
+  int drain_flush_timeout_ms = 5000;
+  /// Backpressure: stop reading from a connection while its outbox holds at
+  /// least this many unsent bytes (resumes when the peer drains it). Bounds
+  /// per-connection memory against a pipelining-but-never-reading client.
+  std::size_t max_outbox_bytes = 8u << 20;
 };
 
 class XtalkServer {
@@ -109,6 +122,14 @@ class XtalkServer {
     std::deque<std::vector<std::uint8_t>> ready;  ///< parsed payloads
     bool peer_gone = false;  ///< EOF/error seen; close once work drains
     bool kill = false;       ///< protocol violation; close once flushed
+    /// Progress deadlines (slow-loris eviction / drain flush grace). The
+    /// event loop samples the buffer watermarks each scan; any change —
+    /// bytes received, parsed, enqueued or flushed — counts as progress,
+    /// so the timestamps are only ever touched on the event loop thread.
+    std::chrono::steady_clock::time_point last_read_progress;
+    std::chrono::steady_clock::time_point last_write_progress;
+    std::size_t last_in_pending = 0;
+    std::size_t last_out_pending = 0;
     // --- cross-thread state ------------------------------------------
     std::atomic<bool> busy{false};  ///< a request is on an executor
     std::mutex out_mutex;
@@ -143,6 +164,17 @@ class XtalkServer {
   void dispatch_ready(const std::shared_ptr<Connection>& conn);
   void write_connection(const std::shared_ptr<Connection>& conn);
   bool connection_drained(const std::shared_ptr<Connection>& conn);
+  /// True when the connection blew a progress deadline and must be evicted.
+  /// Also advances the connection's progress watermarks.
+  bool connection_stalled(const std::shared_ptr<Connection>& conn,
+                          std::chrono::steady_clock::time_point now,
+                          bool stopping);
+  /// Answer a kHealth payload directly on the event loop (never queued, so
+  /// the probe stays responsive while every executor is busy).
+  void respond_health(const std::shared_ptr<Connection>& conn,
+                      const std::vector<std::uint8_t>& payload);
+  /// Account for (and drop) the ECO sessions of a dying connection.
+  void reap_connection_sessions(Connection& conn);
 
   // Executor helpers. All run on the connection's pinned executor.
   void handle_request(Executor& ex, const Request& req,
@@ -195,6 +227,8 @@ class XtalkServer {
   std::atomic<std::uint64_t> requests_error_{0};
   std::atomic<std::uint64_t> requests_truncated_{0};
   std::atomic<std::uint64_t> eco_open_{0};
+  std::atomic<std::uint64_t> eco_reaped_{0};
+  std::atomic<std::uint64_t> evicted_{0};
   std::atomic<std::uint64_t> connections_total_{0};
   std::atomic<std::uint64_t> bytes_in_{0};
   std::atomic<std::uint64_t> bytes_out_{0};

@@ -3,24 +3,36 @@
 //   xtalk_client --socket /tmp/xtalk.sock hello
 //   xtalk_client --socket /tmp/xtalk.sock run --mode one-step
 //   xtalk_client --tcp-port 7380 endpoints
+//   xtalk_client --tcp-port 7380 --retries 5 --timeout-ms 2000 health
 //   xtalk_client --socket /tmp/xtalk.sock stats
 //   xtalk_client --socket /tmp/xtalk.sock shutdown
+//
+// Over TCP the client retries idempotent requests through transport faults
+// (--retries, exponential backoff) instead of failing on the first torn
+// connection; --timeout-ms bounds every blocking read either way.
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "service/client.hpp"
+#include "service/retry.hpp"
 
 namespace {
 
 void usage() {
   std::cerr
       << "usage: xtalk_client [--socket PATH | --tcp-port N] COMMAND\n"
+         "  --timeout-ms N            per-read deadline (default 10000 over\n"
+         "                            TCP, unbounded on unix sockets)\n"
+         "  --retries N               retry budget over TCP (default 5;\n"
+         "                            0 = fail on the first fault)\n"
          "commands:\n"
          "  hello                     design summary\n"
          "  ping                      liveness check\n"
          "  run [run options]         full analysis, print summary\n"
          "  endpoints [run options]   all endpoint arrivals of the baseline\n"
+         "  health                    load probe (answered on the event\n"
+         "                            loop, never queued)\n"
          "  stats                     server counters\n"
          "  shutdown                  graceful drain\n"
          "run options:\n"
@@ -42,6 +54,86 @@ xtalk::sta::AnalysisMode parse_mode(const std::string& m) {
   throw std::runtime_error("unknown mode " + m);
 }
 
+// The two client flavors agree on every method except the stats name.
+xtalk::service::StatsMsg get_stats(xtalk::service::XtalkClient& c) {
+  return c.stats();
+}
+xtalk::service::StatsMsg get_stats(xtalk::service::ResilientClient& c) {
+  return c.server_stats();
+}
+void do_shutdown(xtalk::service::XtalkClient& c) { c.shutdown_server(); }
+void do_shutdown(xtalk::service::ResilientClient& c) { c.shutdown_server(); }
+
+/// Dispatch `command` against either client flavor.
+template <typename Client>
+int run_command(Client& client, const std::string& command,
+                const xtalk::service::RunSpec& spec) {
+  using namespace xtalk;
+  if (command == "hello") {
+    const service::HelloOkMsg m = client.hello();
+    std::cout << "design " << m.design_name << ": " << m.num_gates
+              << " gates, " << m.num_nets << " nets, " << m.num_levels
+              << " levels (protocol v" << m.protocol_version << ")\n";
+  } else if (command == "ping") {
+    client.ping();
+    std::cout << "pong\n";
+  } else if (command == "run") {
+    const service::RunResultMsg m = client.run_sta(spec);
+    std::cout << "longest path delay: " << m.longest_path_delay * 1e9
+              << " ns (net " << m.critical.net << ", "
+              << (m.critical.rising ? "rising" : "falling") << ")\n"
+              << "passes: " << m.passes
+              << ", waveform calcs: " << m.waveform_calculations
+              << ", runtime: " << m.runtime_seconds << " s\n";
+    if (m.budget_exhausted) {
+      std::cout << "TRUNCATED (conservative="
+                << (m.conservative ? "yes" : "no") << ", "
+                << m.untimed_endpoints.size() << " untimed endpoints)\n";
+    }
+    if (!m.trace_path.empty())
+      std::cout << "trace written to " << m.trace_path << "\n";
+  } else if (command == "endpoints") {
+    const service::EndpointsMsg m = client.query_endpoints(spec);
+    for (const service::WireEndpoint& e : m.endpoints) {
+      std::cout << "net " << e.net << (e.rising ? " r " : " f ")
+                << e.arrival * 1e9 << " ns\n";
+    }
+    std::cout << "longest path delay: " << m.longest_path_delay * 1e9
+              << " ns\n";
+  } else if (command == "health") {
+    const service::HealthMsg h = client.health();
+    std::cout << (h.accepting ? "accepting" : "draining") << " (protocol v"
+              << h.protocol_version << ")\n"
+              << "connections: " << h.connections
+              << ", queue depth: " << h.queue_depth << "/"
+              << h.soft_queue_limit
+              << (h.clamping ? " (clamping budgets)" : "") << "\n"
+              << "eco sessions open: " << h.eco_sessions_open
+              << ", outbox backlog: " << h.outbox_bytes << " bytes\n";
+  } else if (command == "stats") {
+    const service::StatsMsg s = get_stats(client);
+    std::cout << "requests: " << s.requests_total << " total, "
+              << s.requests_ok << " ok, " << s.requests_error << " error, "
+              << s.requests_truncated << " truncated, "
+              << s.requests_degraded_admission << " degraded\n"
+              << "eco sessions open: " << s.eco_sessions_open << " (reaped "
+              << s.eco_sessions_reaped << "), connections: "
+              << s.connections_total << " (evicted " << s.connections_evicted
+              << ")\n"
+              << "bytes in/out: " << s.bytes_in << "/" << s.bytes_out
+              << ", queue peak: " << s.queue_peak << ", uptime: "
+              << s.uptime_seconds << " s\n";
+  } else if (command == "shutdown") {
+    do_shutdown(client);
+    std::cout << "server draining\n";
+  } else {
+    std::cerr << "unknown command " << command << "\n";
+    usage();
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -50,6 +142,8 @@ int main(int argc, char** argv) {
   std::string socket_path = "/tmp/xtalk.sock";
   bool use_tcp = false;
   std::uint16_t tcp_port = 0;
+  int timeout_ms = -1;  // -1 = flavor default
+  int retries = 5;
   std::string command;
   service::RunSpec spec;
 
@@ -67,6 +161,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--tcp-port") {
       use_tcp = true;
       tcp_port = static_cast<std::uint16_t>(std::stoul(value()));
+    } else if (arg == "--timeout-ms") {
+      timeout_ms = std::stoi(value());
+    } else if (arg == "--retries") {
+      retries = std::stoi(value());
     } else if (arg == "--mode") {
       spec.mode = parse_mode(value());
     } else if (arg == "--nldm") {
@@ -94,60 +192,16 @@ int main(int argc, char** argv) {
   }
 
   try {
-    service::XtalkClient client =
-        use_tcp ? service::XtalkClient::connect_tcp(tcp_port)
-                : service::XtalkClient::connect_unix(socket_path);
-    if (command == "hello") {
-      const service::HelloOkMsg m = client.hello();
-      std::cout << "design " << m.design_name << ": " << m.num_gates
-                << " gates, " << m.num_nets << " nets, " << m.num_levels
-                << " levels (protocol v" << m.protocol_version << ")\n";
-    } else if (command == "ping") {
-      client.ping();
-      std::cout << "pong\n";
-    } else if (command == "run") {
-      const service::RunResultMsg m = client.run_sta(spec);
-      std::cout << "longest path delay: " << m.longest_path_delay * 1e9
-                << " ns (net " << m.critical.net << ", "
-                << (m.critical.rising ? "rising" : "falling") << ")\n"
-                << "passes: " << m.passes
-                << ", waveform calcs: " << m.waveform_calculations
-                << ", runtime: " << m.runtime_seconds << " s\n";
-      if (m.budget_exhausted) {
-        std::cout << "TRUNCATED (conservative="
-                  << (m.conservative ? "yes" : "no") << ", "
-                  << m.untimed_endpoints.size() << " untimed endpoints)\n";
-      }
-      if (!m.trace_path.empty())
-        std::cout << "trace written to " << m.trace_path << "\n";
-    } else if (command == "endpoints") {
-      const service::EndpointsMsg m = client.query_endpoints(spec);
-      for (const service::WireEndpoint& e : m.endpoints) {
-        std::cout << "net " << e.net << (e.rising ? " r " : " f ")
-                  << e.arrival * 1e9 << " ns\n";
-      }
-      std::cout << "longest path delay: " << m.longest_path_delay * 1e9
-                << " ns\n";
-    } else if (command == "stats") {
-      const service::StatsMsg s = client.stats();
-      std::cout << "requests: " << s.requests_total << " total, "
-                << s.requests_ok << " ok, " << s.requests_error << " error, "
-                << s.requests_truncated << " truncated, "
-                << s.requests_degraded_admission << " degraded\n"
-                << "eco sessions open: " << s.eco_sessions_open
-                << ", connections: " << s.connections_total << "\n"
-                << "bytes in/out: " << s.bytes_in << "/" << s.bytes_out
-                << ", queue peak: " << s.queue_peak << ", uptime: "
-                << s.uptime_seconds << " s\n";
-    } else if (command == "shutdown") {
-      client.shutdown_server();
-      std::cout << "server draining\n";
-    } else {
-      std::cerr << "unknown command " << command << "\n";
-      usage();
-      return 2;
+    if (use_tcp) {
+      service::RetryPolicy policy;
+      policy.max_attempts = std::max(1, retries + 1);
+      policy.read_timeout_ms = timeout_ms >= 0 ? timeout_ms : 10000;
+      service::ResilientClient client(tcp_port, policy);
+      return run_command(client, command, spec);
     }
-    return 0;
+    service::XtalkClient client = service::XtalkClient::connect_unix(socket_path);
+    if (timeout_ms >= 0) client.set_read_timeout_ms(timeout_ms);
+    return run_command(client, command, spec);
   } catch (const std::exception& e) {
     std::cerr << "xtalk_client: " << e.what() << "\n";
     return 1;

@@ -45,7 +45,15 @@ void usage() {
          "  --max-calcs N       default per-request waveform-calc budget\n"
          "  --soft-queue N      admission clamp threshold (default 8)\n"
          "  --drain-truncate    truncate in-flight runs on shutdown instead\n"
-         "                      of finishing them\n";
+         "                      of finishing them\n"
+         "  --stall-timeout-ms N\n"
+         "                      evict connections making no read/write\n"
+         "                      progress for N ms (default 30000, 0 = never)\n"
+         "  --drain-flush-ms N  per-connection flush grace during drain\n"
+         "                      (default 5000)\n"
+         "  --max-outbox-bytes N\n"
+         "                      pause reading from a connection whose\n"
+         "                      response backlog exceeds N (default 8 MiB)\n";
 }
 
 }  // namespace
@@ -90,6 +98,12 @@ int main(int argc, char** argv) {
       config.admission.soft_queue = std::stoul(value());
     } else if (arg == "--drain-truncate") {
       config.drain = service::DrainPolicy::kTruncate;
+    } else if (arg == "--stall-timeout-ms") {
+      config.stall_timeout_ms = std::stoi(value());
+    } else if (arg == "--drain-flush-ms") {
+      config.drain_flush_timeout_ms = std::stoi(value());
+    } else if (arg == "--max-outbox-bytes") {
+      config.max_outbox_bytes = std::stoul(value());
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;

@@ -1,0 +1,527 @@
+#include "util/fault_socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "util/diag.hpp"
+#include "util/rng.hpp"
+
+namespace xtalk::util {
+
+namespace {
+
+[[noreturn]] void throw_file_error(std::string message) {
+  Diagnostic d;
+  d.code = DiagCode::kFileError;
+  d.severity = Severity::kError;
+  d.message = std::move(message);
+  throw DiagError(std::move(d));
+}
+
+void sleep_sliced(std::uint32_t total_ms, const std::atomic<bool>* stop) {
+  // Sleep in 10 ms slices so an injected stall never outlives a shutdown
+  // request by more than one slice.
+  std::uint32_t left = total_ms;
+  while (left > 0) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) return;
+    const std::uint32_t slice = std::min<std::uint32_t>(left, 10);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    left -= slice;
+  }
+}
+
+std::uint64_t mix64(std::uint64_t x) {
+  // splitmix64 finalizer: decorrelates (seed, conn_index) pairs so nearby
+  // connection indices draw unrelated schedules.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* socket_fault_kind_name(SocketFaultKind kind) {
+  switch (kind) {
+    case SocketFaultKind::kShortRead:
+      return "short-read";
+    case SocketFaultKind::kShortWrite:
+      return "short-write";
+    case SocketFaultKind::kTearRead:
+      return "tear-read";
+    case SocketFaultKind::kTearWrite:
+      return "tear-write";
+    case SocketFaultKind::kStallRead:
+      return "stall-read";
+    case SocketFaultKind::kStallWrite:
+      return "stall-write";
+    case SocketFaultKind::kConnectRefused:
+      return "connect-refused";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// SocketFaultInjector
+// ---------------------------------------------------------------------------
+
+bool SocketFaultInjector::matches(SocketFaultKind kind, SocketFaultOp op) {
+  switch (op) {
+    case SocketFaultOp::kRecv:
+      return kind == SocketFaultKind::kShortRead ||
+             kind == SocketFaultKind::kTearRead ||
+             kind == SocketFaultKind::kStallRead;
+    case SocketFaultOp::kSend:
+      return kind == SocketFaultKind::kShortWrite ||
+             kind == SocketFaultKind::kTearWrite ||
+             kind == SocketFaultKind::kStallWrite;
+    case SocketFaultOp::kConnect:
+      return kind == SocketFaultKind::kConnectRefused;
+  }
+  return false;
+}
+
+void SocketFaultInjector::add(SocketFaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  specs_.push_back(Armed{spec, 0, 0});
+}
+
+void SocketFaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& a : specs_) {
+    a.seen = 0;
+    a.fired = 0;
+  }
+}
+
+void SocketFaultInjector::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  specs_.clear();
+}
+
+SocketFireInfo SocketFaultInjector::should_fire(SocketFaultOp op,
+                                                std::int64_t conn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SocketFireInfo info;
+  for (auto& a : specs_) {
+    // Filter before counting: a spec only sees probes that match its kind's
+    // op class and its connection filter, so the firing index is a property
+    // of that connection's own op stream, independent of global interleaving.
+    if (!matches(a.spec.kind, op)) continue;
+    if (a.spec.conn >= 0 && a.spec.conn != conn) continue;
+    const std::uint64_t call = a.seen++;
+    if (call < a.spec.after) continue;
+    if (a.fired >= a.spec.count) continue;
+    info.fire = true;
+    info.first = (a.fired == 0);
+    info.kind = a.spec.kind;
+    info.stall_ms = a.spec.stall_ms;
+    ++a.fired;
+    return info;  // first matching spec wins, like the solver injector
+  }
+  return info;
+}
+
+std::uint64_t SocketFaultInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& a : specs_) total += a.fired;
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// FaultSocket
+// ---------------------------------------------------------------------------
+
+SocketFireInfo FaultSocket::probe(SocketFaultOp op) {
+  if (injector_ == nullptr) return SocketFireInfo{};
+  return injector_->should_fire(op, conn_);
+}
+
+std::ptrdiff_t FaultSocket::recv_some(void* buf, std::size_t n,
+                                      bool* would_block, std::string* error) {
+  *would_block = false;
+  if (!broken_.empty()) {
+    if (error != nullptr) *error = broken_;
+    return -1;
+  }
+  std::size_t limit = n;
+  const SocketFireInfo f = probe(SocketFaultOp::kRecv);
+  if (f.fire) {
+    switch (f.kind) {
+      case SocketFaultKind::kShortRead:
+        limit = std::min<std::size_t>(limit, 1);
+        break;
+      case SocketFaultKind::kTearRead:
+        broken_ = "read: injected connection reset by peer";
+        sock_.close();
+        if (error != nullptr) *error = broken_;
+        return -1;
+      case SocketFaultKind::kStallRead:
+        sleep_sliced(f.stall_ms, nullptr);
+        break;
+      default:
+        break;
+    }
+  }
+  return sock_.recv_some(buf, limit, would_block, error);
+}
+
+std::ptrdiff_t FaultSocket::send_some(const void* buf, std::size_t n,
+                                      bool* would_block, std::string* error) {
+  *would_block = false;
+  if (!broken_.empty()) {
+    if (error != nullptr) *error = broken_;
+    return -1;
+  }
+  std::size_t limit = n;
+  const SocketFireInfo f = probe(SocketFaultOp::kSend);
+  if (f.fire) {
+    switch (f.kind) {
+      case SocketFaultKind::kShortWrite:
+        limit = std::min<std::size_t>(limit, 1);
+        break;
+      case SocketFaultKind::kTearWrite:
+        broken_ = "send: injected broken pipe";
+        sock_.close_abortive();
+        if (error != nullptr) *error = broken_;
+        return -1;
+      case SocketFaultKind::kStallWrite:
+        sleep_sliced(f.stall_ms, nullptr);
+        break;
+      default:
+        break;
+    }
+  }
+  return sock_.send_some(buf, limit, would_block, error);
+}
+
+void FaultSocket::send_all(const void* buf, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  while (n > 0) {
+    bool would_block = false;
+    std::string error;
+    const std::ptrdiff_t put = send_some(p, n, &would_block, &error);
+    if (put < 0) {
+      if (would_block) continue;
+      throw_file_error(std::move(error));
+    }
+    p += put;
+    n -= static_cast<std::size_t>(put);
+  }
+}
+
+RecvOutcome FaultSocket::recv_exact_deadline(void* buf, std::size_t n,
+                                             int timeout_ms,
+                                             std::string* error) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  const bool bounded = timeout_ms > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(bounded ? timeout_ms : 0);
+  while (n > 0) {
+    if (!broken_.empty()) {
+      if (error != nullptr) *error = broken_;
+      return RecvOutcome::kError;
+    }
+    if (bounded) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+      if (left <= 0) return RecvOutcome::kTimeout;
+      // Poll before reading so a peer that stops sending mid-frame cannot
+      // park us in a blocking read past the deadline.
+      short revents = 0;
+      try {
+        revents = sock_.poll_wait(POLLIN, static_cast<int>(left));
+      } catch (const DiagError& e) {
+        if (error != nullptr) *error = e.diagnostic().message;
+        return RecvOutcome::kError;
+      }
+      if (revents == 0) return RecvOutcome::kTimeout;
+    }
+    bool would_block = false;
+    std::string err;
+    const std::ptrdiff_t got = recv_some(p, n, &would_block, &err);
+    if (got == 0) {
+      if (error != nullptr) {
+        *error = "connection closed mid-frame (" + std::to_string(n) +
+                 " bytes outstanding)";
+      }
+      return RecvOutcome::kClosed;
+    }
+    if (got < 0) {
+      if (would_block) continue;  // raced with another reader or spurious wake
+      if (error != nullptr) *error = std::move(err);
+      return RecvOutcome::kError;
+    }
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return RecvOutcome::kOk;
+}
+
+FaultSocket fault_connect_tcp_loopback(std::uint16_t port,
+                                       SocketFaultInjector* injector,
+                                       std::int64_t conn) {
+  if (injector != nullptr) {
+    const SocketFireInfo f =
+        injector->should_fire(SocketFaultOp::kConnect, conn);
+    if (f.fire) {
+      throw_file_error("connect(127.0.0.1:" + std::to_string(port) +
+                       "): injected connection refused");
+    }
+  }
+  FaultSocket fs(connect_tcp_loopback(port));
+  fs.arm(injector, conn);
+  return fs;
+}
+
+// ---------------------------------------------------------------------------
+// ChaosProxy
+// ---------------------------------------------------------------------------
+
+// One scheduled fault in a proxied connection's byte stream. Offsets count
+// bytes forwarded in that direction, so a cut at offset 2 of a response
+// tears the 4-byte frame header and a larger offset tears the payload —
+// the proxy never parses frames, faults land wherever the offset falls.
+struct ChaosProxy::Event {
+  enum class Type : std::uint8_t { kCut, kStall, kChunk };
+  Type type = Type::kCut;
+  int dir = 0;  ///< 0: client→server, 1: server→client
+  std::uint64_t offset = 0;
+  std::uint32_t span = 0;  ///< chunked-forwarding length in bytes
+};
+
+void ChaosProxy::start() {
+  listener_ = Listener::tcp_loopback(0);
+  stopping_.store(false, std::memory_order_relaxed);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  started_ = true;
+}
+
+void ChaosProxy::stop() {
+  if (!started_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  wake_.notify();
+  // Join the accept thread before touching the listener: accept_loop polls
+  // the listener fd, so closing it here would race with that read.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  std::vector<std::thread> relays;
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    relays.swap(relay_threads_);
+  }
+  for (auto& t : relays) {
+    if (t.joinable()) t.join();
+  }
+  started_ = false;
+}
+
+ChaosProxyStats ChaosProxy::stats() const {
+  ChaosProxyStats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.refusals = refusals_.load(std::memory_order_relaxed);
+  s.cuts = cuts_.load(std::memory_order_relaxed);
+  s.stalls = stalls_.load(std::memory_order_relaxed);
+  s.chunked_spans = chunked_.load(std::memory_order_relaxed);
+  s.bytes_relayed = bytes_relayed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ChaosProxy::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd fds[2];
+    fds[0] = {listener_.fd(), POLLIN, 0};
+    fds[1] = {wake_.read_fd(), POLLIN, 0};
+    const int rc = ::poll(fds, 2, 100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    wake_.drain();
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    for (;;) {
+      Socket client = listener_.accept_nonblocking();
+      if (!client.valid()) break;
+      const std::uint64_t index =
+          connections_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      relay_threads_.emplace_back(
+          [this, c = std::move(client), index]() mutable {
+            relay(std::move(c), index);
+          });
+    }
+  }
+}
+
+void ChaosProxy::relay(Socket client, std::uint64_t conn_index) {
+  // The schedule is a pure function of (seed, conn_index): single-client
+  // tests see connection k draw the same faults on every run, and the load
+  // bench keeps determinism across client counts by giving each client
+  // thread its own proxy (so accept order inside one proxy is serial).
+  Rng rng(config_.seed ^ mix64(conn_index + 1));
+  std::vector<Event> schedule[2];
+  bool refuse = false;
+  if (config_.seed != 0 && rng.next_bool(config_.fault_rate)) {
+    if (rng.next_bool(0.12)) {
+      refuse = true;
+    } else {
+      const std::uint32_t n_events =
+          1 + static_cast<std::uint32_t>(
+                  rng.next_below(std::max<std::uint32_t>(
+                      config_.max_events_per_conn, 1)));
+      for (std::uint32_t i = 0; i < n_events; ++i) {
+        Event ev;
+        const double p = rng.next_double();
+        ev.type = p < 0.40   ? Event::Type::kCut
+                  : p < 0.65 ? Event::Type::kStall
+                             : Event::Type::kChunk;
+        ev.dir = rng.next_bool(0.5) ? 0 : 1;
+        // Frame headers are 4 bytes and typical frames are tens to a few
+        // thousand bytes, so this range tears mid-header, mid-payload and
+        // between frames with useful frequency.
+        ev.offset = rng.next_below(2000);
+        ev.span = 8 + static_cast<std::uint32_t>(rng.next_below(56));
+        schedule[ev.dir].push_back(ev);
+      }
+      for (auto& dir_events : schedule) {
+        std::sort(dir_events.begin(), dir_events.end(),
+                  [](const Event& a, const Event& b) {
+                    return a.offset < b.offset;
+                  });
+      }
+    }
+  }
+
+  if (refuse) {
+    // Modeled refusal: accept then RST before relaying a byte, so the
+    // client's first read/write on an apparently-good connect fails.
+    refusals_.fetch_add(1, std::memory_order_relaxed);
+    client.close_abortive();
+    return;
+  }
+
+  Socket upstream;
+  try {
+    upstream = connect_tcp_loopback(config_.upstream_port);
+  } catch (const DiagError&) {
+    client.close_abortive();
+    return;
+  }
+  upstream.set_nonblocking(true);
+
+  Socket* socks[2] = {&client, &upstream};  // index = source of direction d
+  std::uint64_t forwarded[2] = {0, 0};
+  std::size_t next_event[2] = {0, 0};
+  std::uint64_t chunk_left[2] = {0, 0};
+  bool open[2] = {true, true};
+
+  auto cut_both = [&] {
+    cuts_.fetch_add(1, std::memory_order_relaxed);
+    client.close_abortive();
+    upstream.close_abortive();
+  };
+
+  // Blocking-ish forward of `n` bytes from buf to dst (poll + retry) so a
+  // momentarily-full socket buffer doesn't drop relay bytes.
+  auto forward = [&](Socket& dst, const std::uint8_t* buf,
+                     std::size_t n) -> bool {
+    while (n > 0) {
+      if (stopping_.load(std::memory_order_relaxed)) return false;
+      bool would_block = false;
+      std::string error;
+      const std::ptrdiff_t put = dst.send_some(buf, n, &would_block, &error);
+      if (put < 0) {
+        if (would_block) {
+          try {
+            dst.poll_wait(POLLOUT, 50);
+          } catch (const DiagError&) {
+            return false;
+          }
+          continue;
+        }
+        return false;
+      }
+      buf += put;
+      n -= static_cast<std::size_t>(put);
+    }
+    return true;
+  };
+
+  std::uint8_t buf[4096];
+  while (!stopping_.load(std::memory_order_relaxed) && (open[0] || open[1])) {
+    pollfd fds[2];
+    fds[0] = {open[0] ? client.fd() : -1, POLLIN, 0};
+    fds[1] = {open[1] ? upstream.fd() : -1, POLLIN, 0};
+    const int rc = ::poll(fds, 2, 50);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) continue;
+    for (int d = 0; d < 2; ++d) {
+      if (!open[d] || (fds[d].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      // Fire every due event before moving bytes, then bound the read so we
+      // cannot overshoot the next scheduled offset.
+      std::size_t limit = sizeof(buf);
+      auto& events = schedule[d];
+      for (;;) {
+        if (next_event[d] < events.size() &&
+            events[next_event[d]].offset <= forwarded[d]) {
+          const Event& ev = events[next_event[d]++];
+          if (ev.type == Event::Type::kCut) {
+            cut_both();
+            return;
+          }
+          if (ev.type == Event::Type::kStall) {
+            stalls_.fetch_add(1, std::memory_order_relaxed);
+            sleep_sliced(config_.stall_ms, &stopping_);
+          } else {
+            chunked_.fetch_add(1, std::memory_order_relaxed);
+            chunk_left[d] += ev.span;
+          }
+          continue;
+        }
+        break;
+      }
+      if (next_event[d] < events.size()) {
+        limit = std::min<std::size_t>(
+            limit,
+            static_cast<std::size_t>(events[next_event[d]].offset -
+                                     forwarded[d]));
+      }
+      if (chunk_left[d] > 0) limit = 1;
+
+      bool would_block = false;
+      std::string error;
+      const std::ptrdiff_t got =
+          socks[d]->recv_some(buf, limit, &would_block, &error);
+      if (got < 0 && would_block) continue;
+      if (got <= 0) {
+        // Source half is done (EOF or error): propagate the shutdown to the
+        // other side so the peer's reads terminate, keep relaying the
+        // opposite direction.
+        open[d] = false;
+        ::shutdown(socks[1 - d]->fd(), SHUT_WR);
+        continue;
+      }
+      if (!forward(*socks[1 - d], buf, static_cast<std::size_t>(got))) {
+        open[d] = false;
+        continue;
+      }
+      forwarded[d] += static_cast<std::uint64_t>(got);
+      bytes_relayed_.fetch_add(static_cast<std::uint64_t>(got),
+                               std::memory_order_relaxed);
+      if (chunk_left[d] > 0) --chunk_left[d];
+    }
+  }
+}
+
+}  // namespace xtalk::util

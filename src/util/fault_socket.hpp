@@ -1,0 +1,236 @@
+// Deterministic socket fault injection for the analysis service.
+//
+// Two layers, mirroring the PR 3 solver injector's filtered-before-count
+// discipline (every spec counts its *own* matching probe calls, scoped by a
+// connection filter, so a schedule fires identically regardless of thread
+// count or interleaving):
+//
+//   SocketFaultInjector + FaultSocket — an in-process wrapper around
+//   util::Socket whose recv/send/connect paths probe the injector: short
+//   reads/writes (1-byte deliveries), injected ECONNRESET/EPIPE at a
+//   scheduled op, stalls, and connect refusals. A null injector costs one
+//   pointer test, so production clients carry the hook for free.
+//
+//   ChaosProxy — an in-process TCP relay that sits between a real client
+//   and a real server and applies a *seeded byte-offset fault schedule* per
+//   proxied connection: torn frames (forward N bytes, then RST both sides —
+//   N lands mid-header or mid-payload), stalls at byte offsets, 1-byte
+//   chunked forwarding, and connect refusals. The schedule for connection k
+//   is a pure function of (seed, k), so a single-client test replays
+//   bit-identically, and the load bench gives each client thread its own
+//   proxy so schedules stay reproducible across client counts.
+//
+// Everything here is deliberately kernel-real: a ChaosProxy cut delivers an
+// actual RST to both endpoints, which is what the client retry layer and
+// the server's eviction logic must survive in production.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/socket.hpp"
+
+namespace xtalk::util {
+
+enum class SocketFaultKind : std::uint8_t {
+  kShortRead,       ///< clamp one recv to a single byte
+  kShortWrite,      ///< clamp one send to a single byte
+  kTearRead,        ///< fail a recv with injected ECONNRESET and poison the fd
+  kTearWrite,       ///< fail a send with injected EPIPE and poison the fd
+  kStallRead,       ///< delay a recv by stall_ms before proceeding
+  kStallWrite,      ///< delay a send by stall_ms before proceeding
+  kConnectRefused,  ///< fail a connect probe with injected ECONNREFUSED
+};
+
+const char* socket_fault_kind_name(SocketFaultKind kind);
+
+/// Probe classes FaultSocket reports to the injector.
+enum class SocketFaultOp : std::uint8_t { kRecv, kSend, kConnect };
+
+struct SocketFaultSpec {
+  SocketFaultKind kind = SocketFaultKind::kShortRead;
+  /// Connection id filter (-1 matches probes from any connection). The
+  /// caller labels sockets with arm(); the id takes the role the gate id
+  /// plays in the solver injector.
+  std::int64_t conn = -1;
+  /// Matching probe calls to let pass before firing.
+  std::uint64_t after = 0;
+  /// Times to fire once triggered (default: every call after `after`, the
+  /// sticky behaviour of the solver injector — a torn connection stays
+  /// torn, a chunky link stays chunky).
+  std::uint64_t count = std::numeric_limits<std::uint64_t>::max();
+  /// Stall duration for the stall kinds.
+  std::uint32_t stall_ms = 1;
+};
+
+struct SocketFireInfo {
+  bool fire = false;
+  bool first = false;  ///< first firing of the matching spec
+  SocketFaultKind kind = SocketFaultKind::kShortRead;
+  std::uint32_t stall_ms = 0;
+};
+
+/// Thread-safe; shared by any number of FaultSockets. Counting is per spec
+/// and filtered first, exactly like util::FaultInjector.
+class SocketFaultInjector {
+ public:
+  void add(SocketFaultSpec spec);
+  /// Rewind all per-spec counters (keeps the specs).
+  void reset();
+  void clear();
+
+  SocketFireInfo should_fire(SocketFaultOp op, std::int64_t conn);
+
+  /// Total probe calls that were faulted (all specs).
+  std::uint64_t fired() const;
+
+ private:
+  struct Armed {
+    SocketFaultSpec spec;
+    std::uint64_t seen = 0;
+    std::uint64_t fired = 0;
+  };
+
+  static bool matches(SocketFaultKind kind, SocketFaultOp op);
+
+  mutable std::mutex mutex_;
+  std::vector<Armed> specs_;
+};
+
+/// Outcome of a deadline-bounded exact read.
+enum class RecvOutcome : std::uint8_t {
+  kOk = 0,
+  kTimeout,  ///< deadline expired with bytes still outstanding
+  kClosed,   ///< orderly EOF mid-read
+  kError,    ///< transport error (message in *error)
+};
+
+/// Owned socket with an optional fault-injection hook. With a null injector
+/// every call forwards to util::Socket at the cost of one pointer test; an
+/// armed socket probes the injector before each op. A fired tear poisons
+/// the socket (subsequent ops keep failing with the injected error), which
+/// models a genuinely dead peer rather than a one-shot glitch.
+class FaultSocket {
+ public:
+  FaultSocket() = default;
+  explicit FaultSocket(Socket sock) : sock_(std::move(sock)) {}
+
+  FaultSocket(FaultSocket&&) = default;
+  FaultSocket& operator=(FaultSocket&&) = default;
+
+  /// Attach an injector; `conn` labels this socket for spec filtering.
+  void arm(SocketFaultInjector* injector, std::int64_t conn = -1) {
+    injector_ = injector;
+    conn_ = conn;
+  }
+
+  Socket& raw() { return sock_; }
+  int fd() const { return sock_.fd(); }
+  bool valid() const { return sock_.valid() && broken_.empty(); }
+  void close() { sock_.close(); }
+
+  /// Socket::recv_some/send_some with injection (short ops, stalls, tears).
+  std::ptrdiff_t recv_some(void* buf, std::size_t n, bool* would_block,
+                           std::string* error = nullptr);
+  std::ptrdiff_t send_some(const void* buf, std::size_t n, bool* would_block,
+                           std::string* error = nullptr);
+
+  /// Blocking whole-buffer send; throws DiagError(kFileError) on failure
+  /// (injected or real).
+  void send_all(const void* buf, std::size_t n);
+
+  /// Read exactly `n` bytes within `timeout_ms` (0 = no deadline), polling
+  /// before every read so a stalled peer cannot hang the caller. Partial
+  /// progress does NOT extend the deadline: it bounds the whole call.
+  RecvOutcome recv_exact_deadline(void* buf, std::size_t n, int timeout_ms,
+                                  std::string* error = nullptr);
+
+ private:
+  SocketFireInfo probe(SocketFaultOp op);
+
+  Socket sock_;
+  SocketFaultInjector* injector_ = nullptr;
+  std::int64_t conn_ = -1;
+  std::string broken_;  ///< sticky injected-error text; empty = healthy
+};
+
+/// Connect to loopback TCP through a connect-refusal probe: when the
+/// injector fires, throws DiagError(kFileError) with an injected
+/// ECONNREFUSED message without touching the network.
+FaultSocket fault_connect_tcp_loopback(std::uint16_t port,
+                                       SocketFaultInjector* injector,
+                                       std::int64_t conn = -1);
+
+// ---------------------------------------------------------------------------
+// ChaosProxy
+// ---------------------------------------------------------------------------
+
+struct ChaosProxyConfig {
+  std::uint16_t upstream_port = 0;  ///< loopback TCP server to relay to
+  /// Schedule seed; 0 = pure relay, no faults.
+  std::uint64_t seed = 0;
+  /// Stall duration when a scheduled stall fires.
+  std::uint32_t stall_ms = 40;
+  /// Upper bound on scheduled fault events per proxied connection.
+  std::uint32_t max_events_per_conn = 4;
+  /// Probability that a given connection draws any faults at all; the rest
+  /// relay cleanly so acknowledged traffic always makes progress.
+  double fault_rate = 0.75;
+};
+
+/// Point-in-time injection counters (all totals since start()).
+struct ChaosProxyStats {
+  std::uint64_t connections = 0;
+  std::uint64_t refusals = 0;
+  std::uint64_t cuts = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t chunked_spans = 0;
+  std::uint64_t bytes_relayed = 0;
+};
+
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ChaosProxyConfig config) : config_(config) {}
+  ~ChaosProxy() { stop(); }
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Bind an ephemeral loopback listener and start relaying.
+  void start();
+  /// Close the listener and every proxied connection; join all threads.
+  /// Idempotent and guaranteed to return (relay loops poll with timeouts).
+  void stop();
+
+  std::uint16_t port() const { return listener_.port(); }
+  ChaosProxyStats stats() const;
+
+ private:
+  struct Event;
+  void accept_loop();
+  void relay(Socket client, std::uint64_t conn_index);
+
+  ChaosProxyConfig config_;
+  Listener listener_;
+  WakePipe wake_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::mutex threads_mutex_;
+  std::vector<std::thread> relay_threads_;
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> refusals_{0};
+  std::atomic<std::uint64_t> cuts_{0};
+  std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> chunked_{0};
+  std::atomic<std::uint64_t> bytes_relayed_{0};
+};
+
+}  // namespace xtalk::util

@@ -5,10 +5,12 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 
 #include "util/diag.hpp"
@@ -35,6 +37,36 @@ void Socket::close() {
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
+  }
+}
+
+void Socket::close_abortive() {
+  if (fd_ >= 0) {
+    struct linger lg;
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  }
+  close();
+}
+
+short Socket::poll_wait(short events, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms < 0 ? 0 : timeout_ms);
+  for (;;) {
+    pollfd pfd{fd_, events, 0};
+    int wait_ms = timeout_ms;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+      wait_ms = left > 0 ? static_cast<int>(left) : 0;
+    }
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc > 0) return pfd.revents;
+    if (rc == 0) return 0;
+    if (errno == EINTR) continue;
+    throw_errno("poll");
   }
 }
 

@@ -44,6 +44,15 @@ class Socket {
     return fd;
   }
   void close();
+  /// Abortive close: SO_LINGER{on, 0} then close, so a TCP peer sees RST
+  /// instead of an orderly FIN. The chaos proxy uses this to model a peer
+  /// dying mid-frame; harmless (plain close) on non-TCP fds.
+  void close_abortive();
+
+  /// poll(2) this fd for `events` (POLLIN/POLLOUT). Returns the revents
+  /// mask, 0 on timeout. EINTR retries without extending the deadline
+  /// beyond `timeout_ms` total; timeout_ms < 0 waits forever.
+  short poll_wait(short events, int timeout_ms);
 
   /// O_NONBLOCK on/off. Throws DiagError(kFileError) on fcntl failure.
   void set_nonblocking(bool nonblocking);

@@ -315,7 +315,9 @@ TEST(Service, PipelinedRequestsExecuteInOrder) {
   XtalkClient client = fx.connect();
   client.send_frame(MsgType::kPing, 1, util::WireWriter{});
   client.send_frame(MsgType::kPing, 2, util::WireWriter{});
-  client.send_frame(MsgType::kHello, 3, util::WireWriter{});
+  util::WireWriter hello_body;
+  HelloMsg{}.encode(hello_body);
+  client.send_frame(MsgType::kHello, 3, hello_body);
   FrameView r1 = client.recv_frame();
   FrameView r2 = client.recv_frame();
   FrameView r3 = client.recv_frame();
