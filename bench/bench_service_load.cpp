@@ -86,6 +86,7 @@ struct ClientOutcome {
   std::uint64_t retries = 0;
   std::uint64_t reconnects = 0;
   std::uint64_t sessions_recovered = 0;
+  std::uint64_t sessions_resumed = 0;
   std::vector<double> recovery_ms;
   std::string error;  ///< first contract violation, empty = clean
 };
@@ -297,6 +298,7 @@ int main(int argc, char** argv) {
         out.retries = rs.retries;
         out.reconnects = rs.reconnects;
         out.sessions_recovered = rs.sessions_recovered;
+        out.sessions_resumed = rs.sessions_resumed;
         out.recovery_ms = rs.recovery_ms;
         proxy.stop();
         return;
@@ -311,7 +313,7 @@ int main(int argc, char** argv) {
         const std::uint32_t num_nets =
             static_cast<std::uint32_t>(view.netlist->num_nets());
 
-        const std::uint32_t eco_id = client.eco_open(run_spec);
+        const std::uint32_t eco_id = client.eco_open(run_spec).session_id;
         // Client 0 mirrors its ECO session locally and checks every run.
         std::unique_ptr<sta::incremental::DesignEditor> mirror_editor;
         std::unique_ptr<sta::incremental::IncrementalSta> mirror_sta;
@@ -428,6 +430,7 @@ int main(int argc, char** argv) {
     summary.retries += out.retries;
     summary.reconnects += out.reconnects;
     summary.sessions_recovered += out.sessions_recovered;
+    summary.sessions_resumed += out.sessions_resumed;
     summary.oracle_failures += out.oracle_failures;
     oracle_checks += out.oracle_checks;
     all_ms.insert(all_ms.end(), out.latencies_ms.begin(),
@@ -456,6 +459,9 @@ int main(int argc, char** argv) {
   summary.latency_p99_ms = percentile(all_ms, 0.99);
   summary.bytes_in = stats.bytes_in;
   summary.bytes_out = stats.bytes_out;
+  summary.restart_generation = stats.restart_generation;
+  summary.snapshot_age_ms = stats.snapshot_age_ms;
+  summary.wal_records = stats.wal_records;
 
   std::cout << "requests: " << summary.requests_total << " ("
             << summary.requests_full << " full, " << summary.requests_eco

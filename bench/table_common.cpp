@@ -390,6 +390,10 @@ const std::vector<std::string>& service_row_required_keys() {
       "recovery_p99_ms",
       "oracle_checks",
       "oracle_failures",
+      "restart_generation",
+      "snapshot_age_ms",
+      "wal_records",
+      "sessions_resumed",
   };
   return kKeys;
 }
@@ -427,7 +431,11 @@ void fill_service_row(JsonObject& row, const ServiceLoadSummary& summary) {
       .set("sessions_recovered", summary.sessions_recovered)
       .set("recovery_p99_ms", summary.recovery_p99_ms)
       .set("oracle_checks", summary.oracle_checks)
-      .set("oracle_failures", summary.oracle_failures);
+      .set("oracle_failures", summary.oracle_failures)
+      .set("restart_generation", summary.restart_generation)
+      .set("snapshot_age_ms", summary.snapshot_age_ms)
+      .set("wal_records", summary.wal_records)
+      .set("sessions_resumed", summary.sessions_resumed);
   assert_service_row_schema(row);
 }
 

@@ -127,6 +127,11 @@ struct ServiceLoadSummary {
   double recovery_p99_ms = 0.0;          ///< p99 journal-replay latency
   std::uint64_t oracle_checks = 0;    ///< bitwise verdicts taken under load
   std::uint64_t oracle_failures = 0;  ///< verdicts that diverged (must be 0)
+  // Crash-only durability fields (server --state-dir); zero when volatile.
+  std::uint64_t restart_generation = 0;  ///< server restarts observed (1 = first boot)
+  std::uint64_t snapshot_age_ms = 0;     ///< age of the latest baseline snapshot
+  std::uint64_t wal_records = 0;         ///< live session-WAL records at exit
+  std::uint64_t sessions_resumed = 0;    ///< token resumes (client counter)
 };
 
 /// Append a service load summary to a JSON row. Key order is pinned (the

@@ -209,23 +209,28 @@ HealthMsg XtalkClient::health() {
       limits_);
 }
 
-std::uint32_t XtalkClient::eco_open(const RunSpec& spec) {
+EcoOpenedMsg XtalkClient::eco_open(const RunSpec& spec) {
   util::WireWriter body;
   spec.encode(body);
-  FrameView frame = transact(MsgType::kEcoOpen, body, MsgType::kEcoOpened);
-  util::WireReader r = frame.body(limits_);
-  std::uint32_t id = 0;
-  if (!r.u32(&id) || !r.finish()) {
-    throw_transport(TransportFailure::kProtocol,
-                    "undecodable EcoOpened body: " + r.error());
-  }
-  return id;
+  return decode_body<EcoOpenedMsg>(
+      transact(MsgType::kEcoOpen, body, MsgType::kEcoOpened), limits_);
+}
+
+EcoResumedMsg XtalkClient::eco_resume(std::uint64_t token) {
+  EcoResumeMsg msg;
+  msg.token = token;
+  util::WireWriter body;
+  msg.encode(body);
+  return decode_body<EcoResumedMsg>(
+      transact(MsgType::kEcoResume, body, MsgType::kEcoResumed), limits_);
 }
 
 std::uint32_t XtalkClient::eco_edit(std::uint32_t session_id,
-                                    const std::vector<EcoOp>& ops) {
+                                    const std::vector<EcoOp>& ops,
+                                    std::uint64_t batch_seq) {
   EcoEditMsg msg;
   msg.session_id = session_id;
+  msg.batch_seq = batch_seq;
   msg.ops = ops;
   util::WireWriter body;
   msg.encode(body);

@@ -113,11 +113,18 @@ class XtalkClient {
   EndpointsMsg query_endpoints(const RunSpec& spec);
   SlackMsg query_slack(const SlackQueryMsg& query);
   HealthMsg health();
-  /// Returns the new session id.
-  std::uint32_t eco_open(const RunSpec& spec);
+  /// Returns the new session id plus the durable resumption token (token 0
+  /// when the server runs without --state-dir).
+  EcoOpenedMsg eco_open(const RunSpec& spec);
+  /// Re-bind a durable session by token after reconnecting to a (possibly
+  /// restarted) server.
+  EcoResumedMsg eco_resume(std::uint64_t token);
   /// Returns the number of ops applied (== ops.size() on success).
+  /// `batch_seq` sequences the batch for server-side exactly-once dedupe
+  /// (0 = unsequenced).
   std::uint32_t eco_edit(std::uint32_t session_id,
-                         const std::vector<EcoOp>& ops);
+                         const std::vector<EcoOp>& ops,
+                         std::uint64_t batch_seq = 0);
   RunResultMsg eco_run(std::uint32_t session_id);
   void eco_close(std::uint32_t session_id);
   StatsMsg stats();

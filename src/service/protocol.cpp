@@ -31,6 +31,7 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kGetStats: return "get-stats";
     case MsgType::kShutdown: return "shutdown";
     case MsgType::kHealth: return "health";
+    case MsgType::kEcoResume: return "eco-resume";
     case MsgType::kHelloOk: return "hello-ok";
     case MsgType::kPong: return "pong";
     case MsgType::kRunResult: return "run-result";
@@ -42,6 +43,7 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kStats: return "stats";
     case MsgType::kShutdownOk: return "shutdown-ok";
     case MsgType::kHealthOk: return "health-ok";
+    case MsgType::kEcoResumed: return "eco-resumed";
     case MsgType::kError: return "error";
   }
   return "unknown";
@@ -201,12 +203,14 @@ bool EcoOp::decode(util::WireReader& r) {
 
 void EcoEditMsg::encode(util::WireWriter& w) const {
   w.u32(session_id);
+  w.u64(batch_seq);
   w.array(ops.size());
   for (const EcoOp& op : ops) op.encode(w);
 }
 
 bool EcoEditMsg::decode(util::WireReader& r) {
   if (!r.u32(&session_id)) return false;
+  if (!r.u64(&batch_seq)) return false;
   std::uint32_t n;
   if (!r.array(&n, /*min_item_bytes=*/33)) return false;
   ops.resize(n);
@@ -215,6 +219,10 @@ bool EcoEditMsg::decode(util::WireReader& r) {
   }
   return true;
 }
+
+void EcoResumeMsg::encode(util::WireWriter& w) const { w.u64(token); }
+
+bool EcoResumeMsg::decode(util::WireReader& r) { return r.u64(&token); }
 
 // ---------------------------------------------------------------------------
 // SlackQueryMsg
@@ -237,6 +245,28 @@ bool SlackQueryMsg::decode(util::WireReader& r) {
 // ---------------------------------------------------------------------------
 // Responses
 // ---------------------------------------------------------------------------
+
+void EcoOpenedMsg::encode(util::WireWriter& w) const {
+  w.u32(session_id);
+  w.u64(token);
+}
+
+bool EcoOpenedMsg::decode(util::WireReader& r) {
+  if (!r.u32(&session_id)) return false;
+  return r.u64(&token);
+}
+
+void EcoResumedMsg::encode(util::WireWriter& w) const {
+  w.u32(session_id);
+  w.u64(token);
+  w.u64(applied_seq);
+}
+
+bool EcoResumedMsg::decode(util::WireReader& r) {
+  if (!r.u32(&session_id)) return false;
+  if (!r.u64(&token)) return false;
+  return r.u64(&applied_seq);
+}
 
 void HelloOkMsg::encode(util::WireWriter& w) const {
   w.u32(protocol_version);
@@ -438,6 +468,10 @@ void StatsMsg::encode(util::WireWriter& w) const {
   w.f64(uptime_seconds);
   w.u64(eco_sessions_reaped);
   w.u64(connections_evicted);
+  w.u64(restart_generation);
+  w.u64(snapshot_age_ms);
+  w.u64(wal_records);
+  w.u64(eco_sessions_resumed);
 }
 
 bool StatsMsg::decode(util::WireReader& r) {
@@ -453,7 +487,11 @@ bool StatsMsg::decode(util::WireReader& r) {
   if (!r.u64(&queue_peak)) return false;
   if (!r.f64(&uptime_seconds)) return false;
   if (!r.u64(&eco_sessions_reaped)) return false;
-  return r.u64(&connections_evicted);
+  if (!r.u64(&connections_evicted)) return false;
+  if (!r.u64(&restart_generation)) return false;
+  if (!r.u64(&snapshot_age_ms)) return false;
+  if (!r.u64(&wal_records)) return false;
+  return r.u64(&eco_sessions_resumed);
 }
 
 void HealthMsg::encode(util::WireWriter& w) const {
@@ -465,6 +503,9 @@ void HealthMsg::encode(util::WireWriter& w) const {
   w.boolean(clamping);
   w.u64(eco_sessions_open);
   w.u64(outbox_bytes);
+  w.u64(restart_generation);
+  w.u64(snapshot_age_ms);
+  w.u64(wal_records);
 }
 
 bool HealthMsg::decode(util::WireReader& r) {
@@ -475,7 +516,10 @@ bool HealthMsg::decode(util::WireReader& r) {
   if (!r.u64(&soft_queue_limit)) return false;
   if (!r.boolean(&clamping)) return false;
   if (!r.u64(&eco_sessions_open)) return false;
-  return r.u64(&outbox_bytes);
+  if (!r.u64(&outbox_bytes)) return false;
+  if (!r.u64(&restart_generation)) return false;
+  if (!r.u64(&snapshot_age_ms)) return false;
+  return r.u64(&wal_records);
 }
 
 void ErrorMsg::encode(util::WireWriter& w) const {
@@ -516,8 +560,8 @@ bool read_prologue(util::WireReader& r, MsgType* type,
                    std::uint32_t* request_id) {
   std::uint8_t t;
   if (!r.u8(&t)) return false;
-  const bool request_range = t >= 1 && t <= 12;
-  const bool response_range = (t >= 64 && t <= 74) || t == 127;
+  const bool request_range = t >= 1 && t <= 13;
+  const bool response_range = (t >= 64 && t <= 75) || t == 127;
   if (!request_range && !response_range) {
     r.fail("unknown message type " + std::to_string(t));
     return false;

@@ -29,7 +29,7 @@
 
 namespace xtalk::service {
 
-inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kProtocolVersion = 3;
 /// Frame header size on the socket (payload length prefix).
 inline constexpr std::size_t kFrameHeaderBytes = 4;
 
@@ -47,6 +47,7 @@ enum class MsgType : std::uint8_t {
   kGetStats = 10,
   kShutdown = 11,       ///< begin drain; listener closes first
   kHealth = 12,         ///< cheap load probe (answered on the event loop)
+  kEcoResume = 13,      ///< re-bind a durable session by resumption token
 
   // Responses.
   kHelloOk = 64,
@@ -60,6 +61,7 @@ enum class MsgType : std::uint8_t {
   kStats = 72,
   kShutdownOk = 73,
   kHealthOk = 74,
+  kEcoResumed = 75,
   kError = 127,
 };
 
@@ -159,7 +161,24 @@ struct EcoOp {
 
 struct EcoEditMsg {
   std::uint32_t session_id = 0;
+  /// 1-based index of this batch in the session's edit history. The server
+  /// WAL-appends the batch *before* acking and dedupes replays: a batch with
+  /// batch_seq ≤ the session's applied_seq is acked without re-applying, so
+  /// a client retrying across a crash gets exactly-once application. 0 =
+  /// unsequenced (no dedupe; pre-v3 behavior).
+  std::uint64_t batch_seq = 0;
   std::vector<EcoOp> ops;
+
+  void encode(util::WireWriter& w) const;
+  bool decode(util::WireReader& r);
+};
+
+/// Re-bind a durable ECO session after a server restart (or a dropped
+/// connection) by the token eco_open returned. The server rebuilds the
+/// session from its WAL and answers with the new per-connection session id
+/// plus applied_seq — the client replays its journal from there.
+struct EcoResumeMsg {
+  std::uint64_t token = 0;
 
   void encode(util::WireWriter& w) const;
   bool decode(util::WireReader& r);
@@ -178,6 +197,27 @@ struct SlackQueryMsg {
 // ---------------------------------------------------------------------------
 // Response bodies
 // ---------------------------------------------------------------------------
+
+/// eco_open response: the per-connection session id plus a resumption token
+/// that survives both connection loss and server restart (v3). Token 0 means
+/// the server runs without a --state-dir (volatile sessions, v2 semantics).
+struct EcoOpenedMsg {
+  std::uint32_t session_id = 0;
+  std::uint64_t token = 0;
+
+  void encode(util::WireWriter& w) const;
+  bool decode(util::WireReader& r);
+};
+
+/// eco_resume response.
+struct EcoResumedMsg {
+  std::uint32_t session_id = 0;
+  std::uint64_t token = 0;
+  std::uint64_t applied_seq = 0;  ///< highest durable batch_seq
+
+  void encode(util::WireWriter& w) const;
+  bool decode(util::WireReader& r);
+};
 
 struct HelloOkMsg {
   std::uint32_t protocol_version = kProtocolVersion;
@@ -280,6 +320,12 @@ struct StatsMsg {
   /// in production means clients are leaking sessions.
   std::uint64_t eco_sessions_reaped = 0;
   std::uint64_t connections_evicted = 0;  ///< stall/backpressure evictions
+  // Crash-only durability (v3). All zero on a volatile (no --state-dir)
+  // server.
+  std::uint64_t restart_generation = 0;  ///< 1 on first boot, +1 per restart
+  std::uint64_t snapshot_age_ms = 0;     ///< ms since the last snapshot write
+  std::uint64_t wal_records = 0;         ///< records in the WAL since compaction
+  std::uint64_t eco_sessions_resumed = 0;  ///< token re-binds served
 
   void encode(util::WireWriter& w) const;
   bool decode(util::WireReader& r);
@@ -297,6 +343,10 @@ struct HealthMsg {
   bool clamping = false;               ///< queue_depth ≥ soft_queue_limit
   std::uint64_t eco_sessions_open = 0;
   std::uint64_t outbox_bytes = 0;  ///< responses buffered for slow readers
+  // Crash-only durability (v3); zero without --state-dir.
+  std::uint64_t restart_generation = 0;
+  std::uint64_t snapshot_age_ms = 0;
+  std::uint64_t wal_records = 0;
 
   void encode(util::WireWriter& w) const;
   bool decode(util::WireReader& r);

@@ -1,0 +1,478 @@
+#include "util/persist.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include "util/wire.hpp"
+
+namespace xtalk::util {
+
+namespace {
+
+constexpr std::array<char, 4> kSnapMagic = {'X', 'T', 'S', 'N'};
+constexpr std::array<char, 4> kWalMagic = {'X', 'T', 'W', 'L'};
+constexpr std::uint16_t kSnapFormatVersion = 1;
+constexpr std::uint16_t kWalFormatVersion = 1;
+constexpr std::size_t kSnapHeaderBytes = 4 + 2 + 2 + 2 + 4 + 4;
+constexpr std::size_t kWalHeaderBytes = 4 + 2 + 2;
+constexpr std::size_t kWalRecordHeaderBytes = 4 + 2 + 2 + 4;
+// A single record is bounded so a flipped length byte cannot make replay
+// "validate" gigabytes of garbage against a lucky CRC.
+constexpr std::uint32_t kMaxWalRecordBytes = 64u << 20;
+
+std::string errno_text(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+/// fsync a file's containing directory so the rename itself is durable.
+bool fsync_parent_dir(const std::string& path, std::string* error) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    set_error(error, errno_text("open(" + dir + ")"));
+    return false;
+  }
+  const bool ok = ::fsync(fd) == 0;
+  if (!ok) set_error(error, errno_text("fsync(" + dir + ")"));
+  ::close(fd);
+  return ok;
+}
+
+bool write_all_fd(int fd, const std::uint8_t* data, std::size_t n,
+                  std::string* error) {
+  while (n > 0) {
+    const ssize_t put = ::write(fd, data, n);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, errno_text("write"));
+      return false;
+    }
+    data += put;
+    n -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+PersistStatus read_file(const std::string& path, std::vector<std::uint8_t>* out,
+                        std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return PersistStatus::kNotFound;
+    set_error(error, errno_text("open(" + path + ")"));
+    return PersistStatus::kIoError;
+  }
+  out->clear();
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, sizeof(buf));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      set_error(error, errno_text("read(" + path + ")"));
+      ::close(fd);
+      return PersistStatus::kIoError;
+    }
+    if (got == 0) break;
+    out->insert(out->end(), buf, buf + got);
+  }
+  ::close(fd);
+  return PersistStatus::kOk;
+}
+
+/// Write `data` to <path>.tmp, optionally fsync, rename over `path`,
+/// optionally fsync the directory. Shared by snapshots and WAL rewrite.
+PersistStatus atomic_replace(const std::string& path,
+                             const std::vector<std::uint8_t>& data,
+                             bool do_fsync, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    set_error(error, errno_text("open(" + tmp + ")"));
+    return PersistStatus::kIoError;
+  }
+  if (!write_all_fd(fd, data.data(), data.size(), error)) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return PersistStatus::kIoError;
+  }
+  if (do_fsync && ::fsync(fd) != 0) {
+    set_error(error, errno_text("fsync(" + tmp + ")"));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return PersistStatus::kIoError;
+  }
+  ::close(fd);
+  // Seeded kill site: the tmp file is complete but the rename has not
+  // happened — a restart must still load the *previous* snapshot.
+  crash_point_hit(CrashPoint::kSnapshotBeforeRename);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_error(error, errno_text("rename(" + tmp + " -> " + path + ")"));
+    ::unlink(tmp.c_str());
+    return PersistStatus::kIoError;
+  }
+  if (do_fsync && !fsync_parent_dir(path, error)) return PersistStatus::kIoError;
+  return PersistStatus::kOk;
+}
+
+std::vector<std::uint8_t> encode_wal_record(std::uint16_t type,
+                                            const std::vector<std::uint8_t>& payload) {
+  WireWriter body;
+  body.u16(type);
+  body.u16(0);  // reserved
+  std::uint32_t crc = crc32(body.data().data(), body.size());
+  crc = crc32(payload.data(), payload.size(), crc);
+
+  WireWriter head;
+  head.u32(static_cast<std::uint32_t>(payload.size()));
+  head.u16(type);
+  head.u16(0);
+  head.u32(crc);
+  std::vector<std::uint8_t> rec = head.data();
+  rec.insert(rec.end(), payload.begin(), payload.end());
+  return rec;
+}
+
+std::vector<std::uint8_t> encode_wal_header() {
+  std::vector<std::uint8_t> h(kWalMagic.begin(), kWalMagic.end());
+  WireWriter w;
+  w.u16(kWalFormatVersion);
+  w.u16(0);
+  h.insert(h.end(), w.data().begin(), w.data().end());
+  return h;
+}
+
+struct CrashArm {
+  std::atomic<int> point{0};
+  std::atomic<int> countdown{0};
+};
+CrashArm g_crash;
+
+}  // namespace
+
+const char* persist_status_name(PersistStatus s) {
+  switch (s) {
+    case PersistStatus::kOk: return "ok";
+    case PersistStatus::kNotFound: return "not-found";
+    case PersistStatus::kIoError: return "io-error";
+    case PersistStatus::kCorrupt: return "corrupt";
+    case PersistStatus::kVersionSkew: return "version-skew";
+  }
+  return "?";
+}
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  // Table-driven reflected CRC-32 (polynomial 0xEDB88320), computed once.
+  static const std::array<std::uint32_t, 256> kTable = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_snapshot(std::uint16_t kind,
+                                          std::uint16_t kind_version,
+                                          const std::vector<std::uint8_t>& payload) {
+  WireWriter meta;
+  meta.u16(kind);
+  meta.u16(kind_version);
+  std::uint32_t crc = crc32(meta.data().data(), meta.size());
+  crc = crc32(payload.data(), payload.size(), crc);
+
+  std::vector<std::uint8_t> out(kSnapMagic.begin(), kSnapMagic.end());
+  WireWriter w;
+  w.u16(kSnapFormatVersion);
+  w.u16(kind);
+  w.u16(kind_version);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc);
+  out.insert(out.end(), w.data().begin(), w.data().end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+PersistStatus decode_snapshot(const std::uint8_t* data, std::size_t size,
+                              std::uint16_t expected_kind,
+                              std::uint16_t expected_kind_version,
+                              std::vector<std::uint8_t>* payload,
+                              std::string* error) {
+  if (size < kSnapHeaderBytes) {
+    set_error(error, "snapshot shorter than header");
+    return PersistStatus::kCorrupt;
+  }
+  if (std::memcmp(data, kSnapMagic.data(), 4) != 0) {
+    set_error(error, "bad snapshot magic");
+    return PersistStatus::kCorrupt;
+  }
+  WireReader r(data + 4, size - 4);
+  std::uint16_t fmt = 0, kind = 0, kind_version = 0;
+  std::uint32_t len = 0, crc = 0;
+  if (!r.u16(&fmt) || !r.u16(&kind) || !r.u16(&kind_version) || !r.u32(&len) ||
+      !r.u32(&crc)) {
+    set_error(error, "snapshot header truncated");
+    return PersistStatus::kCorrupt;
+  }
+  if (size - kSnapHeaderBytes != len) {
+    set_error(error, "snapshot payload length mismatch (header says " +
+                         std::to_string(len) + ", file has " +
+                         std::to_string(size - kSnapHeaderBytes) + ")");
+    return PersistStatus::kCorrupt;
+  }
+  const std::uint8_t* body = data + kSnapHeaderBytes;
+  WireWriter meta;
+  meta.u16(kind);
+  meta.u16(kind_version);
+  std::uint32_t want = crc32(meta.data().data(), meta.size());
+  want = crc32(body, len, want);
+  if (want != crc) {
+    set_error(error, "snapshot CRC mismatch");
+    return PersistStatus::kCorrupt;
+  }
+  // Only once the checksum holds do version fields mean anything.
+  if (fmt != kSnapFormatVersion) {
+    set_error(error, "unsupported snapshot format version " + std::to_string(fmt));
+    return PersistStatus::kVersionSkew;
+  }
+  if (kind != expected_kind || kind_version != expected_kind_version) {
+    set_error(error, "snapshot kind/version skew (have " + std::to_string(kind) +
+                         "/" + std::to_string(kind_version) + ", want " +
+                         std::to_string(expected_kind) + "/" +
+                         std::to_string(expected_kind_version) + ")");
+    return PersistStatus::kVersionSkew;
+  }
+  payload->assign(body, body + len);
+  return PersistStatus::kOk;
+}
+
+PersistStatus save_snapshot(const std::string& path, std::uint16_t kind,
+                            std::uint16_t kind_version,
+                            const std::vector<std::uint8_t>& payload,
+                            std::string* error, bool do_fsync) {
+  return atomic_replace(path, encode_snapshot(kind, kind_version, payload),
+                        do_fsync, error);
+}
+
+PersistStatus load_snapshot(const std::string& path, std::uint16_t expected_kind,
+                            std::uint16_t expected_kind_version,
+                            std::vector<std::uint8_t>* payload,
+                            std::string* error) {
+  std::vector<std::uint8_t> bytes;
+  const PersistStatus rs = read_file(path, &bytes, error);
+  if (rs != PersistStatus::kOk) return rs;
+  return decode_snapshot(bytes.data(), bytes.size(), expected_kind,
+                         expected_kind_version, payload, error);
+}
+
+// ---------------------------------------------------------------------------
+// Write-ahead log
+// ---------------------------------------------------------------------------
+
+WalReplay replay_wal_bytes(const std::uint8_t* data, std::size_t size) {
+  WalReplay out;
+  if (size < kWalHeaderBytes) {
+    // Zero bytes is a legitimately fresh log; a partial header is a torn
+    // first write — either way there are no records and the writer starts
+    // from byte zero.
+    out.valid_bytes = 0;
+    out.truncated_tail = size > 0;
+    return out;
+  }
+  if (std::memcmp(data, kWalMagic.data(), 4) != 0) {
+    out.status = PersistStatus::kCorrupt;
+    out.error = "bad WAL magic";
+    return out;
+  }
+  WireReader hr(data + 4, 4);
+  std::uint16_t fmt = 0, reserved = 0;
+  hr.u16(&fmt);
+  hr.u16(&reserved);
+  if (fmt != kWalFormatVersion) {
+    out.status = PersistStatus::kVersionSkew;
+    out.error = "unsupported WAL format version " + std::to_string(fmt);
+    return out;
+  }
+  std::size_t pos = kWalHeaderBytes;
+  out.valid_bytes = pos;
+  while (pos < size) {
+    if (size - pos < kWalRecordHeaderBytes) {
+      out.truncated_tail = true;
+      break;
+    }
+    WireReader r(data + pos, kWalRecordHeaderBytes);
+    std::uint32_t len = 0, crc = 0;
+    std::uint16_t type = 0, rsvd = 0;
+    r.u32(&len);
+    r.u16(&type);
+    r.u16(&rsvd);
+    r.u32(&crc);
+    if (len > kMaxWalRecordBytes || size - pos - kWalRecordHeaderBytes < len) {
+      out.truncated_tail = true;
+      break;
+    }
+    const std::uint8_t* payload = data + pos + kWalRecordHeaderBytes;
+    WireWriter meta;
+    meta.u16(type);
+    meta.u16(rsvd);
+    std::uint32_t want = crc32(meta.data().data(), meta.size());
+    want = crc32(payload, len, want);
+    if (want != crc) {
+      out.truncated_tail = true;
+      break;
+    }
+    WalRecord rec;
+    rec.type = type;
+    rec.payload.assign(payload, payload + len);
+    out.records.push_back(std::move(rec));
+    pos += kWalRecordHeaderBytes + len;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+WalReplay replay_wal(const std::string& path) {
+  WalReplay out;
+  std::vector<std::uint8_t> bytes;
+  const PersistStatus rs = read_file(path, &bytes, &out.error);
+  if (rs != PersistStatus::kOk) {
+    out.status = rs;
+    return out;
+  }
+  return replay_wal_bytes(bytes.data(), bytes.size());
+}
+
+PersistStatus WalWriter::open(const std::string& path, std::uint64_t valid_bytes,
+                              bool do_fsync, std::string* error) {
+  close();
+  fsync_ = do_fsync;
+  path_ = path;
+  const bool fresh = valid_bytes < kWalHeaderBytes;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd_ < 0) {
+    set_error(error, errno_text("open(" + path + ")"));
+    return PersistStatus::kIoError;
+  }
+  // Physically drop any torn tail so the next append lands right after the
+  // last acknowledged record.
+  const off_t keep = fresh ? 0 : static_cast<off_t>(valid_bytes);
+  if (::ftruncate(fd_, keep) != 0) {
+    set_error(error, errno_text("ftruncate(" + path + ")"));
+    close();
+    return PersistStatus::kIoError;
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    set_error(error, errno_text("lseek(" + path + ")"));
+    close();
+    return PersistStatus::kIoError;
+  }
+  if (fresh) {
+    const std::vector<std::uint8_t> header = encode_wal_header();
+    if (!write_all_fd(fd_, header.data(), header.size(), error)) {
+      close();
+      return PersistStatus::kIoError;
+    }
+    if (fsync_ && ::fsync(fd_) != 0) {
+      set_error(error, errno_text("fsync(" + path + ")"));
+      close();
+      return PersistStatus::kIoError;
+    }
+  }
+  return PersistStatus::kOk;
+}
+
+PersistStatus WalWriter::append(std::uint16_t type,
+                                const std::vector<std::uint8_t>& payload,
+                                std::string* error) {
+  if (fd_ < 0) {
+    set_error(error, "WAL not open");
+    return PersistStatus::kIoError;
+  }
+  const std::vector<std::uint8_t> rec = encode_wal_record(type, payload);
+  if (crash_point_due(CrashPoint::kWalMidAppend)) {
+    // Die with half a record on disk: the torn tail replay must truncate.
+    const std::size_t half = rec.size() / 2 + 1;
+    write_all_fd(fd_, rec.data(), half < rec.size() ? half : rec.size(), error);
+    crash_now();
+  }
+  if (!write_all_fd(fd_, rec.data(), rec.size(), error)) {
+    return PersistStatus::kIoError;
+  }
+  if (fsync_ && ::fsync(fd_) != 0) {
+    set_error(error, errno_text("fsync(" + path_ + ")"));
+    return PersistStatus::kIoError;
+  }
+  return PersistStatus::kOk;
+}
+
+PersistStatus WalWriter::rewrite(const std::string& path,
+                                 const std::vector<WalRecord>& records,
+                                 bool do_fsync, std::string* error) {
+  std::vector<std::uint8_t> data = encode_wal_header();
+  for (const WalRecord& rec : records) {
+    const std::vector<std::uint8_t> bytes = encode_wal_record(rec.type, rec.payload);
+    data.insert(data.end(), bytes.begin(), bytes.end());
+  }
+  return atomic_replace(path, data, do_fsync, error);
+}
+
+void WalWriter::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Crash points
+// ---------------------------------------------------------------------------
+
+void arm_crash_point(CrashPoint point, int countdown) {
+  g_crash.point.store(static_cast<int>(point), std::memory_order_relaxed);
+  g_crash.countdown.store(countdown < 1 ? 1 : countdown,
+                          std::memory_order_relaxed);
+}
+
+void disarm_crash_points() {
+  g_crash.point.store(0, std::memory_order_relaxed);
+  g_crash.countdown.store(0, std::memory_order_relaxed);
+}
+
+bool crash_point_due(CrashPoint point) {
+  if (g_crash.point.load(std::memory_order_relaxed) != static_cast<int>(point)) {
+    return false;
+  }
+  return g_crash.countdown.fetch_sub(1, std::memory_order_relaxed) == 1;
+}
+
+void crash_point_hit(CrashPoint point) {
+  if (crash_point_due(point)) crash_now();
+}
+
+void crash_now() {
+  // _exit, not exit/abort: no atexit handlers, no flushing, no signal — the
+  // closest portable stand-in for kill -9 that still has a known exit code.
+  ::_exit(kCrashExitCode);
+}
+
+}  // namespace xtalk::util

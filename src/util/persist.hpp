@@ -1,0 +1,177 @@
+// Durable on-disk state for the crash-only analysis service.
+//
+// Two complementary formats, both explicit-LE via util/wire (no struct
+// memcpy, stable across compilers):
+//
+//   Snapshot — one self-contained checksummed blob replaced atomically:
+//     write to <path>.tmp, fsync, rename over <path>, fsync the directory.
+//     A reader either sees the old snapshot or the new one, never a torn
+//     mix. Layout: "XTSN" magic, u16 format version, u16 kind, u16 kind
+//     version, u32 payload length, u32 CRC-32 (over kind, kind version and
+//     payload), payload bytes.
+//
+//   WAL — an append-only journal of checksummed records:
+//     header "XTWL" + u16 format version + u16 reserved, then records of
+//     [u32 len][u16 type][u16 reserved][u32 crc][payload]. Replay stops at
+//     the first record whose length or CRC does not check out and reports
+//     the torn tail; the writer reopens at the last valid byte so a crash
+//     mid-append costs at most the record being written — never an earlier
+//     acknowledged one.
+//
+// Every load error is typed (PersistStatus) — corruption is *detected*,
+// never silently decoded into wrong state. The crash-point facility at the
+// bottom lets a forked test child schedule a `_exit()` at a seeded durability
+// boundary (mid-append, post-append/pre-ack, pre-rename, mid-run) so the
+// recovery invariants are proven under real `kill -9`-style deaths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xtalk::util {
+
+/// Typed outcome of every load/replay. Anything but kOk means the caller
+/// got *no* state — there is no partial-success decode.
+enum class PersistStatus : std::uint8_t {
+  kOk = 0,
+  kNotFound,     ///< file does not exist (a fresh start, not an error)
+  kIoError,      ///< open/read/write/fsync/rename failed (errno in message)
+  kCorrupt,      ///< bad magic, length or CRC — bytes are not trustworthy
+  kVersionSkew,  ///< recognized file, unsupported format or kind version
+};
+
+const char* persist_status_name(PersistStatus s);
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout 0xffffffff). `seed` chains
+/// incremental updates: crc32(b, crc32(a)) == crc32(a+b).
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// Serialize a snapshot blob (magic + header + CRC + payload) to memory.
+std::vector<std::uint8_t> encode_snapshot(std::uint16_t kind,
+                                          std::uint16_t kind_version,
+                                          const std::vector<std::uint8_t>& payload);
+
+/// Validate + extract a snapshot blob from memory. On anything but kOk the
+/// payload is left untouched.
+PersistStatus decode_snapshot(const std::uint8_t* data, std::size_t size,
+                              std::uint16_t expected_kind,
+                              std::uint16_t expected_kind_version,
+                              std::vector<std::uint8_t>* payload,
+                              std::string* error);
+
+/// Atomically replace `path` with a snapshot of `payload`: tmp file, fsync,
+/// rename, directory fsync. With `do_fsync` false the fsyncs are skipped
+/// (tests on tmpfs); atomicity of the rename is kept either way.
+PersistStatus save_snapshot(const std::string& path, std::uint16_t kind,
+                            std::uint16_t kind_version,
+                            const std::vector<std::uint8_t>& payload,
+                            std::string* error, bool do_fsync = true);
+
+PersistStatus load_snapshot(const std::string& path, std::uint16_t expected_kind,
+                            std::uint16_t expected_kind_version,
+                            std::vector<std::uint8_t>* payload,
+                            std::string* error);
+
+// ---------------------------------------------------------------------------
+// Write-ahead log
+// ---------------------------------------------------------------------------
+
+struct WalRecord {
+  std::uint16_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Result of replaying a WAL file (or byte buffer).
+struct WalReplay {
+  PersistStatus status = PersistStatus::kOk;
+  std::vector<WalRecord> records;   ///< every record that checksummed clean
+  std::uint64_t valid_bytes = 0;    ///< prefix length covering `records`
+  bool truncated_tail = false;      ///< trailing garbage/torn record dropped
+  std::string error;
+};
+
+/// Replay from memory (shared by the file path and the fuzzer).
+WalReplay replay_wal_bytes(const std::uint8_t* data, std::size_t size);
+
+/// Replay from disk. kNotFound when the file does not exist; a torn tail is
+/// kOk with truncated_tail set (crash-mid-append is the *expected* shape of
+/// the file, not corruption).
+WalReplay replay_wal(const std::string& path);
+
+/// Append-only WAL writer. open() truncates the file to `valid_bytes` (as
+/// reported by replay_wal) so a torn tail is physically removed before new
+/// records land after it.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter() { close(); }
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Open (creating the header when fresh). `valid_bytes` 0 = fresh file.
+  PersistStatus open(const std::string& path, std::uint64_t valid_bytes,
+                     bool do_fsync, std::string* error);
+
+  /// Append one record and (when enabled) fsync before returning: once this
+  /// returns kOk the record survives kill -9. Honors the kWalMidAppend
+  /// crash point by dying after a deliberately torn partial write.
+  PersistStatus append(std::uint16_t type,
+                       const std::vector<std::uint8_t>& payload,
+                       std::string* error);
+
+  /// Atomically replace the log with exactly `records` (compaction): writes
+  /// a fresh tmp log, fsyncs, renames over `path`.
+  static PersistStatus rewrite(const std::string& path,
+                               const std::vector<WalRecord>& records,
+                               bool do_fsync, std::string* error);
+
+  void close();
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  bool fsync_ = true;
+  std::string path_;
+};
+
+// ---------------------------------------------------------------------------
+// Crash-point injection (fork-based tests)
+// ---------------------------------------------------------------------------
+
+/// Seeded kill sites. A forked server child arms one point with a countdown;
+/// the Nth crossing calls _exit(kCrashExitCode) — the in-process analogue of
+/// a scheduled `kill -9` that lands on an exact durability boundary.
+enum class CrashPoint : int {
+  kNone = 0,
+  kWalMidAppend,         ///< die halfway through a record write (torn tail)
+  kWalAfterAppend,       ///< die after fsync but before the ack frame
+  kSnapshotBeforeRename, ///< die with the tmp file written, rename pending
+  kEcoRunMid,            ///< die inside an ECO re-timing run
+  kCount,
+};
+
+/// Exit code used by crash points, distinguishable from asserts/signals.
+inline constexpr int kCrashExitCode = 113;
+
+/// Arm `point` to fire on its `countdown`-th crossing (1 = first). Resets
+/// any previous arming of that point.
+void arm_crash_point(CrashPoint point, int countdown);
+void disarm_crash_points();
+
+/// True when this crossing should crash — the caller performs its
+/// deliberately-torn side effect first, then calls crash_now().
+bool crash_point_due(CrashPoint point);
+
+/// Crossing for sites with no torn side effect: dies immediately when due.
+void crash_point_hit(CrashPoint point);
+
+[[noreturn]] void crash_now();
+
+}  // namespace xtalk::util

@@ -31,6 +31,36 @@ std::string errno_text(const std::string& what) {
   return what + ": " + std::strerror(errno);
 }
 
+/// connect(2) with correct EINTR semantics. Unlike read/write, an
+/// interrupted connect is NOT restartable: the kernel keeps establishing the
+/// connection asynchronously, and calling connect() again can yield a bogus
+/// EADDRINUSE/EALREADY. The POSIX-sanctioned recovery is to poll for
+/// writability and read the final status via SO_ERROR. Essential once the
+/// supervisor's SIGCHLD is landing on threads mid-connect.
+void connect_eintr_safe(Socket& s, const sockaddr* addr, socklen_t len,
+                        const std::string& what) {
+  if (::connect(s.fd(), addr, len) == 0) return;
+  if (errno != EINTR) throw_errno(what);
+  for (;;) {
+    pollfd pfd{s.fd(), POLLOUT, 0};
+    const int rc = ::poll(&pfd, 1, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll(" + what + ")");
+    }
+    break;
+  }
+  int err = 0;
+  socklen_t err_len = sizeof(err);
+  if (::getsockopt(s.fd(), SOL_SOCKET, SO_ERROR, &err, &err_len) < 0) {
+    throw_errno("getsockopt(" + what + ")");
+  }
+  if (err != 0) {
+    errno = err;
+    throw_errno(what);
+  }
+}
+
 }  // namespace
 
 void Socket::close() {
@@ -263,10 +293,8 @@ Socket connect_unix(const std::string& path) {
 
   Socket s(::socket(AF_UNIX, SOCK_STREAM, 0));
   if (!s.valid()) throw_errno("socket(AF_UNIX)");
-  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) < 0) {
-    throw_errno("connect(" + path + ")");
-  }
+  connect_eintr_safe(s, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr),
+                     "connect(" + path + ")");
   return s;
 }
 
@@ -277,10 +305,8 @@ Socket connect_tcp_loopback(std::uint16_t port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
-  if (::connect(s.fd(), reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) < 0) {
-    throw_errno("connect(127.0.0.1:" + std::to_string(port) + ")");
-  }
+  connect_eintr_safe(s, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr),
+                     "connect(127.0.0.1:" + std::to_string(port) + ")");
   const int one = 1;
   ::setsockopt(s.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return s;
@@ -305,7 +331,11 @@ void WakePipe::drain() {
   char buf[256];
   for (;;) {
     const ssize_t got = ::read(read_.fd(), buf, sizeof(buf));
-    if (got <= 0) return;
+    if (got > 0) continue;
+    // A signal landing mid-drain must not leave wake bytes behind — the
+    // poll loop would spin on a level-triggered readable pipe.
+    if (got < 0 && errno == EINTR) continue;
+    return;
   }
 }
 

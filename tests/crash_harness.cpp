@@ -1,0 +1,142 @@
+#include "crash_harness.hpp"
+
+#include <errno.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "core/crosstalk_sta.hpp"
+#include "service/server.hpp"
+#include "util/diag.hpp"
+#include "util/socket.hpp"
+
+namespace xtalk::service::testing {
+
+CrashHarness::CrashHarness(CrashHarnessOptions options)
+    : options_(std::move(options)) {
+  port_ = options_.port;
+  if (port_ == 0) {
+    // Reserve a port by binding an ephemeral listener and letting it go;
+    // SO_REUSEADDR in Listener::tcp_loopback lets every generation rebind
+    // it. The tiny claim-to-bind race is irrelevant on a test host.
+    util::Listener probe = util::Listener::tcp_loopback(0);
+    port_ = probe.port();
+  }
+}
+
+CrashHarness::~CrashHarness() { kill9(); }
+
+void CrashHarness::start(util::CrashPoint point, int countdown) {
+  if (child_ > 0) kill9();
+  const pid_t pid = ::fork();
+  if (pid == 0) child_main(point, countdown);
+  if (pid < 0) {
+    std::perror("crash_harness: fork");
+    std::abort();
+  }
+  child_ = pid;
+}
+
+void CrashHarness::child_main(util::CrashPoint point, int countdown) {
+  // The child IS the server process: crash points armed here fire nowhere
+  // else, and _exit() skips every parent-owned atexit/gtest teardown.
+  util::disarm_crash_points();
+  if (point != util::CrashPoint::kNone) {
+    util::arm_crash_point(point, countdown);
+  }
+  try {
+    DesignSession session(core::Design::generate(options_.spec),
+                          options_.spec.name);
+    ServiceConfig config;
+    config.tcp_port = port_;
+    config.num_executors = 1;
+    config.pool_threads = 1;
+    config.state_dir = options_.state_dir;
+    config.state_fsync = false;  // test state dirs live on tmpfs
+    config.detached_linger_ms = options_.linger_ms;
+    // The previous generation's port can stay claimed for a beat after
+    // SIGKILL while the kernel tears the old socket down. Probe-bind until
+    // it frees up BEFORE start(): start() is not retryable (each attempt
+    // would replay durability setup and eat snapshot crash countdowns).
+    for (int attempt = 0;; ++attempt) {
+      try {
+        util::Listener probe = util::Listener::tcp_loopback(port_);
+        break;
+      } catch (const util::DiagError&) {
+        if (attempt >= 100) throw;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    }
+    XtalkServer server(session, config);
+    server.start();
+    server.join();  // until a crash point fires or SIGKILL lands
+  } catch (...) {
+    std::_Exit(86);  // boot failure: distinguishable from crash points
+  }
+  std::_Exit(0);
+}
+
+bool CrashHarness::wait_ready(int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!child_alive()) return false;
+    try {
+      util::Socket probe = util::connect_tcp_loopback(port_);
+      return true;
+    } catch (const util::DiagError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  return false;
+}
+
+int CrashHarness::wait_exit() {
+  if (child_ <= 0) return -1;
+  int status = 0;
+  for (;;) {
+    const pid_t got = ::waitpid(child_, &status, 0);
+    if (got == child_) break;
+    if (got < 0 && errno == EINTR) continue;
+    break;
+  }
+  child_ = -1;
+  return status;
+}
+
+bool CrashHarness::crashed_as_planned(int status) {
+  return WIFEXITED(status) && WEXITSTATUS(status) == util::kCrashExitCode;
+}
+
+void CrashHarness::kill9() {
+  if (child_ <= 0) return;
+  ::kill(child_, SIGKILL);
+  int status = 0;
+  for (;;) {
+    const pid_t got = ::waitpid(child_, &status, 0);
+    if (got == child_) break;
+    if (got < 0 && errno == EINTR) continue;
+    break;
+  }
+  child_ = -1;
+}
+
+bool CrashHarness::child_alive() {
+  if (child_ <= 0) return false;
+  int status = 0;
+  const pid_t got = ::waitpid(child_, &status, WNOHANG);
+  if (got == child_) {
+    // Exited; remember that for wait_exit callers via child_ = -1. The
+    // status is lost here, so callers who care use wait_exit() instead.
+    child_ = -1;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace xtalk::service::testing

@@ -1,0 +1,82 @@
+// Fork-based crash-injection harness for the durable analysis service.
+//
+// Each server "generation" is a forked child that builds the design from a
+// deterministic GeneratorSpec, binds a FIXED loopback port (chosen once by
+// the harness, SO_REUSEADDR makes it rebindable across generations) with a
+// shared --state-dir, and serves until it dies. Deaths are the point:
+//
+//   * a seeded util::CrashPoint armed in the child _exit(113)s the process
+//     at an exact durability boundary (mid-WAL-append, post-append/pre-ack,
+//     pre-snapshot-rename, mid-ECO-run), and
+//   * kill9() delivers a real SIGKILL at an arbitrary moment.
+//
+// Either way the next start() is a plain cold start from the surviving
+// snapshot + WAL — the crash-only contract says recovery IS the normal boot
+// path, so the harness has no special "recover" entry point.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+
+#include "netlist/circuit_generator.hpp"
+#include "util/persist.hpp"
+
+namespace xtalk::service::testing {
+
+struct CrashHarnessOptions {
+  /// Design recipe; regenerated inside every child (deterministic, so every
+  /// generation — and the test's local oracle — sees the identical design).
+  netlist::GeneratorSpec spec;
+  /// Durable state directory shared by all generations.
+  std::string state_dir;
+  /// 0 = pick an ephemeral port once at construction and keep it for every
+  /// generation (clients need a stable address across restarts).
+  std::uint16_t port = 0;
+  /// Detached-session linger; generous so a killed client's session is
+  /// still resumable when the test gets around to it.
+  int linger_ms = 60000;
+};
+
+class CrashHarness {
+ public:
+  explicit CrashHarness(CrashHarnessOptions options);
+  /// Kills (SIGKILL) and reaps any live child.
+  ~CrashHarness();
+
+  CrashHarness(const CrashHarness&) = delete;
+  CrashHarness& operator=(const CrashHarness&) = delete;
+
+  /// Fork + boot one server generation, optionally armed to crash at the
+  /// `countdown`-th crossing of `point`. Does not wait for readiness.
+  void start(util::CrashPoint point = util::CrashPoint::kNone,
+             int countdown = 1);
+
+  /// Poll-connect until the child accepts on the fixed port (true) or the
+  /// timeout expires (false — e.g. the child already crashed at boot).
+  bool wait_ready(int timeout_ms = 20000);
+
+  /// Block until the child exits on its own (a crash point firing). Returns
+  /// the raw waitpid status; crashed_as_planned() interprets it.
+  int wait_exit();
+  /// True when `status` is the crash-point _exit(kCrashExitCode).
+  static bool crashed_as_planned(int status);
+
+  /// Real kill -9 + reap (ignores the exit status).
+  void kill9();
+
+  bool child_alive();
+  std::uint16_t port() const { return port_; }
+  const std::string& state_dir() const { return options_.state_dir; }
+  pid_t child_pid() const { return child_; }
+
+ private:
+  [[noreturn]] void child_main(util::CrashPoint point, int countdown);
+
+  CrashHarnessOptions options_;
+  std::uint16_t port_ = 0;
+  pid_t child_ = -1;
+};
+
+}  // namespace xtalk::service::testing

@@ -138,6 +138,10 @@ TEST(BenchJson, ServiceRowRoundTripsThroughStrictParser) {
   summary.latency_p99_ms = 95.25;
   summary.bytes_in = 123456;
   summary.bytes_out = 7890123;
+  summary.restart_generation = 3;
+  summary.snapshot_age_ms = 1500;
+  summary.wal_records = 42;
+  summary.sessions_resumed = 7;
 
   JsonReport report;
   report.root().set("bench", "service_load");
@@ -159,6 +163,10 @@ TEST(BenchJson, ServiceRowRoundTripsThroughStrictParser) {
   EXPECT_EQ(row.find("throughput_rps")->number, 412.5);
   EXPECT_EQ(row.find("latency_p99_ms")->number, 95.25);
   EXPECT_EQ(row.find("bytes_out")->number, 7890123.0);
+  EXPECT_EQ(row.find("restart_generation")->number, 3.0);
+  EXPECT_EQ(row.find("snapshot_age_ms")->number, 1500.0);
+  EXPECT_EQ(row.find("wal_records")->number, 42.0);
+  EXPECT_EQ(row.find("sessions_resumed")->number, 7.0);
 }
 
 }  // namespace

@@ -443,7 +443,7 @@ void drain_with_faults(DrainPolicy policy) {
 
   // (b) mid-ECO: an open session with pending edits, then silence.
   XtalkClient eco = fx.connect();
-  const std::uint32_t sid = eco.eco_open(RunSpec{});
+  const std::uint32_t sid = eco.eco_open(RunSpec{}).session_id;
   std::vector<EcoOp> ops;
   EcoOp resize;
   resize.kind = EcoOp::Kind::kResizeGate;

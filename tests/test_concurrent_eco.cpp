@@ -97,7 +97,7 @@ TEST(ConcurrentEco, ServiceEcoSessionsRunConcurrentlyAgainstOneBase) {
         service::XtalkClient client =
             service::XtalkClient::connect_tcp(server.port());
         service::RunSpec spec;
-        const std::uint32_t eco = client.eco_open(spec);
+        const std::uint32_t eco = client.eco_open(spec).session_id;
 
         // Local mirror of this client's session, edits applied in lockstep.
         DesignEditor mirror(session.view());

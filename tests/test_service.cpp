@@ -173,7 +173,7 @@ TEST(Service, EcoSessionMatchesLocalIncrementalRun) {
   ServerFixture fx;
   XtalkClient client = fx.connect();
   RunSpec spec;
-  const std::uint32_t id = client.eco_open(spec);
+  const std::uint32_t id = client.eco_open(spec).session_id;
 
   // Local mirror: same base, same edits, same options.
   sta::incremental::DesignEditor mirror(shared_session().view());
@@ -233,7 +233,7 @@ TEST(Service, EcoSessionMatchesLocalIncrementalRun) {
 TEST(Service, EcoEditValidatesIdsBeforeApplying) {
   ServerFixture fx;
   XtalkClient client = fx.connect();
-  const std::uint32_t id = client.eco_open(RunSpec{});
+  const std::uint32_t id = client.eco_open(RunSpec{}).session_id;
   std::vector<EcoOp> ops;
   EcoOp bad;
   bad.kind = EcoOp::Kind::kResizeGate;
