@@ -195,6 +195,9 @@ const std::vector<std::string>& result_row_required_keys() {
       "pool_wait_ns",
       "pool_ready_wait_ns",
       "trace_events",
+      "scenario",
+      "scenarios_total",
+      "worst_scenario",
   };
   return kKeys;
 }
@@ -213,7 +216,8 @@ void assert_result_row_schema(const JsonObject& row) {
   }
 }
 
-void fill_result_row(JsonObject& row, const sta::StaResult& result) {
+void fill_result_row(JsonObject& row, const sta::StaResult& result,
+                     const ScenarioRowInfo& info) {
   const sta::MetricsSnapshot& m = result.metrics;
   row.set("delay_ns", result.longest_path_delay * 1e9)
       .set("runtime_s", result.runtime_seconds)
@@ -247,7 +251,10 @@ void fill_result_row(JsonObject& row, const sta::StaResult& result) {
       .set("pool_busy_ns", m.pool_busy_ns)
       .set("pool_wait_ns", m.pool_wait_ns)
       .set("pool_ready_wait_ns", m.pool_ready_wait_ns)
-      .set("trace_events", m.trace_events);
+      .set("trace_events", m.trace_events)
+      .set("scenario", info.scenario)
+      .set("scenarios_total", info.scenarios_total)
+      .set("worst_scenario", info.worst_scenario);
   assert_result_row_schema(row);
 }
 

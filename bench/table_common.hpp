@@ -85,11 +85,20 @@ class JsonReport {
 /// string when absent. Exits with a message on a missing path argument.
 std::string json_path_from_args(int argc, char** argv);
 
+/// Scenario annotation of a result row (MCMM benches). Defaults describe a
+/// single-scenario run, so every bench emits the same uniform schema.
+struct ScenarioRowInfo {
+  std::string scenario = "nominal";     ///< scenario this row belongs to
+  std::size_t scenarios_total = 1;      ///< scenarios in the invocation
+  std::string worst_scenario = "nominal";  ///< owner of the worst slack
+};
+
 /// Append the per-mode fields of a result to a JSON row (shared shape
 /// across all benches: delay_ns, runtime_s, passes, waveform counters,
-/// engine metrics). Asserts the row schema on exit — see
-/// assert_result_row_schema.
-void fill_result_row(JsonObject& row, const sta::StaResult& result);
+/// engine metrics, scenario annotation). Asserts the row schema on exit —
+/// see assert_result_row_schema.
+void fill_result_row(JsonObject& row, const sta::StaResult& result,
+                     const ScenarioRowInfo& info = {});
 
 /// The keys every result row must carry. Downstream dashboards key on
 /// these; renaming or dropping one is a breaking schema change.

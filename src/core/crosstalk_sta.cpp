@@ -80,6 +80,10 @@ sta::StaResult Design::run_at_corner(sta::AnalysisMode mode,
   return sta::run_sta(v, opt);
 }
 
+sta::McmmResult Design::run_scenarios(const sta::StaOptions& options) const {
+  return sta::run_mcmm(view(), options);
+}
+
 sta::incremental::DesignEditor Design::make_editor() const {
   return sta::incremental::DesignEditor(view());
 }

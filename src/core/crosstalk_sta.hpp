@@ -23,6 +23,7 @@
 #include "netlist/netlist.hpp"
 #include "sta/engine.hpp"
 #include "sta/incremental/editor.hpp"
+#include "sta/mcmm.hpp"
 
 namespace xtalk::core {
 
@@ -81,6 +82,11 @@ class Design {
   /// the given process corner.
   sta::StaResult run_at_corner(sta::AnalysisMode mode,
                                device::ProcessCorner corner) const;
+
+  /// Multi-corner/multi-scenario analysis: run options.scenarios over this
+  /// design with the cross-scenario sharing of sta::run_mcmm. Every
+  /// scenario's result is bitwise a standalone run of that scenario.
+  sta::McmmResult run_scenarios(const sta::StaOptions& options) const;
 
   /// Open an incremental (ECO) editing session. The editor copies the
   /// netlist/parasitics/DAG on first write; this design stays untouched

@@ -54,6 +54,7 @@ DeviceTable::DeviceTable(const Technology& tech, MosType type) : type_(type) {
   // Sample a bit beyond the rails so that small numerical overshoot during
   // transient integration still lands inside the grid (clamped outside).
   const double vmax = 1.25 * tech.vdd;
+  vmax_ = vmax;
   const std::size_t n = tech.table_points;
   table_ = util::Table2D(0.0, vmax, n, 0.0, vmax, n,
                          [&tech, type](double vgs, double vds) {

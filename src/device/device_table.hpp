@@ -57,8 +57,15 @@ class DeviceTable {
   /// stack_factor(1) == 1; n is clamped to the precomputed range.
   double stack_factor(std::size_t n) const;
 
+  /// Upper edge of the sampled (vgs, vds) grid (~1.25 * vdd of the
+  /// technology the table was built for). Lookups beyond it silently
+  /// clamp — the engine warns (kTableRange) when an analysis supply
+  /// exceeds this.
+  double vmax() const { return vmax_; }
+
  private:
   MosType type_;
+  double vmax_ = 0.0;
   util::Table2D table_;  ///< ids(vgs, vds), vgs/vds in [0, ~1.25*vdd]
   std::vector<double> stack_factors_;  ///< index n-1, n = 1..kMaxStack
 };

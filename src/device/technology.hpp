@@ -34,6 +34,7 @@ struct Technology {
   double vth_n = 0.6;        ///< NMOS threshold [V]
   double vth_p = 0.6;        ///< PMOS threshold magnitude [V]
   double model_vth = 0.2;    ///< coupling-model threshold [V] (paper §2)
+  double temperature_c = 25.0;  ///< junction temperature [Celsius]
 
   // --- Sakurai-Newton alpha-power-law parameters ------------------------
   double alpha = 1.3;        ///< velocity-saturation index
@@ -80,6 +81,16 @@ struct Technology {
   /// shifts (interconnect rules unchanged, so one extraction serves all
   /// corners).
   static const Technology& half_micron_corner(ProcessCorner corner);
+
+  /// Operating-point variant of this technology for a V/T scenario corner:
+  /// vdd is scaled by `vdd_scale`, carrier mobility (beta) follows the
+  /// standard T^-1.5 lattice-scattering law and the thresholds drop
+  /// ~2 mV/K with rising temperature. Geometry, interconnect and the
+  /// alpha-power shape parameters are operating-point independent and are
+  /// left untouched. scaled(1.0, temperature_c) with the current
+  /// temperature returns a bitwise-identical copy — MCMM's "nominal
+  /// scenario equals the base run" contract relies on that.
+  Technology scaled(double vdd_scale, double new_temperature_c) const;
 };
 
 }  // namespace xtalk::device

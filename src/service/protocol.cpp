@@ -94,7 +94,17 @@ sta::StaOptions RunSpec::to_options() const {
   o.budget.policy = budget_policy;
   o.collect_metrics = collect_metrics;
   o.trace_path = trace_path;
+  o.coupling_derate = coupling_derate;
   return o;
+}
+
+sta::Scenario RunSpec::scenario() const {
+  sta::Scenario s;
+  s.name = scenario_name;
+  s.vdd_scale = vdd_scale;
+  s.temperature_c = temperature_c;
+  s.coupling_derate = coupling_derate;
+  return s;
 }
 
 RunSpec RunSpec::from_options(const sta::StaOptions& options) {
@@ -116,6 +126,7 @@ RunSpec RunSpec::from_options(const sta::StaOptions& options) {
   s.budget_policy = options.budget.policy;
   s.collect_metrics = options.collect_metrics;
   s.trace_path = options.trace_path;
+  s.coupling_derate = options.coupling_derate;
   return s;
 }
 
@@ -147,6 +158,10 @@ void RunSpec::encode(util::WireWriter& w) const {
   w.u8(static_cast<std::uint8_t>(budget_policy));
   w.boolean(collect_metrics);
   w.str(trace_path);
+  w.str(scenario_name);
+  w.f64(vdd_scale);
+  w.f64(temperature_c);
+  w.f64(coupling_derate);
 }
 
 bool RunSpec::decode(util::WireReader& r) {
@@ -172,7 +187,11 @@ bool RunSpec::decode(util::WireReader& r) {
   if (!r.enum8(&v, kNumBudgetPolicies)) return false;
   budget_policy = static_cast<util::BudgetPolicy>(v);
   if (!r.boolean(&collect_metrics)) return false;
-  return r.str(&trace_path);
+  if (!r.str(&trace_path)) return false;
+  if (!r.str(&scenario_name)) return false;
+  if (!r.f64(&vdd_scale)) return false;
+  if (!r.f64(&temperature_c)) return false;
+  return r.f64(&coupling_derate);
 }
 
 // ---------------------------------------------------------------------------
@@ -228,18 +247,45 @@ bool EcoResumeMsg::decode(util::WireReader& r) { return r.u64(&token); }
 // SlackQueryMsg
 // ---------------------------------------------------------------------------
 
+void WireScenario::encode(util::WireWriter& w) const {
+  w.str(name);
+  w.f64(vdd_scale);
+  w.f64(temperature_c);
+  w.f64(coupling_derate);
+  w.boolean(override_mode);
+  w.u8(mode);
+}
+
+bool WireScenario::decode(util::WireReader& r) {
+  if (!r.str(&name)) return false;
+  if (!r.f64(&vdd_scale)) return false;
+  if (!r.f64(&temperature_c)) return false;
+  if (!r.f64(&coupling_derate)) return false;
+  if (!r.boolean(&override_mode)) return false;
+  return r.enum8(&mode, kNumAnalysisModes);
+}
+
 void SlackQueryMsg::encode(util::WireWriter& w) const {
   spec.encode(w);
   w.u32(net);
   w.boolean(rising);
   w.f64(required_time);
+  w.array(scenarios.size());
+  for (const WireScenario& s : scenarios) s.encode(w);
 }
 
 bool SlackQueryMsg::decode(util::WireReader& r) {
   if (!spec.decode(r)) return false;
   if (!r.u32(&net)) return false;
   if (!r.boolean(&rising)) return false;
-  return r.f64(&required_time);
+  if (!r.f64(&required_time)) return false;
+  std::uint32_t n;
+  if (!r.array(&n, /*min_item_bytes=*/30)) return false;
+  scenarios.resize(n);
+  for (WireScenario& s : scenarios) {
+    if (!s.decode(r)) return false;
+  }
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -446,12 +492,14 @@ void SlackMsg::encode(util::WireWriter& w) const {
   w.boolean(valid);
   w.f64(arrival);
   w.f64(slack);
+  w.str(worst_scenario);
 }
 
 bool SlackMsg::decode(util::WireReader& r) {
   if (!r.boolean(&valid)) return false;
   if (!r.f64(&arrival)) return false;
-  return r.f64(&slack);
+  if (!r.f64(&slack)) return false;
+  return r.str(&worst_scenario);
 }
 
 void StatsMsg::encode(util::WireWriter& w) const {

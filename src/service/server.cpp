@@ -791,13 +791,39 @@ void XtalkServer::handle_query_slack(Executor& ex, Connection& conn,
     respond_error(conn, request_id, ErrorCode::kMalformedFrame, r.error());
     return;
   }
-  auto result = design_.baseline(q.spec, ex.pool.get());
+  // Expand the scenario list into one RunSpec per scenario (empty list =
+  // the base spec alone). Each baseline is memoized per scenario key, so
+  // repeated queries only pay lookups.
+  std::vector<RunSpec> specs;
+  if (q.scenarios.empty()) {
+    specs.push_back(q.spec);
+  } else {
+    specs.reserve(q.scenarios.size());
+    for (const WireScenario& s : q.scenarios) {
+      RunSpec spec = q.spec;
+      spec.scenario_name = s.name;
+      spec.vdd_scale = s.vdd_scale;
+      spec.temperature_c = s.temperature_c;
+      spec.coupling_derate = s.coupling_derate;
+      if (s.override_mode) spec.mode = static_cast<sta::AnalysisMode>(s.mode);
+      specs.push_back(std::move(spec));
+    }
+  }
+  // Worst (minimum) slack over all scenarios; strict < keeps the first
+  // scenario on exact ties, so the answer never depends on list order
+  // tricks.
   SlackMsg m;
-  for (const sta::EndpointArrival& e : result->endpoints) {
-    if (e.net == q.net && e.rising == q.rising) {
-      m.valid = true;
-      m.arrival = e.arrival;
-      m.slack = q.required_time - e.arrival;
+  for (const RunSpec& spec : specs) {
+    auto result = design_.baseline(spec, ex.pool.get());
+    for (const sta::EndpointArrival& e : result->endpoints) {
+      if (e.net != q.net || e.rising != q.rising) continue;
+      const double slack = q.required_time - e.arrival;
+      if (!m.valid || slack < m.slack) {
+        m.valid = true;
+        m.arrival = e.arrival;
+        m.slack = slack;
+        m.worst_scenario = spec.scenario_name;
+      }
       break;
     }
   }

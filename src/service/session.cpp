@@ -33,8 +33,10 @@ std::shared_ptr<const sta::StaResult> DesignSession::baseline(
   numeric.collect_metrics = false;
   sta::StaOptions options = numeric.to_options();
   options.pool = pool;
+  const std::shared_ptr<const sta::ScenarioContext> ctx =
+      corner_locked(numeric);
   auto result = std::make_shared<sta::StaResult>(
-      sta::run_sta(design_.view(), options));
+      sta::run_sta(ctx->view(design_.view()), options));
   baselines_.emplace(key, result);
   baseline_specs_.emplace(key, numeric);
   if (!snapshot_path_.empty()) persist_baselines_locked();
@@ -44,6 +46,29 @@ std::shared_ptr<const sta::StaResult> DesignSession::baseline(
 std::size_t DesignSession::baselines_cached() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return baselines_.size();
+}
+
+std::shared_ptr<const sta::ScenarioContext> DesignSession::corner(
+    const RunSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return corner_locked(spec);
+}
+
+std::size_t DesignSession::corners_cached() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return corners_.size();
+}
+
+std::shared_ptr<const sta::ScenarioContext> DesignSession::corner_locked(
+    const RunSpec& spec) {
+  const bool need_nldm = spec.delay_model == sta::DelayModel::kNldm;
+  const sta::Scenario scenario = spec.scenario();
+  const auto key = std::make_pair(sta::corner_key(scenario), need_nldm);
+  auto it = corners_.find(key);
+  if (it != corners_.end()) return it->second;
+  auto ctx = sta::ScenarioContext::make(design_.view(), scenario, need_nldm);
+  corners_.emplace(key, ctx);
+  return ctx;
 }
 
 void DesignSession::enable_persistence(const std::string& state_dir,
@@ -97,11 +122,11 @@ void DesignSession::persist_baselines_locked() {
   }
 }
 
-EcoSession::EcoSession(const DesignSession& base, const RunSpec& run_spec,
+EcoSession::EcoSession(DesignSession& base, const RunSpec& run_spec,
                        util::ThreadPool* pool, util::CancelToken* cancel)
-    : spec(run_spec) {
-  editor =
-      std::make_unique<sta::incremental::DesignEditor>(base.design().view());
+    : spec(run_spec), corner(base.corner(run_spec)) {
+  editor = std::make_unique<sta::incremental::DesignEditor>(
+      corner->view(base.design().view()));
   sta::StaOptions options = spec.to_options();
   options.pool = pool;
   options.cancel = cancel;

@@ -26,6 +26,7 @@
 #include "core/crosstalk_sta.hpp"
 #include "service/protocol.hpp"
 #include "sta/incremental/incremental_sta.hpp"
+#include "sta/scenario.hpp"
 #include "util/persist.hpp"
 
 namespace xtalk::service {
@@ -34,7 +35,11 @@ namespace xtalk::service {
 inline constexpr std::uint16_t kSnapKindGeneration = 1;  ///< u64 restart gen
 inline constexpr std::uint16_t kSnapKindBaselines = 2;   ///< memoized RunSpecs
 inline constexpr std::uint16_t kSnapKindDesign = 3;      ///< design recipe
-inline constexpr std::uint16_t kSnapVersion = 1;
+/// v2: RunSpec gained the MCMM scenario identity (name, vdd_scale,
+/// temperature, coupling derate), changing the encoded baseline/WAL-open
+/// payloads. v1 state files load as kVersionSkew and the server starts
+/// cold — never a half-decoded spec.
+inline constexpr std::uint16_t kSnapVersion = 2;
 
 class DesignSession {
  public:
@@ -53,6 +58,16 @@ class DesignSession {
   /// Number of cached baselines (observability).
   std::size_t baselines_cached() const;
 
+  /// The per-corner device-model context (scaled technology, regridded
+  /// tables, NLDM when the spec's delay model needs one) for `spec`'s V/T
+  /// corner, built on first use and shared by every baseline and ECO
+  /// session at that corner. The nominal corner borrows the base design's
+  /// model untouched (pre-v4 behaviour, bitwise).
+  std::shared_ptr<const sta::ScenarioContext> corner(const RunSpec& spec);
+
+  /// Number of cached corner contexts (observability).
+  std::size_t corners_cached() const;
+
   /// Crash-only durability: snapshot the set of memoized baseline specs to
   /// `<state_dir>/baselines.snap` on every cache fill, and — right now —
   /// re-warm every spec found in an existing snapshot. Results are not
@@ -67,12 +82,18 @@ class DesignSession {
 
  private:
   void persist_baselines_locked();
+  std::shared_ptr<const sta::ScenarioContext> corner_locked(
+      const RunSpec& spec);
 
   core::Design design_;
   std::string name_;
   mutable std::mutex mutex_;
   std::map<std::string, std::shared_ptr<const sta::StaResult>> baselines_;
   std::map<std::string, RunSpec> baseline_specs_;  ///< cache_key → spec
+  /// Corner contexts keyed on (V/T bits, needs-NLDM); immutable once built.
+  std::map<std::pair<sta::CornerKey, bool>,
+           std::shared_ptr<const sta::ScenarioContext>>
+      corners_;
   std::string snapshot_path_;  ///< empty = persistence off
   bool fsync_ = true;
   std::atomic<std::int64_t> last_snapshot_steady_ms_{-1};
@@ -82,11 +103,14 @@ class DesignSession {
 /// incremental re-timing session that replays cached passes. Owned by the
 /// connection that opened it; never shared across connections.
 struct EcoSession {
-  explicit EcoSession(const DesignSession& base, const RunSpec& spec,
+  explicit EcoSession(DesignSession& base, const RunSpec& spec,
                       util::ThreadPool* pool,
                       util::CancelToken* cancel = nullptr);
 
   RunSpec spec;
+  /// Keeps this session's V/T corner model alive (shared with the base
+  /// session's corner cache; the editor's COW view borrows its tables).
+  std::shared_ptr<const sta::ScenarioContext> corner;
   std::unique_ptr<sta::incremental::DesignEditor> editor;
   std::unique_ptr<sta::incremental::IncrementalSta> sta;
   /// Durable identity (0 on a volatile server): survives connection loss

@@ -40,7 +40,10 @@ void recompute_gate_early(const DesignView& design, const EarlyOptions& options,
   // keeps the bound a lower one.
   const double base = design.parasitics->net(out).wire_cap +
                       tech.miller_gate_factor * nl.net_pin_cap(out);
-  const double cc_sum = design.parasitics->net(out).total_coupling_cap();
+  // Same per-scenario coupling derate as the classification this bound
+  // feeds (1.0 = exact no-op).
+  const double cc_sum = options.coupling_derate *
+                        design.parasitics->net(out).total_coupling_cap();
   // An aiding kick of the full divider step can advance the threshold
   // crossing by roughly dV / slope.
   const double assist_dv = delaycalc::divider_step(tech.vdd, cc_sum, base);

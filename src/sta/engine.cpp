@@ -10,6 +10,7 @@
 
 #include "extract/elmore.hpp"
 #include "sta/early.hpp"
+#include "sta/scenario.hpp"
 
 namespace xtalk::sta {
 
@@ -72,6 +73,11 @@ void validate_options(const StaOptions& o) {
     throw std::invalid_argument(
         "RunBudget::soft_memory_bytes must not exceed hard_memory_bytes");
   }
+  if (!(o.coupling_derate >= 0.0) || !std::isfinite(o.coupling_derate)) {
+    throw std::invalid_argument(
+        "StaOptions::coupling_derate must be finite and >= 0");
+  }
+  for (const Scenario& s : o.scenarios) validate_scenario(s);
 }
 
 /// Exact double comparison treating NaN == NaN ("same bits", not IEEE).
@@ -125,9 +131,14 @@ StaEngine::StaEngine(const DesignView& design, const StaOptions& options)
       sink_(options.max_diagnostics),
       governor_(options.budget, options.cancel, options.governor_hook) {
   if (options_.delay_model == DelayModel::kNldm) {
-    // The shared characterization is built against the default technology.
+    // Prefer a caller-supplied characterization (MCMM corners hand in one
+    // matching their scaled technology); the shared half-micron static is
+    // the nominal-technology fallback.
+    const delaycalc::NldmLibrary& lib =
+        design.nldm != nullptr ? *design.nldm
+                               : delaycalc::NldmLibrary::half_micron();
     nldm_ = std::make_unique<delaycalc::NldmDelayCalculator>(
-        delaycalc::NldmLibrary::half_micron(), design.tables->tech());
+        lib, design.tables->tech());
   }
   if (options_.pool != nullptr) {
     pool_ = options_.pool;
@@ -249,8 +260,11 @@ std::vector<delaycalc::ArcResult> StaEngine::bound_arc(
   // dominates its interpolation error by a wide margin.
   std::call_once(fallback_nldm_once_, [&] {
     try {
-      fallback_nldm_ = std::make_unique<delaycalc::NldmDelayCalculator>(
-          delaycalc::NldmLibrary::half_micron(), tech);
+      const delaycalc::NldmLibrary& lib =
+          design_.nldm != nullptr ? *design_.nldm
+                                  : delaycalc::NldmLibrary::half_micron();
+      fallback_nldm_ =
+          std::make_unique<delaycalc::NldmDelayCalculator>(lib, tech);
     } catch (...) {
       // leave null: the analytic bound below covers it
     }
@@ -331,8 +345,12 @@ delaycalc::OutputLoad StaEngine::classify_coupling(
   double grounded = 0.0;
   double active = 0.0;
   const bool neighbor_dir = !victim_rising;  // opposite transition couples
+  // Per-scenario pessimism knob; 1.0 (the default) is an IEEE-exact no-op,
+  // so the derated sums are bitwise the historical ones.
+  const double derate = options_.coupling_derate;
   for (const extract::NeighborCap& nb :
        design_.parasitics->net(victim).couplings) {
+    const double cap = derate * nb.cap;
     // Timing-window extension: an aggressor that cannot even *start* its
     // opposite transition before the victim has settled under the
     // unrefined worst case is harmless.
@@ -340,7 +358,7 @@ delaycalc::OutputLoad StaEngine::classify_coupling(
       const double earliest =
           neighbor_dir ? early_rise_[nb.neighbor] : early_fall_[nb.neighbor];
       if (earliest >= victim_settle_upper) {
-        grounded += nb.cap;
+        grounded += cap;
         continue;
       }
     }
@@ -359,13 +377,13 @@ delaycalc::OutputLoad StaEngine::classify_coupling(
       t_a = config.previous->quiet(nb.neighbor, neighbor_dir);
     } else {
       // §5.1: "line i is not calculated" -> worst-case assumption: coupling.
-      active += nb.cap;
+      active += cap;
       continue;
     }
     if (t_a > t_bcs) {
-      active += nb.cap;
+      active += cap;
     } else {
-      grounded += nb.cap;  // grounded with unchanged value
+      grounded += cap;  // grounded with unchanged value
     }
   }
   load.c_passive = base_cap + grounded;
@@ -384,7 +402,11 @@ void StaEngine::process_gate(netlist::GateId gate_id, const PassConfig& config,
   const double vdd = design_.tables->tech().vdd;
 
   const double base = base_load(out);
-  const double cc_sum = design_.parasitics->net(out).total_coupling_cap();
+  // Same per-scenario derate as classify_coupling (1.0 = exact no-op), so
+  // the best/static/worst load splits and the classification agree on the
+  // effective coupling caps.
+  const double cc_sum = options_.coupling_derate *
+                        design_.parasitics->net(out).total_coupling_cap();
   const util::DiagHandle dh = gate_diag(gate_id, out, config);
 
   auto merge = [&](const delaycalc::ArcResult& r, const EventOrigin& origin,
@@ -915,7 +937,7 @@ void StaEngine::run_dependencies(const PassConfig& config,
   // queue transfer supplies the claim-side ordering).
   std::vector<std::atomic<std::uint32_t>> preds(num_gates);
   for (std::size_t g = 0; g < num_gates; ++g) {
-    preds[g].store(dep_.pred_count[g], std::memory_order_relaxed);
+    preds[g].store(dep_->pred_count[g], std::memory_order_relaxed);
   }
   std::atomic<std::size_t> completed{0};
   // Cooperative soft-stop (run_dynamic contract: every gate that starts
@@ -982,10 +1004,10 @@ void StaEngine::run_dependencies(const PassConfig& config,
                                           std::size_t thread_id) {
     const netlist::GateId g = static_cast<netlist::GateId>(item);
     task(g, thread_id);
-    const std::uint32_t s_begin = dep_.succ_offset[g];
-    const std::uint32_t s_end = dep_.succ_offset[g + 1];
+    const std::uint32_t s_begin = dep_->succ_offset[g];
+    const std::uint32_t s_end = dep_->succ_offset[g + 1];
     for (std::uint32_t si = s_begin; si < s_end; ++si) {
-      const std::uint32_t s = dep_.succ[si];
+      const std::uint32_t s = dep_->succ[si];
       if (preds[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
         pool_->push_ready(s, soft_priority ? glevel[s] : 0);
       }
@@ -1001,7 +1023,7 @@ void StaEngine::run_dependencies(const PassConfig& config,
                                 config.pass_index, "gates",
                                 static_cast<std::int64_t>(num_gates));
   if (metrics_ != nullptr) epoch_end_ns[0] = util::monotonic_ns();
-  pool_->run_dynamic(dep_.roots, soft_priority ? num_levels : 1, fn,
+  pool_->run_dynamic(dep_->roots, soft_priority ? num_levels : 1, fn,
                      &governor_.abort_flag(), &stop);
   const std::uint64_t dispatch_end =
       metrics_ != nullptr ? util::monotonic_ns() : 0;
@@ -1084,12 +1106,27 @@ void StaEngine::run_dependencies(const PassConfig& config,
 }
 
 void StaEngine::build_dep_graph() {
-  if (dep_.built) return;
+  if (dep_ != nullptr && dep_->built) return;
   const netlist::Netlist& nl = *design_.netlist;
   const std::vector<std::uint32_t>& glevel = design_.dag->gate_level;
   const std::size_t ng = nl.num_gates();
   const bool coupling_aware = options_.mode == AnalysisMode::kOneStep ||
                               options_.mode == AnalysisMode::kIterative;
+
+  // MCMM sharing: the graph is pure structure (netlist + levels +
+  // parasitics + the coupling_aware flag), identical for every scenario of
+  // one invocation — adopt a published one, or publish ours below.
+  std::shared_ptr<DepGraph>* shared_slot = nullptr;
+  if (options_.shared != nullptr) {
+    shared_slot = coupling_aware ? &options_.shared->dep_coupled
+                                 : &options_.shared->dep_plain;
+    if (*shared_slot != nullptr && (*shared_slot)->built) {
+      dep_ = *shared_slot;
+      return;
+    }
+  }
+  dep_ = std::make_shared<DepGraph>();
+  DepGraph& dep = *dep_;
 
   // Predecessors of a gate = everything its task may read that another
   // task of the same pass writes: the drivers of its timed fanin nets
@@ -1117,8 +1154,8 @@ void StaEngine::build_dep_graph() {
     }
   };
 
-  dep_.pred_count.assign(ng, 0);
-  dep_.succ_offset.assign(ng + 1, 0);
+  dep.pred_count.assign(ng, 0);
+  dep.succ_offset.assign(ng + 1, 0);
   // Stamp-dedup: a net can be both fanin and coupling neighbour, and two
   // pins can share a fanin net — one edge per (pred, gate) pair.
   constexpr std::uint32_t kNoStamp = std::numeric_limits<std::uint32_t>::max();
@@ -1127,32 +1164,33 @@ void StaEngine::build_dep_graph() {
     for_each_pred(g, [&](netlist::GateId d) {
       if (stamp[d] == g) return;
       stamp[d] = g;
-      ++dep_.pred_count[g];
-      ++dep_.succ_offset[d + 1];
+      ++dep.pred_count[g];
+      ++dep.succ_offset[d + 1];
     });
   }
   for (std::size_t i = 1; i <= ng; ++i) {
-    dep_.succ_offset[i] += dep_.succ_offset[i - 1];
+    dep.succ_offset[i] += dep.succ_offset[i - 1];
   }
-  dep_.succ.assign(dep_.succ_offset[ng], 0);
-  std::vector<std::uint32_t> cursor(dep_.succ_offset.begin(),
-                                    dep_.succ_offset.end() - 1);
+  dep.succ.assign(dep.succ_offset[ng], 0);
+  std::vector<std::uint32_t> cursor(dep.succ_offset.begin(),
+                                    dep.succ_offset.end() - 1);
   stamp.assign(ng, kNoStamp);
   for (netlist::GateId g = 0; g < ng; ++g) {
     for_each_pred(g, [&](netlist::GateId d) {
       if (stamp[d] == g) return;
       stamp[d] = g;
-      dep_.succ[cursor[d]++] = g;
+      dep.succ[cursor[d]++] = g;
     });
   }
-  dep_.roots.clear();
+  dep.roots.clear();
   for (netlist::GateId g = 0; g < ng; ++g) {
-    if (dep_.pred_count[g] == 0) {
-      dep_.roots.push_back(
+    if (dep.pred_count[g] == 0) {
+      dep.roots.push_back(
           util::ThreadPool::ReadyItem{g, glevel[g]});
     }
   }
-  dep_.built = true;
+  dep.built = true;
+  if (shared_slot != nullptr) *shared_slot = dep_;
 }
 
 bool StaEngine::gate_reusable(netlist::GateId gate_id,
@@ -1264,25 +1302,59 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
   result.scheduler = options_.scheduler;
   if (trace_out != nullptr) *trace_out = RunTrace{};
 
+  // Device-table seam guard: lookups beyond the sampled grid silently
+  // clamp. The grid covers [0, 1.25 * vdd_at_build]; an analysis
+  // technology whose supply has grown past the build supply (a technology
+  // mutated after the table set was built, or tables reused at a scaled-up
+  // corner) erodes exactly the overshoot headroom the 1.25 margin exists
+  // for — warn instead of silently flattening the currents. MCMM corners
+  // regrid per scenario (ScenarioContext), so this stays silent there.
+  {
+    const device::DeviceTableSet& ts = *design_.tables;
+    const double vmax = std::min(ts.nmos().vmax(), ts.pmos().vmax());
+    if (1.25 * ts.tech().vdd > vmax) {
+      util::Diagnostic d;
+      d.code = util::DiagCode::kTableRange;
+      d.severity = util::Severity::kWarning;
+      d.message = "analysis vdd " + std::to_string(ts.tech().vdd) +
+                  " V exceeds the supply the device tables were built for " +
+                  "(grid vmax " + std::to_string(vmax) +
+                  " V = 1.25 * build vdd); lookups beyond the grid clamp — " +
+                  "rebuild the tables for this corner";
+      sink_.report(d);
+    }
+  }
+
   // Pass-anchored coupling snapshot as static structure (classify_coupling
   // reads it on every neighbour). Rebuilt per run — the DAG may have been
   // incrementally re-levelized between runs of a reused engine — and the
   // dependency graph derived from the same levels is invalidated with it.
+  // An MCMM invocation (StaOptions::shared) runs its scenarios over one
+  // immutable design, so the snapshot is built once and adopted by every
+  // later scenario; adoption is bitwise what the loop below computes.
   {
     const netlist::Netlist& nl = *design_.netlist;
-    net_ready_level_.assign(nl.num_nets(),
-                            std::numeric_limits<std::uint32_t>::max());
-    for (netlist::GateId g = 0; g < nl.num_gates(); ++g) {
-      const netlist::Gate& gate = nl.gate(g);
-      net_ready_level_[gate.pin_nets[gate.cell->output_pin()]] =
-          design_.dag->gate_level[g] + 1;
+    if (options_.shared != nullptr &&
+        !options_.shared->net_ready_level.empty()) {
+      net_ready_level_ = options_.shared->net_ready_level;
+    } else {
+      net_ready_level_.assign(nl.num_nets(),
+                              std::numeric_limits<std::uint32_t>::max());
+      for (netlist::GateId g = 0; g < nl.num_gates(); ++g) {
+        const netlist::Gate& gate = nl.gate(g);
+        net_ready_level_[gate.pin_nets[gate.cell->output_pin()]] =
+            design_.dag->gate_level[g] + 1;
+      }
+      // Primary inputs carry stimulus set before any dispatch; a driven net
+      // listed as primary input keeps the stronger "always readable".
+      for (const netlist::NetId pi : nl.primary_inputs()) {
+        net_ready_level_[pi] = 0;
+      }
+      if (options_.shared != nullptr) {
+        options_.shared->net_ready_level = net_ready_level_;
+      }
     }
-    // Primary inputs carry stimulus set before any dispatch; a driven net
-    // listed as primary input keeps the stronger "always readable".
-    for (const netlist::NetId pi : nl.primary_inputs()) {
-      net_ready_level_[pi] = 0;
-    }
-    dep_.built = false;
+    dep_.reset();
   }
 
   // Reuse needs both the trace and the seed set; anything less means a
@@ -1311,8 +1383,11 @@ StaResult StaEngine::run(RunTrace* trace_out, const ReuseHints* hints) {
       }
       if (br == util::BudgetReason::kNone) {
         util::TraceSpan early_span(tbuf(0), "sta.early_activity");
-        const EarlyTimes early =
-            compute_early_activity(design_, options_.early);
+        // The early bound must see the same effective coupling caps as the
+        // classification it feeds (its aiding assist scales with them).
+        EarlyOptions eo = options_.early;
+        eo.coupling_derate = options_.coupling_derate;
+        const EarlyTimes early = compute_early_activity(design_, eo);
         early_rise_ = early.rise;
         early_fall_ = early.fall;
       } else {

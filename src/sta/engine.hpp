@@ -64,6 +64,10 @@ struct EarlyOptions {
   /// crossing). Keeping it guarantees a sound lower bound but weakens the
   /// windows considerably; industrial analyzers typically drop it.
   bool aiding_coupling_assist = true;
+  /// Coupling-cap multiplier of the aiding-assist allowance. The engine
+  /// copies StaOptions::coupling_derate here so the early bound sees the
+  /// same effective coupling caps as the classification it feeds.
+  double coupling_derate = 1.0;
 };
 
 /// Which gate delay engine the analysis uses.
@@ -101,6 +105,59 @@ enum class Scheduler {
 /// "soft-priority") for reports and the bench JSON schema.
 const char* scheduler_name(Scheduler s);
 
+/// One operating scenario of a multi-corner/multi-scenario (MCMM) run: a
+/// V/T corner of the alpha-power device model plus a per-scenario coupling
+/// treatment. Scenarios whose (vdd_scale, temperature_c) bits match share
+/// one device-table build (and one NLDM characterization) — see
+/// sta/scenario.hpp and run_mcmm (sta/mcmm.hpp).
+struct Scenario {
+  std::string name = "nominal";
+  /// Supply scale vs. the base technology (1.0 = nominal), applied via
+  /// device::Technology::scaled().
+  double vdd_scale = 1.0;
+  /// Junction temperature [Celsius] (mobility ~T^-1.5, Vth -2 mV/K).
+  double temperature_c = 25.0;
+  /// When set, this scenario runs `mode` instead of StaOptions::mode
+  /// (e.g. a signoff corner in kIterative while exploration corners run
+  /// kOneStep).
+  bool override_mode = false;
+  AnalysisMode mode = AnalysisMode::kOneStep;
+  /// Multiplier on every coupling cap the analysis sees (classification,
+  /// load splits, early-activity assist). 1.0 = the physical extraction;
+  /// > 1 adds per-scenario pessimism. Replaces (not multiplies) the base
+  /// StaOptions::coupling_derate under apply_scenario.
+  double coupling_derate = 1.0;
+};
+
+/// Gate dependency DAG for the kByDependency/kSoftPriority schedulers
+/// (StaEngine::build_dep_graph): CSR successors + initial predecessor
+/// counts + zero-predecessor roots. Pure structure derived from the
+/// levelized netlist and parasitics (plus whether the mode is
+/// coupling-aware), so every scenario of one MCMM invocation shares one
+/// instance per mode family (ScenarioShared).
+struct DepGraph {
+  bool built = false;
+  std::vector<std::uint32_t> pred_count;   ///< per gate, initial fanin count
+  std::vector<std::uint32_t> succ_offset;  ///< CSR row starts (gates + 1)
+  std::vector<std::uint32_t> succ;         ///< CSR successor gate ids
+  std::vector<util::ThreadPool::ReadyItem> roots;  ///< pred_count == 0
+};
+
+/// Cross-scenario shared front-end structure of one MCMM invocation,
+/// borrowed via StaOptions::shared. The first engine to need a piece
+/// builds and publishes it; later engines adopt it instead of rebuilding.
+/// NOT thread-safe — the scenarios of one invocation run sequentially over
+/// one immutable design. Never reuse an instance across netlist edits or
+/// re-levelization (the ECO path does not set it); adopted values are
+/// bitwise the ones an unshared engine computes, so results are unchanged.
+struct ScenarioShared {
+  /// Pass-anchored coupling snapshot (see StaEngine::net_ready_level_).
+  /// Empty = not built yet.
+  std::vector<std::uint32_t> net_ready_level;
+  std::shared_ptr<DepGraph> dep_plain;    ///< non-coupling-aware modes
+  std::shared_ptr<DepGraph> dep_coupled;  ///< kOneStep / kIterative
+};
+
 struct StaOptions {
   AnalysisMode mode = AnalysisMode::kOneStep;
   DelayModel delay_model = DelayModel::kTransistorLevel;
@@ -122,6 +179,24 @@ struct StaOptions {
   /// pass plus occasional arc re-evaluations; tightens the bound further.
   bool timing_windows = false;
   EarlyOptions early;
+  /// Multiplier on every coupling cap the analysis sees: the best-case /
+  /// static-doubled / worst-case load splits, the one-step classification,
+  /// and the timing-window early-activity assist all scale each extracted
+  /// coupling cap by this factor. 1.0 (the default) is an exact no-op;
+  /// > 1.0 adds pessimism (e.g. a derated signoff scenario), values in
+  /// (0, 1) relax it. Must be finite and >= 0.
+  double coupling_derate = 1.0;
+  /// MCMM scenario list, consumed by run_mcmm (sta/mcmm.hpp): one
+  /// invocation runs every scenario while sharing the netlist, parasitics,
+  /// levelization, dependency DAG and ready-level snapshot, and scenarios
+  /// on the same V/T corner share device tables + NLDM characterization.
+  /// A plain run_sta / StaEngine::run ignores the list (it runs exactly
+  /// the options it was given); empty means single-scenario.
+  std::vector<Scenario> scenarios;
+  /// Cross-scenario shared structure (borrowed; see ScenarioShared).
+  /// run_mcmm wires this; single runs leave it null. Sharing never changes
+  /// results — adopted structure is bitwise what the engine would build.
+  ScenarioShared* shared = nullptr;
   /// Worker threads for the parallel pass: 0 = one per hardware thread,
   /// 1 = serial. Results are bit-identical for any value — the coupling
   /// classification is anchored to pass start (static ready levels).
@@ -301,6 +376,11 @@ struct DesignView {
   const netlist::LevelizedDag* dag = nullptr;
   const extract::Parasitics* parasitics = nullptr;
   const device::DeviceTableSet* tables = nullptr;
+  /// Characterized NLDM library matching `tables`' technology, for kNldm
+  /// runs and the degrade fallback bound. Null = the shared half-micron
+  /// characterization (the pre-MCMM behaviour; only exact for the default
+  /// technology — scenario corners supply their own, see ScenarioContext).
+  const delaycalc::NldmLibrary* nldm = nullptr;
 };
 
 class StaEngine {
@@ -521,16 +601,10 @@ class StaEngine {
   /// got a calculated flag). Built once per engine in run().
   std::vector<std::uint32_t> net_ready_level_;
   /// Gate dependency DAG for the kByDependency/kSoftPriority schedulers
-  /// (see build_dep_graph). CSR successors + initial predecessor counts +
-  /// zero-predecessor roots; pure structure, built lazily once per engine.
-  struct DepGraph {
-    bool built = false;
-    std::vector<std::uint32_t> pred_count;   ///< per gate, initial fanin count
-    std::vector<std::uint32_t> succ_offset;  ///< CSR row starts (gates + 1)
-    std::vector<std::uint32_t> succ;         ///< CSR successor gate ids
-    std::vector<util::ThreadPool::ReadyItem> roots;  ///< pred_count == 0
-  };
-  DepGraph dep_;
+  /// (see build_dep_graph; type at namespace scope so ScenarioShared can
+  /// hand one instance to every scenario of an MCMM invocation). Built
+  /// lazily once per run — or adopted from StaOptions::shared.
+  std::shared_ptr<DepGraph> dep_;
   /// Bounded thread-safe diagnostic collector (cleared at every run).
   util::DiagSink sink_;
   /// Lazily-built NLDM calculator backing bound_arc in transistor-level

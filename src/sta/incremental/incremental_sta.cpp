@@ -145,8 +145,12 @@ StaResult IncrementalSta::run() {
     if (inject_early && !edits.empty()) {
       util::TraceSpan span(engine.trace_buffer(), "eco.update_early", "edits",
                            static_cast<std::int64_t>(edits.size()));
+      // Mirror StaEngine::run's early-options derate copy so the
+      // incremental bound is bitwise the from-scratch one.
+      EarlyOptions eo = options_.early;
+      eo.coupling_derate = options_.coupling_derate;
       const std::vector<netlist::NetId> moved = update_early(
-          view, options_.early, early_seed_gates(*view.netlist, edits),
+          view, eo, early_seed_gates(*view.netlist, edits),
           early_, &engine.governor());
       for (const netlist::NetId n : moved) {
         extra_seeds.push_back(n);

@@ -38,6 +38,7 @@ std::vector<NoiseViolation> analyze_noise(const DesignView& design,
       // window contains it.
       struct Window {
         double start, end, cap;
+        netlist::NetId net;
       };
       std::vector<Window> windows;
       for (const extract::NeighborCap& nb : p.couplings) {
@@ -45,18 +46,25 @@ std::vector<NoiseViolation> analyze_noise(const DesignView& design,
         for (const bool rising : {true, false}) {
           const NetEvent& e = t.event(rising);
           if (!e.valid) continue;
-          windows.push_back({e.start_time, e.settle_time, nb.cap});
+          windows.push_back({e.start_time, e.settle_time, nb.cap, nb.neighbor});
         }
       }
+      std::vector<netlist::NetId> hit;
       for (const Window& at : windows) {
         double sum = 0.0;
-        std::size_t k = 0;
+        hit.clear();
         for (const Window& w : windows) {
           if (w.start <= at.end && at.start <= w.end) {
             sum += w.cap;
-            ++k;
+            hit.push_back(w.net);
           }
         }
+        // The same neighbour net appears once per direction (and once per
+        // duplicated coupling cap), so the aggressor count is the number
+        // of distinct nets, not of overlapping windows.
+        std::sort(hit.begin(), hit.end());
+        const std::size_t k = static_cast<std::size_t>(
+            std::unique(hit.begin(), hit.end()) - hit.begin());
         // Each neighbour appears once per direction; halve the double
         // counting conservatively by taking the max, not the sum of dirs.
         if (sum > c_active) {
@@ -69,10 +77,16 @@ std::vector<NoiseViolation> analyze_noise(const DesignView& design,
       const double cc_total = p.total_coupling_cap();
       if (c_active > cc_total) c_active = cc_total;
     } else {
+      // Duplicated coupling entries to one neighbour all add capacitance
+      // but name a single aggressor net.
+      std::vector<netlist::NetId> nets;
       for (const extract::NeighborCap& nb : p.couplings) {
         c_active += nb.cap;
-        ++count;
+        nets.push_back(nb.neighbor);
       }
+      std::sort(nets.begin(), nets.end());
+      count = static_cast<std::size_t>(
+          std::unique(nets.begin(), nets.end()) - nets.begin());
     }
 
     const double cg = ground_cap(design, n);
@@ -87,9 +101,13 @@ std::vector<NoiseViolation> analyze_noise(const DesignView& design,
     v.aggressors = count;
     out.push_back(v);
   }
+  // Worst glitch first; ties broken on the victim id so the report order
+  // is a pure function of the design (symmetric layouts produce exactly
+  // equal glitches, and an unstable sort would order them arbitrarily).
   std::sort(out.begin(), out.end(),
             [](const NoiseViolation& a, const NoiseViolation& b) {
-              return a.glitch > b.glitch;
+              if (a.glitch != b.glitch) return a.glitch > b.glitch;
+              return a.victim < b.victim;
             });
   return out;
 }

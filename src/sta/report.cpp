@@ -1,9 +1,12 @@
 #include "sta/report.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <limits>
+#include <map>
 #include <sstream>
+#include <utility>
 
 namespace xtalk::sta {
 
@@ -134,6 +137,97 @@ std::vector<CouplingImpact> coupling_impact(const StaResult& with_coupling,
               return x.delta > y.delta;
             });
   return out;
+}
+
+McmmSlackReport merge_worst_slack(const McmmResult& mcmm,
+                                  double required_time) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  McmmSlackReport rep;
+  rep.required_time = required_time;
+  rep.scenarios.reserve(mcmm.runs.size());
+  for (const ScenarioRun& run : mcmm.runs) {
+    rep.scenarios.push_back(run.scenario.name);
+  }
+
+  // Union of endpoint (net, edge) pairs over the scenarios: a truncated
+  // scenario can be missing endpoints the others timed. The ordered map
+  // only builds the union — the report order is fixed by the final sort.
+  std::map<std::pair<netlist::NetId, bool>, std::size_t> index;
+  for (std::size_t si = 0; si < mcmm.runs.size(); ++si) {
+    for (const EndpointArrival& e : mcmm.runs[si].result.endpoints) {
+      const auto key = std::make_pair(e.net, e.rising);
+      auto [it, inserted] = index.emplace(key, rep.endpoints.size());
+      if (inserted) {
+        McmmEndpointSlack s;
+        s.net = e.net;
+        s.rising = e.rising;
+        s.slack.assign(mcmm.runs.size(), nan);
+        rep.endpoints.push_back(std::move(s));
+      }
+      rep.endpoints[it->second].slack[si] = required_time - e.arrival;
+    }
+  }
+
+  for (McmmEndpointSlack& s : rep.endpoints) {
+    s.worst_slack = nan;
+    s.worst_scenario = 0;
+    for (std::size_t si = 0; si < s.slack.size(); ++si) {
+      const double v = s.slack[si];
+      if (std::isnan(v)) {
+        ++rep.untimed_pairs;
+        continue;
+      }
+      // Strict < keeps the first scenario on exact ties.
+      if (std::isnan(s.worst_slack) || v < s.worst_slack) {
+        s.worst_slack = v;
+        s.worst_scenario = si;
+      }
+    }
+  }
+
+  std::sort(rep.endpoints.begin(), rep.endpoints.end(),
+            [](const McmmEndpointSlack& a, const McmmEndpointSlack& b) {
+              const bool a_nan = std::isnan(a.worst_slack);
+              const bool b_nan = std::isnan(b.worst_slack);
+              if (a_nan != b_nan) return b_nan;  // untimed-everywhere last
+              if (!a_nan && a.worst_slack != b.worst_slack) {
+                return a.worst_slack < b.worst_slack;
+              }
+              if (a.net != b.net) return a.net < b.net;
+              return a.rising < b.rising;
+            });
+  return rep;
+}
+
+std::string format_mcmm_slack(const McmmSlackReport& report,
+                              std::size_t max_rows) {
+  std::ostringstream os;
+  os << "worst slack over " << report.scenarios.size() << " scenario(s), "
+     << "required " << std::fixed << std::setprecision(3)
+     << report.required_time * 1e9 << " ns\n";
+  os << std::left << std::setw(10) << "net" << std::setw(6) << "edge"
+     << std::right << std::setw(12) << "slack[ns]" << "  scenario\n";
+  const std::size_t shown = std::min(report.endpoints.size(), max_rows);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const McmmEndpointSlack& s = report.endpoints[i];
+    os << std::left << std::setw(10) << s.net << std::setw(6)
+       << (s.rising ? "rise" : "fall") << std::right;
+    if (std::isnan(s.worst_slack)) {
+      os << std::setw(12) << "untimed" << "  -\n";
+      continue;
+    }
+    os << std::fixed << std::setprecision(3) << std::setw(12)
+       << s.worst_slack * 1e9 << "  "
+       << report.scenarios[s.worst_scenario] << "\n";
+  }
+  if (report.endpoints.size() > shown) {
+    os << "  ... " << report.endpoints.size() - shown << " more endpoint(s)\n";
+  }
+  if (report.untimed_pairs > 0) {
+    os << "WARNING: " << report.untimed_pairs
+       << " (endpoint, scenario) pair(s) untimed (truncated scenarios)\n";
+  }
+  return os.str();
 }
 
 }  // namespace xtalk::sta

@@ -1,10 +1,12 @@
 // Report formatting in the paper's table layout.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "sta/engine.hpp"
+#include "sta/mcmm.hpp"
 
 namespace xtalk::sta {
 
@@ -51,5 +53,46 @@ struct CouplingImpact {
 };
 std::vector<CouplingImpact> coupling_impact(const StaResult& with_coupling,
                                             const StaResult& without_coupling);
+
+/// One endpoint's slack across every scenario of an MCMM invocation.
+/// slack[i] = required_time - arrival in scenario i; NaN when that
+/// scenario never timed the endpoint (e.g. budget truncation cut its cone
+/// — NaN, not a stale or optimistic number).
+struct McmmEndpointSlack {
+  netlist::NetId net = netlist::kNoNet;
+  bool rising = true;
+  /// Minimum slack over the scenarios that timed the endpoint (NaN when
+  /// none did).
+  double worst_slack = 0.0;
+  /// Index (into McmmSlackReport::scenarios) of the scenario owning
+  /// worst_slack; first scenario wins exact ties. 0 when untimed
+  /// everywhere.
+  std::size_t worst_scenario = 0;
+  std::vector<double> slack;  ///< per scenario, report order
+};
+
+/// Merged per-endpoint worst-scenario slack view of an MCMM run: the
+/// single table a signoff flow reads instead of N per-scenario reports.
+struct McmmSlackReport {
+  std::vector<std::string> scenarios;  ///< names, invocation order
+  double required_time = 0.0;          ///< common endpoint requirement [s]
+  /// Union of (net, rising) endpoints over all scenarios, most critical
+  /// first (ascending worst_slack, untimed-everywhere last, ties on
+  /// (net, rising)) — a pure function of the results, never of map or
+  /// execution order.
+  std::vector<McmmEndpointSlack> endpoints;
+  /// (endpoint, scenario) combinations left untimed (NaN slack entries).
+  std::size_t untimed_pairs = 0;
+};
+
+/// Merge the per-scenario endpoint arrivals of `mcmm` against one required
+/// time. Worst slack per endpoint is the elementwise minimum over the
+/// per-scenario slacks, ignoring NaN.
+McmmSlackReport merge_worst_slack(const McmmResult& mcmm,
+                                  double required_time);
+
+/// Human-readable worst-slack table, at most `max_rows` endpoint rows.
+std::string format_mcmm_slack(const McmmSlackReport& report,
+                              std::size_t max_rows = 20);
 
 }  // namespace xtalk::sta

@@ -1,0 +1,84 @@
+// Per-scenario analysis context for multi-corner/multi-scenario (MCMM)
+// runs: the V/T corner of a Scenario regrids the alpha-power device model
+// (device::Technology::scaled + a fresh DeviceTableSet) and, for kNldm
+// runs, re-characterizes the NLDM library against those tables — exactly
+// what a standalone run at that corner would build. Scenarios whose
+// (vdd_scale, temperature_c) bits match share one context (CornerKey), so
+// an MCMM invocation pays each corner's table/characterization cost once.
+//
+// The identity corner (vdd_scale == 1.0 and the base technology's own
+// temperature) borrows the base DesignView's tables and library untouched,
+// which keeps the nominal scenario bitwise identical to a plain run.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sta/engine.hpp"
+
+namespace xtalk::sta {
+
+/// Bitwise corner identity of a Scenario: two scenarios share device
+/// tables (and NLDM characterization) iff their keys compare equal. Bit
+/// representation, not value comparison — -0.0 and 0.0 are different
+/// corners only in the pathological sense, and NaNs never validate.
+struct CornerKey {
+  std::uint64_t vdd_scale_bits = 0;
+  std::uint64_t temperature_bits = 0;
+  auto operator<=>(const CornerKey&) const = default;
+};
+
+CornerKey corner_key(const Scenario& s);
+
+/// The per-corner state of one MCMM scenario: scaled technology, regridded
+/// device tables, and (for kNldm) a matching characterized library.
+/// Immutable once built; shared across the scenarios of a corner via
+/// shared_ptr (and across service requests by the session's corner cache).
+class ScenarioContext {
+ public:
+  /// Build (or borrow) the context for `s` against the base design.
+  /// `need_nldm` requests the corner's NLDM characterization (kNldm runs);
+  /// transistor-level runs skip it — their degrade fallback keeps the base
+  /// behaviour. The corner characterization reuses the base library's grid
+  /// options when one is supplied, so coarse test grids stay coarse.
+  static std::shared_ptr<const ScenarioContext> make(const DesignView& base,
+                                                     const Scenario& s,
+                                                     bool need_nldm);
+
+  const device::DeviceTableSet& tables() const { return *tables_; }
+  const delaycalc::NldmLibrary* nldm() const { return nldm_; }
+
+  /// True when this context borrows the base design's tables (identity
+  /// corner) instead of owning a regridded set.
+  bool shares_base_tables() const { return owned_tables_ == nullptr; }
+
+  /// The base view with this corner's tables/library swapped in. Netlist,
+  /// DAG and parasitics stay shared — only the device model changes.
+  DesignView view(const DesignView& base) const;
+
+ private:
+  ScenarioContext() = default;
+
+  /// Heap-allocated so DeviceTableSet's borrowed Technology pointer stays
+  /// stable for the context's lifetime (null for the identity corner).
+  std::unique_ptr<device::Technology> tech_;
+  std::unique_ptr<device::DeviceTableSet> owned_tables_;
+  const device::DeviceTableSet* tables_ = nullptr;
+  std::unique_ptr<delaycalc::NldmLibrary> owned_nldm_;
+  const delaycalc::NldmLibrary* nldm_ = nullptr;
+};
+
+/// Throws std::invalid_argument on a malformed scenario (empty name,
+/// non-finite or non-positive vdd_scale, non-finite temperature, invalid
+/// coupling derate). StaOptions validation and run_mcmm share this check —
+/// run_mcmm strips the scenario list before the per-scenario engine runs,
+/// so it must validate the list itself.
+void validate_scenario(const Scenario& s);
+
+/// The StaOptions a standalone run of scenario `s` would use: the base
+/// options with the scenario list and shared slot cleared, the scenario's
+/// mode override applied, and coupling_derate REPLACED by the scenario's
+/// (the scenario states its full coupling treatment; derates do not stack).
+StaOptions apply_scenario(const StaOptions& base, const Scenario& s);
+
+}  // namespace xtalk::sta

@@ -28,6 +28,7 @@ const char* diag_code_name(DiagCode code) {
     case DiagCode::kParseError: return "parse-error";
     case DiagCode::kInputLimit: return "input-limit";
     case DiagCode::kFileError: return "file-error";
+    case DiagCode::kTableRange: return "table-range";
   }
   return "unknown";
 }

@@ -52,6 +52,7 @@ enum class DiagCode {
   kParseError,            ///< malformed input line/statement (recovered)
   kInputLimit,            ///< input exceeded a parser resource limit
   kFileError,             ///< file could not be opened/read
+  kTableRange,            ///< analysis voltage exceeds the device-table grid
 };
 
 enum class Severity {

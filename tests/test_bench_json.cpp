@@ -96,6 +96,35 @@ TEST(BenchJson, KeysPreserveInsertionOrder) {
   EXPECT_EQ(row.keys(), result_row_required_keys());
 }
 
+TEST(BenchJson, ScenarioAnnotationRoundTrips) {
+  // The MCMM keys (scenario / scenarios_total / worst_scenario) are part
+  // of the order-pinned schema: defaults describe a single-scenario run,
+  // and bench_mcmm's per-scenario values survive the strict parser.
+  JsonObject defaults;
+  fill_result_row(defaults, sta::StaResult{});
+  EXPECT_EQ(defaults.keys(), result_row_required_keys());
+
+  JsonReport report;
+  ScenarioRowInfo info;
+  info.scenario = "fast_derated";
+  info.scenarios_total = 4;
+  info.worst_scenario = "slow_doubled";
+  JsonObject& row = report.add_row("scenarios");
+  fill_result_row(row, sta::StaResult{}, info);
+  EXPECT_EQ(row.keys(), result_row_required_keys());
+
+  util::JsonValue root;
+  std::string err;
+  ASSERT_TRUE(util::parse_json(report.to_string(), &root, &err)) << err;
+  const util::JsonValue* rows = root.find("scenarios");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->items.size(), 1u);
+  const util::JsonValue& parsed = rows->items[0];
+  EXPECT_EQ(parsed.find("scenario")->str, "fast_derated");
+  EXPECT_EQ(parsed.find("scenarios_total")->number, 4.0);
+  EXPECT_EQ(parsed.find("worst_scenario")->str, "slow_doubled");
+}
+
 TEST(BenchJson, ServiceRowCarriesEveryRequiredKey) {
   JsonObject row;
   fill_service_row(row, ServiceLoadSummary{});

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <vector>
 
 #include "core/crosstalk_sta.hpp"
 #include "netlist/embedded_benchmarks.hpp"
@@ -15,6 +17,21 @@ const core::Design& bus() {
   static const core::Design d =
       core::Design::from_bench(netlist::coupled_bus_bench());
   return d;
+}
+
+/// Nets of the bus design whose pin loads are bitwise identical (the 8 bit
+/// slices are structurally symmetric, so such groups exist). Hand-built
+/// parasitics over these give exactly equal glitches.
+std::vector<netlist::NetId> identical_pin_cap_nets(std::size_t want) {
+  const netlist::Netlist& nl = bus().netlist();
+  std::map<double, std::vector<netlist::NetId>> groups;
+  for (netlist::NetId n = 0; n < nl.num_nets(); ++n) {
+    groups[nl.net_pin_cap(n)].push_back(n);
+  }
+  for (const auto& [cap, nets] : groups) {
+    if (nets.size() >= want) return {nets.begin(), nets.begin() + want};
+  }
+  return {};
 }
 
 TEST(Noise, WorstGlitchPositiveOnCoupledDesign) {
@@ -63,6 +80,80 @@ TEST(Noise, HighMarginReportsNothing) {
   NoiseOptions opt;
   opt.margin = 10.0;
   EXPECT_TRUE(analyze_noise(bus().view(), nullptr, opt).empty());
+}
+
+TEST(Noise, EqualGlitchTiesSortByVictimIdWithDuplicatedCaps) {
+  // Three victims with bitwise-identical pin loads, identical wire caps and
+  // identical (duplicated!) coupling entries produce exactly equal
+  // glitches; the report order must then be victim-id ascending — a pure
+  // function of the design, not of std::sort's whims on equal keys.
+  const std::vector<netlist::NetId> victims = identical_pin_cap_nets(3);
+  ASSERT_EQ(victims.size(), 3u);
+  const netlist::Netlist& nl = bus().netlist();
+  netlist::NetId aggressor = 0;
+  while (std::find(victims.begin(), victims.end(), aggressor) != victims.end())
+    ++aggressor;
+
+  extract::Parasitics para(nl.num_nets());
+  for (const netlist::NetId v : victims) {
+    para.net(v).wire_cap = 5e-15;
+    // Two entries to the SAME neighbour: a duplicated extraction pair.
+    para.net(v).couplings.push_back({aggressor, 12e-15});
+    para.net(v).couplings.push_back({aggressor, 8e-15});
+  }
+  DesignView view = bus().view();
+  view.parasitics = &para;
+
+  const auto violations = analyze_noise(view, nullptr, NoiseOptions{});
+  ASSERT_EQ(violations.size(), victims.size());
+  for (std::size_t i = 1; i < violations.size(); ++i) {
+    EXPECT_EQ(violations[i].glitch, violations[0].glitch);  // exact ties
+    EXPECT_LT(violations[i - 1].victim, violations[i].victim);
+  }
+  for (const NoiseViolation& v : violations) {
+    // Duplicated caps both add charge but name a single aggressor net.
+    EXPECT_EQ(v.aggressors, 1u);
+    EXPECT_DOUBLE_EQ(v.c_active, 20e-15);
+  }
+}
+
+TEST(Noise, TimedBothDirectionsCountUniqueAggressorNets) {
+  // A neighbour whose rise AND fall windows both overlap the alignment
+  // instant contributes two windows but is one physical aggressor: the
+  // count must dedupe nets (the summed cap was already capped at the
+  // physical total).
+  const netlist::Netlist& nl = bus().netlist();
+  const netlist::NetId victim = 0, agg_a = 1, agg_b = 2;
+  extract::Parasitics para(nl.num_nets());
+  para.net(victim).wire_cap = 5e-15;
+  para.net(victim).couplings.push_back({agg_a, 10e-15});
+  para.net(victim).couplings.push_back({agg_b, 5e-15});
+  DesignView view = bus().view();
+  view.parasitics = &para;
+
+  StaResult timing;
+  timing.timing.resize(nl.num_nets());
+  auto window = [&](netlist::NetId n, bool rising, double start, double end) {
+    NetEvent& e = timing.timing[n].event(rising);
+    e.valid = true;
+    e.start_time = start;
+    e.settle_time = end;
+  };
+  window(agg_a, true, 0.0, 1.0e-9);       // rise and fall both valid and
+  window(agg_a, false, 0.2e-9, 0.8e-9);   // mutually overlapping
+  window(agg_b, true, 0.1e-9, 0.9e-9);    // one direction only
+
+  NoiseOptions opt;
+  opt.use_timing = true;
+  opt.margin = 0.01;
+  const auto violations = analyze_noise(view, &timing, opt);
+  ASSERT_EQ(violations.size(), 1u);
+  const NoiseViolation& v = violations[0];
+  EXPECT_EQ(v.victim, victim);
+  // Three overlapping windows, two distinct nets.
+  EXPECT_EQ(v.aggressors, 2u);
+  // Summed window caps (10+10+5 fF) cap out at the physical total (15 fF).
+  EXPECT_DOUBLE_EQ(v.c_active, 15e-15);
 }
 
 TEST(ClockSkew, BalancedTreeHasBoundedSkew) {
